@@ -1,0 +1,408 @@
+(* Benchmark harness.
+
+   Two halves:
+
+   1. Bechamel micro-benchmarks — one [Test.make] per paper artefact
+      (Table 1, Figures 2-6), measuring the cost of the core operation
+      that artefact exercises, plus the simulator substrate.
+
+   2. The reproduction harness — regenerates every table and figure of
+      Tang & Chanson (ICPP 2000) and prints the paper-claim checks
+      (who wins, by what factor).  Scale comes from the environment:
+      QUICK=1 for a smoke run, FULL=1 for the paper's exact methodology
+      (4e6 simulated seconds x 10 replications per point; slow).
+
+   Usage: main.exe [micro|figures|ablations|extensions|all]   (default: all) *)
+
+open Bechamel
+open Toolkit
+module Core = Statsched_core
+module Cluster = Statsched_cluster
+module Dist = Statsched_dist
+module Des = Statsched_des
+module Q = Statsched_queueing
+module E = Statsched_experiments
+module Rng = Statsched_prng.Rng
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: micro-benchmarks                                            *)
+
+let test_table1_least_load_decision =
+  let state = Core.Least_load.create Core.Speeds.table1 in
+  let g = Rng.create ~seed:1L () in
+  Test.make ~name:"table1/least-load decision (7 computers)"
+    (Staged.stage (fun () ->
+         let i = Core.Least_load.select ~rng:g state in
+         Core.Least_load.job_sent state i;
+         Core.Least_load.departure_recorded state i))
+
+let test_fig2_algorithm2_dispatch =
+  let d = Core.Dispatch.round_robin E.Fig2.fractions in
+  Test.make ~name:"fig2/algorithm 2 dispatch (8 computers)"
+    (Staged.stage (fun () -> ignore (Core.Dispatch.select d)))
+
+let test_fig2_random_dispatch =
+  let d = Core.Dispatch.random ~rng:(Rng.create ~seed:2L ()) E.Fig2.fractions in
+  Test.make ~name:"fig2/random dispatch (8 computers)"
+    (Staged.stage (fun () -> ignore (Core.Dispatch.select d)))
+
+let test_fig2_alias_dispatch =
+  let d = Core.Dispatch.random_alias ~rng:(Rng.create ~seed:21L ()) E.Fig2.fractions in
+  Test.make ~name:"fig2/random dispatch via alias method"
+    (Staged.stage (fun () -> ignore (Core.Dispatch.select d)))
+
+let test_scaling_allocation =
+  (* Allocation cost vs cluster size: 512 computers. *)
+  let speeds = Array.init 512 (fun i -> 1.0 +. float_of_int (i mod 16)) in
+  Test.make ~name:"scaling/optimized allocation (512 computers)"
+    (Staged.stage (fun () -> ignore (Core.Allocation.optimized ~rho:0.7 speeds)))
+
+let test_scaling_dispatch =
+  let alpha = Array.make 512 (1.0 /. 512.0) in
+  let total = Array.fold_left ( +. ) 0.0 alpha in
+  alpha.(0) <- alpha.(0) +. (1.0 -. total);
+  let d = Core.Dispatch.round_robin alpha in
+  Test.make ~name:"scaling/algorithm 2 dispatch (512 computers)"
+    (Staged.stage (fun () -> ignore (Core.Dispatch.select d)))
+
+let test_fig3_allocation =
+  let speeds = Core.Speeds.two_class ~n_fast:2 ~fast:20.0 ~n_slow:16 ~slow:1.0 in
+  Test.make ~name:"fig3/optimized allocation (18 computers)"
+    (Staged.stage (fun () -> ignore (Core.Allocation.optimized ~rho:0.7 speeds)))
+
+let test_fig4_allocation =
+  let speeds = Core.Speeds.two_class ~n_fast:10 ~fast:10.0 ~n_slow:10 ~slow:1.0 in
+  Test.make ~name:"fig4/optimized allocation (20 computers)"
+    (Staged.stage (fun () -> ignore (Core.Allocation.optimized ~rho:0.7 speeds)))
+
+let test_fig5_allocation_table3 =
+  Test.make ~name:"fig5/optimized allocation (table 3)"
+    (Staged.stage (fun () -> ignore (Core.Allocation.optimized ~rho:0.7 Core.Speeds.table3)))
+
+let test_fig6_estimated_allocation =
+  Test.make ~name:"fig6/allocation with load estimate"
+    (Staged.stage (fun () ->
+         ignore
+           (Core.Policy.allocation_of (Core.Policy.orr_estimated 0.77) ~rho:0.7
+              Core.Speeds.table3)))
+
+let test_event_queue =
+  let q = Des.Event_queue.create () in
+  let g = Rng.create ~seed:3L () in
+  Test.make ~name:"substrate/event queue add+pop"
+    (Staged.stage (fun () ->
+         ignore (Des.Event_queue.add q ~time:(Rng.float g) ());
+         ignore (Des.Event_queue.pop q)))
+
+let test_hyperexp_sample =
+  let d = Dist.Hyperexponential.fit_cv ~mean:2.2 ~cv:3.0 in
+  let g = Rng.create ~seed:4L () in
+  Test.make ~name:"substrate/hyperexponential sample"
+    (Staged.stage (fun () -> ignore (Dist.Distribution.sample d g)))
+
+let test_bounded_pareto_sample =
+  let prm = Dist.Bounded_pareto.paper_default in
+  let g = Rng.create ~seed:5L () in
+  Test.make ~name:"substrate/bounded pareto sample"
+    (Staged.stage (fun () -> ignore (Dist.Bounded_pareto.sample prm g)))
+
+let test_end_to_end_second =
+  (* One simulated kilo-second of the Table 3 cluster under ORR. *)
+  let speeds = Core.Speeds.table3 in
+  let workload = Cluster.Workload.paper_default ~rho:0.7 ~speeds in
+  let counter = ref 0 in
+  Test.make ~name:"end-to-end/1000 simulated seconds (table 3, ORR)"
+    (Staged.stage (fun () ->
+         incr counter;
+         let cfg =
+           Cluster.Simulation.default_config ~horizon:1000.0 ~warmup:0.0
+             ~replication:!counter ~speeds ~workload
+             ~scheduler:(Cluster.Scheduler.static Core.Policy.orr) ()
+         in
+         ignore (Cluster.Simulation.run cfg)))
+
+let micro_tests =
+  [
+    test_table1_least_load_decision;
+    test_fig2_algorithm2_dispatch;
+    test_fig2_random_dispatch;
+    test_fig2_alias_dispatch;
+    test_fig3_allocation;
+    test_fig4_allocation;
+    test_fig5_allocation_table3;
+    test_fig6_estimated_allocation;
+    test_event_queue;
+    test_hyperexp_sample;
+    test_bounded_pareto_sample;
+    test_scaling_allocation;
+    test_scaling_dispatch;
+    test_end_to_end_second;
+  ]
+
+let run_micro () =
+  E.Report.print_section "Bechamel micro-benchmarks";
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let analysed = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some (est :: _) ->
+            let r2 =
+              match Analyze.OLS.r_square ols_result with
+              | Some r -> Printf.sprintf " (r²=%.4f)" r
+              | None -> ""
+            in
+            Printf.printf "%-55s %12.1f ns/run%s\n%!" name est r2
+          | _ -> Printf.printf "%-55s (no estimate)\n%!" name)
+        analysed)
+    micro_tests
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: table and figure reproduction                               *)
+
+let improvement ~better ~worse = 100.0 *. (1.0 -. (better /. worse))
+
+let ratio_of points name =
+  (List.assoc name points).E.Runner.mean_response_ratio.Statsched_stats.Confidence.mean
+
+let print_table2 () =
+  E.Report.print_section "Table 2: policy matrix (definitional)";
+  print_string
+    (E.Report.render
+       ~header:[ "dispatching \\ allocation"; "weighted"; "optimized" ]
+       ~rows:
+         [
+           [ E.Report.Text "random"; E.Report.Text "WRAN"; E.Report.Text "ORAN" ];
+           [ E.Report.Text "round-robin"; E.Report.Text "WRR"; E.Report.Text "ORR" ];
+         ])
+
+let print_table3 () =
+  E.Report.print_section "Table 3: base system configuration";
+  let tbl = Hashtbl.create 8 in
+  Array.iter
+    (fun s -> Hashtbl.replace tbl s (1 + Option.value ~default:0 (Hashtbl.find_opt tbl s)))
+    Core.Speeds.table3;
+  let rows =
+    Hashtbl.fold (fun s c acc -> (s, c) :: acc) tbl []
+    |> List.sort compare
+    |> List.map (fun (s, c) -> [ E.Report.Float s; E.Report.Int c ])
+  in
+  print_string (E.Report.render ~header:[ "speed"; "number" ] ~rows);
+  Printf.printf "aggregate speed: %g\n" (Core.Speeds.total Core.Speeds.table3)
+
+let run_table1 r =
+  E.Report.print_section "Table 1: workload split under Dynamic Least-Load (rho=0.7)";
+  print_string (E.Table1.to_report r)
+
+let run_fig2 r =
+  E.Report.print_section "Figure 2: allocation deviation, round-robin vs random dispatch";
+  print_string (E.Fig2.to_report r);
+  Printf.printf "deviation ratio (random/round-robin means): %.1fx\n"
+    (r.E.Fig2.random_summary.Statsched_stats.Summary.mean
+    /. r.E.Fig2.round_robin_summary.Statsched_stats.Summary.mean)
+
+let run_fig3 rows =
+  E.Report.print_section "Figure 3: effect of speed skewness (2 fast + 16 slow, rho=0.7)";
+  print_string (E.Fig3.to_report rows);
+  print_newline ();
+  print_string
+    (E.Report.chart_of_sweep
+       (E.Sweep.sweep_of_rows ~title:"Figure 3(b) as a chart" ~xlabel:"fast speed"
+          ~metric:`Ratio rows));
+  (* paper claims at 20:1 *)
+  match List.assoc_opt 20.0 rows with
+  | None -> ()
+  | Some points ->
+    Printf.printf
+      "\npaper-claim check at 20:1 speed ratio (paper: ORR 42%% under WRR, ORAN 49%% under WRAN):\n";
+    Printf.printf "  ORR vs WRR  mean-response-ratio reduction: %.0f%%\n"
+      (improvement ~better:(ratio_of points "ORR") ~worse:(ratio_of points "WRR"));
+    Printf.printf "  ORAN vs WRAN mean-response-ratio reduction: %.0f%%\n"
+      (improvement ~better:(ratio_of points "ORAN") ~worse:(ratio_of points "WRAN"))
+
+let run_fig4 rows =
+  E.Report.print_section "Figure 4: effect of system size (half speed 10, half speed 1)";
+  print_string (E.Fig4.to_report rows);
+  Printf.printf
+    "\npaper-claim check (paper: ORR 35-40%% under WRAN beyond 6 computers):\n";
+  List.iter
+    (fun (n, points) ->
+      if n >= 8.0 then
+        Printf.printf "  n=%2.0f  ORR vs WRAN reduction: %.0f%%\n" n
+          (improvement ~better:(ratio_of points "ORR") ~worse:(ratio_of points "WRAN")))
+    rows
+
+let run_fig5 rows =
+  E.Report.print_section "Figure 5: effect of system load (Table 3 configuration)";
+  print_string (E.Fig5.to_report rows);
+  print_newline ();
+  print_string
+    (E.Report.chart_of_sweep
+       (E.Sweep.sweep_of_rows ~title:"Figure 5(a) as a chart" ~xlabel:"utilization"
+          ~metric:`Ratio rows));
+  match List.assoc_opt 0.9 rows with
+  | None -> ()
+  | Some points ->
+    Printf.printf
+      "\npaper-claim check at rho=0.9 (paper: ORR 24%% under WRR, 34%% under WRAN):\n";
+    Printf.printf "  ORR vs WRR:  %.0f%%\n"
+      (improvement ~better:(ratio_of points "ORR") ~worse:(ratio_of points "WRR"));
+    Printf.printf "  ORR vs WRAN: %.0f%%\n"
+      (improvement ~better:(ratio_of points "ORR") ~worse:(ratio_of points "WRAN"))
+
+let run_fig6 ~under ~over =
+  E.Report.print_section "Figure 6: sensitivity of ORR to load-estimation error";
+  print_string (E.Fig6.to_report ~under ~over)
+
+(* ------------------------------------------------------------------ *)
+(* Ablation benches (DESIGN.md section 5)                              *)
+
+let ablation_scale () =
+  (* Ablations always run at a reduced scale; they compare variants of our
+     own implementation, not paper claims. *)
+  let s = E.Config.of_env () in
+  if s = E.Config.paper then E.Config.default_scale else E.Config.quick
+
+let run_ablation_dispatch () =
+  E.Report.print_section "Ablation: Algorithm 2 design choices (dispatch smoothness)";
+  print_string (E.Ablations.dispatch_smoothness_report (E.Ablations.dispatch_smoothness ()))
+
+let run_ablation_schedulers ~scale =
+  E.Report.print_section
+    "Ablation: end-to-end variants on Table 3 at rho=0.7 (mean response ratio)";
+  print_string (E.Ablations.end_to_end_report (E.Ablations.end_to_end ~scale ()))
+
+let run_ablation_discipline ~scale =
+  E.Report.print_section "Ablation: service disciplines (PS model validation + contrast)";
+  print_string (E.Ablations.disciplines_report (E.Ablations.disciplines ~scale ()));
+  print_string
+    ("PS and small-quantum RR agree (the paper's model is faithful); FCFS pays\n"
+    ^ "for size-blind queueing; SRPT bounds what size knowledge could buy.\n")
+
+let run_ablation_interval_length () =
+  E.Report.print_section "Ablation: deviation metric vs interval length (Figure 2 stream)";
+  print_string (E.Ablations.interval_lengths_report (E.Ablations.interval_lengths ()))
+
+(* ------------------------------------------------------------------ *)
+(* Extension experiments (beyond the paper)                            *)
+
+let run_ext_burstiness ~scale =
+  E.Report.print_section "Extension: arrival burstiness sweep (Table 3, rho=0.7)";
+  let rows = E.Ext_burstiness.run ~scale () in
+  print_string (E.Ext_burstiness.to_report rows)
+
+let run_ext_sizes ~scale =
+  E.Report.print_section
+    "Extension: size-distribution sensitivity (PS insensitivity check)";
+  let rows = E.Ext_sizes.run ~scale () in
+  print_string (E.Ext_sizes.to_report rows)
+
+let run_ext_partial_information ~scale =
+  E.Report.print_section
+    "Extension: partial-information dynamic baselines (Table 3, rho=0.7)";
+  let speeds = Core.Speeds.table3 in
+  let workload = Cluster.Workload.paper_default ~rho:0.7 ~speeds in
+  let schedulers =
+    [
+      ("ORR", Cluster.Scheduler.Static Core.Policy.orr);
+      ("LeastLoad(d=2)", Cluster.Scheduler.two_choices ~d:2 ());
+      ("LeastLoad(d=4)", Cluster.Scheduler.two_choices ~d:4 ());
+      ("LeastLoad", Cluster.Scheduler.least_load_paper);
+    ]
+  in
+  let points = E.Sweep.over_schedulers ~scale ~schedulers ~speeds ~workload () in
+  print_string
+    (E.Report.render
+       ~header:[ "scheduler"; "mean response ratio"; "fairness" ]
+       ~rows:
+         (List.map
+            (fun (name, p) ->
+              [
+                E.Report.Text name;
+                E.Report.Interval p.E.Runner.mean_response_ratio;
+                E.Report.Interval p.E.Runner.fairness;
+              ])
+            points));
+  print_string
+    "Note: JSQ(d) probes d random computers per decision; with heterogeneous\n\
+     speeds it can probe only slow machines, so it needs d well above 2 to\n\
+     approach full Least-Load — ORR gets most of the way with zero probes.\n"
+
+let run_ext_adaptive ~scale =
+  E.Report.print_section
+    "Extension: self-tuning ORR (online load estimation, Table 3)";
+  let speeds = Core.Speeds.table3 in
+  let rows =
+    List.map
+      (fun rho ->
+        let workload = Cluster.Workload.paper_default ~rho ~speeds in
+        let schedulers =
+          [
+            ("ORR (oracle rho)", Cluster.Scheduler.Static Core.Policy.orr);
+            ("AdaptiveORR", Cluster.Scheduler.adaptive_orr ());
+            ("WRR", Cluster.Scheduler.Static Core.Policy.wrr);
+          ]
+        in
+        (rho, E.Sweep.over_schedulers ~scale ~schedulers ~speeds ~workload ()))
+      [ 0.3; 0.5; 0.7; 0.9 ]
+  in
+  print_string
+    (E.Report.render_sweep
+       (E.Sweep.sweep_of_rows ~title:"AdaptiveORR vs oracle ORR"
+          ~xlabel:"utilization" ~metric:`Ratio rows))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let scale = E.Config.of_env () in
+  Printf.printf "statsched bench harness — scale: %s (horizon %g s, %d replications)\n"
+    (E.Config.scale_name scale) scale.E.Config.horizon scale.E.Config.reps;
+  let do_micro = mode = "all" || mode = "micro" in
+  let do_figures = mode = "all" || mode = "figures" in
+  let do_ablations = mode = "all" || mode = "ablations" in
+  if do_micro then run_micro ();
+  if do_figures then begin
+    print_table2 ();
+    print_table3 ();
+    let inputs = E.Paper_claims.gather ~scale () in
+    run_table1 inputs.E.Paper_claims.table1;
+    run_fig2 inputs.E.Paper_claims.fig2;
+    run_fig3 inputs.E.Paper_claims.fig3;
+    run_fig4 inputs.E.Paper_claims.fig4;
+    run_fig5 inputs.E.Paper_claims.fig5;
+    run_fig6 ~under:inputs.E.Paper_claims.fig6_under ~over:inputs.E.Paper_claims.fig6_over;
+    E.Report.print_section "Paper-claims scoreboard";
+    print_string (E.Paper_claims.to_report (E.Paper_claims.evaluate inputs))
+  end;
+  if do_ablations then begin
+    let scale = ablation_scale () in
+    run_ablation_dispatch ();
+    run_ablation_schedulers ~scale;
+    run_ablation_discipline ~scale;
+    run_ablation_interval_length ()
+  end;
+  if mode = "all" || mode = "extensions" then begin
+    let scale = ablation_scale () in
+    run_ext_burstiness ~scale;
+    run_ext_sizes ~scale;
+    run_ext_partial_information ~scale;
+    run_ext_adaptive ~scale;
+    E.Report.print_section
+      "Extension: load-information staleness (when does ORR beat polling?)";
+    print_string (E.Ext_staleness.to_report (E.Ext_staleness.run ~scale ()));
+    E.Report.print_section "Extension: diurnal (non-stationary) load";
+    print_string (E.Ext_diurnal.to_report (E.Ext_diurnal.run ~scale ()));
+    E.Report.print_section "Extension: size-aware SITA-E vs size-blind policies";
+    print_string (E.Ext_sita.to_report (E.Ext_sita.run ~scale ()));
+    E.Report.print_section "Extension: convergence with run length";
+    print_string
+      (E.Ext_convergence.to_report (E.Ext_convergence.run ~reps:scale.E.Config.reps ()))
+  end

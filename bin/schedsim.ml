@@ -1,0 +1,621 @@
+(* schedsim — command-line front end for the statsched library.
+
+   Sub-commands:
+     alloc      compute workload allocations for a speed vector
+     dispatch   show a dispatch sequence for given fractions
+     run        simulate one cluster/scheduler combination
+     compare    simulate all five schedulers on one configuration
+     experiment regenerate a paper table/figure (table1 fig2 ... all) *)
+
+open Cmdliner
+module Core = Statsched_core
+module Cluster = Statsched_cluster
+module E = Statsched_experiments
+module Rng = Statsched_prng.Rng
+
+(* ------------------------------------------------------------------ *)
+(* Shared argument definitions                                         *)
+
+let speeds_arg =
+  let parse s =
+    try Ok (Core.Speeds.of_string s)
+    with Invalid_argument _ -> Error (`Msg (Printf.sprintf "invalid speed list %S" s))
+  in
+  let print fmt s = Format.fprintf fmt "%s" (Core.Speeds.to_string s) in
+  Arg.conv (parse, print)
+
+let speeds_t =
+  Arg.(
+    value
+    & opt speeds_arg Core.Speeds.table3
+    & info [ "s"; "speeds" ] ~docv:"SPEEDS"
+        ~doc:
+          "Comma-separated computer speeds, with NxS groups allowed (e.g. \
+           '1,1,2,10' or '5x1.0,4x1.5,1x12').  Default: the paper's Table 3 \
+           configuration.")
+
+let rho_t =
+  Arg.(
+    value
+    & opt float 0.7
+    & info [ "u"; "utilization" ] ~docv:"RHO" ~doc:"Target system utilization in (0,1).")
+
+let seed_t =
+  Arg.(
+    value
+    & opt int64 (Int64.of_int 20260705)
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Root random seed.")
+
+let scale_t =
+  let scale_conv =
+    let parse = function
+      | "quick" -> Ok E.Config.quick
+      | "default" -> Ok E.Config.default_scale
+      | "paper" -> Ok E.Config.paper
+      | s -> Error (`Msg (Printf.sprintf "unknown scale %S (quick|default|paper)" s))
+    in
+    Arg.conv (parse, fun fmt s -> Format.fprintf fmt "%s" (E.Config.scale_name s))
+  in
+  Arg.(
+    value
+    & opt scale_conv E.Config.default_scale
+    & info [ "scale" ] ~docv:"SCALE"
+        ~doc:"Experiment scale: quick, default, or paper (4e6 s x 10 reps).")
+
+let scheduler_names =
+  [ "wran"; "oran"; "wrr"; "orr"; "least-load"; "two-choices"; "adaptive-orr";
+    "sita" ]
+
+let scheduler_of_name = function
+  | "wran" -> Cluster.Scheduler.static Core.Policy.wran
+  | "oran" -> Cluster.Scheduler.static Core.Policy.oran
+  | "wrr" -> Cluster.Scheduler.static Core.Policy.wrr
+  | "orr" -> Cluster.Scheduler.static Core.Policy.orr
+  | "least-load" -> Cluster.Scheduler.least_load_paper
+  | "two-choices" -> Cluster.Scheduler.two_choices ()
+  | "adaptive-orr" -> Cluster.Scheduler.adaptive_orr ()
+  | "sita" -> Cluster.Scheduler.sita_paper ()
+  | s -> invalid_arg ("unknown scheduler " ^ s)
+
+let scheduler_t =
+  Arg.(
+    value
+    & opt (enum (List.map (fun n -> (n, n)) scheduler_names)) "orr"
+    & info [ "p"; "policy" ] ~docv:"POLICY"
+        ~doc:
+          "Scheduler: wran, oran, wrr, orr, least-load, two-choices or \
+           adaptive-orr.")
+
+let verbose_t =
+  Arg.(
+    value & flag
+    & info [ "v"; "verbose" ] ~doc:"Log simulation diagnostics to stderr.")
+
+let setup_logging verbose =
+  if verbose then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some Logs.Debug)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* alloc                                                               *)
+
+let alloc_cmd =
+  let run speeds rho =
+    if not (0.0 < rho && rho < 1.0) then `Error (false, "utilization must be in (0,1)")
+    else begin
+      let weighted = Core.Allocation.weighted speeds in
+      let optimized = Core.Allocation.optimized ~rho speeds in
+      let rows =
+        List.init (Array.length speeds) (fun i ->
+            [
+              E.Report.Int i;
+              E.Report.Float speeds.(i);
+              E.Report.Percent weighted.(i);
+              E.Report.Percent optimized.(i);
+            ])
+      in
+      print_string
+        (E.Report.render
+           ~header:[ "computer"; "speed"; "weighted"; "optimized" ]
+           ~rows);
+      let f alloc = Core.Allocation.objective ~rho ~speeds ~alloc in
+      Printf.printf
+        "\nobjective F (lower is better): weighted %.6f, optimized %.6f\n\
+         predicted mean-response-ratio improvement: %.1f%%\n"
+        (f weighted) (f optimized)
+        (let mu = 1.0 in
+         let lambda = Core.Mm1.lambda_of_utilization ~mu ~rho ~speeds in
+         let r alloc = Core.Mm1.mean_response_ratio ~mu ~lambda ~speeds ~alloc in
+         100.0 *. (1.0 -. (r optimized /. r weighted)));
+      `Ok ()
+    end
+  in
+  let term = Term.(ret (const run $ speeds_t $ rho_t)) in
+  Cmd.v
+    (Cmd.info "alloc" ~doc:"Compute weighted and optimized workload allocations.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* dispatch                                                            *)
+
+let dispatch_cmd =
+  let fractions_t =
+    let fractions_conv =
+      let parse s =
+        try
+          let fs =
+            Array.of_list
+              (List.map float_of_string (String.split_on_char ',' (String.trim s)))
+          in
+          Ok fs
+        with _ -> Error (`Msg "invalid fraction list")
+      in
+      Arg.conv (parse, fun fmt _ -> Format.fprintf fmt "<fractions>")
+    in
+    Arg.(
+      value
+      & opt fractions_conv [| 0.125; 0.125; 0.25; 0.5 |]
+      & info [ "f"; "fractions" ] ~docv:"FRACTIONS"
+          ~doc:"Comma-separated workload fractions summing to 1.")
+  in
+  let count_t =
+    Arg.(value & opt int 32 & info [ "n" ] ~docv:"N" ~doc:"Number of dispatch decisions.")
+  in
+  let run fractions n seed =
+    try
+      let rr = Core.Dispatch.round_robin fractions in
+      let rand = Core.Dispatch.random ~rng:(Rng.create ~seed ()) fractions in
+      let seq d = String.concat " " (List.init n (fun _ -> string_of_int (Core.Dispatch.select d + 1))) in
+      Printf.printf "round-robin: %s\n" (seq rr);
+      Printf.printf "random:      %s\n" (seq rand);
+      `Ok ()
+    with Invalid_argument m -> `Error (false, m)
+  in
+  let term = Term.(ret (const run $ fractions_t $ count_t $ seed_t)) in
+  Cmd.v
+    (Cmd.info "dispatch"
+       ~doc:"Show the dispatch sequences produced for given workload fractions.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* run / compare                                                       *)
+
+let print_result (r : Cluster.Simulation.result) =
+  let m = r.Cluster.Simulation.metrics in
+  Printf.printf "scheduler: %s\n" r.Cluster.Simulation.scheduler_name;
+  Printf.printf "jobs measured: %d (total arrivals %d)\n" m.Core.Metrics.jobs
+    r.Cluster.Simulation.total_arrivals;
+  Printf.printf "mean response time:  %.4f s\n" m.Core.Metrics.mean_response_time;
+  Printf.printf "mean response ratio: %.4f\n" m.Core.Metrics.mean_response_ratio;
+  Printf.printf "fairness (std of ratio): %.4f\n" m.Core.Metrics.fairness;
+  Printf.printf "median / p99 response ratio: %.4f / %.4f\n"
+    r.Cluster.Simulation.median_response_ratio r.Cluster.Simulation.p99_response_ratio;
+  print_string
+    (E.Report.render
+       ~header:
+         [ "computer"; "speed"; "dispatched"; "completed"; "utilization";
+           "mean jobs (L)" ]
+       ~rows:
+         (List.init
+            (Array.length r.Cluster.Simulation.per_computer)
+            (fun i ->
+              let pc = r.Cluster.Simulation.per_computer.(i) in
+              [
+                E.Report.Int i;
+                E.Report.Float pc.Cluster.Simulation.speed;
+                E.Report.Int pc.Cluster.Simulation.dispatched;
+                E.Report.Int pc.Cluster.Simulation.completed;
+                E.Report.Percent pc.Cluster.Simulation.utilization;
+                E.Report.Float pc.Cluster.Simulation.mean_jobs;
+              ])))
+
+let run_cmd =
+  let trace_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Write a per-job dispatch/completion trace to $(docv) as CSV.")
+  in
+  let probe_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "probe" ] ~docv:"FILE"
+          ~doc:
+            "Sample every computer's queue length each 10 simulated seconds \
+             and write the time series to $(docv) as CSV.")
+  in
+  let run speeds rho policy seed scale trace_file probe_file verbose =
+    setup_logging verbose;
+    try
+      let workload = Cluster.Workload.paper_default ~rho ~speeds in
+      let cfg =
+        Cluster.Simulation.default_config ~horizon:scale.E.Config.horizon
+          ~warmup:scale.E.Config.warmup ~seed ~speeds ~workload
+          ~scheduler:(scheduler_of_name policy) ()
+      in
+      let trace = Option.map (fun _ -> Cluster.Trace.create ()) trace_file in
+      let probe = Option.map (fun _ -> Cluster.Probe.create ()) probe_file in
+      let result =
+        Cluster.Simulation.run
+          ?on_dispatch:(Option.map Cluster.Trace.on_dispatch trace)
+          ?on_completion:(Option.map Cluster.Trace.on_completion trace)
+          ?on_tick:(Option.map (fun p -> (10.0, Cluster.Probe.on_tick p)) probe)
+          cfg
+      in
+      (match (trace, trace_file) with
+      | Some t, Some path ->
+        Cluster.Trace.write_csv t path;
+        Printf.printf "trace: %d dispatches, %d completions -> %s\n"
+          (Cluster.Trace.dispatch_count t)
+          (Cluster.Trace.completion_count t)
+          path
+      | _ -> ());
+      (match (probe, probe_file) with
+      | Some p, Some path ->
+        Cluster.Probe.write_csv p path;
+        Printf.printf "probe: %d samples (peak queue %d) -> %s\n"
+          (Cluster.Probe.sample_count p) (Cluster.Probe.peak p) path
+      | _ -> ());
+      print_result result;
+      `Ok ()
+    with Invalid_argument m -> `Error (false, m)
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ speeds_t $ rho_t $ scheduler_t $ seed_t $ scale_t $ trace_t
+       $ probe_t $ verbose_t))
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Simulate one scheduler on a cluster with the paper's workload \
+          (Bounded-Pareto sizes, bursty arrivals).")
+    term
+
+let compare_cmd =
+  let run speeds rho seed scale =
+    try
+      let workload = Cluster.Workload.paper_default ~rho ~speeds in
+      let points =
+        E.Sweep.over_schedulers ~seed ~scale ~schedulers:E.Schedulers.with_least_load
+          ~speeds ~workload ()
+      in
+      print_string
+        (E.Report.render
+           ~header:
+             [ "scheduler"; "mean resp. time"; "mean resp. ratio"; "fairness";
+               "median ratio"; "p99 ratio" ]
+           ~rows:
+             (List.map
+                (fun (name, p) ->
+                  [
+                    E.Report.Text name;
+                    E.Report.Interval p.E.Runner.mean_response_time;
+                    E.Report.Interval p.E.Runner.mean_response_ratio;
+                    E.Report.Interval p.E.Runner.fairness;
+                    E.Report.Float p.E.Runner.median_ratio;
+                    E.Report.Float p.E.Runner.p99_ratio;
+                  ])
+                points));
+      `Ok ()
+    with Invalid_argument m -> `Error (false, m)
+  in
+  let term = Term.(ret (const run $ speeds_t $ rho_t $ seed_t $ scale_t)) in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Simulate all five schedulers (WRAN/ORAN/WRR/ORR/Least-Load) on one cluster.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* experiment                                                          *)
+
+let experiment_cmd =
+  let which_t =
+    let names =
+      [ "table1"; "fig2"; "fig3"; "fig4"; "fig5"; "fig6"; "ext-burstiness";
+        "ext-sizes"; "all" ]
+    in
+    Arg.(
+      required
+      & pos 0 (some (enum (List.map (fun n -> (n, n)) names))) None
+      & info [] ~docv:"EXPERIMENT"
+          ~doc:"One of table1, fig2..fig6, ext-burstiness, ext-sizes, all.")
+  in
+  let csv_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"DIR"
+          ~doc:
+            "Also write each figure's series (with half-width columns) as \
+             CSV files into $(docv).")
+  in
+  let run which scale seed csv_dir =
+    let write_sweeps name sweeps =
+      match csv_dir with
+      | None -> ()
+      | Some dir ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        List.iteri
+          (fun i sweep ->
+            let path = Filename.concat dir (Printf.sprintf "%s-%d.csv" name i) in
+            let oc = open_out path in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () -> output_string oc (E.Report.sweep_to_csv sweep));
+            Printf.printf "wrote %s\n" path)
+          sweeps
+    in
+    let table1 () =
+      E.Report.print_section "Table 1";
+      print_string (E.Table1.to_report (E.Table1.run ~scale ~seed ()))
+    in
+    let fig2 () =
+      E.Report.print_section "Figure 2";
+      print_string (E.Fig2.to_report (E.Fig2.run ~seed ()))
+    in
+    let fig3 () =
+      E.Report.print_section "Figure 3";
+      let rows = E.Fig3.run ~scale ~seed () in
+      print_string (E.Fig3.to_report rows);
+      write_sweeps "fig3" (E.Fig3.sweeps rows)
+    in
+    let fig4 () =
+      E.Report.print_section "Figure 4";
+      let rows = E.Fig4.run ~scale ~seed () in
+      print_string (E.Fig4.to_report rows);
+      write_sweeps "fig4" (E.Fig4.sweeps rows)
+    in
+    let fig5 () =
+      E.Report.print_section "Figure 5";
+      let rows = E.Fig5.run ~scale ~seed () in
+      print_string (E.Fig5.to_report rows);
+      write_sweeps "fig5" (E.Fig5.sweeps rows)
+    in
+    let fig6 () =
+      E.Report.print_section "Figure 6";
+      let under = E.Fig6.run ~scale ~seed ~errors:E.Fig6.default_errors_under () in
+      let over = E.Fig6.run ~scale ~seed ~errors:E.Fig6.default_errors_over () in
+      print_string (E.Fig6.to_report ~under ~over);
+      write_sweeps "fig6" (E.Fig6.sweeps ~under ~over)
+    in
+    let ext_burstiness () =
+      E.Report.print_section "Extension: arrival burstiness";
+      let rows = E.Ext_burstiness.run ~scale ~seed () in
+      print_string (E.Ext_burstiness.to_report rows);
+      write_sweeps "ext-burstiness" (E.Ext_burstiness.sweeps rows)
+    in
+    let ext_sizes () =
+      E.Report.print_section "Extension: size-distribution sensitivity";
+      print_string (E.Ext_sizes.to_report (E.Ext_sizes.run ~scale ~seed ()))
+    in
+    (match which with
+    | "table1" -> table1 ()
+    | "fig2" -> fig2 ()
+    | "fig3" -> fig3 ()
+    | "fig4" -> fig4 ()
+    | "fig5" -> fig5 ()
+    | "fig6" -> fig6 ()
+    | "ext-burstiness" -> ext_burstiness ()
+    | "ext-sizes" -> ext_sizes ()
+    | _ ->
+      table1 ();
+      fig2 ();
+      fig3 ();
+      fig4 ();
+      fig5 ();
+      fig6 ();
+      ext_burstiness ();
+      ext_sizes ());
+    `Ok ()
+  in
+  let term = Term.(ret (const run $ which_t $ scale_t $ seed_t $ csv_t)) in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate a table or figure from the paper.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* theory                                                              *)
+
+let theory_cmd =
+  let mean_size_t =
+    Arg.(
+      value
+      & opt float 76.8
+      & info [ "mean-size" ] ~docv:"SECONDS"
+          ~doc:"Mean job size in speed-1 seconds (default: the paper's 76.8).")
+  in
+  let run speeds rho mean_size =
+    if not (0.0 < rho && rho < 1.0) then `Error (false, "utilization must be in (0,1)")
+    else if mean_size <= 0.0 then `Error (false, "mean size must be positive")
+    else begin
+      let mu = 1.0 /. mean_size in
+      let lambda = Core.Mm1.lambda_of_utilization ~mu ~rho ~speeds in
+      let weighted = Core.Allocation.weighted speeds in
+      let optimized = Core.Allocation.optimized ~rho speeds in
+      Printf.printf
+        "M/M/1-PS predictions: lambda = %.5g jobs/s, mu = %.5g, aggregate speed %g\n\n"
+        lambda mu (Core.Speeds.total speeds);
+      let per_computer alloc =
+        List.init (Array.length speeds) (fun i ->
+            let speed = speeds.(i) in
+            let alpha = alloc.(i) in
+            [
+              E.Report.Int i;
+              E.Report.Float speed;
+              E.Report.Percent alpha;
+              E.Report.Percent (Core.Mm1.server_utilization ~mu ~lambda ~speed ~alpha);
+              E.Report.Float
+                (Core.Mm1.server_mean_response_time ~mu ~lambda ~speed ~alpha);
+            ])
+      in
+      let header = [ "computer"; "speed"; "share"; "utilization"; "mean resp. time" ] in
+      print_endline "weighted allocation:";
+      print_string (E.Report.render ~header ~rows:(per_computer weighted));
+      print_endline "\noptimized allocation (Algorithm 1):";
+      print_string (E.Report.render ~header ~rows:(per_computer optimized));
+      let t alloc = Core.Mm1.mean_response_time ~mu ~lambda ~speeds ~alloc in
+      let r alloc = Core.Mm1.mean_response_ratio ~mu ~lambda ~speeds ~alloc in
+      Printf.printf
+        "\nsystem:   weighted  T=%.4g R=%.4g   |   optimized  T=%.4g R=%.4g   \
+         (%.1f%% better)\n"
+        (t weighted) (r weighted) (t optimized) (r optimized)
+        (100.0 *. (1.0 -. (t optimized /. t weighted)));
+      Printf.printf
+        "parked computers under optimized allocation: %d (Theorem 2 cutoff)\n"
+        (Core.Allocation.optimized_cutoff ~rho speeds);
+      `Ok ()
+    end
+  in
+  let term = Term.(ret (const run $ speeds_t $ rho_t $ mean_size_t)) in
+  Cmd.v
+    (Cmd.info "theory"
+       ~doc:
+         "Print the analytical M/M/1-PS predictions (per-computer utilisation \
+          and response times) for a configuration, without simulating.")
+    term
+
+(* ------------------------------------------------------------------ *)
+
+(* ------------------------------------------------------------------ *)
+(* ablation                                                            *)
+
+let ablation_cmd =
+  let which_t =
+    let names = [ "dispatch"; "end-to-end"; "disciplines"; "intervals"; "all" ] in
+    Arg.(
+      required
+      & pos 0 (some (enum (List.map (fun n -> (n, n)) names))) None
+      & info [] ~docv:"ABLATION"
+          ~doc:"One of dispatch, end-to-end, disciplines, intervals, all.")
+  in
+  let run which scale seed =
+    let dispatch () =
+      E.Report.print_section "Ablation: Algorithm 2 design choices";
+      print_string
+        (E.Ablations.dispatch_smoothness_report
+           (E.Ablations.dispatch_smoothness ~seed ()))
+    in
+    let end_to_end () =
+      E.Report.print_section "Ablation: end-to-end scheduler variants";
+      print_string (E.Ablations.end_to_end_report (E.Ablations.end_to_end ~seed ~scale ()))
+    in
+    let disciplines () =
+      E.Report.print_section "Ablation: service disciplines";
+      print_string
+        (E.Ablations.disciplines_report (E.Ablations.disciplines ~seed ~scale ()))
+    in
+    let intervals () =
+      E.Report.print_section "Ablation: deviation metric vs interval length";
+      print_string
+        (E.Ablations.interval_lengths_report (E.Ablations.interval_lengths ~seed ()))
+    in
+    (match which with
+    | "dispatch" -> dispatch ()
+    | "end-to-end" -> end_to_end ()
+    | "disciplines" -> disciplines ()
+    | "intervals" -> intervals ()
+    | _ ->
+      dispatch ();
+      end_to_end ();
+      disciplines ();
+      intervals ());
+    `Ok ()
+  in
+  let term = Term.(ret (const run $ which_t $ scale_t $ seed_t)) in
+  Cmd.v
+    (Cmd.info "ablation" ~doc:"Run an ablation study of the design choices.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* report / claims / table                                             *)
+
+let report_cmd =
+  let out_t =
+    Arg.(
+      value
+      & opt string "statsched-report.md"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output Markdown file.")
+  in
+  let run scale seed out =
+    Printf.printf "running all experiments at scale %s (this may take a while)...\n%!"
+      (E.Config.scale_name scale);
+    let doc = E.Md_report.generate_fresh ~scale ~seed () in
+    E.Md_report.write ~path:out doc;
+    Printf.printf "wrote %s (%d bytes)\n" out (String.length doc);
+    `Ok ()
+  in
+  let term = Term.(ret (const run $ scale_t $ seed_t $ out_t)) in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Regenerate every table and figure and write a self-contained \
+          Markdown reproduction report with the paper-claims scoreboard.")
+    term
+
+let claims_cmd =
+  let run scale seed =
+    let inputs = E.Paper_claims.gather ~scale ~seed () in
+    print_string (E.Paper_claims.to_report (E.Paper_claims.evaluate inputs));
+    `Ok ()
+  in
+  let term = Term.(ret (const run $ scale_t $ seed_t)) in
+  Cmd.v
+    (Cmd.info "claims"
+       ~doc:"Evaluate the 18 executable paper claims and print the scoreboard.")
+    term
+
+let table_cmd =
+  let grid_t =
+    Arg.(value & opt int 99 & info [ "grid" ] ~docv:"N" ~doc:"Grid points in (0,1).")
+  in
+  let at_t =
+    Arg.(
+      value
+      & opt (list float) [ 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9 ]
+      & info [ "at" ] ~docv:"RHOS" ~doc:"Utilisations to print rows for.")
+  in
+  let run speeds grid at =
+    try
+      let t = Core.Alloc_table.build ~grid speeds in
+      let rows =
+        List.map
+          (fun (rho, alloc) ->
+            E.Report.Percent rho
+            :: Array.to_list (Array.map (fun a -> E.Report.Percent a) alloc))
+          (Core.Alloc_table.to_report_rows t ~at)
+      in
+      let header =
+        "rho"
+        :: List.init (Array.length speeds) (fun i ->
+               Printf.sprintf "c%d (s=%g)" i speeds.(i))
+      in
+      print_string (E.Report.render ~header ~rows);
+      Printf.printf
+        "\nmax interpolation error vs exact Algorithm 1 (mid-range): %.2e\n"
+        (Core.Alloc_table.max_interpolation_error ~lo:0.2 ~hi:0.95 t ~samples:200);
+      `Ok ()
+    with Invalid_argument m -> `Error (false, m)
+  in
+  let term = Term.(ret (const run $ speeds_t $ grid_t $ at_t)) in
+  Cmd.v
+    (Cmd.info "table"
+       ~doc:
+         "Precompute the optimized-allocation lookup table over a utilisation \
+          grid and print selected rows.")
+    term
+
+let () =
+  let doc =
+    "Static job scheduling in a network of heterogeneous computers (Tang & \
+     Chanson, ICPP 2000)"
+  in
+  let info = Cmd.info "schedsim" ~version:"0.1.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ alloc_cmd; dispatch_cmd; run_cmd; compare_cmd; experiment_cmd;
+           theory_cmd; report_cmd; claims_cmd; table_cmd; ablation_cmd ]))

@@ -1,0 +1,82 @@
+(* Capacity planning with the analytical model.
+
+   The optimized-allocation formula is cheap enough to answer what-if
+   questions without simulating: given a farm and a job stream, what does
+   adding hardware buy?  This example compares upgrade options for a
+   saturating cluster purely with the Mm1/Allocation closed forms, then
+   validates the chosen option by simulation.
+
+   Run with:  dune exec examples/capacity_planning.exe *)
+
+module Core = Statsched_core
+module Cluster = Statsched_cluster
+module E = Statsched_experiments
+
+(* Current farm: eight speed-1 machines at 85% load — response ratios are
+   already painful. *)
+let base = Array.make 8 1.0
+
+let lambda = 0.85 *. 8.0 (* jobs of mean size 1 per second, mu = 1 *)
+
+let predicted speeds =
+  let rho = lambda /. Core.Speeds.total speeds in
+  if rho >= 1.0 then None
+  else begin
+    let alloc = Core.Allocation.optimized ~rho speeds in
+    Some
+      ( rho,
+        Core.Mm1.mean_response_ratio ~mu:1.0 ~lambda ~speeds ~alloc,
+        Core.Allocation.optimized_cutoff ~rho speeds )
+  end
+
+let options =
+  [
+    ("status quo (8x1)", base);
+    ("add 4 more 1x boxes", Array.append base (Array.make 4 1.0));
+    ("add one 4x box", Array.append base [| 4.0 |]);
+    ("replace 4 slow with one 8x", Array.append (Array.make 4 1.0) [| 8.0 |]);
+  ]
+
+let () =
+  Printf.printf "Arrival rate %.2f jobs/s, mean job size 1 s (mu = 1).\n\n" lambda;
+  print_string
+    (E.Report.render
+       ~header:
+         [ "option"; "aggregate"; "load"; "predicted mean resp. ratio"; "machines parked" ]
+       ~rows:
+         (List.map
+            (fun (label, speeds) ->
+              match predicted speeds with
+              | None ->
+                [
+                  E.Report.Text label;
+                  E.Report.Float (Core.Speeds.total speeds);
+                  E.Report.Text "-"; E.Report.Text "saturated"; E.Report.Text "-";
+                ]
+              | Some (rho, ratio, parked) ->
+                [
+                  E.Report.Text label;
+                  E.Report.Float (Core.Speeds.total speeds);
+                  E.Report.Percent rho;
+                  E.Report.Float ratio;
+                  E.Report.Int parked;
+                ])
+            options));
+
+  (* Validate the most interesting option by simulation with the
+     heavy-tailed workload (the analytic model assumes exponential sizes;
+     PS insensitivity makes the prediction carry over). *)
+  let speeds = List.assoc "add one 4x box" options in
+  let rho = lambda /. Core.Speeds.total speeds in
+  let workload = Cluster.Workload.paper_default ~rho ~speeds in
+  let cfg =
+    Cluster.Simulation.default_config ~horizon:300_000.0 ~speeds ~workload
+      ~scheduler:(Cluster.Scheduler.static Core.Policy.orr) ()
+  in
+  let r = Cluster.Simulation.run cfg in
+  match predicted speeds with
+  | Some (_, predicted_ratio, _) ->
+    Printf.printf
+      "\nvalidation of 'add one 4x box' under ORR: predicted %.3f, simulated %.3f\n"
+      predicted_ratio r.Cluster.Simulation.metrics.Core.Metrics.mean_response_ratio
+  | None -> assert false

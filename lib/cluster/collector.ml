@@ -1,0 +1,46 @@
+module Welford = Statsched_stats.Welford
+module P2 = Statsched_stats.P2_quantile
+module Job = Statsched_queueing.Job
+
+type t = {
+  warmup : float;
+  response_time : Welford.t;
+  response_ratio : Welford.t;
+  median : P2.t;
+  p99 : P2.t;
+}
+
+let create ~warmup () =
+  {
+    warmup;
+    response_time = Welford.create ();
+    response_ratio = Welford.create ();
+    median = P2.create 0.5;
+    p99 = P2.create 0.99;
+  }
+
+let on_departure t job =
+  if job.Job.arrival >= t.warmup then begin
+    let rt = Job.response_time job in
+    let rr = Job.response_ratio job in
+    Welford.add t.response_time rt;
+    Welford.add t.response_ratio rr;
+    P2.add t.median rr;
+    P2.add t.p99 rr
+  end
+
+let jobs_measured t = Welford.count t.response_time
+
+let metrics t =
+  if jobs_measured t = 0 then invalid_arg "Collector.metrics: no job measured";
+  {
+    Statsched_core.Metrics.mean_response_time = Welford.mean t.response_time;
+    mean_response_ratio = Welford.mean t.response_ratio;
+    fairness = Welford.population_std t.response_ratio;
+    jobs = jobs_measured t;
+  }
+
+let response_time_stats t = t.response_time
+let response_ratio_stats t = t.response_ratio
+let median_ratio t = P2.estimate t.median
+let p99_ratio t = P2.estimate t.p99

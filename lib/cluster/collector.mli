@@ -1,0 +1,31 @@
+(** Metric collection for a simulation run.
+
+    Accumulates the paper's three job metrics over completions whose
+    arrival falls inside the measurement window (jobs arriving during
+    warm-up are excluded even if they complete later, matching
+    Section 4.1), entirely in O(1) space via {!Statsched_stats.Welford}
+    and {!Statsched_stats.P2_quantile}. *)
+
+type t
+
+val create : warmup:float -> unit -> t
+(** Count only jobs with [arrival >= warmup]. *)
+
+val on_departure : t -> Statsched_queueing.Job.t -> unit
+(** Feed a completed job. *)
+
+val jobs_measured : t -> int
+
+val metrics : t -> Statsched_core.Metrics.t
+(** Snapshot of the accumulated metrics.
+
+    @raise Invalid_argument if no job has been measured. *)
+
+val response_time_stats : t -> Statsched_stats.Welford.t
+val response_ratio_stats : t -> Statsched_stats.Welford.t
+
+val median_ratio : t -> float
+(** P² estimate of the median response ratio. *)
+
+val p99_ratio : t -> float
+(** P² estimate of the 99th-percentile response ratio. *)

@@ -1,0 +1,31 @@
+module Metrics = Statsched_core.Metrics
+
+type t = {
+  expected : float array;
+  start : float;
+  interval : float;
+  counts : int array array;
+}
+
+let create ~expected ~start ~interval ~n_intervals =
+  if interval <= 0.0 then invalid_arg "Interval_stats.create: interval <= 0";
+  if n_intervals <= 0 then invalid_arg "Interval_stats.create: n_intervals <= 0";
+  {
+    expected = Array.copy expected;
+    start;
+    interval;
+    counts = Array.init n_intervals (fun _ -> Array.make (Array.length expected) 0);
+  }
+
+let record t ~time ~computer =
+  let offset = time -. t.start in
+  if offset >= 0.0 then begin
+    let k = int_of_float (offset /. t.interval) in
+    if k < Array.length t.counts then
+      t.counts.(k).(computer) <- t.counts.(k).(computer) + 1
+  end
+
+let deviations t =
+  Array.map (fun counts -> Metrics.deviation ~expected:t.expected ~counts) t.counts
+
+let counts t = Array.map Array.copy t.counts

@@ -1,0 +1,24 @@
+(** Per-interval workload-allocation deviation (Figure 2).
+
+    Splits the dispatch record into consecutive fixed-length intervals and
+    computes, for each, the deviation Σ (α_i − α'_i)² between the intended
+    fractions and the fractions of jobs actually dispatched during that
+    interval. *)
+
+type t
+
+val create : expected:float array -> start:float -> interval:float -> n_intervals:int -> t
+(** Observe [n_intervals] intervals of length [interval] seconds beginning
+    at absolute simulation time [start].
+
+    @raise Invalid_argument if [interval <= 0] or [n_intervals <= 0]. *)
+
+val record : t -> time:float -> computer:int -> unit
+(** Register a job dispatched to [computer] at absolute [time].  Dispatches
+    outside the observation window are ignored. *)
+
+val deviations : t -> float array
+(** Deviation of each interval, in order. *)
+
+val counts : t -> int array array
+(** Per-interval per-computer dispatch counts ([n_intervals × n]). *)

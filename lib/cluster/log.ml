@@ -1,0 +1,3 @@
+let src = Logs.Src.create "statsched.cluster" ~doc:"Cluster simulation events"
+
+module Log = (val Logs.src_log src : Logs.LOG)

@@ -1,0 +1,11 @@
+(** Logging source for the cluster simulation.
+
+    All simulation-side diagnostics go through the ["statsched.cluster"]
+    {!Logs} source: warm-up boundaries at debug level, adaptive-scheduler
+    re-estimations at debug, run completion at info.  Silent unless the
+    application installs a reporter and raises the level (the CLI's
+    [--verbose] flag does both). *)
+
+val src : Logs.src
+
+module Log : Logs.LOG

@@ -1,0 +1,101 @@
+module Dist = Statsched_dist
+
+type kind =
+  | Static of Statsched_core.Policy.t
+  | Static_custom of {
+      label : string;
+      make : rho:float -> speeds:float array -> rng:Statsched_prng.Rng.t ->
+        Statsched_core.Dispatch.t;
+    }
+  | Least_load of {
+      detection : Dist.Distribution.t;
+      message_delay : Dist.Distribution.t;
+      random_ties : bool;
+      probe : int option;
+    }
+  | Sita of {
+      params : Dist.Bounded_pareto.params;
+      small_to : [ `Fast | `Slow ];
+    }
+  | Stale_least_load of { poll_period : float; count_in_flight : bool }
+  | Adaptive of {
+      period : float;
+      initial_rho : float;
+      safety : float;
+      windowed : bool;
+      dispatching : Statsched_core.Policy.dispatch_strategy;
+    }
+
+let static p = Static p
+
+let sita_paper ?(small_to = `Fast) () =
+  Sita { params = Dist.Bounded_pareto.paper_default; small_to }
+
+let stale_least_load ?(count_in_flight = true) ~poll_period () =
+  if poll_period <= 0.0 then invalid_arg "Scheduler.stale_least_load: poll_period <= 0";
+  Stale_least_load { poll_period; count_in_flight }
+
+let adaptive_orr ?(period = 10_000.0) ?(initial_rho = 0.5) ?(safety = 1.05)
+    ?(windowed = false) () =
+  if period <= 0.0 then invalid_arg "Scheduler.adaptive_orr: period <= 0";
+  if not (0.0 < initial_rho && initial_rho < 1.0) then
+    invalid_arg "Scheduler.adaptive_orr: initial_rho outside (0,1)";
+  if safety <= 0.0 then invalid_arg "Scheduler.adaptive_orr: safety <= 0";
+  Adaptive
+    {
+      period;
+      initial_rho;
+      safety;
+      windowed;
+      dispatching = Statsched_core.Policy.Round_robin;
+    }
+
+let paper_delays =
+  ( Dist.Uniform_dist.create ~a:0.0 ~b:1.0,
+    Dist.Exponential.of_mean 0.05 )
+
+let least_load_paper =
+  let detection, message_delay = paper_delays in
+  Least_load { detection; message_delay; random_ties = true; probe = None }
+
+let least_load_instant =
+  Least_load
+    {
+      detection = Dist.Deterministic.create 0.0;
+      message_delay = Dist.Deterministic.create 0.0;
+      random_ties = true;
+      probe = None;
+    }
+
+let two_choices ?(d = 2) () =
+  if d < 1 then invalid_arg "Scheduler.two_choices: d < 1";
+  let detection, message_delay = paper_delays in
+  Least_load { detection; message_delay; random_ties = true; probe = Some d }
+
+let name = function
+  | Static p -> Statsched_core.Policy.name p
+  | Static_custom { label; _ } -> label
+  | Least_load { detection; message_delay; probe; _ } ->
+    let base =
+      match probe with
+      | Some d -> Printf.sprintf "LeastLoad(d=%d)" d
+      | None -> "LeastLoad"
+    in
+    if
+      Dist.Distribution.mean detection = 0.0
+      && Dist.Distribution.mean message_delay = 0.0
+    then base ^ "(instant)"
+    else base
+  | Sita { small_to; _ } ->
+    Printf.sprintf "SITA-E(small->%s)"
+      (match small_to with `Fast -> "fast" | `Slow -> "slow")
+  | Stale_least_load { poll_period; count_in_flight } ->
+    Printf.sprintf "StaleLeastLoad(T=%g%s)" poll_period
+      (if count_in_flight then "" else ",blind")
+  | Adaptive { period; dispatching; windowed; _ } ->
+    let d =
+      match dispatching with
+      | Statsched_core.Policy.Round_robin -> "ORR"
+      | Statsched_core.Policy.Random -> "ORAN"
+    in
+    Printf.sprintf "Adaptive%s(T=%g%s)" d period (if windowed then ",window" else "")

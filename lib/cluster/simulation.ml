@@ -1,0 +1,286 @@
+module Rng = Statsched_prng.Rng
+module Distribution = Statsched_dist.Distribution
+module Engine = Statsched_des.Engine
+module Q = Statsched_queueing
+module Core = Statsched_core
+
+type discipline = Ps | Rr of float | Fcfs | Srpt
+
+type config = {
+  speeds : float array;
+  workload : Workload.t;
+  scheduler : Scheduler.kind;
+  discipline : discipline;
+  horizon : float;
+  warmup : float;
+  seed : int64;
+  replication : int;
+}
+
+let paper_horizon = 4.0e6
+let paper_warmup = 1.0e6
+
+let default_config ?(discipline = Ps) ?(horizon = 4.0e5) ?warmup ?(seed = 42L)
+    ?(replication = 0) ~speeds ~workload ~scheduler () =
+  let warmup = match warmup with Some w -> w | None -> horizon /. 4.0 in
+  { speeds; workload; scheduler; discipline; horizon; warmup; seed; replication }
+
+type per_computer = {
+  speed : float;
+  dispatched : int;
+  completed : int;
+  utilization : float;
+  mean_jobs : float;
+}
+
+type result = {
+  scheduler_name : string;
+  metrics : Core.Metrics.t;
+  median_response_ratio : float;
+  p99_response_ratio : float;
+  per_computer : per_computer array;
+  dispatch_fractions : float array;
+  intended_fractions : float array option;
+  offered_utilization : float;
+  total_arrivals : int;
+  events_executed : int;
+}
+
+let make_server ~discipline ~engine ~speed ~on_departure =
+  match discipline with
+  | Ps -> Q.Ps_server.to_server (Q.Ps_server.create ~engine ~speed ~on_departure ())
+  | Rr quantum ->
+    Q.Rr_server.to_server (Q.Rr_server.create ~engine ~speed ~quantum ~on_departure ())
+  | Fcfs -> Q.Fcfs_server.to_server (Q.Fcfs_server.create ~engine ~speed ~on_departure ())
+  | Srpt -> Q.Srpt_server.to_server (Q.Srpt_server.create ~engine ~speed ~on_departure ())
+
+let run ?on_dispatch ?on_completion ?on_tick cfg =
+  Core.Speeds.validate cfg.speeds;
+  if cfg.horizon <= 0.0 then invalid_arg "Simulation.run: horizon <= 0";
+  if cfg.warmup < 0.0 || cfg.warmup >= cfg.horizon then
+    invalid_arg "Simulation.run: warmup outside [0, horizon)";
+  let n = Array.length cfg.speeds in
+  let rho = Workload.utilization cfg.workload ~speeds:cfg.speeds in
+  (* One base stream per (seed, replication); components get independent
+     splits in a fixed documented order: arrivals, sizes, dispatch,
+     scheduler ties, detection, message delay. *)
+  let base = Rng.substream (Rng.create ~seed:cfg.seed ()) cfg.replication in
+  let arrivals_rng = Rng.split base in
+  let sizes_rng = Rng.split base in
+  let dispatch_rng = Rng.split base in
+  let ties_rng = Rng.split base in
+  let detect_rng = Rng.split base in
+  let delay_rng = Rng.split base in
+
+  let engine = Engine.create () in
+  let collector = Collector.create ~warmup:cfg.warmup () in
+  let dispatched = Array.make n 0 in
+  let completed = Array.make n 0 in
+  let total_arrivals = ref 0 in
+  let job_counter = ref 0 in
+
+  (* Scheduler-side decision function and departure hook.  [servers_ref]
+     is filled right after server creation; only poll events executed
+     during the run dereference it. *)
+  let least_load_state = ref None in
+  let servers_ref = ref [||] in
+  let select_computer, intended_fractions, on_job_departure =
+    match cfg.scheduler with
+    | Scheduler.Static policy ->
+      let alloc = Core.Policy.allocation_of policy ~rho cfg.speeds in
+      let dispatcher = Core.Policy.dispatcher_of policy ~rng:dispatch_rng alloc in
+      ( (fun _job -> Core.Dispatch.select dispatcher),
+        (fun () -> Some alloc),
+        fun _job -> () )
+    | Scheduler.Static_custom { label = _; make } ->
+      let dispatcher = make ~rho ~speeds:cfg.speeds ~rng:dispatch_rng in
+      ( (fun _job -> Core.Dispatch.select dispatcher),
+        (fun () -> Some (Core.Dispatch.fractions dispatcher)),
+        fun _job -> () )
+    | Scheduler.Sita { params; small_to } ->
+      let sita = Core.Sita.build_bounded_pareto params ~speeds:cfg.speeds ~small_to in
+      ( (fun job -> Core.Sita.select sita ~size:job.Q.Job.size),
+        (fun () -> None),
+        fun _job -> () )
+    | Scheduler.Stale_least_load { poll_period; count_in_flight } ->
+      let state = Core.Least_load.create cfg.speeds in
+      least_load_state := Some state;
+      Engine.every engine ~period:poll_period (fun _ ->
+          Array.iteri
+            (fun i server ->
+              Core.Least_load.set_load_index state i
+                (server.Q.Server_intf.in_system ()))
+            !servers_ref);
+      let select _job =
+        let i = Core.Least_load.select ~rng:ties_rng state in
+        if count_in_flight then Core.Least_load.job_sent state i;
+        i
+      in
+      (select, (fun () -> None), fun _job -> ())
+    | Scheduler.Adaptive { period; initial_rho; safety; windowed; dispatching } ->
+      (* Self-tuning ORR/ORAN: λ̂ from the arrival count, the mean job
+         size from completed jobs (what a real scheduler can observe),
+         ρ̂ = λ̂·E[S]/Σs inflated by the safety factor, allocation
+         recomputed every [period] seconds. *)
+      let total_speed = Core.Speeds.total cfg.speeds in
+      let seen_completions = ref 0 in
+      let size_sum = ref 0.0 in
+      let make_dispatcher rho_hat =
+        let rho_hat = min 0.999 (max 1e-6 (rho_hat *. safety)) in
+        let alloc = Core.Allocation.optimized ~rho:rho_hat cfg.speeds in
+        match dispatching with
+        | Core.Policy.Random -> Core.Dispatch.random ~rng:dispatch_rng alloc
+        | Core.Policy.Round_robin -> Core.Dispatch.round_robin alloc
+      in
+      let dispatcher = ref (make_dispatcher initial_rho) in
+      (* Window snapshots: counters at the previous recompute instant. *)
+      let last_time = ref 0.0 in
+      let last_arrivals = ref 0 in
+      let last_completions = ref 0 in
+      let last_size_sum = ref 0.0 in
+      let recompute () =
+        let now = Engine.now engine in
+        let arrivals, completions, sizes, elapsed =
+          if windowed then
+            ( !total_arrivals - !last_arrivals,
+              !seen_completions - !last_completions,
+              !size_sum -. !last_size_sum,
+              now -. !last_time )
+          else (!total_arrivals, !seen_completions, !size_sum, now)
+        in
+        last_time := now;
+        last_arrivals := !total_arrivals;
+        last_completions := !seen_completions;
+        last_size_sum := !size_sum;
+        if completions > 0 && elapsed > 0.0 && arrivals > 0 then begin
+          let lambda_hat = float_of_int arrivals /. elapsed in
+          let mean_size_hat = sizes /. float_of_int completions in
+          let rho_hat = lambda_hat *. mean_size_hat /. total_speed in
+          Log.Log.debug (fun m ->
+              m "adaptive recompute at t=%.0f: lambda=%.5g E[S]=%.4g rho=%.4f"
+                now lambda_hat mean_size_hat rho_hat);
+          dispatcher := make_dispatcher rho_hat
+        end
+      in
+      Engine.every engine ~period (fun _ -> recompute ());
+      ( (fun _job -> Core.Dispatch.select !dispatcher),
+        (fun () -> Some (Core.Dispatch.fractions !dispatcher)),
+        fun job ->
+          incr seen_completions;
+          size_sum := !size_sum +. job.Q.Job.size )
+    | Scheduler.Least_load { detection; message_delay; random_ties; probe } ->
+      let state = Core.Least_load.create cfg.speeds in
+      least_load_state := Some state;
+      let select _job =
+        let i =
+          match probe with
+          | Some d -> Core.Least_load.select_sampled ~rng:ties_rng state ~d
+          | None ->
+            let rng = if random_ties then Some ties_rng else None in
+            Core.Least_load.select ?rng state
+        in
+        Core.Least_load.job_sent state i;
+        i
+      in
+      let on_departure job =
+        (* The executing computer notices the departure after a polling
+           delay, then its update message crosses the network. *)
+        let lag =
+          Distribution.sample detection detect_rng
+          +. Distribution.sample message_delay delay_rng
+        in
+        let computer = job.Q.Job.computer in
+        ignore
+          (Engine.schedule engine ~delay:lag (fun _ ->
+               Core.Least_load.departure_recorded state computer))
+      in
+      (select, (fun () -> None), on_departure)
+  in
+
+  let servers =
+    Array.init n (fun i ->
+        make_server ~discipline:cfg.discipline ~engine ~speed:cfg.speeds.(i)
+          ~on_departure:(fun job ->
+            Collector.on_departure collector job;
+            if job.Q.Job.arrival >= cfg.warmup then
+              completed.(i) <- completed.(i) + 1;
+            (match on_completion with Some f -> f job | None -> ());
+            on_job_departure job))
+  in
+  servers_ref := servers;
+  (match on_tick with
+  | None -> ()
+  | Some (period, f) ->
+    if period <= 0.0 then invalid_arg "Simulation.run: on_tick period <= 0";
+    Engine.every engine ~period (fun e ->
+        let queues =
+          Array.map (fun s -> s.Q.Server_intf.in_system ()) servers
+        in
+        f ~time:(Engine.now e) ~queues));
+
+  (* Warm-up boundary: reset the per-server busy statistics. *)
+  if cfg.warmup > 0.0 then
+    ignore
+      (Engine.schedule engine ~delay:cfg.warmup (fun _ ->
+           Log.Log.debug (fun m ->
+               m "warm-up boundary at t=%.0f: resetting server statistics"
+                 cfg.warmup);
+           Array.iter (fun s -> s.Q.Server_intf.reset_stats ()) servers));
+
+  (* Arrival process.  A rate modulation scales the sampled gap down when
+     the instantaneous rate is high (time-rescaled renewal process). *)
+  let rec schedule_next_arrival () =
+    let base_gap = Distribution.sample cfg.workload.Workload.interarrival arrivals_rng in
+    let gap =
+      match cfg.workload.Workload.modulation with
+      | None -> base_gap
+      | Some f -> base_gap /. max 0.05 (f (Engine.now engine))
+    in
+    ignore
+      (Engine.schedule engine ~delay:gap (fun _ ->
+           let now = Engine.now engine in
+           incr total_arrivals;
+           incr job_counter;
+           let size = Distribution.sample cfg.workload.Workload.size sizes_rng in
+           let job = Q.Job.create ~id:!job_counter ~size ~arrival:now in
+           let target = select_computer job in
+           job.Q.Job.computer <- target;
+           if now >= cfg.warmup then dispatched.(target) <- dispatched.(target) + 1;
+           (match on_dispatch with Some f -> f job | None -> ());
+           servers.(target).Q.Server_intf.submit job;
+           schedule_next_arrival ()))
+  in
+  schedule_next_arrival ();
+  Engine.run ~until:cfg.horizon engine;
+
+  if Collector.jobs_measured collector = 0 then
+    invalid_arg "Simulation.run: no job completed within the horizon";
+  Log.Log.info (fun m ->
+      m "%s: %d arrivals, %d measured jobs, %d events in %.0f simulated s"
+        (Scheduler.name cfg.scheduler)
+        !total_arrivals
+        (Collector.jobs_measured collector)
+        (Engine.events_executed engine)
+        cfg.horizon);
+  let per_computer =
+    Array.init n (fun i ->
+        {
+          speed = cfg.speeds.(i);
+          dispatched = dispatched.(i);
+          completed = completed.(i);
+          utilization = servers.(i).Q.Server_intf.utilization ();
+          mean_jobs = servers.(i).Q.Server_intf.mean_in_system ();
+        })
+  in
+  {
+    scheduler_name = Scheduler.name cfg.scheduler;
+    metrics = Collector.metrics collector;
+    median_response_ratio = Collector.median_ratio collector;
+    p99_response_ratio = Collector.p99_ratio collector;
+    per_computer;
+    dispatch_fractions = Core.Metrics.actual_fractions dispatched;
+    intended_fractions = intended_fractions ();
+    offered_utilization = rho;
+    total_arrivals = !total_arrivals;
+    events_executed = Engine.events_executed engine;
+  }

@@ -1,0 +1,94 @@
+(** End-to-end cluster simulation (Section 4.1's model).
+
+    A central scheduler receives the whole arrival stream and forwards
+    each job to one of [n] computers; jobs then run to completion without
+    rescheduling.  Program/data files live on a dedicated file server, so
+    dispatching itself is instantaneous (only a command line travels).
+    Each computer time-shares its processor ({!Statsched_queueing.Ps_server}
+    by default).
+
+    One call to {!run} is one independent replication: all stochastic
+    inputs are drawn from non-overlapping substreams of a single seed, so
+    result [k] of replication [k] is reproducible and replications are
+    statistically independent. *)
+
+type discipline =
+  | Ps  (** processor sharing — the paper's model; default *)
+  | Rr of float  (** quantum round-robin with the given quantum (validation) *)
+  | Fcfs  (** first-come-first-served (contrast experiments) *)
+  | Srpt  (** shortest-remaining-processing-time (size-aware contrast) *)
+
+type config = {
+  speeds : float array;
+  workload : Workload.t;
+  scheduler : Scheduler.kind;
+  discipline : discipline;
+  horizon : float;  (** total simulated seconds; paper: 4·10⁶ *)
+  warmup : float;  (** start-up period excluded from statistics; paper: 10⁶ *)
+  seed : int64;
+  replication : int;  (** replication index selecting the RNG substream *)
+}
+
+val default_config :
+  ?discipline:discipline ->
+  ?horizon:float ->
+  ?warmup:float ->
+  ?seed:int64 ->
+  ?replication:int ->
+  speeds:float array ->
+  workload:Workload.t ->
+  scheduler:Scheduler.kind ->
+  unit ->
+  config
+(** Defaults: [Ps], horizon 4·10⁵ s, warmup = horizon/4, seed 42,
+    replication 0.  (The paper-scale horizon of 4·10⁶ s is available as
+    {!paper_horizon}.) *)
+
+val paper_horizon : float
+(** 4·10⁶ simulated seconds. *)
+
+val paper_warmup : float
+(** 10⁶ simulated seconds — the first quarter of the run. *)
+
+type per_computer = {
+  speed : float;
+  dispatched : int;  (** jobs sent to this computer after warm-up *)
+  completed : int;  (** jobs finished here after warm-up *)
+  utilization : float;  (** busy fraction after warm-up *)
+  mean_jobs : float;
+      (** time-averaged number of jobs present after warm-up — Little's
+          [L]; the tests verify [L ≈ λᵢ·Wᵢ] *)
+}
+
+type result = {
+  scheduler_name : string;
+  metrics : Statsched_core.Metrics.t;
+  median_response_ratio : float;
+  p99_response_ratio : float;
+  per_computer : per_computer array;
+  dispatch_fractions : float array;
+      (** per-computer share of post-warm-up dispatches *)
+  intended_fractions : float array option;
+      (** the allocation a static policy aimed for; [None] for Least-Load *)
+  offered_utilization : float;  (** λ/(μ·Σs) of the workload *)
+  total_arrivals : int;  (** arrivals over the whole run, warm-up included *)
+  events_executed : int;
+}
+
+val run :
+  ?on_dispatch:(Statsched_queueing.Job.t -> unit) ->
+  ?on_completion:(Statsched_queueing.Job.t -> unit) ->
+  ?on_tick:float * (time:float -> queues:int array -> unit) ->
+  config ->
+  result
+(** Execute one replication.  [on_dispatch] observes every dispatch
+    decision as it is made (warm-up included; the job's [computer] field
+    is already set) — Figure 2's interval statistics and {!Trace} hook in
+    here.  [on_completion] observes every job departure.
+    [on_tick (period, f)] calls [f] every [period] simulated seconds with
+    the instantaneous per-computer run-queue lengths — {!Probe} plugs in
+    here.
+
+    @raise Invalid_argument on an infeasible configuration (e.g. offered
+    utilisation ≥ 1 with an optimized allocation, no jobs completing
+    within the horizon). *)

@@ -1,0 +1,94 @@
+module Job = Statsched_queueing.Job
+
+type dispatch_record = {
+  time : float;
+  job_id : int;
+  computer : int;
+  size : float;
+}
+
+type completion_record = {
+  time : float;
+  job_id : int;
+  computer : int;
+  response_time : float;
+  response_ratio : float;
+}
+
+(* Minimal growable buffer; Buffer-style doubling. *)
+type 'a vec = { mutable data : 'a array; mutable len : int }
+
+let vec_create () = { data = [||]; len = 0 }
+
+let vec_push v x =
+  let cap = Array.length v.data in
+  if v.len = cap then begin
+    let ncap = max 256 (2 * cap) in
+    let ndata = Array.make ncap x in
+    Array.blit v.data 0 ndata 0 v.len;
+    v.data <- ndata
+  end;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+let vec_to_array v = Array.sub v.data 0 v.len
+
+type t = {
+  dispatch_log : dispatch_record vec;
+  completion_log : completion_record vec;
+}
+
+let create ?capacity:_ () =
+  { dispatch_log = vec_create (); completion_log = vec_create () }
+
+let record_dispatch t r = vec_push t.dispatch_log r
+
+let record_completion t r = vec_push t.completion_log r
+
+let on_dispatch t job =
+  record_dispatch t
+    {
+      time = job.Job.arrival;
+      job_id = job.Job.id;
+      computer = job.Job.computer;
+      size = job.Job.size;
+    }
+
+let on_completion t job =
+  record_completion t
+    {
+      time = job.Job.completion;
+      job_id = job.Job.id;
+      computer = job.Job.computer;
+      response_time = Job.response_time job;
+      response_ratio = Job.response_ratio job;
+    }
+
+let dispatches t = vec_to_array t.dispatch_log
+
+let completions t = vec_to_array t.completion_log
+
+let dispatch_count t = t.dispatch_log.len
+
+let completion_count t = t.completion_log.len
+
+let completed_sizes t =
+  Array.init t.completion_log.len (fun i ->
+      let c = t.completion_log.data.(i) in
+      c.response_time /. c.response_ratio)
+
+let write_csv t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "kind,time,job_id,computer,size,response_time,response_ratio\n";
+      for i = 0 to t.dispatch_log.len - 1 do
+        let d = t.dispatch_log.data.(i) in
+        Printf.fprintf oc "dispatch,%.6f,%d,%d,%.6f,,\n" d.time d.job_id d.computer d.size
+      done;
+      for i = 0 to t.completion_log.len - 1 do
+        let c = t.completion_log.data.(i) in
+        Printf.fprintf oc "completion,%.6f,%d,%d,,%.6f,%.6f\n" c.time c.job_id
+          c.computer c.response_time c.response_ratio
+      done)

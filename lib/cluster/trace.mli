@@ -1,0 +1,52 @@
+(** Event trace recording.
+
+    Captures per-job dispatch and completion records from a simulation run
+    for offline analysis (CSV export, replay through
+    {!Statsched_dist.Empirical}, or custom post-processing).  Traces are
+    append-only growable buffers; recording is O(1) amortised per event. *)
+
+type dispatch_record = {
+  time : float;
+  job_id : int;
+  computer : int;
+  size : float;
+}
+
+type completion_record = {
+  time : float;
+  job_id : int;
+  computer : int;
+  response_time : float;
+  response_ratio : float;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val record_dispatch : t -> dispatch_record -> unit
+val record_completion : t -> completion_record -> unit
+
+val on_dispatch : t -> Statsched_queueing.Job.t -> unit
+(** Observer for {!Simulation.run}'s [on_dispatch] hook. *)
+
+val on_completion : t -> Statsched_queueing.Job.t -> unit
+(** Observer for {!Simulation.run}'s [on_completion] hook. *)
+
+val dispatches : t -> dispatch_record array
+(** In recording order. *)
+
+val completions : t -> completion_record array
+
+val dispatch_count : t -> int
+val completion_count : t -> int
+
+val completed_sizes : t -> float array
+(** Sizes of completed jobs — ready for {!Statsched_dist.Empirical.create}
+    to replay a measured workload. *)
+
+val write_csv : t -> string -> unit
+(** [write_csv t path] writes both record kinds to [path] with a [kind]
+    column ([dispatch]/[completion]) and a unified header:
+    [kind,time,job_id,computer,size,response_time,response_ratio]
+    (inapplicable fields empty). *)

@@ -1,0 +1,70 @@
+module Dist = Statsched_dist
+module Distribution = Dist.Distribution
+module Speeds = Statsched_core.Speeds
+
+type t = {
+  interarrival : Distribution.t;
+  size : Distribution.t;
+  modulation : (float -> float) option;
+}
+
+let create ?modulation ~interarrival ~size () = { interarrival; size; modulation }
+
+let arrival_rate t = 1.0 /. Distribution.mean t.interarrival
+
+let mu t = 1.0 /. Distribution.mean t.size
+
+let utilization t ~speeds = arrival_rate t /. (mu t *. Speeds.total speeds)
+
+let check_rho rho =
+  if not (0.0 < rho && rho < 1.0) then
+    invalid_arg "Workload: utilisation must satisfy 0 < rho < 1"
+
+let mean_interarrival_for ~rho ~mean_size ~speeds =
+  check_rho rho;
+  Speeds.validate speeds;
+  let lambda = rho *. Speeds.total speeds /. mean_size in
+  1.0 /. lambda
+
+let paper_default ~rho ~speeds =
+  let size = Dist.Bounded_pareto.create_paper_default () in
+  let mean_ia = mean_interarrival_for ~rho ~mean_size:(Distribution.mean size) ~speeds in
+  create ~interarrival:(Dist.Hyperexponential.fit_cv ~mean:mean_ia ~cv:3.0) ~size ()
+
+let poisson_exponential ~rho ~mean_size ~speeds =
+  if mean_size <= 0.0 then invalid_arg "Workload.poisson_exponential: mean_size <= 0";
+  let mean_ia = mean_interarrival_for ~rho ~mean_size ~speeds in
+  create
+    ~interarrival:(Dist.Exponential.of_mean mean_ia)
+    ~size:(Dist.Exponential.of_mean mean_size)
+    ()
+
+let interarrival_of_cv ~mean_ia ~cv =
+  if cv > 1.0 then Dist.Hyperexponential.fit_cv ~mean:mean_ia ~cv
+  else if cv = 1.0 then Dist.Exponential.of_mean mean_ia
+  else Dist.Erlang.of_mean_cv ~mean:mean_ia ~cv
+
+let with_size ~rho ?(arrival_cv = 3.0) ~size speeds =
+  if arrival_cv <= 0.0 then invalid_arg "Workload.with_size: cv <= 0";
+  let mean_ia = mean_interarrival_for ~rho ~mean_size:(Distribution.mean size) ~speeds in
+  create ~interarrival:(interarrival_of_cv ~mean_ia ~cv:arrival_cv) ~size ()
+
+let with_cv ~rho ~arrival_cv ~speeds =
+  if arrival_cv <= 0.0 then invalid_arg "Workload.with_cv: cv <= 0";
+  let size = Dist.Bounded_pareto.create_paper_default () in
+  let mean_ia = mean_interarrival_for ~rho ~mean_size:(Distribution.mean size) ~speeds in
+  create ~interarrival:(interarrival_of_cv ~mean_ia ~cv:arrival_cv) ~size ()
+
+let diurnal ~rho ~amplitude ~day_length ~speeds =
+  if not (0.0 <= amplitude && amplitude < 1.0) then
+    invalid_arg "Workload.diurnal: amplitude outside [0, 1)";
+  if day_length <= 0.0 then invalid_arg "Workload.diurnal: day_length <= 0";
+  if (1.0 +. amplitude) *. rho >= 1.0 then
+    invalid_arg "Workload.diurnal: peak load saturates the system";
+  let base = paper_default ~rho ~speeds in
+  let modulation t = 1.0 +. (amplitude *. sin (2.0 *. Float.pi *. t /. day_length)) in
+  { base with modulation = Some modulation }
+
+let modulated_rate t time =
+  let base = arrival_rate t in
+  match t.modulation with None -> base | Some f -> base *. f time

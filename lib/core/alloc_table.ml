@@ -1,0 +1,59 @@
+type t = {
+  speeds : float array;
+  rhos : float array;  (* ascending *)
+  rows : float array array;  (* rows.(k) = optimized allocation at rhos.(k) *)
+}
+
+let build ?(grid = 99) speeds =
+  Speeds.validate speeds;
+  if grid < 2 then invalid_arg "Alloc_table.build: grid < 2";
+  let rhos =
+    Array.init grid (fun k -> float_of_int (k + 1) /. float_of_int (grid + 1))
+  in
+  let rows = Array.map (fun rho -> Allocation.optimized ~rho speeds) rhos in
+  { speeds = Array.copy speeds; rhos; rows }
+
+let speeds t = Array.copy t.speeds
+
+let grid_points t = Array.copy t.rhos
+
+let lookup t ~rho =
+  if not (0.0 < rho && rho < 1.0) then
+    invalid_arg "Alloc_table.lookup: rho outside (0,1)";
+  let n = Array.length t.rhos in
+  if rho <= t.rhos.(0) then Array.copy t.rows.(0)
+  else if rho >= t.rhos.(n - 1) then Array.copy t.rows.(n - 1)
+  else begin
+    (* Binary search for the bracketing grid cell. *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if t.rhos.(mid) <= rho then lo := mid else hi := mid
+    done;
+    let w = (rho -. t.rhos.(!lo)) /. (t.rhos.(!hi) -. t.rhos.(!lo)) in
+    Array.init (Array.length t.speeds) (fun i ->
+        ((1.0 -. w) *. t.rows.(!lo).(i)) +. (w *. t.rows.(!hi).(i)))
+  end
+
+let max_interpolation_error ?(lo = 0.01) ?(hi = 0.99) t ~samples =
+  if samples <= 0 then invalid_arg "Alloc_table.max_interpolation_error: samples <= 0";
+  if not (0.0 < lo && lo < hi && hi < 1.0) then
+    invalid_arg "Alloc_table.max_interpolation_error: need 0 < lo < hi < 1";
+  let worst = ref 0.0 in
+  let inv_phi = 2.0 /. (1.0 +. sqrt 5.0) in
+  let u = ref 0.37 in
+  for _ = 1 to samples do
+    u := !u +. inv_phi;
+    if !u >= 1.0 then u := !u -. 1.0;
+    let rho = lo +. ((hi -. lo) *. !u) in
+    let exact = Allocation.optimized ~rho t.speeds in
+    let approx = lookup t ~rho in
+    Array.iteri
+      (fun i a ->
+        let d = abs_float (a -. approx.(i)) in
+        if d > !worst then worst := d)
+      exact
+  done;
+  !worst
+
+let to_report_rows t ~at = List.map (fun rho -> (rho, lookup t ~rho)) at

@@ -1,0 +1,45 @@
+(** Precomputed allocation tables.
+
+    A deployed scheduler re-reads its utilisation estimate far more often
+    than the speed vector changes, so it can precompute Algorithm 1 on a
+    utilisation grid once and answer every lookup by interpolation —
+    O(n) per lookup with no square roots, and the table doubles as a
+    human-readable artifact of the policy (ops teams can review exactly
+    what fraction each machine gets at each load).
+
+    Interpolating between two optimized allocations is safe: feasibility
+    (non-negativity, Σ = 1) is preserved by convexity, and the loss
+    relative to the exact optimum is second-order in the grid spacing —
+    {!max_interpolation_error} measures it. *)
+
+type t
+
+val build : ?grid:int -> float array -> t
+(** [build speeds] precomputes Algorithm 1 on [grid] (default 99) evenly
+    spaced utilisations 1/(grid+1) … grid/(grid+1).
+
+    @raise Invalid_argument on an invalid speed vector or [grid < 2]. *)
+
+val speeds : t -> float array
+
+val grid_points : t -> float array
+(** The utilisations the table was built at. *)
+
+val lookup : t -> rho:float -> float array
+(** Allocation at [rho] by linear interpolation between the two
+    neighbouring grid rows; clamps to the first/last row outside the
+    grid range.
+
+    @raise Invalid_argument unless [0 < rho < 1]. *)
+
+val max_interpolation_error : ?lo:float -> ?hi:float -> t -> samples:int -> float
+(** Largest [|lookup − Allocation.optimized|]_∞ over [samples]
+    deterministic low-discrepancy utilisations in [\[lo, hi\]] (default
+    [\[0.01, 0.99\]]) — used in tests and for choosing the grid size.
+    Note the allocation has kinks where the Theorem 2 cutoff changes, so
+    the error is largest at very low utilisation; a 99-point grid keeps
+    the error ≲1e-2 over [\[0.2, 0.95\]] but a finer grid (or exact
+    computation) is advisable below ρ ≈ 0.1. *)
+
+val to_report_rows : t -> at:float list -> (float * float array) list
+(** Table rows (utilisation, allocation) for rendering. *)

@@ -1,0 +1,131 @@
+let weighted s =
+  Speeds.validate s;
+  let sum = Speeds.total s in
+  Array.map (fun x -> x /. sum) s
+
+let check_rho rho =
+  if not (0.0 < rho && rho < 1.0) then
+    invalid_arg "Allocation: utilisation must satisfy 0 < rho < 1"
+
+(* Suffix sums over the sorted speed vector: suffix_s.(i) = Σ_{j>=i} s_j,
+   suffix_sqrt.(i) = Σ_{j>=i} √s_j.  Summing from the tail keeps the
+   suffixes exact with respect to each other. *)
+let suffixes sorted =
+  let n = Array.length sorted in
+  let suffix_s = Array.make (n + 1) 0.0 in
+  let suffix_sqrt = Array.make (n + 1) 0.0 in
+  for i = n - 1 downto 0 do
+    suffix_s.(i) <- suffix_s.(i + 1) +. sorted.(i);
+    suffix_sqrt.(i) <- suffix_sqrt.(i + 1) +. sqrt sorted.(i)
+  done;
+  (suffix_s, suffix_sqrt)
+
+(* Theorem 2 condition at sorted index i (0-based): computer i is "too
+   slow" when √s_i < (Σ_{j>=i} s_j − λ) / Σ_{j>=i} √s_j, with μ = 1. *)
+let too_slow sorted suffix_s suffix_sqrt lambda i =
+  sqrt sorted.(i) < (suffix_s.(i) -. lambda) /. suffix_sqrt.(i)
+
+let cutoff_of_sorted sorted lambda =
+  let suffix_s, suffix_sqrt = suffixes sorted in
+  let n = Array.length sorted in
+  (* Binary search for the largest index satisfying the condition, exactly
+     as in Algorithm 1 (the satisfied indices are a prefix; see the
+     footnote to Theorem 3). *)
+  let lower = ref 0 and upper = ref (n - 1) in
+  while !lower <= !upper do
+    let mid = (!lower + !upper) / 2 in
+    if too_slow sorted suffix_s suffix_sqrt lambda mid then lower := mid + 1
+    else upper := mid - 1
+  done;
+  !lower
+
+let prepare ~rho s =
+  check_rho rho;
+  Speeds.validate s;
+  let lambda = rho *. Speeds.total s in
+  let sorted, perm = Speeds.sort_with_permutation s in
+  (lambda, sorted, perm)
+
+let optimized_cutoff ~rho s =
+  let lambda, sorted, _ = prepare ~rho s in
+  cutoff_of_sorted sorted lambda
+
+let cutoff_linear_scan ~rho s =
+  let lambda, sorted, _ = prepare ~rho s in
+  let suffix_s, suffix_sqrt = suffixes sorted in
+  let n = Array.length sorted in
+  let rec scan i =
+    if i < n && too_slow sorted suffix_s suffix_sqrt lambda i then scan (i + 1) else i
+  in
+  scan 0
+
+let optimized ~rho s =
+  let lambda, sorted, perm = prepare ~rho s in
+  let n = Array.length sorted in
+  let m = cutoff_of_sorted sorted lambda in
+  if m >= n then
+    (* Impossible while rho < 1: the condition fails at the fastest
+       computer because Σ_{j>=n-1} s_j − λ < s_{n-1}. *)
+    invalid_arg "Allocation.optimized: cutoff removed every computer";
+  let suffix_s, suffix_sqrt = suffixes sorted in
+  (* α_i = (1/λ)(s_i − √s_i · (Σ' s_j − λ)/Σ' √s_j) over the surviving
+     suffix (equation (5) with μ = 1). *)
+  let scale = (suffix_s.(m) -. lambda) /. suffix_sqrt.(m) in
+  let alpha_sorted =
+    Array.init n (fun i ->
+        if i < m then 0.0
+        else (sorted.(i) -. (sqrt sorted.(i) *. scale)) /. lambda)
+  in
+  let alpha = Array.make n 0.0 in
+  Array.iteri (fun k orig -> alpha.(orig) <- alpha_sorted.(k)) perm;
+  alpha
+
+let optimized_naive_clamp ~rho s =
+  let lambda, _, _ = prepare ~rho s in
+  let n = Array.length s in
+  let sum_s = Speeds.total s in
+  let sum_sqrt = Array.fold_left (fun acc x -> acc +. sqrt x) 0.0 s in
+  let scale = (sum_s -. lambda) /. sum_sqrt in
+  let raw = Array.map (fun si -> (si -. (sqrt si *. scale)) /. lambda) s in
+  let clamped = Array.map (fun a -> max 0.0 a) raw in
+  let total = Array.fold_left ( +. ) 0.0 clamped in
+  if total <= 0.0 then weighted s
+  else Array.init n (fun i -> clamped.(i) /. total)
+
+let objective ~rho ~speeds ~alloc =
+  check_rho rho;
+  Speeds.validate speeds;
+  if Array.length alloc <> Array.length speeds then
+    invalid_arg "Allocation.objective: length mismatch";
+  let lambda = rho *. Speeds.total speeds in
+  let f = ref 0.0 in
+  (try
+     Array.iteri
+       (fun i si ->
+         let denom = si -. (alloc.(i) *. lambda) in
+         if denom <= 0.0 then begin
+           f := infinity;
+           raise Exit
+         end;
+         f := !f +. (si /. denom))
+       speeds
+   with Exit -> ());
+  !f
+
+let theorem1_minimum ~rho s =
+  check_rho rho;
+  Speeds.validate s;
+  let lambda = rho *. Speeds.total s in
+  let sum_sqrt = Array.fold_left (fun acc x -> acc +. sqrt x) 0.0 s in
+  sum_sqrt *. sum_sqrt /. (Speeds.total s -. lambda)
+
+let is_feasible ?(tol = 1e-9) ~rho ~speeds alloc =
+  check_rho rho;
+  Array.length alloc = Array.length speeds
+  && begin
+       let lambda = rho *. Speeds.total speeds in
+       let sum = Array.fold_left ( +. ) 0.0 alloc in
+       abs_float (sum -. 1.0) <= tol
+       && Array.for_all (fun a -> a >= -.tol) alloc
+       && Array.for_all2 (fun a si -> (a *. lambda) < si) alloc speeds
+     end

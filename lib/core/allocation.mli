@@ -1,0 +1,52 @@
+(** Workload allocation schemes (Section 2).
+
+    An allocation is a vector [α] with [α.(i) ≥ 0], [Σ α.(i) = 1]: the
+    fraction of all arriving jobs sent to computer [i].  Throughout this
+    module the base-line service rate is normalised to [μ = 1], so the
+    system arrival rate is [λ = ρ·Σ s_i] and computer [i] saturates when
+    [α.(i)·λ ≥ s.(i)].  All functions return allocations in the original
+    (unsorted) order of the speed vector. *)
+
+val weighted : float array -> float array
+(** Simple weighted allocation (Section 2.1): [α_i = s_i / Σ s_j] —
+    proportional to speed, equalising utilisations. *)
+
+val optimized : rho:float -> float array -> float array
+(** Algorithm 1: the allocation minimising the mean response time (and
+    mean response ratio) of the M/M/1-PS model at system utilisation
+    [rho].  Slow computers whose speed falls below the Theorem 2 cutoff
+    receive exactly 0; the remainder get the Theorem 1 closed form
+    [α_i = β·s_i − √s_i·(β·Σ'√s_j... )] restricted to the surviving set.
+    As [rho → 1] the result converges to {!weighted}; at low [rho] it is
+    strongly skewed toward fast machines.
+
+    @raise Invalid_argument unless [0 < rho < 1] and speeds are valid. *)
+
+val optimized_cutoff : rho:float -> float array -> int
+(** [optimized_cutoff ~rho s] is [m], the number of slowest computers that
+    receive zero load in {!optimized} (computed by the paper's binary
+    search over the sorted speeds). *)
+
+val cutoff_linear_scan : rho:float -> float array -> int
+(** Reference implementation of the cutoff by linear scan; equals
+    {!optimized_cutoff} for every input (property-tested).  Exposed for
+    testing and for readers following the paper's Theorem 3 proof. *)
+
+val optimized_naive_clamp : rho:float -> float array -> float array
+(** Ablation variant: apply the Theorem 1 closed form to {e all}
+    computers, clamp negative fractions to zero and renormalise — i.e.
+    skip the Theorem 2 recomputation.  Feasible but suboptimal; the
+    ablation bench quantifies the gap. *)
+
+val objective : rho:float -> speeds:float array -> alloc:float array -> float
+(** The objective [F(α) = Σ s_i/(s_i − α_i·λ)] (Definition 1 with μ = 1).
+    Minimising [F] minimises mean response time and mean response ratio.
+    Returns [infinity] if any computer is saturated ([α_i·λ ≥ s_i]). *)
+
+val theorem1_minimum : rho:float -> float array -> float
+(** Closed-form minimum of [F]: [(Σ √s_j)² / (Σ s_j − λ)] (Theorem 1,
+    μ = 1) — valid when no fraction needs clamping ([m = 0]). *)
+
+val is_feasible : ?tol:float -> rho:float -> speeds:float array -> float array -> bool
+(** [is_feasible ~rho ~speeds alloc]: all fractions non-negative summing
+    to 1 (within [tol], default 1e-9) and no computer saturated. *)

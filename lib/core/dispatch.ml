@@ -1,0 +1,213 @@
+module Rng = Statsched_prng.Rng
+
+type t = {
+  name : string;
+  fractions : float array;
+  select_fn : unit -> int;
+  reset_fn : unit -> unit;
+}
+
+let select t = t.select_fn ()
+let name t = t.name
+let fractions t = Array.copy t.fractions
+let reset t = t.reset_fn ()
+
+let validate_fractions alpha =
+  let n = Array.length alpha in
+  if n = 0 then invalid_arg "Dispatch: empty fractions";
+  let sum = ref 0.0 in
+  Array.iter
+    (fun a ->
+      if not (Float.is_finite a) || a < 0.0 then
+        invalid_arg "Dispatch: fractions must be non-negative and finite";
+      sum := !sum +. a)
+    alpha;
+  if abs_float (!sum -. 1.0) > 1e-9 then
+    invalid_arg "Dispatch: fractions must sum to 1"
+
+let random ~rng alpha =
+  validate_fractions alpha;
+  let alpha = Array.copy alpha in
+  let n = Array.length alpha in
+  let cum = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. alpha.(i);
+    cum.(i) <- !acc
+  done;
+  cum.(n - 1) <- 1.0;
+  let select_fn () =
+    let u = Rng.float rng in
+    (* Binary search for the first cumulative value strictly above u. *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if u < cum.(mid) then hi := mid else lo := mid + 1
+    done;
+    !lo
+  in
+  { name = "random"; fractions = alpha; select_fn; reset_fn = (fun () -> ()) }
+
+(* Walker's alias method: split each probability cell into at most two
+   donors so that a uniform cell index plus one biased coin reproduces the
+   target distribution exactly. *)
+let random_alias ~rng alpha =
+  validate_fractions alpha;
+  let alpha = Array.copy alpha in
+  let n = Array.length alpha in
+  let prob = Array.make n 1.0 in
+  let alias = Array.make n 0 in
+  let scaled = Array.map (fun a -> a *. float_of_int n) alpha in
+  let small = ref [] and large = ref [] in
+  Array.iteri
+    (fun i p -> if p < 1.0 then small := i :: !small else large := i :: !large)
+    scaled;
+  let rec pair () =
+    match (!small, !large) with
+    | s :: srest, l :: lrest ->
+      prob.(s) <- scaled.(s);
+      alias.(s) <- l;
+      scaled.(l) <- scaled.(l) +. scaled.(s) -. 1.0;
+      small := srest;
+      if scaled.(l) < 1.0 then begin
+        large := lrest;
+        small := l :: !small
+      end;
+      pair ()
+    | s :: rest, [] ->
+      (* numerical leftovers: cell keeps itself *)
+      prob.(s) <- 1.0;
+      small := rest;
+      pair ()
+    | [], l :: rest ->
+      prob.(l) <- 1.0;
+      large := rest;
+      pair ()
+    | [], [] -> ()
+  in
+  pair ();
+  let select_fn () =
+    let i = Rng.int rng n in
+    if Rng.float rng < prob.(i) then i else alias.(i)
+  in
+  { name = "random-alias"; fractions = alpha; select_fn; reset_fn = (fun () -> ()) }
+
+(* Algorithm 2, parameterised for the ablation variants. *)
+let round_robin_impl ~variant_name ~guard ~tie_by_norassign alpha =
+  validate_fractions alpha;
+  let alpha = Array.copy alpha in
+  let n = Array.length alpha in
+  let assign = Array.make n 0 in
+  let next = Array.make n (if guard then 1.0 else 0.0) in
+  let reset_fn () =
+    Array.fill assign 0 n 0;
+    Array.fill next 0 n (if guard then 1.0 else 0.0)
+  in
+  let select_fn () =
+    let sel = ref (-1) in
+    let minnext = ref infinity in
+    let norassign = ref infinity in
+    for i = 0 to n - 1 do
+      if alpha.(i) > 0.0 then begin
+        let candidate_nor = float_of_int (assign.(i) + 1) /. alpha.(i) in
+        if !sel = -1 || next.(i) < !minnext then begin
+          sel := i;
+          minnext := next.(i);
+          norassign := candidate_nor
+        end
+        else if next.(i) = !minnext && tie_by_norassign && candidate_nor < !norassign
+        then begin
+          sel := i;
+          norassign := candidate_nor
+        end
+      end
+    done;
+    let s = !sel in
+    assert (s >= 0);
+    if guard && assign.(s) = 0 then next.(s) <- 0.0;
+    next.(s) <- next.(s) +. (1.0 /. alpha.(s));
+    assign.(s) <- assign.(s) + 1;
+    for i = 0 to n - 1 do
+      if assign.(i) <> 0 then next.(i) <- next.(i) -. 1.0
+    done;
+    s
+  in
+  { name = variant_name; fractions = alpha; select_fn; reset_fn }
+
+let round_robin alpha =
+  round_robin_impl ~variant_name:"round-robin" ~guard:true ~tie_by_norassign:true alpha
+
+let round_robin_no_guard alpha =
+  round_robin_impl ~variant_name:"round-robin/no-guard" ~guard:false
+    ~tie_by_norassign:true alpha
+
+let round_robin_index_ties alpha =
+  round_robin_impl ~variant_name:"round-robin/index-ties" ~guard:true
+    ~tie_by_norassign:false alpha
+
+let smooth_weighted alpha =
+  validate_fractions alpha;
+  let alpha = Array.copy alpha in
+  let n = Array.length alpha in
+  let current = Array.make n 0.0 in
+  let select_fn () =
+    let best = ref 0 in
+    for i = 0 to n - 1 do
+      current.(i) <- current.(i) +. alpha.(i);
+      if current.(i) > current.(!best) then best := i
+    done;
+    current.(!best) <- current.(!best) -. 1.0;
+    !best
+  in
+  {
+    name = "smooth-wrr";
+    fractions = alpha;
+    select_fn;
+    reset_fn = (fun () -> Array.fill current 0 n 0.0);
+  }
+
+let golden_ratio alpha =
+  validate_fractions alpha;
+  let alpha = Array.copy alpha in
+  let n = Array.length alpha in
+  let cum = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. alpha.(i);
+    cum.(i) <- !acc
+  done;
+  cum.(n - 1) <- 1.0;
+  let inv_phi = 2.0 /. (1.0 +. sqrt 5.0) in
+  let u = ref 0.0 in
+  let select_fn () =
+    u := !u +. inv_phi;
+    if !u >= 1.0 then u := !u -. 1.0;
+    let x = !u in
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if x < cum.(mid) then hi := mid else lo := mid + 1
+    done;
+    !lo
+  in
+  {
+    name = "golden-ratio";
+    fractions = alpha;
+    select_fn;
+    reset_fn = (fun () -> u := 0.0);
+  }
+
+let strict_cycle n =
+  if n <= 0 then invalid_arg "Dispatch.strict_cycle: n <= 0";
+  let pos = ref 0 in
+  let select_fn () =
+    let s = !pos in
+    pos := (!pos + 1) mod n;
+    s
+  in
+  {
+    name = "cycle";
+    fractions = Array.make n (1.0 /. float_of_int n);
+    select_fn;
+    reset_fn = (fun () -> pos := 0);
+  }

@@ -1,0 +1,67 @@
+module Rng = Statsched_prng.Rng
+
+type t = { speeds : float array; queue : int array }
+
+let create speeds =
+  Speeds.validate speeds;
+  { speeds = Array.copy speeds; queue = Array.make (Array.length speeds) 0 }
+
+let normalized_load t i = float_of_int (t.queue.(i) + 1) /. t.speeds.(i)
+
+let select ?rng t =
+  let n = Array.length t.speeds in
+  let best = ref (normalized_load t 0) in
+  let ties = ref 1 in
+  let chosen = ref 0 in
+  for i = 1 to n - 1 do
+    let l = normalized_load t i in
+    if l < !best then begin
+      best := l;
+      chosen := i;
+      ties := 1
+    end
+    else if l = !best then begin
+      (* Reservoir sampling keeps each tied computer equally likely. *)
+      incr ties;
+      match rng with
+      | Some g -> if Rng.int g !ties = 0 then chosen := i
+      | None -> ()
+    end
+  done;
+  !chosen
+
+let select_sampled ~rng t ~d =
+  if d < 1 then invalid_arg "Least_load.select_sampled: d < 1";
+  let n = Array.length t.speeds in
+  if d >= n then select ~rng t
+  else begin
+    (* Partial Fisher-Yates over an index pool: d distinct probes. *)
+    let pool = Array.init n (fun i -> i) in
+    let best = ref (-1) in
+    let best_load = ref infinity in
+    for k = 0 to d - 1 do
+      let j = k + Rng.int rng (n - k) in
+      let tmp = pool.(k) in
+      pool.(k) <- pool.(j);
+      pool.(j) <- tmp;
+      let candidate = pool.(k) in
+      let load = normalized_load t candidate in
+      if load < !best_load then begin
+        best_load := load;
+        best := candidate
+      end
+    done;
+    !best
+  end
+
+let job_sent t i = t.queue.(i) <- t.queue.(i) + 1
+
+let departure_recorded t i = if t.queue.(i) > 0 then t.queue.(i) <- t.queue.(i) - 1
+
+let load_index t i = t.queue.(i)
+
+let set_load_index t i q =
+  if q < 0 then invalid_arg "Least_load.set_load_index: negative queue length";
+  t.queue.(i) <- q
+
+let reset t = Array.fill t.queue 0 (Array.length t.queue) 0

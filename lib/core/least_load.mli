@@ -1,0 +1,56 @@
+(** Dynamic Least-Load scheduling state (Sections 2.2 and 4.2).
+
+    The dynamic yardstick against which the static policies are measured.
+    The central scheduler tracks a load index per computer — its run-queue
+    length as last known — and sends each arrival to the computer with the
+    least {e normalised} load [(q_i + 1) / s_i].  The index is incremented
+    immediately when a job is sent (no rescheduling, so the scheduler
+    knows); a departure is only reflected after the executing computer
+    detects it (U(0,1) s polling) and its update message crosses the
+    network (exponential delay, mean 0.05 s) — that wiring lives in the
+    cluster model; this module is the scheduler-side state machine. *)
+
+type t
+
+val create : float array -> t
+(** [create speeds] starts with all load indices at 0.
+
+    @raise Invalid_argument on an invalid speed vector. *)
+
+val select : ?rng:Statsched_prng.Rng.t -> t -> int
+(** Index of the computer with minimal [(q_i + 1)/s_i].  Ties break
+    uniformly at random when [rng] is given, otherwise toward the smallest
+    index.  Does {e not} modify the state. *)
+
+val select_sampled : rng:Statsched_prng.Rng.t -> t -> d:int -> int
+(** Power-of-d-choices (Mitzenmacher): probe [d] distinct computers chosen
+    uniformly at random and pick the one with minimal normalised load.
+    With [d >= n] this degenerates to {!select}.  A cheaper dynamic
+    baseline than full Least-Load — the scheduler only needs [d] load
+    values per decision — included to price how much of Least-Load's
+    advantage survives partial information.
+
+    @raise Invalid_argument if [d < 1]. *)
+
+val job_sent : t -> int -> unit
+(** Record the dispatch of a job to computer [i]: [q_i <- q_i + 1]. *)
+
+val departure_recorded : t -> int -> unit
+(** Apply a (possibly delayed) departure notification: [q_i <- q_i − 1].
+    Clamped at 0 so a late duplicate cannot drive the index negative. *)
+
+val load_index : t -> int -> int
+(** Current believed run-queue length of computer [i]. *)
+
+val set_load_index : t -> int -> int -> unit
+(** [set_load_index t i q] overwrites the believed run-queue length of
+    computer [i] — used by the stale-information scheduler variant that
+    refreshes its view from periodic polls instead of per-event updates.
+
+    @raise Invalid_argument if [q < 0]. *)
+
+val normalized_load : t -> int -> float
+(** [(q_i + 1) /. s_i]. *)
+
+val reset : t -> unit
+(** All indices back to 0. *)

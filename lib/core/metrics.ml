@@ -1,0 +1,39 @@
+type t = {
+  mean_response_time : float;
+  mean_response_ratio : float;
+  fairness : float;
+  jobs : int;
+}
+
+let pp fmt m =
+  Format.fprintf fmt "T=%.6g R=%.6g fairness=%.6g (n=%d)" m.mean_response_time
+    m.mean_response_ratio m.fairness m.jobs
+
+let actual_fractions counts =
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 then Array.make (Array.length counts) 0.0
+  else Array.map (fun c -> float_of_int c /. float_of_int total) counts
+
+let jain_index xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Metrics.jain_index: empty vector";
+  let sum = ref 0.0 and sumsq = ref 0.0 in
+  Array.iter
+    (fun x ->
+      if x < 0.0 then invalid_arg "Metrics.jain_index: negative value";
+      sum := !sum +. x;
+      sumsq := !sumsq +. (x *. x))
+    xs;
+  if !sumsq = 0.0 then nan else !sum *. !sum /. (float_of_int n *. !sumsq)
+
+let deviation ~expected ~counts =
+  if Array.length expected <> Array.length counts then
+    invalid_arg "Metrics.deviation: length mismatch";
+  let actual = actual_fractions counts in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i a ->
+      let d = a -. actual.(i) in
+      acc := !acc +. (d *. d))
+    expected;
+  !acc

@@ -1,0 +1,40 @@
+(** The paper's performance metrics (Sections 2.3 and 4.1).
+
+    - {e mean response time}: average job completion time minus arrival time;
+    - {e mean response ratio}: average of response time / job size;
+    - {e fairness}: the standard deviation of the response ratio over all
+      jobs — smaller is better (small jobs should not be starved by large
+      ones);
+    - {e workload allocation deviation} (Figure 2): Σ (α_i − α'_i)² between
+      the intended fractions and the fractions actually dispatched in an
+      interval. *)
+
+type t = {
+  mean_response_time : float;
+  mean_response_ratio : float;
+  fairness : float;  (** population std of the response ratio *)
+  jobs : int;  (** number of completed jobs measured *)
+}
+
+val pp : Format.formatter -> t -> unit
+
+val deviation : expected:float array -> counts:int array -> float
+(** [deviation ~expected ~counts] is Σ (α_i − c_i/Σc)².  An interval with
+    no dispatched jobs ([Σc = 0]) has deviation Σ α_i² (everything
+    deviates).
+
+    @raise Invalid_argument on length mismatch. *)
+
+val actual_fractions : int array -> float array
+(** Per-computer dispatch counts normalised to fractions; all zeros if no
+    jobs. *)
+
+val jain_index : float array -> float
+(** Jain's fairness index [(Σx)² / (n·Σx²)] of a non-negative vector —
+    1 when perfectly equal, [1/n] when one element carries everything.
+    Applied to per-computer utilisations it quantifies how strongly the
+    optimized allocation {e un}balances the cluster (deliberately, per
+    Section 2.2).
+
+    @raise Invalid_argument on an empty or negative vector; returns [nan]
+    for an all-zero vector. *)

@@ -1,0 +1,84 @@
+let gradient ~rho ~speeds ~alloc =
+  Speeds.validate speeds;
+  if not (0.0 < rho && rho < 1.0) then
+    invalid_arg "Optimality.gradient: rho outside (0,1)";
+  if Array.length alloc <> Array.length speeds then
+    invalid_arg "Optimality.gradient: length mismatch";
+  let lambda = rho *. Speeds.total speeds in
+  Array.mapi
+    (fun i si ->
+      let denom = si -. (alloc.(i) *. lambda) in
+      if denom <= 0.0 then infinity else lambda *. si /. (denom *. denom))
+    speeds
+
+type verdict = {
+  optimal : bool;
+  stationarity_residual : float;
+  dual_residual : float;
+  feasibility_residual : float;
+  multiplier : float;
+}
+
+let check ?(tol = 1e-6) ~rho ~speeds alloc =
+  let n = Array.length speeds in
+  let grad = gradient ~rho ~speeds ~alloc in
+  let lambda = rho *. Speeds.total speeds in
+  (* Feasibility. *)
+  let sum = Array.fold_left ( +. ) 0.0 alloc in
+  let feas = ref (abs_float (sum -. 1.0)) in
+  for i = 0 to n - 1 do
+    if alloc.(i) < 0.0 then feas := max !feas (-.alloc.(i));
+    let slack = speeds.(i) -. (alloc.(i) *. lambda) in
+    if slack <= 0.0 then feas := max !feas (-.slack)
+  done;
+  (* Stationarity over the active set (alpha_i > 0). *)
+  let active = ref [] in
+  Array.iteri (fun i a -> if a > tol then active := grad.(i) :: !active) alloc;
+  let multiplier, stationarity =
+    match !active with
+    | [] -> (nan, infinity)
+    | gs ->
+      let lo = List.fold_left min infinity gs in
+      let hi = List.fold_left max neg_infinity gs in
+      let mid = (lo +. hi) /. 2.0 in
+      (mid, (hi -. lo) /. (abs_float mid +. 1e-300))
+  in
+  (* Dual feasibility on the parked set: gradient must be >= multiplier. *)
+  let dual = ref 0.0 in
+  Array.iteri
+    (fun i a ->
+      if a <= tol && Float.is_finite multiplier then begin
+        let deficit = (multiplier -. grad.(i)) /. (abs_float multiplier +. 1e-300) in
+        if deficit > !dual then dual := deficit
+      end)
+    alloc;
+  {
+    optimal = !feas <= tol && stationarity <= tol && !dual <= tol;
+    stationarity_residual = stationarity;
+    dual_residual = !dual;
+    feasibility_residual = !feas;
+    multiplier;
+  }
+
+let brute_force_two ?(grid = 1_000_000) ~rho speeds =
+  if Array.length speeds <> 2 then
+    invalid_arg "Optimality.brute_force_two: need exactly two computers";
+  Speeds.validate speeds;
+  let lambda = rho *. Speeds.total speeds in
+  let best = ref [| 0.5; 0.5 |] in
+  let best_f = ref infinity in
+  for k = 0 to grid do
+    let a0 = float_of_int k /. float_of_int grid in
+    let a1 = 1.0 -. a0 in
+    if a0 *. lambda < speeds.(0) && a1 *. lambda < speeds.(1) then begin
+      let f =
+        (speeds.(0) /. (speeds.(0) -. (a0 *. lambda)))
+        +. (speeds.(1) /. (speeds.(1) -. (a1 *. lambda)))
+      in
+      if f < !best_f then begin
+        best_f := f;
+        best := [| a0; a1 |]
+      end
+    end
+  done;
+  !best

@@ -1,0 +1,45 @@
+(** Numerical verification of the optimality theory (Theorems 1–3).
+
+    The paper proves optimality of Algorithm 1 through the Lagrange
+    multiplier theorem; this module makes those conditions executable so
+    tests (and sceptical users) can check any allocation against the
+    Karush–Kuhn–Tucker conditions of
+
+    minimise  F(α) = Σ s_i/(s_i − α_i·λ)        (μ = 1)
+    s.t.      Σ α_i = 1,   α_i ≥ 0,   α_i·λ < s_i.
+
+    At an optimum there is a multiplier ν with, for every computer,
+    - ∂F/∂α_i = λ·s_i/(s_i − α_i λ)² = ν   if α_i > 0  (stationarity)
+    - ∂F/∂α_i ≥ ν                          if α_i = 0  (dual feasibility)
+
+    which is exactly the Theorem 2 cutoff: a computer is parked iff its
+    idle-state gradient λ/s_i already exceeds the common ν. *)
+
+val gradient : rho:float -> speeds:float array -> alloc:float array -> float array
+(** [∂F/∂α_i] at [alloc].  Saturated components yield [infinity]. *)
+
+type verdict = {
+  optimal : bool;  (** all conditions hold within [tol] *)
+  stationarity_residual : float;
+      (** max relative spread of the gradient over the active set *)
+  dual_residual : float;
+      (** how much any parked computer's gradient falls below the active
+          gradient (0 when none does) *)
+  feasibility_residual : float;
+      (** max violation of Σα = 1 / non-negativity / non-saturation *)
+  multiplier : float;  (** the common gradient ν over the active set *)
+}
+
+val check : ?tol:float -> rho:float -> speeds:float array -> float array -> verdict
+(** [check ~rho ~speeds alloc] evaluates the KKT conditions at [alloc].
+    Default [tol] 1e-6 (relative).
+
+    @raise Invalid_argument on malformed inputs. *)
+
+val brute_force_two : ?grid:int -> rho:float -> float array -> float array
+(** [brute_force_two ~rho speeds] for a {e two}-computer system: grid
+    search of the feasible [α₁] (default 10⁶ points) — an
+    implementation-independent reference optimiser the tests compare
+    Algorithm 1 against.
+
+    @raise Invalid_argument unless exactly two speeds are given. *)

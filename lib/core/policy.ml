@@ -1,0 +1,39 @@
+type allocation_scheme = Weighted | Optimized | Optimized_at of float
+
+type dispatch_strategy = Random | Round_robin
+
+type t = { allocation : allocation_scheme; dispatching : dispatch_strategy }
+
+let wran = { allocation = Weighted; dispatching = Random }
+let oran = { allocation = Optimized; dispatching = Random }
+let wrr = { allocation = Weighted; dispatching = Round_robin }
+let orr = { allocation = Optimized; dispatching = Round_robin }
+
+let orr_estimated rho_hat = { allocation = Optimized_at rho_hat; dispatching = Round_robin }
+
+let all_static = [ ("WRAN", wran); ("ORAN", oran); ("WRR", wrr); ("ORR", orr) ]
+
+let name t =
+  match (t.allocation, t.dispatching) with
+  | Weighted, Random -> "WRAN"
+  | Weighted, Round_robin -> "WRR"
+  | Optimized, Random -> "ORAN"
+  | Optimized, Round_robin -> "ORR"
+  | Optimized_at rho_hat, Random -> Printf.sprintf "ORAN@%.3g" rho_hat
+  | Optimized_at rho_hat, Round_robin -> Printf.sprintf "ORR@%.3g" rho_hat
+
+let allocation_of t ~rho s =
+  match t.allocation with
+  | Weighted -> Allocation.weighted s
+  | Optimized -> Allocation.optimized ~rho s
+  | Optimized_at rho_hat ->
+    if rho_hat >= 1.0 then Allocation.weighted s
+    else begin
+      let rho_hat = max 1e-6 rho_hat in
+      Allocation.optimized ~rho:rho_hat s
+    end
+
+let dispatcher_of t ~rng alloc =
+  match t.dispatching with
+  | Random -> Dispatch.random ~rng alloc
+  | Round_robin -> Dispatch.round_robin alloc

@@ -1,0 +1,50 @@
+(** Static scheduling policies — the Table 2 matrix.
+
+    A policy pairs a workload allocation scheme with a job dispatching
+    strategy.  The four combinations studied in the paper:
+
+    {t | | weighted alloc | optimized alloc |
+       | random dispatch | WRAN | ORAN |
+       | round-robin dispatch | WRR | ORR |} *)
+
+type allocation_scheme =
+  | Weighted  (** [α_i ∝ s_i] (Section 2.1) *)
+  | Optimized  (** Algorithm 1 at the estimated utilisation *)
+  | Optimized_at of float
+      (** Algorithm 1 with an explicitly (mis)estimated utilisation —
+          the Figure 6 sensitivity experiments use
+          [Optimized_at ((1. +. err) *. rho)] *)
+
+type dispatch_strategy =
+  | Random  (** Section 3.1 *)
+  | Round_robin  (** Algorithm 2 *)
+
+type t = { allocation : allocation_scheme; dispatching : dispatch_strategy }
+
+val wran : t
+val oran : t
+val wrr : t
+val orr : t
+
+val orr_estimated : float -> t
+(** [orr_estimated rho_hat]: ORR computed as if the utilisation were
+    [rho_hat]. *)
+
+val all_static : (string * t) list
+(** The four paper policies with their canonical names. *)
+
+val name : t -> string
+(** "WRAN", "ORAN", "WRR", "ORR", or e.g. "ORR(+10%)@0.77" for estimated
+    variants (the suffix shows the assumed utilisation). *)
+
+val allocation_of : t -> rho:float -> float array -> float array
+(** Compute the fractions this policy uses for speed vector [s] at true
+    system utilisation [rho].  For [Optimized_at rho_hat] the assumed
+    utilisation is clamped to (0, 1) — the paper notes ORR converges to
+    WRR as the assumed utilisation approaches 100 %, and we take weighted
+    allocation when [rho_hat >= 1]. *)
+
+val dispatcher_of :
+  t -> rng:Statsched_prng.Rng.t -> float array -> Dispatch.t
+(** Build the dispatcher realising [alloc]; the [rng] is used only by
+    random dispatching. *)

@@ -1,0 +1,85 @@
+let validate s =
+  if Array.length s = 0 then invalid_arg "Speeds.validate: empty speed vector";
+  Array.iter
+    (fun x ->
+      if not (Float.is_finite x) || x <= 0.0 then
+        invalid_arg "Speeds.validate: speeds must be positive and finite")
+    s
+
+let total s = Array.fold_left ( +. ) 0.0 s
+
+let two_class ~n_fast ~fast ~n_slow ~slow =
+  if n_fast < 0 || n_slow < 0 then invalid_arg "Speeds.two_class: negative count";
+  if n_fast + n_slow = 0 then invalid_arg "Speeds.two_class: empty cluster";
+  if fast <= 0.0 || slow <= 0.0 then invalid_arg "Speeds.two_class: non-positive speed";
+  Array.init (n_fast + n_slow) (fun i -> if i < n_fast then fast else slow)
+
+let of_counts groups =
+  let s =
+    List.concat_map
+      (fun (speed, count) ->
+        if count < 0 then invalid_arg "Speeds.of_counts: negative count";
+        List.init count (fun _ -> speed))
+      groups
+  in
+  let s = Array.of_list s in
+  validate s;
+  s
+
+let table3 = of_counts [ (1.0, 5); (1.5, 4); (2.0, 3); (5.0, 1); (10.0, 1); (12.0, 1) ]
+
+let table1 = [| 1.0; 1.5; 2.0; 3.0; 5.0; 9.0; 10.0 |]
+
+let of_string text =
+  let fail () = invalid_arg (Printf.sprintf "Speeds.of_string: cannot parse %S" text) in
+  let parse_float x = match float_of_string_opt (String.trim x) with
+    | Some v -> v
+    | None -> fail ()
+  in
+  let expand group =
+    let group = String.trim group in
+    match String.index_opt group 'x' with
+    | Some i ->
+      let count = String.sub group 0 i in
+      let speed = String.sub group (i + 1) (String.length group - i - 1) in
+      (match int_of_string_opt (String.trim count) with
+      | Some n when n >= 0 -> List.init n (fun _ -> parse_float speed)
+      | Some _ | None -> fail ())
+    | None -> [ parse_float group ]
+  in
+  let s =
+    Array.of_list (List.concat_map expand (String.split_on_char ',' text))
+  in
+  validate s;
+  s
+
+let to_string s =
+  validate s;
+  let buf = Buffer.create 32 in
+  let flush_group speed count =
+    if Buffer.length buf > 0 then Buffer.add_char buf ',';
+    if count = 1 then Buffer.add_string buf (Printf.sprintf "%g" speed)
+    else Buffer.add_string buf (Printf.sprintf "%dx%g" count speed)
+  in
+  let rec walk i speed count =
+    if i = Array.length s then flush_group speed count
+    else if s.(i) = speed then walk (i + 1) speed (count + 1)
+    else begin
+      flush_group speed count;
+      walk (i + 1) s.(i) 1
+    end
+  in
+  walk 1 s.(0) 1;
+  Buffer.contents buf
+
+let sort_with_permutation s =
+  let n = Array.length s in
+  let perm = Array.init n (fun i -> i) in
+  (* Stable sort of indices by speed. *)
+  let perm_list = Array.to_list perm in
+  let sorted_perm =
+    List.stable_sort (fun i j -> compare s.(i) s.(j)) perm_list
+  in
+  let perm = Array.of_list sorted_perm in
+  let sorted = Array.map (fun i -> s.(i)) perm in
+  (sorted, perm)

@@ -1,0 +1,48 @@
+(** Speed vectors describing a heterogeneous cluster.
+
+    Computer [i] has relative processing speed [s.(i) > 0]; with base-line
+    service rate μ its actual service rate is [s.(i)·μ] (Section 2).
+    Helpers construct the configurations the paper evaluates. *)
+
+val validate : float array -> unit
+(** @raise Invalid_argument if empty or any speed is non-positive or
+    non-finite. *)
+
+val total : float array -> float
+(** Aggregate speed [Σ s_i]. *)
+
+val two_class : n_fast:int -> fast:float -> n_slow:int -> slow:float -> float array
+(** The Figure 3/4 configurations: [n_fast] computers of speed [fast]
+    followed by [n_slow] of speed [slow].
+
+    @raise Invalid_argument on non-positive counts/speeds (a count of 0 is
+    allowed as long as the vector stays non-empty). *)
+
+val of_counts : (float * int) list -> float array
+(** [of_counts [(1.0, 5); (1.5, 4); …]] expands a speed/count table such as
+    the paper's Table 3 into a flat vector, in the given order. *)
+
+val table3 : float array
+(** The paper's base configuration (Table 3): speeds 1.0×5, 1.5×4, 2.0×3,
+    5.0×1, 10.0×1, 12.0×1 — 15 computers, aggregate speed 44. *)
+
+val table1 : float array
+(** The speed set of the paper's Table 1 example:
+    1.0, 1.5, 2.0, 3.0, 5.0, 9.0, 10.0. *)
+
+val of_string : string -> float array
+(** Parse a compact speed-vector notation: comma-separated entries, each
+    either a plain speed (["1.5"]) or a count-times-speed group
+    (["4x1.5"]).  E.g. ["5x1.0,4x1.5,3x2.0,5.0,10,12"] is the paper's
+    Table 3.  Whitespace around entries is ignored.
+
+    @raise Invalid_argument on malformed input or invalid speeds. *)
+
+val to_string : float array -> string
+(** Render a speed vector in the {!of_string} notation, grouping equal
+    adjacent speeds (["2x10,16x1"]). *)
+
+val sort_with_permutation : float array -> float array * int array
+(** [sort_with_permutation s] is [(sorted, perm)] with [sorted] ascending
+    and [sorted.(k) = s.(perm.(k))].  The sort is stable, so equal speeds
+    keep their original relative order. *)

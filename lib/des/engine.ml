@@ -1,0 +1,60 @@
+type t = {
+  mutable clock : float;
+  queue : (t -> unit) Event_queue.t;
+  mutable executed : int;
+}
+
+type event_handle = Event_queue.handle
+
+exception Schedule_in_past of { now : float; requested : float }
+
+let create ?(start_time = 0.0) () =
+  { clock = start_time; queue = Event_queue.create (); executed = 0 }
+
+let now e = e.clock
+
+let schedule_at e ~time f =
+  if time < e.clock then raise (Schedule_in_past { now = e.clock; requested = time });
+  Event_queue.add e.queue ~time f
+
+let schedule e ~delay f =
+  if delay < 0.0 then
+    raise (Schedule_in_past { now = e.clock; requested = e.clock +. delay });
+  schedule_at e ~time:(e.clock +. delay) f
+
+let cancel e h = Event_queue.cancel e.queue h
+
+let pending_events e = Event_queue.size e.queue
+
+let step e =
+  match Event_queue.pop e.queue with
+  | None -> false
+  | Some (time, f) ->
+    e.clock <- time;
+    e.executed <- e.executed + 1;
+    f e;
+    true
+
+let run ?until e =
+  match until with
+  | None -> while step e do () done
+  | Some horizon ->
+    let continue = ref true in
+    while !continue do
+      match Event_queue.peek_time e.queue with
+      | Some t when t <= horizon -> ignore (step e)
+      | Some _ | None -> continue := false
+    done;
+    if e.clock < horizon then e.clock <- horizon
+
+let events_executed e = e.executed
+
+let every e ~period f =
+  if period <= 0.0 then invalid_arg "Engine.every: period <= 0";
+  let rec tick () =
+    ignore
+      (schedule e ~delay:period (fun e ->
+           f e;
+           tick ()))
+  in
+  tick ()

@@ -1,0 +1,56 @@
+(** Discrete-event simulation engine.
+
+    A conventional event-scheduling world view: a simulation clock, a
+    future-event list ({!Event_queue}), and callbacks fired in timestamp
+    order.  The clock only moves forward; scheduling into the past is a
+    programming error and raises. *)
+
+type t
+(** An engine instance.  Engines are independent; a program may run many
+    (e.g. one per replication, possibly in parallel at the OS level). *)
+
+type event_handle = Event_queue.handle
+
+exception Schedule_in_past of { now : float; requested : float }
+
+val create : ?start_time:float -> unit -> t
+(** A fresh engine with clock at [start_time] (default 0). *)
+
+val now : t -> float
+(** Current simulation time. *)
+
+val schedule : t -> delay:float -> (t -> unit) -> event_handle
+(** [schedule e ~delay f] fires [f e] at [now e +. delay].  [delay >= 0].
+
+    @raise Schedule_in_past if [delay < 0]. *)
+
+val schedule_at : t -> time:float -> (t -> unit) -> event_handle
+(** [schedule_at e ~time f] fires [f e] at absolute [time >= now e].
+
+    @raise Schedule_in_past if [time < now e]. *)
+
+val cancel : t -> event_handle -> bool
+(** Cancel a pending event; [false] if it already fired or was cancelled. *)
+
+val pending_events : t -> int
+(** Number of events still scheduled. *)
+
+val step : t -> bool
+(** Execute the single earliest event; [false] if the queue is empty. *)
+
+val run : ?until:float -> t -> unit
+(** [run e ~until] executes events in order until the queue is empty or
+    the next event is strictly after [until]; the clock is then advanced
+    to [until] (or left at the last event time when [until] is omitted).
+    Events scheduled by callbacks are honoured. *)
+
+val events_executed : t -> int
+(** Total callbacks fired since creation (instrumentation). *)
+
+val every : t -> period:float -> (t -> unit) -> unit
+(** [every e ~period f] fires [f] at [now + period], [now + 2·period], …
+    for as long as the engine runs (each firing schedules the next).
+    There is no cancellation handle — periodic activities in this library
+    live for the whole simulation; bound them with {!run}'s [until].
+
+    @raise Invalid_argument if [period <= 0]. *)

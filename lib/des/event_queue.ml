@@ -1,0 +1,119 @@
+type 'a entry = {
+  time : float;
+  seq : int;  (* insertion order, for FIFO ties and as cancellation id *)
+  payload : 'a;
+}
+
+type handle = int
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable len : int;
+  mutable next_seq : int;
+  pending : (int, unit) Hashtbl.t;  (* seqs scheduled and not yet fired/cancelled *)
+}
+
+let create ?(initial_capacity = 64) () =
+  {
+    heap = [||];
+    len = 0;
+    next_seq = 0;
+    pending = Hashtbl.create (max 16 initial_capacity);
+  }
+
+let is_empty q = Hashtbl.length q.pending = 0
+
+let size q = Hashtbl.length q.pending
+
+let precedes a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap q i j =
+  let tmp = q.heap.(i) in
+  q.heap.(i) <- q.heap.(j);
+  q.heap.(j) <- tmp
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if precedes q.heap.(i) q.heap.(parent) then begin
+      swap q i parent;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 in
+  if l < q.len then begin
+    let r = l + 1 in
+    let smallest = if r < q.len && precedes q.heap.(r) q.heap.(l) then r else l in
+    if precedes q.heap.(smallest) q.heap.(i) then begin
+      swap q i smallest;
+      sift_down q smallest
+    end
+  end
+
+let grow q entry =
+  let cap = Array.length q.heap in
+  if q.len = cap then begin
+    let ncap = max 64 (2 * cap) in
+    let nheap = Array.make ncap entry in
+    Array.blit q.heap 0 nheap 0 q.len;
+    q.heap <- nheap
+  end
+
+let add q ~time payload =
+  if Float.is_nan time || abs_float time = infinity then
+    invalid_arg "Event_queue.add: non-finite time";
+  let entry = { time; seq = q.next_seq; payload } in
+  q.next_seq <- q.next_seq + 1;
+  grow q entry;
+  q.heap.(q.len) <- entry;
+  q.len <- q.len + 1;
+  Hashtbl.add q.pending entry.seq ();
+  sift_up q (q.len - 1);
+  entry.seq
+
+let cancel q h =
+  (* Lazy deletion: drop from the pending set now, skip at pop time. *)
+  if Hashtbl.mem q.pending h then begin
+    Hashtbl.remove q.pending h;
+    true
+  end
+  else false
+
+let pop_raw q =
+  if q.len = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    q.len <- q.len - 1;
+    if q.len > 0 then begin
+      q.heap.(0) <- q.heap.(q.len);
+      sift_down q 0
+    end;
+    Some top
+  end
+
+let rec pop q =
+  match pop_raw q with
+  | None -> None
+  | Some entry ->
+    if Hashtbl.mem q.pending entry.seq then begin
+      Hashtbl.remove q.pending entry.seq;
+      Some (entry.time, entry.payload)
+    end
+    else pop q (* cancelled: skip *)
+
+let rec peek_time q =
+  if q.len = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    if Hashtbl.mem q.pending top.seq then Some top.time
+    else begin
+      ignore (pop_raw q);
+      peek_time q
+    end
+  end
+
+let clear q =
+  q.len <- 0;
+  Hashtbl.reset q.pending

@@ -1,0 +1,41 @@
+(** Future-event list: a binary min-heap keyed by timestamp.
+
+    Ties are broken by insertion order (FIFO), which makes simulations
+    deterministic: two events scheduled for the same instant fire in the
+    order they were scheduled.  Cancellation is supported through handles
+    with lazy deletion, so cancelling is O(1) and the cost is absorbed at
+    pop time. *)
+
+type 'a t
+(** A queue of events carrying payloads of type ['a]. *)
+
+type handle
+(** Identifies a scheduled event for cancellation. *)
+
+val create : ?initial_capacity:int -> unit -> 'a t
+(** An empty queue. *)
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+(** Number of live (non-cancelled) events. *)
+
+val add : 'a t -> time:float -> 'a -> handle
+(** [add q ~time x] schedules [x] at [time] and returns a cancellation
+    handle.  Times may be in any order but must be finite.
+
+    @raise Invalid_argument if [time] is NaN or infinite. *)
+
+val cancel : 'a t -> handle -> bool
+(** [cancel q h] removes the event identified by [h] if it is still
+    pending; returns [false] if it already fired or was already
+    cancelled. *)
+
+val peek_time : 'a t -> float option
+(** Timestamp of the earliest live event. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest live event as [(time, payload)]. *)
+
+val clear : 'a t -> unit
+(** Drop all events. *)

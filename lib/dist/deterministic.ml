@@ -1,0 +1,6 @@
+let create v =
+  if v < 0.0 then invalid_arg "Deterministic.create: negative value";
+  Distribution.make
+    ~name:(Printf.sprintf "Det(%g)" v)
+    ~mean:v ~variance:0.0
+    (fun _ -> v)

@@ -1,0 +1,7 @@
+(** Degenerate (constant) distribution.
+
+    Useful as a control workload: deterministic job sizes or paced arrivals
+    isolate the effect of the dispatching strategy from size variability. *)
+
+val create : float -> Distribution.t
+(** [create v] always samples [v].  Requires [v >= 0]. *)

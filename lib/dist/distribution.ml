@@ -1,0 +1,29 @@
+module Rng = Statsched_prng.Rng
+
+type t = {
+  name : string;
+  mean : float;
+  variance : float;
+  sample : Rng.t -> float;
+}
+
+let name t = t.name
+let mean t = t.mean
+let variance t = t.variance
+let std t = sqrt t.variance
+let cv t = std t /. t.mean
+let scv t = t.variance /. (t.mean *. t.mean)
+let sample t g = t.sample g
+
+let sample_array t g n = Array.init n (fun _ -> t.sample g)
+
+let scaled t c =
+  if c <= 0.0 then invalid_arg "Distribution.scaled: c <= 0";
+  {
+    name = Printf.sprintf "%g*%s" c t.name;
+    mean = c *. t.mean;
+    variance = c *. c *. t.variance;
+    sample = (fun g -> c *. t.sample g);
+  }
+
+let make ~name ~mean ~variance sample = { name; mean; variance; sample }

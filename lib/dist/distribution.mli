@@ -1,0 +1,39 @@
+(** Abstract continuous distributions.
+
+    A distribution is a sampling function bundled with its analytic first
+    two moments.  Concrete constructors live in the sibling modules
+    ({!Exponential}, {!Hyperexponential}, {!Bounded_pareto}, …); workload
+    generators and tests consume this uniform view. *)
+
+type t = {
+  name : string;  (** Human-readable description, e.g. ["BP(10,21600,1)"]. *)
+  mean : float;  (** Analytic mean. *)
+  variance : float;  (** Analytic variance ([infinity] allowed). *)
+  sample : Statsched_prng.Rng.t -> float;  (** Draw one variate. *)
+}
+
+val name : t -> string
+val mean : t -> float
+val variance : t -> float
+
+val std : t -> float
+(** Standard deviation, [sqrt variance]. *)
+
+val cv : t -> float
+(** Coefficient of variation, [std t /. mean t]. *)
+
+val scv : t -> float
+(** Squared coefficient of variation, [variance /. mean²]. *)
+
+val sample : t -> Statsched_prng.Rng.t -> float
+(** [sample t g] draws one variate using stream [g]. *)
+
+val sample_array : t -> Statsched_prng.Rng.t -> int -> float array
+(** [sample_array t g n] draws [n] variates. *)
+
+val scaled : t -> float -> t
+(** [scaled t c] is the distribution of [c·X] for [X ~ t].  [c > 0]. *)
+
+val make : name:string -> mean:float -> variance:float ->
+  (Statsched_prng.Rng.t -> float) -> t
+(** Escape hatch for user-defined distributions. *)

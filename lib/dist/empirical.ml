@@ -1,0 +1,46 @@
+module Rng = Statsched_prng.Rng
+
+let sample_moments xs =
+  let n = float_of_int (Array.length xs) in
+  let mean = Array.fold_left ( +. ) 0.0 xs /. n in
+  let var =
+    Array.fold_left (fun acc x -> acc +. ((x -. mean) *. (x -. mean))) 0.0 xs /. n
+  in
+  (mean, var)
+
+let check xs label =
+  if Array.length xs = 0 then invalid_arg (label ^ ": empty sample");
+  Array.iter (fun x -> if x < 0.0 then invalid_arg (label ^ ": negative value")) xs
+
+let create xs =
+  check xs "Empirical.create";
+  let xs = Array.copy xs in
+  let n = Array.length xs in
+  let mean, variance = sample_moments xs in
+  Distribution.make
+    ~name:(Printf.sprintf "Empirical(n=%d)" n)
+    ~mean ~variance
+    (fun g -> xs.(Rng.int g n))
+
+let of_sorted_quantiles q =
+  check q "Empirical.of_sorted_quantiles";
+  let n = Array.length q in
+  for i = 1 to n - 1 do
+    if q.(i) < q.(i - 1) then
+      invalid_arg "Empirical.of_sorted_quantiles: not sorted"
+  done;
+  let q = Array.copy q in
+  let mean, variance = sample_moments q in
+  let sample g =
+    if n = 1 then q.(0)
+    else begin
+      let u = Rng.float g *. float_of_int (n - 1) in
+      let i = int_of_float u in
+      let i = if i >= n - 1 then n - 2 else i in
+      let frac = u -. float_of_int i in
+      q.(i) +. (frac *. (q.(i + 1) -. q.(i)))
+    end
+  in
+  Distribution.make
+    ~name:(Printf.sprintf "QuantileTable(n=%d)" n)
+    ~mean ~variance sample

@@ -1,0 +1,18 @@
+(** Empirical distribution (trace replay with resampling).
+
+    Wraps a sample of observed values — e.g. job sizes from a recorded
+    trace — as a distribution that resamples uniformly with replacement.
+    This is the substitution point for proprietary traces: anything a user
+    measures can be plugged into the simulator through this module. *)
+
+val create : float array -> Distribution.t
+(** [create xs] resamples uniformly from [xs]; mean/variance are the sample
+    moments.
+
+    @raise Invalid_argument if [xs] is empty or contains a negative value. *)
+
+val of_sorted_quantiles : float array -> Distribution.t
+(** [of_sorted_quantiles q] treats [q] as evenly spaced quantiles of the
+    underlying distribution and samples by linear interpolation between
+    adjacent quantiles (inverse-CDF table lookup).  [q] must be sorted
+    non-decreasing, non-empty, and non-negative. *)

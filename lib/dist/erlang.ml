@@ -1,0 +1,25 @@
+module Rng = Statsched_prng.Rng
+
+let create ~k ~rate =
+  if k <= 0 then invalid_arg "Erlang.create: k <= 0";
+  if rate <= 0.0 then invalid_arg "Erlang.create: rate <= 0";
+  let kf = float_of_int k in
+  let sample g =
+    (* Product-of-uniforms form: one log instead of k. *)
+    let prod = ref 1.0 in
+    for _ = 1 to k do
+      prod := !prod *. (1.0 -. Rng.float g)
+    done;
+    -.log !prod /. rate
+  in
+  Distribution.make
+    ~name:(Printf.sprintf "Erlang(%d,%g)" k rate)
+    ~mean:(kf /. rate)
+    ~variance:(kf /. (rate *. rate))
+    sample
+
+let of_mean_cv ~mean ~cv =
+  if mean <= 0.0 then invalid_arg "Erlang.of_mean_cv: mean <= 0";
+  if cv <= 0.0 || cv > 1.0 then invalid_arg "Erlang.of_mean_cv: need 0 < cv <= 1";
+  let k = max 1 (int_of_float (Float.round (1.0 /. (cv *. cv)))) in
+  create ~k ~rate:(float_of_int k /. mean)

@@ -1,0 +1,17 @@
+(** Erlang-k distribution (sum of k exponentials).
+
+    The low-variability counterpart of the hyperexponential: CV = 1/√k < 1.
+    Used in sensitivity studies of the dispatching strategy to arrival
+    burstiness below Poisson. *)
+
+val create : k:int -> rate:float -> Distribution.t
+(** [create ~k ~rate] is the sum of [k] independent Exp([rate]) variates:
+    mean [k/rate], variance [k/rate²].
+
+    @raise Invalid_argument if [k <= 0] or [rate <= 0]. *)
+
+val of_mean_cv : mean:float -> cv:float -> Distribution.t
+(** [of_mean_cv ~mean ~cv] picks [k = round (1/cv²)] (at least 1) and the
+    matching rate; the realised CV is [1/√k], the closest Erlang can get.
+
+    @raise Invalid_argument if [mean <= 0], [cv <= 0] or [cv > 1]. *)

@@ -1,0 +1,17 @@
+module Rng = Statsched_prng.Rng
+
+let sample ~rate g =
+  (* Inverse transform; 1 - U avoids log 0 since U < 1. *)
+  -.log (1.0 -. Rng.float g) /. rate
+
+let create ~rate =
+  if rate <= 0.0 then invalid_arg "Exponential.create: rate <= 0";
+  Distribution.make
+    ~name:(Printf.sprintf "Exp(%g)" rate)
+    ~mean:(1.0 /. rate)
+    ~variance:(1.0 /. (rate *. rate))
+    (fun g -> sample ~rate g)
+
+let of_mean m =
+  if m <= 0.0 then invalid_arg "Exponential.of_mean: mean <= 0";
+  create ~rate:(1.0 /. m)

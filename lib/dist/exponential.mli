@@ -1,0 +1,16 @@
+(** Exponential distribution.
+
+    The memoryless baseline of the paper's M/M/1 analysis (Section 2.3):
+    inter-arrival times of a Poisson process and the analytic job-size
+    model are exponential. *)
+
+val sample : rate:float -> Statsched_prng.Rng.t -> float
+(** One variate of Exp([rate]) by inverse transform.  [rate > 0]. *)
+
+val create : rate:float -> Distribution.t
+(** Exp([rate]): mean [1/rate], variance [1/rate²].
+
+    @raise Invalid_argument if [rate <= 0]. *)
+
+val of_mean : float -> Distribution.t
+(** [of_mean m] is [create ~rate:(1. /. m)]. *)

@@ -1,0 +1,44 @@
+module Rng = Statsched_prng.Rng
+
+let standard_normal g =
+  let u1 = 1.0 -. Rng.float g in
+  let u2 = Rng.float g in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+(* Marsaglia & Tsang's squeeze method for shape >= 1. *)
+let rec sample_shape_ge1 ~shape g =
+  let d = shape -. (1.0 /. 3.0) in
+  let c = 1.0 /. sqrt (9.0 *. d) in
+  let x = standard_normal g in
+  let v = (1.0 +. (c *. x)) ** 3.0 in
+  if v <= 0.0 then sample_shape_ge1 ~shape g
+  else begin
+    let u = Rng.float g in
+    let x2 = x *. x in
+    if u < 1.0 -. (0.0331 *. x2 *. x2) then d *. v
+    else if log u < (0.5 *. x2) +. (d *. (1.0 -. v +. log v)) then d *. v
+    else sample_shape_ge1 ~shape g
+  end
+
+let sample ~shape g =
+  if shape >= 1.0 then sample_shape_ge1 ~shape g
+  else begin
+    (* Boost: Gamma(a) = Gamma(a+1) * U^(1/a). *)
+    let u = 1.0 -. Rng.float g in
+    sample_shape_ge1 ~shape:(shape +. 1.0) g *. (u ** (1.0 /. shape))
+  end
+
+let create ~shape ~scale =
+  if shape <= 0.0 then invalid_arg "Gamma.create: shape <= 0";
+  if scale <= 0.0 then invalid_arg "Gamma.create: scale <= 0";
+  Distribution.make
+    ~name:(Printf.sprintf "Gamma(%g,%g)" shape scale)
+    ~mean:(shape *. scale)
+    ~variance:(shape *. scale *. scale)
+    (fun g -> scale *. sample ~shape g)
+
+let of_mean_cv ~mean ~cv =
+  if mean <= 0.0 then invalid_arg "Gamma.of_mean_cv: mean <= 0";
+  if cv <= 0.0 then invalid_arg "Gamma.of_mean_cv: cv <= 0";
+  let shape = 1.0 /. (cv *. cv) in
+  create ~shape ~scale:(mean /. shape)

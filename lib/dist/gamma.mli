@@ -1,0 +1,18 @@
+(** Gamma distribution.
+
+    General-purpose positive distribution with shape [k] and scale [θ];
+    interpolates smoothly between exponential-like ([k = 1]) and
+    near-deterministic ([k] large) job sizes, complementing {!Erlang}
+    (which is Gamma with integer shape). *)
+
+val create : shape:float -> scale:float -> Distribution.t
+(** Mean [k·θ], variance [k·θ²].  Sampling by Marsaglia–Tsang (2000) for
+    [shape >= 1] and the Ahrens–Dieter boost for [shape < 1].
+
+    @raise Invalid_argument if [shape <= 0] or [scale <= 0]. *)
+
+val of_mean_cv : mean:float -> cv:float -> Distribution.t
+(** Parameterise from mean and coefficient of variation:
+    [shape = 1/cv²], [scale = mean·cv²].
+
+    @raise Invalid_argument if [mean <= 0] or [cv <= 0]. *)

@@ -1,0 +1,65 @@
+module Rng = Statsched_prng.Rng
+
+let check_params probs rates =
+  let n = Array.length probs in
+  if n = 0 || Array.length rates <> n then
+    invalid_arg "Hyperexponential.create: probs/rates length mismatch";
+  let sum = Array.fold_left ( +. ) 0.0 probs in
+  if abs_float (sum -. 1.0) > 1e-9 then
+    invalid_arg "Hyperexponential.create: probabilities must sum to 1";
+  Array.iter
+    (fun p -> if p < 0.0 then invalid_arg "Hyperexponential.create: negative probability")
+    probs;
+  Array.iter
+    (fun r -> if r <= 0.0 then invalid_arg "Hyperexponential.create: non-positive rate")
+    rates
+
+let moments probs rates =
+  let n = Array.length probs in
+  let mean = ref 0.0 and second = ref 0.0 in
+  for i = 0 to n - 1 do
+    mean := !mean +. (probs.(i) /. rates.(i));
+    second := !second +. (2.0 *. probs.(i) /. (rates.(i) *. rates.(i)))
+  done;
+  (!mean, !second -. (!mean *. !mean))
+
+let create ~probs ~rates =
+  check_params probs rates;
+  let probs = Array.copy probs and rates = Array.copy rates in
+  let mean, variance = moments probs rates in
+  let n = Array.length probs in
+  (* Cumulative table for branch selection. *)
+  let cum = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. probs.(i);
+    cum.(i) <- !acc
+  done;
+  cum.(n - 1) <- 1.0;
+  let sample g =
+    let u = Rng.float g in
+    let rec branch i = if i = n - 1 || u < cum.(i) then i else branch (i + 1) in
+    let i = branch 0 in
+    Exponential.sample ~rate:rates.(i) g
+  in
+  Distribution.make
+    ~name:(Printf.sprintf "H%d(mean=%g)" n mean)
+    ~mean ~variance sample
+
+let branch_params ~mean ~cv =
+  if mean <= 0.0 then invalid_arg "Hyperexponential.fit_cv: mean <= 0";
+  if cv < 1.0 then invalid_arg "Hyperexponential.fit_cv: cv < 1";
+  let c2 = cv *. cv in
+  let p1 = 0.5 *. (1.0 +. sqrt ((c2 -. 1.0) /. (c2 +. 1.0))) in
+  let p2 = 1.0 -. p1 in
+  let r1 = 2.0 *. p1 /. mean in
+  let r2 = 2.0 *. p2 /. mean in
+  ((p1, r1), (p2, r2))
+
+let fit_cv ~mean ~cv =
+  if cv = 1.0 then Exponential.of_mean mean
+  else begin
+    let (p1, r1), (p2, r2) = branch_params ~mean ~cv in
+    let d = create ~probs:[| p1; p2 |] ~rates:[| r1; r2 |] in
+    { d with Distribution.name = Printf.sprintf "H2(mean=%g,cv=%g)" mean cv }
+  end

@@ -1,0 +1,29 @@
+(** Hyperexponential (H{_k}) distributions.
+
+    A probabilistic mixture of exponentials.  The paper models the bursty
+    job arrival process as a two-stage hyperexponential with coefficient of
+    variation 3 (Section 4.1, following Zhou's trace whose inter-arrival CV
+    is 2.64); {!fit_cv} performs the standard balanced-means fit from a
+    target mean and CV. *)
+
+val create : probs:float array -> rates:float array -> Distribution.t
+(** [create ~probs ~rates] is the mixture that with probability [probs.(i)]
+    draws from Exp([rates.(i)]).  Probabilities must be non-negative and
+    sum to 1 (within 1e-9); rates positive.
+
+    @raise Invalid_argument on malformed parameters. *)
+
+val fit_cv : mean:float -> cv:float -> Distribution.t
+(** [fit_cv ~mean ~cv] is the two-stage hyperexponential with the given
+    mean and coefficient of variation, fitted with balanced means
+    (each branch contributes half the mean):
+    [p₁ = (1 + √((c²−1)/(c²+1)))/2], [λᵢ = 2pᵢ/mean].
+
+    Requires [cv >= 1] (an H₂ cannot have CV below exponential) and
+    [mean > 0].  [cv = 1] degenerates to the exponential.
+
+    @raise Invalid_argument if [mean <= 0] or [cv < 1]. *)
+
+val branch_params : mean:float -> cv:float -> (float * float) * (float * float)
+(** [branch_params ~mean ~cv] exposes the fitted [(p₁, rate₁), (p₂, rate₂)]
+    of {!fit_cv} for inspection and testing. *)

@@ -1,0 +1,24 @@
+module Rng = Statsched_prng.Rng
+
+(* Box–Muller; we deliberately discard the second variate to keep the
+   sampler stateless with respect to the stream. *)
+let standard_normal g =
+  let u1 = 1.0 -. Rng.float g in
+  let u2 = Rng.float g in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let create ~mu ~sigma =
+  if sigma <= 0.0 then invalid_arg "Lognormal.create: sigma <= 0";
+  let s2 = sigma *. sigma in
+  let mean = exp (mu +. (s2 /. 2.0)) in
+  let variance = (exp s2 -. 1.0) *. exp ((2.0 *. mu) +. s2) in
+  Distribution.make
+    ~name:(Printf.sprintf "LogN(%g,%g)" mu sigma)
+    ~mean ~variance
+    (fun g -> exp (mu +. (sigma *. standard_normal g)))
+
+let of_mean_cv ~mean ~cv =
+  if mean <= 0.0 then invalid_arg "Lognormal.of_mean_cv: mean <= 0";
+  if cv <= 0.0 then invalid_arg "Lognormal.of_mean_cv: cv <= 0";
+  let s2 = log (1.0 +. (cv *. cv)) in
+  create ~mu:(log mean -. (s2 /. 2.0)) ~sigma:(sqrt s2)

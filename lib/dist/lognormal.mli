@@ -1,0 +1,17 @@
+(** Lognormal distribution.
+
+    An alternative heavy-ish-tailed job-size model used in sensitivity
+    experiments (process-lifetime studies the paper cites, e.g.
+    Harchol-Balter & Downey, often compare Pareto against lognormal fits). *)
+
+val create : mu:float -> sigma:float -> Distribution.t
+(** [create ~mu ~sigma] is exp(N([mu], [sigma]²)): mean [exp(μ + σ²/2)],
+    variance [(exp σ² − 1)·exp(2μ + σ²)].
+
+    @raise Invalid_argument if [sigma <= 0]. *)
+
+val of_mean_cv : mean:float -> cv:float -> Distribution.t
+(** Parameterise from a target mean and coefficient of variation:
+    [σ² = ln(1 + cv²)], [μ = ln mean − σ²/2].
+
+    @raise Invalid_argument if [mean <= 0] or [cv <= 0]. *)

@@ -1,0 +1,51 @@
+module Rng = Statsched_prng.Rng
+
+let create components =
+  if components = [] then invalid_arg "Mixture.create: empty mixture";
+  let total_weight = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 components in
+  List.iter
+    (fun (w, _) -> if w < 0.0 then invalid_arg "Mixture.create: negative weight")
+    components;
+  if total_weight <= 0.0 then invalid_arg "Mixture.create: zero total weight";
+  let probs =
+    Array.of_list (List.map (fun (w, _) -> w /. total_weight) components)
+  in
+  let dists = Array.of_list (List.map snd components) in
+  let n = Array.length probs in
+  let cum = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i p ->
+      acc := !acc +. p;
+      cum.(i) <- !acc)
+    probs;
+  cum.(n - 1) <- 1.0;
+  let mean = ref 0.0 and second = ref 0.0 in
+  Array.iteri
+    (fun i p ->
+      let m = Distribution.mean dists.(i) in
+      let v = Distribution.variance dists.(i) in
+      mean := !mean +. (p *. m);
+      second := !second +. (p *. (v +. (m *. m))))
+    probs;
+  let sample g =
+    let u = Rng.float g in
+    let rec branch i = if i = n - 1 || u < cum.(i) then i else branch (i + 1) in
+    Distribution.sample dists.(branch 0) g
+  in
+  Distribution.make
+    ~name:
+      (Printf.sprintf "Mix(%s)"
+         (String.concat ","
+            (Array.to_list
+               (Array.mapi
+                  (fun i p -> Printf.sprintf "%.2g*%s" p (Distribution.name dists.(i)))
+                  probs))))
+    ~mean:!mean
+    ~variance:(!second -. (!mean *. !mean))
+    sample
+
+let bimodal ~p_small ~small ~large =
+  if not (0.0 <= p_small && p_small <= 1.0) then
+    invalid_arg "Mixture.bimodal: p_small outside [0,1]";
+  create [ (p_small, small); (1.0 -. p_small, large) ]

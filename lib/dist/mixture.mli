@@ -1,0 +1,24 @@
+(** Finite mixtures of arbitrary distributions.
+
+    Generalises {!Hyperexponential} (a mixture of exponentials) to any
+    component family: bimodal job-size models ("interactive vs batch"),
+    contaminated workloads, or spliced bodies and tails.  Moments come
+    from the laws of total expectation and total variance. *)
+
+val create : (float * Distribution.t) list -> Distribution.t
+(** [create [(w₁, d₁); …]] samples from [dᵢ] with probability
+    [wᵢ / Σw].  Weights must be non-negative with a positive sum.
+
+    Mean: [Σ pᵢ·μᵢ].  Variance: [Σ pᵢ·(σᵢ² + μᵢ²) − (Σ pᵢ·μᵢ)²].
+
+    @raise Invalid_argument on an empty list or invalid weights. *)
+
+val bimodal :
+  p_small:float ->
+  small:Distribution.t ->
+  large:Distribution.t ->
+  Distribution.t
+(** Convenience two-point mixture: with probability [p_small] draw from
+    [small], otherwise from [large].
+
+    @raise Invalid_argument unless [0 <= p_small <= 1]. *)

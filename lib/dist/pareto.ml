@@ -1,0 +1,15 @@
+module Rng = Statsched_prng.Rng
+
+let create ~k ~alpha =
+  if k <= 0.0 then invalid_arg "Pareto.create: k <= 0";
+  if alpha <= 0.0 then invalid_arg "Pareto.create: alpha <= 0";
+  let mean = if alpha > 1.0 then alpha *. k /. (alpha -. 1.0) else infinity in
+  let variance =
+    if alpha > 2.0 then
+      k *. k *. alpha /. ((alpha -. 1.0) *. (alpha -. 1.0) *. (alpha -. 2.0))
+    else infinity
+  in
+  Distribution.make
+    ~name:(Printf.sprintf "Pareto(%g,%g)" k alpha)
+    ~mean ~variance
+    (fun g -> k /. ((1.0 -. Rng.float g) ** (1.0 /. alpha)))

@@ -1,0 +1,14 @@
+(** Unbounded Pareto distribution.
+
+    The classical heavy tail [P(X > x) = (k/x)^α] for [x >= k].  The
+    paper's evaluation uses the {e bounded} variant ({!Bounded_pareto});
+    the unbounded one is provided for tail-sensitivity studies — with
+    [α <= 2] the variance is infinite and with [α <= 1] even the mean
+    diverges, so metrics driven by it never stabilise (a useful negative
+    control for convergence tests). *)
+
+val create : k:float -> alpha:float -> Distribution.t
+(** Mean [α·k/(α−1)] for [α > 1] ([infinity] otherwise); variance
+    [k²·α/((α−1)²(α−2))] for [α > 2] ([infinity] otherwise).
+
+    @raise Invalid_argument if [k <= 0] or [alpha <= 0]. *)

@@ -1,0 +1,11 @@
+module Rng = Statsched_prng.Rng
+
+let sample ~a ~b g = Rng.uniform g a b
+
+let create ~a ~b =
+  if a > b then invalid_arg "Uniform_dist.create: a > b";
+  Distribution.make
+    ~name:(Printf.sprintf "U(%g,%g)" a b)
+    ~mean:((a +. b) /. 2.0)
+    ~variance:((b -. a) *. (b -. a) /. 12.0)
+    (fun g -> sample ~a ~b g)

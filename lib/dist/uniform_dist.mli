@@ -1,0 +1,12 @@
+(** Continuous uniform distribution U(a, b).
+
+    Used by the Dynamic Least-Load baseline: a computer detects a job
+    departure after U(0, 1) seconds (Section 4.2). *)
+
+val sample : a:float -> b:float -> Statsched_prng.Rng.t -> float
+(** One variate of U([a], [b]).  Requires [a <= b]. *)
+
+val create : a:float -> b:float -> Distribution.t
+(** U([a], [b]): mean [(a+b)/2], variance [(b−a)²/12].
+
+    @raise Invalid_argument if [a > b]. *)

@@ -1,0 +1,35 @@
+module Rng = Statsched_prng.Rng
+
+(* Lanczos approximation for the Gamma function, needed for the analytic
+   moments of the Weibull. *)
+let gamma_fn =
+  let coeffs =
+    [|
+      676.5203681218851; -1259.1392167224028; 771.32342877765313;
+      -176.61502916214059; 12.507343278686905; -0.13857109526572012;
+      9.9843695780195716e-6; 1.5056327351493116e-7;
+    |]
+  in
+  let rec gamma z =
+    if z < 0.5 then Float.pi /. (sin (Float.pi *. z) *. gamma (1.0 -. z))
+    else begin
+      let z = z -. 1.0 in
+      let x = ref 0.99999999999980993 in
+      Array.iteri (fun i c -> x := !x +. (c /. (z +. float_of_int i +. 1.0))) coeffs;
+      let t = z +. float_of_int (Array.length coeffs) -. 0.5 in
+      sqrt (2.0 *. Float.pi) *. (t ** (z +. 0.5)) *. exp (-.t) *. !x
+    end
+  in
+  gamma
+
+let create ~shape ~scale =
+  if shape <= 0.0 then invalid_arg "Weibull.create: shape <= 0";
+  if scale <= 0.0 then invalid_arg "Weibull.create: scale <= 0";
+  let g1 = gamma_fn (1.0 +. (1.0 /. shape)) in
+  let g2 = gamma_fn (1.0 +. (2.0 /. shape)) in
+  let mean = scale *. g1 in
+  let variance = scale *. scale *. (g2 -. (g1 *. g1)) in
+  Distribution.make
+    ~name:(Printf.sprintf "Weibull(%g,%g)" shape scale)
+    ~mean ~variance
+    (fun g -> scale *. ((-.log (1.0 -. Rng.float g)) ** (1.0 /. shape)))

@@ -1,0 +1,10 @@
+(** Weibull distribution.
+
+    Shape < 1 gives a sub-exponential tail between exponential and Pareto;
+    used as a third job-size model in sensitivity experiments. *)
+
+val create : shape:float -> scale:float -> Distribution.t
+(** [create ~shape ~scale] with density
+    [(shape/scale)·(x/scale)^(shape−1)·exp(−(x/scale)^shape)].
+
+    @raise Invalid_argument if [shape <= 0] or [scale <= 0]. *)

@@ -1,0 +1,21 @@
+type scale = { horizon : float; warmup : float; reps : int }
+
+let quick = { horizon = 1.0e5; warmup = 2.5e4; reps = 2 }
+
+let default_scale = { horizon = 4.0e5; warmup = 1.0e5; reps = 5 }
+
+let paper = { horizon = 4.0e6; warmup = 1.0e6; reps = 10 }
+
+let of_env () =
+  let set v = match Sys.getenv_opt v with Some "" | None -> false | Some _ -> true in
+  if set "FULL" then paper else if set "QUICK" then quick else default_scale
+
+let scale_name s =
+  if s = paper then "paper"
+  else if s = quick then "quick"
+  else if s = default_scale then "default"
+  else Printf.sprintf "custom(horizon=%g,reps=%d)" s.horizon s.reps
+
+let default_seed = 20260705L
+
+let base_utilization = 0.7

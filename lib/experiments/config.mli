@@ -1,0 +1,36 @@
+(** Shared experiment configuration.
+
+    Every experiment accepts a {!scale} that trades fidelity for wall
+    time.  {!paper} reproduces the paper's methodology exactly — 4·10⁶
+    simulated seconds per run (1 to 2 million jobs), first quarter
+    discarded, 10 independent replications per data point; the smaller
+    scales keep the same structure with shorter horizons and fewer
+    replications. *)
+
+type scale = {
+  horizon : float;  (** simulated seconds per run *)
+  warmup : float;  (** discarded start-up prefix *)
+  reps : int;  (** independent replications per data point *)
+}
+
+val quick : scale
+(** 10⁵ s, 2 replications — seconds of wall time; CI smoke tests. *)
+
+val default_scale : scale
+(** 4·10⁵ s, 5 replications — the default for `bench/main.exe`; the
+    paper's curves are already clearly separated at this scale. *)
+
+val paper : scale
+(** 4·10⁶ s, 10 replications — the paper's exact methodology. *)
+
+val of_env : unit -> scale
+(** [paper] when the environment variable [FULL] is set to a non-empty
+    value, [quick] when [QUICK] is set, otherwise {!default_scale}. *)
+
+val scale_name : scale -> string
+
+val default_seed : int64
+(** Seed shared by all experiments unless overridden. *)
+
+val base_utilization : float
+(** The paper's default system utilisation, 0.7. *)

@@ -1,0 +1,25 @@
+module Cluster = Statsched_cluster
+module Core = Statsched_core
+
+let default_cvs = [ 0.5; 1.0; 2.0; 3.0; 4.0; 5.0 ]
+
+type t = (float * (string * Runner.point) list) list
+
+let run ?(scale = Config.default_scale) ?seed ?(speeds = Core.Speeds.table3)
+    ?(cvs = default_cvs) ?(schedulers = Schedulers.with_least_load) () =
+  List.map
+    (fun cv ->
+      let workload =
+        Cluster.Workload.with_cv ~rho:Config.base_utilization ~arrival_cv:cv ~speeds
+      in
+      (cv, Sweep.over_schedulers ?seed ~scale ~schedulers ~speeds ~workload ()))
+    cvs
+
+let sweeps t =
+  List.map
+    (fun metric ->
+      Sweep.sweep_of_rows ~title:"Extension: arrival burstiness sensitivity"
+        ~xlabel:"arrival CV" ~metric t)
+    [ `Ratio; `Fairness ]
+
+let to_report t = String.concat "\n" (List.map Report.render_sweep (sweeps t))

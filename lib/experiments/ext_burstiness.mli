@@ -1,0 +1,28 @@
+(** Extension experiment: sensitivity to arrival burstiness.
+
+    Not in the paper, but implied by its Section 5.3 observation that the
+    round-robin dispatching gain "is higher under heavy load...  system
+    performance becomes more sensitive to job arrival pattern".  This
+    sweep varies the arrival coefficient of variation from sub-Poisson
+    (Erlang) through Poisson to strongly bursty hyperexponential on the
+    Table 3 configuration at 70 % utilisation, and reports how the
+    advantage of round-robin over random dispatching — and of everything
+    over Least-Load — moves with burstiness. *)
+
+val default_cvs : float list
+(** [0.5; 1; 2; 3; 4; 5] (3 is the paper's default). *)
+
+type t = (float * (string * Runner.point) list) list
+
+val run :
+  ?scale:Config.scale ->
+  ?seed:int64 ->
+  ?speeds:float array ->
+  ?cvs:float list ->
+  ?schedulers:(string * Statsched_cluster.Scheduler.kind) list ->
+  unit ->
+  t
+
+val sweeps : t -> Report.sweep list
+
+val to_report : t -> string

@@ -1,0 +1,29 @@
+module Cluster = Statsched_cluster
+module Core = Statsched_core
+
+let default_horizons = [ 5.0e4; 1.0e5; 2.0e5; 4.0e5; 8.0e5 ]
+
+type t = (float * (string * Runner.point) list) list
+
+let run ?seed ?(speeds = Core.Speeds.table3) ?(rho = 0.9) ?(reps = 5)
+    ?(horizons = default_horizons) () =
+  let workload = Cluster.Workload.paper_default ~rho ~speeds in
+  let schedulers =
+    [
+      ("ORR", Cluster.Scheduler.Static Core.Policy.orr);
+      ("WRR", Cluster.Scheduler.Static Core.Policy.wrr);
+      ("LeastLoad", Cluster.Scheduler.least_load_paper);
+    ]
+  in
+  List.map
+    (fun horizon ->
+      let scale = { Config.horizon; warmup = horizon /. 4.0; reps } in
+      (horizon, Sweep.over_schedulers ?seed ~scale ~schedulers ~speeds ~workload ()))
+    horizons
+
+let to_report t =
+  Report.render_sweep
+    (Sweep.sweep_of_rows
+       ~title:
+         "Extension: convergence with run length (Table 3, rho=0.9, warm-up = horizon/4)"
+       ~xlabel:"horizon (s)" ~metric:`Ratio t)

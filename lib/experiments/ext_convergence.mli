@@ -1,0 +1,25 @@
+(** Extension experiment: how long must a run be?
+
+    The paper runs 4·10⁶ simulated seconds per replication; our default
+    scale uses a tenth of that.  This methodological experiment measures
+    the drift: the same policies at ρ = 0.9 (where heavy tails converge
+    slowest) over a geometric ladder of horizons, with the first quarter
+    of each run always discarded.  Read it to choose a horizon: when two
+    adjacent rows agree within their confidence intervals, the shorter
+    horizon is already adequate for the comparison at hand. *)
+
+val default_horizons : float list
+(** [5·10⁴; 10⁵; 2·10⁵; 4·10⁵; 8·10⁵]. *)
+
+type t = (float * (string * Runner.point) list) list
+
+val run :
+  ?seed:int64 ->
+  ?speeds:float array ->
+  ?rho:float ->
+  ?reps:int ->
+  ?horizons:float list ->
+  unit ->
+  t
+
+val to_report : t -> string

@@ -1,0 +1,47 @@
+module Cluster = Statsched_cluster
+module Core = Statsched_core
+
+type t = {
+  discipline : string;
+  points : (string * Runner.point) list;
+}
+
+let schedulers =
+  [
+    ("WRAN", Cluster.Scheduler.Static Core.Policy.wran);
+    ("ORR", Cluster.Scheduler.Static Core.Policy.orr);
+    ("SITA-E/fast", Cluster.Scheduler.sita_paper ~small_to:`Fast ());
+    ("SITA-E/slow", Cluster.Scheduler.sita_paper ~small_to:`Slow ());
+    ("LeastLoad", Cluster.Scheduler.least_load_paper);
+  ]
+
+let run ?(scale = Config.default_scale) ?seed ?(speeds = Core.Speeds.table3)
+    ?(rho = Config.base_utilization) () =
+  let workload = Cluster.Workload.paper_default ~rho ~speeds in
+  List.map
+    (fun (label, discipline) ->
+      let points =
+        List.map
+          (fun (name, scheduler) ->
+            let spec = Runner.make_spec ~discipline ~speeds ~workload ~scheduler () in
+            (name, Runner.measure ?seed ~scale spec))
+          schedulers
+      in
+      { discipline = label; points })
+    [ ("PS", Cluster.Simulation.Ps); ("FCFS", Cluster.Simulation.Fcfs) ]
+
+let to_report rows =
+  let open Report in
+  let scheduler_names = List.map fst schedulers in
+  let header = "discipline" :: scheduler_names in
+  let body =
+    List.map
+      (fun r ->
+        Text r.discipline
+        :: List.map
+             (fun name -> Interval (List.assoc name r.points).Runner.mean_response_ratio)
+             scheduler_names)
+      rows
+  in
+  "Extension: size-aware SITA-E vs size-blind policies (mean response ratio)\n"
+  ^ render ~header ~rows:body

@@ -1,0 +1,30 @@
+(** Extension experiment: what is size-awareness worth?
+
+    The paper's related work (reference [5], Crovella et al.) improves
+    performance by assigning tasks based on their service demands —
+    knowledge the paper's own policies deliberately avoid needing.  This
+    experiment runs SITA-E head-to-head with the size-blind policies on
+    the Table 3 cluster under both service disciplines:
+
+    - under FCFS hosts (Crovella's setting) size-based banding isolates
+      the huge jobs and should win big;
+    - under processor sharing (this paper's setting) PS itself already
+      protects small jobs, so the advantage of knowing sizes shrinks —
+      which is precisely why the paper can afford size-blind policies. *)
+
+type t = {
+  discipline : string;
+  points : (string * Runner.point) list;
+}
+
+val run :
+  ?scale:Config.scale ->
+  ?seed:int64 ->
+  ?speeds:float array ->
+  ?rho:float ->
+  unit ->
+  t list
+(** Two rows: PS and FCFS, each comparing WRAN, ORR, SITA-E (both band
+    orders) and Least-Load. *)
+
+val to_report : t list -> string

@@ -1,0 +1,29 @@
+(** Extension experiment: how stale can dynamic load information get
+    before static ORR wins?
+
+    The paper prices Least-Load's advantage assuming near-real-time load
+    updates (sub-second delays).  Real deployments often poll: this sweep
+    drives Least-Load from fresh polls (1 s) to very stale ones (10⁴ s)
+    on the Table 3 configuration and finds the crossover where ORR —
+    which needs {e no} load information — overtakes it.  The [blind]
+    variant (scheduler does not even count its own in-flight dispatches
+    between polls) exhibits the classic herd pathology and collapses far
+    earlier. *)
+
+val default_poll_periods : float list
+(** [1; 10; 100; 1000; 10000] seconds. *)
+
+type t = (float * (string * Runner.point) list) list
+(** Rows keyed by poll period; columns: StaleLeastLoad, blind variant,
+    plus the static ORR and true Least-Load frames (constant across
+    rows). *)
+
+val run :
+  ?scale:Config.scale ->
+  ?seed:int64 ->
+  ?speeds:float array ->
+  ?poll_periods:float list ->
+  unit ->
+  t
+
+val to_report : t -> string

@@ -1,0 +1,72 @@
+module Rng = Statsched_prng.Rng
+module Dist = Statsched_dist
+module Stats = Statsched_stats
+module Core = Statsched_core
+module Cluster = Statsched_cluster
+
+let fractions = [| 0.35; 0.22; 0.15; 0.12; 0.04; 0.04; 0.04; 0.04 |]
+
+type result = {
+  round_robin : float array;
+  random : float array;
+  round_robin_summary : Stats.Summary.t;
+  random_summary : Stats.Summary.t;
+}
+
+let run_dispatcher ?(seed = Config.default_seed) ?(n_intervals = 30)
+    ?(interval_length = 120.0) ?(mean_interarrival = 2.2) ?(arrival_cv = 3.0)
+    dispatcher =
+  let arrivals_rng = Rng.create ~seed () in
+  let interarrival =
+    if arrival_cv = 1.0 then Dist.Exponential.of_mean mean_interarrival
+    else Dist.Hyperexponential.fit_cv ~mean:mean_interarrival ~cv:arrival_cv
+  in
+  let stats =
+    Cluster.Interval_stats.create
+      ~expected:(Core.Dispatch.fractions dispatcher)
+      ~start:0.0 ~interval:interval_length ~n_intervals
+  in
+  let horizon = float_of_int n_intervals *. interval_length in
+  let t = ref 0.0 in
+  let continue = ref true in
+  while !continue do
+    t := !t +. Dist.Distribution.sample interarrival arrivals_rng;
+    if !t >= horizon then continue := false
+    else begin
+      let computer = Core.Dispatch.select dispatcher in
+      Cluster.Interval_stats.record stats ~time:!t ~computer
+    end
+  done;
+  Cluster.Interval_stats.deviations stats
+
+let run ?(seed = Config.default_seed) ?n_intervals ?interval_length
+    ?mean_interarrival ?arrival_cv () =
+  (* Both dispatchers see the identical arrival stream (same seed):
+     common random numbers, as in the paper's comparison. *)
+  let rr =
+    run_dispatcher ~seed ?n_intervals ?interval_length ?mean_interarrival
+      ?arrival_cv
+      (Core.Dispatch.round_robin fractions)
+  in
+  let rand_rng = Rng.create ~seed:(Int64.add seed 1L) () in
+  let random =
+    run_dispatcher ~seed ?n_intervals ?interval_length ?mean_interarrival
+      ?arrival_cv
+      (Core.Dispatch.random ~rng:rand_rng fractions)
+  in
+  {
+    round_robin = rr;
+    random;
+    round_robin_summary = Stats.Summary.of_array rr;
+    random_summary = Stats.Summary.of_array random;
+  }
+
+let to_report r =
+  let open Report in
+  let rows =
+    List.init (Array.length r.round_robin) (fun i ->
+        [ Int (i + 1); Float r.round_robin.(i); Float r.random.(i) ])
+  in
+  let table = render ~header:[ "interval"; "round-robin"; "random" ] ~rows in
+  Format.asprintf "%s\nround-robin: %a\nrandom:      %a\n" table
+    Stats.Summary.pp r.round_robin_summary Stats.Summary.pp r.random_summary

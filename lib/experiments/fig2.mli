@@ -1,0 +1,43 @@
+(** Figure 2 — workload allocation deviation of the two dispatching
+    strategies.
+
+    Eight computers with fractions 0.35, 0.22, 0.15, 0.12 and four of
+    0.04; a hyperexponential arrival stream with mean inter-arrival time
+    2.2 s; 30 consecutive 120-second intervals.  For each interval the
+    deviation Σ(α_i − α'_i)² between intended and realised fractions is
+    reported for round-robin and for random dispatching.  This experiment
+    involves no servers at all — it observes the dispatcher alone. *)
+
+val fractions : float array
+(** The paper's eight fractions. *)
+
+type result = {
+  round_robin : float array;  (** deviation per interval *)
+  random : float array;
+  round_robin_summary : Statsched_stats.Summary.t;
+  random_summary : Statsched_stats.Summary.t;
+}
+
+val run :
+  ?seed:int64 ->
+  ?n_intervals:int ->
+  ?interval_length:float ->
+  ?mean_interarrival:float ->
+  ?arrival_cv:float ->
+  unit ->
+  result
+(** Defaults follow the paper: 30 intervals of 120 s, mean inter-arrival
+    2.2 s, arrival CV 3 (Section 4.1's default burstiness). *)
+
+val run_dispatcher :
+  ?seed:int64 ->
+  ?n_intervals:int ->
+  ?interval_length:float ->
+  ?mean_interarrival:float ->
+  ?arrival_cv:float ->
+  Statsched_core.Dispatch.t ->
+  float array
+(** Deviations of an arbitrary dispatcher under the same arrival stream —
+    the ablation benches reuse this. *)
+
+val to_report : result -> string

@@ -1,0 +1,27 @@
+module Cluster = Statsched_cluster
+module Core = Statsched_core
+
+let default_fast_speeds = [ 1.0; 2.0; 4.0; 6.0; 8.0; 10.0; 12.0; 16.0; 20.0 ]
+
+type t = (float * (string * Runner.point) list) list
+
+let run ?(scale = Config.default_scale) ?seed
+    ?(fast_speeds = default_fast_speeds)
+    ?(schedulers = Schedulers.with_least_load) () =
+  List.map
+    (fun fast ->
+      let speeds = Core.Speeds.two_class ~n_fast:2 ~fast ~n_slow:16 ~slow:1.0 in
+      let workload =
+        Cluster.Workload.paper_default ~rho:Config.base_utilization ~speeds
+      in
+      (fast, Sweep.over_schedulers ?seed ~scale ~schedulers ~speeds ~workload ()))
+    fast_speeds
+
+let sweeps t =
+  List.map
+    (fun metric ->
+      Sweep.sweep_of_rows ~title:"Figure 3: effect of speed skewness"
+        ~xlabel:"fast speed" ~metric t)
+    [ `Time; `Ratio; `Fairness ]
+
+let to_report t = String.concat "\n" (List.map Report.render_sweep (sweeps t))

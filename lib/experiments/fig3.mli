@@ -1,0 +1,30 @@
+(** Figure 3 — effect of speed skewness.
+
+    18 computers: 2 fast and 16 slow.  Slow speed fixed at 1; fast speed
+    swept from 1 (homogeneous) to 20 (highly skewed); system utilisation
+    70 %.  Panels: (a) mean response time, (b) mean response ratio,
+    (c) fairness, for WRAN/ORAN/WRR/ORR and Dynamic Least-Load.
+
+    Expected shape: optimized allocation wins once speeds differ and its
+    margin grows with the ratio (paper: ORR 42 % under WRR and ORAN 49 %
+    under WRAN at 20:1); ORR approaches Least-Load at high skew; WRR beats
+    ORAN near homogeneity but loses to it at high skew. *)
+
+val default_fast_speeds : float list
+(** [1; 2; 4; 6; 8; 10; 12; 16; 20]. *)
+
+type t = (float * (string * Runner.point) list) list
+(** One row per fast-computer speed. *)
+
+val run :
+  ?scale:Config.scale ->
+  ?seed:int64 ->
+  ?fast_speeds:float list ->
+  ?schedulers:(string * Statsched_cluster.Scheduler.kind) list ->
+  unit ->
+  t
+
+val sweeps : t -> Report.sweep list
+(** Panels (a), (b), (c). *)
+
+val to_report : t -> string

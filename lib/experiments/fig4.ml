@@ -1,0 +1,30 @@
+module Cluster = Statsched_cluster
+module Core = Statsched_core
+
+let default_sizes = [ 2; 4; 6; 8; 10; 12; 14; 16; 18; 20 ]
+
+type t = (float * (string * Runner.point) list) list
+
+let run ?(scale = Config.default_scale) ?seed ?(sizes = default_sizes)
+    ?(schedulers = Schedulers.with_least_load) () =
+  List.map
+    (fun n ->
+      if n < 2 || n mod 2 <> 0 then
+        invalid_arg "Fig4.run: sizes must be even and >= 2";
+      let half = n / 2 in
+      let speeds = Core.Speeds.two_class ~n_fast:half ~fast:10.0 ~n_slow:half ~slow:1.0 in
+      let workload =
+        Cluster.Workload.paper_default ~rho:Config.base_utilization ~speeds
+      in
+      ( float_of_int n,
+        Sweep.over_schedulers ?seed ~scale ~schedulers ~speeds ~workload () ))
+    sizes
+
+let sweeps t =
+  List.map
+    (fun metric ->
+      Sweep.sweep_of_rows ~title:"Figure 4: effect of system size"
+        ~xlabel:"computers" ~metric t)
+    [ `Ratio; `Fairness ]
+
+let to_report t = String.concat "\n" (List.map Report.render_sweep (sweeps t))

@@ -1,0 +1,29 @@
+(** Figure 4 — effect of system size.
+
+    [n] computers, half of speed 10 and half of speed 1, [n] swept from 2
+    to 20 at 70 % utilisation.  Panels: (a) mean response ratio,
+    (b) fairness.  (The paper drops the mean-response-time panel from
+    here on as its trends duplicate the ratio's; {!run} still measures it
+    and {!sweeps} can render it.)
+
+    Expected shape: ORR 35–40 % below WRAN beyond 6 computers; the gap
+    between ORR and Least-Load widens with system size; round-robin
+    dispatching improves as [n] grows. *)
+
+val default_sizes : int list
+(** [2; 4; 6; 8; 10; 12; 14; 16; 18; 20]. *)
+
+type t = (float * (string * Runner.point) list) list
+
+val run :
+  ?scale:Config.scale ->
+  ?seed:int64 ->
+  ?sizes:int list ->
+  ?schedulers:(string * Statsched_cluster.Scheduler.kind) list ->
+  unit ->
+  t
+
+val sweeps : t -> Report.sweep list
+(** Panels (a) ratio and (b) fairness. *)
+
+val to_report : t -> string

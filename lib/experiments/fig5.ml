@@ -1,0 +1,24 @@
+module Cluster = Statsched_cluster
+module Core = Statsched_core
+
+let default_utilizations = [ 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9 ]
+
+type t = (float * (string * Runner.point) list) list
+
+let run ?(scale = Config.default_scale) ?seed ?(speeds = Core.Speeds.table3)
+    ?(utilizations = default_utilizations)
+    ?(schedulers = Schedulers.with_least_load) () =
+  List.map
+    (fun rho ->
+      let workload = Cluster.Workload.paper_default ~rho ~speeds in
+      (rho, Sweep.over_schedulers ?seed ~scale ~schedulers ~speeds ~workload ()))
+    utilizations
+
+let sweeps t =
+  List.map
+    (fun metric ->
+      Sweep.sweep_of_rows ~title:"Figure 5: effect of system load"
+        ~xlabel:"utilization" ~metric t)
+    [ `Ratio; `Fairness ]
+
+let to_report t = String.concat "\n" (List.map Report.render_sweep (sweeps t))

@@ -1,0 +1,28 @@
+(** Figure 5 — effect of system load.
+
+    The Table 3 base configuration (15 computers, aggregate speed 44)
+    under system utilisations from 30 % to 90 %.  Panels: (a) mean
+    response ratio, (b) fairness.
+
+    Expected shape: ORR best among statics everywhere; ORR/ORAN close to
+    Least-Load at low load; at ρ = 0.9 ORR's mean response ratio ≈ 24 %
+    below WRR and ≈ 34 % below WRAN; the Least-Load advantage and the
+    round-robin dispatching gain both grow with load. *)
+
+val default_utilizations : float list
+(** [0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9]. *)
+
+type t = (float * (string * Runner.point) list) list
+
+val run :
+  ?scale:Config.scale ->
+  ?seed:int64 ->
+  ?speeds:float array ->
+  ?utilizations:float list ->
+  ?schedulers:(string * Statsched_cluster.Scheduler.kind) list ->
+  unit ->
+  t
+
+val sweeps : t -> Report.sweep list
+
+val to_report : t -> string

@@ -1,0 +1,41 @@
+module Cluster = Statsched_cluster
+module Core = Statsched_core
+
+let default_errors_under = [ -0.15; -0.10; -0.05 ]
+
+let default_errors_over = [ 0.05; 0.10; 0.15 ]
+
+let default_utilizations = [ 0.5; 0.6; 0.7; 0.8; 0.9 ]
+
+type t = (float * (string * Runner.point) list) list
+
+let schedulers_for ~rho errors =
+  let estimated err =
+    let label = Printf.sprintf "ORR(%+.0f%%)" (100.0 *. err) in
+    ( label,
+      Cluster.Scheduler.Static (Core.Policy.orr_estimated ((1.0 +. err) *. rho)) )
+  in
+  (("ORR", Cluster.Scheduler.Static Core.Policy.orr) :: List.map estimated errors)
+  @ [ ("WRR", Cluster.Scheduler.Static Core.Policy.wrr) ]
+
+let run ?(scale = Config.default_scale) ?seed ?(speeds = Core.Speeds.table3)
+    ?(utilizations = default_utilizations) ~errors () =
+  List.map
+    (fun rho ->
+      let workload = Cluster.Workload.paper_default ~rho ~speeds in
+      let schedulers = schedulers_for ~rho errors in
+      (rho, Sweep.over_schedulers ?seed ~scale ~schedulers ~speeds ~workload ()))
+    utilizations
+
+let sweeps ~under ~over =
+  [
+    Sweep.sweep_of_rows
+      ~title:"Figure 6(a): load underestimation" ~xlabel:"utilization"
+      ~metric:`Ratio under;
+    Sweep.sweep_of_rows
+      ~title:"Figure 6(b): load overestimation" ~xlabel:"utilization"
+      ~metric:`Ratio over;
+  ]
+
+let to_report ~under ~over =
+  String.concat "\n" (List.map Report.render_sweep (sweeps ~under ~over))

@@ -1,0 +1,40 @@
+(** Figure 6 — sensitivity of ORR to load-estimation error.
+
+    The optimized allocation needs the system utilisation ρ; this
+    experiment runs ORR computed with a misestimated ρ̂ = (1 + err)·ρ over
+    the Table 3 configuration.  Panel (a): underestimation
+    (err ∈ {−15 %, −10 %, −5 %}); panel (b): overestimation
+    (err ∈ {+5 %, +10 %, +15 %}); exact ORR and WRR frame each panel.
+
+    Expected shape: underestimation is benign at light load but
+    catastrophic near saturation (assigns more than capacity to the fast
+    machines — can fall below WRR and destabilise); overestimation costs
+    little everywhere because it pushes the allocation toward the weighted
+    scheme.  ρ̂ ≥ 1 degrades to WRR by construction (the paper adopts the
+    WRR value for ORR(+15 %) at ρ = 0.9 for the same reason). *)
+
+val default_errors_under : float list
+(** [−0.15; −0.10; −0.05]. *)
+
+val default_errors_over : float list
+(** [0.05; 0.10; 0.15]. *)
+
+val default_utilizations : float list
+(** [0.5; 0.6; 0.7; 0.8; 0.9] — the range where estimation error
+    matters. *)
+
+type t = (float * (string * Runner.point) list) list
+
+val run :
+  ?scale:Config.scale ->
+  ?seed:int64 ->
+  ?speeds:float array ->
+  ?utilizations:float list ->
+  errors:float list ->
+  unit ->
+  t
+(** Columns: exact ORR, one ORR(err) per error, WRR. *)
+
+val sweeps : under:t -> over:t -> Report.sweep list
+
+val to_report : under:t -> over:t -> string

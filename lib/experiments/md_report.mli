@@ -1,0 +1,18 @@
+(** Self-contained Markdown reproduction report.
+
+    Runs (or takes) the full experiment inputs and renders one Markdown
+    document with every table, every figure series, the ablation
+    comparisons, and the paper-claims scoreboard — an auto-generated
+    counterpart of the repository's hand-written EXPERIMENTS.md, stamped
+    with the scale and seed so results can be regenerated exactly. *)
+
+val generate :
+  ?scale:Config.scale -> ?seed:int64 -> inputs:Paper_claims.inputs -> unit -> string
+(** Render the Markdown document from precomputed experiment inputs.
+    [scale]/[seed] appear in the header for provenance only. *)
+
+val generate_fresh : ?scale:Config.scale -> ?seed:int64 -> unit -> string
+(** [Paper_claims.gather] then {!generate} — the expensive all-in-one. *)
+
+val write : path:string -> string -> unit
+(** Write the document to a file. *)

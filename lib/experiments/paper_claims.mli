@@ -1,0 +1,36 @@
+(** Executable paper claims.
+
+    Every quantitative statement the paper makes about its results,
+    encoded as a checkable predicate over the regenerated experiments.
+    The bench harness prints this scoreboard last, so a reader can see at
+    a glance which of the paper's conclusions reproduce at the chosen
+    scale.  Pass bands are deliberately generous (reproduction targets the
+    {e shape}, and short horizons are noisy); failures at the [quick]
+    scale are expected for the tightest claims. *)
+
+type inputs = {
+  table1 : Table1.result;
+  fig2 : Fig2.result;
+  fig3 : Fig3.t;
+  fig4 : Fig4.t;
+  fig5 : Fig5.t;
+  fig6_under : Fig6.t;
+  fig6_over : Fig6.t;
+}
+
+val gather : ?scale:Config.scale -> ?seed:int64 -> unit -> inputs
+(** Run every experiment the claims need (the bulk of the bench time). *)
+
+type outcome = {
+  id : string;  (** short stable identifier, e.g. ["F3/orr-vs-wrr@20"] *)
+  claim : string;  (** the paper's statement *)
+  expected : string;  (** the acceptance band *)
+  measured : string;  (** what this run produced *)
+  pass : bool;
+}
+
+val evaluate : inputs -> outcome list
+(** All claims, in paper order. *)
+
+val to_report : outcome list -> string
+(** Scoreboard table plus a pass-count summary line. *)

@@ -1,0 +1,64 @@
+(** Plain-text rendering of experiment results.
+
+    Produces aligned tables resembling the paper's tables and one-series-
+    per-column listings of its figures, suitable for terminal output and
+    for diffing across runs. *)
+
+type cell =
+  | Text of string
+  | Int of int
+  | Float of float  (** rendered with 4 significant digits *)
+  | Percent of float  (** fraction rendered as a percentage *)
+  | Interval of Statsched_stats.Confidence.interval  (** mean ± half-width *)
+
+val render : header:string list -> rows:cell list list -> string
+(** Aligned table with a rule under the header.
+
+    @raise Invalid_argument if a row width differs from the header. *)
+
+val pp : Format.formatter -> header:string list -> rows:cell list list -> unit
+
+val print_section : string -> unit
+(** Banner for an experiment section on stdout. *)
+
+type sweep = {
+  title : string;
+  xlabel : string;
+  columns : string list;  (** algorithm names *)
+  rows : (float * cell list) list;  (** x value and one cell per column *)
+}
+
+val render_sweep : sweep -> string
+
+val pp_sweep : Format.formatter -> sweep -> unit
+
+val ascii_chart :
+  ?width:int ->
+  ?height:int ->
+  title:string ->
+  xlabel:string ->
+  (string * (float * float) list) list ->
+  string
+(** [ascii_chart ~title ~xlabel series] renders an ASCII scatter/line plot
+    of the given [(name, points)] series on shared axes — a terminal
+    rendition of a paper figure.  Each series is drawn with its own marker
+    character (a, b, c, …) listed in the legend; collisions show the later
+    series.  Default canvas 72×20.  Non-finite points are skipped; an
+    empty plot renders a note instead.
+
+    @raise Invalid_argument if [width < 20] or [height < 5]. *)
+
+val chart_of_sweep : ?width:int -> ?height:int -> sweep -> string
+(** Render a {!sweep}'s interval means as an {!ascii_chart}. *)
+
+val render_csv : header:string list -> rows:cell list list -> string
+(** The same table as {!render} in RFC-4180-ish CSV: header line, one line
+    per row, commas and double quotes in text cells escaped by quoting.
+    Intervals emit ["mean±half"] collapsed to just the mean (use
+    {!sweep_to_csv} when the half-widths matter).
+
+    @raise Invalid_argument on ragged rows. *)
+
+val sweep_to_csv : sweep -> string
+(** A sweep as CSV with explicit error columns: for each series [S] the
+    columns [S] and [S_halfwidth] (empty for non-interval cells). *)

@@ -1,0 +1,213 @@
+module Cluster = Statsched_cluster
+module Stats = Statsched_stats
+module Metrics = Statsched_core.Metrics
+
+type spec = {
+  speeds : float array;
+  workload : Cluster.Workload.t;
+  scheduler : Cluster.Scheduler.kind;
+  discipline : Cluster.Simulation.discipline;
+}
+
+let make_spec ?(discipline = Cluster.Simulation.Ps) ~speeds ~workload ~scheduler () =
+  { speeds; workload; scheduler; discipline }
+
+type point = {
+  label : string;
+  mean_response_time : Stats.Confidence.interval;
+  mean_response_ratio : Stats.Confidence.interval;
+  fairness : Stats.Confidence.interval;
+  median_ratio : float;
+  p99_ratio : float;
+  dispatch_fractions : float array;
+  jobs_per_rep : float;
+}
+
+let replicate ?(seed = Config.default_seed) ~scale spec =
+  List.init scale.Config.reps (fun replication ->
+      let cfg =
+        Cluster.Simulation.default_config ~discipline:spec.discipline
+          ~horizon:scale.Config.horizon ~warmup:scale.Config.warmup ~seed
+          ~replication ~speeds:spec.speeds ~workload:spec.workload
+          ~scheduler:spec.scheduler ()
+      in
+      Cluster.Simulation.run cfg)
+
+let replicate_parallel ?(seed = Config.default_seed) ?domains ~scale spec =
+  let reps = scale.Config.reps in
+  let domains =
+    match domains with
+    | Some d ->
+      if d < 1 then invalid_arg "Runner.replicate_parallel: domains < 1";
+      min d reps
+    | None -> max 1 (min reps (Domain.recommended_domain_count () - 1))
+  in
+  let run replication =
+    let cfg =
+      Cluster.Simulation.default_config ~discipline:spec.discipline
+        ~horizon:scale.Config.horizon ~warmup:scale.Config.warmup ~seed
+        ~replication ~speeds:spec.speeds ~workload:spec.workload
+        ~scheduler:spec.scheduler ()
+    in
+    Cluster.Simulation.run cfg
+  in
+  if domains = 1 then List.init reps run
+  else begin
+    (* Static block partition of replication indices across domains. *)
+    let results = Array.make reps None in
+    let worker d () =
+      let k = ref d in
+      while !k < reps do
+        results.(!k) <- Some (run !k);
+        k := !k + domains
+      done
+    in
+    let spawned = List.init domains (fun d -> Domain.spawn (worker d)) in
+    List.iter Domain.join spawned;
+    List.init reps (fun k ->
+        match results.(k) with
+        | Some r -> r
+        | None -> assert false)
+  end
+
+let point_of_results results =
+  match results with
+  | [] -> invalid_arg "Runner.point_of_results: no results"
+  | first :: _ ->
+    let open Cluster.Simulation in
+    let extract f = Array.of_list (List.map f results) in
+    let times = extract (fun r -> r.metrics.Metrics.mean_response_time) in
+    let ratios = extract (fun r -> r.metrics.Metrics.mean_response_ratio) in
+    let fairnesses = extract (fun r -> r.metrics.Metrics.fairness) in
+    let n = Array.length first.dispatch_fractions in
+    let fractions = Array.make n 0.0 in
+    List.iter
+      (fun r ->
+        Array.iteri (fun i f -> fractions.(i) <- fractions.(i) +. f) r.dispatch_fractions)
+      results;
+    let reps = float_of_int (List.length results) in
+    Array.iteri (fun i f -> fractions.(i) <- f /. reps) fractions;
+    let jobs =
+      List.fold_left (fun acc r -> acc +. float_of_int r.metrics.Metrics.jobs) 0.0 results
+      /. reps
+    in
+    let avg f = List.fold_left (fun acc r -> acc +. f r) 0.0 results /. reps in
+    {
+      label = first.scheduler_name;
+      mean_response_time = Stats.Confidence.of_samples times;
+      mean_response_ratio = Stats.Confidence.of_samples ratios;
+      fairness = Stats.Confidence.of_samples fairnesses;
+      median_ratio = avg (fun r -> r.median_response_ratio);
+      p99_ratio = avg (fun r -> r.p99_response_ratio);
+      dispatch_fractions = fractions;
+      jobs_per_rep = jobs;
+    }
+
+let measure ?seed ~scale spec = point_of_results (replicate ?seed ~scale spec)
+
+type comparison = {
+  label_a : string;
+  label_b : string;
+  ratio_diff : Stats.Confidence.interval;
+  relative_improvement : float;
+  significant : bool;
+}
+
+let compare_paired ?seed ~scale ~a ~b ~speeds ~workload () =
+  if scale.Config.reps < 2 then
+    invalid_arg "Runner.compare_paired: need at least 2 replications";
+  let results scheduler =
+    replicate ?seed ~scale { speeds; workload; scheduler; discipline = Cluster.Simulation.Ps }
+  in
+  let ra = results a and rb = results b in
+  let ratio r =
+    r.Cluster.Simulation.metrics.Metrics.mean_response_ratio
+  in
+  let diffs =
+    Array.of_list (List.map2 (fun x y -> ratio x -. ratio y) ra rb)
+  in
+  let mean_of rs =
+    List.fold_left (fun acc r -> acc +. ratio r) 0.0 rs
+    /. float_of_int (List.length rs)
+  in
+  let interval = Stats.Confidence.of_samples diffs in
+  {
+    label_a = (List.hd ra).Cluster.Simulation.scheduler_name;
+    label_b = (List.hd rb).Cluster.Simulation.scheduler_name;
+    ratio_diff = interval;
+    relative_improvement = 1.0 -. (mean_of ra /. mean_of rb);
+    significant =
+      (let lo = Stats.Confidence.lower interval
+       and hi = Stats.Confidence.upper interval in
+       Float.is_finite lo && Float.is_finite hi && (hi < 0.0 || lo > 0.0));
+  }
+
+let pp_comparison fmt c =
+  Format.fprintf fmt "%s vs %s: diff %a (%s), %.1f%% %s" c.label_a c.label_b
+    Stats.Confidence.pp c.ratio_diff
+    (if c.significant then "significant" else "not significant")
+    (100.0 *. abs_float c.relative_improvement)
+    (if c.relative_improvement > 0.0 then "better" else "worse")
+
+let measure_to_precision ?(seed = Config.default_seed) ?(horizon = 4.0e5)
+    ?(warmup = 1.0e5) ?(min_reps = 3) ?(max_reps = 30) ~target spec =
+  if target <= 0.0 then invalid_arg "Runner.measure_to_precision: target <= 0";
+  if min_reps < 2 || min_reps > max_reps then
+    invalid_arg "Runner.measure_to_precision: need 2 <= min_reps <= max_reps";
+  let run replication =
+    let cfg =
+      Cluster.Simulation.default_config ~discipline:spec.discipline ~horizon ~warmup
+        ~seed ~replication ~speeds:spec.speeds ~workload:spec.workload
+        ~scheduler:spec.scheduler ()
+    in
+    Cluster.Simulation.run cfg
+  in
+  let rec grow results k =
+    let point = point_of_results (List.rev results) in
+    let rhw = Stats.Confidence.relative_half_width point.mean_response_ratio in
+    if (Float.is_finite rhw && rhw <= target) || k >= max_reps then point
+    else grow (run k :: results) (k + 1)
+  in
+  let initial = List.init min_reps run in
+  grow (List.rev initial) min_reps
+
+let measure_single_run ?(seed = Config.default_seed) ?(batch_size = 10_000) ~horizon
+    ~warmup spec =
+  let time_batches = Stats.Batch_means.create ~batch_size in
+  let ratio_batches = Stats.Batch_means.create ~batch_size in
+  let cfg =
+    Cluster.Simulation.default_config ~discipline:spec.discipline ~horizon ~warmup
+      ~seed ~speeds:spec.speeds ~workload:spec.workload ~scheduler:spec.scheduler ()
+  in
+  let module Job = Statsched_queueing.Job in
+  let on_completion job =
+    if job.Job.arrival >= warmup then begin
+      Stats.Batch_means.add time_batches (Job.response_time job);
+      Stats.Batch_means.add ratio_batches (Job.response_ratio job)
+    end
+  in
+  let result = Cluster.Simulation.run ~on_completion cfg in
+  if Stats.Batch_means.completed_batches time_batches < 2 then
+    invalid_arg
+      "Runner.measure_single_run: fewer than two completed batches; lengthen the \
+       horizon or shrink batch_size";
+  let open Cluster.Simulation in
+  {
+    label = result.scheduler_name;
+    mean_response_time = Stats.Batch_means.interval time_batches;
+    mean_response_ratio = Stats.Batch_means.interval ratio_batches;
+    median_ratio = result.median_response_ratio;
+    p99_ratio = result.p99_response_ratio;
+    fairness =
+      {
+        Stats.Confidence.mean = result.metrics.Metrics.fairness;
+        half_width = nan;
+        confidence = 0.95;
+        replications = 1;
+      };
+    dispatch_fractions = result.dispatch_fractions;
+    jobs_per_rep = float_of_int result.metrics.Metrics.jobs;
+  }
+
+let measure_parallel ?seed ?domains ~scale spec =
+  point_of_results (replicate_parallel ?seed ?domains ~scale spec)

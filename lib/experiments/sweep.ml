@@ -1,0 +1,35 @@
+let over_schedulers ?seed ~scale ~schedulers ~speeds ~workload () =
+  List.map
+    (fun (name, scheduler) ->
+      let spec = Runner.make_spec ~speeds ~workload ~scheduler () in
+      (name, Runner.measure ?seed ~scale spec))
+    schedulers
+
+type metric = [ `Time | `Ratio | `Fairness ]
+
+let metric_name = function
+  | `Time -> "mean response time"
+  | `Ratio -> "mean response ratio"
+  | `Fairness -> "fairness (std of response ratio)"
+
+let cell_of metric point =
+  let open Runner in
+  Report.Interval
+    (match metric with
+    | `Time -> point.mean_response_time
+    | `Ratio -> point.mean_response_ratio
+    | `Fairness -> point.fairness)
+
+let sweep_of_rows ~title ~xlabel ~metric rows =
+  let columns =
+    match rows with [] -> [] | (_, points) :: _ -> List.map fst points
+  in
+  {
+    Report.title = Printf.sprintf "%s — %s" title (metric_name metric);
+    xlabel;
+    columns;
+    rows =
+      List.map
+        (fun (x, points) -> (x, List.map (fun (_, p) -> cell_of metric p) points))
+        rows;
+  }

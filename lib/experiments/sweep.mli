@@ -1,0 +1,28 @@
+(** Helpers shared by the figure experiments. *)
+
+val over_schedulers :
+  ?seed:int64 ->
+  scale:Config.scale ->
+  schedulers:(string * Statsched_cluster.Scheduler.kind) list ->
+  speeds:float array ->
+  workload:Statsched_cluster.Workload.t ->
+  unit ->
+  (string * Runner.point) list
+(** Measure every scheduler on the same cluster and workload.  Each
+    scheduler sees identical arrival and size streams per replication
+    (common random numbers). *)
+
+type metric = [ `Time | `Ratio | `Fairness ]
+
+val metric_name : metric -> string
+
+val cell_of : metric -> Runner.point -> Report.cell
+
+val sweep_of_rows :
+  title:string ->
+  xlabel:string ->
+  metric:metric ->
+  (float * (string * Runner.point) list) list ->
+  Report.sweep
+(** Turn per-x scheduler measurements into a printable series table for
+    one metric. *)

@@ -1,0 +1,42 @@
+module Cluster = Statsched_cluster
+module Core = Statsched_core
+
+type result = {
+  speeds : float array;
+  measured_fractions : float array;
+  paper_fractions : float array;
+  weighted_fractions : float array;
+}
+
+let paper_percent = [| 0.29; 1.75; 3.84; 7.17; 14.59; 27.95; 30.90 |]
+
+let run ?(scale = Config.default_scale) ?seed () =
+  let speeds = Core.Speeds.table1 in
+  let workload =
+    Cluster.Workload.paper_default ~rho:Config.base_utilization ~speeds
+  in
+  let spec =
+    Runner.make_spec ~speeds ~workload ~scheduler:Cluster.Scheduler.least_load_paper ()
+  in
+  let point = Runner.measure ?seed ~scale spec in
+  {
+    speeds;
+    measured_fractions = point.Runner.dispatch_fractions;
+    paper_fractions = Array.map (fun p -> p /. 100.0) paper_percent;
+    weighted_fractions = Core.Allocation.weighted speeds;
+  }
+
+let to_report r =
+  let open Report in
+  let rows =
+    List.init (Array.length r.speeds) (fun i ->
+        [
+          Float r.speeds.(i);
+          Percent r.measured_fractions.(i);
+          Percent r.paper_fractions.(i);
+          Percent r.weighted_fractions.(i);
+        ])
+  in
+  render
+    ~header:[ "speed"; "measured %"; "paper %"; "speed-proportional %" ]
+    ~rows

@@ -1,0 +1,64 @@
+type t = Xoshiro256.t
+
+let default_seed = 0x5EEDFACE5EEDL
+
+let create ?(seed = default_seed) () = Xoshiro256.create seed
+
+let of_xoshiro g = g
+
+let copy = Xoshiro256.copy
+
+let split g =
+  let a = Xoshiro256.next g in
+  let b = Xoshiro256.next g in
+  Xoshiro256.create (Int64.logxor a (Int64.mul b 0x9E3779B97F4A7C15L))
+
+let substream = Xoshiro256.substream
+
+let float = Xoshiro256.next_float
+
+let uniform g a b =
+  if a > b then invalid_arg "Rng.uniform: a > b";
+  a +. ((b -. a) *. float g)
+
+let int g n =
+  if n <= 0 then invalid_arg "Rng.int: n <= 0";
+  (* Rejection sampling to avoid modulo bias. *)
+  let n64 = Int64.of_int n in
+  let rec loop () =
+    let bits = Int64.shift_right_logical (Xoshiro256.next g) 1 in
+    let v = Int64.rem bits n64 in
+    if Int64.sub bits v > Int64.sub Int64.max_int (Int64.sub n64 1L) then loop ()
+    else Int64.to_int v
+  in
+  loop ()
+
+let bits64 = Xoshiro256.next
+
+let bool g = Int64.logand (Xoshiro256.next g) 1L = 1L
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose_weighted g w =
+  let n = Array.length w in
+  if n = 0 then invalid_arg "Rng.choose_weighted: empty weights";
+  let total = ref 0.0 in
+  for i = 0 to n - 1 do
+    if w.(i) < 0.0 then invalid_arg "Rng.choose_weighted: negative weight";
+    total := !total +. w.(i)
+  done;
+  if !total <= 0.0 then invalid_arg "Rng.choose_weighted: zero total weight";
+  let x = float g *. !total in
+  let rec scan i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc +. w.(i) in
+      if x < acc then i else scan (i + 1) acc
+  in
+  scan 0 0.0

@@ -1,0 +1,25 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+let copy g = { state = g.state }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* The standard SplitMix64 finaliser (Stafford's Mix13 variant). *)
+let next g =
+  g.state <- Int64.add g.state golden_gamma;
+  let z = g.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let two_pow_53 = 9007199254740992.0 (* 2^53 *)
+
+let next_float g =
+  let bits53 = Int64.shift_right_logical (next g) 11 in
+  Int64.to_float bits53 /. two_pow_53
+
+let state g = g.state
+
+let of_state s = { state = s }

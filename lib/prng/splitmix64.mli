@@ -1,0 +1,31 @@
+(** SplitMix64 pseudo-random number generator.
+
+    A small, fast, splittable generator (Steele, Lea & Flood, OOPSLA 2014)
+    with a 64-bit state and period 2{^64}.  Its statistical quality is good
+    enough for seeding, stream splitting and light-duty simulation, and its
+    one-word state makes it the natural bootstrap generator for
+    {!Xoshiro256}. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] returns a fresh generator.  Distinct seeds give
+    uncorrelated streams for all practical purposes. *)
+
+val copy : t -> t
+(** [copy g] is an independent snapshot of [g]'s current state: advancing
+    one does not affect the other. *)
+
+val next : t -> int64
+(** [next g] advances [g] and returns 64 uniformly distributed bits. *)
+
+val next_float : t -> float
+(** [next_float g] is a uniform float in [\[0, 1)], using the top 53 bits
+    of {!next}. *)
+
+val state : t -> int64
+(** [state g] exposes the current state (for checkpointing). *)
+
+val of_state : int64 -> t
+(** [of_state s] rebuilds a generator from a {!state} snapshot. *)

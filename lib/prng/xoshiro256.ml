@@ -1,0 +1,69 @@
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+}
+
+let create seed =
+  let sm = Splitmix64.create seed in
+  let s0 = Splitmix64.next sm in
+  let s1 = Splitmix64.next sm in
+  let s2 = Splitmix64.next sm in
+  let s3 = Splitmix64.next sm in
+  (* An all-zero state is a fixed point; this cannot happen from SplitMix64
+     output in practice, but guard anyway. *)
+  if s0 = 0L && s1 = 0L && s2 = 0L && s3 = 0L then { s0 = 1L; s1; s2; s3 }
+  else { s0; s1; s2; s3 }
+
+let copy g = { s0 = g.s0; s1 = g.s1; s2 = g.s2; s3 = g.s3 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let next g =
+  let result = Int64.mul (rotl (Int64.mul g.s1 5L) 7) 9L in
+  let t = Int64.shift_left g.s1 17 in
+  g.s2 <- Int64.logxor g.s2 g.s0;
+  g.s3 <- Int64.logxor g.s3 g.s1;
+  g.s1 <- Int64.logxor g.s1 g.s2;
+  g.s0 <- Int64.logxor g.s0 g.s3;
+  g.s2 <- Int64.logxor g.s2 t;
+  g.s3 <- rotl g.s3 45;
+  result
+
+let two_pow_53 = 9007199254740992.0
+
+let next_float g =
+  let bits53 = Int64.shift_right_logical (next g) 11 in
+  Int64.to_float bits53 /. two_pow_53
+
+(* Jump polynomial for 2^128 steps, from the reference implementation. *)
+let jump_poly = [| 0x180EC6D33CFD0ABAL; 0xD5A61266F0C9392CL; 0xA9582618E03FC9AAL; 0x39ABDC4529B1661CL |]
+
+let jump g =
+  let t0 = ref 0L and t1 = ref 0L and t2 = ref 0L and t3 = ref 0L in
+  Array.iter
+    (fun word ->
+      for b = 0 to 63 do
+        if Int64.logand word (Int64.shift_left 1L b) <> 0L then begin
+          t0 := Int64.logxor !t0 g.s0;
+          t1 := Int64.logxor !t1 g.s1;
+          t2 := Int64.logxor !t2 g.s2;
+          t3 := Int64.logxor !t3 g.s3
+        end;
+        ignore (next g)
+      done)
+    jump_poly;
+  g.s0 <- !t0;
+  g.s1 <- !t1;
+  g.s2 <- !t2;
+  g.s3 <- !t3
+
+let substream g k =
+  if k < 0 then invalid_arg "Xoshiro256.substream: negative index";
+  let h = copy g in
+  for _ = 1 to k do
+    jump h
+  done;
+  h

@@ -1,0 +1,35 @@
+(** xoshiro256** pseudo-random number generator.
+
+    Blackman & Vigna's all-purpose 256-bit generator (period 2{^256} − 1).
+    This is the workhorse generator of the simulator: fast, high quality,
+    and equipped with a {!jump} function that advances the state by 2{^128}
+    steps, which we use to derive provably non-overlapping substreams for
+    independent simulation replications. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] initialises the four state words from a {!Splitmix64}
+    generator seeded with [seed], as recommended by the authors. *)
+
+val copy : t -> t
+(** [copy g] is an independent snapshot of [g]. *)
+
+val next : t -> int64
+(** [next g] advances [g] and returns 64 uniformly distributed bits. *)
+
+val next_float : t -> float
+(** [next_float g] is a uniform float in [\[0, 1)] (top 53 bits). *)
+
+val jump : t -> unit
+(** [jump g] advances [g] by 2{^128} calls to {!next} in O(256) work.
+    Calling [jump] on copies yields non-overlapping substreams each of
+    length 2{^128}. *)
+
+val substream : t -> int -> t
+(** [substream g k] is an independent generator positioned [k] jumps
+    (each 2{^128} draws) ahead of [g]'s current state.  [g] itself is not
+    modified.  Replication [k] of an experiment uses [substream base k].
+
+    @raise Invalid_argument if [k < 0]. *)

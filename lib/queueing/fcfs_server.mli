@@ -1,0 +1,26 @@
+(** First-come-first-served server.
+
+    Not used by the paper's experiments (its machines time-share), but
+    valuable as a contrast workload: under heavy-tailed sizes FCFS lets
+    huge jobs block small ones, which magnifies the response-ratio metric
+    and motivates the PS assumption.  Also the natural model for batch
+    nodes in the examples. *)
+
+type t
+
+val create :
+  engine:Statsched_des.Engine.t ->
+  speed:float ->
+  on_departure:(Job.t -> unit) ->
+  unit ->
+  t
+(** @raise Invalid_argument if [speed <= 0]. *)
+
+val submit : t -> Job.t -> unit
+val in_system : t -> int
+val mean_in_system : t -> float
+val utilization : t -> float
+val completed : t -> int
+val work_done : t -> float
+val reset_stats : t -> unit
+val to_server : t -> Server_intf.t

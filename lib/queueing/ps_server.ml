@@ -1,0 +1,135 @@
+module Engine = Statsched_des.Engine
+module Event_queue = Statsched_des.Event_queue
+module Tally = Statsched_stats.Tally
+
+type t = {
+  engine : Engine.t;
+  speed : float;
+  on_departure : Job.t -> unit;
+  active : Job.t Event_queue.t;  (* keyed by virtual finish time *)
+  mutable vclock : float;
+  mutable last_update : float;
+  mutable completion_ev : Engine.event_handle option;
+  busy : Tally.t;
+  occupancy : Tally.t;
+  mutable completed : int;
+  mutable work : float;
+}
+
+let create ~engine ~speed ~on_departure () =
+  if speed <= 0.0 then invalid_arg "Ps_server.create: speed <= 0";
+  {
+    engine;
+    speed;
+    on_departure;
+    active = Event_queue.create ();
+    vclock = 0.0;
+    last_update = Engine.now engine;
+    completion_ev = None;
+    busy = Tally.create ~start_time:(Engine.now engine) ();
+    occupancy = Tally.create ~start_time:(Engine.now engine) ();
+    completed = 0;
+    work = 0.0;
+  }
+
+let in_system t = Event_queue.size t.active
+
+(* Bring virtual time and work counters up to the current instant. *)
+let advance t =
+  let now = Engine.now t.engine in
+  let n = in_system t in
+  if n > 0 then begin
+    let elapsed = now -. t.last_update in
+    t.vclock <- t.vclock +. (elapsed *. t.speed /. float_of_int n);
+    t.work <- t.work +. (elapsed *. t.speed)
+  end;
+  t.last_update <- now
+
+let eps t = 1e-9 *. (1.0 +. abs_float t.vclock)
+
+let rec reschedule t =
+  (match t.completion_ev with
+  | Some h ->
+    ignore (Engine.cancel t.engine h);
+    t.completion_ev <- None
+  | None -> ());
+  Tally.update t.occupancy ~time:(Engine.now t.engine)
+    ~value:(float_of_int (in_system t));
+  match Event_queue.peek_time t.active with
+  | None -> Tally.update t.busy ~time:(Engine.now t.engine) ~value:0.0
+  | Some v_min ->
+    let n = float_of_int (in_system t) in
+    let delay = max 0.0 ((v_min -. t.vclock) *. n /. t.speed) in
+    t.completion_ev <- Some (Engine.schedule t.engine ~delay (fun _ -> on_completion t))
+
+and on_completion t =
+  t.completion_ev <- None;
+  advance t;
+  let tol = eps t in
+  let rec drain forced =
+    match Event_queue.peek_time t.active with
+    | Some v_min when v_min <= t.vclock +. tol || forced ->
+      (match Event_queue.pop t.active with
+      | Some (_, job) ->
+        job.Job.completion <- Engine.now t.engine;
+        t.completed <- t.completed + 1;
+        t.on_departure job;
+        drain false
+      | None -> ())
+    | Some _ | None -> ()
+  in
+  (* Float round-off can leave the head a hair beyond the virtual clock;
+     force at least one departure so the simulation always progresses. *)
+  let head_ready =
+    match Event_queue.peek_time t.active with
+    | Some v_min -> v_min <= t.vclock +. tol
+    | None -> false
+  in
+  drain (not head_ready);
+  reschedule t
+
+let submit t job =
+  advance t;
+  let now = Engine.now t.engine in
+  if job.Job.start < 0.0 then job.Job.start <- now;
+  ignore (Event_queue.add t.active ~time:(t.vclock +. job.Job.size) job);
+  Tally.update t.busy ~time:now ~value:1.0;
+  reschedule t
+
+let utilization t =
+  Tally.advance t.busy ~time:(Engine.now t.engine);
+  let u = Tally.time_average t.busy in
+  if Float.is_nan u then 0.0 else u
+
+let mean_in_system t =
+  Tally.advance t.occupancy ~time:(Engine.now t.engine);
+  let l = Tally.time_average t.occupancy in
+  if Float.is_nan l then 0.0 else l
+
+let completed t = t.completed
+
+let work_done t =
+  advance t;
+  t.work
+
+let reset_stats t =
+  advance t;
+  Tally.reset_at t.busy ~time:(Engine.now t.engine);
+  Tally.update t.occupancy ~time:(Engine.now t.engine)
+    ~value:(float_of_int (in_system t));
+  Tally.reset_at t.occupancy ~time:(Engine.now t.engine);
+  t.completed <- 0;
+  t.work <- 0.0
+
+let to_server t =
+  {
+    Server_intf.speed = t.speed;
+    submit = submit t;
+    in_system = (fun () -> in_system t);
+    mean_in_system = (fun () -> mean_in_system t);
+    utilization = (fun () -> utilization t);
+    completed = (fun () -> completed t);
+    work_done = (fun () -> work_done t);
+    reset_stats = (fun () -> reset_stats t);
+    discipline = "PS";
+  }

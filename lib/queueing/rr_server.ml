@@ -1,0 +1,108 @@
+module Engine = Statsched_des.Engine
+module Tally = Statsched_stats.Tally
+
+type slot = { job : Job.t; mutable remaining : float }
+
+type t = {
+  engine : Engine.t;
+  speed : float;
+  quantum : float;
+  on_departure : Job.t -> unit;
+  queue : slot Queue.t;
+  mutable serving : bool;
+  busy : Tally.t;
+  occupancy : Tally.t;
+  mutable completed : int;
+  mutable work : float;
+  mutable n : int;
+}
+
+let create ~engine ~speed ~quantum ~on_departure () =
+  if speed <= 0.0 then invalid_arg "Rr_server.create: speed <= 0";
+  if quantum <= 0.0 then invalid_arg "Rr_server.create: quantum <= 0";
+  {
+    engine;
+    speed;
+    quantum;
+    on_departure;
+    queue = Queue.create ();
+    serving = false;
+    busy = Tally.create ~start_time:(Engine.now engine) ();
+    occupancy = Tally.create ~start_time:(Engine.now engine) ();
+    completed = 0;
+    work = 0.0;
+    n = 0;
+  }
+
+let in_system t = t.n
+
+let note_occupancy t =
+  Tally.update t.occupancy ~time:(Engine.now t.engine) ~value:(float_of_int t.n)
+
+let rec start_next t =
+  if Queue.is_empty t.queue then begin
+    t.serving <- false;
+    Tally.update t.busy ~time:(Engine.now t.engine) ~value:0.0
+  end
+  else begin
+    t.serving <- true;
+    Tally.update t.busy ~time:(Engine.now t.engine) ~value:1.0;
+    let slot = Queue.pop t.queue in
+    let slice = min t.quantum slot.remaining in
+    let delay = slice /. t.speed in
+    ignore
+      (Engine.schedule t.engine ~delay (fun _ ->
+           slot.remaining <- slot.remaining -. slice;
+           t.work <- t.work +. slice;
+           if slot.remaining <= 1e-12 *. slot.job.Job.size then begin
+             slot.job.Job.completion <- Engine.now t.engine;
+             t.completed <- t.completed + 1;
+             t.n <- t.n - 1;
+             note_occupancy t;
+             t.on_departure slot.job
+           end
+           else Queue.push slot t.queue;
+           start_next t))
+  end
+
+let submit t job =
+  let now = Engine.now t.engine in
+  if job.Job.start < 0.0 then job.Job.start <- now;
+  Queue.push { job; remaining = job.Job.size } t.queue;
+  t.n <- t.n + 1;
+  note_occupancy t;
+  if not t.serving then start_next t
+
+let utilization t =
+  Tally.advance t.busy ~time:(Engine.now t.engine);
+  let u = Tally.time_average t.busy in
+  if Float.is_nan u then 0.0 else u
+
+let mean_in_system t =
+  Tally.advance t.occupancy ~time:(Engine.now t.engine);
+  let l = Tally.time_average t.occupancy in
+  if Float.is_nan l then 0.0 else l
+
+let completed t = t.completed
+
+let work_done t = t.work
+
+let reset_stats t =
+  Tally.reset_at t.busy ~time:(Engine.now t.engine);
+  note_occupancy t;
+  Tally.reset_at t.occupancy ~time:(Engine.now t.engine);
+  t.completed <- 0;
+  t.work <- 0.0
+
+let to_server t =
+  {
+    Server_intf.speed = t.speed;
+    submit = submit t;
+    in_system = (fun () -> in_system t);
+    mean_in_system = (fun () -> mean_in_system t);
+    utilization = (fun () -> utilization t);
+    completed = (fun () -> completed t);
+    work_done = (fun () -> work_done t);
+    reset_stats = (fun () -> reset_stats t);
+    discipline = Printf.sprintf "RR(q=%g)" t.quantum;
+  }

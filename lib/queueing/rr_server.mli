@@ -1,0 +1,32 @@
+(** Quantum-based preemptive round-robin server.
+
+    The literal reading of the paper's "preemptive round-robin processor
+    scheduling": jobs take turns receiving a fixed service quantum.  As the
+    quantum shrinks this converges to {!Ps_server}; a test drives both with
+    identical traces and checks the agreement.  Because every quantum is a
+    simulation event, this server is orders of magnitude slower than the PS
+    model and is used for validation and ablation, not for the headline
+    experiments. *)
+
+type t
+
+val create :
+  engine:Statsched_des.Engine.t ->
+  speed:float ->
+  quantum:float ->
+  on_departure:(Job.t -> unit) ->
+  unit ->
+  t
+(** [quantum] is the slice of work (in speed-1 seconds) a job receives per
+    turn; it lasts [quantum/speed] real seconds on this server.
+
+    @raise Invalid_argument if [speed <= 0] or [quantum <= 0]. *)
+
+val submit : t -> Job.t -> unit
+val in_system : t -> int
+val mean_in_system : t -> float
+val utilization : t -> float
+val completed : t -> int
+val work_done : t -> float
+val reset_stats : t -> unit
+val to_server : t -> Server_intf.t

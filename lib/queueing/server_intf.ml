@@ -1,0 +1,11 @@
+type t = {
+  speed : float;
+  submit : Job.t -> unit;
+  in_system : unit -> int;
+  mean_in_system : unit -> float;
+  utilization : unit -> float;
+  completed : unit -> int;
+  work_done : unit -> float;
+  reset_stats : unit -> unit;
+  discipline : string;
+}

@@ -1,0 +1,19 @@
+(** Uniform first-class view of a server.
+
+    {!Ps_server}, {!Rr_server} and {!Fcfs_server} all coerce to this record
+    so the cluster model can mix service disciplines per computer. *)
+
+type t = {
+  speed : float;  (** relative processing speed [s_i > 0] *)
+  submit : Job.t -> unit;  (** hand a job to the server at the current simulation time *)
+  in_system : unit -> int;  (** jobs currently queued or in service (run-queue length) *)
+  mean_in_system : unit -> float;
+      (** time-averaged number of jobs present since creation/reset — the
+          [L] of Little's law ([L = λ·W]), which the integration tests
+          verify against the collector's response times *)
+  utilization : unit -> float;  (** time-averaged busy fraction since creation/reset *)
+  completed : unit -> int;  (** jobs departed so far *)
+  work_done : unit -> float;  (** total service delivered, in speed-1 seconds *)
+  reset_stats : unit -> unit;  (** discard utilisation/work statistics (end of warm-up) *)
+  discipline : string;  (** e.g. ["PS"], ["RR(q=0.01)"], ["FCFS"] *)
+}

@@ -1,0 +1,133 @@
+module Engine = Statsched_des.Engine
+module Event_queue = Statsched_des.Event_queue
+module Tally = Statsched_stats.Tally
+
+type running = {
+  job : Job.t;
+  remaining_at_start : float;  (* work left when this service slice began *)
+  slice_start : float;  (* real time the slice began *)
+  event : Engine.event_handle;
+}
+
+type t = {
+  engine : Engine.t;
+  speed : float;
+  on_departure : Job.t -> unit;
+  waiting : (Job.t * float) Event_queue.t;  (* keyed by remaining work *)
+  mutable current : running option;
+  busy : Tally.t;
+  occupancy : Tally.t;
+  mutable completed : int;
+  mutable work : float;
+  mutable n : int;
+}
+
+let create ~engine ~speed ~on_departure () =
+  if speed <= 0.0 then invalid_arg "Srpt_server.create: speed <= 0";
+  {
+    engine;
+    speed;
+    on_departure;
+    waiting = Event_queue.create ();
+    current = None;
+    busy = Tally.create ~start_time:(Engine.now engine) ();
+    occupancy = Tally.create ~start_time:(Engine.now engine) ();
+    completed = 0;
+    work = 0.0;
+    n = 0;
+  }
+
+let in_system t = t.n
+
+let note_occupancy t =
+  Tally.update t.occupancy ~time:(Engine.now t.engine) ~value:(float_of_int t.n)
+
+let remaining_of_current t r =
+  let elapsed = Engine.now t.engine -. r.slice_start in
+  max 0.0 (r.remaining_at_start -. (elapsed *. t.speed))
+
+let rec start t job remaining =
+  let now = Engine.now t.engine in
+  if job.Job.start < 0.0 then job.Job.start <- now;
+  Tally.update t.busy ~time:now ~value:1.0;
+  let event =
+    Engine.schedule t.engine ~delay:(remaining /. t.speed) (fun _ ->
+        t.work <- t.work +. remaining;
+        job.Job.completion <- Engine.now t.engine;
+        t.completed <- t.completed + 1;
+        t.n <- t.n - 1;
+        t.current <- None;
+        note_occupancy t;
+        t.on_departure job;
+        next t)
+  in
+  t.current <- Some { job; remaining_at_start = remaining; slice_start = now; event }
+
+and next t =
+  match Event_queue.pop t.waiting with
+  | Some (_, (job, remaining)) -> start t job remaining
+  | None -> Tally.update t.busy ~time:(Engine.now t.engine) ~value:0.0
+
+let submit t job =
+  t.n <- t.n + 1;
+  note_occupancy t;
+  match t.current with
+  | None -> start t job job.Job.size
+  | Some r ->
+    let current_remaining = remaining_of_current t r in
+    if job.Job.size < current_remaining then begin
+      (* Preempt: bank the work done in this slice, park the runner. *)
+      ignore (Engine.cancel t.engine r.event);
+      t.work <- t.work +. (r.remaining_at_start -. current_remaining);
+      ignore (Event_queue.add t.waiting ~time:current_remaining (r.job, current_remaining));
+      start t job job.Job.size
+    end
+    else ignore (Event_queue.add t.waiting ~time:job.Job.size (job, job.Job.size))
+
+let utilization t =
+  Tally.advance t.busy ~time:(Engine.now t.engine);
+  let u = Tally.time_average t.busy in
+  if Float.is_nan u then 0.0 else u
+
+let mean_in_system t =
+  Tally.advance t.occupancy ~time:(Engine.now t.engine);
+  let l = Tally.time_average t.occupancy in
+  if Float.is_nan l then 0.0 else l
+
+let completed t = t.completed
+
+let work_done t =
+  match t.current with
+  | None -> t.work
+  | Some r -> t.work +. (r.remaining_at_start -. remaining_of_current t r)
+
+let reset_stats t =
+  Tally.reset_at t.busy ~time:(Engine.now t.engine);
+  note_occupancy t;
+  Tally.reset_at t.occupancy ~time:(Engine.now t.engine);
+  t.completed <- 0;
+  (* keep in-progress slice accounting consistent: bank nothing *)
+  t.work <- 0.0;
+  match t.current with
+  | None -> ()
+  | Some r ->
+    t.current <-
+      Some
+        {
+          r with
+          remaining_at_start = remaining_of_current t r;
+          slice_start = Engine.now t.engine;
+        }
+
+let to_server t =
+  {
+    Server_intf.speed = t.speed;
+    submit = submit t;
+    in_system = (fun () -> in_system t);
+    mean_in_system = (fun () -> mean_in_system t);
+    utilization = (fun () -> utilization t);
+    completed = (fun () -> completed t);
+    work_done = (fun () -> work_done t);
+    reset_stats = (fun () -> reset_stats t);
+    discipline = "SRPT";
+  }

@@ -1,0 +1,27 @@
+(** Preemptive Shortest-Remaining-Processing-Time server.
+
+    The optimal single-server discipline for mean response time, and the
+    natural size-{e aware} counterpart to PS at the host level (as SITA-E
+    is at the dispatching level).  A new arrival preempts the running job
+    when its size is below the runner's remaining work.  Included to let
+    the discipline-comparison benches span size-blind (FCFS, PS/RR) and
+    size-aware (SRPT) hosts; the paper's setting corresponds to PS. *)
+
+type t
+
+val create :
+  engine:Statsched_des.Engine.t ->
+  speed:float ->
+  on_departure:(Job.t -> unit) ->
+  unit ->
+  t
+(** @raise Invalid_argument if [speed <= 0]. *)
+
+val submit : t -> Job.t -> unit
+val in_system : t -> int
+val mean_in_system : t -> float
+val utilization : t -> float
+val completed : t -> int
+val work_done : t -> float
+val reset_stats : t -> unit
+val to_server : t -> Server_intf.t

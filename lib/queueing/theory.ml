@@ -1,0 +1,25 @@
+let utilization ~lambda ~mean_size ~speed = lambda *. mean_size /. speed
+
+let guard rho value = if rho >= 1.0 then infinity else value
+
+let mm1_fcfs_response ~lambda ~mean_size ~speed =
+  let rho = utilization ~lambda ~mean_size ~speed in
+  guard rho (mean_size /. speed /. (1.0 -. rho))
+
+let mg1_fcfs_response ~lambda ~mean_size ~scv ~speed =
+  let rho = utilization ~lambda ~mean_size ~speed in
+  let x = mean_size /. speed in
+  (* E[S^2] = x^2 (1 + scv); waiting time = lambda E[S^2] / (2(1-rho)). *)
+  guard rho (x +. (lambda *. x *. x *. (1.0 +. scv) /. (2.0 *. (1.0 -. rho))))
+
+let mg1_ps_response ~lambda ~mean_size ~speed =
+  let rho = utilization ~lambda ~mean_size ~speed in
+  guard rho (mean_size /. speed /. (1.0 -. rho))
+
+let mg1_ps_mean_slowdown ~lambda ~mean_size ~speed =
+  let rho = utilization ~lambda ~mean_size ~speed in
+  guard rho (1.0 /. (speed *. (1.0 -. rho)))
+
+let mm1_number_in_system ~lambda ~mean_size ~speed =
+  let rho = utilization ~lambda ~mean_size ~speed in
+  guard rho (rho /. (1.0 -. rho))

@@ -1,0 +1,38 @@
+(** Closed-form single-server queueing results.
+
+    Companion formulas for the server models in this library, used to
+    validate the simulators and to reason about the paper's modelling
+    choices (why processor sharing keeps the response {e ratio} civil
+    under heavy-tailed sizes while FCFS does not).
+
+    All formulas are for a single server of rate [speed] fed by a Poisson
+    stream of rate [lambda]; job sizes have mean [mean_size] (in speed-1
+    seconds) and squared coefficient of variation [scv].  Saturated
+    systems return [infinity]. *)
+
+val utilization : lambda:float -> mean_size:float -> speed:float -> float
+(** Offered load [ρ = λ·E\[S\]/speed]. *)
+
+val mm1_fcfs_response : lambda:float -> mean_size:float -> speed:float -> float
+(** M/M/1-FCFS mean response time: [E[S]/speed / (1 − ρ)]. *)
+
+val mg1_fcfs_response :
+  lambda:float -> mean_size:float -> scv:float -> speed:float -> float
+(** M/G/1-FCFS mean response time by Pollaczek–Khinchine:
+    [x̄ + λ·x̄²·(1+scv)/(2(1−ρ))] with [x̄ = E[S]/speed].  Grows linearly
+    with the size variability — the formal reason FCFS collapses under
+    Bounded-Pareto sizes. *)
+
+val mg1_ps_response : lambda:float -> mean_size:float -> speed:float -> float
+(** M/G/1-PS mean response time: [x̄/(1−ρ)] — {e insensitive} to the size
+    distribution beyond its mean (Kleinrock Vol. II).  This insensitivity
+    is what lets the paper derive allocations from an M/M/1 model and
+    apply them to a Bounded-Pareto workload. *)
+
+val mg1_ps_mean_slowdown : lambda:float -> mean_size:float -> speed:float -> float
+(** Mean response ratio (slowdown) under PS: every job's conditional
+    slowdown is [1/(speed(1−ρ))] per unit size over its own size — i.e.
+    the expected response ratio is [1/(speed·(1−ρ))] independent of size. *)
+
+val mm1_number_in_system : lambda:float -> mean_size:float -> speed:float -> float
+(** Mean number of jobs in an M/M/1 (or M/G/1-PS) system: [ρ/(1−ρ)]. *)

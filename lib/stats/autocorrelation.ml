@@ -1,0 +1,32 @@
+let lag xs k =
+  let n = Array.length xs in
+  if k < 0 then invalid_arg "Autocorrelation.lag: negative lag";
+  if n < 2 then invalid_arg "Autocorrelation.lag: series too short";
+  if k >= n then invalid_arg "Autocorrelation.lag: lag >= length";
+  let mean = Array.fold_left ( +. ) 0.0 xs /. float_of_int n in
+  let var =
+    Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 xs
+  in
+  if var <= 0.0 then invalid_arg "Autocorrelation.lag: zero variance";
+  let cov = ref 0.0 in
+  for i = 0 to n - 1 - k do
+    cov := !cov +. ((xs.(i) -. mean) *. (xs.(i + k) -. mean))
+  done;
+  !cov /. var
+
+let first_insignificant_lag ?threshold xs =
+  let n = Array.length xs in
+  let threshold =
+    match threshold with
+    | Some t -> t
+    | None -> 2.0 /. sqrt (float_of_int n)
+  in
+  let rec find k =
+    if k >= n - 1 then n - 1
+    else if abs_float (lag xs k) < threshold then k
+    else find (k + 1)
+  in
+  find 1
+
+let suggest_batch_size ?threshold xs =
+  max 2 (10 * first_insignificant_lag ?threshold xs)

@@ -1,0 +1,23 @@
+(** Autocorrelation estimation for simulation output analysis.
+
+    Within-run observations (successive response times) are serially
+    correlated, which is precisely why {!Batch_means} exists.  This module
+    quantifies the correlation so batch sizes can be chosen instead of
+    guessed: batches should be long enough that adjacent batch means are
+    nearly uncorrelated. *)
+
+val lag : float array -> int -> float
+(** [lag xs k] is the lag-[k] sample autocorrelation coefficient
+    [ρ̂_k ∈ [−1, 1]] of the series.  [lag xs 0 = 1].
+
+    @raise Invalid_argument if [k < 0], [k >= length xs], or the series
+    has fewer than 2 points or zero variance. *)
+
+val first_insignificant_lag : ?threshold:float -> float array -> int
+(** Smallest [k >= 1] with [|ρ̂_k| < threshold] (default [2/√n], the usual
+    white-noise band).  Returns [length xs - 1] if none qualifies. *)
+
+val suggest_batch_size : ?threshold:float -> float array -> int
+(** A batch size for {!Batch_means}: a safety factor of 10× the
+    {!first_insignificant_lag}, at least 2 — the rule-of-thumb that makes
+    adjacent batch means effectively independent. *)

@@ -1,0 +1,33 @@
+type t = {
+  batch_size : int;
+  mutable sum : float;
+  mutable in_batch : int;
+  mutable means : float list;  (* reversed: newest first *)
+  mutable n_batches : int;
+}
+
+let create ~batch_size =
+  if batch_size <= 0 then invalid_arg "Batch_means.create: batch_size <= 0";
+  { batch_size; sum = 0.0; in_batch = 0; means = []; n_batches = 0 }
+
+let add t x =
+  t.sum <- t.sum +. x;
+  t.in_batch <- t.in_batch + 1;
+  if t.in_batch = t.batch_size then begin
+    t.means <- (t.sum /. float_of_int t.batch_size) :: t.means;
+    t.n_batches <- t.n_batches + 1;
+    t.sum <- 0.0;
+    t.in_batch <- 0
+  end
+
+let completed_batches t = t.n_batches
+
+let batch_means t = Array.of_list (List.rev t.means)
+
+let grand_mean t =
+  if t.n_batches = 0 then nan
+  else List.fold_left ( +. ) 0.0 t.means /. float_of_int t.n_batches
+
+let interval ?confidence t =
+  if t.n_batches = 0 then invalid_arg "Batch_means.interval: no completed batch";
+  Confidence.of_samples ?confidence (batch_means t)

@@ -1,0 +1,27 @@
+(** Method of batch means for single long runs.
+
+    Groups a stream of correlated within-run observations into fixed-size
+    batches whose means are approximately independent, enabling a
+    confidence interval from one long simulation instead of many
+    replications.  Complements {!Confidence} (which the headline
+    experiments use, matching the paper's 10-replication methodology). *)
+
+type t
+
+val create : batch_size:int -> t
+(** @raise Invalid_argument if [batch_size <= 0]. *)
+
+val add : t -> float -> unit
+
+val completed_batches : t -> int
+
+val batch_means : t -> float array
+(** Means of all completed batches, oldest first. *)
+
+val grand_mean : t -> float
+(** Mean over completed batches; [nan] if none. *)
+
+val interval : ?confidence:float -> t -> Confidence.interval
+(** Confidence interval treating batch means as i.i.d.
+
+    @raise Invalid_argument if no batch has completed. *)

@@ -1,0 +1,83 @@
+type layout = Linear | Log
+
+type t = {
+  layout : layout;
+  lo : float;
+  hi : float;
+  bins : int array;
+  mutable under : int;
+  mutable over : int;
+  mutable total : int;
+}
+
+let create_linear ~lo ~hi ~bins =
+  if lo >= hi then invalid_arg "Histogram.create_linear: lo >= hi";
+  if bins <= 0 then invalid_arg "Histogram.create_linear: bins <= 0";
+  { layout = Linear; lo; hi; bins = Array.make bins 0; under = 0; over = 0; total = 0 }
+
+let create_log ~lo ~hi ~bins =
+  if lo <= 0.0 then invalid_arg "Histogram.create_log: lo <= 0";
+  if lo >= hi then invalid_arg "Histogram.create_log: lo >= hi";
+  if bins <= 0 then invalid_arg "Histogram.create_log: bins <= 0";
+  { layout = Log; lo; hi; bins = Array.make bins 0; under = 0; over = 0; total = 0 }
+
+let bin_count h = Array.length h.bins
+
+let index_of h x =
+  let n = float_of_int (bin_count h) in
+  match h.layout with
+  | Linear -> int_of_float (n *. (x -. h.lo) /. (h.hi -. h.lo))
+  | Log -> int_of_float (n *. log (x /. h.lo) /. log (h.hi /. h.lo))
+
+let add h x =
+  h.total <- h.total + 1;
+  if x < h.lo then h.under <- h.under + 1
+  else if x >= h.hi then h.over <- h.over + 1
+  else begin
+    let i = min (bin_count h - 1) (max 0 (index_of h x)) in
+    h.bins.(i) <- h.bins.(i) + 1
+  end
+
+let count h = h.total
+let underflow h = h.under
+let overflow h = h.over
+
+let bin_range h i =
+  let n = float_of_int (bin_count h) in
+  let fi = float_of_int i in
+  match h.layout with
+  | Linear ->
+    let w = (h.hi -. h.lo) /. n in
+    (h.lo +. (fi *. w), h.lo +. ((fi +. 1.0) *. w))
+  | Log ->
+    let r = (h.hi /. h.lo) ** (1.0 /. n) in
+    (h.lo *. (r ** fi), h.lo *. (r ** (fi +. 1.0)))
+
+let bin_value h i = h.bins.(i)
+
+let quantile h q =
+  if not (0.0 < q && q < 1.0) then invalid_arg "Histogram.quantile: q outside (0,1)";
+  if h.total = 0 then nan
+  else begin
+    let target = q *. float_of_int h.total in
+    if target <= float_of_int h.under then h.lo
+    else begin
+      let acc = ref (float_of_int h.under) in
+      let result = ref h.hi in
+      (try
+         for i = 0 to bin_count h - 1 do
+           let c = float_of_int h.bins.(i) in
+           if !acc +. c >= target && c > 0.0 then begin
+             let lo, hi = bin_range h i in
+             let frac = (target -. !acc) /. c in
+             result := lo +. (frac *. (hi -. lo));
+             raise Exit
+           end;
+           acc := !acc +. c
+         done
+       with Exit -> ());
+      !result
+    end
+  end
+
+let to_list h = List.init (bin_count h) (fun i -> (bin_range h i, h.bins.(i)))

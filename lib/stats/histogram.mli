@@ -1,0 +1,40 @@
+(** Fixed-layout histograms (linear or logarithmic bins).
+
+    Heavy-tailed response times span four orders of magnitude, so the
+    logarithmic layout is the useful one for job metrics; the linear layout
+    serves bounded quantities such as per-interval allocation fractions. *)
+
+type t
+
+val create_linear : lo:float -> hi:float -> bins:int -> t
+(** [bins] equal-width cells over [\[lo, hi)]; out-of-range observations go
+    to underflow/overflow counters.
+
+    @raise Invalid_argument if [lo >= hi] or [bins <= 0]. *)
+
+val create_log : lo:float -> hi:float -> bins:int -> t
+(** Geometrically spaced cells over [\[lo, hi)], [lo > 0]. *)
+
+val add : t -> float -> unit
+
+val count : t -> int
+(** Total observations, including under/overflow. *)
+
+val underflow : t -> int
+val overflow : t -> int
+
+val bin_count : t -> int
+
+val bin_range : t -> int -> float * float
+(** [bin_range h i] is the half-open interval covered by bin [i]. *)
+
+val bin_value : t -> int -> int
+(** Observations landing in bin [i]. *)
+
+val quantile : t -> float -> float
+(** [quantile h q] estimates the [q]-quantile ([0 < q < 1]) by linear
+    interpolation within the containing bin.  Under/overflow observations
+    clamp to the range ends.  [nan] when empty. *)
+
+val to_list : t -> ((float * float) * int) list
+(** All bins with their ranges and counts. *)

@@ -1,0 +1,97 @@
+type t = {
+  q : float;
+  heights : float array;  (* marker heights, 5 *)
+  positions : float array;  (* actual marker positions, 5 *)
+  desired : float array;  (* desired marker positions *)
+  increments : float array;  (* desired-position increments per observation *)
+  mutable n : int;
+  initial : float array;  (* first five observations *)
+}
+
+let create q =
+  if not (0.0 < q && q < 1.0) then invalid_arg "P2_quantile.create: q outside (0,1)";
+  {
+    q;
+    heights = Array.make 5 0.0;
+    positions = [| 1.0; 2.0; 3.0; 4.0; 5.0 |];
+    desired = [| 1.0; 1.0 +. (2.0 *. q); 1.0 +. (4.0 *. q); 3.0 +. (2.0 *. q); 5.0 |];
+    increments = [| 0.0; q /. 2.0; q; (1.0 +. q) /. 2.0; 1.0 |];
+    n = 0;
+    initial = Array.make 5 0.0;
+  }
+
+let parabolic t i d =
+  let q = t.heights and pos = t.positions in
+  q.(i)
+  +. d
+     /. (pos.(i + 1) -. pos.(i - 1))
+     *. (((pos.(i) -. pos.(i - 1) +. d) *. (q.(i + 1) -. q.(i)) /. (pos.(i + 1) -. pos.(i)))
+        +. ((pos.(i + 1) -. pos.(i) -. d) *. (q.(i) -. q.(i - 1)) /. (pos.(i) -. pos.(i - 1))))
+
+let linear t i d =
+  let q = t.heights and pos = t.positions in
+  q.(i) +. (d *. (q.(i + int_of_float d) -. q.(i)) /. (pos.(i + int_of_float d) -. pos.(i)))
+
+let add t x =
+  if t.n < 5 then begin
+    t.initial.(t.n) <- x;
+    t.n <- t.n + 1;
+    if t.n = 5 then begin
+      Array.sort compare t.initial;
+      Array.blit t.initial 0 t.heights 0 5
+    end
+  end
+  else begin
+    t.n <- t.n + 1;
+    let q = t.heights and pos = t.positions in
+    (* Find cell k such that heights.(k) <= x < heights.(k+1), adjusting ends. *)
+    let k =
+      if x < q.(0) then begin
+        q.(0) <- x;
+        0
+      end
+      else if x >= q.(4) then begin
+        q.(4) <- x;
+        3
+      end
+      else begin
+        let rec find i = if i < 3 && x >= q.(i + 1) then find (i + 1) else i in
+        find 0
+      end
+    in
+    for i = k + 1 to 4 do
+      pos.(i) <- pos.(i) +. 1.0
+    done;
+    for i = 0 to 4 do
+      t.desired.(i) <- t.desired.(i) +. t.increments.(i)
+    done;
+    (* Adjust interior markers. *)
+    for i = 1 to 3 do
+      let d = t.desired.(i) -. pos.(i) in
+      if
+        (d >= 1.0 && pos.(i + 1) -. pos.(i) > 1.0)
+        || (d <= -1.0 && pos.(i - 1) -. pos.(i) < -1.0)
+      then begin
+        let d = if d >= 0.0 then 1.0 else -1.0 in
+        let candidate = parabolic t i d in
+        let new_height =
+          if q.(i - 1) < candidate && candidate < q.(i + 1) then candidate
+          else linear t i d
+        in
+        q.(i) <- new_height;
+        pos.(i) <- pos.(i) +. d
+      end
+    done
+  end
+
+let count t = t.n
+
+let estimate t =
+  if t.n = 0 then nan
+  else if t.n < 5 then begin
+    let sorted = Array.sub t.initial 0 t.n in
+    Array.sort compare sorted;
+    let idx = int_of_float (t.q *. float_of_int (t.n - 1)) in
+    sorted.(idx)
+  end
+  else t.heights.(2)

@@ -1,0 +1,21 @@
+(** P² online quantile estimation (Jain & Chlamtac, 1985).
+
+    Estimates a single quantile of a stream in O(1) space with five
+    markers and piecewise-parabolic interpolation.  Used to report median
+    and tail response ratios without storing millions of per-job
+    observations. *)
+
+type t
+
+val create : float -> t
+(** [create q] estimates the [q]-quantile, [0 < q < 1].
+
+    @raise Invalid_argument otherwise. *)
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val estimate : t -> float
+(** Current estimate.  Before five observations have been seen this is the
+    exact sample quantile of what has arrived; [nan] when empty. *)

@@ -1,0 +1,48 @@
+(* Standard two-sided critical values. Rows: df 1..30, then 40, 60, 120, inf. *)
+let table_90 =
+  [|
+    6.314; 2.920; 2.353; 2.132; 2.015; 1.943; 1.895; 1.860; 1.833; 1.812;
+    1.796; 1.782; 1.771; 1.761; 1.753; 1.746; 1.740; 1.734; 1.729; 1.725;
+    1.721; 1.717; 1.714; 1.711; 1.708; 1.706; 1.703; 1.701; 1.699; 1.697;
+  |]
+
+let table_95 =
+  [|
+    12.706; 4.303; 3.182; 2.776; 2.571; 2.447; 2.365; 2.306; 2.262; 2.228;
+    2.201; 2.179; 2.160; 2.145; 2.131; 2.120; 2.110; 2.101; 2.093; 2.086;
+    2.080; 2.074; 2.069; 2.064; 2.060; 2.056; 2.052; 2.048; 2.045; 2.042;
+  |]
+
+let table_99 =
+  [|
+    63.657; 9.925; 5.841; 4.604; 4.032; 3.707; 3.499; 3.355; 3.250; 3.169;
+    3.106; 3.055; 3.012; 2.977; 2.947; 2.921; 2.898; 2.878; 2.861; 2.845;
+    2.831; 2.819; 2.807; 2.797; 2.787; 2.779; 2.771; 2.763; 2.756; 2.750;
+  |]
+
+(* (df, t90, t95, t99) for large df. *)
+let large = [| (40, 1.684, 2.021, 2.704); (60, 1.671, 2.000, 2.660); (120, 1.658, 1.980, 2.617) |]
+
+let limits = (1.645, 1.960, 2.576)
+
+let lookup df =
+  if df <= 30 then (table_90.(df - 1), table_95.(df - 1), table_99.(df - 1))
+  else begin
+    let l90, l95, l99 = limits in
+    let best = ref (l90, l95, l99) in
+    (try
+       Array.iter
+         (fun (d, a, b, c) -> if df <= d then begin best := (a, b, c); raise Exit end)
+         large
+     with Exit -> ());
+    !best
+  end
+
+let critical ~df ~confidence =
+  if df < 1 then invalid_arg "Student_t.critical: df < 1";
+  if not (0.0 < confidence && confidence < 1.0) then
+    invalid_arg "Student_t.critical: confidence outside (0,1)";
+  let t90, t95, t99 = lookup df in
+  let c = max 0.90 (min 0.99 confidence) in
+  if c <= 0.95 then t90 +. ((c -. 0.90) /. 0.05 *. (t95 -. t90))
+  else t95 +. ((c -. 0.95) /. 0.04 *. (t99 -. t95))

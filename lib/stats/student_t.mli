@@ -1,0 +1,14 @@
+(** Critical values of Student's t distribution.
+
+    Two-sided critical values t{_ν,1−γ/2} for confidence intervals over a
+    small number of simulation replications (the paper uses 10 independent
+    runs per data point). *)
+
+val critical : df:int -> confidence:float -> float
+(** [critical ~df ~confidence] is the two-sided critical value for [df]
+    degrees of freedom at the given confidence level.  Supported levels:
+    0.90, 0.95, 0.99; other levels are interpolated between the neighbouring
+    table columns and clamped to \[0.90, 0.99\].  [df >= 1]; values above
+    120 use the normal limit.
+
+    @raise Invalid_argument if [df < 1] or [confidence] outside (0, 1). *)

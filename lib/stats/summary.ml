@@ -1,0 +1,49 @@
+type t = {
+  count : int;
+  mean : float;
+  std : float;
+  min : float;
+  max : float;
+  median : float;
+  p90 : float;
+  p99 : float;
+}
+
+let quantile_of_sorted xs q =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Summary.quantile_of_sorted: empty";
+  if not (0.0 <= q && q <= 1.0) then
+    invalid_arg "Summary.quantile_of_sorted: q outside [0,1]";
+  if n = 1 then xs.(0)
+  else begin
+    let pos = q *. float_of_int (n - 1) in
+    let i = int_of_float pos in
+    if i >= n - 1 then xs.(n - 1)
+    else begin
+      let frac = pos -. float_of_int i in
+      xs.(i) +. (frac *. (xs.(i + 1) -. xs.(i)))
+    end
+  end
+
+let of_array xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Summary.of_array: empty";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let w = Welford.create () in
+  Array.iter (Welford.add w) xs;
+  {
+    count = n;
+    mean = Welford.mean w;
+    std = Welford.std w;
+    min = sorted.(0);
+    max = sorted.(n - 1);
+    median = quantile_of_sorted sorted 0.5;
+    p90 = quantile_of_sorted sorted 0.90;
+    p99 = quantile_of_sorted sorted 0.99;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "n=%d mean=%.6g std=%.6g min=%.6g p50=%.6g p90=%.6g p99=%.6g max=%.6g"
+    t.count t.mean t.std t.min t.median t.p90 t.p99 t.max

@@ -1,0 +1,25 @@
+(** Descriptive summary of a stored sample.
+
+    Offline counterpart of {!Welford} for the places where the sample is
+    small enough to keep (per-replication means, per-interval deviations in
+    Figure 2). *)
+
+type t = {
+  count : int;
+  mean : float;
+  std : float;  (** sample standard deviation (n−1); [nan] if count < 2 *)
+  min : float;
+  max : float;
+  median : float;
+  p90 : float;
+  p99 : float;
+}
+
+val of_array : float array -> t
+(** @raise Invalid_argument on an empty array. *)
+
+val quantile_of_sorted : float array -> float -> float
+(** [quantile_of_sorted xs q] is the linear-interpolated [q]-quantile of a
+    sorted array, [0 <= q <= 1]. *)
+
+val pp : Format.formatter -> t -> unit

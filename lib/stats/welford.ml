@@ -1,0 +1,57 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;  (* sum of squared deviations from the running mean *)
+  mutable minv : float;
+  mutable maxv : float;
+}
+
+let create () = { n = 0; mean = 0.0; m2 = 0.0; minv = infinity; maxv = neg_infinity }
+
+let copy t = { n = t.n; mean = t.mean; m2 = t.m2; minv = t.minv; maxv = t.maxv }
+
+let reset t =
+  t.n <- 0;
+  t.mean <- 0.0;
+  t.m2 <- 0.0;
+  t.minv <- infinity;
+  t.maxv <- neg_infinity
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.minv then t.minv <- x;
+  if x > t.maxv then t.maxv <- x
+
+let merge a b =
+  if a.n = 0 then copy b
+  else if b.n = 0 then copy a
+  else begin
+    let n = a.n + b.n in
+    let nf = float_of_int n in
+    let delta = b.mean -. a.mean in
+    let mean = a.mean +. (delta *. float_of_int b.n /. nf) in
+    let m2 =
+      a.m2 +. b.m2
+      +. (delta *. delta *. float_of_int a.n *. float_of_int b.n /. nf)
+    in
+    { n; mean; m2; minv = min a.minv b.minv; maxv = max a.maxv b.maxv }
+  end
+
+let count t = t.n
+
+let mean t = if t.n = 0 then nan else t.mean
+
+let variance t = if t.n < 2 then nan else t.m2 /. float_of_int (t.n - 1)
+
+let population_variance t = if t.n = 0 then nan else t.m2 /. float_of_int t.n
+
+let std t = sqrt (variance t)
+
+let population_std t = sqrt (population_variance t)
+
+let min_value t = if t.n = 0 then nan else t.minv
+
+let max_value t = if t.n = 0 then nan else t.maxv

@@ -1,0 +1,43 @@
+(** Online mean and variance (Welford's algorithm).
+
+    Numerically stable single-pass accumulation; this is how every
+    simulation metric (response time, response ratio, …) is collected
+    without storing per-job observations. *)
+
+type t
+(** Mutable accumulator. *)
+
+val create : unit -> t
+
+val copy : t -> t
+
+val reset : t -> unit
+
+val add : t -> float -> unit
+(** Accumulate one observation. *)
+
+val merge : t -> t -> t
+(** [merge a b] is a fresh accumulator equivalent to having observed both
+    streams (Chan et al. parallel update). *)
+
+val count : t -> int
+
+val mean : t -> float
+(** Mean of observations; [nan] when empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance (n−1 denominator); [nan] when [count < 2]. *)
+
+val population_variance : t -> float
+(** Biased variance (n denominator); [nan] when empty.  The paper's
+    "fairness" metric is the population standard deviation of the response
+    ratio over all jobs. *)
+
+val std : t -> float
+(** [sqrt (variance t)]. *)
+
+val population_std : t -> float
+(** [sqrt (population_variance t)]. *)
+
+val min_value : t -> float
+val max_value : t -> float

@@ -1,0 +1,57 @@
+The deterministic CLI surfaces (no simulation involved) are pinned here as
+cram tests: allocation computation, dispatch sequences, analytic theory and
+the allocation lookup table.
+
+  $ schedsim alloc -s 1,4 -u 0.5
+  computer  speed  weighted  optimized
+  ------------------------------------
+  0         1      20.00%    6.67%    
+  1         4      80.00%    93.33%   
+  
+  objective F (lower is better): weighted 4.000000, optimized 3.600000
+  predicted mean-response-ratio improvement: 20.0%
+
+  $ schedsim dispatch -f 0.5,0.25,0.25 -n 8
+  round-robin: 1 1 2 3 1 1 2 3
+  random:      3 2 2 1 1 1 1 1
+
+  $ schedsim theory -s 2x2,1x1 -u 0.6 --mean-size 1
+  M/M/1-PS predictions: lambda = 3 jobs/s, mu = 1, aggregate speed 5
+  
+  weighted allocation:
+  computer  speed  share   utilization  mean resp. time
+  -----------------------------------------------------
+  0         2      40.00%  60.00%       1.25           
+  1         2      40.00%  60.00%       1.25           
+  2         1      20.00%  60.00%       2.5            
+  
+  optimized allocation (Algorithm 1):
+  computer  speed  share   utilization  mean resp. time
+  -----------------------------------------------------
+  0         2      42.04%  63.06%       1.354          
+  1         2      42.04%  63.06%       1.354          
+  2         1      15.92%  47.76%       1.914          
+  
+  system:   weighted  T=1.5 R=1.5   |   optimized  T=1.443 R=1.443   (3.8% better)
+  parked computers under optimized allocation: 0 (Theorem 2 cutoff)
+
+  $ schedsim table -s 1,4 --grid 9 --at 0.3,0.6,0.9
+  rho     c0 (s=1)  c1 (s=4)
+  --------------------------
+  30.00%  0.00%     100.00% 
+  60.00%  11.11%    88.89%  
+  90.00%  18.52%    81.48%  
+  
+  max interpolation error vs exact Algorithm 1 (mid-range): 7.58e-03
+
+Errors are reported through cmdliner with exit code 124:
+
+  $ schedsim alloc -s "0,1" -u 0.5
+  schedsim: option '-s': invalid speed list "0,1"
+  Usage: schedsim alloc [--speeds=SPEEDS] [--utilization=RHO] [OPTION]…
+  Try 'schedsim alloc --help' or 'schedsim --help' for more information.
+  [124]
+
+  $ schedsim alloc -u 1.5
+  schedsim: utilization must be in (0,1)
+  [124]

@@ -1,0 +1,300 @@
+open Test_util
+module Core = Statsched_core
+module Allocation = Core.Allocation
+module Speeds = Core.Speeds
+module Mm1 = Core.Mm1
+
+let sum = Array.fold_left ( +. ) 0.0
+
+let weighted_proportional () =
+  let s = [| 1.0; 3.0 |] in
+  check_array ~eps:1e-12 "proportional" [| 0.25; 0.75 |] (Allocation.weighted s);
+  check_array ~eps:1e-12 "homogeneous uniform" [| 0.25; 0.25; 0.25; 0.25 |]
+    (Allocation.weighted [| 2.0; 2.0; 2.0; 2.0 |])
+
+let weighted_sums_to_one () =
+  let alloc = Allocation.weighted Speeds.table3 in
+  check_float ~eps:1e-12 "sum 1" 1.0 (sum alloc)
+
+let optimized_feasible_table1 () =
+  let s = Speeds.table1 in
+  let alloc = Allocation.optimized ~rho:0.7 s in
+  check_float ~eps:1e-9 "sum 1" 1.0 (sum alloc);
+  Alcotest.(check bool) "feasible" true
+    (Allocation.is_feasible ~rho:0.7 ~speeds:s alloc)
+
+let optimized_skews_to_fast () =
+  (* The defining property: fast computers get a disproportionately larger
+     share than speed-proportional, slow ones less. *)
+  let s = Speeds.table1 in
+  let opt = Allocation.optimized ~rho:0.7 s in
+  let w = Allocation.weighted s in
+  (* slowest gets less than proportional, fastest more *)
+  Alcotest.(check bool) "slow below proportional" true (opt.(0) < w.(0));
+  Alcotest.(check bool) "fast above proportional" true (opt.(6) > w.(6))
+
+let optimized_monotone_in_speed () =
+  let s = Speeds.table1 in
+  let alloc = Allocation.optimized ~rho:0.5 s in
+  for i = 0 to Array.length s - 2 do
+    Alcotest.(check bool) "faster never gets less" true (alloc.(i) <= alloc.(i + 1) +. 1e-12)
+  done
+
+let optimized_homogeneous_is_uniform () =
+  let s = [| 4.0; 4.0; 4.0 |] in
+  let alloc = Allocation.optimized ~rho:0.6 s in
+  check_array ~eps:1e-9 "uniform" [| 1.0 /. 3.0; 1.0 /. 3.0; 1.0 /. 3.0 |] alloc
+
+let optimized_converges_to_weighted_at_high_load () =
+  let s = Speeds.table3 in
+  let opt = Allocation.optimized ~rho:0.999 s in
+  let w = Allocation.weighted s in
+  Array.iteri
+    (fun i a -> check_float ~eps:0.005 (Printf.sprintf "alpha[%d]" i) w.(i) a)
+    opt
+
+let optimized_more_skewed_at_low_load () =
+  (* Lower utilisation => more skew: the fastest computer's share grows as
+     rho falls. *)
+  let s = Speeds.table3 in
+  let share rho = (Allocation.optimized ~rho s).(14) in
+  Alcotest.(check bool) "share(0.3) > share(0.6)" true (share 0.3 > share 0.6);
+  Alcotest.(check bool) "share(0.6) > share(0.9)" true (share 0.6 > share 0.9)
+
+let optimized_zeroes_slow_at_low_load () =
+  (* At very low load the slow computers of Table 3 receive nothing. *)
+  let s = Speeds.table3 in
+  let alloc = Allocation.optimized ~rho:0.05 s in
+  let m = Allocation.optimized_cutoff ~rho:0.05 s in
+  Alcotest.(check bool) "cutoff positive" true (m > 0);
+  (* all five speed-1.0 computers are the slowest *)
+  for i = 0 to 4 do
+    Alcotest.(check bool) (Printf.sprintf "slow %d gets work or zero" i) true (alloc.(i) >= 0.0)
+  done;
+  check_float "slowest zero" 0.0 alloc.(0);
+  check_float ~eps:1e-9 "still sums to 1" 1.0 (sum alloc)
+
+let optimized_no_cutoff_at_high_load () =
+  let s = Speeds.table3 in
+  Alcotest.(check int) "no computer dropped at rho=0.9" 0
+    (Allocation.optimized_cutoff ~rho:0.9 s)
+
+let cutoff_binary_equals_linear () =
+  List.iter
+    (fun rho ->
+      List.iter
+        (fun s ->
+          Alcotest.(check int)
+            (Printf.sprintf "cutoff at rho=%.2f" rho)
+            (Allocation.cutoff_linear_scan ~rho s)
+            (Allocation.optimized_cutoff ~rho s))
+        [ Speeds.table1; Speeds.table3; [| 1.0 |]; [| 1.0; 100.0 |];
+          Speeds.two_class ~n_fast:2 ~fast:20.0 ~n_slow:16 ~slow:1.0 ])
+    [ 0.05; 0.1; 0.3; 0.5; 0.7; 0.9; 0.99 ]
+
+let optimized_beats_weighted () =
+  (* F(optimized) <= F(weighted) on heterogeneous systems. *)
+  List.iter
+    (fun rho ->
+      let s = Speeds.table3 in
+      let f_opt =
+        Allocation.objective ~rho ~speeds:s ~alloc:(Allocation.optimized ~rho s)
+      in
+      let f_w = Allocation.objective ~rho ~speeds:s ~alloc:(Allocation.weighted s) in
+      Alcotest.(check bool)
+        (Printf.sprintf "F(opt) <= F(weighted) at rho=%.2f (%.6f vs %.6f)" rho f_opt f_w)
+        true (f_opt <= f_w +. 1e-9))
+    [ 0.1; 0.3; 0.5; 0.7; 0.9 ]
+
+let optimized_achieves_theorem1_minimum () =
+  (* When no clamping occurs the objective equals the closed-form
+     minimum. *)
+  let s = Speeds.table3 in
+  let rho = 0.9 in
+  Alcotest.(check int) "no clamping" 0 (Allocation.optimized_cutoff ~rho s);
+  let f = Allocation.objective ~rho ~speeds:s ~alloc:(Allocation.optimized ~rho s) in
+  check_close ~rel:1e-9 "matches closed form" (Allocation.theorem1_minimum ~rho s) f
+
+let optimized_beats_perturbations () =
+  (* Local optimality: moving mass epsilon between any pair of computers
+     must not decrease F. *)
+  let s = Speeds.table3 in
+  let rho = 0.7 in
+  let alloc = Allocation.optimized ~rho s in
+  let f0 = Allocation.objective ~rho ~speeds:s ~alloc in
+  let n = Array.length s in
+  let eps = 1e-4 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j && alloc.(i) >= eps then begin
+        let perturbed = Array.copy alloc in
+        perturbed.(i) <- perturbed.(i) -. eps;
+        perturbed.(j) <- perturbed.(j) +. eps;
+        let f = Allocation.objective ~rho ~speeds:s ~alloc:perturbed in
+        Alcotest.(check bool)
+          (Printf.sprintf "move %d->%d cannot improve (%.9f vs %.9f)" i j f f0)
+          true (f >= f0 -. 1e-9)
+      end
+    done
+  done
+
+let objective_saturation_infinite () =
+  let s = [| 1.0; 1.0 |] in
+  (* all load on one computer at rho=0.8: alpha*lambda = 1.6 > 1 *)
+  check_float "saturated F infinite" infinity
+    (Allocation.objective ~rho:0.8 ~speeds:s ~alloc:[| 1.0; 0.0 |])
+
+let theorem1_closed_form_matches_eq4 () =
+  (* Mm1.theorem1_alloc at mu=1 must agree with Allocation.optimized when
+     nothing is clamped. *)
+  let s = Speeds.table3 in
+  let rho = 0.85 in
+  let lambda = rho *. Speeds.total s in
+  let a1 = Mm1.theorem1_alloc ~mu:1.0 ~lambda ~speeds:s in
+  let a2 = Allocation.optimized ~rho s in
+  check_array ~eps:1e-9 "agree" a1 a2
+
+let theorem1_alloc_sums_to_one () =
+  let s = Speeds.table1 in
+  let alloc = Mm1.theorem1_alloc ~mu:2.0 ~lambda:20.0 ~speeds:s in
+  check_float ~eps:1e-9 "sums to 1 even with negatives" 1.0 (sum alloc)
+
+let naive_clamp_feasible_but_worse () =
+  let s = Speeds.table3 in
+  let rho = 0.1 in
+  (* strong clamping regime *)
+  Alcotest.(check bool) "clamping active" true (Allocation.optimized_cutoff ~rho s > 0);
+  let naive = Allocation.optimized_naive_clamp ~rho s in
+  Alcotest.(check bool) "naive feasible" true
+    (Allocation.is_feasible ~rho ~speeds:s naive);
+  let f_naive = Allocation.objective ~rho ~speeds:s ~alloc:naive in
+  let f_opt =
+    Allocation.objective ~rho ~speeds:s ~alloc:(Allocation.optimized ~rho s)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "F(naive)=%.6f >= F(opt)=%.6f" f_naive f_opt)
+    true (f_naive >= f_opt -. 1e-12)
+
+let invalid_inputs () =
+  Alcotest.check_raises "rho = 0"
+    (Invalid_argument "Allocation: utilisation must satisfy 0 < rho < 1") (fun () ->
+      ignore (Allocation.optimized ~rho:0.0 [| 1.0 |]));
+  Alcotest.check_raises "rho = 1"
+    (Invalid_argument "Allocation: utilisation must satisfy 0 < rho < 1") (fun () ->
+      ignore (Allocation.optimized ~rho:1.0 [| 1.0 |]));
+  Alcotest.check_raises "negative speed"
+    (Invalid_argument "Speeds.validate: speeds must be positive and finite") (fun () ->
+      ignore (Allocation.optimized ~rho:0.5 [| 1.0; -1.0 |]));
+  Alcotest.check_raises "empty" (Invalid_argument "Speeds.validate: empty speed vector")
+    (fun () -> ignore (Allocation.weighted [||]))
+
+let single_computer () =
+  List.iter
+    (fun rho ->
+      check_array ~eps:1e-12 "single computer gets everything" [| 1.0 |]
+        (Allocation.optimized ~rho [| 3.0 |]))
+    [ 0.1; 0.5; 0.9 ]
+
+let unsorted_input_preserved () =
+  (* Speeds given in arbitrary order: output must align with input. *)
+  let s = [| 10.0; 1.0; 5.0 |] in
+  let alloc = Allocation.optimized ~rho:0.7 s in
+  let s_sorted = [| 1.0; 5.0; 10.0 |] in
+  let alloc_sorted = Allocation.optimized ~rho:0.7 s_sorted in
+  check_float ~eps:1e-12 "fastest matches" alloc_sorted.(2) alloc.(0);
+  check_float ~eps:1e-12 "slowest matches" alloc_sorted.(0) alloc.(1);
+  check_float ~eps:1e-12 "middle matches" alloc_sorted.(1) alloc.(2)
+
+let equal_speeds_get_equal_shares () =
+  let s = [| 1.0; 10.0; 1.0; 10.0; 1.0 |] in
+  let alloc = Allocation.optimized ~rho:0.6 s in
+  check_float ~eps:1e-12 "equal slow shares" alloc.(0) alloc.(2);
+  check_float ~eps:1e-12 "equal fast shares" alloc.(1) alloc.(3)
+
+let prop_optimized_feasible =
+  qcheck ~count:300 "optimized allocation always feasible"
+    QCheck2.Gen.(pair speeds_gen rho_gen)
+    (fun (s, rho) ->
+      let alloc = Core.Allocation.optimized ~rho s in
+      Core.Allocation.is_feasible ~tol:1e-6 ~rho ~speeds:s alloc)
+
+let prop_optimized_optimal_vs_weighted =
+  qcheck ~count:300 "F(optimized) <= F(weighted)"
+    QCheck2.Gen.(pair speeds_gen rho_gen)
+    (fun (s, rho) ->
+      let f_opt =
+        Core.Allocation.objective ~rho ~speeds:s
+          ~alloc:(Core.Allocation.optimized ~rho s)
+      in
+      let f_w =
+        Core.Allocation.objective ~rho ~speeds:s ~alloc:(Core.Allocation.weighted s)
+      in
+      f_opt <= f_w +. (1e-9 *. abs_float f_w))
+
+let prop_optimized_beats_random_feasible =
+  (* Dirichlet-ish random feasible allocations never beat the optimizer. *)
+  qcheck ~count:200 "F(optimized) <= F(random feasible)"
+    QCheck2.Gen.(triple speeds_gen rho_gen (int_range 0 10_000))
+    (fun (s, rho, salt) ->
+      let g = Statsched_prng.Rng.create ~seed:(Int64.of_int (salt + 1)) () in
+      let n = Array.length s in
+      let raw = Array.init n (fun _ -> -.log (1.0 -. Statsched_prng.Rng.float g)) in
+      let total = Array.fold_left ( +. ) 0.0 raw in
+      let candidate = Array.map (fun x -> x /. total) raw in
+      let f_c = Core.Allocation.objective ~rho ~speeds:s ~alloc:candidate in
+      let f_opt =
+        Core.Allocation.objective ~rho ~speeds:s
+          ~alloc:(Core.Allocation.optimized ~rho s)
+      in
+      f_opt <= f_c +. (1e-9 *. abs_float f_c))
+
+let prop_cutoff_binary_equals_linear =
+  qcheck ~count:300 "binary-search cutoff equals linear scan"
+    QCheck2.Gen.(pair speeds_gen rho_gen)
+    (fun (s, rho) ->
+      Core.Allocation.optimized_cutoff ~rho s = Core.Allocation.cutoff_linear_scan ~rho s)
+
+let prop_sorted_shares_monotone =
+  qcheck ~count:300 "allocation monotone in speed"
+    QCheck2.Gen.(pair speeds_gen rho_gen)
+    (fun (s, rho) ->
+      let alloc = Core.Allocation.optimized ~rho s in
+      let pairs = Array.mapi (fun i a -> (s.(i), a)) alloc in
+      Array.sort compare pairs;
+      let ok = ref true in
+      for i = 0 to Array.length pairs - 2 do
+        let _, a = pairs.(i) and _, b = pairs.(i + 1) in
+        if a > b +. 1e-9 then ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    test "weighted: proportional to speed" weighted_proportional;
+    test "weighted: normalised" weighted_sums_to_one;
+    test "optimized: feasible on Table 1 speeds" optimized_feasible_table1;
+    test "optimized: skews toward fast computers" optimized_skews_to_fast;
+    test "optimized: monotone in speed" optimized_monotone_in_speed;
+    test "optimized: homogeneous degenerates to uniform" optimized_homogeneous_is_uniform;
+    test "optimized: rho->1 converges to weighted" optimized_converges_to_weighted_at_high_load;
+    test "optimized: skew grows as load falls" optimized_more_skewed_at_low_load;
+    test "optimized: drops slow computers at low load" optimized_zeroes_slow_at_low_load;
+    test "optimized: keeps everyone at high load" optimized_no_cutoff_at_high_load;
+    test "cutoff: binary search equals linear scan (fixtures)" cutoff_binary_equals_linear;
+    test "optimized: F below weighted (fixtures)" optimized_beats_weighted;
+    test "optimized: achieves Theorem 1 minimum" optimized_achieves_theorem1_minimum;
+    test "optimized: local optimality under perturbation" optimized_beats_perturbations;
+    test "objective: saturation yields infinity" objective_saturation_infinite;
+    test "theorem 1: equation (4) consistency" theorem1_closed_form_matches_eq4;
+    test "theorem 1: fractions sum to 1" theorem1_alloc_sums_to_one;
+    test "ablation: naive clamp feasible but suboptimal" naive_clamp_feasible_but_worse;
+    test "validation: bad inputs rejected" invalid_inputs;
+    test "edge: single computer" single_computer;
+    test "edge: unsorted input order preserved" unsorted_input_preserved;
+    test "edge: equal speeds share equally" equal_speeds_get_equal_shares;
+    prop_optimized_feasible;
+    prop_optimized_optimal_vs_weighted;
+    prop_optimized_beats_random_feasible;
+    prop_cutoff_binary_equals_linear;
+    prop_sorted_shares_monotone;
+  ]

@@ -1,0 +1,230 @@
+open Test_util
+module Event_queue = Statsched_des.Event_queue
+module Engine = Statsched_des.Engine
+
+let eq_ordering () =
+  let q = Event_queue.create () in
+  ignore (Event_queue.add q ~time:3.0 "c");
+  ignore (Event_queue.add q ~time:1.0 "a");
+  ignore (Event_queue.add q ~time:2.0 "b");
+  Alcotest.(check (option (pair (float 0.0) string))) "first" (Some (1.0, "a")) (Event_queue.pop q);
+  Alcotest.(check (option (pair (float 0.0) string))) "second" (Some (2.0, "b")) (Event_queue.pop q);
+  Alcotest.(check (option (pair (float 0.0) string))) "third" (Some (3.0, "c")) (Event_queue.pop q);
+  Alcotest.(check (option (pair (float 0.0) string))) "empty" None (Event_queue.pop q)
+
+let eq_fifo_ties () =
+  let q = Event_queue.create () in
+  ignore (Event_queue.add q ~time:5.0 "first");
+  ignore (Event_queue.add q ~time:5.0 "second");
+  ignore (Event_queue.add q ~time:5.0 "third");
+  let order = List.init 3 (fun _ -> snd (Option.get (Event_queue.pop q))) in
+  Alcotest.(check (list string)) "FIFO within equal timestamps"
+    [ "first"; "second"; "third" ] order
+
+let eq_cancel () =
+  let q = Event_queue.create () in
+  let _h1 = Event_queue.add q ~time:1.0 "keep" in
+  let h2 = Event_queue.add q ~time:2.0 "drop" in
+  let _h3 = Event_queue.add q ~time:3.0 "keep2" in
+  Alcotest.(check bool) "cancel succeeds" true (Event_queue.cancel q h2);
+  Alcotest.(check bool) "double cancel fails" false (Event_queue.cancel q h2);
+  Alcotest.(check int) "size reflects cancellation" 2 (Event_queue.size q);
+  Alcotest.(check (option (pair (float 0.0) string))) "first" (Some (1.0, "keep")) (Event_queue.pop q);
+  Alcotest.(check (option (pair (float 0.0) string))) "skips cancelled" (Some (3.0, "keep2"))
+    (Event_queue.pop q)
+
+let eq_cancel_after_pop () =
+  let q = Event_queue.create () in
+  let h = Event_queue.add q ~time:1.0 () in
+  ignore (Event_queue.pop q);
+  Alcotest.(check bool) "cancel after fire fails" false (Event_queue.cancel q h)
+
+let eq_peek () =
+  let q = Event_queue.create () in
+  Alcotest.(check (option (float 0.0))) "peek empty" None (Event_queue.peek_time q);
+  let h = Event_queue.add q ~time:4.0 () in
+  ignore (Event_queue.add q ~time:7.0 ());
+  Alcotest.(check (option (float 0.0))) "peek min" (Some 4.0) (Event_queue.peek_time q);
+  ignore (Event_queue.cancel q h);
+  Alcotest.(check (option (float 0.0))) "peek skips cancelled" (Some 7.0)
+    (Event_queue.peek_time q)
+
+let eq_nonfinite_rejected () =
+  let q = Event_queue.create () in
+  Alcotest.check_raises "nan" (Invalid_argument "Event_queue.add: non-finite time")
+    (fun () -> ignore (Event_queue.add q ~time:Float.nan ()));
+  Alcotest.check_raises "inf" (Invalid_argument "Event_queue.add: non-finite time")
+    (fun () -> ignore (Event_queue.add q ~time:Float.infinity ()))
+
+let eq_clear () =
+  let q = Event_queue.create () in
+  for i = 1 to 10 do
+    ignore (Event_queue.add q ~time:(float_of_int i) ())
+  done;
+  Event_queue.clear q;
+  Alcotest.(check bool) "empty after clear" true (Event_queue.is_empty q);
+  Alcotest.(check (option (pair (float 0.0) unit))) "pop empty" None (Event_queue.pop q)
+
+let eq_random_stress () =
+  (* Insert random times, pop everything: output must be sorted and
+     complete. *)
+  let g = rng () in
+  let q = Event_queue.create () in
+  let n = 5000 in
+  let times = Array.init n (fun _ -> Statsched_prng.Rng.float g *. 1000.0) in
+  Array.iter (fun t -> ignore (Event_queue.add q ~time:t ())) times;
+  let popped = ref [] in
+  let rec drain () =
+    match Event_queue.pop q with
+    | Some (t, ()) ->
+      popped := t :: !popped;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  let popped = Array.of_list (List.rev !popped) in
+  Alcotest.(check int) "all events popped" n (Array.length popped);
+  for i = 1 to n - 1 do
+    if popped.(i) < popped.(i - 1) then Alcotest.fail "out of order pop"
+  done;
+  let sorted = Array.copy times in
+  Array.sort compare sorted;
+  check_array ~eps:0.0 "exact multiset preserved" sorted popped
+
+let prop_eq_sorted =
+  qcheck ~count:100 "pops are sorted for any insertion order"
+    QCheck2.Gen.(list_size (int_range 0 200) (float_bound_inclusive 1000.0))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iter (fun t -> ignore (Event_queue.add q ~time:t ())) times;
+      let rec drain acc =
+        match Event_queue.pop q with Some (t, ()) -> drain (t :: acc) | None -> List.rev acc
+      in
+      let out = drain [] in
+      List.length out = List.length times
+      && fst
+           (List.fold_left
+              (fun (ok, prev) t -> (ok && t >= prev, t))
+              (true, neg_infinity) out))
+
+let engine_clock_advances () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.schedule e ~delay:2.0 (fun e -> log := ("a", Engine.now e) :: !log));
+  ignore (Engine.schedule e ~delay:1.0 (fun e -> log := ("b", Engine.now e) :: !log));
+  Engine.run e;
+  Alcotest.(check (list (pair string (float 0.0))))
+    "events in order with correct clock"
+    [ ("b", 1.0); ("a", 2.0) ]
+    (List.rev !log);
+  check_float "final clock" 2.0 (Engine.now e)
+
+let engine_nested_scheduling () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let rec tick e =
+    incr count;
+    if !count < 5 then ignore (Engine.schedule e ~delay:1.0 tick)
+  in
+  ignore (Engine.schedule e ~delay:1.0 tick);
+  Engine.run e;
+  Alcotest.(check int) "recursive events all fire" 5 !count;
+  check_float "clock at last tick" 5.0 (Engine.now e)
+
+let engine_run_until () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  List.iter
+    (fun t -> ignore (Engine.schedule_at e ~time:t (fun _ -> fired := t :: !fired)))
+    [ 1.0; 2.0; 3.0; 4.0 ];
+  Engine.run ~until:2.5 e;
+  Alcotest.(check (list (float 0.0))) "only events before horizon" [ 1.0; 2.0 ]
+    (List.rev !fired);
+  check_float "clock advanced to horizon" 2.5 (Engine.now e);
+  (* events after horizon remain pending *)
+  Alcotest.(check int) "pending remain" 2 (Engine.pending_events e)
+
+let engine_schedule_in_past () =
+  let e = Engine.create () in
+  ignore (Engine.schedule e ~delay:1.0 (fun _ -> ()));
+  Engine.run e;
+  (try
+     ignore (Engine.schedule_at e ~time:0.5 (fun _ -> ()));
+     Alcotest.fail "expected Schedule_in_past"
+   with Engine.Schedule_in_past { now; requested } ->
+     check_float "now" 1.0 now;
+     check_float "requested" 0.5 requested);
+  try
+    ignore (Engine.schedule e ~delay:(-1.0) (fun _ -> ()));
+    Alcotest.fail "expected Schedule_in_past for negative delay"
+  with Engine.Schedule_in_past _ -> ()
+
+let engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule e ~delay:1.0 (fun _ -> fired := true) in
+  Alcotest.(check bool) "cancel ok" true (Engine.cancel e h);
+  Engine.run e;
+  Alcotest.(check bool) "cancelled event did not fire" false !fired
+
+let engine_step () =
+  let e = Engine.create () in
+  let n = ref 0 in
+  ignore (Engine.schedule e ~delay:1.0 (fun _ -> incr n));
+  ignore (Engine.schedule e ~delay:2.0 (fun _ -> incr n));
+  Alcotest.(check bool) "step 1" true (Engine.step e);
+  Alcotest.(check int) "one fired" 1 !n;
+  Alcotest.(check bool) "step 2" true (Engine.step e);
+  Alcotest.(check bool) "step empty" false (Engine.step e);
+  Alcotest.(check int) "executed counter" 2 (Engine.events_executed e)
+
+let engine_start_time () =
+  let e = Engine.create ~start_time:100.0 () in
+  check_float "initial clock" 100.0 (Engine.now e);
+  let at = ref 0.0 in
+  ignore (Engine.schedule e ~delay:5.0 (fun e -> at := Engine.now e));
+  Engine.run e;
+  check_float "delay relative to start" 105.0 !at
+
+let engine_fifo_determinism () =
+  let e = Engine.create () in
+  let order = ref [] in
+  for i = 1 to 10 do
+    ignore (Engine.schedule e ~delay:1.0 (fun _ -> order := i :: !order))
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "same-time events fire in schedule order"
+    [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+    (List.rev !order)
+
+let engine_every () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  Engine.every e ~period:2.0 (fun e -> fired := Engine.now e :: !fired);
+  Engine.run ~until:7.0 e;
+  Alcotest.(check (list (float 0.0))) "fires at each period" [ 2.0; 4.0; 6.0 ]
+    (List.rev !fired);
+  Alcotest.check_raises "period <= 0" (Invalid_argument "Engine.every: period <= 0")
+    (fun () -> Engine.every e ~period:0.0 (fun _ -> ()))
+
+let suite =
+  [
+    test "event_queue: basic ordering" eq_ordering;
+    test "event_queue: FIFO tie-breaking" eq_fifo_ties;
+    test "event_queue: cancellation" eq_cancel;
+    test "event_queue: cancel after pop" eq_cancel_after_pop;
+    test "event_queue: peek" eq_peek;
+    test "event_queue: non-finite time rejected" eq_nonfinite_rejected;
+    test "event_queue: clear" eq_clear;
+    test "event_queue: random stress" eq_random_stress;
+    prop_eq_sorted;
+    test "engine: clock advances with events" engine_clock_advances;
+    test "engine: nested scheduling" engine_nested_scheduling;
+    test "engine: run until horizon" engine_run_until;
+    test "engine: scheduling in the past raises" engine_schedule_in_past;
+    test "engine: cancellation" engine_cancel;
+    test "engine: step" engine_step;
+    test "engine: custom start time" engine_start_time;
+    test "engine: same-time FIFO determinism" engine_fifo_determinism;
+    test "engine: periodic events" engine_every;
+  ]

@@ -1,0 +1,306 @@
+open Test_util
+module Core = Statsched_core
+module Dispatch = Core.Dispatch
+module Rng = Statsched_prng.Rng
+
+let counts dispatcher n_computers n_arrivals =
+  let c = Array.make n_computers 0 in
+  for _ = 1 to n_arrivals do
+    let i = Dispatch.select dispatcher in
+    c.(i) <- c.(i) + 1
+  done;
+  c
+
+(* Maximum over all prefixes of |count_i - t * alpha_i|. *)
+let max_prefix_discrepancy dispatcher alpha n_arrivals =
+  let n = Array.length alpha in
+  let c = Array.make n 0 in
+  let worst = ref 0.0 in
+  for t = 1 to n_arrivals do
+    let i = Dispatch.select dispatcher in
+    c.(i) <- c.(i) + 1;
+    for j = 0 to n - 1 do
+      let d = abs_float (float_of_int c.(j) -. (float_of_int t *. alpha.(j))) in
+      if d > !worst then worst := d
+    done
+  done;
+  !worst
+
+let paper_example_fractions = [| 0.125; 0.125; 0.25; 0.5 |]
+
+let rr_paper_example_counts () =
+  (* Over each full cycle of 8 arrivals the counts must be exactly
+     proportional: 1,1,2,4. *)
+  let d = Dispatch.round_robin paper_example_fractions in
+  for cycle = 1 to 10 do
+    let c = counts d 4 8 in
+    Alcotest.(check (array int))
+      (Printf.sprintf "cycle %d exact" cycle)
+      [| 1; 1; 2; 4 |] c
+  done
+
+let rr_first_selection_largest_fraction () =
+  let d = Dispatch.round_robin paper_example_fractions in
+  Alcotest.(check int) "largest fraction first" 3 (Dispatch.select d)
+
+let rr_paper_example_trace () =
+  (* Regression: the exact decision sequence of Algorithm 2 on the
+     Section 3.2 example (1/8, 1/8, 1/4, 1/2).  The per-cycle counts match
+     the ideal split; the order is pinned here to catch silent changes. *)
+  let d = Dispatch.round_robin paper_example_fractions in
+  let seq = List.init 8 (fun _ -> Dispatch.select d) in
+  Alcotest.(check (list int)) "first cycle" [ 3; 2; 3; 3; 0; 2; 3; 1 ] seq
+
+let rr_uniform_degenerates_to_cycle () =
+  (* With equal fractions Algorithm 2 is the traditional round-robin:
+     every computer exactly once per cycle. *)
+  let n = 5 in
+  let d = Dispatch.round_robin (Array.make n (1.0 /. float_of_int n)) in
+  for cycle = 1 to 20 do
+    let seen = counts d n n in
+    Alcotest.(check (array int))
+      (Printf.sprintf "cycle %d covers all" cycle)
+      (Array.make n 1) seen
+  done
+
+let rr_two_computers () =
+  let d = Dispatch.round_robin [| 0.5; 0.5 |] in
+  let seq = List.init 6 (fun _ -> Dispatch.select d) in
+  (* strict alternation after the first pick *)
+  (match seq with
+  | a :: b :: c :: d' :: e :: f :: _ ->
+    Alcotest.(check bool) "alternates" true
+      (a <> b && b <> c && c <> d' && d' <> e && e <> f)
+  | _ -> Alcotest.fail "short sequence");
+  ()
+
+let rr_long_run_fractions () =
+  let alpha = [| 0.35; 0.22; 0.15; 0.12; 0.04; 0.04; 0.04; 0.04 |] in
+  let d = Dispatch.round_robin alpha in
+  let n = 100_000 in
+  let c = counts d 8 n in
+  Array.iteri
+    (fun i count ->
+      check_close ~rel:0.01
+        (Printf.sprintf "computer %d long-run share" i)
+        alpha.(i)
+        (float_of_int count /. float_of_int n))
+    c
+
+let rr_bounded_discrepancy () =
+  let alpha = paper_example_fractions in
+  let d = Dispatch.round_robin alpha in
+  let worst = max_prefix_discrepancy d alpha 10_000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "max prefix discrepancy %.2f small" worst)
+    true (worst <= 2.0)
+
+let rr_zero_fraction_never_selected () =
+  let d = Dispatch.round_robin [| 0.0; 0.5; 0.0; 0.5 |] in
+  for _ = 1 to 1000 do
+    let i = Dispatch.select d in
+    Alcotest.(check bool) "only live computers" true (i = 1 || i = 3)
+  done
+
+let rr_reset () =
+  let d = Dispatch.round_robin paper_example_fractions in
+  let first_run = List.init 8 (fun _ -> Dispatch.select d) in
+  Dispatch.reset d;
+  let second_run = List.init 8 (fun _ -> Dispatch.select d) in
+  Alcotest.(check (list int)) "reset replays" first_run second_run
+
+let rr_single_computer () =
+  let d = Dispatch.round_robin [| 1.0 |] in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "only choice" 0 (Dispatch.select d)
+  done
+
+let rr_guard_staggers_small_fractions () =
+  (* The guard spreads the first jobs of the four 0.04-fraction computers
+     across the cycle; without it they bunch up early.  Measure the spread
+     of first-selection times for computers 4..7. *)
+  let alpha = [| 0.35; 0.22; 0.15; 0.12; 0.04; 0.04; 0.04; 0.04 |] in
+  let first_times guard_d =
+    let first = Array.make 8 (-1) in
+    for t = 0 to 199 do
+      let i = Dispatch.select guard_d in
+      if first.(i) < 0 then first.(i) <- t
+    done;
+    first
+  in
+  let with_guard = first_times (Dispatch.round_robin alpha) in
+  let without = first_times (Dispatch.round_robin_no_guard alpha) in
+  let spread f =
+    let small = Array.sub f 4 4 in
+    Array.sort compare small;
+    small.(3) - small.(0)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "guard spread %d > no-guard spread %d" (spread with_guard)
+       (spread without))
+    true
+    (spread with_guard > spread without)
+
+let rr_variants_same_longrun () =
+  (* All Algorithm 2 variants realise the same long-run fractions. *)
+  let alpha = [| 0.4; 0.3; 0.2; 0.1 |] in
+  let n = 50_000 in
+  List.iter
+    (fun make ->
+      let d = make alpha in
+      let c = counts d 4 n in
+      Array.iteri
+        (fun i count ->
+          check_close ~rel:0.02
+            (Printf.sprintf "%s computer %d" (Dispatch.name d) i)
+            alpha.(i)
+            (float_of_int count /. float_of_int n))
+        c)
+    [ Dispatch.round_robin; Dispatch.round_robin_no_guard;
+      Dispatch.round_robin_index_ties; Dispatch.smooth_weighted ]
+
+let random_longrun_fractions () =
+  let alpha = [| 0.5; 0.3; 0.2 |] in
+  let d = Dispatch.random ~rng:(rng ()) alpha in
+  let n = 100_000 in
+  let c = counts d 3 n in
+  Array.iteri
+    (fun i count ->
+      check_close ~rel:0.03
+        (Printf.sprintf "random share %d" i)
+        alpha.(i)
+        (float_of_int count /. float_of_int n))
+    c
+
+let random_zero_fraction_never_selected () =
+  let d = Dispatch.random ~rng:(rng ()) [| 0.0; 1.0; 0.0 |] in
+  for _ = 1 to 1000 do
+    Alcotest.(check int) "always live computer" 1 (Dispatch.select d)
+  done
+
+let rr_smoother_than_random () =
+  (* The Figure 2 claim as a unit test: round-robin's prefix discrepancy is
+     far below random's for the same fractions. *)
+  let alpha = [| 0.35; 0.22; 0.15; 0.12; 0.04; 0.04; 0.04; 0.04 |] in
+  let n = 20_000 in
+  let rr = max_prefix_discrepancy (Dispatch.round_robin alpha) alpha n in
+  let rand = max_prefix_discrepancy (Dispatch.random ~rng:(rng ()) alpha) alpha n in
+  Alcotest.(check bool)
+    (Printf.sprintf "rr %.1f << random %.1f" rr rand)
+    true
+    (rr < rand /. 5.0)
+
+let smooth_wrr_exact_cycles () =
+  let d = Dispatch.smooth_weighted [| 0.5; 0.25; 0.25 |] in
+  let c = counts d 3 4 in
+  Alcotest.(check (array int)) "one smooth cycle" [| 2; 1; 1 |] c
+
+let strict_cycle_order () =
+  let d = Dispatch.strict_cycle 3 in
+  let seq = List.init 7 (fun _ -> Dispatch.select d) in
+  Alcotest.(check (list int)) "cycling" [ 0; 1; 2; 0; 1; 2; 0 ] seq;
+  Dispatch.reset d;
+  Alcotest.(check int) "reset to start" 0 (Dispatch.select d)
+
+let validation_errors () =
+  Alcotest.check_raises "sum != 1" (Invalid_argument "Dispatch: fractions must sum to 1")
+    (fun () -> ignore (Dispatch.round_robin [| 0.5; 0.4 |]));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Dispatch: fractions must be non-negative and finite") (fun () ->
+      ignore (Dispatch.round_robin [| 1.5; -0.5 |]));
+  Alcotest.check_raises "empty" (Invalid_argument "Dispatch: empty fractions") (fun () ->
+      ignore (Dispatch.random ~rng:(rng ()) [||]));
+  Alcotest.check_raises "strict cycle n=0"
+    (Invalid_argument "Dispatch.strict_cycle: n <= 0") (fun () ->
+      ignore (Dispatch.strict_cycle 0))
+
+let fractions_copied () =
+  let alpha = [| 0.5; 0.5 |] in
+  let d = Dispatch.round_robin alpha in
+  alpha.(0) <- 99.0;
+  check_array ~eps:0.0 "internal fractions unaffected" [| 0.5; 0.5 |]
+    (Dispatch.fractions d)
+
+(* Random fraction vector generator: Dirichlet-like via normalised
+   exponentials, 2-8 computers. *)
+let fractions_gen =
+  QCheck2.Gen.(
+    let* n = int_range 2 8 in
+    let* raw = list_repeat n (map (fun u -> 0.05 +. u) (float_bound_inclusive 1.0)) in
+    let arr = Array.of_list raw in
+    let total = Array.fold_left ( +. ) 0.0 arr in
+    (* exact renormalisation pass so the validator accepts it *)
+    let alpha = Array.map (fun x -> x /. total) arr in
+    let s = Array.fold_left ( +. ) 0.0 alpha in
+    alpha.(0) <- alpha.(0) +. (1.0 -. s);
+    return alpha)
+
+let prop_rr_counts_near_expectation =
+  qcheck ~count:100 "round-robin counts within 3 of N*alpha"
+    fractions_gen
+    (fun alpha ->
+      let d = Dispatch.round_robin alpha in
+      let n = 2000 in
+      let c = counts d (Array.length alpha) n in
+      Array.for_all2
+        (fun count a -> abs_float (float_of_int count -. (float_of_int n *. a)) <= 3.0)
+        c alpha)
+
+let prop_rr_deterministic =
+  qcheck ~count:50 "round-robin is deterministic"
+    fractions_gen
+    (fun alpha ->
+      let d1 = Dispatch.round_robin alpha in
+      let d2 = Dispatch.round_robin alpha in
+      let same = ref true in
+      for _ = 1 to 500 do
+        if Dispatch.select d1 <> Dispatch.select d2 then same := false
+      done;
+      !same)
+
+let prop_random_in_range =
+  qcheck ~count:50 "random selects valid indices"
+    fractions_gen
+    (fun alpha ->
+      let d = Dispatch.random ~rng:(rng ()) alpha in
+      let ok = ref true in
+      for _ = 1 to 500 do
+        let i = Dispatch.select d in
+        if i < 0 || i >= Array.length alpha then ok := false
+      done;
+      !ok)
+
+let prop_smooth_wrr_bounded =
+  qcheck ~count:100 "smooth WRR discrepancy bounded"
+    fractions_gen
+    (fun alpha ->
+      let d = Dispatch.smooth_weighted alpha in
+      max_prefix_discrepancy d alpha 1000 <= float_of_int (Array.length alpha))
+
+let suite =
+  [
+    test "algorithm 2: paper example per-cycle counts" rr_paper_example_counts;
+    test "algorithm 2: first pick is largest fraction" rr_first_selection_largest_fraction;
+    test "algorithm 2: paper example decision trace" rr_paper_example_trace;
+    test "algorithm 2: uniform fractions = classic round-robin"
+      rr_uniform_degenerates_to_cycle;
+    test "algorithm 2: two computers alternate" rr_two_computers;
+    test "algorithm 2: long-run fractions realised" rr_long_run_fractions;
+    test "algorithm 2: bounded prefix discrepancy" rr_bounded_discrepancy;
+    test "algorithm 2: zero fractions never selected" rr_zero_fraction_never_selected;
+    test "algorithm 2: reset replays" rr_reset;
+    test "algorithm 2: single computer" rr_single_computer;
+    test "algorithm 2: guard staggers small fractions" rr_guard_staggers_small_fractions;
+    test "variants: identical long-run fractions" rr_variants_same_longrun;
+    test "random: long-run fractions" random_longrun_fractions;
+    test "random: zero fractions never selected" random_zero_fraction_never_selected;
+    test "round-robin far smoother than random" rr_smoother_than_random;
+    test "smooth WRR: exact cycles" smooth_wrr_exact_cycles;
+    test "strict cycle: order and reset" strict_cycle_order;
+    test "validation errors" validation_errors;
+    test "fractions are defensive copies" fractions_copied;
+    prop_rr_counts_near_expectation;
+    prop_rr_deterministic;
+    prop_random_in_range;
+    prop_smooth_wrr_bounded;
+  ]

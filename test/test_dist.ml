@@ -1,0 +1,384 @@
+open Test_util
+module Dist = Statsched_dist
+module D = Dist.Distribution
+module Rng = Statsched_prng.Rng
+
+(* Empirical moment check: sample n variates and compare against the
+   distribution's analytic mean / CV.  Tolerances depend on tail weight. *)
+let empirical_check ?(n = 200_000) ?(mean_rel = 0.03) ?(cv_rel = 0.1) d () =
+  let g = rng () in
+  let w = Statsched_stats.Welford.create () in
+  for _ = 1 to n do
+    Statsched_stats.Welford.add w (D.sample d g)
+  done;
+  check_close ~rel:mean_rel
+    (D.name d ^ ": empirical mean")
+    (D.mean d)
+    (Statsched_stats.Welford.mean w);
+  if Float.is_finite (D.variance d) && D.variance d > 0.0 then
+    check_close ~rel:cv_rel
+      (D.name d ^ ": empirical std")
+      (D.std d)
+      (Statsched_stats.Welford.std w)
+
+let exponential_analytic () =
+  let d = Dist.Exponential.create ~rate:0.25 in
+  check_float "mean" 4.0 (D.mean d);
+  check_float "variance" 16.0 (D.variance d);
+  check_float "cv" 1.0 (D.cv d);
+  check_float "scv" 1.0 (D.scv d)
+
+let exponential_of_mean () =
+  let d = Dist.Exponential.of_mean 76.8 in
+  check_float ~eps:1e-12 "mean" 76.8 (D.mean d)
+
+let exponential_errors () =
+  Alcotest.check_raises "rate <= 0" (Invalid_argument "Exponential.create: rate <= 0")
+    (fun () -> ignore (Dist.Exponential.create ~rate:0.0));
+  Alcotest.check_raises "mean <= 0" (Invalid_argument "Exponential.of_mean: mean <= 0")
+    (fun () -> ignore (Dist.Exponential.of_mean (-1.0)))
+
+let exponential_positive () =
+  let g = rng () in
+  for _ = 1 to 10_000 do
+    Alcotest.(check bool) "positive" true (Dist.Exponential.sample ~rate:2.0 g > 0.0)
+  done
+
+let hyper_balanced_fit () =
+  let (p1, r1), (p2, r2) = Dist.Hyperexponential.branch_params ~mean:2.2 ~cv:3.0 in
+  check_float ~eps:1e-12 "probabilities sum to 1" 1.0 (p1 +. p2);
+  (* Balanced means: each branch contributes half the mean. *)
+  check_float ~eps:1e-9 "branch 1 contributes mean/2" (2.2 /. 2.0) (p1 /. r1);
+  check_float ~eps:1e-9 "branch 2 contributes mean/2" (2.2 /. 2.0) (p2 /. r2)
+
+let hyper_analytic_moments () =
+  let d = Dist.Hyperexponential.fit_cv ~mean:2.2 ~cv:3.0 in
+  check_float ~eps:1e-9 "mean" 2.2 (D.mean d);
+  check_float ~eps:1e-6 "cv" 3.0 (D.cv d)
+
+let hyper_cv_one_degenerates () =
+  let d = Dist.Hyperexponential.fit_cv ~mean:5.0 ~cv:1.0 in
+  check_float ~eps:1e-12 "mean" 5.0 (D.mean d);
+  check_float ~eps:1e-9 "cv" 1.0 (D.cv d)
+
+let hyper_errors () =
+  Alcotest.check_raises "cv < 1" (Invalid_argument "Hyperexponential.fit_cv: cv < 1")
+    (fun () -> ignore (Dist.Hyperexponential.fit_cv ~mean:1.0 ~cv:0.5));
+  Alcotest.check_raises "mean <= 0" (Invalid_argument "Hyperexponential.fit_cv: mean <= 0")
+    (fun () -> ignore (Dist.Hyperexponential.fit_cv ~mean:0.0 ~cv:2.0));
+  Alcotest.check_raises "probs not summing"
+    (Invalid_argument "Hyperexponential.create: probabilities must sum to 1") (fun () ->
+      ignore (Dist.Hyperexponential.create ~probs:[| 0.5; 0.4 |] ~rates:[| 1.0; 2.0 |]));
+  Alcotest.check_raises "bad rate"
+    (Invalid_argument "Hyperexponential.create: non-positive rate") (fun () ->
+      ignore (Dist.Hyperexponential.create ~probs:[| 0.5; 0.5 |] ~rates:[| 1.0; 0.0 |]))
+
+let bp_paper_mean () =
+  (* The paper quotes 76.8 s for B(10, 21600, 1). *)
+  let d = Dist.Bounded_pareto.create_paper_default () in
+  check_close ~rel:0.001 "mean 76.8" 76.8 (D.mean d)
+
+let bp_moment_continuity () =
+  (* The alpha = j logarithmic branch must agree with the limit of the
+     general branch. *)
+  let base = { Dist.Bounded_pareto.k = 10.0; p = 21600.0; alpha = 1.0 } in
+  let exact = Dist.Bounded_pareto.raw_moment base 1 in
+  let near = Dist.Bounded_pareto.raw_moment { base with alpha = 1.0 +. 1e-7 } 1 in
+  check_close ~rel:1e-4 "alpha=1 matches alpha->1 limit" exact near
+
+let bp_bounds () =
+  let prm = Dist.Bounded_pareto.paper_default in
+  let g = rng () in
+  for _ = 1 to 50_000 do
+    let x = Dist.Bounded_pareto.sample prm g in
+    Alcotest.(check bool) "k <= x <= p" true (10.0 <= x && x <= 21600.0)
+  done
+
+let bp_quantile_monotone () =
+  let prm = Dist.Bounded_pareto.paper_default in
+  let prev = ref 0.0 in
+  for i = 0 to 99 do
+    let q = Dist.Bounded_pareto.quantile prm (float_of_int i /. 100.0) in
+    Alcotest.(check bool) "monotone quantile" true (q >= !prev);
+    prev := q
+  done;
+  check_float ~eps:1e-9 "quantile 0 = k" 10.0 (Dist.Bounded_pareto.quantile prm 0.0)
+
+let bp_errors () =
+  Alcotest.check_raises "k >= p" (Invalid_argument "Bounded_pareto: need 0 < k < p")
+    (fun () ->
+      Dist.Bounded_pareto.validate { Dist.Bounded_pareto.k = 5.0; p = 5.0; alpha = 1.0 });
+  Alcotest.check_raises "alpha <= 0" (Invalid_argument "Bounded_pareto: need alpha > 0")
+    (fun () ->
+      Dist.Bounded_pareto.validate { Dist.Bounded_pareto.k = 1.0; p = 5.0; alpha = 0.0 })
+
+let bp_heavy_tail () =
+  (* With alpha = 1 a significant load fraction comes from the largest few
+     percent of jobs: top 1% of sampled mass should exceed 15% of total. *)
+  let prm = Dist.Bounded_pareto.paper_default in
+  let g = rng () in
+  let n = 100_000 in
+  let xs = Array.init n (fun _ -> Dist.Bounded_pareto.sample prm g) in
+  Array.sort compare xs;
+  let total = Array.fold_left ( +. ) 0.0 xs in
+  let top = ref 0.0 in
+  for i = n - (n / 100) to n - 1 do
+    top := !top +. xs.(i)
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "top 1%% carries %.1f%% of load" (100.0 *. !top /. total))
+    true
+    (!top /. total > 0.15)
+
+let uniform_analytic () =
+  let d = Dist.Uniform_dist.create ~a:2.0 ~b:6.0 in
+  check_float "mean" 4.0 (D.mean d);
+  check_float ~eps:1e-12 "variance" (16.0 /. 12.0) (D.variance d)
+
+let uniform_bounds () =
+  let d = Dist.Uniform_dist.create ~a:0.0 ~b:1.0 in
+  let g = rng () in
+  for _ = 1 to 10_000 do
+    let x = D.sample d g in
+    Alcotest.(check bool) "in range" true (0.0 <= x && x < 1.0)
+  done
+
+let deterministic_constant () =
+  let d = Dist.Deterministic.create 3.5 in
+  let g = rng () in
+  for _ = 1 to 100 do
+    check_float "constant" 3.5 (D.sample d g)
+  done;
+  check_float "zero variance" 0.0 (D.variance d)
+
+let erlang_analytic () =
+  let d = Dist.Erlang.create ~k:4 ~rate:2.0 in
+  check_float "mean" 2.0 (D.mean d);
+  check_float "variance" 1.0 (D.variance d);
+  check_float ~eps:1e-12 "cv = 1/sqrt k" 0.5 (D.cv d)
+
+let erlang_of_mean_cv () =
+  let d = Dist.Erlang.of_mean_cv ~mean:10.0 ~cv:0.5 in
+  check_float ~eps:1e-9 "mean preserved" 10.0 (D.mean d);
+  check_float ~eps:1e-9 "cv realised" 0.5 (D.cv d)
+
+let lognormal_parameterisation () =
+  let d = Dist.Lognormal.of_mean_cv ~mean:76.8 ~cv:2.0 in
+  check_close ~rel:1e-9 "mean" 76.8 (D.mean d);
+  check_close ~rel:1e-9 "cv" 2.0 (D.cv d)
+
+let weibull_exponential_special_case () =
+  (* shape = 1 is Exp(1/scale). *)
+  let d = Dist.Weibull.create ~shape:1.0 ~scale:4.0 in
+  check_close ~rel:1e-6 "mean" 4.0 (D.mean d);
+  check_close ~rel:1e-6 "variance" 16.0 (D.variance d)
+
+let empirical_resample () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let d = Dist.Empirical.create xs in
+  check_float "mean" 2.5 (D.mean d);
+  let g = rng () in
+  for _ = 1 to 1000 do
+    let x = D.sample d g in
+    Alcotest.(check bool) "sampled from support" true (Array.exists (fun v -> v = x) xs)
+  done
+
+let empirical_errors () =
+  Alcotest.check_raises "empty" (Invalid_argument "Empirical.create: empty sample")
+    (fun () -> ignore (Dist.Empirical.create [||]));
+  Alcotest.check_raises "negative" (Invalid_argument "Empirical.create: negative value")
+    (fun () -> ignore (Dist.Empirical.create [| 1.0; -2.0 |]))
+
+let quantile_table_interpolates () =
+  let d = Dist.Empirical.of_sorted_quantiles [| 0.0; 10.0 |] in
+  let g = rng () in
+  for _ = 1 to 1000 do
+    let x = D.sample d g in
+    Alcotest.(check bool) "within table range" true (0.0 <= x && x <= 10.0)
+  done
+
+let quantile_table_unsorted () =
+  Alcotest.check_raises "unsorted"
+    (Invalid_argument "Empirical.of_sorted_quantiles: not sorted") (fun () ->
+      ignore (Dist.Empirical.of_sorted_quantiles [| 2.0; 1.0 |]))
+
+let gamma_analytic () =
+  let d = Dist.Gamma.create ~shape:3.0 ~scale:2.0 in
+  check_float "mean" 6.0 (D.mean d);
+  check_float "variance" 12.0 (D.variance d)
+
+let gamma_of_mean_cv () =
+  let d = Dist.Gamma.of_mean_cv ~mean:10.0 ~cv:0.7 in
+  check_close ~rel:1e-9 "mean" 10.0 (D.mean d);
+  check_close ~rel:1e-9 "cv" 0.7 (D.cv d)
+
+let gamma_matches_erlang () =
+  (* Integer shape: Gamma = Erlang, so the analytic moments coincide. *)
+  let g = Dist.Gamma.create ~shape:4.0 ~scale:0.5 in
+  let e = Dist.Erlang.create ~k:4 ~rate:2.0 in
+  check_float ~eps:1e-12 "means equal" (D.mean e) (D.mean g);
+  check_float ~eps:1e-12 "variances equal" (D.variance e) (D.variance g)
+
+let gamma_errors () =
+  Alcotest.check_raises "shape <= 0" (Invalid_argument "Gamma.create: shape <= 0")
+    (fun () -> ignore (Dist.Gamma.create ~shape:0.0 ~scale:1.0))
+
+let pareto_moments () =
+  let d = Dist.Pareto.create ~k:2.0 ~alpha:3.0 in
+  check_float ~eps:1e-12 "mean" 3.0 (D.mean d);
+  check_float ~eps:1e-9 "variance" 3.0 (D.variance d);
+  (* heavy regimes *)
+  check_float "alpha=1.5: infinite variance" infinity
+    (D.variance (Dist.Pareto.create ~k:1.0 ~alpha:1.5));
+  check_float "alpha=0.9: infinite mean" infinity
+    (D.mean (Dist.Pareto.create ~k:1.0 ~alpha:0.9))
+
+let pareto_support () =
+  let d = Dist.Pareto.create ~k:5.0 ~alpha:2.0 in
+  let g = rng () in
+  for _ = 1 to 10_000 do
+    Alcotest.(check bool) "x >= k" true (D.sample d g >= 5.0)
+  done
+
+let mixture_moments () =
+  (* 50/50 mix of Det(2) and Det(6): mean 4, variance = E[X^2]-16 = (4+36)/2-16 = 4. *)
+  let d =
+    Dist.Mixture.create
+      [ (1.0, Dist.Deterministic.create 2.0); (1.0, Dist.Deterministic.create 6.0) ]
+  in
+  check_float ~eps:1e-12 "mean" 4.0 (D.mean d);
+  check_float ~eps:1e-12 "variance" 4.0 (D.variance d)
+
+let mixture_recovers_hyperexponential () =
+  (* A mixture of exponentials must match the H2 closed form. *)
+  let (p1, r1), (p2, r2) = Dist.Hyperexponential.branch_params ~mean:2.2 ~cv:3.0 in
+  let mix =
+    Dist.Mixture.create
+      [ (p1, Dist.Exponential.create ~rate:r1); (p2, Dist.Exponential.create ~rate:r2) ]
+  in
+  let h2 = Dist.Hyperexponential.fit_cv ~mean:2.2 ~cv:3.0 in
+  check_close ~rel:1e-9 "means agree" (D.mean h2) (D.mean mix);
+  check_close ~rel:1e-9 "variances agree" (D.variance h2) (D.variance mix)
+
+let mixture_sampling () =
+  let d =
+    Dist.Mixture.bimodal ~p_small:0.9
+      ~small:(Dist.Deterministic.create 1.0)
+      ~large:(Dist.Deterministic.create 100.0)
+  in
+  check_close ~rel:1e-9 "bimodal mean" 10.9 (D.mean d);
+  let g = rng () in
+  let n = 50_000 in
+  let small = ref 0 in
+  for _ = 1 to n do
+    if D.sample d g = 1.0 then incr small
+  done;
+  check_close ~rel:0.02 "small fraction" 0.9 (float_of_int !small /. float_of_int n)
+
+let mixture_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Mixture.create: empty mixture")
+    (fun () -> ignore (Dist.Mixture.create []));
+  Alcotest.check_raises "negative weight"
+    (Invalid_argument "Mixture.create: negative weight") (fun () ->
+      ignore (Dist.Mixture.create [ (-1.0, Dist.Deterministic.create 1.0) ]));
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Mixture.bimodal: p_small outside [0,1]") (fun () ->
+      ignore
+        (Dist.Mixture.bimodal ~p_small:1.5
+           ~small:(Dist.Deterministic.create 1.0)
+           ~large:(Dist.Deterministic.create 2.0)))
+
+let scaled_distribution () =
+  let d = D.scaled (Dist.Exponential.of_mean 2.0) 3.0 in
+  check_float ~eps:1e-12 "scaled mean" 6.0 (D.mean d);
+  check_float ~eps:1e-12 "scaled variance" 36.0 (D.variance d);
+  Alcotest.check_raises "c <= 0" (Invalid_argument "Distribution.scaled: c <= 0")
+    (fun () -> ignore (D.scaled d 0.0))
+
+let sample_array_length () =
+  let d = Dist.Exponential.of_mean 1.0 in
+  let g = rng () in
+  Alcotest.(check int) "length" 17 (Array.length (D.sample_array d g 17))
+
+let prop_hyper_moments =
+  qcheck ~count:50 "H2 fit hits requested mean and cv"
+    QCheck2.Gen.(pair (map (fun x -> 0.1 +. (10.0 *. x)) (float_bound_inclusive 1.0))
+                   (map (fun x -> 1.0 +. (4.0 *. x)) (float_bound_inclusive 1.0)))
+    (fun (mean, cv) ->
+      let d = Dist.Hyperexponential.fit_cv ~mean ~cv in
+      abs_float (D.mean d -. mean) < 1e-9 *. mean
+      && abs_float (D.cv d -. cv) < 1e-6 *. cv)
+
+let prop_bp_moment_positive =
+  qcheck ~count:100 "bounded pareto moments positive and ordered"
+    QCheck2.Gen.(
+      triple
+        (map (fun x -> 0.5 +. (10.0 *. x)) (float_bound_inclusive 1.0))
+        (map (fun x -> 100.0 +. (10000.0 *. x)) (float_bound_inclusive 1.0))
+        (map (fun x -> 0.2 +. (2.8 *. x)) (float_bound_inclusive 1.0)))
+    (fun (k, p, alpha) ->
+      let prm = { Dist.Bounded_pareto.k; p; alpha } in
+      let m1 = Dist.Bounded_pareto.raw_moment prm 1 in
+      let m2 = Dist.Bounded_pareto.raw_moment prm 2 in
+      m1 > k && m1 < p && m2 >= m1 *. m1)
+
+let suite =
+  [
+    test "exponential: analytic moments" exponential_analytic;
+    test "exponential: of_mean" exponential_of_mean;
+    test "exponential: parameter validation" exponential_errors;
+    test "exponential: samples positive" exponential_positive;
+    slow_test "exponential: empirical moments"
+      (empirical_check (Dist.Exponential.create ~rate:0.5));
+    test "hyperexponential: balanced-means fit" hyper_balanced_fit;
+    test "hyperexponential: analytic moments" hyper_analytic_moments;
+    test "hyperexponential: cv=1 degenerates to exponential" hyper_cv_one_degenerates;
+    test "hyperexponential: parameter validation" hyper_errors;
+    slow_test "hyperexponential: empirical moments"
+      (empirical_check ~cv_rel:0.15 (Dist.Hyperexponential.fit_cv ~mean:2.2 ~cv:3.0));
+    test "bounded pareto: paper mean 76.8" bp_paper_mean;
+    test "bounded pareto: moment continuity at alpha=j" bp_moment_continuity;
+    test "bounded pareto: samples within bounds" bp_bounds;
+    test "bounded pareto: quantile monotone" bp_quantile_monotone;
+    test "bounded pareto: parameter validation" bp_errors;
+    slow_test "bounded pareto: heavy tail" bp_heavy_tail;
+    slow_test "bounded pareto: empirical mean"
+      (empirical_check ~n:400_000 ~mean_rel:0.1 ~cv_rel:0.5
+         (Dist.Bounded_pareto.create_paper_default ()));
+    test "uniform: analytic moments" uniform_analytic;
+    test "uniform: bounds" uniform_bounds;
+    test "deterministic: constant" deterministic_constant;
+    test "erlang: analytic moments" erlang_analytic;
+    test "erlang: of_mean_cv" erlang_of_mean_cv;
+    slow_test "erlang: empirical moments" (empirical_check (Dist.Erlang.create ~k:3 ~rate:1.5));
+    test "lognormal: mean/cv parameterisation" lognormal_parameterisation;
+    slow_test "lognormal: empirical moments"
+      (empirical_check ~cv_rel:0.15 (Dist.Lognormal.of_mean_cv ~mean:10.0 ~cv:1.5));
+    test "weibull: shape=1 is exponential" weibull_exponential_special_case;
+    slow_test "weibull: empirical moments"
+      (empirical_check (Dist.Weibull.create ~shape:1.5 ~scale:2.0));
+    test "empirical: resampling support" empirical_resample;
+    test "empirical: validation" empirical_errors;
+    test "empirical: quantile table interpolation" quantile_table_interpolates;
+    test "empirical: quantile table sorted check" quantile_table_unsorted;
+    test "gamma: analytic moments" gamma_analytic;
+    test "gamma: of_mean_cv" gamma_of_mean_cv;
+    test "gamma: integer shape equals erlang" gamma_matches_erlang;
+    test "gamma: validation" gamma_errors;
+    slow_test "gamma: empirical moments (shape > 1)"
+      (empirical_check (Dist.Gamma.create ~shape:2.5 ~scale:1.4));
+    slow_test "gamma: empirical moments (shape < 1)"
+      (empirical_check ~cv_rel:0.15 (Dist.Gamma.create ~shape:0.5 ~scale:2.0));
+    test "pareto: moments incl. heavy regimes" pareto_moments;
+    test "pareto: support" pareto_support;
+    slow_test "pareto: empirical mean (alpha=3)"
+      (empirical_check ~mean_rel:0.05 ~cv_rel:0.5 (Dist.Pareto.create ~k:2.0 ~alpha:3.0));
+    test "mixture: moments by hand" mixture_moments;
+    test "mixture: recovers hyperexponential" mixture_recovers_hyperexponential;
+    test "mixture: bimodal sampling" mixture_sampling;
+    test "mixture: validation" mixture_validation;
+    test "distribution: scaled" scaled_distribution;
+    test "distribution: sample_array" sample_array_length;
+    prop_hyper_moments;
+    prop_bp_moment_positive;
+  ]

@@ -1,0 +1,253 @@
+open Test_util
+module E = Statsched_experiments
+module Runner = E.Runner
+module Config = E.Config
+module Core = Statsched_core
+module Cluster = Statsched_cluster
+
+(* A tiny scale so the experiment plumbing tests stay fast; statistical
+   assertions here are about structure and gross ordering only. *)
+let tiny = { Config.horizon = 30_000.0; warmup = 7_500.0; reps = 2 }
+
+let config_scales_ordered () =
+  Alcotest.(check bool) "quick < default" true
+    (Config.quick.Config.horizon < Config.default_scale.Config.horizon);
+  Alcotest.(check bool) "default < paper" true
+    (Config.default_scale.Config.horizon < Config.paper.Config.horizon);
+  Alcotest.(check int) "paper reps" 10 Config.paper.Config.reps;
+  check_float "paper horizon" 4.0e6 Config.paper.Config.horizon;
+  check_float "paper warmup" 1.0e6 Config.paper.Config.warmup
+
+let config_names () =
+  Alcotest.(check string) "quick" "quick" (Config.scale_name Config.quick);
+  Alcotest.(check string) "paper" "paper" (Config.scale_name Config.paper)
+
+let runner_point_aggregates () =
+  let speeds = [| 1.0; 2.0 |] in
+  let workload = Cluster.Workload.poisson_exponential ~rho:0.5 ~mean_size:1.0 ~speeds in
+  let spec =
+    Runner.make_spec ~speeds ~workload
+      ~scheduler:(Cluster.Scheduler.static Core.Policy.wrr) ()
+  in
+  let results = Runner.replicate ~scale:tiny spec in
+  Alcotest.(check int) "reps run" 2 (List.length results);
+  let point = Runner.point_of_results results in
+  Alcotest.(check string) "label" "WRR" point.Runner.label;
+  Alcotest.(check int) "interval replication count" 2
+    point.Runner.mean_response_ratio.Statsched_stats.Confidence.replications;
+  Alcotest.(check bool) "jobs measured" true (point.Runner.jobs_per_rep > 100.0);
+  check_close ~rel:0.05 "fractions average to weighted" (2.0 /. 3.0)
+    point.Runner.dispatch_fractions.(1)
+
+let runner_empty_rejected () =
+  Alcotest.check_raises "no results" (Invalid_argument "Runner.point_of_results: no results")
+    (fun () -> ignore (Runner.point_of_results []))
+
+let schedulers_roster () =
+  Alcotest.(check int) "four static" 4 (List.length E.Schedulers.static_four);
+  Alcotest.(check int) "five with least load" 5 (List.length E.Schedulers.with_least_load);
+  Alcotest.(check bool) "ablations non-empty" true
+    (List.length E.Schedulers.dispatch_ablations >= 3)
+
+let table1_shape () =
+  let r = E.Table1.run ~scale:tiny () in
+  Alcotest.(check int) "seven computers" 7 (Array.length r.E.Table1.measured_fractions);
+  let total = Array.fold_left ( +. ) 0.0 r.E.Table1.measured_fractions in
+  check_close ~rel:1e-6 "fractions sum to 1" 1.0 total;
+  (* the slowest computer receives well below its proportional share *)
+  Alcotest.(check bool) "slow starved" true
+    (r.E.Table1.measured_fractions.(0) < 0.5 *. r.E.Table1.weighted_fractions.(0));
+  (* the fastest receives at least its proportional share *)
+  Alcotest.(check bool) "fast overfed" true
+    (r.E.Table1.measured_fractions.(6) > r.E.Table1.weighted_fractions.(6));
+  (* report renders without error *)
+  Alcotest.(check bool) "report non-empty" true (String.length (E.Table1.to_report r) > 0)
+
+let fig2_round_robin_smoother () =
+  let r = E.Fig2.run () in
+  Alcotest.(check int) "30 intervals" 30 (Array.length r.E.Fig2.round_robin);
+  Alcotest.(check int) "30 intervals" 30 (Array.length r.E.Fig2.random);
+  let rr_mean = r.E.Fig2.round_robin_summary.Statsched_stats.Summary.mean in
+  let rand_mean = r.E.Fig2.random_summary.Statsched_stats.Summary.mean in
+  Alcotest.(check bool)
+    (Printf.sprintf "rr %.5f << random %.5f" rr_mean rand_mean)
+    true
+    (rr_mean < rand_mean /. 3.0);
+  Alcotest.(check bool) "report non-empty" true (String.length (E.Fig2.to_report r) > 0)
+
+let fig2_fractions_paper () =
+  check_float ~eps:1e-12 "paper fractions sum to 1" 1.0
+    (Array.fold_left ( +. ) 0.0 E.Fig2.fractions);
+  Alcotest.(check int) "eight computers" 8 (Array.length E.Fig2.fractions)
+
+let fig3_structure_and_ordering () =
+  let rows =
+    E.Fig3.run ~scale:tiny ~fast_speeds:[ 1.0; 16.0 ]
+      ~schedulers:E.Schedulers.static_four ()
+  in
+  Alcotest.(check int) "two x values" 2 (List.length rows);
+  List.iter
+    (fun (_, points) -> Alcotest.(check int) "four schedulers" 4 (List.length points))
+    rows;
+  (* At high skew the optimized policies must beat the weighted ones. *)
+  let high = List.assoc 16.0 rows in
+  let ratio name =
+    (List.assoc name high).Runner.mean_response_ratio.Statsched_stats.Confidence.mean
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "ORR %.3f < WRR %.3f at 16:1" (ratio "ORR") (ratio "WRR"))
+    true
+    (ratio "ORR" < ratio "WRR");
+  Alcotest.(check bool)
+    (Printf.sprintf "ORAN %.3f < WRAN %.3f at 16:1" (ratio "ORAN") (ratio "WRAN"))
+    true
+    (ratio "ORAN" < ratio "WRAN");
+  (* three metric panels *)
+  Alcotest.(check int) "three sweeps" 3 (List.length (E.Fig3.sweeps rows))
+
+let fig3_homogeneous_allocations_coincide () =
+  (* In the homogeneous case (fast = slow = 1) optimized and weighted
+     produce identical fractions, so ORR = WRR exactly under common random
+     numbers. *)
+  let rows =
+    E.Fig3.run ~scale:tiny ~fast_speeds:[ 1.0 ] ~schedulers:E.Schedulers.static_four ()
+  in
+  let points = List.assoc 1.0 rows in
+  let mean name =
+    (List.assoc name points).Runner.mean_response_ratio.Statsched_stats.Confidence.mean
+  in
+  check_float ~eps:1e-9 "ORR = WRR when homogeneous" (mean "WRR") (mean "ORR");
+  check_float ~eps:1e-9 "ORAN = WRAN when homogeneous" (mean "WRAN") (mean "ORAN")
+
+let fig4_structure () =
+  let rows =
+    E.Fig4.run ~scale:tiny ~sizes:[ 2; 6 ] ~schedulers:E.Schedulers.static_four ()
+  in
+  Alcotest.(check int) "two sizes" 2 (List.length rows);
+  Alcotest.check_raises "odd size rejected"
+    (Invalid_argument "Fig4.run: sizes must be even and >= 2") (fun () ->
+      ignore (E.Fig4.run ~scale:tiny ~sizes:[ 3 ] ()));
+  Alcotest.(check int) "two panels" 2 (List.length (E.Fig4.sweeps rows))
+
+let fig5_low_load_favours_optimized () =
+  let rows =
+    E.Fig5.run ~scale:tiny ~utilizations:[ 0.3 ] ~schedulers:E.Schedulers.static_four ()
+  in
+  let points = List.assoc 0.3 rows in
+  let ratio name =
+    (List.assoc name points).Runner.mean_response_ratio.Statsched_stats.Confidence.mean
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "ORR %.3f < WRAN %.3f at low load" (ratio "ORR") (ratio "WRAN"))
+    true
+    (ratio "ORR" < ratio "WRAN")
+
+let fig6_overestimation_mild () =
+  let rows =
+    E.Fig6.run ~scale:tiny ~utilizations:[ 0.6 ] ~errors:[ 0.10 ] ()
+  in
+  let points = List.assoc 0.6 rows in
+  Alcotest.(check int) "ORR, ORR(+10%), WRR" 3 (List.length points);
+  let ratio name =
+    (List.assoc name points).Runner.mean_response_ratio.Statsched_stats.Confidence.mean
+  in
+  (* Overestimation at moderate load must stay close to exact ORR:
+     within 15% at this tiny scale. *)
+  check_close ~rel:0.15 "ORR(+10%) near ORR" (ratio "ORR") (ratio "ORR(+10%)")
+
+let report_rendering () =
+  let header = [ "a"; "bb" ] in
+  let rows = [ [ E.Report.Int 1; E.Report.Float 2.5 ] ] in
+  let s = E.Report.render ~header ~rows in
+  Alcotest.(check bool) "contains values" true
+    (String.length s > 0
+    && String.index_opt s '1' <> None
+    && String.index_opt s '2' <> None);
+  Alcotest.check_raises "ragged row" (Invalid_argument "Report.render: ragged row")
+    (fun () -> ignore (E.Report.render ~header ~rows:[ [ E.Report.Int 1 ] ]))
+
+let report_cells () =
+  Alcotest.(check string) "percent" "12.34%"
+    (String.trim
+       (List.nth (String.split_on_char '\n' (E.Report.render ~header:[ "x" ]
+                                               ~rows:[ [ E.Report.Percent 0.1234 ] ])) 2))
+
+let ascii_chart_renders () =
+  let chart =
+    E.Report.ascii_chart ~title:"demo" ~xlabel:"x"
+      [ ("ORR", [ (1.0, 2.0); (10.0, 1.0); (20.0, 0.5) ]);
+        ("WRR", [ (1.0, 2.7); (10.0, 1.4); (20.0, 0.9) ]) ]
+  in
+  let lines = String.split_on_char '\n' chart in
+  Alcotest.(check bool) "has title" true (List.hd lines = "demo");
+  (* default canvas: title + 20 rows + axis + x labels + 2 legend lines *)
+  Alcotest.(check bool) "enough lines" true (List.length lines >= 24);
+  Alcotest.(check bool) "contains markers" true
+    (String.contains chart 'a' && String.contains chart 'b');
+  Alcotest.(check bool) "legend mentions series" true
+    (let re_found needle =
+       let n = String.length needle and h = String.length chart in
+       let rec scan i = i + n <= h && (String.sub chart i n = needle || scan (i + 1)) in
+       scan 0
+     in
+     re_found "a = ORR" && re_found "b = WRR")
+
+let ascii_chart_marker_positions () =
+  (* A single increasing series: the marker on the last column must sit on
+     the top row, the first column on the bottom row. *)
+  let chart =
+    E.Report.ascii_chart ~width:20 ~height:5 ~title:"t" ~xlabel:"x"
+      [ ("s", [ (0.0, 0.0); (1.0, 1.0) ]) ]
+  in
+  let lines = String.split_on_char '\n' chart in
+  let top = List.nth lines 1 and bottom = List.nth lines 5 in
+  Alcotest.(check bool) "max at top right" true
+    (String.length top > 0 && top.[String.length top - 1] = 'a');
+  Alcotest.(check bool) "min at bottom left" true (String.contains bottom 'a')
+
+let ascii_chart_degenerate () =
+  let chart = E.Report.ascii_chart ~title:"t" ~xlabel:"x" [ ("s", []) ] in
+  Alcotest.(check bool) "empty note" true
+    (String.length chart > 0
+    && String.split_on_char '\n' chart |> List.length >= 2);
+  Alcotest.check_raises "tiny canvas" (Invalid_argument "Report.ascii_chart: width < 20")
+    (fun () -> ignore (E.Report.ascii_chart ~width:5 ~title:"t" ~xlabel:"x" []))
+
+let chart_of_sweep_works () =
+  let sweep =
+    {
+      E.Report.title = "sweep";
+      xlabel = "x";
+      columns = [ "A"; "B" ];
+      rows =
+        [
+          (1.0, [ E.Report.Float 3.0; E.Report.Float 1.0 ]);
+          (2.0, [ E.Report.Float 2.0; E.Report.Float 2.0 ]);
+        ];
+    }
+  in
+  let chart = E.Report.chart_of_sweep sweep in
+  Alcotest.(check bool) "renders" true (String.length chart > 100)
+
+let suite =
+  [
+    test "config: scales ordered" config_scales_ordered;
+    test "config: names" config_names;
+    slow_test "runner: replication and aggregation" runner_point_aggregates;
+    test "runner: empty rejected" runner_empty_rejected;
+    test "schedulers: roster" schedulers_roster;
+    slow_test "table 1: least-load starves slow computers" table1_shape;
+    slow_test "figure 2: round-robin smoother than random" fig2_round_robin_smoother;
+    test "figure 2: paper fractions" fig2_fractions_paper;
+    slow_test "figure 3: structure and optimized-wins ordering" fig3_structure_and_ordering;
+    slow_test "figure 3: homogeneous case collapses pairs" fig3_homogeneous_allocations_coincide;
+    slow_test "figure 4: structure and validation" fig4_structure;
+    slow_test "figure 5: optimized wins at low load" fig5_low_load_favours_optimized;
+    slow_test "figure 6: overestimation is mild" fig6_overestimation_mild;
+    test "report: table rendering" report_rendering;
+    test "report: cell formats" report_cells;
+    test "report: ascii chart renders" ascii_chart_renders;
+    test "report: ascii chart marker positions" ascii_chart_marker_positions;
+    test "report: ascii chart degenerate inputs" ascii_chart_degenerate;
+    test "report: chart of sweep" chart_of_sweep_works;
+  ]

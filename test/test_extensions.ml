@@ -1,0 +1,293 @@
+open Test_util
+module Q = Statsched_queueing
+module Theory = Q.Theory
+module Core = Statsched_core
+module Cluster = Statsched_cluster
+module E = Statsched_experiments
+module Rng = Statsched_prng.Rng
+module Engine = Statsched_des.Engine
+module Job = Q.Job
+
+(* ------------------------------------------------------------------ *)
+(* Queueing theory closed forms                                        *)
+
+let theory_mm1_consistency () =
+  (* For exponential sizes (scv = 1), P-K reduces to M/M/1-FCFS. *)
+  let lambda = 0.6 and mean_size = 1.0 and speed = 1.0 in
+  check_float ~eps:1e-12 "P-K at scv=1 equals M/M/1"
+    (Theory.mm1_fcfs_response ~lambda ~mean_size ~speed)
+    (Theory.mg1_fcfs_response ~lambda ~mean_size ~scv:1.0 ~speed)
+
+let theory_ps_equals_mm1 () =
+  (* PS mean response time = M/M/1 mean response time at the same load. *)
+  let lambda = 0.4 and mean_size = 2.0 and speed = 2.0 in
+  check_float ~eps:1e-12 "PS = M/M/1 mean"
+    (Theory.mm1_fcfs_response ~lambda ~mean_size ~speed)
+    (Theory.mg1_ps_response ~lambda ~mean_size ~speed)
+
+let theory_saturation () =
+  check_float "saturated fcfs" infinity
+    (Theory.mm1_fcfs_response ~lambda:2.0 ~mean_size:1.0 ~speed:1.0);
+  check_float "saturated ps" infinity
+    (Theory.mg1_ps_response ~lambda:2.0 ~mean_size:1.0 ~speed:1.0)
+
+let theory_variability_penalty () =
+  (* FCFS response grows with scv; PS does not. *)
+  let lambda = 0.5 and mean_size = 1.0 and speed = 1.0 in
+  let fcfs scv = Theory.mg1_fcfs_response ~lambda ~mean_size ~scv ~speed in
+  Alcotest.(check bool) "scv penalty" true (fcfs 10.0 > fcfs 1.0);
+  check_float ~eps:1e-12 "known P-K value: 1 + 0.5*1*2/(2*0.5)" 2.0 (fcfs 1.0)
+
+let theory_vs_fcfs_simulation () =
+  (* Validate the FCFS server against Pollaczek-Khinchine with Erlang-2
+     sizes (scv = 0.5). *)
+  let engine = Engine.create () in
+  let g = rng ~seed:4242L () in
+  let size_dist = Statsched_dist.Erlang.create ~k:2 ~rate:2.0 in
+  let mean_size = 1.0 in
+  let lambda = 0.6 in
+  let w = Statsched_stats.Welford.create () in
+  let horizon = 200_000.0 in
+  let warmup = horizon /. 5.0 in
+  let server =
+    Q.Fcfs_server.create ~engine ~speed:1.0
+      ~on_departure:(fun j ->
+        if j.Job.arrival >= warmup then
+          Statsched_stats.Welford.add w (Job.response_time j))
+      ()
+  in
+  let id = ref 0 in
+  let rec arrive () =
+    ignore
+      (Engine.schedule engine
+         ~delay:(Statsched_dist.Exponential.sample ~rate:lambda g)
+         (fun e ->
+           incr id;
+           let size = Statsched_dist.Distribution.sample size_dist g in
+           Q.Fcfs_server.submit server (Job.create ~id:!id ~size ~arrival:(Engine.now e));
+           arrive ()))
+  in
+  arrive ();
+  Engine.run ~until:horizon engine;
+  let expected = Theory.mg1_fcfs_response ~lambda ~mean_size ~scv:0.5 ~speed:1.0 in
+  check_close ~rel:0.05 "P-K matches FCFS simulation" expected
+    (Statsched_stats.Welford.mean w)
+
+let theory_slowdown () =
+  (* speed 1, rho 0.6 -> slowdown 1/(1-0.6) = 2.5 *)
+  check_float ~eps:1e-9 "PS slowdown" 2.5
+    (Theory.mg1_ps_mean_slowdown ~lambda:0.6 ~mean_size:1.0 ~speed:1.0);
+  (* doubling the speed halves both load and slowdown denominator terms *)
+  check_float ~eps:1e-9 "PS slowdown at speed 2" (1.0 /. (2.0 *. 0.7))
+    (Theory.mg1_ps_mean_slowdown ~lambda:0.6 ~mean_size:1.0 ~speed:2.0)
+
+let theory_number_in_system () =
+  check_float ~eps:1e-12 "L = rho/(1-rho)" (0.7 /. 0.3)
+    (Theory.mm1_number_in_system ~lambda:0.7 ~mean_size:1.0 ~speed:1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Golden ratio dispatcher                                             *)
+
+let gr_longrun_fractions () =
+  let alpha = [| 0.5; 0.3; 0.2 |] in
+  let d = Core.Dispatch.golden_ratio alpha in
+  let n = 100_000 in
+  let c = Array.make 3 0 in
+  for _ = 1 to n do
+    let i = Core.Dispatch.select d in
+    c.(i) <- c.(i) + 1
+  done;
+  Array.iteri
+    (fun i count ->
+      check_close ~rel:0.01
+        (Printf.sprintf "golden ratio share %d" i)
+        alpha.(i)
+        (float_of_int count /. float_of_int n))
+    c
+
+let gr_deterministic_and_resettable () =
+  let alpha = [| 0.6; 0.4 |] in
+  let d = Core.Dispatch.golden_ratio alpha in
+  let first = List.init 50 (fun _ -> Core.Dispatch.select d) in
+  Core.Dispatch.reset d;
+  let second = List.init 50 (fun _ -> Core.Dispatch.select d) in
+  Alcotest.(check (list int)) "reset replays" first second
+
+let gr_smoother_than_random () =
+  let alpha = E.Fig2.fractions in
+  let discrepancy d =
+    let n = 20_000 in
+    let c = Array.make (Array.length alpha) 0 in
+    let worst = ref 0.0 in
+    for t = 1 to n do
+      let i = Core.Dispatch.select d in
+      c.(i) <- c.(i) + 1;
+      Array.iteri
+        (fun j a ->
+          let dev = abs_float (float_of_int c.(j) -. (float_of_int t *. a)) in
+          if dev > !worst then worst := dev)
+        alpha
+    done;
+    !worst
+  in
+  let gr = discrepancy (Core.Dispatch.golden_ratio alpha) in
+  let rand = discrepancy (Core.Dispatch.random ~rng:(rng ()) alpha) in
+  let rr = discrepancy (Core.Dispatch.round_robin alpha) in
+  Alcotest.(check bool)
+    (Printf.sprintf "rr %.1f <= gr %.1f < random %.1f" rr gr rand)
+    true
+    (gr < rand && rr <= gr +. 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Jain index                                                          *)
+
+let jain_equal_is_one () =
+  check_float ~eps:1e-12 "equal vector" 1.0 (Core.Metrics.jain_index [| 3.0; 3.0; 3.0 |])
+
+let jain_single_carrier () =
+  check_float ~eps:1e-12 "one carries all" 0.25
+    (Core.Metrics.jain_index [| 8.0; 0.0; 0.0; 0.0 |])
+
+let jain_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Metrics.jain_index: empty vector")
+    (fun () -> ignore (Core.Metrics.jain_index [||]));
+  Alcotest.check_raises "negative" (Invalid_argument "Metrics.jain_index: negative value")
+    (fun () -> ignore (Core.Metrics.jain_index [| 1.0; -1.0 |]));
+  Alcotest.(check bool) "all zero is nan" true
+    (Float.is_nan (Core.Metrics.jain_index [| 0.0; 0.0 |]))
+
+let jain_optimized_less_balanced () =
+  (* The optimized allocation deliberately unbalances utilisations:
+     its Jain index of per-computer utilisation is below weighted's 1. *)
+  let speeds = Core.Speeds.table3 in
+  let rho = 0.5 in
+  let lambda = rho *. Core.Speeds.total speeds in
+  let utils alloc =
+    Array.mapi (fun i a -> a *. lambda /. speeds.(i)) alloc
+  in
+  let j_weighted = Core.Metrics.jain_index (utils (Core.Allocation.weighted speeds)) in
+  let j_opt = Core.Metrics.jain_index (utils (Core.Allocation.optimized ~rho speeds)) in
+  check_float ~eps:1e-9 "weighted perfectly balanced" 1.0 j_weighted;
+  Alcotest.(check bool) "optimized unbalances" true (j_opt < 0.95)
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                               *)
+
+let trace_records_roundtrip () =
+  let t = Cluster.Trace.create () in
+  let speeds = [| 1.0; 2.0 |] in
+  let workload = Cluster.Workload.poisson_exponential ~rho:0.5 ~mean_size:1.0 ~speeds in
+  let cfg =
+    Cluster.Simulation.default_config ~horizon:5_000.0 ~speeds ~workload
+      ~scheduler:(Cluster.Scheduler.static Core.Policy.wrr) ()
+  in
+  let r =
+    Cluster.Simulation.run
+      ~on_dispatch:(Cluster.Trace.on_dispatch t)
+      ~on_completion:(Cluster.Trace.on_completion t)
+      cfg
+  in
+  Alcotest.(check int) "every arrival traced" r.Cluster.Simulation.total_arrivals
+    (Cluster.Trace.dispatch_count t);
+  Alcotest.(check bool) "completions traced" true (Cluster.Trace.completion_count t > 0);
+  Alcotest.(check bool) "completions <= dispatches" true
+    (Cluster.Trace.completion_count t <= Cluster.Trace.dispatch_count t);
+  (* records are time-ordered *)
+  let ds = Cluster.Trace.dispatches t in
+  for i = 1 to Array.length ds - 1 do
+    if ds.(i).Cluster.Trace.time < ds.(i - 1).Cluster.Trace.time then
+      Alcotest.fail "dispatch trace out of order"
+  done;
+  (* completed_sizes reconstructs sizes *)
+  let sizes = Cluster.Trace.completed_sizes t in
+  Array.iter
+    (fun s -> Alcotest.(check bool) "positive size" true (s > 0.0))
+    sizes
+
+let trace_csv_output () =
+  let t = Cluster.Trace.create () in
+  Cluster.Trace.record_dispatch t
+    { Cluster.Trace.time = 1.0; job_id = 1; computer = 0; size = 2.0 };
+  Cluster.Trace.record_completion t
+    {
+      Cluster.Trace.time = 3.0;
+      job_id = 1;
+      computer = 0;
+      response_time = 2.0;
+      response_ratio = 1.0;
+    };
+  let path = Filename.temp_file "statsched" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Cluster.Trace.write_csv t path;
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      let lines = List.rev !lines in
+      Alcotest.(check int) "header + 2 records" 3 (List.length lines);
+      Alcotest.(check string) "header"
+        "kind,time,job_id,computer,size,response_time,response_ratio"
+        (List.hd lines))
+
+(* ------------------------------------------------------------------ *)
+(* Batch means runner                                                  *)
+
+let single_run_point () =
+  let speeds = [| 1.0 |] in
+  let workload = Cluster.Workload.poisson_exponential ~rho:0.7 ~mean_size:1.0 ~speeds in
+  let spec =
+    E.Runner.make_spec ~speeds ~workload
+      ~scheduler:(Cluster.Scheduler.static Core.Policy.wrr) ()
+  in
+  let point =
+    E.Runner.measure_single_run ~batch_size:2_000 ~horizon:100_000.0 ~warmup:20_000.0
+      spec
+  in
+  (* M/M/1-PS: T = 1/(1 - 0.7) *)
+  check_close ~rel:0.1 "batch means point estimate" (1.0 /. 0.3)
+    point.E.Runner.mean_response_time.Statsched_stats.Confidence.mean;
+  Alcotest.(check bool) "CI present" true
+    (point.E.Runner.mean_response_time.Statsched_stats.Confidence.half_width > 0.0);
+  Alcotest.(check bool) "fairness half-width is nan (single run)" true
+    (Float.is_nan point.E.Runner.fairness.Statsched_stats.Confidence.half_width)
+
+let single_run_too_short () =
+  let speeds = [| 1.0 |] in
+  let workload = Cluster.Workload.poisson_exponential ~rho:0.5 ~mean_size:1.0 ~speeds in
+  let spec =
+    E.Runner.make_spec ~speeds ~workload
+      ~scheduler:(Cluster.Scheduler.static Core.Policy.wrr) ()
+  in
+  try
+    ignore
+      (E.Runner.measure_single_run ~batch_size:1_000_000 ~horizon:5_000.0 ~warmup:1_000.0
+         spec);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let suite =
+  [
+    test "theory: P-K reduces to M/M/1 at scv=1" theory_mm1_consistency;
+    test "theory: PS equals M/M/1 mean" theory_ps_equals_mm1;
+    test "theory: saturation" theory_saturation;
+    test "theory: variability penalises FCFS only" theory_variability_penalty;
+    slow_test "theory: P-K matches FCFS simulation" theory_vs_fcfs_simulation;
+    test "theory: PS mean slowdown" theory_slowdown;
+    test "theory: number in system" theory_number_in_system;
+    test "golden ratio: long-run fractions" gr_longrun_fractions;
+    test "golden ratio: deterministic + reset" gr_deterministic_and_resettable;
+    test "golden ratio: between round-robin and random" gr_smoother_than_random;
+    test "jain index: equal vector" jain_equal_is_one;
+    test "jain index: single carrier" jain_single_carrier;
+    test "jain index: validation" jain_validation;
+    test "jain index: optimized allocation unbalances" jain_optimized_less_balanced;
+    test "trace: records round-trip from simulation" trace_records_roundtrip;
+    test "trace: CSV output" trace_csv_output;
+    slow_test "batch means: single-run point" single_run_point;
+    test "batch means: too-short run rejected" single_run_too_short;
+  ]

@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "statsched"
+    [
+      ("prng", Test_prng.suite);
+      ("dist", Test_dist.suite);
+      ("des", Test_des.suite);
+      ("stats", Test_stats.suite);
+      ("queueing", Test_queueing.suite);
+      ("allocation", Test_allocation.suite);
+      ("dispatch", Test_dispatch.suite);
+      ("core", Test_core_misc.suite);
+      ("cluster", Test_cluster.suite);
+      ("experiments", Test_experiments.suite);
+      ("extensions", Test_extensions.suite);
+      ("optimality", Test_optimality.suite);
+      ("adaptive", Test_adaptive.suite);
+      ("alloc-table", Test_alloc_table.suite);
+      ("sita", Test_sita.suite);
+      ("more", Test_more.suite);
+    ]

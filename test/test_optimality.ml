@@ -1,0 +1,326 @@
+open Test_util
+module Core = Statsched_core
+module Optimality = Core.Optimality
+module Allocation = Core.Allocation
+module Speeds = Core.Speeds
+module Cluster = Statsched_cluster
+module E = Statsched_experiments
+module Rng = Statsched_prng.Rng
+
+(* ------------------------------------------------------------------ *)
+(* KKT verification                                                    *)
+
+let gradient_known_values () =
+  (* Two computers, speeds (1, 3), rho = 0.5 => lambda = 2.
+     At alpha = (0.25, 0.75): dF/da_0 = 2*1/(1-0.5)^2 = 8,
+     dF/da_1 = 2*3/(3-1.5)^2 = 8/3. *)
+  let g =
+    Optimality.gradient ~rho:0.5 ~speeds:[| 1.0; 3.0 |] ~alloc:[| 0.25; 0.75 |]
+  in
+  check_float ~eps:1e-12 "grad 0" 8.0 g.(0);
+  check_float ~eps:1e-12 "grad 1" (8.0 /. 3.0) g.(1)
+
+let gradient_saturated () =
+  let g = Optimality.gradient ~rho:0.8 ~speeds:[| 1.0; 1.0 |] ~alloc:[| 1.0; 0.0 |] in
+  check_float "saturated gradient" infinity g.(0)
+
+let kkt_accepts_algorithm1 () =
+  List.iter
+    (fun rho ->
+      List.iter
+        (fun speeds ->
+          let alloc = Allocation.optimized ~rho speeds in
+          let v = Optimality.check ~rho ~speeds alloc in
+          Alcotest.(check bool)
+            (Printf.sprintf
+               "optimal at rho=%.2f n=%d (stat %.2e dual %.2e feas %.2e)" rho
+               (Array.length speeds) v.Optimality.stationarity_residual
+               v.Optimality.dual_residual v.Optimality.feasibility_residual)
+            true v.Optimality.optimal)
+        [ Speeds.table1; Speeds.table3;
+          Speeds.two_class ~n_fast:2 ~fast:20.0 ~n_slow:16 ~slow:1.0; [| 5.0 |] ])
+    [ 0.05; 0.3; 0.7; 0.95 ]
+
+let kkt_rejects_weighted () =
+  (* Weighted allocation is NOT stationary on a heterogeneous system. *)
+  let speeds = Speeds.table3 in
+  let v = Optimality.check ~rho:0.5 ~speeds (Allocation.weighted speeds) in
+  Alcotest.(check bool) "weighted not optimal" false v.Optimality.optimal;
+  Alcotest.(check bool) "stationarity violated" true
+    (v.Optimality.stationarity_residual > 1e-3)
+
+let kkt_rejects_infeasible () =
+  let speeds = [| 1.0; 1.0 |] in
+  let v = Optimality.check ~rho:0.5 ~speeds [| 0.7; 0.7 |] in
+  Alcotest.(check bool) "sum != 1 rejected" false v.Optimality.optimal;
+  Alcotest.(check bool) "feasibility residual positive" true
+    (v.Optimality.feasibility_residual > 0.1)
+
+let kkt_rejects_naive_clamp_when_cutoff_active () =
+  let speeds = Speeds.table3 in
+  let rho = 0.1 in
+  Alcotest.(check bool) "cutoff active" true (Allocation.optimized_cutoff ~rho speeds > 0);
+  let naive = Allocation.optimized_naive_clamp ~rho speeds in
+  let v = Optimality.check ~rho ~speeds naive in
+  Alcotest.(check bool) "naive clamp fails KKT" false v.Optimality.optimal
+
+let brute_force_two_agrees () =
+  List.iter
+    (fun (s0, s1, rho) ->
+      let speeds = [| s0; s1 |] in
+      let reference = Optimality.brute_force_two ~grid:200_000 ~rho speeds in
+      let alg1 = Allocation.optimized ~rho speeds in
+      check_float ~eps:1e-4
+        (Printf.sprintf "alpha_0 at (%g,%g,rho=%g)" s0 s1 rho)
+        reference.(0) alg1.(0))
+    [ (1.0, 10.0, 0.7); (1.0, 10.0, 0.2); (2.0, 3.0, 0.5); (1.0, 1.0, 0.6);
+      (1.0, 100.0, 0.9) ]
+
+let brute_force_validation () =
+  Alcotest.check_raises "wrong arity"
+    (Invalid_argument "Optimality.brute_force_two: need exactly two computers")
+    (fun () -> ignore (Optimality.brute_force_two ~rho:0.5 [| 1.0 |]))
+
+let prop_kkt_accepts_algorithm1 =
+  qcheck ~count:200 "Algorithm 1 satisfies KKT for random systems"
+    QCheck2.Gen.(pair speeds_gen rho_gen)
+    (fun (speeds, rho) ->
+      let alloc = Core.Allocation.optimized ~rho speeds in
+      (Optimality.check ~tol:1e-5 ~rho ~speeds alloc).Optimality.optimal)
+
+let prop_parked_gradient_dominates =
+  qcheck ~count:200 "parked computers have gradient >= multiplier"
+    QCheck2.Gen.(pair speeds_gen (map (fun x -> 0.02 +. (0.3 *. x)) (float_bound_inclusive 1.0)))
+    (fun (speeds, rho) ->
+      let alloc = Core.Allocation.optimized ~rho speeds in
+      let v = Optimality.check ~rho ~speeds alloc in
+      v.Optimality.dual_residual <= 1e-5)
+
+(* ------------------------------------------------------------------ *)
+(* Power-of-d-choices                                                  *)
+
+let sampled_degenerates_to_full () =
+  let t = Core.Least_load.create Speeds.table1 in
+  let g = rng () in
+  (* d >= n: identical to full least-load selection. *)
+  Alcotest.(check int) "full probe = select" (Core.Least_load.select t)
+    (Core.Least_load.select_sampled ~rng:g t ~d:100)
+
+let sampled_picks_best_of_probes () =
+  let t = Core.Least_load.create [| 1.0; 1.0; 1.0 |] in
+  (* Load computer 0 heavily; with d = 3 (all probed), never choose it. *)
+  for _ = 1 to 5 do
+    Core.Least_load.job_sent t 0
+  done;
+  let g = rng () in
+  for _ = 1 to 200 do
+    let i = Core.Least_load.select_sampled ~rng:g t ~d:3 in
+    Alcotest.(check bool) "avoids the loaded machine" true (i = 1 || i = 2)
+  done
+
+let sampled_d1_is_uniform_random () =
+  let t = Core.Least_load.create [| 1.0; 1.0; 1.0; 1.0 |] in
+  let g = rng () in
+  let c = Array.make 4 0 in
+  let n = 40_000 in
+  for _ = 1 to n do
+    let i = Core.Least_load.select_sampled ~rng:g t ~d:1 in
+    c.(i) <- c.(i) + 1
+  done;
+  Array.iter
+    (fun count ->
+      Alcotest.(check bool) "d=1 uniform" true (abs (count - (n / 4)) < n / 40))
+    c
+
+let sampled_validation () =
+  let t = Core.Least_load.create [| 1.0 |] in
+  Alcotest.check_raises "d < 1" (Invalid_argument "Least_load.select_sampled: d < 1")
+    (fun () -> ignore (Core.Least_load.select_sampled ~rng:(rng ()) t ~d:0))
+
+let two_choices_between_static_and_full () =
+  (* On a homogeneous cluster JSQ(2) should clearly beat random static
+     dispatch and be beaten by (or match) full least-load. *)
+  let speeds = Array.make 8 1.0 in
+  let workload = Cluster.Workload.poisson_exponential ~rho:0.8 ~mean_size:1.0 ~speeds in
+  let run scheduler =
+    let cfg =
+      Cluster.Simulation.default_config ~horizon:60_000.0 ~speeds ~workload ~scheduler ()
+    in
+    (Cluster.Simulation.run cfg).Cluster.Simulation.metrics
+      .Core.Metrics.mean_response_time
+  in
+  let t_static = run (Cluster.Scheduler.static Core.Policy.wran) in
+  let t_d2 = run (Cluster.Scheduler.two_choices ~d:2 ()) in
+  let t_full = run Cluster.Scheduler.least_load_paper in
+  Alcotest.(check bool)
+    (Printf.sprintf "JSQ(2) %.3f < static random %.3f" t_d2 t_static)
+    true (t_d2 < t_static);
+  Alcotest.(check bool)
+    (Printf.sprintf "full least-load %.3f <= JSQ(2) %.3f * 1.1" t_full t_d2)
+    true (t_full <= t_d2 *. 1.1)
+
+let two_choices_scheduler_name () =
+  Alcotest.(check string) "name" "LeastLoad(d=2)"
+    (Cluster.Scheduler.name (Cluster.Scheduler.two_choices ()));
+  Alcotest.check_raises "d < 1" (Invalid_argument "Scheduler.two_choices: d < 1")
+    (fun () -> ignore (Cluster.Scheduler.two_choices ~d:0 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Extension experiment plumbing                                       *)
+
+let tiny = { E.Config.horizon = 20_000.0; warmup = 5_000.0; reps = 2 }
+
+let with_size_workload () =
+  let speeds = Speeds.table3 in
+  let size = Statsched_dist.Exponential.of_mean 76.8 in
+  let w = Cluster.Workload.with_size ~rho:0.7 ~size speeds in
+  check_close ~rel:1e-9 "utilisation hit" 0.7 (Cluster.Workload.utilization w ~speeds);
+  check_close ~rel:1e-6 "default arrival cv 3" 3.0
+    (Statsched_dist.Distribution.cv w.Cluster.Workload.interarrival);
+  let w1 = Cluster.Workload.with_size ~rho:0.7 ~arrival_cv:1.0 ~size speeds in
+  check_close ~rel:1e-9 "poisson option" 1.0
+    (Statsched_dist.Distribution.cv w1.Cluster.Workload.interarrival)
+
+let ext_sizes_same_mean () =
+  List.iter
+    (fun (label, d) ->
+      check_close ~rel:0.002
+        (Printf.sprintf "%s has mean 76.8" label)
+        76.8
+        (Statsched_dist.Distribution.mean d))
+    (E.Ext_sizes.default_sizes ())
+
+let ext_sizes_structure () =
+  let rows =
+    E.Ext_sizes.run ~scale:tiny
+      ~sizes:
+        [ ("det", Statsched_dist.Deterministic.create 76.8);
+          ("exp", Statsched_dist.Exponential.of_mean 76.8) ]
+      ()
+  in
+  Alcotest.(check int) "two rows" 2 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check int) "two schedulers" 2 (List.length r.E.Ext_sizes.points))
+    rows;
+  Alcotest.(check bool) "report renders" true
+    (String.length (E.Ext_sizes.to_report rows) > 0)
+
+let ext_burstiness_structure () =
+  let rows =
+    E.Ext_burstiness.run ~scale:tiny ~cvs:[ 1.0; 3.0 ]
+      ~schedulers:[ ("WRR", Cluster.Scheduler.static Core.Policy.wrr) ]
+      ()
+  in
+  Alcotest.(check int) "two cv rows" 2 (List.length rows);
+  Alcotest.(check int) "two sweeps" 2 (List.length (E.Ext_burstiness.sweeps rows))
+
+let ext_burstiness_monotone () =
+  (* More bursty arrivals hurt: WRR's response ratio at CV 5 must exceed
+     its value at CV 0.5. *)
+  let scale = { E.Config.horizon = 60_000.0; warmup = 15_000.0; reps = 2 } in
+  let rows =
+    E.Ext_burstiness.run ~scale ~cvs:[ 0.5; 5.0 ]
+      ~schedulers:[ ("WRR", Cluster.Scheduler.static Core.Policy.wrr) ]
+      ()
+  in
+  let ratio cv =
+    let points = List.assoc cv rows in
+    (List.assoc "WRR" points).E.Runner.mean_response_ratio
+      .Statsched_stats.Confidence.mean
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "cv=5 (%.3f) worse than cv=0.5 (%.3f)" (ratio 5.0) (ratio 0.5))
+    true
+    (ratio 5.0 > ratio 0.5)
+
+let suite =
+  [
+    test "kkt: gradient closed form" gradient_known_values;
+    test "kkt: saturated gradient infinite" gradient_saturated;
+    test "kkt: Algorithm 1 output passes (fixtures)" kkt_accepts_algorithm1;
+    test "kkt: weighted allocation fails stationarity" kkt_rejects_weighted;
+    test "kkt: infeasible allocation rejected" kkt_rejects_infeasible;
+    test "kkt: naive clamp fails when cutoff active" kkt_rejects_naive_clamp_when_cutoff_active;
+    slow_test "brute force two computers agrees with Algorithm 1" brute_force_two_agrees;
+    test "brute force arity validation" brute_force_validation;
+    prop_kkt_accepts_algorithm1;
+    prop_parked_gradient_dominates;
+    test "jsq(d): d >= n degenerates to full least-load" sampled_degenerates_to_full;
+    test "jsq(d): picks best of probes" sampled_picks_best_of_probes;
+    test "jsq(d): d=1 is uniform random" sampled_d1_is_uniform_random;
+    test "jsq(d): validation" sampled_validation;
+    slow_test "jsq(2): between static random and full least-load"
+      two_choices_between_static_and_full;
+    test "jsq(d): scheduler naming and validation" two_choices_scheduler_name;
+    test "workload: with_size parameterisation" with_size_workload;
+    test "ext sizes: all distributions share the mean" ext_sizes_same_mean;
+    slow_test "ext sizes: structure" ext_sizes_structure;
+    slow_test "ext burstiness: structure" ext_burstiness_structure;
+    slow_test "ext burstiness: burstiness hurts" ext_burstiness_monotone;
+  ]
+
+let ext_convergence_structure () =
+  let rows =
+    E.Ext_convergence.run ~reps:2 ~horizons:[ 10_000.0; 20_000.0 ] ~rho:0.7 ()
+  in
+  Alcotest.(check int) "two horizons" 2 (List.length rows);
+  List.iter
+    (fun (_, points) ->
+      Alcotest.(check int) "three schedulers" 3 (List.length points))
+    rows;
+  Alcotest.(check bool) "report renders" true
+    (String.length (E.Ext_convergence.to_report rows) > 0)
+
+let convergence_suite =
+  [ slow_test "ext convergence: structure" ext_convergence_structure ]
+
+let suite = suite @ convergence_suite
+
+let ablations_library () =
+  (* Dispatch smoothness: structure + the headline ordering. *)
+  let rows = E.Ablations.dispatch_smoothness () in
+  Alcotest.(check int) "seven dispatchers" 7 (List.length rows);
+  let dev name =
+    (List.find (fun r -> r.E.Ablations.dispatcher = name) rows)
+      .E.Ablations.mean_deviation
+  in
+  Alcotest.(check bool) "algorithm 2 smoother than random" true
+    (dev "Algorithm 2 (paper)" < dev "random" /. 3.0);
+  Alcotest.(check bool) "guard helps" true
+    (dev "Algorithm 2 (paper)" <= dev "no first-assignment guard");
+  Alcotest.(check bool) "report renders" true
+    (String.length (E.Ablations.dispatch_smoothness_report rows) > 0);
+  (* Interval-length sensitivity: round-robin always at or below random. *)
+  let ivs = E.Ablations.interval_lengths () in
+  Alcotest.(check int) "five lengths" 5 (List.length ivs);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "rr <= random at %g s" r.E.Ablations.interval_length)
+        true
+        (r.E.Ablations.round_robin_deviation <= r.E.Ablations.random_deviation))
+    ivs
+
+let ablations_disciplines () =
+  let rows =
+    E.Ablations.disciplines ~scale:{ E.Config.horizon = 30_000.0; warmup = 7_500.0; reps = 2 } ()
+  in
+  Alcotest.(check int) "five disciplines" 5 (List.length rows);
+  let mean name =
+    (List.find (fun r -> r.E.Ablations.model = name) rows).E.Ablations.response_time
+      .Statsched_stats.Confidence.mean
+  in
+  (* PS and fine-quantum RR agree closely even at this tiny scale *)
+  check_close ~rel:0.05 "PS ~ RR(0.01)" (mean "PS (fluid)") (mean "RR quantum 0.01");
+  (* SRPT at least matches PS on mean response time *)
+  Alcotest.(check bool) "SRPT <= PS" true
+    (mean "SRPT (size-aware)" <= mean "PS (fluid)" *. 1.02)
+
+let ablation_suite =
+  [
+    slow_test "ablations: dispatch + intervals library" ablations_library;
+    slow_test "ablations: disciplines library" ablations_disciplines;
+  ]
+
+let suite = suite @ ablation_suite

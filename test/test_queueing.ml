@@ -1,0 +1,400 @@
+open Test_util
+module Engine = Statsched_des.Engine
+module Q = Statsched_queueing
+module Job = Q.Job
+module Rng = Statsched_prng.Rng
+
+let job_basics () =
+  let j = Job.create ~id:1 ~size:10.0 ~arrival:5.0 in
+  Alcotest.(check bool) "not completed" false (Job.is_completed j);
+  j.Job.completion <- 25.0;
+  Alcotest.(check bool) "completed" true (Job.is_completed j);
+  check_float "response time" 20.0 (Job.response_time j);
+  check_float "response ratio" 2.0 (Job.response_ratio j)
+
+let job_validation () =
+  Alcotest.check_raises "size <= 0" (Invalid_argument "Job.create: size <= 0")
+    (fun () -> ignore (Job.create ~id:1 ~size:0.0 ~arrival:0.0));
+  Alcotest.check_raises "negative arrival" (Invalid_argument "Job.create: arrival < 0")
+    (fun () -> ignore (Job.create ~id:1 ~size:1.0 ~arrival:(-1.0)));
+  let j = Job.create ~id:1 ~size:1.0 ~arrival:0.0 in
+  Alcotest.check_raises "response before completion"
+    (Invalid_argument "Job.response_time: not completed") (fun () ->
+      ignore (Job.response_time j))
+
+(* Drive a server implementation with an explicit trace of
+   (arrival_time, size) and return the completed jobs in completion
+   order. *)
+let drive ~make_server trace =
+  let engine = Engine.create () in
+  let completed = ref [] in
+  let server = make_server ~engine ~on_departure:(fun j -> completed := j :: !completed) in
+  List.iteri
+    (fun i (at, size) ->
+      ignore
+        (Engine.schedule_at engine ~time:at (fun _ ->
+             server.Q.Server_intf.submit (Job.create ~id:i ~size ~arrival:at))))
+    trace;
+  Engine.run engine;
+  List.rev !completed
+
+let ps ?(speed = 1.0) () ~engine ~on_departure =
+  Q.Ps_server.to_server (Q.Ps_server.create ~engine ~speed ~on_departure ())
+
+let rr ?(speed = 1.0) ?(quantum = 0.001) () ~engine ~on_departure =
+  Q.Rr_server.to_server (Q.Rr_server.create ~engine ~speed ~quantum ~on_departure ())
+
+let fcfs ?(speed = 1.0) () ~engine ~on_departure =
+  Q.Fcfs_server.to_server (Q.Fcfs_server.create ~engine ~speed ~on_departure ())
+
+let ps_lone_job () =
+  (* A single job on an idle server finishes after size/speed. *)
+  let jobs = drive ~make_server:(ps ~speed:2.0 ()) [ (1.0, 10.0) ] in
+  match jobs with
+  | [ j ] ->
+    check_float ~eps:1e-9 "completion" 6.0 j.Job.completion;
+    check_float ~eps:1e-9 "start" 1.0 j.Job.start
+  | _ -> Alcotest.fail "expected one job"
+
+let ps_two_equal_jobs_share () =
+  (* Two size-10 jobs arriving together on speed 1: each runs at rate 1/2,
+     both finish at t = 20. *)
+  let jobs = drive ~make_server:(ps ()) [ (0.0, 10.0); (0.0, 10.0) ] in
+  match jobs with
+  | [ a; b ] ->
+    check_float ~eps:1e-6 "first completion" 20.0 a.Job.completion;
+    check_float ~eps:1e-6 "second completion" 20.0 b.Job.completion
+  | _ -> Alcotest.fail "expected two jobs"
+
+let ps_short_job_preempts () =
+  (* Size-10 job at t=0; size-2 job at t=4.  From t=4 both share: the
+     short job needs 2 units at rate 1/2 -> finishes at t=8.  The long job
+     has 6 remaining at t=4, gets 2 by t=8, then runs alone: finishes at
+     t=12. *)
+  let jobs = drive ~make_server:(ps ()) [ (0.0, 10.0); (4.0, 2.0) ] in
+  match List.sort (fun a b -> compare a.Job.completion b.Job.completion) jobs with
+  | [ short; long ] ->
+    check_float ~eps:1e-6 "short job completion" 8.0 short.Job.completion;
+    check_float ~eps:1e-6 "long job completion" 12.0 long.Job.completion
+  | _ -> Alcotest.fail "expected two jobs"
+
+let ps_three_way_sharing () =
+  (* Hand-computed: jobs (t=0, size 6), (t=0, size 3), (t=3, size 1).
+     [0,3): two jobs at rate 1/2 -> remaining 4.5 and 1.5.
+     [3,?): three jobs at rate 1/3. Job3 (1.0) finishes after 3 units:
+     t=6; job2 has 1.5-1=0.5 left, finishes at 6 + 0.5*2 = 7; job1 has
+     4.5-1-0.5=3 left at t=7... let me recompute: at t=6: job1 4.5-1=3.5,
+     job2 0.5. [6,7): two jobs rate 1/2, job2 done at t=7, job1 3.0 left.
+     [7,10): alone, done at t=10. *)
+  let jobs = drive ~make_server:(ps ()) [ (0.0, 6.0); (0.0, 3.0); (3.0, 1.0) ] in
+  let by_size s = List.find (fun j -> j.Job.size = s) jobs in
+  check_float ~eps:1e-6 "size-1 job" 6.0 (by_size 1.0).Job.completion;
+  check_float ~eps:1e-6 "size-3 job" 7.0 (by_size 3.0).Job.completion;
+  check_float ~eps:1e-6 "size-6 job" 10.0 (by_size 6.0).Job.completion
+
+let ps_work_conservation () =
+  (* Work done equals total size once everything completes. *)
+  let engine = Engine.create () in
+  let server = Q.Ps_server.create ~engine ~speed:3.0 ~on_departure:(fun _ -> ()) () in
+  let total = ref 0.0 in
+  let g = rng () in
+  for i = 1 to 200 do
+    let at = Rng.float g *. 100.0 in
+    let size = 0.1 +. (Rng.float g *. 5.0) in
+    total := !total +. size;
+    ignore
+      (Engine.schedule_at engine ~time:at (fun _ ->
+           Q.Ps_server.submit server (Job.create ~id:i ~size ~arrival:at)))
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "all jobs completed" 200 (Q.Ps_server.completed server);
+  check_close ~rel:1e-6 "work conservation" !total (Q.Ps_server.work_done server);
+  Alcotest.(check int) "server drained" 0 (Q.Ps_server.in_system server)
+
+let ps_utilization () =
+  (* One job of size 5 on speed 1, observed over [0, 10): utilization 0.5. *)
+  let engine = Engine.create () in
+  let server = Q.Ps_server.create ~engine ~speed:1.0 ~on_departure:(fun _ -> ()) () in
+  ignore
+    (Engine.schedule_at engine ~time:0.0 (fun _ ->
+         Q.Ps_server.submit server (Job.create ~id:1 ~size:5.0 ~arrival:0.0)));
+  Engine.run ~until:10.0 engine;
+  check_float ~eps:1e-9 "busy half the time" 0.5 (Q.Ps_server.utilization server)
+
+let ps_reset_stats () =
+  let engine = Engine.create () in
+  let server = Q.Ps_server.create ~engine ~speed:1.0 ~on_departure:(fun _ -> ()) () in
+  ignore
+    (Engine.schedule_at engine ~time:0.0 (fun _ ->
+         Q.Ps_server.submit server (Job.create ~id:1 ~size:2.0 ~arrival:0.0)));
+  Engine.run ~until:2.0 engine;
+  Q.Ps_server.reset_stats server;
+  Engine.run ~until:4.0 engine;
+  Alcotest.(check int) "completed counter reset" 0 (Q.Ps_server.completed server);
+  check_float ~eps:1e-9 "idle after reset" 0.0 (Q.Ps_server.utilization server)
+
+let ps_invalid_speed () =
+  let engine = Engine.create () in
+  Alcotest.check_raises "speed <= 0" (Invalid_argument "Ps_server.create: speed <= 0")
+    (fun () ->
+      ignore (Q.Ps_server.create ~engine ~speed:0.0 ~on_departure:(fun _ -> ()) ()))
+
+let fcfs_ordering () =
+  (* FCFS: jobs complete strictly in arrival order. *)
+  let jobs =
+    drive ~make_server:(fcfs ~speed:2.0 ()) [ (0.0, 4.0); (0.5, 1.0); (1.0, 1.0) ]
+  in
+  match jobs with
+  | [ a; b; c ] ->
+    check_float ~eps:1e-9 "first done at 2" 2.0 a.Job.completion;
+    check_float ~eps:1e-9 "second done at 2.5" 2.5 b.Job.completion;
+    check_float ~eps:1e-9 "third done at 3" 3.0 c.Job.completion
+  | _ -> Alcotest.fail "expected three jobs"
+
+let fcfs_head_of_line_blocking () =
+  (* The PS advantage the paper assumes: under FCFS a tiny job behind a
+     huge one waits; under PS it overtakes. *)
+  let trace = [ (0.0, 100.0); (1.0, 1.0) ] in
+  let small_of jobs = List.find (fun j -> j.Job.size = 1.0) jobs in
+  let fcfs_small = small_of (drive ~make_server:(fcfs ()) trace) in
+  let ps_small = small_of (drive ~make_server:(ps ()) trace) in
+  Alcotest.(check bool)
+    (Printf.sprintf "PS %.1f beats FCFS %.1f for the small job"
+       ps_small.Job.completion fcfs_small.Job.completion)
+    true
+    (ps_small.Job.completion < fcfs_small.Job.completion /. 10.0)
+
+let rr_single_job () =
+  let jobs = drive ~make_server:(rr ~speed:2.0 ~quantum:0.5 ()) [ (0.0, 10.0) ] in
+  match jobs with
+  | [ j ] -> check_float ~eps:1e-9 "runs at full speed alone" 5.0 j.Job.completion
+  | _ -> Alcotest.fail "expected one job"
+
+let rr_interleaving () =
+  (* Two size-2 jobs, quantum 1, speed 1: slices A B A B; A done at t=3,
+     B at t=4. *)
+  let jobs = drive ~make_server:(rr ~quantum:1.0 ()) [ (0.0, 2.0); (0.0, 2.0) ] in
+  match jobs with
+  | [ a; b ] ->
+    check_float ~eps:1e-9 "first job" 3.0 a.Job.completion;
+    check_float ~eps:1e-9 "second job" 4.0 b.Job.completion
+  | _ -> Alcotest.fail "expected two jobs"
+
+let rr_converges_to_ps () =
+  (* With a small quantum the RR completion times approach PS on the same
+     trace. *)
+  let g = rng () in
+  let trace =
+    List.init 40 (fun _ ->
+        (Rng.float g *. 50.0, 0.5 +. (Rng.float g *. 4.0)))
+  in
+  let trace = List.sort compare trace in
+  let ps_jobs = drive ~make_server:(ps ()) trace in
+  let rr_jobs = drive ~make_server:(rr ~quantum:0.01 ()) trace in
+  let completion_by_id jobs =
+    let tbl = Hashtbl.create 64 in
+    List.iter (fun j -> Hashtbl.replace tbl j.Job.id j.Job.completion) jobs;
+    tbl
+  in
+  let ps_c = completion_by_id ps_jobs and rr_c = completion_by_id rr_jobs in
+  Alcotest.(check int) "same job count" (List.length ps_jobs) (List.length rr_jobs);
+  Hashtbl.iter
+    (fun id pc ->
+      let rc = Hashtbl.find rr_c id in
+      Alcotest.(check bool)
+        (Printf.sprintf "job %d: PS %.3f vs RR %.3f" id pc rc)
+        true
+        (abs_float (pc -. rc) < 0.6))
+    ps_c
+
+let rr_work_conservation () =
+  let engine = Engine.create () in
+  let server =
+    Q.Rr_server.create ~engine ~speed:1.0 ~quantum:0.25 ~on_departure:(fun _ -> ()) ()
+  in
+  let total = ref 0.0 in
+  for i = 1 to 50 do
+    let size = 0.3 +. (0.1 *. float_of_int i) in
+    total := !total +. size;
+    ignore
+      (Engine.schedule_at engine ~time:(float_of_int i) (fun _ ->
+           Q.Rr_server.submit server (Job.create ~id:i ~size ~arrival:(float_of_int i))))
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "all complete" 50 (Q.Rr_server.completed server);
+  check_close ~rel:1e-6 "work conserved" !total (Q.Rr_server.work_done server)
+
+let server_intf_coercion () =
+  let engine = Engine.create () in
+  let s = Q.Ps_server.to_server (Q.Ps_server.create ~engine ~speed:2.5 ~on_departure:(fun _ -> ()) ()) in
+  check_float "speed exposed" 2.5 s.Q.Server_intf.speed;
+  Alcotest.(check string) "discipline" "PS" s.Q.Server_intf.discipline;
+  let f = Q.Fcfs_server.to_server (Q.Fcfs_server.create ~engine ~speed:1.0 ~on_departure:(fun _ -> ()) ()) in
+  Alcotest.(check string) "fcfs discipline" "FCFS" f.Q.Server_intf.discipline
+
+(* M/G/1-PS insensitivity: mean response time depends on the size
+   distribution only through its mean: T = 1/(mu - lambda).  Check for
+   exponential sizes against theory. *)
+let mm1_ps_theory ?(rho = 0.6) ?(horizon = 150_000.0) ~size_dist () =
+  let engine = Engine.create () in
+  let g = rng ~seed:99L () in
+  let mean_size = Statsched_dist.Distribution.mean size_dist in
+  let lambda = rho /. mean_size in
+  let w = Statsched_stats.Welford.create () in
+  let warmup = horizon /. 5.0 in
+  let server =
+    Q.Ps_server.create ~engine ~speed:1.0
+      ~on_departure:(fun j ->
+        if j.Job.arrival >= warmup then Statsched_stats.Welford.add w (Job.response_time j))
+      ()
+  in
+  let id = ref 0 in
+  let rec arrive () =
+    let gap = Statsched_dist.Exponential.sample ~rate:lambda g in
+    ignore
+      (Engine.schedule engine ~delay:gap (fun e ->
+           incr id;
+           let size = Statsched_dist.Distribution.sample size_dist g in
+           Q.Ps_server.submit server (Job.create ~id:!id ~size ~arrival:(Engine.now e));
+           arrive ()))
+  in
+  arrive ();
+  Engine.run ~until:horizon engine;
+  let expected = mean_size /. (1.0 -. rho) in
+  check_close ~rel:0.08 "M/G/1-PS mean response time" expected
+    (Statsched_stats.Welford.mean w)
+
+let suite =
+  [
+    test "job: response metrics" job_basics;
+    test "job: validation" job_validation;
+    test "ps: lone job" ps_lone_job;
+    test "ps: equal jobs share equally" ps_two_equal_jobs_share;
+    test "ps: short job overtakes" ps_short_job_preempts;
+    test "ps: three-way sharing trace" ps_three_way_sharing;
+    test "ps: work conservation" ps_work_conservation;
+    test "ps: utilization accounting" ps_utilization;
+    test "ps: reset statistics" ps_reset_stats;
+    test "ps: invalid speed" ps_invalid_speed;
+    test "fcfs: completion order" fcfs_ordering;
+    test "fcfs vs ps: head-of-line blocking" fcfs_head_of_line_blocking;
+    test "rr: single job full speed" rr_single_job;
+    test "rr: quantum interleaving" rr_interleaving;
+    slow_test "rr: converges to ps as quantum -> 0" rr_converges_to_ps;
+    test "rr: work conservation" rr_work_conservation;
+    test "server interface coercion" server_intf_coercion;
+    slow_test "m/m/1-ps matches theory"
+      (mm1_ps_theory ~size_dist:(Statsched_dist.Exponential.of_mean 2.0));
+    slow_test "m/g/1-ps insensitivity (erlang sizes)"
+      (mm1_ps_theory ~size_dist:(Statsched_dist.Erlang.create ~k:3 ~rate:1.5));
+    slow_test "m/g/1-ps insensitivity (hyperexponential sizes)"
+      (mm1_ps_theory ~size_dist:(Statsched_dist.Hyperexponential.fit_cv ~mean:2.0 ~cv:2.5));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* SRPT server                                                         *)
+
+let srpt ?(speed = 1.0) () ~engine ~on_departure =
+  Q.Srpt_server.to_server (Q.Srpt_server.create ~engine ~speed ~on_departure ())
+
+let srpt_lone_job () =
+  let jobs = drive ~make_server:(srpt ~speed:2.0 ()) [ (1.0, 10.0) ] in
+  match jobs with
+  | [ j ] -> check_float ~eps:1e-9 "size/speed" 6.0 j.Job.completion
+  | _ -> Alcotest.fail "expected one job"
+
+let srpt_preemption_trace () =
+  (* Size-10 at t=0; size-2 at t=3.  SRPT preempts (2 < 7 remaining):
+     short done at t=5; long resumes, 7 left, done at t=12. *)
+  let jobs = drive ~make_server:(srpt ()) [ (0.0, 10.0); (3.0, 2.0) ] in
+  let by_size s = List.find (fun j -> j.Job.size = s) jobs in
+  check_float ~eps:1e-9 "short job" 5.0 (by_size 2.0).Job.completion;
+  check_float ~eps:1e-9 "long job" 12.0 (by_size 10.0).Job.completion
+
+let srpt_no_preemption_when_larger () =
+  (* Size-3 at t=0; size-5 at t=1: no preemption (5 > 2 remaining);
+     first done at 3, second at 8. *)
+  let jobs = drive ~make_server:(srpt ()) [ (0.0, 3.0); (1.0, 5.0) ] in
+  let by_size s = List.find (fun j -> j.Job.size = s) jobs in
+  check_float ~eps:1e-9 "runner unaffected" 3.0 (by_size 3.0).Job.completion;
+  check_float ~eps:1e-9 "larger waits" 8.0 (by_size 5.0).Job.completion
+
+let srpt_runs_smallest_remaining () =
+  (* Three jobs together: completion order is by size. *)
+  let jobs = drive ~make_server:(srpt ()) [ (0.0, 5.0); (0.0, 1.0); (0.0, 3.0) ] in
+  let order = List.map (fun j -> j.Job.size) jobs in
+  Alcotest.(check (list (float 0.0))) "smallest first" [ 1.0; 3.0; 5.0 ] order
+
+let srpt_work_conservation () =
+  let engine = Engine.create () in
+  let server = Q.Srpt_server.create ~engine ~speed:2.0 ~on_departure:(fun _ -> ()) () in
+  let g = rng () in
+  let total = ref 0.0 in
+  for i = 1 to 300 do
+    let at = Rng.float g *. 200.0 in
+    let size = 0.1 +. (Rng.float g *. 3.0) in
+    total := !total +. size;
+    ignore
+      (Engine.schedule_at engine ~time:at (fun _ ->
+           Q.Srpt_server.submit server (Job.create ~id:i ~size ~arrival:at)))
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "all complete" 300 (Q.Srpt_server.completed server);
+  check_close ~rel:1e-6 "work conserved" !total (Q.Srpt_server.work_done server);
+  Alcotest.(check int) "drained" 0 (Q.Srpt_server.in_system server)
+
+let srpt_beats_ps_on_mean_response_time () =
+  (* SRPT is optimal for mean response time: on the same arrival trace it
+     must not lose to PS. *)
+  let g = rng ~seed:77L () in
+  let trace =
+    List.sort compare
+      (List.init 500 (fun _ ->
+           (Rng.float g *. 2000.0, 0.2 +. (Rng.float g *. 6.0))))
+  in
+  let mean_rt jobs =
+    List.fold_left (fun acc j -> acc +. Job.response_time j) 0.0 jobs
+    /. float_of_int (List.length jobs)
+  in
+  let t_srpt = mean_rt (drive ~make_server:(srpt ()) trace) in
+  let t_ps = mean_rt (drive ~make_server:(ps ()) trace) in
+  Alcotest.(check bool)
+    (Printf.sprintf "SRPT %.3f <= PS %.3f" t_srpt t_ps)
+    true
+    (t_srpt <= t_ps +. 1e-9)
+
+let srpt_discipline_in_simulation () =
+  let speeds = [| 2.0 |] in
+  let workload =
+    Statsched_cluster.Workload.paper_default ~rho:0.6 ~speeds
+  in
+  let run discipline =
+    let cfg =
+      Statsched_cluster.Simulation.default_config ~discipline ~horizon:200_000.0
+        ~speeds ~workload
+        ~scheduler:(Statsched_cluster.Scheduler.static Statsched_core.Policy.wrr) ()
+    in
+    (Statsched_cluster.Simulation.run cfg).Statsched_cluster.Simulation.metrics
+      .Statsched_core.Metrics.mean_response_time
+  in
+  let t_srpt = run Statsched_cluster.Simulation.Srpt in
+  let t_fcfs = run Statsched_cluster.Simulation.Fcfs in
+  Alcotest.(check bool)
+    (Printf.sprintf "SRPT %.1f crushes FCFS %.1f under heavy tails" t_srpt t_fcfs)
+    true
+    (t_srpt < t_fcfs /. 2.0)
+
+let srpt_suite =
+  [
+    test "srpt: lone job" srpt_lone_job;
+    test "srpt: preemption trace" srpt_preemption_trace;
+    test "srpt: larger arrival does not preempt" srpt_no_preemption_when_larger;
+    test "srpt: completion order by size" srpt_runs_smallest_remaining;
+    test "srpt: work conservation" srpt_work_conservation;
+    slow_test "srpt: never loses to ps on mean response time"
+      srpt_beats_ps_on_mean_response_time;
+    slow_test "srpt: crushes fcfs under heavy tails (simulation)"
+      srpt_discipline_in_simulation;
+  ]
+
+let suite = suite @ srpt_suite
