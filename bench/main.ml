@@ -139,6 +139,45 @@ let micro_tests =
     test_end_to_end_second;
   ]
 
+(* Machine-readable results: BENCH_<rev>.json, one object per micro test
+   with the OLS ns/run estimate.  The revision label comes from BENCH_REV
+   (e.g. a commit hash set by CI) and defaults to "dev", so successive
+   runs can be diffed or tracked without scraping the human output. *)
+let write_micro_json results =
+  let rev = Option.value ~default:"dev" (Sys.getenv_opt "BENCH_REV") in
+  let path = Printf.sprintf "BENCH_%s.json" rev in
+  let json_string s =
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (function
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "{\n  \"revision\": %s,\n  \"unit\": \"ns/run\",\n  \"results\": [\n"
+        (json_string rev);
+      List.iteri
+        (fun i (name, ns, r2) ->
+          Printf.fprintf oc "    {\"name\": %s, \"ns_per_run\": %.3f%s}%s\n"
+            (json_string name) ns
+            (match r2 with
+            | Some r -> Printf.sprintf ", \"r_square\": %.6f" r
+            | None -> "")
+            (if i = List.length results - 1 then "" else ","))
+        (List.rev results);
+      output_string oc "  ]\n}\n");
+  Printf.printf "wrote %s (%d tests)\n%!" path (List.length results)
+
 let run_micro () =
   E.Report.print_section "Bechamel micro-benchmarks";
   let ols =
@@ -146,6 +185,7 @@ let run_micro () =
   in
   let instance = Instance.monotonic_clock in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let collected = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg [ instance ] test in
@@ -154,15 +194,16 @@ let run_micro () =
         (fun name ols_result ->
           match Analyze.OLS.estimates ols_result with
           | Some (est :: _) ->
-            let r2 =
-              match Analyze.OLS.r_square ols_result with
+            let r2 = Analyze.OLS.r_square ols_result in
+            collected := (name, est, r2) :: !collected;
+            Printf.printf "%-55s %12.1f ns/run%s\n%!" name est
+              (match r2 with
               | Some r -> Printf.sprintf " (r²=%.4f)" r
-              | None -> ""
-            in
-            Printf.printf "%-55s %12.1f ns/run%s\n%!" name est r2
+              | None -> "")
           | _ -> Printf.printf "%-55s (no estimate)\n%!" name)
         analysed)
-    micro_tests
+    micro_tests;
+  write_micro_json !collected
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: table and figure reproduction                               *)

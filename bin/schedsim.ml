@@ -181,6 +181,55 @@ let dispatch_cmd =
 (* ------------------------------------------------------------------ *)
 (* run / compare                                                       *)
 
+let mtbf_t =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "mtbf" ] ~docv:"SECONDS"
+        ~doc:
+          "Inject exponential crash/repair faults with this mean time \
+           between failures per computer.  Omitted: a reliable cluster.")
+
+let mttr_t =
+  Arg.(
+    value
+    & opt float 50.0
+    & info [ "mttr" ] ~docv:"SECONDS"
+        ~doc:"Mean time to repair a crashed computer (with $(b,--mtbf)).")
+
+let on_failure_t =
+  let names = [ "drop"; "requeue"; "resume" ] in
+  Arg.(
+    value
+    & opt (enum (List.map (fun n -> (n, n)) names)) "requeue"
+    & info [ "on-failure" ] ~docv:"POLICY"
+        ~doc:
+          "What happens to jobs on a crashed computer: drop (lost), \
+           requeue (re-dispatched, restart from scratch) or resume \
+           (wait out the repair).")
+
+let fault_oblivious_t =
+  Arg.(
+    value & flag
+    & info [ "fault-oblivious" ]
+        ~doc:
+          "Do not tell the scheduler about failures (no blacklist / \
+           Algorithm 1 re-run on the surviving speed vector).")
+
+let fault_plan ~mtbf ~mttr ~on_failure ~oblivious =
+  Option.map
+    (fun mtbf ->
+      let on_failure =
+        match Cluster.Fault.on_failure_of_string on_failure with
+        | Some p -> p
+        | None -> invalid_arg ("unknown on-failure policy " ^ on_failure)
+      in
+      let reaction =
+        if oblivious then Cluster.Fault.Oblivious else Cluster.Fault.Blacklist
+      in
+      Cluster.Fault.exponential ~on_failure ~reaction ~mtbf ~mttr ())
+    mtbf
+
 let print_result (r : Cluster.Simulation.result) =
   let m = r.Cluster.Simulation.metrics in
   Printf.printf "scheduler: %s\n" r.Cluster.Simulation.scheduler_name;
@@ -208,7 +257,18 @@ let print_result (r : Cluster.Simulation.result) =
                 E.Report.Int pc.Cluster.Simulation.completed;
                 E.Report.Percent pc.Cluster.Simulation.utilization;
                 E.Report.Float pc.Cluster.Simulation.mean_jobs;
-              ])))
+              ])));
+  match r.Cluster.Simulation.fault_summary with
+  | None -> ()
+  | Some s ->
+    Printf.printf "faults: %d failures, %d jobs lost, availability %.4f\n"
+      s.Cluster.Fault.failures s.Cluster.Fault.lost_jobs
+      s.Cluster.Fault.availability;
+    Array.iteri
+      (fun i d ->
+        if d > 0.0 then
+          Printf.printf "  computer %d: %.1f s of lost capacity\n" i d)
+      s.Cluster.Fault.downtime
 
 let run_cmd =
   let trace_t =
@@ -227,14 +287,16 @@ let run_cmd =
             "Sample every computer's queue length each 10 simulated seconds \
              and write the time series to $(docv) as CSV.")
   in
-  let run speeds rho policy seed scale trace_file probe_file verbose =
+  let run speeds rho policy seed scale trace_file probe_file mtbf mttr
+      on_failure oblivious verbose =
     setup_logging verbose;
     try
       let workload = Cluster.Workload.paper_default ~rho ~speeds in
+      let faults = fault_plan ~mtbf ~mttr ~on_failure ~oblivious in
       let cfg =
-        Cluster.Simulation.default_config ~horizon:scale.E.Config.horizon
-          ~warmup:scale.E.Config.warmup ~seed ~speeds ~workload
-          ~scheduler:(scheduler_of_name policy) ()
+        Cluster.Simulation.default_config ?faults
+          ~horizon:scale.E.Config.horizon ~warmup:scale.E.Config.warmup ~seed
+          ~speeds ~workload ~scheduler:(scheduler_of_name policy) ()
       in
       let trace = Option.map (fun _ -> Cluster.Trace.create ()) trace_file in
       let probe = Option.map (fun _ -> Cluster.Probe.create ()) probe_file in
@@ -267,7 +329,8 @@ let run_cmd =
     Term.(
       ret
         (const run $ speeds_t $ rho_t $ scheduler_t $ seed_t $ scale_t $ trace_t
-       $ probe_t $ verbose_t))
+       $ probe_t $ mtbf_t $ mttr_t $ on_failure_t $ fault_oblivious_t
+       $ verbose_t))
   in
   Cmd.v
     (Cmd.info "run"
@@ -317,13 +380,15 @@ let experiment_cmd =
   let which_t =
     let names =
       [ "table1"; "fig2"; "fig3"; "fig4"; "fig5"; "fig6"; "ext-burstiness";
-        "ext-sizes"; "all" ]
+        "ext-sizes"; "ext-faults"; "all" ]
     in
     Arg.(
       required
       & pos 0 (some (enum (List.map (fun n -> (n, n)) names))) None
       & info [] ~docv:"EXPERIMENT"
-          ~doc:"One of table1, fig2..fig6, ext-burstiness, ext-sizes, all.")
+          ~doc:
+            "One of table1, fig2..fig6, ext-burstiness, ext-sizes, \
+             ext-faults, all.")
   in
   let csv_t =
     Arg.(
@@ -393,6 +458,10 @@ let experiment_cmd =
       E.Report.print_section "Extension: size-distribution sensitivity";
       print_string (E.Ext_sizes.to_report (E.Ext_sizes.run ~scale ~seed ()))
     in
+    let ext_faults () =
+      E.Report.print_section "Extension: fault injection";
+      print_string (E.Ext_faults.to_report (E.Ext_faults.run ~scale ~seed ()))
+    in
     (match which with
     | "table1" -> table1 ()
     | "fig2" -> fig2 ()
@@ -402,6 +471,7 @@ let experiment_cmd =
     | "fig6" -> fig6 ()
     | "ext-burstiness" -> ext_burstiness ()
     | "ext-sizes" -> ext_sizes ()
+    | "ext-faults" -> ext_faults ()
     | _ ->
       table1 ();
       fig2 ();
@@ -410,7 +480,8 @@ let experiment_cmd =
       fig5 ();
       fig6 ();
       ext_burstiness ();
-      ext_sizes ());
+      ext_sizes ();
+      ext_faults ());
     `Ok ()
   in
   let term = Term.(ret (const run $ which_t $ scale_t $ seed_t $ csv_t)) in

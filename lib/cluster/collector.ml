@@ -31,13 +31,16 @@ let on_departure t job =
 
 let jobs_measured t = Welford.count t.response_time
 
-let metrics t =
+let metrics ?(availability = 1.0) ?(goodput = nan) ?(lost_jobs = 0) t =
   if jobs_measured t = 0 then invalid_arg "Collector.metrics: no job measured";
   {
     Statsched_core.Metrics.mean_response_time = Welford.mean t.response_time;
     mean_response_ratio = Welford.mean t.response_ratio;
     fairness = Welford.population_std t.response_ratio;
     jobs = jobs_measured t;
+    availability;
+    goodput;
+    lost_jobs;
   }
 
 let response_time_stats t = t.response_time

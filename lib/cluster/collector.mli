@@ -16,8 +16,11 @@ val on_departure : t -> Statsched_queueing.Job.t -> unit
 
 val jobs_measured : t -> int
 
-val metrics : t -> Statsched_core.Metrics.t
-(** Snapshot of the accumulated metrics.
+val metrics :
+  ?availability:float -> ?goodput:float -> ?lost_jobs:int -> t -> Statsched_core.Metrics.t
+(** Snapshot of the accumulated metrics.  The reliability fields default
+    to a fault-free run ([availability = 1], [lost_jobs = 0], goodput
+    unknown); {!Simulation} overrides them from its fault bookkeeping.
 
     @raise Invalid_argument if no job has been measured. *)
 

@@ -15,15 +15,16 @@ type config = {
   warmup : float;
   seed : int64;
   replication : int;
+  faults : Fault.plan option;
 }
 
 let paper_horizon = 4.0e6
 let paper_warmup = 1.0e6
 
 let default_config ?(discipline = Ps) ?(horizon = 4.0e5) ?warmup ?(seed = 42L)
-    ?(replication = 0) ~speeds ~workload ~scheduler () =
+    ?(replication = 0) ?faults ~speeds ~workload ~scheduler () =
   let warmup = match warmup with Some w -> w | None -> horizon /. 4.0 in
-  { speeds; workload; scheduler; discipline; horizon; warmup; seed; replication }
+  { speeds; workload; scheduler; discipline; horizon; warmup; seed; replication; faults }
 
 type per_computer = {
   speed : float;
@@ -44,6 +45,7 @@ type result = {
   offered_utilization : float;
   total_arrivals : int;
   events_executed : int;
+  fault_summary : Fault.summary option;
 }
 
 let make_server ~discipline ~engine ~speed ~on_departure =
@@ -54,6 +56,14 @@ let make_server ~discipline ~engine ~speed ~on_departure =
   | Fcfs -> Q.Fcfs_server.to_server (Q.Fcfs_server.create ~engine ~speed ~on_departure ())
   | Srpt -> Q.Srpt_server.to_server (Q.Srpt_server.create ~engine ~speed ~on_departure ())
 
+(* Indices with positive effective speed, in order. *)
+let up_indices eff =
+  let up = ref [] in
+  for i = Array.length eff - 1 downto 0 do
+    if eff.(i) > 0.0 then up := i :: !up
+  done;
+  Array.of_list !up
+
 let run ?on_dispatch ?on_completion ?on_tick cfg =
   Core.Speeds.validate cfg.speeds;
   if cfg.horizon <= 0.0 then invalid_arg "Simulation.run: horizon <= 0";
@@ -63,7 +73,9 @@ let run ?on_dispatch ?on_completion ?on_tick cfg =
   let rho = Workload.utilization cfg.workload ~speeds:cfg.speeds in
   (* One base stream per (seed, replication); components get independent
      splits in a fixed documented order: arrivals, sizes, dispatch,
-     scheduler ties, detection, message delay. *)
+     scheduler ties, detection, message delay, faults.  The fault stream
+     is split last (and always) so a zero-fault run draws exactly the
+     same six streams as before the reliability extension. *)
   let base = Rng.substream (Rng.create ~seed:cfg.seed ()) cfg.replication in
   let arrivals_rng = Rng.split base in
   let sizes_rng = Rng.split base in
@@ -71,6 +83,7 @@ let run ?on_dispatch ?on_completion ?on_tick cfg =
   let ties_rng = Rng.split base in
   let detect_rng = Rng.split base in
   let delay_rng = Rng.split base in
+  let fault_rng = Rng.split base in
 
   let engine = Engine.create () in
   let collector = Collector.create ~warmup:cfg.warmup () in
@@ -78,30 +91,108 @@ let run ?on_dispatch ?on_completion ?on_tick cfg =
   let completed = Array.make n 0 in
   let total_arrivals = ref 0 in
   let job_counter = ref 0 in
+  let total_speed = Core.Speeds.total cfg.speeds in
+  (* Renormalised load for a surviving effective-speed sub-vector: the
+     same absolute work rate spread over less capacity.  Clamped below
+     saturation so Algorithm 1 stays well-defined even when the survivors
+     cannot actually carry the load. *)
+  let scaled_rho sub = min 0.999 (rho *. total_speed /. Core.Speeds.total sub) in
 
-  (* Scheduler-side decision function and departure hook.  [servers_ref]
-     is filled right after server creation; only poll events executed
-     during the run dereference it. *)
+  (* Scheduler-side decision function, departure hook and capacity-change
+     hook (the latter fires only under a [Blacklist] fault plan, with the
+     current effective speed vector).  [servers_ref] is filled right after
+     server creation; only poll events executed during the run dereference
+     it. *)
   let least_load_state = ref None in
   let servers_ref = ref [||] in
-  let select_computer, intended_fractions, on_job_departure =
+  let select_computer, intended_fractions, on_job_departure, on_capacity_change =
     match cfg.scheduler with
     | Scheduler.Static policy ->
       let alloc = Core.Policy.allocation_of policy ~rho cfg.speeds in
-      let dispatcher = Core.Policy.dispatcher_of policy ~rng:dispatch_rng alloc in
-      ( (fun _job -> Core.Dispatch.select dispatcher),
-        (fun () -> Some alloc),
-        fun _job -> () )
+      let base_dispatcher = Core.Policy.dispatcher_of policy ~rng:dispatch_rng alloc in
+      let dispatcher = ref base_dispatcher in
+      let map = ref None in
+      let select _job =
+        let i = Core.Dispatch.select !dispatcher in
+        match !map with None -> i | Some m -> m.(i)
+      in
+      let on_capacity eff =
+        if eff = cfg.speeds then begin
+          dispatcher := base_dispatcher;
+          map := None
+        end
+        else begin
+          let up = up_indices eff in
+          if Array.length up = 0 then begin
+            dispatcher := base_dispatcher;
+            map := None
+          end
+          else begin
+            let sub = Array.map (fun i -> eff.(i)) up in
+            let alloc' = Core.Policy.allocation_of policy ~rho:(scaled_rho sub) sub in
+            dispatcher := Core.Policy.dispatcher_of policy ~rng:dispatch_rng alloc';
+            map := Some up
+          end
+        end
+      in
+      (select, (fun () -> Some alloc), (fun _job -> ()), on_capacity)
     | Scheduler.Static_custom { label = _; make } ->
-      let dispatcher = make ~rho ~speeds:cfg.speeds ~rng:dispatch_rng in
-      ( (fun _job -> Core.Dispatch.select dispatcher),
-        (fun () -> Some (Core.Dispatch.fractions dispatcher)),
-        fun _job -> () )
+      let base_dispatcher = make ~rho ~speeds:cfg.speeds ~rng:dispatch_rng in
+      let dispatcher = ref base_dispatcher in
+      let map = ref None in
+      let select _job =
+        let i = Core.Dispatch.select !dispatcher in
+        match !map with None -> i | Some m -> m.(i)
+      in
+      let on_capacity eff =
+        if eff = cfg.speeds then begin
+          dispatcher := base_dispatcher;
+          map := None
+        end
+        else begin
+          let up = up_indices eff in
+          if Array.length up = 0 then begin
+            dispatcher := base_dispatcher;
+            map := None
+          end
+          else begin
+            let sub = Array.map (fun i -> eff.(i)) up in
+            dispatcher := make ~rho:(scaled_rho sub) ~speeds:sub ~rng:dispatch_rng;
+            map := Some up
+          end
+        end
+      in
+      ( select,
+        (fun () -> Some (Core.Dispatch.fractions base_dispatcher)),
+        (fun _job -> ()),
+        on_capacity )
     | Scheduler.Sita { params; small_to } ->
-      let sita = Core.Sita.build_bounded_pareto params ~speeds:cfg.speeds ~small_to in
-      ( (fun job -> Core.Sita.select sita ~size:job.Q.Job.size),
-        (fun () -> None),
-        fun _job -> () )
+      let base_sita = Core.Sita.build_bounded_pareto params ~speeds:cfg.speeds ~small_to in
+      let sita = ref base_sita in
+      let map = ref None in
+      let select job =
+        let i = Core.Sita.select !sita ~size:job.Q.Job.size in
+        match !map with None -> i | Some m -> m.(i)
+      in
+      let on_capacity eff =
+        if eff = cfg.speeds then begin
+          sita := base_sita;
+          map := None
+        end
+        else begin
+          let up = up_indices eff in
+          if Array.length up = 0 then begin
+            sita := base_sita;
+            map := None
+          end
+          else begin
+            let sub = Array.map (fun i -> eff.(i)) up in
+            sita := Core.Sita.build_bounded_pareto params ~speeds:sub ~small_to;
+            map := Some up
+          end
+        end
+      in
+      (select, (fun () -> None), (fun _job -> ()), on_capacity)
     | Scheduler.Stale_least_load { poll_period; count_in_flight } ->
       let state = Core.Least_load.create cfg.speeds in
       least_load_state := Some state;
@@ -116,18 +207,30 @@ let run ?on_dispatch ?on_completion ?on_tick cfg =
         if count_in_flight then Core.Least_load.job_sent state i;
         i
       in
-      (select, (fun () -> None), fun _job -> ())
+      let on_capacity eff =
+        Array.iteri (fun i e -> Core.Least_load.set_available state i (e > 0.0)) eff
+      in
+      (select, (fun () -> None), (fun _job -> ()), on_capacity)
     | Scheduler.Adaptive { period; initial_rho; safety; windowed; dispatching } ->
       (* Self-tuning ORR/ORAN: λ̂ from the arrival count, the mean job
          size from completed jobs (what a real scheduler can observe),
          ρ̂ = λ̂·E[S]/Σs inflated by the safety factor, allocation
          recomputed every [period] seconds. *)
-      let total_speed = Core.Speeds.total cfg.speeds in
       let seen_completions = ref 0 in
       let size_sum = ref 0.0 in
+      (* Under a blacklist plan this holds the surviving sub-vector and
+         the sub-to-global index map; [None] means all computers nominal. *)
+      let sub_state = ref None in
+      let last_rho_hat = ref initial_rho in
       let make_dispatcher rho_hat =
-        let rho_hat = min 0.999 (max 1e-6 (rho_hat *. safety)) in
-        let alloc = Core.Allocation.optimized ~rho:rho_hat cfg.speeds in
+        last_rho_hat := rho_hat;
+        let speeds_vec, scale =
+          match !sub_state with
+          | None -> (cfg.speeds, 1.0)
+          | Some (sub, _) -> (sub, total_speed /. Core.Speeds.total sub)
+        in
+        let rho_hat = min 0.999 (max 1e-6 (rho_hat *. safety *. scale)) in
+        let alloc = Core.Allocation.optimized ~rho:rho_hat speeds_vec in
         match dispatching with
         | Core.Policy.Random -> Core.Dispatch.random ~rng:dispatch_rng alloc
         | Core.Policy.Round_robin -> Core.Dispatch.round_robin alloc
@@ -163,11 +266,34 @@ let run ?on_dispatch ?on_completion ?on_tick cfg =
         end
       in
       Engine.every engine ~period (fun _ -> recompute ());
-      ( (fun _job -> Core.Dispatch.select !dispatcher),
-        (fun () -> Some (Core.Dispatch.fractions !dispatcher)),
-        fun job ->
+      let select _job =
+        let i = Core.Dispatch.select !dispatcher in
+        match !sub_state with None -> i | Some (_, m) -> m.(i)
+      in
+      let intended () =
+        let fr = Core.Dispatch.fractions !dispatcher in
+        match !sub_state with
+        | None -> Some fr
+        | Some (_, m) ->
+          let full = Array.make n 0.0 in
+          Array.iteri (fun k f -> full.(m.(k)) <- f) fr;
+          Some full
+      in
+      let on_capacity eff =
+        (if eff = cfg.speeds then sub_state := None
+         else begin
+           let up = up_indices eff in
+           if Array.length up = 0 then sub_state := None
+           else sub_state := Some (Array.map (fun i -> eff.(i)) up, up)
+         end);
+        dispatcher := make_dispatcher !last_rho_hat
+      in
+      ( select,
+        intended,
+        (fun job ->
           incr seen_completions;
-          size_sum := !size_sum +. job.Q.Job.size )
+          size_sum := !size_sum +. job.Q.Job.size),
+        on_capacity )
     | Scheduler.Least_load { detection; message_delay; random_ties; probe } ->
       let state = Core.Least_load.create cfg.speeds in
       least_load_state := Some state;
@@ -194,7 +320,10 @@ let run ?on_dispatch ?on_completion ?on_tick cfg =
           (Engine.schedule engine ~delay:lag (fun _ ->
                Core.Least_load.departure_recorded state computer))
       in
-      (select, (fun () -> None), on_departure)
+      let on_capacity eff =
+        Array.iteri (fun i e -> Core.Least_load.set_available state i (e > 0.0)) eff
+      in
+      (select, (fun () -> None), on_departure, on_capacity)
   in
 
   let servers =
@@ -217,6 +346,112 @@ let run ?on_dispatch ?on_completion ?on_tick cfg =
           Array.map (fun s -> s.Q.Server_intf.in_system ()) servers
         in
         f ~time:(Engine.now e) ~queues));
+
+  (* Fault engine: per-computer alternating up/down renewal processes.
+     Each (process, target) pair runs its own cycle off the dedicated
+     fault stream; overlapping events compose by multiplying degrade
+     factors.  Nothing here executes — or is even scheduled — for a
+     zero-fault plan, so such runs are bit-identical to the plain
+     simulator. *)
+  let fault_finalize =
+    match cfg.faults with
+    | None -> None
+    | Some plan when Fault.is_none plan -> None
+    | Some plan ->
+      Fault.validate plan ~n;
+      let rate = Array.make n 1.0 in
+      let factors = Array.make n [] in
+      let failures = ref 0 in
+      let lost = ref 0 in
+      let last_change = Array.make n 0.0 in
+      let lost_capacity = Array.make n 0.0 in
+      (* Accrue capacity lost since the last rate change, clipped to the
+         measurement window. *)
+      let flush i =
+        let now = Engine.now engine in
+        let from = max last_change.(i) cfg.warmup in
+        if now > from then
+          lost_capacity.(i) <- lost_capacity.(i) +. ((now -. from) *. (1.0 -. rate.(i)));
+        last_change.(i) <- now
+      in
+      let effective () = Array.mapi (fun i s -> s *. rate.(i)) cfg.speeds in
+      let handle_drained job =
+        (match !least_load_state with
+        | Some st -> Core.Least_load.departure_recorded st job.Q.Job.computer
+        | None -> ());
+        match plan.Fault.on_failure with
+        | Fault.Drop -> if job.Q.Job.arrival >= cfg.warmup then incr lost
+        | Fault.Requeue ->
+          (* Re-dispatched like a fresh arrival (after the blacklist
+             update, so it avoids the failed computer) but not counted
+             as one: dispatch fractions keep original-dispatch
+             semantics.  The job restarts from scratch — no
+             checkpointing. *)
+          let target = select_computer job in
+          job.Q.Job.computer <- target;
+          servers.(target).Q.Server_intf.submit job
+        | Fault.Resume -> ()
+      in
+      let apply_change i new_rate =
+        if new_rate <> rate.(i) then begin
+          let was_up = rate.(i) > 0.0 in
+          flush i;
+          rate.(i) <- new_rate;
+          servers.(i).Q.Server_intf.set_rate new_rate;
+          let crashed = was_up && new_rate = 0.0 in
+          if crashed then incr failures;
+          if plan.Fault.reaction = Fault.Blacklist then on_capacity_change (effective ());
+          if crashed && plan.Fault.on_failure <> Fault.Resume then
+            List.iter handle_drained (servers.(i).Q.Server_intf.drain ())
+        end
+      in
+      let recompute_rate i =
+        List.fold_left (fun acc f -> acc *. f) 1.0 factors.(i)
+      in
+      let rec remove_first x = function
+        | [] -> []
+        | y :: rest -> if y = x then rest else y :: remove_first x rest
+      in
+      List.iter
+        (fun (p : Fault.process) ->
+          let targets =
+            match p.Fault.computers with
+            | Some l -> l
+            | None -> List.init n (fun i -> i)
+          in
+          List.iter
+            (fun i ->
+              let rec up () =
+                let dt = Distribution.sample p.Fault.uptime fault_rng in
+                ignore (Engine.schedule engine ~delay:dt (fun _ -> down ()))
+              and down () =
+                factors.(i) <- p.Fault.degrade :: factors.(i);
+                apply_change i (recompute_rate i);
+                let dt = Distribution.sample p.Fault.downtime fault_rng in
+                ignore (Engine.schedule engine ~delay:dt (fun _ -> recover ()))
+              and recover () =
+                factors.(i) <- remove_first p.Fault.degrade factors.(i);
+                apply_change i (recompute_rate i);
+                up ()
+              in
+              up ())
+            targets)
+        plan.Fault.processes;
+      Some
+        (fun () ->
+          Array.iteri (fun i _ -> flush i) rate;
+          let window = cfg.horizon -. cfg.warmup in
+          let weighted = ref 0.0 in
+          Array.iteri
+            (fun i l -> weighted := !weighted +. (cfg.speeds.(i) *. l))
+            lost_capacity;
+          {
+            Fault.availability = 1.0 -. (!weighted /. (window *. total_speed));
+            failures = !failures;
+            lost_jobs = !lost;
+            downtime = Array.copy lost_capacity;
+          })
+  in
 
   (* Warm-up boundary: reset the per-server busy statistics. *)
   if cfg.warmup > 0.0 then
@@ -272,9 +507,17 @@ let run ?on_dispatch ?on_completion ?on_tick cfg =
           mean_jobs = servers.(i).Q.Server_intf.mean_in_system ();
         })
   in
+  let fault_summary = Option.map (fun f -> f ()) fault_finalize in
+  let window = cfg.horizon -. cfg.warmup in
+  let goodput = float_of_int (Collector.jobs_measured collector) /. window in
+  let availability, lost_jobs =
+    match fault_summary with
+    | None -> (1.0, 0)
+    | Some s -> (s.Fault.availability, s.Fault.lost_jobs)
+  in
   {
     scheduler_name = Scheduler.name cfg.scheduler;
-    metrics = Collector.metrics collector;
+    metrics = Collector.metrics ~availability ~goodput ~lost_jobs collector;
     median_response_ratio = Collector.median_ratio collector;
     p99_response_ratio = Collector.p99_ratio collector;
     per_computer;
@@ -283,4 +526,5 @@ let run ?on_dispatch ?on_completion ?on_tick cfg =
     offered_utilization = rho;
     total_arrivals = !total_arrivals;
     events_executed = Engine.events_executed engine;
+    fault_summary;
   }

@@ -27,6 +27,10 @@ type config = {
   warmup : float;  (** start-up period excluded from statistics; paper: 10⁶ *)
   seed : int64;
   replication : int;  (** replication index selecting the RNG substream *)
+  faults : Fault.plan option;
+      (** computer failure/recovery processes injected during the run;
+          [None] (or a plan with no processes) reproduces the fault-free
+          simulator bit for bit under the same seed *)
 }
 
 val default_config :
@@ -35,14 +39,15 @@ val default_config :
   ?warmup:float ->
   ?seed:int64 ->
   ?replication:int ->
+  ?faults:Fault.plan ->
   speeds:float array ->
   workload:Workload.t ->
   scheduler:Scheduler.kind ->
   unit ->
   config
 (** Defaults: [Ps], horizon 4·10⁵ s, warmup = horizon/4, seed 42,
-    replication 0.  (The paper-scale horizon of 4·10⁶ s is available as
-    {!paper_horizon}.) *)
+    replication 0, no faults.  (The paper-scale horizon of 4·10⁶ s is
+    available as {!paper_horizon}.) *)
 
 val paper_horizon : float
 (** 4·10⁶ simulated seconds. *)
@@ -73,6 +78,9 @@ type result = {
   offered_utilization : float;  (** λ/(μ·Σs) of the workload *)
   total_arrivals : int;  (** arrivals over the whole run, warm-up included *)
   events_executed : int;
+  fault_summary : Fault.summary option;
+      (** reliability accounting over the measurement window; [None] when
+          the run had no fault plan (so fault-free output is unchanged) *)
 }
 
 val run :

@@ -1,31 +1,44 @@
 module Rng = Statsched_prng.Rng
 
-type t = { speeds : float array; queue : int array }
+type t = { speeds : float array; queue : int array; available : bool array }
 
 let create speeds =
   Speeds.validate speeds;
-  { speeds = Array.copy speeds; queue = Array.make (Array.length speeds) 0 }
+  {
+    speeds = Array.copy speeds;
+    queue = Array.make (Array.length speeds) 0;
+    available = Array.make (Array.length speeds) true;
+  }
 
 let normalized_load t i = float_of_int (t.queue.(i) + 1) /. t.speeds.(i)
 
+let set_available t i up = t.available.(i) <- up
+
+let is_available t i = t.available.(i)
+
 let select ?rng t =
   let n = Array.length t.speeds in
-  let best = ref (normalized_load t 0) in
-  let ties = ref 1 in
-  let chosen = ref 0 in
-  for i = 1 to n - 1 do
-    let l = normalized_load t i in
-    if l < !best then begin
-      best := l;
-      chosen := i;
-      ties := 1
-    end
-    else if l = !best then begin
-      (* Reservoir sampling keeps each tied computer equally likely. *)
-      incr ties;
-      match rng with
-      | Some g -> if Rng.int g !ties = 0 then chosen := i
-      | None -> ()
+  (* When every computer is down there is no good choice — fall back to
+     considering all of them so the caller still gets a destination. *)
+  let any_up = Array.exists Fun.id t.available in
+  let best = ref infinity in
+  let ties = ref 0 in
+  let chosen = ref (-1) in
+  for i = 0 to n - 1 do
+    if (not any_up) || t.available.(i) then begin
+      let l = normalized_load t i in
+      if !ties = 0 || l < !best then begin
+        best := l;
+        chosen := i;
+        ties := 1
+      end
+      else if l = !best then begin
+        (* Reservoir sampling keeps each tied computer equally likely. *)
+        incr ties;
+        match rng with
+        | Some g -> if Rng.int g !ties = 0 then chosen := i
+        | None -> ()
+      end
     end
   done;
   !chosen
@@ -33,14 +46,25 @@ let select ?rng t =
 let select_sampled ~rng t ~d =
   if d < 1 then invalid_arg "Least_load.select_sampled: d < 1";
   let n = Array.length t.speeds in
-  if d >= n then select ~rng t
+  let pool =
+    if Array.for_all Fun.id t.available || not (Array.exists Fun.id t.available) then
+      Array.init n (fun i -> i)
+    else begin
+      let l = ref [] in
+      for i = n - 1 downto 0 do
+        if t.available.(i) then l := i :: !l
+      done;
+      Array.of_list !l
+    end
+  in
+  let m = Array.length pool in
+  if d >= m then select ~rng t
   else begin
     (* Partial Fisher-Yates over an index pool: d distinct probes. *)
-    let pool = Array.init n (fun i -> i) in
     let best = ref (-1) in
     let best_load = ref infinity in
     for k = 0 to d - 1 do
-      let j = k + Rng.int rng (n - k) in
+      let j = k + Rng.int rng (m - k) in
       let tmp = pool.(k) in
       pool.(k) <- pool.(j);
       pool.(j) <- tmp;

@@ -18,13 +18,24 @@ val create : float array -> t
     @raise Invalid_argument on an invalid speed vector. *)
 
 val select : ?rng:Statsched_prng.Rng.t -> t -> int
-(** Index of the computer with minimal [(q_i + 1)/s_i].  Ties break
-    uniformly at random when [rng] is given, otherwise toward the smallest
-    index.  Does {e not} modify the state. *)
+(** Index of the computer with minimal [(q_i + 1)/s_i] among those
+    currently {!is_available}.  Ties break uniformly at random when [rng]
+    is given, otherwise toward the smallest index.  If {e every} computer
+    is marked unavailable all of them are considered (the scheduler must
+    send the job somewhere).  Does {e not} modify the state. *)
+
+val set_available : t -> int -> bool -> unit
+(** Mark computer [i] up ([true]) or down ([false]) for selection.
+    Least-Load handles failures naturally: a crashed computer simply
+    stops being a candidate, no reallocation is needed.  All computers
+    start available. *)
+
+val is_available : t -> int -> bool
 
 val select_sampled : rng:Statsched_prng.Rng.t -> t -> d:int -> int
-(** Power-of-d-choices (Mitzenmacher): probe [d] distinct computers chosen
-    uniformly at random and pick the one with minimal normalised load.
+(** Power-of-d-choices (Mitzenmacher): probe [d] distinct {e available}
+    computers chosen uniformly at random and pick the one with minimal
+    normalised load.
     With [d >= n] this degenerates to {!select}.  A cheaper dynamic
     baseline than full Least-Load — the scheduler only needs [d] load
     values per decision — included to price how much of Least-Load's

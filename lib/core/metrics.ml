@@ -3,11 +3,16 @@ type t = {
   mean_response_ratio : float;
   fairness : float;
   jobs : int;
+  availability : float;
+  goodput : float;
+  lost_jobs : int;
 }
 
 let pp fmt m =
   Format.fprintf fmt "T=%.6g R=%.6g fairness=%.6g (n=%d)" m.mean_response_time
-    m.mean_response_ratio m.fairness m.jobs
+    m.mean_response_ratio m.fairness m.jobs;
+  if m.availability < 1.0 || m.lost_jobs > 0 then
+    Format.fprintf fmt " A=%.4f lost=%d" m.availability m.lost_jobs
 
 let actual_fractions counts =
   let total = Array.fold_left ( + ) 0 counts in

@@ -14,9 +14,22 @@ type t = {
   mean_response_ratio : float;
   fairness : float;  (** population std of the response ratio *)
   jobs : int;  (** number of completed jobs measured *)
+  availability : float;
+      (** capacity-weighted fraction of the measurement window during
+          which the cluster's processing capacity was actually on line —
+          [1.0] for a fault-free run *)
+  goodput : float;
+      (** completed jobs per unit time over the measurement window (jobs
+          lost to crashes never complete, so goodput falls with them) *)
+  lost_jobs : int;
+      (** jobs permanently lost to computer crashes (only the [Drop]
+          failure policy loses jobs; requeue/resume preserve them) *)
 }
 
 val pp : Format.formatter -> t -> unit
+(** Prints the paper's three metrics; availability and lost-job counts
+    are appended only when they carry information (a fault-free run
+    prints exactly as before the reliability extension). *)
 
 val deviation : expected:float array -> counts:int array -> float
 (** [deviation ~expected ~counts] is Σ (α_i − c_i/Σc)².  An interval with

@@ -10,6 +10,12 @@ type 'a t = {
   mutable heap : 'a entry array;
   mutable len : int;
   mutable next_seq : int;
+  mutable filler : 'a entry option;
+      (* Written into vacated heap slots so popped entries (and their
+         payloads) become collectable immediately.  The type has no value
+         to make one from until the first [add], whose entry is kept as
+         the filler — so at most that one entry outlives its scheduling
+         (until [clear]). *)
   pending : (int, unit) Hashtbl.t;  (* seqs scheduled and not yet fired/cancelled *)
 }
 
@@ -18,6 +24,7 @@ let create ?(initial_capacity = 64) () =
     heap = [||];
     len = 0;
     next_seq = 0;
+    filler = None;
     pending = Hashtbl.create (max 16 initial_capacity);
   }
 
@@ -71,12 +78,40 @@ let add q ~time payload =
   q.len <- q.len + 1;
   Hashtbl.add q.pending entry.seq ();
   sift_up q (q.len - 1);
+  (match q.filler with None -> q.filler <- Some entry | Some _ -> ());
   entry.seq
 
+let blank q i = match q.filler with Some d -> q.heap.(i) <- d | None -> ()
+
+(* Rebuild the heap from the entries still pending (Floyd's bottom-up
+   heapify).  Pop order only depends on [(time, seq)], never on array
+   layout, so compaction cannot change simulation results. *)
+let compact q =
+  let j = ref 0 in
+  for i = 0 to q.len - 1 do
+    let e = q.heap.(i) in
+    if Hashtbl.mem q.pending e.seq then begin
+      q.heap.(!j) <- e;
+      incr j
+    end
+  done;
+  let new_len = !j in
+  (match q.filler with
+  | Some d -> Array.fill q.heap new_len (q.len - new_len) d
+  | None -> ());
+  q.len <- new_len;
+  for i = (new_len / 2) - 1 downto 0 do
+    sift_down q i
+  done
+
 let cancel q h =
-  (* Lazy deletion: drop from the pending set now, skip at pop time. *)
+  (* Lazy deletion: drop from the pending set now, skip at pop time.
+     When cancellations pile up (live entries under a quarter of the
+     heap) compact eagerly, otherwise a cancel-heavy workload holds on
+     to arbitrarily many dead entries until pops reach them. *)
   if Hashtbl.mem q.pending h then begin
     Hashtbl.remove q.pending h;
+    if q.len >= 64 && Hashtbl.length q.pending * 4 < q.len then compact q;
     true
   end
   else false
@@ -88,8 +123,10 @@ let pop_raw q =
     q.len <- q.len - 1;
     if q.len > 0 then begin
       q.heap.(0) <- q.heap.(q.len);
+      blank q q.len;
       sift_down q 0
-    end;
+    end
+    else blank q 0;
     Some top
   end
 
@@ -115,5 +152,10 @@ let rec peek_time q =
   end
 
 let clear q =
+  (* Release the backing array outright: truncating [len] alone kept
+     every queued entry — and payload — reachable for the queue's
+     lifetime. *)
+  q.heap <- [||];
   q.len <- 0;
+  q.filler <- None;
   Hashtbl.reset q.pending

@@ -38,4 +38,5 @@ val pop : 'a t -> (float * 'a) option
 (** Remove and return the earliest live event as [(time, payload)]. *)
 
 val clear : 'a t -> unit
-(** Drop all events. *)
+(** Drop all events and release the backing storage, so queued payloads
+    become collectable immediately. *)

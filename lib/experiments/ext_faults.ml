@@ -1,0 +1,46 @@
+module Cluster = Statsched_cluster
+module Core = Statsched_core
+
+let default_mtbfs = [ 250.0; 1000.0; 4000.0; 16000.0; 64000.0 ]
+
+let default_mttr = 50.0
+
+type t = (float * (string * Runner.point) list) list
+
+let run ?(scale = Config.default_scale) ?seed ?(speeds = Core.Speeds.table3)
+    ?(mtbfs = default_mtbfs) ?(mttr = default_mttr)
+    ?(on_failure = Cluster.Fault.Requeue) () =
+  let workload =
+    Cluster.Workload.paper_default ~rho:Config.base_utilization ~speeds
+  in
+  List.map
+    (fun mtbf ->
+      let faults = Cluster.Fault.exponential ~on_failure ~mtbf ~mttr () in
+      ( mtbf,
+        Sweep.over_schedulers ?seed ~faults ~scale
+          ~schedulers:Schedulers.with_least_load ~speeds ~workload () ))
+    mtbfs
+
+let availability_table t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    "Cluster availability and lost jobs per replication (averaged):\n";
+  List.iter
+    (fun (mtbf, points) ->
+      match points with
+      | [] -> ()
+      | (_, p) :: _ ->
+        (* The fault plan — hence availability — is scheduler-independent;
+           the first column is representative. *)
+        Buffer.add_string buf
+          (Printf.sprintf "  MTBF %8g s: availability %.4f, lost %.1f\n" mtbf
+             p.Runner.availability p.Runner.lost_jobs_per_rep))
+    t;
+  Buffer.contents buf
+
+let to_report t =
+  Report.render_sweep
+    (Sweep.sweep_of_rows
+       ~title:"Extension: fault injection (Table 3, rho=0.7, exponential crashes)"
+       ~xlabel:"MTBF per computer (s)" ~metric:`Time t)
+  ^ "\n" ^ availability_table t

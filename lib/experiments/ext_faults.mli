@@ -1,0 +1,38 @@
+(** Extension experiment: scheduler robustness under computer failures.
+
+    The paper assumes a perfectly reliable cluster; this sweep injects
+    per-computer exponential crash/repair processes (MTBF swept over two
+    orders of magnitude at a fixed 50 s MTTR) into the Table 3
+    configuration and measures all five schedulers under the same fault
+    sequence.  Static policies re-run Algorithm 1 on the surviving speed
+    vector when the failure detector (blacklist reaction) fires;
+    Least-Load simply stops considering crashed computers.  In-flight
+    jobs are requeued to the dispatcher by default, so no work is lost —
+    the response-time cost of a crash is the restarted service plus the
+    extra queueing on the survivors. *)
+
+val default_mtbfs : float list
+(** [250; 1000; 4000; 16000; 64000] seconds per computer — from roughly
+    one crash per repair-time-scale to nearly reliable. *)
+
+val default_mttr : float
+(** 50 seconds. *)
+
+type t = (float * (string * Runner.point) list) list
+(** Rows keyed by MTBF; columns: the four static policies and
+    Least-Load. *)
+
+val run :
+  ?scale:Config.scale ->
+  ?seed:int64 ->
+  ?speeds:float array ->
+  ?mtbfs:float list ->
+  ?mttr:float ->
+  ?on_failure:Statsched_cluster.Fault.on_failure ->
+  unit ->
+  t
+
+val availability_table : t -> string
+(** Availability / lost-job summary, one line per MTBF row. *)
+
+val to_report : t -> string

@@ -7,10 +7,12 @@ type spec = {
   workload : Cluster.Workload.t;
   scheduler : Cluster.Scheduler.kind;
   discipline : Cluster.Simulation.discipline;
+  faults : Cluster.Fault.plan option;
 }
 
-let make_spec ?(discipline = Cluster.Simulation.Ps) ~speeds ~workload ~scheduler () =
-  { speeds; workload; scheduler; discipline }
+let make_spec ?(discipline = Cluster.Simulation.Ps) ?faults ~speeds ~workload ~scheduler
+    () =
+  { speeds; workload; scheduler; discipline; faults }
 
 type point = {
   label : string;
@@ -21,6 +23,8 @@ type point = {
   p99_ratio : float;
   dispatch_fractions : float array;
   jobs_per_rep : float;
+  availability : float;
+  lost_jobs_per_rep : float;
 }
 
 let replicate ?(seed = Config.default_seed) ~scale spec =
@@ -28,7 +32,7 @@ let replicate ?(seed = Config.default_seed) ~scale spec =
       let cfg =
         Cluster.Simulation.default_config ~discipline:spec.discipline
           ~horizon:scale.Config.horizon ~warmup:scale.Config.warmup ~seed
-          ~replication ~speeds:spec.speeds ~workload:spec.workload
+          ~replication ?faults:spec.faults ~speeds:spec.speeds ~workload:spec.workload
           ~scheduler:spec.scheduler ()
       in
       Cluster.Simulation.run cfg)
@@ -46,7 +50,7 @@ let replicate_parallel ?(seed = Config.default_seed) ?domains ~scale spec =
     let cfg =
       Cluster.Simulation.default_config ~discipline:spec.discipline
         ~horizon:scale.Config.horizon ~warmup:scale.Config.warmup ~seed
-        ~replication ~speeds:spec.speeds ~workload:spec.workload
+        ~replication ?faults:spec.faults ~speeds:spec.speeds ~workload:spec.workload
         ~scheduler:spec.scheduler ()
     in
     Cluster.Simulation.run cfg
@@ -101,6 +105,8 @@ let point_of_results results =
       p99_ratio = avg (fun r -> r.p99_response_ratio);
       dispatch_fractions = fractions;
       jobs_per_rep = jobs;
+      availability = avg (fun r -> r.metrics.Metrics.availability);
+      lost_jobs_per_rep = avg (fun r -> float_of_int r.metrics.Metrics.lost_jobs);
     }
 
 let measure ?seed ~scale spec = point_of_results (replicate ?seed ~scale spec)
@@ -117,7 +123,8 @@ let compare_paired ?seed ~scale ~a ~b ~speeds ~workload () =
   if scale.Config.reps < 2 then
     invalid_arg "Runner.compare_paired: need at least 2 replications";
   let results scheduler =
-    replicate ?seed ~scale { speeds; workload; scheduler; discipline = Cluster.Simulation.Ps }
+    replicate ?seed ~scale
+      { speeds; workload; scheduler; discipline = Cluster.Simulation.Ps; faults = None }
   in
   let ra = results a and rb = results b in
   let ratio r =
@@ -157,8 +164,8 @@ let measure_to_precision ?(seed = Config.default_seed) ?(horizon = 4.0e5)
   let run replication =
     let cfg =
       Cluster.Simulation.default_config ~discipline:spec.discipline ~horizon ~warmup
-        ~seed ~replication ~speeds:spec.speeds ~workload:spec.workload
-        ~scheduler:spec.scheduler ()
+        ~seed ~replication ?faults:spec.faults ~speeds:spec.speeds
+        ~workload:spec.workload ~scheduler:spec.scheduler ()
     in
     Cluster.Simulation.run cfg
   in
@@ -177,7 +184,8 @@ let measure_single_run ?(seed = Config.default_seed) ?(batch_size = 10_000) ~hor
   let ratio_batches = Stats.Batch_means.create ~batch_size in
   let cfg =
     Cluster.Simulation.default_config ~discipline:spec.discipline ~horizon ~warmup
-      ~seed ~speeds:spec.speeds ~workload:spec.workload ~scheduler:spec.scheduler ()
+      ~seed ?faults:spec.faults ~speeds:spec.speeds ~workload:spec.workload
+      ~scheduler:spec.scheduler ()
   in
   let module Job = Statsched_queueing.Job in
   let on_completion job =
@@ -199,6 +207,8 @@ let measure_single_run ?(seed = Config.default_seed) ?(batch_size = 10_000) ~hor
     median_ratio = result.median_response_ratio;
     p99_ratio = result.p99_response_ratio;
     fairness =
+      (* One replication: no width estimate.  [Confidence.pp] renders a
+         nan half-width without the "±" term. *)
       {
         Stats.Confidence.mean = result.metrics.Metrics.fairness;
         half_width = nan;
@@ -207,6 +217,8 @@ let measure_single_run ?(seed = Config.default_seed) ?(batch_size = 10_000) ~hor
       };
     dispatch_fractions = result.dispatch_fractions;
     jobs_per_rep = float_of_int result.metrics.Metrics.jobs;
+    availability = result.metrics.Metrics.availability;
+    lost_jobs_per_rep = float_of_int result.metrics.Metrics.lost_jobs;
   }
 
 let measure_parallel ?seed ?domains ~scale spec =

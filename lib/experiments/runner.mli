@@ -11,10 +11,14 @@ type spec = {
   workload : Statsched_cluster.Workload.t;
   scheduler : Statsched_cluster.Scheduler.kind;
   discipline : Statsched_cluster.Simulation.discipline;
+  faults : Statsched_cluster.Fault.plan option;
+      (** fault plan injected into every replication; [None] = reliable
+          cluster *)
 }
 
 val make_spec :
   ?discipline:Statsched_cluster.Simulation.discipline ->
+  ?faults:Statsched_cluster.Fault.plan ->
   speeds:float array ->
   workload:Statsched_cluster.Workload.t ->
   scheduler:Statsched_cluster.Scheduler.kind ->
@@ -30,6 +34,11 @@ type point = {
   p99_ratio : float;  (** replication average of the per-run P² p99 *)
   dispatch_fractions : float array;  (** averaged over replications *)
   jobs_per_rep : float;
+  availability : float;
+      (** replication average of the capacity-weighted availability;
+          [1.0] without a fault plan *)
+  lost_jobs_per_rep : float;
+      (** replication average of jobs lost to crashes ([Drop] policy) *)
 }
 
 val replicate :

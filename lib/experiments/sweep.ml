@@ -1,7 +1,7 @@
-let over_schedulers ?seed ~scale ~schedulers ~speeds ~workload () =
+let over_schedulers ?seed ?faults ~scale ~schedulers ~speeds ~workload () =
   List.map
     (fun (name, scheduler) ->
-      let spec = Runner.make_spec ~speeds ~workload ~scheduler () in
+      let spec = Runner.make_spec ?faults ~speeds ~workload ~scheduler () in
       (name, Runner.measure ?seed ~scale spec))
     schedulers
 

@@ -2,6 +2,7 @@
 
 val over_schedulers :
   ?seed:int64 ->
+  ?faults:Statsched_cluster.Fault.plan ->
   scale:Config.scale ->
   schedulers:(string * Statsched_cluster.Scheduler.kind) list ->
   speeds:float array ->
@@ -10,7 +11,8 @@ val over_schedulers :
   (string * Runner.point) list
 (** Measure every scheduler on the same cluster and workload.  Each
     scheduler sees identical arrival and size streams per replication
-    (common random numbers). *)
+    (common random numbers), and the same fault plan when one is
+    given. *)
 
 type metric = [ `Time | `Ratio | `Fairness ]
 

@@ -7,6 +7,7 @@ type t = {
   speed : float;
   on_departure : Job.t -> unit;
   active : Job.t Event_queue.t;  (* keyed by virtual finish time *)
+  mutable rate : float;  (* fault multiplier on speed; 0 = suspended *)
   mutable vclock : float;
   mutable last_update : float;
   mutable completion_ev : Engine.event_handle option;
@@ -23,6 +24,7 @@ let create ~engine ~speed ~on_departure () =
     speed;
     on_departure;
     active = Event_queue.create ();
+    rate = 1.0;
     vclock = 0.0;
     last_update = Engine.now engine;
     completion_ev = None;
@@ -39,9 +41,10 @@ let advance t =
   let now = Engine.now t.engine in
   let n = in_system t in
   if n > 0 then begin
+    let eff = t.speed *. t.rate in
     let elapsed = now -. t.last_update in
-    t.vclock <- t.vclock +. (elapsed *. t.speed /. float_of_int n);
-    t.work <- t.work +. (elapsed *. t.speed)
+    t.vclock <- t.vclock +. (elapsed *. eff /. float_of_int n);
+    t.work <- t.work +. (elapsed *. eff)
   end;
   t.last_update <- now
 
@@ -58,9 +61,16 @@ let rec reschedule t =
   match Event_queue.peek_time t.active with
   | None -> Tally.update t.busy ~time:(Engine.now t.engine) ~value:0.0
   | Some v_min ->
-    let n = float_of_int (in_system t) in
-    let delay = max 0.0 ((v_min -. t.vclock) *. n /. t.speed) in
-    t.completion_ev <- Some (Engine.schedule t.engine ~delay (fun _ -> on_completion t))
+    let eff = t.speed *. t.rate in
+    if eff > 0.0 then begin
+      Tally.update t.busy ~time:(Engine.now t.engine) ~value:1.0;
+      let n = float_of_int (in_system t) in
+      let delay = max 0.0 ((v_min -. t.vclock) *. n /. eff) in
+      t.completion_ev <- Some (Engine.schedule t.engine ~delay (fun _ -> on_completion t))
+    end
+    else
+      (* Suspended: virtual time is frozen, no completion can occur. *)
+      Tally.update t.busy ~time:(Engine.now t.engine) ~value:0.0
 
 and on_completion t =
   t.completion_ev <- None;
@@ -112,6 +122,23 @@ let work_done t =
   advance t;
   t.work
 
+let set_rate t r =
+  if r < 0.0 then invalid_arg "Ps_server.set_rate: rate < 0";
+  advance t;
+  t.rate <- r;
+  reschedule t
+
+let drain t =
+  advance t;
+  let rec take acc =
+    match Event_queue.pop t.active with
+    | Some (_, job) -> take (job :: acc)
+    | None -> List.rev acc
+  in
+  let jobs = take [] in
+  reschedule t;
+  jobs
+
 let reset_stats t =
   advance t;
   Tally.reset_at t.busy ~time:(Engine.now t.engine);
@@ -131,5 +158,7 @@ let to_server t =
     completed = (fun () -> completed t);
     work_done = (fun () -> work_done t);
     reset_stats = (fun () -> reset_stats t);
+    set_rate = set_rate t;
+    drain = (fun () -> drain t);
     discipline = "PS";
   }

@@ -3,13 +3,24 @@ module Tally = Statsched_stats.Tally
 
 type slot = { job : Job.t; mutable remaining : float }
 
+(* The slot currently holding the processor.  [slice] is the planned
+   service in this quantum; [event] is its end-of-slice event, absent
+   while the server is suspended (rate 0). *)
+type current = {
+  slot : slot;
+  mutable slice : float;
+  mutable slice_start : float;
+  mutable event : Engine.event_handle option;
+}
+
 type t = {
   engine : Engine.t;
   speed : float;
   quantum : float;
   on_departure : Job.t -> unit;
   queue : slot Queue.t;
-  mutable serving : bool;
+  mutable current : current option;
+  mutable rate : float;  (* fault multiplier on speed; 0 = suspended *)
   busy : Tally.t;
   occupancy : Tally.t;
   mutable completed : int;
@@ -26,7 +37,8 @@ let create ~engine ~speed ~quantum ~on_departure () =
     quantum;
     on_departure;
     queue = Queue.create ();
-    serving = false;
+    current = None;
+    rate = 1.0;
     busy = Tally.create ~start_time:(Engine.now engine) ();
     occupancy = Tally.create ~start_time:(Engine.now engine) ();
     completed = 0;
@@ -39,30 +51,43 @@ let in_system t = t.n
 let note_occupancy t =
   Tally.update t.occupancy ~time:(Engine.now t.engine) ~value:(float_of_int t.n)
 
-let rec start_next t =
+let rec start_slice t c =
+  let eff = t.speed *. t.rate in
+  if eff > 0.0 then begin
+    c.slice <- min t.quantum c.slot.remaining;
+    c.slice_start <- Engine.now t.engine;
+    c.event <-
+      Some
+        (Engine.schedule t.engine ~delay:(c.slice /. eff) (fun _ ->
+             c.event <- None;
+             t.current <- None;
+             let slot = c.slot in
+             slot.remaining <- slot.remaining -. c.slice;
+             t.work <- t.work +. c.slice;
+             if slot.remaining <= 1e-12 *. slot.job.Job.size then begin
+               slot.job.Job.completion <- Engine.now t.engine;
+               t.completed <- t.completed + 1;
+               t.n <- t.n - 1;
+               note_occupancy t;
+               t.on_departure slot.job
+             end
+             else Queue.push slot t.queue;
+             start_next t))
+  end
+  else c.event <- None
+
+and start_next t =
   if Queue.is_empty t.queue then begin
-    t.serving <- false;
+    t.current <- None;
     Tally.update t.busy ~time:(Engine.now t.engine) ~value:0.0
   end
   else begin
-    t.serving <- true;
-    Tally.update t.busy ~time:(Engine.now t.engine) ~value:1.0;
+    Tally.update t.busy ~time:(Engine.now t.engine)
+      ~value:(if t.rate > 0.0 then 1.0 else 0.0);
     let slot = Queue.pop t.queue in
-    let slice = min t.quantum slot.remaining in
-    let delay = slice /. t.speed in
-    ignore
-      (Engine.schedule t.engine ~delay (fun _ ->
-           slot.remaining <- slot.remaining -. slice;
-           t.work <- t.work +. slice;
-           if slot.remaining <= 1e-12 *. slot.job.Job.size then begin
-             slot.job.Job.completion <- Engine.now t.engine;
-             t.completed <- t.completed + 1;
-             t.n <- t.n - 1;
-             note_occupancy t;
-             t.on_departure slot.job
-           end
-           else Queue.push slot t.queue;
-           start_next t))
+    let c = { slot; slice = 0.0; slice_start = Engine.now t.engine; event = None } in
+    t.current <- Some c;
+    start_slice t c
   end
 
 let submit t job =
@@ -71,7 +96,49 @@ let submit t job =
   Queue.push { job; remaining = job.Job.size } t.queue;
   t.n <- t.n + 1;
   note_occupancy t;
-  if not t.serving then start_next t
+  if t.current = None then start_next t
+
+(* Bank the running slot's progress at the current rate and cancel the
+   end-of-slice event. *)
+let interrupt t =
+  match t.current with
+  | None -> ()
+  | Some c ->
+    (match c.event with
+    | Some h ->
+      ignore (Engine.cancel t.engine h);
+      c.event <- None;
+      let eff = t.speed *. t.rate in
+      let served = min c.slice ((Engine.now t.engine -. c.slice_start) *. eff) in
+      c.slot.remaining <- c.slot.remaining -. served;
+      t.work <- t.work +. served
+    | None -> ())
+
+let set_rate t r =
+  if r < 0.0 then invalid_arg "Rr_server.set_rate: rate < 0";
+  interrupt t;
+  t.rate <- r;
+  match t.current with
+  | None -> ()
+  | Some c ->
+    Tally.update t.busy ~time:(Engine.now t.engine) ~value:(if r > 0.0 then 1.0 else 0.0);
+    (* A fresh (possibly shorter) slice starts on resume. *)
+    start_slice t c
+
+let drain t =
+  interrupt t;
+  let jobs =
+    match t.current with
+    | Some c ->
+      t.current <- None;
+      c.slot.job :: List.of_seq (Seq.map (fun s -> s.job) (Queue.to_seq t.queue))
+    | None -> List.of_seq (Seq.map (fun s -> s.job) (Queue.to_seq t.queue))
+  in
+  Queue.clear t.queue;
+  t.n <- 0;
+  note_occupancy t;
+  Tally.update t.busy ~time:(Engine.now t.engine) ~value:0.0;
+  jobs
 
 let utilization t =
   Tally.advance t.busy ~time:(Engine.now t.engine);
@@ -85,7 +152,15 @@ let mean_in_system t =
 
 let completed t = t.completed
 
-let work_done t = t.work
+let work_done t =
+  match t.current with
+  | None -> t.work
+  | Some c ->
+    (match c.event with
+    | None -> t.work
+    | Some _ ->
+      let eff = t.speed *. t.rate in
+      t.work +. min c.slice ((Engine.now t.engine -. c.slice_start) *. eff))
 
 let reset_stats t =
   Tally.reset_at t.busy ~time:(Engine.now t.engine);
@@ -104,5 +179,7 @@ let to_server t =
     completed = (fun () -> completed t);
     work_done = (fun () -> work_done t);
     reset_stats = (fun () -> reset_stats t);
+    set_rate = set_rate t;
+    drain = (fun () -> drain t);
     discipline = Printf.sprintf "RR(q=%g)" t.quantum;
   }

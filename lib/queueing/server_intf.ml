@@ -7,5 +7,7 @@ type t = {
   completed : unit -> int;
   work_done : unit -> float;
   reset_stats : unit -> unit;
+  set_rate : float -> unit;
+  drain : unit -> Job.t list;
   discipline : string;
 }

@@ -4,9 +4,9 @@ module Tally = Statsched_stats.Tally
 
 type running = {
   job : Job.t;
-  remaining_at_start : float;  (* work left when this service slice began *)
-  slice_start : float;  (* real time the slice began *)
-  event : Engine.event_handle;
+  mutable remaining_at_start : float;  (* work left when this service slice began *)
+  mutable slice_start : float;  (* real time the slice began *)
+  mutable event : Engine.event_handle option;  (* absent while suspended *)
 }
 
 type t = {
@@ -15,6 +15,7 @@ type t = {
   on_departure : Job.t -> unit;
   waiting : (Job.t * float) Event_queue.t;  (* keyed by remaining work *)
   mutable current : running option;
+  mutable rate : float;  (* fault multiplier on speed; 0 = suspended *)
   busy : Tally.t;
   occupancy : Tally.t;
   mutable completed : int;
@@ -30,6 +31,7 @@ let create ~engine ~speed ~on_departure () =
     on_departure;
     waiting = Event_queue.create ();
     current = None;
+    rate = 1.0;
     busy = Tally.create ~start_time:(Engine.now engine) ();
     occupancy = Tally.create ~start_time:(Engine.now engine) ();
     completed = 0;
@@ -42,26 +44,40 @@ let in_system t = t.n
 let note_occupancy t =
   Tally.update t.occupancy ~time:(Engine.now t.engine) ~value:(float_of_int t.n)
 
+(* Valid because [remaining_at_start]/[slice_start] are re-banked whenever
+   the rate changes, so the whole slice ran at the current rate. *)
 let remaining_of_current t r =
   let elapsed = Engine.now t.engine -. r.slice_start in
-  max 0.0 (r.remaining_at_start -. (elapsed *. t.speed))
+  max 0.0 (r.remaining_at_start -. (elapsed *. t.speed *. t.rate))
 
 let rec start t job remaining =
   let now = Engine.now t.engine in
   if job.Job.start < 0.0 then job.Job.start <- now;
-  Tally.update t.busy ~time:now ~value:1.0;
-  let event =
-    Engine.schedule t.engine ~delay:(remaining /. t.speed) (fun _ ->
-        t.work <- t.work +. remaining;
-        job.Job.completion <- Engine.now t.engine;
-        t.completed <- t.completed + 1;
-        t.n <- t.n - 1;
-        t.current <- None;
-        note_occupancy t;
-        t.on_departure job;
-        next t)
-  in
-  t.current <- Some { job; remaining_at_start = remaining; slice_start = now; event }
+  let r = { job; remaining_at_start = remaining; slice_start = now; event = None } in
+  t.current <- Some r;
+  arm t r
+
+(* Schedule (or skip, while suspended) the completion of the current
+   slice from [r.remaining_at_start] work to go. *)
+and arm t r =
+  let now = Engine.now t.engine in
+  let eff = t.speed *. t.rate in
+  if eff > 0.0 then begin
+    Tally.update t.busy ~time:now ~value:1.0;
+    r.event <-
+      Some
+        (Engine.schedule t.engine ~delay:(r.remaining_at_start /. eff) (fun _ ->
+             r.event <- None;
+             t.work <- t.work +. r.remaining_at_start;
+             r.job.Job.completion <- Engine.now t.engine;
+             t.completed <- t.completed + 1;
+             t.n <- t.n - 1;
+             t.current <- None;
+             note_occupancy t;
+             t.on_departure r.job;
+             next t))
+  end
+  else Tally.update t.busy ~time:now ~value:0.0
 
 and next t =
   match Event_queue.pop t.waiting with
@@ -77,12 +93,56 @@ let submit t job =
     let current_remaining = remaining_of_current t r in
     if job.Job.size < current_remaining then begin
       (* Preempt: bank the work done in this slice, park the runner. *)
-      ignore (Engine.cancel t.engine r.event);
+      (match r.event with
+      | Some h -> ignore (Engine.cancel t.engine h)
+      | None -> ());
       t.work <- t.work +. (r.remaining_at_start -. current_remaining);
       ignore (Event_queue.add t.waiting ~time:current_remaining (r.job, current_remaining));
       start t job job.Job.size
     end
     else ignore (Event_queue.add t.waiting ~time:job.Job.size (job, job.Job.size))
+
+(* Bank the current slice's progress at the current rate and cancel its
+   completion event. *)
+let interrupt t =
+  match t.current with
+  | None -> ()
+  | Some r ->
+    (match r.event with
+    | Some h ->
+      ignore (Engine.cancel t.engine h);
+      r.event <- None;
+      let rem = remaining_of_current t r in
+      t.work <- t.work +. (r.remaining_at_start -. rem);
+      r.remaining_at_start <- rem;
+      r.slice_start <- Engine.now t.engine
+    | None -> r.slice_start <- Engine.now t.engine)
+
+let set_rate t rate =
+  if rate < 0.0 then invalid_arg "Srpt_server.set_rate: rate < 0";
+  interrupt t;
+  t.rate <- rate;
+  match t.current with None -> () | Some r -> arm t r
+
+let drain t =
+  interrupt t;
+  let rec take acc =
+    match Event_queue.pop t.waiting with
+    | Some (_, (job, _)) -> take (job :: acc)
+    | None -> List.rev acc
+  in
+  let queued = take [] in
+  let jobs =
+    match t.current with
+    | Some r ->
+      t.current <- None;
+      r.job :: queued
+    | None -> queued
+  in
+  t.n <- 0;
+  note_occupancy t;
+  Tally.update t.busy ~time:(Engine.now t.engine) ~value:0.0;
+  jobs
 
 let utilization t =
   Tally.advance t.busy ~time:(Engine.now t.engine);
@@ -111,13 +171,8 @@ let reset_stats t =
   match t.current with
   | None -> ()
   | Some r ->
-    t.current <-
-      Some
-        {
-          r with
-          remaining_at_start = remaining_of_current t r;
-          slice_start = Engine.now t.engine;
-        }
+    r.remaining_at_start <- remaining_of_current t r;
+    r.slice_start <- Engine.now t.engine
 
 let to_server t =
   {
@@ -129,5 +184,7 @@ let to_server t =
     completed = (fun () -> completed t);
     work_done = (fun () -> work_done t);
     reset_stats = (fun () -> reset_stats t);
+    set_rate = set_rate t;
+    drain = (fun () -> drain t);
     discipline = "SRPT";
   }

@@ -24,4 +24,16 @@ val utilization : t -> float
 val completed : t -> int
 val work_done : t -> float
 val reset_stats : t -> unit
+
+val set_rate : t -> float -> unit
+(** Fault hook: scale the service rate by the given factor from now on
+    ([0] suspends the server, freezing the runner's progress).  See
+    {!Server_intf.t.set_rate}.
+
+    @raise Invalid_argument if the rate is negative. *)
+
+val drain : t -> Job.t list
+(** Fault hook: remove all jobs without completing them (partial service
+    is discarded).  See {!Server_intf.t.drain}. *)
+
 val to_server : t -> Server_intf.t

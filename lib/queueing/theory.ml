@@ -23,3 +23,22 @@ let mg1_ps_mean_slowdown ~lambda ~mean_size ~speed =
 let mm1_number_in_system ~lambda ~mean_size ~speed =
   let rho = utilization ~lambda ~mean_size ~speed in
   guard rho (rho /. (1.0 -. rho))
+
+let mm1_breakdown_response ~lambda ~mean_size ~speed ~mtbf ~mttr =
+  if mtbf <= 0.0 || mttr <= 0.0 then
+    invalid_arg "Theory.mm1_breakdown_response: mtbf/mttr must be positive";
+  let mu = speed /. mean_size in
+  let f = 1.0 /. mtbf (* failure rate *) in
+  let r = 1.0 /. mttr (* repair rate *) in
+  let a = r /. (r +. f) (* steady-state availability *) in
+  let rho_eff = lambda /. (mu *. a) in
+  if rho_eff >= 1.0 then infinity
+  else
+    (* Avi-Itzhak & Naor (1963), Model A: breakdowns strike whether or
+       not the server is busy, service is preempt-resume.  The three
+       terms: the M/M/1 clock run at the availability-scaled rate, the
+       queueing penalty of repair periods, and the residual repair time
+       seen by a job arriving mid-breakdown. *)
+    (1.0 /. ((mu *. a) -. lambda))
+    +. (lambda *. f /. (mu *. r *. r *. (1.0 -. rho_eff)))
+    +. (f /. (r *. (r +. f)))

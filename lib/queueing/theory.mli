@@ -36,3 +36,19 @@ val mg1_ps_mean_slowdown : lambda:float -> mean_size:float -> speed:float -> flo
 
 val mm1_number_in_system : lambda:float -> mean_size:float -> speed:float -> float
 (** Mean number of jobs in an M/M/1 (or M/G/1-PS) system: [ρ/(1−ρ)]. *)
+
+val mm1_breakdown_response :
+  lambda:float -> mean_size:float -> speed:float -> mtbf:float -> mttr:float -> float
+(** Mean response time of an M/M/1 queue whose server suffers exponential
+    breakdowns (mean up-time [mtbf]) repaired in exponential time (mean
+    [mttr]), with breakdowns striking at all times and preempt-resume
+    service — Avi-Itzhak & Naor (1963), Model A.  With [f = 1/mtbf],
+    [r = 1/mttr], availability [A = r/(r+f)] and [μ = speed/mean_size]:
+
+    [E[T] = 1/(μA − λ) + λf/(μ·r²·(1 − λ/(μA))) + f/(r(r+f))]
+
+    Recovers [1/(μ−λ)] as [mtbf → ∞].  Returns [infinity] when
+    [λ ≥ μA] (the degraded capacity cannot keep up).  Validates the fault
+    injector's [Resume] policy in the tests.
+
+    @raise Invalid_argument if [mtbf] or [mttr] is non-positive. *)

@@ -26,4 +26,8 @@ let upper i = i.mean +. i.half_width
 
 let relative_half_width i = if i.mean = 0.0 then nan else i.half_width /. abs_float i.mean
 
-let pp fmt i = Format.fprintf fmt "%.6g ± %.2g" i.mean i.half_width
+let pp fmt i =
+  (* A single replication has no width estimate ([half_width = nan]);
+     print the point estimate alone rather than "m ± nan". *)
+  if Float.is_nan i.half_width then Format.fprintf fmt "%.6g" i.mean
+  else Format.fprintf fmt "%.6g ± %.2g" i.mean i.half_width

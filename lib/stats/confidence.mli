@@ -24,4 +24,5 @@ val relative_half_width : interval -> float
 (** [half_width / |mean|]; [nan] for zero mean. *)
 
 val pp : Format.formatter -> interval -> unit
-(** Renders as ["m ± h"]. *)
+(** Renders as ["m ± h"], or just ["m"] when the half-width is [nan]
+    (single replication). *)

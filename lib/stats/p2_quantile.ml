@@ -91,7 +91,11 @@ let estimate t =
   else if t.n < 5 then begin
     let sorted = Array.sub t.initial 0 t.n in
     Array.sort compare sorted;
-    let idx = int_of_float (t.q *. float_of_int (t.n - 1)) in
+    (* Nearest-rank quantile: the ⌈q·n⌉-th order statistic.  Truncating
+       q·(n−1) instead rounded every small-sample estimate toward the
+       minimum (e.g. the 0.99-quantile of two observations came out as
+       the smaller one). *)
+    let idx = max 0 (min (t.n - 1) (int_of_float (ceil (t.q *. float_of_int t.n)) - 1)) in
     sorted.(idx)
   end
   else t.heights.(2)

@@ -165,6 +165,53 @@ let ll_departures_rebalance () =
   Least_load.departure_recorded t 0;
   Alcotest.(check int) "tie again after departure" 0 (Least_load.select t)
 
+let ll_availability_mask () =
+  let t = Least_load.create [| 1.0; 1.0; 1.0 |] in
+  Least_load.job_sent t 0;
+  (* Computer 0 carries a job, so 1 and 2 tie for least load... *)
+  Alcotest.(check int) "least loaded by index" 1 (Least_load.select t);
+  (* ...but marking them down forces the choice onto the loaded one. *)
+  Least_load.set_available t 1 false;
+  Least_load.set_available t 2 false;
+  Alcotest.(check bool) "mask readable" false (Least_load.is_available t 1);
+  Alcotest.(check int) "only available computer chosen" 0 (Least_load.select t);
+  Least_load.set_available t 2 true;
+  Alcotest.(check int) "recovered computer wins again" 2 (Least_load.select t);
+  (* With every computer down the scheduler must still pick someone. *)
+  Least_load.set_available t 0 false;
+  Least_load.set_available t 2 false;
+  Alcotest.(check int) "all-down falls back to all" 1 (Least_load.select t);
+  (* Sampling only probes available computers. *)
+  let g = rng () in
+  Least_load.set_available t 0 true;
+  for _ = 1 to 50 do
+    Alcotest.(check int) "sampled selection respects the mask" 0
+      (Least_load.select_sampled ~rng:g t ~d:2)
+  done
+
+let ll_rng_threading_changes_ties_only () =
+  (* Regression for the tie-breaking fix: an rng must only matter when
+     there is an actual tie — and without one, selection stays at the
+     lowest index regardless of how often it is called. *)
+  let g = rng () in
+  let t = Least_load.create [| 2.0; 1.0; 1.0 |] in
+  for _ = 1 to 20 do
+    Alcotest.(check int) "unique minimum ignores the rng" 0
+      (Least_load.select ~rng:g t)
+  done;
+  let tie = Least_load.create [| 1.0; 1.0 |] in
+  let seen = Array.make 2 0 in
+  for _ = 1 to 200 do
+    let i = Least_load.select ~rng:g tie in
+    seen.(i) <- seen.(i) + 1
+  done;
+  Alcotest.(check bool) "both tied computers get picked" true
+    (seen.(0) > 0 && seen.(1) > 0);
+  for _ = 1 to 20 do
+    Alcotest.(check int) "no rng pins the lowest index" 0
+      (Least_load.select tie)
+  done
+
 let ll_no_negative_queue () =
   let t = Least_load.create [| 1.0 |] in
   Least_load.departure_recorded t 0;
@@ -289,6 +336,8 @@ let suite =
     test "least-load: queue never negative" ll_no_negative_queue;
     test "least-load: normalized load" ll_normalized_load;
     test "least-load: random tie-breaking uniform" ll_random_ties_uniform;
+    test "least-load: availability mask" ll_availability_mask;
+    test "least-load: rng affects ties only" ll_rng_threading_changes_ties_only;
     test "least-load: reset" ll_reset;
     test "metrics: deviation zero for exact split" metrics_deviation_zero_when_exact;
     test "metrics: deviation known value" metrics_deviation_known;

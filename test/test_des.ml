@@ -197,6 +197,84 @@ let engine_fifo_determinism () =
     [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
     (List.rev !order)
 
+(* ------------------------------------------------------------------ *)
+(* Memory behaviour: cleared and cancelled events must not be retained *)
+(* by the heap array (regression for the clear/cancel space leak).     *)
+
+let add_tracked q (w : float array Weak.t) i ~time =
+  (* Allocate the payload inside a helper so no local binding keeps it
+     alive; only the queue (and the weak table) can reach it. *)
+  let payload = Array.make 64 (float_of_int i) in
+  Weak.set w i (Some payload);
+  Event_queue.add q ~time payload
+
+let eq_clear_releases_payloads () =
+  let q = Event_queue.create () in
+  let w = Weak.create 8 in
+  for i = 0 to 7 do
+    ignore (add_tracked q w i ~time:(float_of_int i))
+  done;
+  Event_queue.clear q;
+  Gc.full_major ();
+  for i = 0 to 7 do
+    Alcotest.(check bool)
+      (Printf.sprintf "payload %d collected after clear" i)
+      true
+      (Weak.get w i = None)
+  done;
+  (* The queue stays usable after clear. *)
+  ignore (Event_queue.add q ~time:1.0 [| 0.0 |]);
+  Alcotest.(check int) "usable after clear" 1 (Event_queue.size q)
+
+let eq_pop_releases_payloads () =
+  let q = Event_queue.create () in
+  let w = Weak.create 8 in
+  for i = 0 to 7 do
+    ignore (add_tracked q w i ~time:(float_of_int i))
+  done;
+  for _ = 0 to 7 do
+    ignore (Event_queue.pop q)
+  done;
+  Gc.full_major ();
+  (* Slot 0's original entry doubles as the dead-slot filler, so it may
+     legitimately stay reachable until [clear]; everything else must go. *)
+  for i = 1 to 7 do
+    Alcotest.(check bool)
+      (Printf.sprintf "payload %d collected after pop" i)
+      true
+      (Weak.get w i = None)
+  done
+
+let eq_cancel_compacts () =
+  let n = 200 in
+  let q = Event_queue.create () in
+  let w = Weak.create n in
+  let handles =
+    Array.init n (fun i -> add_tracked q w i ~time:(float_of_int i))
+  in
+  (* Cancel everything but the first ten.  Lazy deletion keeps entries
+     in the heap, but once live entries fall far below the heap length
+     the queue must compact and drop the garbage. *)
+  for i = 10 to n - 1 do
+    Alcotest.(check bool) "cancel succeeds" true (Event_queue.cancel q handles.(i))
+  done;
+  Alcotest.(check int) "live size" 10 (Event_queue.size q);
+  Gc.full_major ();
+  let reclaimed = ref 0 in
+  for i = 10 to n - 1 do
+    if Weak.get w i = None then incr reclaimed
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "most cancelled payloads reclaimed (%d of %d)" !reclaimed
+       (n - 10))
+    true
+    (!reclaimed >= (n - 10) / 2);
+  (* Compaction must not disturb the pop order of the survivors. *)
+  let popped = List.init 10 (fun _ -> fst (Option.get (Event_queue.pop q))) in
+  Alcotest.(check (list (float 0.0))) "survivors pop in order"
+    (List.init 10 float_of_int) popped;
+  Alcotest.(check bool) "then empty" true (Event_queue.pop q = None)
+
 let engine_every () =
   let e = Engine.create () in
   let fired = ref [] in
@@ -216,6 +294,9 @@ let suite =
     test "event_queue: peek" eq_peek;
     test "event_queue: non-finite time rejected" eq_nonfinite_rejected;
     test "event_queue: clear" eq_clear;
+    test "event_queue: clear releases payloads" eq_clear_releases_payloads;
+    test "event_queue: pop releases payloads" eq_pop_releases_payloads;
+    test "event_queue: cancellation compacts the heap" eq_cancel_compacts;
     test "event_queue: random stress" eq_random_stress;
     prop_eq_sorted;
     test "engine: clock advances with events" engine_clock_advances;

@@ -229,12 +229,52 @@ let chart_of_sweep_works () =
   let chart = E.Report.chart_of_sweep sweep in
   Alcotest.(check bool) "renders" true (String.length chart > 100)
 
+(* Regression: the batch-means point has no fairness half-width (nan by
+   design); any rendering of it must omit the ± term instead of printing
+   "± nan". *)
+let single_run_fairness_renders () =
+  let speeds = [| 1.0; 2.0 |] in
+  let workload =
+    Cluster.Workload.poisson_exponential ~rho:0.5 ~mean_size:1.0 ~speeds
+  in
+  let spec =
+    Runner.make_spec ~speeds ~workload
+      ~scheduler:(Cluster.Scheduler.static Core.Policy.orr) ()
+  in
+  let p =
+    Runner.measure_single_run ~horizon:20_000.0 ~warmup:5_000.0 ~batch_size:200
+      spec
+  in
+  let fairness = p.Runner.fairness in
+  Alcotest.(check bool) "half-width is nan by design" true
+    (Float.is_nan fairness.Statsched_stats.Confidence.half_width);
+  Alcotest.(check bool) "mean is finite" true
+    (Float.is_finite fairness.Statsched_stats.Confidence.mean);
+  let rendered =
+    Format.asprintf "%a" Statsched_stats.Confidence.pp fairness
+  in
+  let contains_nan =
+    let n = String.length rendered in
+    let rec scan i =
+      i + 3 <= n && (String.sub rendered i 3 = "nan" || scan (i + 1))
+    in
+    scan 0
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "rendering %S has no nan" rendered)
+    false contains_nan;
+  (* The interval cell renderer goes through the same pretty-printer. *)
+  check_float ~eps:0.0 "availability defaults to 1 without faults" 1.0
+    p.Runner.availability
+
 let suite =
   [
     test "config: scales ordered" config_scales_ordered;
     test "config: names" config_names;
     slow_test "runner: replication and aggregation" runner_point_aggregates;
     test "runner: empty rejected" runner_empty_rejected;
+    slow_test "runner: single-run fairness renders without nan"
+      single_run_fairness_renders;
     test "schedulers: roster" schedulers_roster;
     slow_test "table 1: least-load starves slow computers" table1_shape;
     slow_test "figure 2: round-robin smoother than random" fig2_round_robin_smoother;

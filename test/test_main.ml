@@ -16,5 +16,6 @@ let () =
       ("adaptive", Test_adaptive.suite);
       ("alloc-table", Test_alloc_table.suite);
       ("sita", Test_sita.suite);
+      ("faults", Test_faults.suite);
       ("more", Test_more.suite);
     ]

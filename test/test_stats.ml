@@ -173,6 +173,24 @@ let p2_empty_nan () =
   Alcotest.check_raises "q out of range" (Invalid_argument "P2_quantile.create: q outside (0,1)")
     (fun () -> ignore (P2.create 1.0))
 
+(* Regression: before five observations the estimate must use the
+   nearest-rank quantile of the sorted sample, not a truncated index. *)
+let p2_small_sample_nearest_rank () =
+  let estimate_of q xs =
+    let p = P2.create q in
+    List.iter (P2.add p) xs;
+    P2.estimate p
+  in
+  check_float "single observation, extreme q" 42.0 (estimate_of 0.99 [ 42.0 ]);
+  check_float "single observation, low q" 42.0 (estimate_of 0.01 [ 42.0 ]);
+  (* n=2: rank ceil(0.5*2)=1 -> the lower value *)
+  check_float "median of two is the lower" 1.0 (estimate_of 0.5 [ 2.0; 1.0 ]);
+  check_float "p90 of two is the upper" 2.0 (estimate_of 0.9 [ 2.0; 1.0 ]);
+  (* n=4: rank ceil(0.1*4)=1 -> minimum; ceil(0.9*4)=4 -> maximum *)
+  check_float "p10 of four" 3.0 (estimate_of 0.1 [ 5.0; 4.0; 6.0; 3.0 ]);
+  check_float "p90 of four" 6.0 (estimate_of 0.9 [ 5.0; 4.0; 6.0; 3.0 ]);
+  check_float "median of four" 4.0 (estimate_of 0.5 [ 5.0; 4.0; 6.0; 3.0 ])
+
 let student_t_table () =
   check_float ~eps:1e-9 "df=9, 95%" 2.262 (Student_t.critical ~df:9 ~confidence:0.95);
   check_float ~eps:1e-9 "df=1, 99%" 63.657 (Student_t.critical ~df:1 ~confidence:0.99);
@@ -233,6 +251,23 @@ let confidence_coverage () =
     (Printf.sprintf "coverage %.3f within [0.90, 0.99]" coverage)
     true
     (0.90 <= coverage && coverage <= 0.99)
+
+(* Regression: a nan half-width (single replication, or batch-means
+   fairness) must render as a bare mean, never as "m ± nan". *)
+let confidence_pp_nan () =
+  let render i = Format.asprintf "%a" Confidence.pp i in
+  let nan_interval =
+    { Confidence.mean = 1.5; half_width = Float.nan; confidence = 0.95;
+      replications = 1 }
+  in
+  Alcotest.(check string) "nan half-width omits the ± term" "1.5"
+    (render nan_interval);
+  let normal =
+    { Confidence.mean = 1.5; half_width = 0.25; confidence = 0.95;
+      replications = 5 }
+  in
+  Alcotest.(check string) "finite half-width keeps the ± term" "1.5 ± 0.25"
+    (render normal)
 
 let batch_means_basic () =
   let b = Batch_means.create ~batch_size:3 in
@@ -309,6 +344,8 @@ let suite =
     slow_test "p2: median of uniform" p2_uniform_median;
     slow_test "p2: p99 of exponential" p2_exponential_p99;
     test "p2: empty and invalid q" p2_empty_nan;
+    test "p2: nearest-rank for small samples" p2_small_sample_nearest_rank;
+    test "confidence: nan half-width rendering" confidence_pp_nan;
     test "student-t: table values" student_t_table;
     test "student-t: monotonicity" student_t_monotone;
     test "student-t: df validation" student_t_errors;
