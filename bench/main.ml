@@ -20,7 +20,6 @@ module Core = Statsched_core
 module Cluster = Statsched_cluster
 module Dist = Statsched_dist
 module Des = Statsched_des
-module Q = Statsched_queueing
 module E = Statsched_experiments
 module Rng = Statsched_prng.Rng
 

@@ -216,6 +216,17 @@ let fault_oblivious_t =
           "Do not tell the scheduler about failures (no blacklist / \
            Algorithm 1 re-run on the surviving speed vector).")
 
+let sanitize_t =
+  Arg.(
+    value & flag
+    & info [ "sanitize" ]
+        ~doc:
+          "Enable the runtime invariant sanitizers (clock monotonicity, \
+           event-heap order, job conservation, allocation feasibility).  \
+           Sanitized runs are bit-identical to unsanitized ones; a violated \
+           invariant aborts with a diagnostic.  Also enabled by setting \
+           $(b,STATSCHED_SANITIZE=1) in the environment.")
+
 let fault_plan ~mtbf ~mttr ~on_failure ~oblivious =
   Option.map
     (fun mtbf ->
@@ -288,7 +299,7 @@ let run_cmd =
              and write the time series to $(docv) as CSV.")
   in
   let run speeds rho policy seed scale trace_file probe_file mtbf mttr
-      on_failure oblivious verbose =
+      on_failure oblivious sanitize verbose =
     setup_logging verbose;
     try
       let workload = Cluster.Workload.paper_default ~rho ~speeds in
@@ -302,6 +313,7 @@ let run_cmd =
       let probe = Option.map (fun _ -> Cluster.Probe.create ()) probe_file in
       let result =
         Cluster.Simulation.run
+          ?sanitize:(if sanitize then Some true else None)
           ?on_dispatch:(Option.map Cluster.Trace.on_dispatch trace)
           ?on_completion:(Option.map Cluster.Trace.on_completion trace)
           ?on_tick:(Option.map (fun p -> (10.0, Cluster.Probe.on_tick p)) probe)
@@ -323,14 +335,17 @@ let run_cmd =
       | _ -> ());
       print_result result;
       `Ok ()
-    with Invalid_argument m -> `Error (false, m)
+    with
+    | Invalid_argument m -> `Error (false, m)
+    | Cluster.Sanitize.Violation { invariant; message } ->
+      `Error (false, Printf.sprintf "sanitizer (%s): %s" invariant message)
   in
   let term =
     Term.(
       ret
         (const run $ speeds_t $ rho_t $ scheduler_t $ seed_t $ scale_t $ trace_t
        $ probe_t $ mtbf_t $ mttr_t $ on_failure_t $ fault_oblivious_t
-       $ verbose_t))
+       $ sanitize_t $ verbose_t))
   in
   Cmd.v
     (Cmd.info "run"

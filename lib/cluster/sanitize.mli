@@ -1,0 +1,81 @@
+(** Runtime invariant sanitizers for the cluster simulator.
+
+    Pure observation hooks {!Simulation.run} calls when sanitizing is on
+    (the [~sanitize] argument, [schedsim run --sanitize], or the
+    [STATSCHED_SANITIZE] environment variable).  Checks never draw
+    random numbers, schedule events or otherwise perturb a run, so a
+    sanitized replication is bit-identical to an unsanitized one under
+    the same seed (tested).  A violated invariant raises {!Violation}
+    at the first observation point that sees it.
+
+    Invariants checked:
+    - {b clock monotonicity} — simulated time never moves backwards
+      between observation points;
+    - {b event-heap order} — the future-event list still satisfies its
+      internal heap property ({!Statsched_des.Engine.heap_ordered});
+    - {b job conservation} — arrived = completed + in-system + dropped
+      at every departure and at the end of the run;
+    - {b allocation feasibility} — every allocation the scheduler acts
+      on has [Σ αᵢ = 1] and [αᵢλ < sᵢμ] (Theorem 1's stability
+      condition), checked at computation time. *)
+
+exception
+  Violation of {
+    invariant : string;  (** which checker fired, e.g. ["job-conservation"] *)
+    message : string;  (** human-readable details *)
+  }
+
+val enabled_from_env : unit -> bool
+(** [true] iff [STATSCHED_SANITIZE] is set to something other than [""],
+    ["0"], ["false"], ["no"] or ["off"] (case-insensitive). *)
+
+type t
+(** Mutable counters and the last observed clock for one replication. *)
+
+val create : unit -> t
+
+val check_time : t -> now:float -> unit
+(** Record an observation of the simulation clock.
+
+    @raise Violation if [now] is NaN or precedes the last observation. *)
+
+val check_engine : t -> Statsched_des.Engine.t -> unit
+(** {!check_time} on [Engine.now] plus the event-heap order audit.
+
+    @raise Violation on clock regression or a disordered heap. *)
+
+val on_arrival : t -> unit
+(** Count one job accepted into the system. *)
+
+val on_completion : t -> unit
+(** Count one job departing the system. *)
+
+val on_drop : t -> unit
+(** Count one job lost to a fault (the [Drop] on-failure policy). *)
+
+val check_conservation : t -> in_system:int -> unit
+(** Verify arrived = completed + [in_system] + dropped.
+
+    @raise Violation when the books don't balance (a leaked or
+    double-counted job). *)
+
+val check_allocation :
+  ?label:string ->
+  ?saturation:bool ->
+  rho:float ->
+  speeds:float array ->
+  float array ->
+  unit
+(** [check_allocation ~rho ~speeds alpha] verifies Theorem 1's
+    feasibility conditions for an allocation the scheduler is about to
+    use: every [αᵢ] finite and non-negative, [Σ αᵢ = 1] (within 1e-6),
+    and [αᵢλ < sᵢμ] with [μ = 1], [λ = ρ·Σ sⱼ].  [label] names the
+    computation site in the error message.
+
+    [saturation] (default [true]) controls the [αᵢλ < sᵢμ] clause alone;
+    pass [false] for allocations that are {e deliberately} computed from
+    a mis-estimated load (Figure 6's sensitivity experiments saturate a
+    computer on purpose) while still checking the probability-vector
+    invariants.
+
+    @raise Violation on any infeasibility. *)

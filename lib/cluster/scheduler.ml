@@ -82,8 +82,9 @@ let name = function
       | None -> "LeastLoad"
     in
     if
-      Dist.Distribution.mean detection = 0.0
-      && Dist.Distribution.mean message_delay = 0.0
+      (* Means are non-negative, so <= 0 is the exact-zero test. *)
+      Dist.Distribution.mean detection <= 0.0
+      && Dist.Distribution.mean message_delay <= 0.0
     then base ^ "(instant)"
     else base
   | Sita { small_to; _ } ->

@@ -56,6 +56,10 @@ let make_server ~discipline ~engine ~speed ~on_departure =
   | Fcfs -> Q.Fcfs_server.to_server (Q.Fcfs_server.create ~engine ~speed ~on_departure ())
   | Srpt -> Q.Srpt_server.to_server (Q.Srpt_server.create ~engine ~speed ~on_departure ())
 
+(* Exact comparison of speed vectors (same length by construction);
+   polymorphic [=] on float arrays is banned by schedlint rule R3. *)
+let same_speeds a b = Array.for_all2 Float.equal a b
+
 (* Indices with positive effective speed, in order. *)
 let up_indices eff =
   let up = ref [] in
@@ -64,13 +68,26 @@ let up_indices eff =
   done;
   Array.of_list !up
 
-let run ?on_dispatch ?on_completion ?on_tick cfg =
+let run ?sanitize ?on_dispatch ?on_completion ?on_tick cfg =
   Core.Speeds.validate cfg.speeds;
   if cfg.horizon <= 0.0 then invalid_arg "Simulation.run: horizon <= 0";
   if cfg.warmup < 0.0 || cfg.warmup >= cfg.horizon then
     invalid_arg "Simulation.run: warmup outside [0, horizon)";
   let n = Array.length cfg.speeds in
   let rho = Workload.utilization cfg.workload ~speeds:cfg.speeds in
+  (* Sanitizers observe the run through the hooks below but never draw
+     random numbers or schedule events, so they cannot perturb it. *)
+  let san =
+    let enabled =
+      match sanitize with Some b -> b | None -> Sanitize.enabled_from_env ()
+    in
+    if enabled then Some (Sanitize.create ()) else None
+  in
+  let check_alloc ?saturation ~label ~rho ~speeds alloc =
+    match san with
+    | Some _ -> Sanitize.check_allocation ~label ?saturation ~rho ~speeds alloc
+    | None -> ()
+  in
   (* One base stream per (seed, replication); components get independent
      splits in a fixed documented order: arrivals, sizes, dispatch,
      scheduler ties, detection, message delay, faults.  The fault stream
@@ -109,6 +126,15 @@ let run ?on_dispatch ?on_completion ?on_tick cfg =
     match cfg.scheduler with
     | Scheduler.Static policy ->
       let alloc = Core.Policy.allocation_of policy ~rho cfg.speeds in
+      (* [Optimized_at] deliberately mis-estimates the load (Figure 6);
+         saturating a computer is then the phenomenon under study, not a
+         corrupted allocation. *)
+      let saturation =
+        match policy.Core.Policy.allocation with
+        | Core.Policy.Optimized_at _ -> false
+        | Core.Policy.Weighted | Core.Policy.Optimized -> true
+      in
+      check_alloc ~saturation ~label:"static" ~rho ~speeds:cfg.speeds alloc;
       let base_dispatcher = Core.Policy.dispatcher_of policy ~rng:dispatch_rng alloc in
       let dispatcher = ref base_dispatcher in
       let map = ref None in
@@ -117,7 +143,7 @@ let run ?on_dispatch ?on_completion ?on_tick cfg =
         match !map with None -> i | Some m -> m.(i)
       in
       let on_capacity eff =
-        if eff = cfg.speeds then begin
+        if same_speeds eff cfg.speeds then begin
           dispatcher := base_dispatcher;
           map := None
         end
@@ -130,6 +156,8 @@ let run ?on_dispatch ?on_completion ?on_tick cfg =
           else begin
             let sub = Array.map (fun i -> eff.(i)) up in
             let alloc' = Core.Policy.allocation_of policy ~rho:(scaled_rho sub) sub in
+            check_alloc ~saturation ~label:"static-refit" ~rho:(scaled_rho sub)
+              ~speeds:sub alloc';
             dispatcher := Core.Policy.dispatcher_of policy ~rng:dispatch_rng alloc';
             map := Some up
           end
@@ -145,7 +173,7 @@ let run ?on_dispatch ?on_completion ?on_tick cfg =
         match !map with None -> i | Some m -> m.(i)
       in
       let on_capacity eff =
-        if eff = cfg.speeds then begin
+        if same_speeds eff cfg.speeds then begin
           dispatcher := base_dispatcher;
           map := None
         end
@@ -175,7 +203,7 @@ let run ?on_dispatch ?on_completion ?on_tick cfg =
         match !map with None -> i | Some m -> m.(i)
       in
       let on_capacity eff =
-        if eff = cfg.speeds then begin
+        if same_speeds eff cfg.speeds then begin
           sita := base_sita;
           map := None
         end
@@ -231,6 +259,7 @@ let run ?on_dispatch ?on_completion ?on_tick cfg =
         in
         let rho_hat = min 0.999 (max 1e-6 (rho_hat *. safety *. scale)) in
         let alloc = Core.Allocation.optimized ~rho:rho_hat speeds_vec in
+        check_alloc ~label:"adaptive" ~rho:rho_hat ~speeds:speeds_vec alloc;
         match dispatching with
         | Core.Policy.Random -> Core.Dispatch.random ~rng:dispatch_rng alloc
         | Core.Policy.Round_robin -> Core.Dispatch.round_robin alloc
@@ -280,7 +309,7 @@ let run ?on_dispatch ?on_completion ?on_tick cfg =
           Some full
       in
       let on_capacity eff =
-        (if eff = cfg.speeds then sub_state := None
+        (if same_speeds eff cfg.speeds then sub_state := None
          else begin
            let up = up_indices eff in
            if Array.length up = 0 then sub_state := None
@@ -334,7 +363,17 @@ let run ?on_dispatch ?on_completion ?on_tick cfg =
             if job.Q.Job.arrival >= cfg.warmup then
               completed.(i) <- completed.(i) + 1;
             (match on_completion with Some f -> f job | None -> ());
-            on_job_departure job))
+            on_job_departure job;
+            match san with
+            | Some s ->
+              Sanitize.on_completion s;
+              Sanitize.check_engine s engine;
+              Sanitize.check_conservation s
+                ~in_system:
+                  (Array.fold_left
+                     (fun acc srv -> acc + srv.Q.Server_intf.in_system ())
+                     0 !servers_ref)
+            | None -> ()))
   in
   servers_ref := servers;
   (match on_tick with
@@ -380,7 +419,9 @@ let run ?on_dispatch ?on_completion ?on_tick cfg =
         | Some st -> Core.Least_load.departure_recorded st job.Q.Job.computer
         | None -> ());
         match plan.Fault.on_failure with
-        | Fault.Drop -> if job.Q.Job.arrival >= cfg.warmup then incr lost
+        | Fault.Drop ->
+          (match san with Some s -> Sanitize.on_drop s | None -> ());
+          if job.Q.Job.arrival >= cfg.warmup then incr lost
         | Fault.Requeue ->
           (* Re-dispatched like a fresh arrival (after the blacklist
              update, so it avoids the failed computer) but not counted
@@ -393,12 +434,12 @@ let run ?on_dispatch ?on_completion ?on_tick cfg =
         | Fault.Resume -> ()
       in
       let apply_change i new_rate =
-        if new_rate <> rate.(i) then begin
+        if not (Float.equal new_rate rate.(i)) then begin
           let was_up = rate.(i) > 0.0 in
           flush i;
           rate.(i) <- new_rate;
           servers.(i).Q.Server_intf.set_rate new_rate;
-          let crashed = was_up && new_rate = 0.0 in
+          let crashed = was_up && new_rate <= 0.0 in
           if crashed then incr failures;
           if plan.Fault.reaction = Fault.Blacklist then on_capacity_change (effective ());
           if crashed && plan.Fault.on_failure <> Fault.Resume then
@@ -410,7 +451,7 @@ let run ?on_dispatch ?on_completion ?on_tick cfg =
       in
       let rec remove_first x = function
         | [] -> []
-        | y :: rest -> if y = x then rest else y :: remove_first x rest
+        | y :: rest -> if Float.equal y x then rest else y :: remove_first x rest
       in
       List.iter
         (fun (p : Fault.process) ->
@@ -483,10 +524,22 @@ let run ?on_dispatch ?on_completion ?on_tick cfg =
            if now >= cfg.warmup then dispatched.(target) <- dispatched.(target) + 1;
            (match on_dispatch with Some f -> f job | None -> ());
            servers.(target).Q.Server_intf.submit job;
+           (match san with
+           | Some s ->
+             Sanitize.on_arrival s;
+             Sanitize.check_engine s engine
+           | None -> ());
            schedule_next_arrival ()))
   in
   schedule_next_arrival ();
   Engine.run ~until:cfg.horizon engine;
+  (match san with
+  | Some s ->
+    Sanitize.check_time s ~now:(Engine.now engine);
+    Sanitize.check_conservation s
+      ~in_system:
+        (Array.fold_left (fun acc srv -> acc + srv.Q.Server_intf.in_system ()) 0 servers)
+  | None -> ());
 
   if Collector.jobs_measured collector = 0 then
     invalid_arg "Simulation.run: no job completed within the horizon";

@@ -84,6 +84,7 @@ type result = {
 }
 
 val run :
+  ?sanitize:bool ->
   ?on_dispatch:(Statsched_queueing.Job.t -> unit) ->
   ?on_completion:(Statsched_queueing.Job.t -> unit) ->
   ?on_tick:float * (time:float -> queues:int array -> unit) ->
@@ -97,6 +98,13 @@ val run :
     the instantaneous per-computer run-queue lengths — {!Probe} plugs in
     here.
 
+    [sanitize] turns on the runtime invariant checkers of {!Sanitize}
+    (clock monotonicity, event-heap order, job conservation, allocation
+    feasibility); it defaults to {!Sanitize.enabled_from_env}, i.e. the
+    [STATSCHED_SANITIZE] environment variable.  Sanitized runs are
+    bit-identical to unsanitized ones under the same seed.
+
     @raise Invalid_argument on an infeasible configuration (e.g. offered
     utilisation ≥ 1 with an optimized allocation, no jobs completing
-    within the horizon). *)
+    within the horizon).
+    @raise Sanitize.Violation when sanitizing and an invariant breaks. *)

@@ -40,8 +40,8 @@ let poisson_exponential ~rho ~mean_size ~speeds =
     ()
 
 let interarrival_of_cv ~mean_ia ~cv =
-  if cv > 1.0 then Dist.Hyperexponential.fit_cv ~mean:mean_ia ~cv
-  else if cv = 1.0 then Dist.Exponential.of_mean mean_ia
+  (* [fit_cv] returns the plain exponential at cv = 1 exactly. *)
+  if cv >= 1.0 then Dist.Hyperexponential.fit_cv ~mean:mean_ia ~cv
   else Dist.Erlang.of_mean_cv ~mean:mean_ia ~cv
 
 let with_size ~rho ?(arrival_cv = 3.0) ~size speeds =

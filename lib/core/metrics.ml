@@ -29,7 +29,7 @@ let jain_index xs =
       sum := !sum +. x;
       sumsq := !sumsq +. (x *. x))
     xs;
-  if !sumsq = 0.0 then nan else !sum *. !sum /. (float_of_int n *. !sumsq)
+  if !sumsq <= 0.0 then nan else !sum *. !sum /. (float_of_int n *. !sumsq)
 
 let deviation ~expected ~counts =
   if Array.length expected <> Array.length counts then

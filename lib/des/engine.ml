@@ -49,6 +49,12 @@ let run ?until e =
 
 let events_executed e = e.executed
 
+let heap_ordered e = Event_queue.heap_ordered e.queue
+
+module Testing = struct
+  let corrupt_heap e = Event_queue.Testing.corrupt e.queue
+end
+
 let every e ~period f =
   if period <= 0.0 then invalid_arg "Engine.every: period <= 0";
   let rec tick () =

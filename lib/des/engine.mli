@@ -47,6 +47,18 @@ val run : ?until:float -> t -> unit
 val events_executed : t -> int
 (** Total callbacks fired since creation (instrumentation). *)
 
+val heap_ordered : t -> bool
+(** Audit the future-event list's heap property; see
+    {!Event_queue.heap_ordered}.  O(pending events). *)
+
+(**/**)
+
+module Testing : sig
+  val corrupt_heap : t -> unit
+  (** Test-only: corrupt the future-event list so {!heap_ordered} turns
+      false; see {!Event_queue.Testing.corrupt}. *)
+end
+
 val every : t -> period:float -> (t -> unit) -> unit
 (** [every e ~period f] fires [f] at [now + period], [now + 2·period], …
     for as long as the engine runs (each firing schedules the next).

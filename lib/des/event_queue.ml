@@ -151,6 +151,22 @@ let rec peek_time q =
     end
   end
 
+(* Audit the heap property over every stored entry (live or lazily
+   cancelled): each parent must precede its children.  O(n); meant for
+   sanitizers and tests, not the hot path. *)
+let heap_ordered q =
+  let ok = ref true in
+  for i = 1 to q.len - 1 do
+    if precedes q.heap.(i) q.heap.((i - 1) / 2) then ok := false
+  done;
+  !ok
+
+module Testing = struct
+  let corrupt q =
+    if q.len >= 2 then
+      q.heap.(0) <- { (q.heap.(0)) with time = q.heap.(q.len - 1).time +. 1.0 }
+end
+
 let clear q =
   (* Release the backing array outright: truncating [len] alone kept
      every queued entry — and payload — reachable for the queue's

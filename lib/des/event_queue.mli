@@ -40,3 +40,18 @@ val pop : 'a t -> (float * 'a) option
 val clear : 'a t -> unit
 (** Drop all events and release the backing storage, so queued payloads
     become collectable immediately. *)
+
+val heap_ordered : 'a t -> bool
+(** Audit the internal heap property (every parent precedes its
+    children).  Always [true] unless the queue's internals have been
+    corrupted; O(n), intended for runtime sanitizers and tests. *)
+
+(**/**)
+
+module Testing : sig
+  val corrupt : 'a t -> unit
+  (** Deliberately break the heap order of a queue holding at least two
+      entries (moves the root after the last entry, bypassing sifting).
+      Exists only so tests can prove {!heap_ordered} and the sanitizers
+      actually fire; never call it elsewhere. *)
+end

@@ -57,9 +57,11 @@ let branch_params ~mean ~cv =
   ((p1, r1), (p2, r2))
 
 let fit_cv ~mean ~cv =
-  if cv = 1.0 then Exponential.of_mean mean
-  else begin
+  if cv > 1.0 then begin
     let (p1, r1), (p2, r2) = branch_params ~mean ~cv in
     let d = create ~probs:[| p1; p2 |] ~rates:[| r1; r2 |] in
     { d with Distribution.name = Printf.sprintf "H2(mean=%g,cv=%g)" mean cv }
   end
+  else if cv < 1.0 then invalid_arg "Hyperexponential.fit_cv: cv < 1"
+  else (* cv exactly 1: the H2 degenerates to the exponential *)
+    Exponential.of_mean mean

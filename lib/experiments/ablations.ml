@@ -47,7 +47,9 @@ let end_to_end ?seed ~scale () =
   let workload = Cluster.Workload.paper_default ~rho:0.7 ~speeds in
   let schedulers =
     Schedulers.dispatch_ablations
-    @ List.tl Schedulers.allocation_ablations (* skip the duplicate ORR *)
+    @ (match Schedulers.allocation_ablations with
+      | _orr :: rest -> rest (* skip the duplicate ORR *)
+      | [] -> [])
     @ [
         ("LeastLoad", Cluster.Scheduler.least_load_paper);
         ("LeastLoad(instant)", Cluster.Scheduler.least_load_instant);

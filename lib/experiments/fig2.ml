@@ -17,10 +17,8 @@ let run_dispatcher ?(seed = Config.default_seed) ?(n_intervals = 30)
     ?(interval_length = 120.0) ?(mean_interarrival = 2.2) ?(arrival_cv = 3.0)
     dispatcher =
   let arrivals_rng = Rng.create ~seed () in
-  let interarrival =
-    if arrival_cv = 1.0 then Dist.Exponential.of_mean mean_interarrival
-    else Dist.Hyperexponential.fit_cv ~mean:mean_interarrival ~cv:arrival_cv
-  in
+  (* [fit_cv] returns the plain exponential at cv = 1 exactly. *)
+  let interarrival = Dist.Hyperexponential.fit_cv ~mean:mean_interarrival ~cv:arrival_cv in
   let stats =
     Cluster.Interval_stats.create
       ~expected:(Core.Dispatch.fractions dispatcher)

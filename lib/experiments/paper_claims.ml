@@ -38,11 +38,14 @@ let reduction ~better ~worse = 100.0 *. (1.0 -. (better /. worse))
 
 (* Find the row of a sweep whose x is closest to [x]. *)
 let row_near rows x =
-  let best = ref (List.hd rows) in
-  List.iter
-    (fun (x', _ as row) -> if abs_float (x' -. x) < abs_float (fst !best -. x) then best := row)
-    rows;
-  snd !best
+  match rows with
+  | [] -> invalid_arg "Paper_claims.row_near: empty sweep"
+  | first :: rest ->
+    let best = ref first in
+    List.iter
+      (fun (x', _ as row) -> if abs_float (x' -. x) < abs_float (fst !best -. x) then best := row)
+      rest;
+    snd !best
 
 let evaluate inputs =
   let claims = ref [] in

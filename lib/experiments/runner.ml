@@ -138,9 +138,13 @@ let compare_paired ?seed ~scale ~a ~b ~speeds ~workload () =
     /. float_of_int (List.length rs)
   in
   let interval = Stats.Confidence.of_samples diffs in
+  let label_of = function
+    | r :: _ -> r.Cluster.Simulation.scheduler_name
+    | [] -> invalid_arg "Runner.compare_schedulers: no replications"
+  in
   {
-    label_a = (List.hd ra).Cluster.Simulation.scheduler_name;
-    label_b = (List.hd rb).Cluster.Simulation.scheduler_name;
+    label_a = label_of ra;
+    label_b = label_of rb;
     ratio_diff = interval;
     relative_improvement = 1.0 -. (mean_of ra /. mean_of rb);
     significant =

@@ -1,0 +1,125 @@
+schedlint enforces the repo's determinism & correctness rules (R1-R5) with
+file:line:col diagnostics and exit code 1.  One fixture per rule, plus the
+escape-hatch comment and the path scoping.
+
+R1: Stdlib.Random is banned outside lib/prng/ (determinism):
+
+  $ mkdir -p lib/prng bin
+  $ cat > lib/r1.ml <<'EOF'
+  > let roll () = Random.int 6
+  > let seed () = Random.self_init ()
+  > let qualified () = Stdlib.Random.float 1.0
+  > EOF
+  $ schedlint lib/r1.ml
+  lib/r1.ml:1:15: [R1] Stdlib.Random is non-deterministic here; draw from Statsched_prng.Rng
+  lib/r1.ml:2:15: [R1] Stdlib.Random is non-deterministic here; draw from Statsched_prng.Rng
+  lib/r1.ml:3:20: [R1] Stdlib.Random is non-deterministic here; draw from Statsched_prng.Rng
+  schedlint: 3 violations in 1 file scanned
+  [1]
+
+...but allowed inside lib/prng/ (the seeded RNG layer itself):
+
+  $ cp lib/r1.ml lib/prng/r1.ml
+  $ schedlint lib/prng/r1.ml
+
+R2: wall-clock reads are banned (simulated time comes from the engine):
+
+  $ cat > bin/r2.ml <<'EOF'
+  > let now () = Unix.gettimeofday ()
+  > let t0 = Unix.time
+  > let cpu () = Sys.time ()
+  > EOF
+  $ schedlint bin/r2.ml
+  bin/r2.ml:1:14: [R2] Unix.gettimeofday reads the wall clock; simulated time comes from Engine.now
+  bin/r2.ml:2:10: [R2] Unix.time reads the wall clock; simulated time comes from Engine.now
+  bin/r2.ml:3:14: [R2] Sys.time reads the wall clock; simulated time comes from Engine.now
+  schedlint: 3 violations in 1 file scanned
+  [1]
+
+R3: no polymorphic equality on floats, no physical equality at all:
+
+  $ cat > lib/r3.ml <<'EOF'
+  > let is_zero x = x = 0.0
+  > let not_one x = x <> 1.0
+  > let annotated (x : float) y = (x : float) = y
+  > let physical a b = a == b || a != b
+  > let fine x = x < 0.5 && Float.equal x x
+  > EOF
+  $ schedlint lib/r3.ml
+  lib/r3.ml:1:17: [R3] polymorphic = on a float; compare with a tolerance or Float.equal
+  lib/r3.ml:2:17: [R3] polymorphic <> on a float; compare with a tolerance or Float.equal
+  lib/r3.ml:3:31: [R3] polymorphic = on a float; compare with a tolerance or Float.equal
+  lib/r3.ml:4:22: [R3] physical equality (==) outside physical-identity idioms
+  lib/r3.ml:4:32: [R3] physical equality (!=) outside physical-identity idioms
+  schedlint: 5 violations in 1 file scanned
+  [1]
+
+R4: partial functions are banned in lib/ (but tolerated in bin/):
+
+  $ cat > lib/r4.ml <<'EOF'
+  > let first xs = List.hd xs
+  > let rest xs = List.tl xs
+  > let force o = Option.get o
+  > let cast x = Obj.magic x
+  > EOF
+  $ schedlint lib/r4.ml
+  lib/r4.ml:1:16: [R4] List.hd is partial; match explicitly or keep the invariant in the type
+  lib/r4.ml:2:15: [R4] List.tl is partial; match explicitly or keep the invariant in the type
+  lib/r4.ml:3:15: [R4] Option.get is partial; match explicitly or keep the invariant in the type
+  lib/r4.ml:4:14: [R4] Obj.magic is partial; match explicitly or keep the invariant in the type
+  schedlint: 4 violations in 1 file scanned
+  [1]
+  $ cp lib/r4.ml bin/r4.ml
+  $ schedlint bin/r4.ml
+
+R5: no top-level mutable state in lib/ (locals and record fields are fine):
+
+  $ cat > lib/r5.ml <<'EOF'
+  > let counter = ref 0
+  > let cache = Hashtbl.create 16
+  > module Nested = struct
+  >   let hidden = ref []
+  > end
+  > let local () = let r = ref 0 in incr r; !r
+  > EOF
+  $ schedlint lib/r5.ml
+  lib/r5.ml:1:1: [R5] top-level mutable state (ref) in lib/; thread state through a record
+  lib/r5.ml:2:1: [R5] top-level mutable state (Hashtbl) in lib/; thread state through a record
+  lib/r5.ml:4:3: [R5] top-level mutable state (ref) in lib/; thread state through a record
+  schedlint: 3 violations in 1 file scanned
+  [1]
+
+The escape hatch suppresses a named rule on the same line or the line
+below the comment; other rules still fire:
+
+  $ cat > lib/allow.ml <<'EOF'
+  > let memo = Hashtbl.create 16 (* schedlint: allow R5 *)
+  > (* schedlint: allow R3 *)
+  > let is_zero x = x = 0.0
+  > let still_bad x = x = 1.0
+  > EOF
+  $ schedlint lib/allow.ml
+  lib/allow.ml:4:19: [R3] polymorphic = on a float; compare with a tolerance or Float.equal
+  schedlint: 1 violation in 1 file scanned
+  [1]
+
+Directories are scanned recursively; a clean tree exits 0:
+
+  $ cat > lib/clean.ml <<'EOF'
+  > let near_zero x = abs_float x < 1e-9
+  > let first = function [] -> None | x :: _ -> Some x
+  > EOF
+  $ rm lib/r1.ml lib/r3.ml lib/r4.ml lib/r5.ml lib/allow.ml bin/r2.ml bin/r4.ml
+  $ schedlint lib bin
+
+Unparseable input is a distinct failure (exit 2):
+
+  $ echo 'let let let' > lib/broken.ml
+  $ schedlint lib/broken.ml 2>/dev/null
+  [2]
+
+Missing roots are reported:
+
+  $ schedlint no/such/dir
+  schedlint: no such file or directory: no/such/dir
+  [2]

@@ -17,5 +17,6 @@ let () =
       ("alloc-table", Test_alloc_table.suite);
       ("sita", Test_sita.suite);
       ("faults", Test_faults.suite);
+      ("sanitize", Test_sanitize.suite);
       ("more", Test_more.suite);
     ]

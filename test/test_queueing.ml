@@ -283,12 +283,14 @@ let suite =
     slow_test "rr: converges to ps as quantum -> 0" rr_converges_to_ps;
     test "rr: work conservation" rr_work_conservation;
     test "server interface coercion" server_intf_coercion;
-    slow_test "m/m/1-ps matches theory"
-      (mm1_ps_theory ~size_dist:(Statsched_dist.Exponential.of_mean 2.0));
-    slow_test "m/g/1-ps insensitivity (erlang sizes)"
-      (mm1_ps_theory ~size_dist:(Statsched_dist.Erlang.create ~k:3 ~rate:1.5));
-    slow_test "m/g/1-ps insensitivity (hyperexponential sizes)"
-      (mm1_ps_theory ~size_dist:(Statsched_dist.Hyperexponential.fit_cv ~mean:2.0 ~cv:2.5));
+    slow_test "m/m/1-ps matches theory" (fun () ->
+        mm1_ps_theory ~size_dist:(Statsched_dist.Exponential.of_mean 2.0) ());
+    slow_test "m/g/1-ps insensitivity (erlang sizes)" (fun () ->
+        mm1_ps_theory ~size_dist:(Statsched_dist.Erlang.create ~k:3 ~rate:1.5) ());
+    slow_test "m/g/1-ps insensitivity (hyperexponential sizes)" (fun () ->
+        mm1_ps_theory
+          ~size_dist:(Statsched_dist.Hyperexponential.fit_cv ~mean:2.0 ~cv:2.5)
+          ());
   ]
 
 (* ------------------------------------------------------------------ *)
