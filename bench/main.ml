@@ -12,7 +12,9 @@
       QUICK=1 for a smoke run, FULL=1 for the paper's exact methodology
       (4e6 simulated seconds x 10 replications per point; slow).
 
-   Usage: main.exe [micro|figures|ablations|extensions|all]   (default: all) *)
+   Usage: main.exe [micro|macro|figures|ablations|extensions|all]
+   (default: all).  micro/macro write BENCH_<BENCH_REV>.json; "macro"
+   alone runs just the whole-run DES-throughput measurement. *)
 
 open Bechamel
 open Toolkit
@@ -139,10 +141,12 @@ let micro_tests =
   ]
 
 (* Machine-readable results: BENCH_<rev>.json, one object per micro test
-   with the OLS ns/run estimate.  The revision label comes from BENCH_REV
-   (e.g. a commit hash set by CI) and defaults to "dev", so successive
-   runs can be diffed or tracked without scraping the human output. *)
-let write_micro_json results =
+   with the OLS ns/run estimate, plus a "macros" section of whole-run
+   measurements (DES events per wall-clock second and friends).  The
+   revision label comes from BENCH_REV (e.g. a commit hash set by CI) and
+   defaults to "dev", so successive runs can be diffed or tracked without
+   scraping the human output. *)
+let write_bench_json ~micro ~macros =
   let rev = Option.value ~default:"dev" (Sys.getenv_opt "BENCH_REV") in
   let path = Printf.sprintf "BENCH_%s.json" rev in
   let json_string s =
@@ -172,10 +176,46 @@ let write_micro_json results =
             (match r2 with
             | Some r -> Printf.sprintf ", \"r_square\": %.6f" r
             | None -> "")
-            (if i = List.length results - 1 then "" else ","))
-        (List.rev results);
+            (if i = List.length micro - 1 then "" else ","))
+        (List.rev micro);
+      output_string oc "  ],\n  \"macros\": [\n";
+      List.iteri
+        (fun i (name, value) ->
+          Printf.fprintf oc "    {\"name\": %s, \"value\": %.3f}%s\n"
+            (json_string name) value
+            (if i = List.length macros - 1 then "" else ","))
+        macros;
       output_string oc "  ]\n}\n");
-  Printf.printf "wrote %s (%d tests)\n%!" path (List.length results)
+  Printf.printf "wrote %s (%d micro, %d macro)\n%!" path (List.length micro)
+    (List.length macros)
+
+(* Macro benchmark: one seeded quick-scale run of the Table 3 cluster
+   under ORR, reporting the engine's wall-clock throughput from the new
+   self-profiling counters.  The workload is fixed, so des_events_per_sec
+   tracks simulator speed across revisions. *)
+let run_macro () =
+  E.Report.print_section "Macro benchmark: DES engine throughput";
+  let speeds = Core.Speeds.table3 in
+  let workload = Cluster.Workload.paper_default ~rho:0.7 ~speeds in
+  let cfg =
+    Cluster.Simulation.default_config ~horizon:2.0e5 ~warmup:5.0e4 ~seed:42L
+      ~speeds ~workload ~scheduler:(Cluster.Scheduler.static Core.Policy.orr) ()
+  in
+  let start = Statsched_obs.Clock.now () in
+  let result = Cluster.Simulation.run cfg in
+  let wall = Statsched_obs.Clock.elapsed ~since:start in
+  let events = float_of_int result.Cluster.Simulation.events_executed in
+  let per_sec = if wall > 0.0 then events /. wall else 0.0 in
+  Printf.printf
+    "%d events in %.3f s wall = %.0f events/s (heap high-water %d)\n%!"
+    result.Cluster.Simulation.events_executed wall per_sec
+    result.Cluster.Simulation.heap_high_water;
+  [
+    ("des_events_per_sec", per_sec);
+    ("des_events_total", events);
+    ("des_heap_high_water", float_of_int result.Cluster.Simulation.heap_high_water);
+    ("macro_wall_seconds", wall);
+  ]
 
 let run_micro () =
   E.Report.print_section "Bechamel micro-benchmarks";
@@ -202,7 +242,7 @@ let run_micro () =
           | _ -> Printf.printf "%-55s (no estimate)\n%!" name)
         analysed)
     micro_tests;
-  write_micro_json !collected
+  !collected
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: table and figure reproduction                               *)
@@ -406,9 +446,12 @@ let () =
   Printf.printf "statsched bench harness — scale: %s (horizon %g s, %d replications)\n"
     (E.Config.scale_name scale) scale.E.Config.horizon scale.E.Config.reps;
   let do_micro = mode = "all" || mode = "micro" in
+  let do_macro = mode = "all" || mode = "micro" || mode = "macro" in
   let do_figures = mode = "all" || mode = "figures" in
   let do_ablations = mode = "all" || mode = "ablations" in
-  if do_micro then run_micro ();
+  let micro = if do_micro then run_micro () else [] in
+  let macros = if do_macro then run_macro () else [] in
+  if do_micro || do_macro then write_bench_json ~micro ~macros;
   if do_figures then begin
     print_table2 ();
     print_table3 ();

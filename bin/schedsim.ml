@@ -298,8 +298,37 @@ let run_cmd =
             "Sample every computer's queue length each 10 simulated seconds \
              and write the time series to $(docv) as CSV.")
   in
-  let run speeds rho policy seed scale trace_file probe_file mtbf mttr
-      on_failure oblivious sanitize verbose =
+  let metrics_out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Write end-of-run metrics (per-computer utilisation and dispatch \
+             drift, response-time/-ratio histograms, fault accounting, DES \
+             self-profiling) to $(docv) in the Prometheus text exposition \
+             format.")
+  in
+  let trace_out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write per-job spans and computer up/down intervals to $(docv) \
+             as Chrome trace-event JSON (open in ui.perfetto.dev).")
+  in
+  let stats_interval_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "stats-interval" ] ~docv:"SECONDS"
+          ~doc:
+            "Print a progress line to stderr every $(docv) simulated seconds \
+             (sim-time, arrivals, completions, events, wall-clock events/s).")
+  in
+  let run speeds rho policy seed scale trace_file probe_file metrics_out
+      trace_out stats_interval mtbf mttr on_failure oblivious sanitize verbose =
     setup_logging verbose;
     try
       let workload = Cluster.Workload.paper_default ~rho ~speeds in
@@ -311,13 +340,59 @@ let run_cmd =
       in
       let trace = Option.map (fun _ -> Cluster.Trace.create ()) trace_file in
       let probe = Option.map (fun _ -> Cluster.Probe.create ()) probe_file in
+      let telemetry =
+        match (metrics_out, trace_out) with
+        | None, None -> None
+        | _ -> Some (Cluster.Telemetry.create ~trace:(trace_out <> None) cfg)
+      in
+      (* Run both observers when a CSV trace and telemetry are requested
+         together; neither perturbs the simulation. *)
+      let chain f g =
+        match (f, g) with
+        | None, h | h, None -> h
+        | Some f, Some g -> Some (fun job -> f job; g job)
+      in
+      let wall_start = Statsched_obs.Clock.now () in
+      let progress =
+        Option.map
+          (fun period ->
+            ( period,
+              fun (p : Cluster.Simulation.progress) ->
+                let wall = Statsched_obs.Clock.elapsed ~since:wall_start in
+                let rate =
+                  if wall > 0.0 then float_of_int p.Cluster.Simulation.events /. wall
+                  else 0.0
+                in
+                Printf.eprintf
+                  "progress: t=%.0f arrivals=%d completions=%d events=%d \
+                   (%.0f events/s wall)\n\
+                   %!"
+                  p.Cluster.Simulation.sim_time p.Cluster.Simulation.arrivals
+                  p.Cluster.Simulation.completions p.Cluster.Simulation.events
+                  rate ))
+          stats_interval
+      in
       let result =
         Cluster.Simulation.run
           ?sanitize:(if sanitize then Some true else None)
-          ?on_dispatch:(Option.map Cluster.Trace.on_dispatch trace)
-          ?on_completion:(Option.map Cluster.Trace.on_completion trace)
+          ?on_dispatch:
+            (chain
+               (Option.map Cluster.Trace.on_dispatch trace)
+               (Option.map (fun t job -> Cluster.Telemetry.on_dispatch t job) telemetry))
+          ?on_completion:
+            (chain
+               (Option.map Cluster.Trace.on_completion trace)
+               (Option.map
+                  (fun t job -> Cluster.Telemetry.on_completion t job)
+                  telemetry))
           ?on_tick:(Option.map (fun p -> (10.0, Cluster.Probe.on_tick p)) probe)
-          cfg
+          ?on_drop:(Option.map (fun t job -> Cluster.Telemetry.on_drop t job) telemetry)
+          ?on_rate_change:
+            (Option.map
+               (fun t ~time ~computer ~rate ->
+                 Cluster.Telemetry.on_rate_change t ~time ~computer ~rate)
+               telemetry)
+          ?on_progress:progress cfg
       in
       (match (trace, trace_file) with
       | Some t, Some path ->
@@ -333,6 +408,22 @@ let run_cmd =
         Printf.printf "probe: %d samples (peak queue %d) -> %s\n"
           (Cluster.Probe.sample_count p) (Cluster.Probe.peak p) path
       | _ -> ());
+      (match telemetry with
+      | None -> ()
+      | Some t ->
+        Cluster.Telemetry.finalize t result;
+        (match metrics_out with
+        | Some path ->
+          Cluster.Telemetry.write_metrics t path;
+          Printf.printf "metrics: %d series -> %s\n"
+            (Cluster.Telemetry.metric_count t) path
+        | None -> ());
+        match trace_out with
+        | Some path ->
+          Cluster.Telemetry.write_trace t path;
+          Printf.printf "trace-events: %d -> %s\n"
+            (Cluster.Telemetry.trace_event_count t) path
+        | None -> ());
       print_result result;
       `Ok ()
     with
@@ -344,8 +435,8 @@ let run_cmd =
     Term.(
       ret
         (const run $ speeds_t $ rho_t $ scheduler_t $ seed_t $ scale_t $ trace_t
-       $ probe_t $ mtbf_t $ mttr_t $ on_failure_t $ fault_oblivious_t
-       $ sanitize_t $ verbose_t))
+       $ probe_t $ metrics_out_t $ trace_out_t $ stats_interval_t $ mtbf_t
+       $ mttr_t $ on_failure_t $ fault_oblivious_t $ sanitize_t $ verbose_t))
   in
   Cmd.v
     (Cmd.info "run"

@@ -3,8 +3,9 @@
     Accumulates the paper's three job metrics over completions whose
     arrival falls inside the measurement window (jobs arriving during
     warm-up are excluded even if they complete later, matching
-    Section 4.1), entirely in O(1) space via {!Statsched_stats.Welford}
-    and {!Statsched_stats.P2_quantile}. *)
+    Section 4.1), in O(1) space via {!Statsched_stats.Welford} and
+    {!Statsched_stats.P2_quantile}, plus bounded-size
+    {!Statsched_obs.Hdr_histogram} tail distributions. *)
 
 type t
 
@@ -17,12 +18,18 @@ val on_departure : t -> Statsched_queueing.Job.t -> unit
 val jobs_measured : t -> int
 
 val metrics :
-  ?availability:float -> ?goodput:float -> ?lost_jobs:int -> t -> Statsched_core.Metrics.t
+  ?availability:float ->
+  ?goodput:float ->
+  ?lost_jobs:int ->
+  t ->
+  (Statsched_core.Metrics.t, [ `No_jobs_measured ]) result
 (** Snapshot of the accumulated metrics.  The reliability fields default
     to a fault-free run ([availability = 1], [lost_jobs = 0], goodput
     unknown); {!Simulation} overrides them from its fault bookkeeping.
 
-    @raise Invalid_argument if no job has been measured. *)
+    Returns [Error `No_jobs_measured] when no completion fell inside the
+    measurement window (e.g. the warm-up swallowed the whole horizon) —
+    callers should surface a clear message rather than divide by zero. *)
 
 val response_time_stats : t -> Statsched_stats.Welford.t
 val response_ratio_stats : t -> Statsched_stats.Welford.t
@@ -32,3 +39,9 @@ val median_ratio : t -> float
 
 val p99_ratio : t -> float
 (** P² estimate of the 99th-percentile response ratio. *)
+
+val response_time_histogram : t -> Statsched_obs.Hdr_histogram.t
+(** Log-linear histogram of measured response times (seconds). *)
+
+val response_ratio_histogram : t -> Statsched_obs.Hdr_histogram.t
+(** Log-linear histogram of measured response ratios. *)

@@ -31,7 +31,11 @@ val peak : t -> int
 (** Largest single-computer queue length observed. *)
 
 val mean_queue : t -> int -> float
-(** Time-average (over samples) queue length of computer [i]. *)
+(** Sample average of computer [i]'s queue length — the unweighted mean
+    over the sampling instants, {e not} a time-weighted average.  With
+    the fixed cadence the two coincide only in the limit of dense
+    sampling; for the true time average use
+    {!Simulation.per_computer.mean_jobs}. *)
 
 val write_csv : t -> string -> unit
 (** Header [time,c0,c1,…]; one line per sample. *)

@@ -45,7 +45,16 @@ type result = {
   offered_utilization : float;
   total_arrivals : int;
   events_executed : int;
+  heap_high_water : int;
   fault_summary : Fault.summary option;
+}
+
+type progress = {
+  sim_time : float;
+  arrivals : int;
+  completions : int;
+  measured : int;
+  events : int;
 }
 
 let make_server ~discipline ~engine ~speed ~on_departure =
@@ -68,7 +77,8 @@ let up_indices eff =
   done;
   Array.of_list !up
 
-let run ?sanitize ?on_dispatch ?on_completion ?on_tick cfg =
+let run ?sanitize ?on_dispatch ?on_completion ?on_tick ?on_drop ?on_rate_change
+    ?on_progress cfg =
   Core.Speeds.validate cfg.speeds;
   if cfg.horizon <= 0.0 then invalid_arg "Simulation.run: horizon <= 0";
   if cfg.warmup < 0.0 || cfg.warmup >= cfg.horizon then
@@ -107,6 +117,7 @@ let run ?sanitize ?on_dispatch ?on_completion ?on_tick cfg =
   let dispatched = Array.make n 0 in
   let completed = Array.make n 0 in
   let total_arrivals = ref 0 in
+  let total_completions = ref 0 in
   let job_counter = ref 0 in
   let total_speed = Core.Speeds.total cfg.speeds in
   (* Renormalised load for a surviving effective-speed sub-vector: the
@@ -359,6 +370,7 @@ let run ?sanitize ?on_dispatch ?on_completion ?on_tick cfg =
     Array.init n (fun i ->
         make_server ~discipline:cfg.discipline ~engine ~speed:cfg.speeds.(i)
           ~on_departure:(fun job ->
+            incr total_completions;
             Collector.on_departure collector job;
             if job.Q.Job.arrival >= cfg.warmup then
               completed.(i) <- completed.(i) + 1;
@@ -385,6 +397,23 @@ let run ?sanitize ?on_dispatch ?on_completion ?on_tick cfg =
           Array.map (fun s -> s.Q.Server_intf.in_system ()) servers
         in
         f ~time:(Engine.now e) ~queues));
+  (* Progress reporting rides the same periodic-event mechanism as
+     [on_tick]: it adds heartbeat events (so [events_executed] grows) but
+     never draws randomness, so metrics and completion order are
+     unchanged. *)
+  (match on_progress with
+  | None -> ()
+  | Some (period, f) ->
+    if period <= 0.0 then invalid_arg "Simulation.run: on_progress period <= 0";
+    Engine.every engine ~period (fun e ->
+        f
+          {
+            sim_time = Engine.now e;
+            arrivals = !total_arrivals;
+            completions = !total_completions;
+            measured = Collector.jobs_measured collector;
+            events = Engine.events_executed e;
+          }));
 
   (* Fault engine: per-computer alternating up/down renewal processes.
      Each (process, target) pair runs its own cycle off the dedicated
@@ -421,6 +450,7 @@ let run ?sanitize ?on_dispatch ?on_completion ?on_tick cfg =
         match plan.Fault.on_failure with
         | Fault.Drop ->
           (match san with Some s -> Sanitize.on_drop s | None -> ());
+          (match on_drop with Some f -> f job | None -> ());
           if job.Q.Job.arrival >= cfg.warmup then incr lost
         | Fault.Requeue ->
           (* Re-dispatched like a fresh arrival (after the blacklist
@@ -439,6 +469,9 @@ let run ?sanitize ?on_dispatch ?on_completion ?on_tick cfg =
           flush i;
           rate.(i) <- new_rate;
           servers.(i).Q.Server_intf.set_rate new_rate;
+          (match on_rate_change with
+          | Some f -> f ~time:(Engine.now engine) ~computer:i ~rate:new_rate
+          | None -> ());
           let crashed = was_up && new_rate <= 0.0 in
           if crashed then incr failures;
           if plan.Fault.reaction = Fault.Blacklist then on_capacity_change (effective ());
@@ -541,8 +574,6 @@ let run ?sanitize ?on_dispatch ?on_completion ?on_tick cfg =
         (Array.fold_left (fun acc srv -> acc + srv.Q.Server_intf.in_system ()) 0 servers)
   | None -> ());
 
-  if Collector.jobs_measured collector = 0 then
-    invalid_arg "Simulation.run: no job completed within the horizon";
   Log.Log.info (fun m ->
       m "%s: %d arrivals, %d measured jobs, %d events in %.0f simulated s"
         (Scheduler.name cfg.scheduler)
@@ -568,9 +599,17 @@ let run ?sanitize ?on_dispatch ?on_completion ?on_tick cfg =
     | None -> (1.0, 0)
     | Some s -> (s.Fault.availability, s.Fault.lost_jobs)
   in
+  let metrics =
+    match Collector.metrics ~availability ~goodput ~lost_jobs collector with
+    | Ok m -> m
+    | Error `No_jobs_measured ->
+      invalid_arg
+        "Simulation.run: no job completed within the measurement window; \
+         lengthen the horizon or shorten the warm-up"
+  in
   {
     scheduler_name = Scheduler.name cfg.scheduler;
-    metrics = Collector.metrics ~availability ~goodput ~lost_jobs collector;
+    metrics;
     median_response_ratio = Collector.median_ratio collector;
     p99_response_ratio = Collector.p99_ratio collector;
     per_computer;
@@ -579,5 +618,6 @@ let run ?sanitize ?on_dispatch ?on_completion ?on_tick cfg =
     offered_utilization = rho;
     total_arrivals = !total_arrivals;
     events_executed = Engine.events_executed engine;
+    heap_high_water = Engine.heap_high_water engine;
     fault_summary;
   }

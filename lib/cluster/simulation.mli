@@ -78,16 +78,31 @@ type result = {
   offered_utilization : float;  (** λ/(μ·Σs) of the workload *)
   total_arrivals : int;  (** arrivals over the whole run, warm-up included *)
   events_executed : int;
+  heap_high_water : int;
+      (** largest number of events simultaneously pending in the engine's
+          future-event list over the run (self-profiling) *)
   fault_summary : Fault.summary option;
       (** reliability accounting over the measurement window; [None] when
           the run had no fault plan (so fault-free output is unchanged) *)
 }
+
+type progress = {
+  sim_time : float;
+  arrivals : int;  (** total arrivals so far, warm-up included *)
+  completions : int;  (** total completions so far, warm-up included *)
+  measured : int;  (** completions inside the measurement window *)
+  events : int;  (** engine events executed so far *)
+}
+(** Snapshot passed to the [on_progress] observer. *)
 
 val run :
   ?sanitize:bool ->
   ?on_dispatch:(Statsched_queueing.Job.t -> unit) ->
   ?on_completion:(Statsched_queueing.Job.t -> unit) ->
   ?on_tick:float * (time:float -> queues:int array -> unit) ->
+  ?on_drop:(Statsched_queueing.Job.t -> unit) ->
+  ?on_rate_change:(time:float -> computer:int -> rate:float -> unit) ->
+  ?on_progress:float * (progress -> unit) ->
   config ->
   result
 (** Execute one replication.  [on_dispatch] observes every dispatch
@@ -98,6 +113,17 @@ val run :
     the instantaneous per-computer run-queue lengths — {!Probe} plugs in
     here.
 
+    [on_drop] observes each in-service job discarded by a [Fault.Drop]
+    failure.  [on_rate_change] observes every effective-rate change a
+    fault plan applies (rate 0 = down, 1 = nominal).  [on_progress
+    (period, f)] calls [f] every [period] simulated seconds with run
+    counters — the CLI's [--stats-interval] heartbeat plugs in here.
+
+    All observers are passive: none draws random numbers, so metrics and
+    completion order are bit-identical with or without them ([on_tick] /
+    [on_progress] do add their own periodic events to the count
+    {!result.events_executed} reports).
+
     [sanitize] turns on the runtime invariant checkers of {!Sanitize}
     (clock monotonicity, event-heap order, job conservation, allocation
     feasibility); it defaults to {!Sanitize.enabled_from_env}, i.e. the
@@ -105,6 +131,6 @@ val run :
     bit-identical to unsanitized ones under the same seed.
 
     @raise Invalid_argument on an infeasible configuration (e.g. offered
-    utilisation ≥ 1 with an optimized allocation, no jobs completing
-    within the horizon).
+    utilisation ≥ 1 with an optimized allocation, or no job completing
+    within the measurement window).
     @raise Sanitize.Violation when sanitizing and an invariant breaks. *)

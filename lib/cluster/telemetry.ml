@@ -1,0 +1,223 @@
+module Job = Statsched_queueing.Job
+module Registry = Statsched_obs.Registry
+module Trace_event = Statsched_obs.Trace_event
+module Hdr = Statsched_obs.Hdr_histogram
+module Clock = Statsched_obs.Clock
+
+(* Trace lane layout: pid 0 holds one thread per computer carrying job
+   spans (ts = arrival, dur = response time); pid 1 mirrors the
+   computers with down/degraded capacity spans and drop markers. *)
+let jobs_pid = 0
+let computers_pid = 1
+
+type t = {
+  config : Simulation.config;
+  registry : Registry.t;
+  tracer : Trace_event.t option;
+  wall_start : float;
+  dispatches : Registry.counter array;
+  completions : Registry.counter array;
+  drops : Registry.counter array;
+  rate_changes : Registry.counter;
+  rt_hist : Registry.histogram;
+  rr_hist : Registry.histogram;
+  (* Current effective rate of each computer and when it last changed;
+     integrates into capacity-weighted down-seconds. *)
+  rate : float array;
+  rate_since : float array;
+  down_seconds : float array;
+}
+
+let per_computer_family registry ~help name n =
+  Array.init n (fun i ->
+      Registry.counter registry ~help ~labels:[ ("computer", string_of_int i) ] name)
+
+let create ?(trace = false) (config : Simulation.config) =
+  let n = Array.length config.Simulation.speeds in
+  let registry = Registry.create () in
+  let tracer =
+    if not trace then None
+    else begin
+      let tr = Trace_event.create () in
+      Trace_event.process_name tr ~pid:jobs_pid "jobs";
+      Trace_event.process_name tr ~pid:computers_pid "computers";
+      Array.iteri
+        (fun i speed ->
+          let label = Printf.sprintf "computer %d (speed %g)" i speed in
+          Trace_event.thread_name tr ~pid:jobs_pid ~tid:i label;
+          Trace_event.thread_name tr ~pid:computers_pid ~tid:i label)
+        config.Simulation.speeds;
+      Some tr
+    end
+  in
+  {
+    config;
+    registry;
+    tracer;
+    wall_start = Clock.now ();
+    dispatches =
+      per_computer_family registry "statsched_jobs_dispatched_total" n
+        ~help:"Jobs the scheduler sent to this computer (warm-up included)";
+    completions =
+      per_computer_family registry "statsched_jobs_completed_total" n
+        ~help:"Jobs that finished on this computer (warm-up included)";
+    drops =
+      per_computer_family registry "statsched_jobs_dropped_total" n
+        ~help:"In-flight jobs lost to a crash of this computer";
+    rate_changes =
+      Registry.counter registry "statsched_fault_rate_changes_total"
+        ~help:"Effective-speed changes applied by the fault plan";
+    (* Same layouts as Collector's tail histograms so either source can
+       be merged into these on export. *)
+    rt_hist =
+      Registry.histogram registry "statsched_response_time_seconds" ~lo:1e-3 ~hi:1e7
+        ~help:"Response time of measured jobs (simulated seconds)";
+    rr_hist =
+      Registry.histogram registry "statsched_response_ratio" ~lo:1e-3 ~hi:1e5
+        ~help:"Response ratio (response time / service demand) of measured jobs";
+    rate = Array.make n 1.0;
+    rate_since = Array.make n 0.0;
+    down_seconds = Array.make n 0.0;
+  }
+
+let registry t = t.registry
+let metric_count t = Registry.metric_count t.registry
+let trace_event_count t =
+  match t.tracer with None -> 0 | Some tr -> Trace_event.event_count tr
+
+let on_dispatch t job =
+  let i = job.Job.computer in
+  if i >= 0 && i < Array.length t.dispatches then Registry.inc t.dispatches.(i)
+
+let on_completion t job =
+  let i = job.Job.computer in
+  if i >= 0 && i < Array.length t.completions then Registry.inc t.completions.(i);
+  let measured = job.Job.arrival >= t.config.Simulation.warmup in
+  if measured then begin
+    Hdr.add t.rt_hist (Job.response_time job);
+    Hdr.add t.rr_hist (Job.response_ratio job)
+  end;
+  match t.tracer with
+  | None -> ()
+  | Some tr ->
+    let rt = Job.response_time job in
+    let wait = if job.Job.start >= 0.0 then job.Job.start -. job.Job.arrival else 0.0 in
+    Trace_event.complete tr ~cat:"job" ~name:"job" ~ts:job.Job.arrival ~dur:rt
+      ~pid:jobs_pid ~tid:i
+      ~args:
+        [
+          ("id", Trace_event.Int job.Job.id);
+          ("size", Trace_event.Num job.Job.size);
+          ("wait", Trace_event.Num wait);
+          ("measured", Trace_event.Str (if measured then "yes" else "no"));
+        ]
+      ()
+
+let on_drop t job =
+  let i = job.Job.computer in
+  if i >= 0 && i < Array.length t.drops then begin
+    Registry.inc t.drops.(i);
+    match t.tracer with
+    | None -> ()
+    | Some tr ->
+      (* A drop is triggered by the rate change being applied right now,
+         so the computer's last-change instant is the current sim time. *)
+      Trace_event.instant tr ~cat:"fault" ~name:"drop" ~ts:t.rate_since.(i)
+        ~pid:computers_pid ~tid:i
+        ~args:[ ("id", Trace_event.Int job.Job.id) ]
+        ()
+  end
+
+(* Close the capacity span that ran at [prev] since [since]. *)
+let close_capacity_span t ~computer ~since ~until ~prev =
+  if prev < 1.0 && until > since then begin
+    t.down_seconds.(computer) <-
+      t.down_seconds.(computer) +. ((until -. since) *. (1.0 -. prev));
+    match t.tracer with
+    | None -> ()
+    | Some tr ->
+      Trace_event.complete tr ~cat:"fault"
+        ~name:(if prev <= 0.0 then "down" else "degraded")
+        ~ts:since ~dur:(until -. since) ~pid:computers_pid ~tid:computer
+        ~args:[ ("rate", Trace_event.Num prev) ]
+        ()
+  end
+
+let on_rate_change t ~time ~computer ~rate =
+  Registry.inc t.rate_changes;
+  close_capacity_span t ~computer ~since:t.rate_since.(computer) ~until:time
+    ~prev:t.rate.(computer);
+  t.rate.(computer) <- rate;
+  t.rate_since.(computer) <- time
+
+let finalize t (result : Simulation.result) =
+  let cfg = t.config in
+  let n = Array.length cfg.Simulation.speeds in
+  let horizon = cfg.Simulation.horizon in
+  Array.iteri
+    (fun i prev ->
+      close_capacity_span t ~computer:i ~since:t.rate_since.(i) ~until:horizon
+        ~prev;
+      t.rate_since.(i) <- horizon)
+    (Array.copy t.rate);
+  let gauge ?labels ~help name v =
+    Registry.set (Registry.gauge t.registry ~help ?labels name) v
+  in
+  let per_computer i = [ ("computer", string_of_int i) ] in
+  let window = horizon -. cfg.Simulation.warmup in
+  for i = 0 to n - 1 do
+    let pc = result.Simulation.per_computer.(i) in
+    gauge ~labels:(per_computer i) "statsched_computer_speed"
+      ~help:"Nominal relative speed" pc.Simulation.speed;
+    gauge ~labels:(per_computer i) "statsched_computer_utilization"
+      ~help:"Busy fraction over the measurement window" pc.Simulation.utilization;
+    gauge ~labels:(per_computer i) "statsched_computer_busy_seconds"
+      ~help:"Busy simulated seconds over the measurement window"
+      (pc.Simulation.utilization *. window);
+    gauge ~labels:(per_computer i) "statsched_computer_down_seconds"
+      ~help:"Capacity-weighted seconds of degraded or lost capacity over the run"
+      t.down_seconds.(i);
+    gauge ~labels:(per_computer i) "statsched_dispatch_fraction"
+      ~help:"Share of post-warm-up dispatches this computer received"
+      result.Simulation.dispatch_fractions.(i);
+    match result.Simulation.intended_fractions with
+    | None -> ()
+    | Some intended ->
+      gauge ~labels:(per_computer i) "statsched_intended_fraction"
+        ~help:"Allocation fraction the policy aimed for" intended.(i);
+      gauge ~labels:(per_computer i) "statsched_dispatch_drift"
+        ~help:"Actual minus intended dispatch fraction"
+        (result.Simulation.dispatch_fractions.(i) -. intended.(i))
+  done;
+  let m = result.Simulation.metrics in
+  gauge "statsched_mean_response_time_seconds"
+    ~help:"Mean response time over measured jobs"
+    m.Statsched_core.Metrics.mean_response_time;
+  gauge "statsched_mean_response_ratio" ~help:"Mean response ratio over measured jobs"
+    m.Statsched_core.Metrics.mean_response_ratio;
+  gauge "statsched_availability"
+    ~help:"Capacity-weighted availability over the measurement window"
+    m.Statsched_core.Metrics.availability;
+  gauge "statsched_jobs_lost" ~help:"Measured jobs lost to failures"
+    (float_of_int m.Statsched_core.Metrics.lost_jobs);
+  gauge "statsched_jobs_measured" ~help:"Completions inside the measurement window"
+    (float_of_int m.Statsched_core.Metrics.jobs);
+  gauge "statsched_sim_time_seconds" ~help:"Simulated horizon" horizon;
+  gauge "statsched_des_events_total" ~help:"Events the DES engine executed"
+    (float_of_int result.Simulation.events_executed);
+  gauge "statsched_des_heap_high_water"
+    ~help:"Largest number of simultaneously pending events"
+    (float_of_int result.Simulation.heap_high_water);
+  let wall = Clock.elapsed ~since:t.wall_start in
+  gauge "statsched_wall_seconds" ~help:"Wall-clock seconds the run took" wall;
+  gauge "statsched_des_events_per_second"
+    ~help:"DES engine throughput in events per wall-clock second"
+    (if wall > 0.0 then float_of_int result.Simulation.events_executed /. wall
+     else 0.0)
+
+let write_metrics t path = Registry.write_prometheus t.registry path
+
+let write_trace t path =
+  match t.tracer with
+  | None -> ()
+  | Some tr -> Trace_event.write_json tr path

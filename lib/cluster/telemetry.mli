@@ -1,0 +1,44 @@
+(** Unified run telemetry: a metric registry plus an optional Chrome
+    trace-event recorder, fed by the passive observer hooks of
+    {!Simulation.run}.
+
+    Construct one per run, pass its [on_*] callbacks to {!Simulation.run},
+    then call {!finalize} with the result to close open spans and set the
+    summary gauges.  Everything recorded here is derived from the
+    simulation's own deterministic state — telemetry never draws random
+    numbers or schedules events, so an instrumented run is bit-identical
+    to an uninstrumented one under the same seed.  The only wall-clock
+    reads ({!Statsched_obs.Clock}) happen in {!create} and {!finalize} and
+    feed self-profiling gauges only.
+
+    Exported metric names are listed in the README ("Observability"). *)
+
+type t
+
+val create : ?trace:bool -> Simulation.config -> t
+(** [trace] (default false) additionally records per-job spans and
+    computer up/down intervals for Perfetto; metrics are always on. *)
+
+val on_dispatch : t -> Statsched_queueing.Job.t -> unit
+val on_completion : t -> Statsched_queueing.Job.t -> unit
+val on_drop : t -> Statsched_queueing.Job.t -> unit
+val on_rate_change : t -> time:float -> computer:int -> rate:float -> unit
+
+val finalize : t -> Simulation.result -> unit
+(** Close any open capacity span at the horizon and set the end-of-run
+    gauges (utilization, dispatch drift, availability, DES self-profiling,
+    events per wall-clock second).  Call exactly once, after
+    {!Simulation.run} returns. *)
+
+val registry : t -> Statsched_obs.Registry.t
+
+val metric_count : t -> int
+
+val trace_event_count : t -> int
+(** 0 when tracing is off. *)
+
+val write_metrics : t -> string -> unit
+(** Prometheus text exposition to a file. *)
+
+val write_trace : t -> string -> unit
+(** Chrome trace-event JSON to a file; no-op when tracing is off. *)

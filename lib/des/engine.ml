@@ -51,6 +51,8 @@ let events_executed e = e.executed
 
 let heap_ordered e = Event_queue.heap_ordered e.queue
 
+let heap_high_water e = Event_queue.high_water e.queue
+
 module Testing = struct
   let corrupt_heap e = Event_queue.Testing.corrupt e.queue
 end

@@ -47,6 +47,11 @@ val run : ?until:float -> t -> unit
 val events_executed : t -> int
 (** Total callbacks fired since creation (instrumentation). *)
 
+val heap_high_water : t -> int
+(** High-water mark of the future-event list: the largest number of
+    pending events observed at any point (instrumentation — a proxy for
+    the simulator's heap pressure). *)
+
 val heap_ordered : t -> bool
 (** Audit the future-event list's heap property; see
     {!Event_queue.heap_ordered}.  O(pending events). *)

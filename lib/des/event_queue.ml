@@ -10,6 +10,7 @@ type 'a t = {
   mutable heap : 'a entry array;
   mutable len : int;
   mutable next_seq : int;
+  mutable hwm : int;  (* most live events ever pending at once *)
   mutable filler : 'a entry option;
       (* Written into vacated heap slots so popped entries (and their
          payloads) become collectable immediately.  The type has no value
@@ -24,6 +25,7 @@ let create ?(initial_capacity = 64) () =
     heap = [||];
     len = 0;
     next_seq = 0;
+    hwm = 0;
     filler = None;
     pending = Hashtbl.create (max 16 initial_capacity);
   }
@@ -77,6 +79,8 @@ let add q ~time payload =
   q.heap.(q.len) <- entry;
   q.len <- q.len + 1;
   Hashtbl.add q.pending entry.seq ();
+  let live = Hashtbl.length q.pending in
+  if live > q.hwm then q.hwm <- live;
   sift_up q (q.len - 1);
   (match q.filler with None -> q.filler <- Some entry | Some _ -> ());
   entry.seq
@@ -175,3 +179,5 @@ let clear q =
   q.len <- 0;
   q.filler <- None;
   Hashtbl.reset q.pending
+
+let high_water q = q.hwm

@@ -41,6 +41,11 @@ val clear : 'a t -> unit
 (** Drop all events and release the backing storage, so queued payloads
     become collectable immediately. *)
 
+val high_water : 'a t -> int
+(** Largest number of live events ever pending simultaneously over the
+    queue's lifetime (not reset by {!clear}) — the simulator's
+    memory-pressure proxy. *)
+
 val heap_ordered : 'a t -> bool
 (** Audit the internal heap property (every parent precedes its
     children).  Always [true] unless the queue's internals have been

@@ -1,0 +1,5 @@
+let now () =
+  (* schedlint: allow R2 — the single sanctioned wall-clock site *)
+  Unix.gettimeofday ()
+
+let elapsed ~since = max 0.0 (now () -. since)

@@ -1,0 +1,19 @@
+(** The single sanctioned wall-clock read.
+
+    Simulated time comes from {!Statsched_des.Engine.now}; nothing in the
+    model layer may observe real time (schedlint rule R2 enforces this).
+    Self-profiling — events per wall-clock second, progress heartbeats —
+    legitimately needs the wall clock, and this module is the one place
+    allowed to read it.  A cram fixture ([test/clock_guard.t]) pins that
+    no other [allow R2] escape hatch exists in the tree, so telemetry
+    code cannot silently grow hidden wall-time dependencies that would
+    perturb reproducibility. *)
+
+val now : unit -> float
+(** Wall-clock seconds since the Unix epoch (sub-microsecond resolution
+    where the OS provides it).  Use only for instrumentation — never to
+    influence a simulation. *)
+
+val elapsed : since:float -> float
+(** [elapsed ~since] is [now () -. since], clamped to be non-negative
+    (NTP steps can move the wall clock backwards). *)

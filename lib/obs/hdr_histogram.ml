@@ -1,0 +1,124 @@
+type t = {
+  lo : float;
+  hi : float;
+  sub_count : int;
+  counts : int array;
+  mutable under : int;
+  mutable over : int;
+  mutable total : int;
+  mutable sum : float;
+  mutable min_seen : float;
+  mutable max_seen : float;
+}
+
+let create ?(sub_count = 32) ~lo ~hi () =
+  if not (lo > 0.0) then invalid_arg "Hdr_histogram.create: lo <= 0";
+  if not (hi > lo) then invalid_arg "Hdr_histogram.create: hi <= lo";
+  if sub_count <= 0 then invalid_arg "Hdr_histogram.create: sub_count <= 0";
+  let octaves = max 1 (int_of_float (ceil (log (hi /. lo) /. log 2.0))) in
+  {
+    lo;
+    hi;
+    sub_count;
+    counts = Array.make (octaves * sub_count) 0;
+    under = 0;
+    over = 0;
+    total = 0;
+    sum = 0.0;
+    min_seen = infinity;
+    max_seen = neg_infinity;
+  }
+
+let bin_count h = Array.length h.counts
+
+(* Index of a value known to lie in [lo, hi).  frexp gives x/lo = m·2^e
+   with m in [0.5, 1), so the octave is e-1 and 2m-1 in [0, 1) locates
+   the linear sub-bucket — no log calls on the hot path. *)
+let index_of h x =
+  let m, e = Float.frexp (x /. h.lo) in
+  let octave = e - 1 in
+  let frac = (2.0 *. m) -. 1.0 in
+  let sub = min (h.sub_count - 1) (int_of_float (frac *. float_of_int h.sub_count)) in
+  min (bin_count h - 1) ((octave * h.sub_count) + sub)
+
+let bin_index h x = if x < h.lo || x >= h.hi then None else Some (index_of h x)
+
+let add h x =
+  if Float.is_nan x then invalid_arg "Hdr_histogram.add: NaN observation";
+  h.total <- h.total + 1;
+  h.sum <- h.sum +. x;
+  if x < h.min_seen then h.min_seen <- x;
+  if x > h.max_seen then h.max_seen <- x;
+  if x < h.lo then h.under <- h.under + 1
+  else if x >= h.hi then h.over <- h.over + 1
+  else begin
+    let i = index_of h x in
+    h.counts.(i) <- h.counts.(i) + 1
+  end
+
+let count h = h.total
+let underflow h = h.under
+let overflow h = h.over
+let sum h = h.sum
+let mean h = if h.total = 0 then nan else h.sum /. float_of_int h.total
+let min_value h = if h.total = 0 then nan else h.min_seen
+let max_value h = if h.total = 0 then nan else h.max_seen
+
+let bin_range h i =
+  if i < 0 || i >= bin_count h then invalid_arg "Hdr_histogram.bin_range: index";
+  let octave = i / h.sub_count and sub = i mod h.sub_count in
+  let base = Float.ldexp h.lo octave in
+  let w = base /. float_of_int h.sub_count in
+  (base +. (float_of_int sub *. w), base +. (float_of_int (sub + 1) *. w))
+
+let bin_value h i =
+  if i < 0 || i >= bin_count h then invalid_arg "Hdr_histogram.bin_value: index";
+  h.counts.(i)
+
+let quantile h q =
+  if not (0.0 < q && q < 1.0) then invalid_arg "Hdr_histogram.quantile: q outside (0,1)";
+  if h.total = 0 then nan
+  else begin
+    let target = q *. float_of_int h.total in
+    if target <= float_of_int h.under then h.lo
+    else begin
+      let acc = ref (float_of_int h.under) in
+      let result = ref h.max_seen in
+      (try
+         for i = 0 to bin_count h - 1 do
+           let c = float_of_int h.counts.(i) in
+           if c > 0.0 && !acc +. c >= target then begin
+             let lo, hi = bin_range h i in
+             let frac = (target -. !acc) /. c in
+             result := lo +. (frac *. (hi -. lo));
+             raise Exit
+           end;
+           acc := !acc +. c
+         done
+       with Exit -> ());
+      !result
+    end
+  end
+
+let same_layout a b =
+  Float.equal a.lo b.lo && Float.equal a.hi b.hi && a.sub_count = b.sub_count
+
+let merge ~into src =
+  if not (same_layout into src) then invalid_arg "Hdr_histogram.merge: layouts differ";
+  Array.iteri (fun i c -> into.counts.(i) <- into.counts.(i) + c) src.counts;
+  into.under <- into.under + src.under;
+  into.over <- into.over + src.over;
+  into.total <- into.total + src.total;
+  into.sum <- into.sum +. src.sum;
+  if src.min_seen < into.min_seen then into.min_seen <- src.min_seen;
+  if src.max_seen > into.max_seen then into.max_seen <- src.max_seen
+
+let iter_nonempty h f =
+  if h.under > 0 then f ~upper:h.lo ~count:h.under;
+  Array.iteri
+    (fun i c ->
+      if c > 0 then begin
+        let _, upper = bin_range h i in
+        f ~upper ~count:c
+      end)
+    h.counts

@@ -1,0 +1,195 @@
+type counter = float ref
+type gauge = float ref
+type histogram = Hdr_histogram.t
+
+type data =
+  | Counter_v of counter
+  | Gauge_v of gauge
+  | Histogram_v of histogram
+
+type metric = {
+  name : string;
+  help : string;
+  labels : (string * string) list;
+  data : data;
+}
+
+type t = { mutable metrics : metric list (* newest first *) }
+
+let create () = { metrics = [] }
+
+(* ------------------------------------------------------------------ *)
+(* Registration                                                        *)
+
+let valid_name n =
+  String.length n > 0
+  && (match n.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false)
+       n
+
+let valid_label_name n =
+  String.length n > 0
+  && (match n.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+       n
+
+let kind_name = function
+  | Counter_v _ -> "counter"
+  | Gauge_v _ -> "gauge"
+  | Histogram_v _ -> "histogram"
+
+let register t ~help ~labels ~name ~make ~extract ~kind =
+  if not (valid_name name) then invalid_arg ("Registry: invalid metric name " ^ name);
+  List.iter
+    (fun (k, _) ->
+      if not (valid_label_name k) then invalid_arg ("Registry: invalid label name " ^ k))
+    labels;
+  match List.find_opt (fun m -> m.name = name && m.labels = labels) t.metrics with
+  | Some m -> (
+    match extract m.data with
+    | Some v -> v
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Registry: %s already registered as a %s, requested as a %s"
+           name (kind_name m.data) kind))
+  | None ->
+    (match List.find_opt (fun m -> m.name = name) t.metrics with
+    | Some m when kind <> kind_name m.data ->
+      invalid_arg
+        (Printf.sprintf "Registry: family %s mixes kinds (%s vs %s)" name
+           (kind_name m.data) kind)
+    | Some _ | None -> ());
+    let v, data = make () in
+    t.metrics <- { name; help; labels; data } :: t.metrics;
+    v
+
+let counter t ?(help = "") ?(labels = []) name =
+  register t ~help ~labels ~name ~kind:"counter"
+    ~make:(fun () ->
+      let r = ref 0.0 in
+      (r, Counter_v r))
+    ~extract:(function Counter_v r -> Some r | _ -> None)
+
+let gauge t ?(help = "") ?(labels = []) name =
+  register t ~help ~labels ~name ~kind:"gauge"
+    ~make:(fun () ->
+      let r = ref 0.0 in
+      (r, Gauge_v r))
+    ~extract:(function Gauge_v r -> Some r | _ -> None)
+
+let histogram t ?(help = "") ?(labels = []) ?sub_count ~lo ~hi name =
+  register t ~help ~labels ~name ~kind:"histogram"
+    ~make:(fun () ->
+      let h = Hdr_histogram.create ?sub_count ~lo ~hi () in
+      (h, Histogram_v h))
+    ~extract:(function Histogram_v h -> Some h | _ -> None)
+
+let inc_by c x =
+  if Float.is_nan x || x < 0.0 then invalid_arg "Registry.inc_by: negative increment";
+  c := !c +. x
+
+let inc c = inc_by c 1.0
+let counter_value c = !c
+
+let set (g : gauge) x = g := x
+let gauge_value (g : gauge) = !g
+
+let metric_count t = List.length t.metrics
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition (format 0.0.4)                           *)
+
+let fmt_float x =
+  if Float.is_nan x then "NaN"
+  else if Float.equal x infinity then "+Inf"
+  else if Float.equal x neg_infinity then "-Inf"
+  else if Float.is_integer x && abs_float x < 1e15 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.12g" x
+
+let escape_label_value v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let escape_help v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let render_labels buf labels =
+  match labels with
+  | [] -> ()
+  | _ ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf k;
+        Buffer.add_string buf "=\"";
+        Buffer.add_string buf (escape_label_value v);
+        Buffer.add_char buf '"')
+      labels;
+    Buffer.add_char buf '}'
+
+let sample buf name labels value =
+  Buffer.add_string buf name;
+  render_labels buf labels;
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf (fmt_float value);
+  Buffer.add_char buf '\n'
+
+let render_metric buf m =
+  match m.data with
+  | Counter_v r -> sample buf m.name m.labels !r
+  | Gauge_v r -> sample buf m.name m.labels !r
+  | Histogram_v h ->
+    let cumulative = ref 0 in
+    Hdr_histogram.iter_nonempty h (fun ~upper ~count ->
+        cumulative := !cumulative + count;
+        sample buf (m.name ^ "_bucket")
+          (m.labels @ [ ("le", fmt_float upper) ])
+          (float_of_int !cumulative));
+    sample buf (m.name ^ "_bucket")
+      (m.labels @ [ ("le", "+Inf") ])
+      (float_of_int (Hdr_histogram.count h));
+    sample buf (m.name ^ "_sum") m.labels (Hdr_histogram.sum h);
+    sample buf (m.name ^ "_count") m.labels (float_of_int (Hdr_histogram.count h))
+
+let to_prometheus t =
+  let buf = Buffer.create 4096 in
+  let in_order = List.rev t.metrics in
+  let emitted = Hashtbl.create 16 in
+  List.iter
+    (fun m ->
+      if not (Hashtbl.mem emitted m.name) then begin
+        Hashtbl.add emitted m.name ();
+        if m.help <> "" then
+          Buffer.add_string buf
+            (Printf.sprintf "# HELP %s %s\n" m.name (escape_help m.help));
+        Buffer.add_string buf
+          (Printf.sprintf "# TYPE %s %s\n" m.name (kind_name m.data));
+        List.iter
+          (fun m' -> if m'.name = m.name then render_metric buf m')
+          in_order
+      end)
+    in_order;
+  Buffer.contents buf
+
+let write_prometheus t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_prometheus t))

@@ -1,0 +1,61 @@
+(** Metric registry: named counters, gauges and histograms with labels,
+    and a Prometheus text-format writer.
+
+    One registry per run.  Metrics are identified by [(name, labels)];
+    registering the same pair again returns the existing handle, so
+    per-computer families can be (re)requested cheaply in hot paths.
+    Different metrics sharing a name (a {e family}, e.g. one per
+    computer) are grouped under a single [# TYPE] header on export.
+
+    Nothing here reads the wall clock or draws randomness — recording
+    into a registry cannot perturb a simulation. *)
+
+type t
+
+val create : unit -> t
+
+type counter
+type gauge
+type histogram = Hdr_histogram.t
+
+val counter : t -> ?help:string -> ?labels:(string * string) list -> string -> counter
+(** Monotonically increasing value (use the [_total] suffix by Prometheus
+    convention).
+
+    @raise Invalid_argument on an invalid metric/label name, or if [name]
+    with the same labels is already registered as a different kind. *)
+
+val inc : counter -> unit
+val inc_by : counter -> float -> unit
+(** @raise Invalid_argument if the increment is negative or NaN. *)
+
+val counter_value : counter -> float
+
+val gauge : t -> ?help:string -> ?labels:(string * string) list -> string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val histogram :
+  t ->
+  ?help:string ->
+  ?labels:(string * string) list ->
+  ?sub_count:int ->
+  lo:float ->
+  hi:float ->
+  string ->
+  histogram
+(** A {!Hdr_histogram} registered for export; observe with
+    {!Hdr_histogram.add}.  Layout arguments are ignored when the metric
+    already exists. *)
+
+val metric_count : t -> int
+(** Number of registered metrics (each label combination counts once). *)
+
+val to_prometheus : t -> string
+(** Render every metric in the Prometheus text exposition format
+    (version 0.0.4): [# HELP]/[# TYPE] headers per family, one sample
+    line per metric, cumulative [_bucket{le=...}]/[_sum]/[_count] series
+    for histograms. *)
+
+val write_prometheus : t -> string -> unit
+(** [write_prometheus t path] writes {!to_prometheus} to [path]. *)

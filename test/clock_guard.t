@@ -1,0 +1,10 @@
+The schedlint R2 rule bans wall-clock reads (Unix.time, Unix.gettimeofday,
+Sys.time) from lib/, bin/ and bench/ so simulated time can never leak into
+results. Self-profiling needs exactly one sanctioned escape hatch: Obs.Clock.
+This fixture pins that the allow-R2 waiver exists nowhere else — adding a
+second waiver must fail this test and force a review.
+
+(-R rather than -r: the test sandbox materializes sources as symlinks.)
+
+  $ grep -Rl 'schedlint: allow R2' ../lib ../bin ../bench | sort
+  ../lib/obs/clock.ml

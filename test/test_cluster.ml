@@ -43,6 +43,11 @@ let workload_with_cv () =
 (* ------------------------------------------------------------------ *)
 (* Collector                                                           *)
 
+let metrics_exn c =
+  match Collector.metrics c with
+  | Ok m -> m
+  | Error `No_jobs_measured -> Alcotest.fail "no jobs measured"
+
 let collector_filters_warmup () =
   let c = Collector.create ~warmup:10.0 () in
   let early = Job.create ~id:1 ~size:1.0 ~arrival:5.0 in
@@ -53,7 +58,7 @@ let collector_filters_warmup () =
   late.Job.completion <- 15.0;
   Collector.on_departure c late;
   Alcotest.(check int) "post-warm-up job counted" 1 (Collector.jobs_measured c);
-  let m = Collector.metrics c in
+  let m = metrics_exn c in
   check_float "mean response time" 4.0 m.Core.Metrics.mean_response_time;
   check_float "mean response ratio" 2.0 m.Core.Metrics.mean_response_ratio;
   check_float "fairness of single job" 0.0 m.Core.Metrics.fairness
@@ -67,14 +72,15 @@ let collector_fairness () =
   j2.Job.completion <- 3.0;
   Collector.on_departure c j1;
   Collector.on_departure c j2;
-  let m = Collector.metrics c in
+  let m = metrics_exn c in
   check_float ~eps:1e-12 "fairness" 1.0 m.Core.Metrics.fairness;
   Alcotest.(check int) "count" 2 m.Core.Metrics.jobs
 
-let collector_empty_raises () =
+let collector_empty_is_error () =
   let c = Collector.create ~warmup:0.0 () in
-  Alcotest.check_raises "empty" (Invalid_argument "Collector.metrics: no job measured")
-    (fun () -> ignore (Collector.metrics c))
+  (match Collector.metrics c with
+  | Error `No_jobs_measured -> ()
+  | Ok _ -> Alcotest.fail "expected Error `No_jobs_measured on an empty window")
 
 (* ------------------------------------------------------------------ *)
 (* Interval_stats                                                      *)
@@ -287,7 +293,7 @@ let suite =
     test "workload: arrival cv control" workload_with_cv;
     test "collector: warm-up filtering" collector_filters_warmup;
     test "collector: fairness metric" collector_fairness;
-    test "collector: empty raises" collector_empty_raises;
+    test "collector: empty window is a typed error" collector_empty_is_error;
     test "interval stats: deviations per interval" interval_stats_basic;
     test "interval stats: validation" interval_stats_validation;
     test "scheduler: names" scheduler_names;
@@ -379,15 +385,88 @@ let probe_reveals_herding () =
     (Printf.sprintf "herding peak %d > fresh peak %d" herding fresh)
     true (herding > fresh)
 
+let probe_peak_and_mean_queue () =
+  (* Hand-fed samples: peak is the largest single-computer reading and
+     mean_queue is the sample average (NOT time-weighted — the uneven
+     time gaps below must not change it). *)
+  let p = Cluster.Probe.create () in
+  Cluster.Probe.on_tick p ~time:1.0 ~queues:[| 2; 0 |];
+  Cluster.Probe.on_tick p ~time:2.0 ~queues:[| 4; 1 |];
+  Cluster.Probe.on_tick p ~time:100.0 ~queues:[| 0; 5 |];
+  Alcotest.(check int) "peak" 5 (Cluster.Probe.peak p);
+  check_float ~eps:1e-12 "mean_queue c0 is the sample average" 2.0
+    (Cluster.Probe.mean_queue p 0);
+  check_float ~eps:1e-12 "mean_queue c1 is the sample average" 2.0
+    (Cluster.Probe.mean_queue p 1)
+
 let probe_suite =
   [
     test "probe: cadence and accessors" probe_samples_on_cadence;
     test "probe: csv output" probe_csv;
     test "probe: validation" probe_validation;
+    test "probe: peak and sample-average mean_queue" probe_peak_and_mean_queue;
     slow_test "probe: reveals stale-information herding" probe_reveals_herding;
   ]
 
-let suite = suite @ probe_suite
+(* ------------------------------------------------------------------ *)
+(* Trace                                                               *)
+
+let trace_record_contents () =
+  let t = Cluster.Trace.create () in
+  let job = Job.create ~id:7 ~size:2.0 ~arrival:10.0 in
+  job.Job.computer <- 3;
+  Cluster.Trace.on_dispatch t job;
+  job.Job.completion <- 14.0;
+  Cluster.Trace.on_completion t job;
+  Alcotest.(check int) "one dispatch" 1 (Cluster.Trace.dispatch_count t);
+  Alcotest.(check int) "one completion" 1 (Cluster.Trace.completion_count t);
+  let d = (Cluster.Trace.dispatches t).(0) in
+  check_float "dispatch time is the arrival" 10.0 d.Cluster.Trace.time;
+  Alcotest.(check int) "dispatch job id" 7 d.Cluster.Trace.job_id;
+  Alcotest.(check int) "dispatch computer" 3 d.Cluster.Trace.computer;
+  check_float "dispatch size" 2.0 d.Cluster.Trace.size;
+  let c = (Cluster.Trace.completions t).(0) in
+  check_float "completion time" 14.0 c.Cluster.Trace.time;
+  Alcotest.(check int) "completion job id" 7 c.Cluster.Trace.job_id;
+  check_float "response time" 4.0 c.Cluster.Trace.response_time;
+  check_float "response ratio" 2.0 c.Cluster.Trace.response_ratio;
+  check_array ~eps:0.0 "completed sizes" [| 2.0 |] (Cluster.Trace.completed_sizes t)
+
+let trace_csv_golden () =
+  let t = Cluster.Trace.create () in
+  let job = Job.create ~id:1 ~size:0.5 ~arrival:1.0 in
+  job.Job.computer <- 0;
+  Cluster.Trace.on_dispatch t job;
+  job.Job.completion <- 2.0;
+  Cluster.Trace.on_completion t job;
+  let path = Filename.temp_file "statsched_trace" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Cluster.Trace.write_csv t path;
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      Alcotest.(check (list string))
+        "csv lines"
+        [
+          "kind,time,job_id,computer,size,response_time,response_ratio";
+          "dispatch,1.000000,1,0,0.500000,,";
+          "completion,2.000000,1,0,,1.000000,2.000000";
+        ]
+        (List.rev !lines))
+
+let trace_suite =
+  [
+    test "trace: dispatch/completion record contents" trace_record_contents;
+    test "trace: csv golden output" trace_csv_golden;
+  ]
+
+let suite = suite @ probe_suite @ trace_suite
 
 (* ------------------------------------------------------------------ *)
 (* Little's law and occupancy                                          *)

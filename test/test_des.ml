@@ -285,6 +285,32 @@ let engine_every () =
   Alcotest.check_raises "period <= 0" (Invalid_argument "Engine.every: period <= 0")
     (fun () -> Engine.every e ~period:0.0 (fun _ -> ()))
 
+let eq_high_water () =
+  let q = Event_queue.create () in
+  Alcotest.(check int) "empty" 0 (Event_queue.high_water q);
+  let _ = Event_queue.add q ~time:1.0 "a" in
+  let _ = Event_queue.add q ~time:2.0 "b" in
+  let _ = Event_queue.add q ~time:3.0 "c" in
+  let _ = Event_queue.add q ~time:4.0 "d" in
+  let _ = Event_queue.add q ~time:5.0 "e" in
+  Alcotest.(check int) "after five adds" 5 (Event_queue.high_water q);
+  ignore (Event_queue.pop q);
+  ignore (Event_queue.pop q);
+  let _ = Event_queue.add q ~time:6.0 "f" in
+  (* 3 live + 1 = 4 < 5, so the lifetime high-water mark sticks at 5. *)
+  Alcotest.(check int) "high-water not lowered by pops" 5 (Event_queue.high_water q);
+  Event_queue.clear q;
+  Alcotest.(check int) "survives clear" 5 (Event_queue.high_water q)
+
+let engine_heap_high_water () =
+  let e = Engine.create () in
+  for i = 1 to 7 do
+    ignore (Engine.schedule_at e ~time:(float_of_int i) (fun _ -> ()))
+  done;
+  Engine.run e;
+  Alcotest.(check int) "seven simultaneous pending events" 7
+    (Engine.heap_high_water e)
+
 let suite =
   [
     test "event_queue: basic ordering" eq_ordering;
@@ -308,4 +334,6 @@ let suite =
     test "engine: custom start time" engine_start_time;
     test "engine: same-time FIFO determinism" engine_fifo_determinism;
     test "engine: periodic events" engine_every;
+    test "event_queue: heap high-water mark" eq_high_water;
+    test "engine: heap high-water mark" engine_heap_high_water;
   ]

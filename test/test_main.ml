@@ -18,5 +18,6 @@ let () =
       ("sita", Test_sita.suite);
       ("faults", Test_faults.suite);
       ("sanitize", Test_sanitize.suite);
+      ("obs", Test_obs.suite);
       ("more", Test_more.suite);
     ]

@@ -1,0 +1,476 @@
+open Test_util
+module Obs = Statsched_obs
+module Hdr = Obs.Hdr_histogram
+module Registry = Obs.Registry
+module Trace_event = Obs.Trace_event
+module Clock = Obs.Clock
+module Core = Statsched_core
+module Cluster = Statsched_cluster
+module Workload = Cluster.Workload
+module Simulation = Cluster.Simulation
+module Scheduler = Cluster.Scheduler
+module Fault = Cluster.Fault
+module Telemetry = Cluster.Telemetry
+module Job = Statsched_queueing.Job
+
+(* ------------------------------------------------------------------ *)
+(* HDR histogram                                                       *)
+
+let hdr_basic () =
+  let h = Hdr.create ~sub_count:2 ~lo:1.0 ~hi:16.0 () in
+  Alcotest.(check int) "8 bins (4 octaves x 2)" 8 (Hdr.bin_count h);
+  Hdr.add h 1.2;
+  Hdr.add h 3.0;
+  Hdr.add h 0.5;
+  (* underflow *)
+  Hdr.add h 100.0;
+  (* overflow *)
+  Alcotest.(check int) "count includes out-of-range" 4 (Hdr.count h);
+  Alcotest.(check int) "underflow" 1 (Hdr.underflow h);
+  Alcotest.(check int) "overflow" 1 (Hdr.overflow h);
+  check_float ~eps:1e-12 "sum" 104.7 (Hdr.sum h);
+  check_float ~eps:1e-12 "mean" (104.7 /. 4.0) (Hdr.mean h);
+  check_float "min" 0.5 (Hdr.min_value h);
+  check_float "max" 100.0 (Hdr.max_value h);
+  (* 1.2 lands in [1, 1.5); 3.0 in [3, 4). *)
+  let lo0, hi0 = Hdr.bin_range h 0 in
+  check_float "bin 0 lower" 1.0 lo0;
+  check_float "bin 0 upper" 1.5 hi0;
+  Alcotest.(check int) "1.2 counted in bin 0" 1 (Hdr.bin_value h 0);
+  (match Hdr.bin_index h 3.0 with
+  | Some i ->
+    let l, u = Hdr.bin_range h i in
+    Alcotest.(check bool) "3.0's bin contains it" true (l <= 3.0 && 3.0 < u)
+  | None -> Alcotest.fail "3.0 is in range");
+  Alcotest.(check bool) "out-of-range has no bin" true (Hdr.bin_index h 100.0 = None)
+
+let hdr_empty_and_validation () =
+  let h = Hdr.create ~lo:1.0 ~hi:8.0 () in
+  Alcotest.(check bool) "empty mean is nan" true (Float.is_nan (Hdr.mean h));
+  Alcotest.(check bool) "empty quantile is nan" true (Float.is_nan (Hdr.quantile h 0.5));
+  Alcotest.check_raises "lo <= 0" (Invalid_argument "Hdr_histogram.create: lo <= 0")
+    (fun () -> ignore (Hdr.create ~lo:0.0 ~hi:1.0 ()));
+  Alcotest.check_raises "hi <= lo" (Invalid_argument "Hdr_histogram.create: hi <= lo")
+    (fun () -> ignore (Hdr.create ~lo:2.0 ~hi:2.0 ()));
+  Alcotest.check_raises "NaN observation"
+    (Invalid_argument "Hdr_histogram.add: NaN observation") (fun () -> Hdr.add h nan);
+  Alcotest.check_raises "q outside (0,1)"
+    (Invalid_argument "Hdr_histogram.quantile: q outside (0,1)") (fun () ->
+      ignore (Hdr.quantile h 1.0))
+
+(* Relative bucket resolution: every in-range value must land in a bin
+   whose width is at most value/sub_count * 2 (log-linear guarantee). *)
+let hdr_resolution () =
+  let sub_count = 32 in
+  let h = Hdr.create ~sub_count ~lo:1e-3 ~hi:1e7 () in
+  let g = rng () in
+  for _ = 1 to 1000 do
+    let x = 1e-3 *. exp (Statsched_prng.Rng.float g *. log 1e10) in
+    let x = min x 9.9e6 in
+    match Hdr.bin_index h x with
+    | None -> Alcotest.fail (Printf.sprintf "%g should be in range" x)
+    | Some i ->
+      let l, u = Hdr.bin_range h i in
+      Alcotest.(check bool)
+        (Printf.sprintf "%g in its bin [%g, %g)" x l u)
+        true
+        (l <= x && x < u);
+      Alcotest.(check bool)
+        (Printf.sprintf "bin width %g fine enough at %g" (u -. l) x)
+        true
+        (u -. l <= 2.0 *. x /. float_of_int sub_count)
+  done
+
+(* Acceptance check: p99 of 1e5 exponential samples agrees with the exact
+   empirical p99 to within one bucket width. *)
+let hdr_quantile_exponential () =
+  let n = 100_000 in
+  let g = rng ~seed:11L () in
+  let h = Hdr.create ~lo:1e-3 ~hi:1e3 () in
+  let samples = Array.init n (fun _ -> Statsched_dist.Exponential.sample ~rate:1.0 g) in
+  Array.iter (Hdr.add h) samples;
+  (* Exp(1) puts ~n/1000 samples below lo = 1e-3; none above 1e3. *)
+  Alcotest.(check int) "no overflow" 0 (Hdr.overflow h);
+  Alcotest.(check bool) "underflow stays in the far-left tail" true
+    (Hdr.underflow h < n / 500);
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  List.iter
+    (fun q ->
+      let exact =
+        sorted.(min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1))
+      in
+      let est = Hdr.quantile h q in
+      let width =
+        match Hdr.bin_index h exact with
+        | Some i ->
+          let l, u = Hdr.bin_range h i in
+          u -. l
+        | None -> Alcotest.fail "exact quantile outside histogram range"
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "q=%.3f: |%.5g - %.5g| <= bucket width %.5g" q est exact
+           width)
+        true
+        (abs_float (est -. exact) <= width))
+    [ 0.5; 0.9; 0.99; 0.999 ]
+
+let hdr_merge () =
+  let layout () = Hdr.create ~sub_count:8 ~lo:0.01 ~hi:100.0 () in
+  let a = layout () and b = layout () and both = layout () in
+  let g = rng ~seed:5L () in
+  for k = 1 to 2000 do
+    let x = Statsched_dist.Exponential.sample ~rate:0.5 g in
+    Hdr.add (if k mod 2 = 0 then a else b) x;
+    Hdr.add both x
+  done;
+  Hdr.merge ~into:a b;
+  Alcotest.(check int) "merged count" (Hdr.count both) (Hdr.count a);
+  Alcotest.(check int) "merged underflow" (Hdr.underflow both) (Hdr.underflow a);
+  Alcotest.(check int) "merged overflow" (Hdr.overflow both) (Hdr.overflow a);
+  check_float ~eps:1e-9 "merged sum" (Hdr.sum both) (Hdr.sum a);
+  check_float ~eps:0.0 "merged min" (Hdr.min_value both) (Hdr.min_value a);
+  check_float ~eps:0.0 "merged max" (Hdr.max_value both) (Hdr.max_value a);
+  for i = 0 to Hdr.bin_count both - 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "bin %d identical" i)
+      (Hdr.bin_value both i) (Hdr.bin_value a i)
+  done;
+  List.iter
+    (fun q -> check_float ~eps:0.0 "merged quantile" (Hdr.quantile both q) (Hdr.quantile a q))
+    [ 0.5; 0.9; 0.99 ];
+  Alcotest.check_raises "layout mismatch"
+    (Invalid_argument "Hdr_histogram.merge: layouts differ") (fun () ->
+      Hdr.merge ~into:a (Hdr.create ~lo:1.0 ~hi:2.0 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Registry + Prometheus exposition                                    *)
+
+let registry_basic () =
+  let r = Registry.create () in
+  let c = Registry.counter r ~labels:[ ("computer", "0") ] "jobs_total" in
+  Registry.inc c;
+  Registry.inc_by c 2.0;
+  check_float "counter value" 3.0 (Registry.counter_value c);
+  let c' = Registry.counter r ~labels:[ ("computer", "0") ] "jobs_total" in
+  Registry.inc c';
+  check_float "same handle on re-registration" 4.0 (Registry.counter_value c);
+  let g = Registry.gauge r "temperature" in
+  Registry.set g 1.5;
+  check_float "gauge value" 1.5 (Registry.gauge_value g);
+  Alcotest.(check int) "two metrics" 2 (Registry.metric_count r);
+  Alcotest.(check bool) "negative increment rejected" true
+    (match Registry.inc_by c (-1.0) with
+    | exception Invalid_argument _ -> true
+    | () -> false);
+  Alcotest.(check bool) "kind conflict rejected" true
+    (match Registry.gauge r ~labels:[ ("computer", "0") ] "jobs_total" with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "invalid metric name rejected" true
+    (match Registry.counter r "bad name" with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "invalid label name rejected" true
+    (match Registry.counter r ~labels:[ ("le", "1"); ("0bad", "x") ] "ok_total" with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let registry_prometheus_golden () =
+  let r = Registry.create () in
+  let c = Registry.counter r ~help:"Total frobs" ~labels:[ ("computer", "0") ] "frobs_total" in
+  Registry.inc c;
+  Registry.inc_by c 2.0;
+  let g = Registry.gauge r "temp" in
+  Registry.set g 1.5;
+  let h = Registry.histogram r ~lo:1.0 ~hi:16.0 ~sub_count:2 "lat" in
+  Hdr.add h 1.2;
+  Hdr.add h 3.0;
+  Hdr.add h 100.0;
+  let expected =
+    "# HELP frobs_total Total frobs\n\
+     # TYPE frobs_total counter\n\
+     frobs_total{computer=\"0\"} 3\n\
+     # TYPE temp gauge\n\
+     temp 1.5\n\
+     # TYPE lat histogram\n\
+     lat_bucket{le=\"1.5\"} 1\n\
+     lat_bucket{le=\"4\"} 2\n\
+     lat_bucket{le=\"+Inf\"} 3\n\
+     lat_sum 104.2\n\
+     lat_count 3\n"
+  in
+  Alcotest.(check string) "exposition text" expected (Registry.to_prometheus r)
+
+let registry_family_grouping () =
+  let r = Registry.create () in
+  let c0 = Registry.counter r ~help:"per computer" ~labels:[ ("computer", "0") ] "x_total" in
+  let mid = Registry.gauge r "y" in
+  let c1 = Registry.counter r ~labels:[ ("computer", "1") ] "x_total" in
+  Registry.inc c0;
+  Registry.inc_by c1 5.0;
+  Registry.set mid 2.0;
+  let expected =
+    "# HELP x_total per computer\n\
+     # TYPE x_total counter\n\
+     x_total{computer=\"0\"} 1\n\
+     x_total{computer=\"1\"} 5\n\
+     # TYPE y gauge\n\
+     y 2\n"
+  in
+  Alcotest.(check string) "family members grouped under one TYPE" expected
+    (Registry.to_prometheus r)
+
+let registry_label_escaping () =
+  let r = Registry.create () in
+  let g = Registry.gauge r ~labels:[ ("path", "a\"b\\c\nd") ] "esc" in
+  Registry.set g 1.0;
+  Alcotest.(check string) "escaped label value"
+    "# TYPE esc gauge\nesc{path=\"a\\\"b\\\\c\\nd\"} 1\n" (Registry.to_prometheus r)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace events                                                 *)
+
+let trace_event_golden () =
+  let tr = Trace_event.create () in
+  Trace_event.process_name tr ~pid:0 "jobs";
+  Trace_event.complete tr ~cat:"job" ~name:"job" ~ts:1.0 ~dur:0.5 ~pid:0 ~tid:2
+    ~args:[ ("id", Trace_event.Int 7); ("size", Trace_event.Num 2.5) ]
+    ();
+  Trace_event.instant tr ~name:"drop" ~ts:2.0 ~pid:1 ~tid:0 ();
+  Trace_event.counter tr ~name:"queue" ~ts:3.0 ~pid:1 [ ("c0", 4.0) ];
+  Alcotest.(check int) "event count" 4 (Trace_event.event_count tr);
+  let expected =
+    "{\"traceEvents\":[\
+     {\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0,\"pid\":0,\"args\":{\"name\":\"jobs\"}},\n\
+     {\"name\":\"job\",\"cat\":\"job\",\"ph\":\"X\",\"ts\":1000000,\"dur\":500000,\"pid\":0,\"tid\":2,\"args\":{\"id\":7,\"size\":2.5}},\n\
+     {\"name\":\"drop\",\"ph\":\"i\",\"ts\":2000000,\"pid\":1,\"tid\":0,\"s\":\"t\"},\n\
+     {\"name\":\"queue\",\"ph\":\"C\",\"ts\":3000000,\"pid\":1,\"args\":{\"c0\":4}}\
+     ],\"displayTimeUnit\":\"ms\"}\n"
+  in
+  Alcotest.(check string) "trace JSON" expected (Trace_event.to_string tr)
+
+let trace_event_escaping () =
+  let tr = Trace_event.create () in
+  Trace_event.instant tr ~name:"a\"b\n" ~ts:0.0 ~pid:0 ~tid:0 ();
+  let s = Trace_event.to_string tr in
+  Alcotest.(check bool) "quotes and newlines escaped" true
+    (String.length s > 0
+    && String.index_opt s '\n' <> None
+    &&
+    let needle = "\"a\\\"b\\n\"" in
+    let rec find i =
+      if i + String.length needle > String.length s then false
+      else if String.sub s i (String.length needle) = needle then true
+      else find (i + 1)
+    in
+    find 0)
+
+(* ------------------------------------------------------------------ *)
+(* Clock                                                               *)
+
+let clock_monotone () =
+  let t1 = Clock.now () in
+  let t2 = Clock.now () in
+  Alcotest.(check bool) "now is non-decreasing" true (t2 >= t1);
+  Alcotest.(check bool) "elapsed is non-negative" true (Clock.elapsed ~since:t1 >= 0.0);
+  Alcotest.(check bool) "elapsed clamps future origins" true
+    (Clock.elapsed ~since:(t2 +. 1e9) = 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry never perturbs a run                                      *)
+
+type observed = {
+  result : Simulation.result;
+  completion_order : int list;
+}
+
+let run_combo ?faults ~scheduler ~telemetry () =
+  let speeds = Core.Speeds.table3 in
+  let workload = Workload.paper_default ~rho:0.7 ~speeds in
+  let cfg =
+    Simulation.default_config ?faults ~horizon:40_000.0 ~warmup:10_000.0 ~speeds
+      ~workload ~scheduler ()
+  in
+  let order = ref [] in
+  let record job = order := job.Job.id :: !order in
+  let result =
+    match telemetry with
+    | false -> Simulation.run ~on_completion:record cfg
+    | true ->
+      let t = Telemetry.create ~trace:true cfg in
+      let r =
+        Simulation.run
+          ~on_dispatch:(Telemetry.on_dispatch t)
+          ~on_completion:(fun job ->
+            Telemetry.on_completion t job;
+            record job)
+          ~on_drop:(Telemetry.on_drop t)
+          ~on_rate_change:(Telemetry.on_rate_change t)
+          cfg
+      in
+      Telemetry.finalize t r;
+      Alcotest.(check bool) "telemetry collected metrics" true
+        (Telemetry.metric_count t > 0);
+      Alcotest.(check bool) "telemetry collected trace events" true
+        (Telemetry.trace_event_count t > 0);
+      r
+  in
+  { result; completion_order = List.rev !order }
+
+(* Acceptance criterion: a run with full telemetry (metrics + trace) is
+   bit-identical to a bare run under the same seed, across static,
+   dynamic, adaptive and faulty configurations. *)
+let telemetry_bit_identity () =
+  List.iter
+    (fun (name, faults, scheduler) ->
+      let plain = run_combo ?faults ~scheduler ~telemetry:false () in
+      let instrumented = run_combo ?faults ~scheduler ~telemetry:true () in
+      check_float ~eps:0.0
+        (name ^ ": mean response time bit-identical")
+        plain.result.Simulation.metrics.Core.Metrics.mean_response_time
+        instrumented.result.Simulation.metrics.Core.Metrics.mean_response_time;
+      check_float ~eps:0.0
+        (name ^ ": mean response ratio bit-identical")
+        plain.result.Simulation.metrics.Core.Metrics.mean_response_ratio
+        instrumented.result.Simulation.metrics.Core.Metrics.mean_response_ratio;
+      check_float ~eps:0.0
+        (name ^ ": fairness bit-identical")
+        plain.result.Simulation.metrics.Core.Metrics.fairness
+        instrumented.result.Simulation.metrics.Core.Metrics.fairness;
+      Alcotest.(check int)
+        (name ^ ": same events executed")
+        plain.result.Simulation.events_executed
+        instrumented.result.Simulation.events_executed;
+      Alcotest.(check int)
+        (name ^ ": same arrivals")
+        plain.result.Simulation.total_arrivals
+        instrumented.result.Simulation.total_arrivals;
+      Alcotest.(check int)
+        (name ^ ": same heap high-water")
+        plain.result.Simulation.heap_high_water
+        instrumented.result.Simulation.heap_high_water;
+      check_array ~eps:0.0
+        (name ^ ": dispatch fractions bit-identical")
+        plain.result.Simulation.dispatch_fractions
+        instrumented.result.Simulation.dispatch_fractions;
+      Alcotest.(check (list int))
+        (name ^ ": completion order identical")
+        plain.completion_order instrumented.completion_order)
+    [
+      ("ORR", None, Scheduler.static Core.Policy.orr);
+      ("LeastLoad", None, Scheduler.least_load_paper);
+      ("AdaptiveORR", None, Scheduler.adaptive_orr ());
+      ( "ORR+drop-faults",
+        Some (Fault.exponential ~on_failure:Fault.Drop ~mtbf:2000.0 ~mttr:50.0 ()),
+        Scheduler.static Core.Policy.orr );
+      ( "LeastLoad+resume-faults",
+        Some (Fault.exponential ~on_failure:Fault.Resume ~mtbf:2000.0 ~mttr:50.0 ()),
+        Scheduler.least_load_paper );
+    ]
+
+(* The progress heartbeat adds its own periodic events but must not
+   change metrics or completion order. *)
+let progress_preserves_metrics () =
+  let speeds = Core.Speeds.table3 in
+  let workload = Workload.paper_default ~rho:0.7 ~speeds in
+  let cfg =
+    Simulation.default_config ~horizon:40_000.0 ~warmup:10_000.0 ~speeds ~workload
+      ~scheduler:(Scheduler.static Core.Policy.orr) ()
+  in
+  let order = ref [] in
+  let plain = Simulation.run ~on_completion:(fun j -> order := j.Job.id :: !order) cfg in
+  let plain_order = !order in
+  order := [];
+  let ticks = ref 0 in
+  let with_progress =
+    Simulation.run
+      ~on_completion:(fun j -> order := j.Job.id :: !order)
+      ~on_progress:
+        ( 5_000.0,
+          fun (p : Simulation.progress) ->
+            incr ticks;
+            Alcotest.(check bool) "progress time within horizon" true
+              (p.Simulation.sim_time <= 40_000.0);
+            Alcotest.(check bool) "monotone counters" true
+              (p.Simulation.arrivals >= p.Simulation.completions
+              && p.Simulation.measured <= p.Simulation.completions) )
+      cfg
+  in
+  Alcotest.(check int) "heartbeat fired 8 times" 8 !ticks;
+  check_float ~eps:0.0 "mean response time unchanged"
+    plain.Simulation.metrics.Core.Metrics.mean_response_time
+    with_progress.Simulation.metrics.Core.Metrics.mean_response_time;
+  Alcotest.(check int) "same arrivals" plain.Simulation.total_arrivals
+    with_progress.Simulation.total_arrivals;
+  Alcotest.(check (list int)) "completion order unchanged" plain_order !order;
+  Alcotest.(check bool) "heartbeat events counted" true
+    (with_progress.Simulation.events_executed > plain.Simulation.events_executed)
+
+let telemetry_fault_accounting () =
+  let speeds = [| 1.0; 2.0 |] in
+  let workload = Workload.paper_default ~rho:0.5 ~speeds in
+  let cfg =
+    Simulation.default_config
+      ~faults:(Fault.exponential ~on_failure:Fault.Drop ~mtbf:1500.0 ~mttr:100.0 ())
+      ~horizon:30_000.0 ~warmup:5_000.0 ~speeds ~workload
+      ~scheduler:(Scheduler.static Core.Policy.wrr) ()
+  in
+  let t = Telemetry.create ~trace:true cfg in
+  let result =
+    Simulation.run
+      ~on_dispatch:(Telemetry.on_dispatch t)
+      ~on_completion:(Telemetry.on_completion t)
+      ~on_drop:(Telemetry.on_drop t)
+      ~on_rate_change:(Telemetry.on_rate_change t)
+      cfg
+  in
+  Telemetry.finalize t result;
+  let text = Registry.to_prometheus (Telemetry.registry t) in
+  List.iter
+    (fun needle ->
+      let rec find i =
+        if i + String.length needle > String.length text then false
+        else if String.sub text i (String.length needle) = needle then true
+        else find (i + 1)
+      in
+      Alcotest.(check bool) (needle ^ " exported") true (find 0))
+    [
+      "# TYPE statsched_jobs_dispatched_total counter";
+      "# TYPE statsched_response_time_seconds histogram";
+      "statsched_response_time_seconds_bucket";
+      "# TYPE statsched_fault_rate_changes_total counter";
+      "statsched_computer_down_seconds{computer=\"0\"}";
+      "statsched_availability";
+      "statsched_des_events_per_second";
+      "statsched_des_heap_high_water";
+      "statsched_dispatch_drift{computer=\"1\"}";
+    ];
+  (* Down spans were recorded and the trace is non-trivial. *)
+  Alcotest.(check bool) "rate changes observed" true
+    (match result.Simulation.fault_summary with
+    | Some s -> s.Fault.failures > 0
+    | None -> false);
+  Alcotest.(check bool) "trace has job + fault events" true
+    (Telemetry.trace_event_count t > 100)
+
+let suite =
+  [
+    test "hdr: indexing, counts and ranges" hdr_basic;
+    test "hdr: empty stats and validation" hdr_empty_and_validation;
+    test "hdr: log-linear resolution bound" hdr_resolution;
+    slow_test "hdr: quantiles vs exact on 1e5 exponential samples"
+      hdr_quantile_exponential;
+    test "hdr: merge is exact" hdr_merge;
+    test "registry: handles, dedup and validation" registry_basic;
+    test "registry: prometheus golden output" registry_prometheus_golden;
+    test "registry: families share one TYPE header" registry_family_grouping;
+    test "registry: label values escaped" registry_label_escaping;
+    test "trace: chrome trace-event golden JSON" trace_event_golden;
+    test "trace: string escaping" trace_event_escaping;
+    test "clock: monotone and non-negative" clock_monotone;
+    slow_test "telemetry: instrumented runs bit-identical" telemetry_bit_identity;
+    slow_test "telemetry: progress heartbeat preserves the run"
+      progress_preserves_metrics;
+    slow_test "telemetry: fault accounting exported" telemetry_fault_accounting;
+  ]
