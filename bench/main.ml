@@ -63,7 +63,10 @@ let test_scaling_dispatch =
   let total = Array.fold_left ( +. ) 0.0 alpha in
   alpha.(0) <- alpha.(0) +. (1.0 -. total);
   let d = Core.Dispatch.round_robin alpha in
-  Test.make ~name:"scaling/algorithm 2 dispatch (512 computers)"
+  (* Round-robin select is an O(n) argmin scan per arrival — acceptable at
+     n <= 512, but this benchmark keeps the cost visible so a regression
+     (or a future cluster-size bump) shows up in BENCH_<rev>.json. *)
+  Test.make ~name:"scaling/round-robin dispatch (512 computers)"
     (Staged.stage (fun () -> ignore (Core.Dispatch.select d)))
 
 let test_fig3_allocation =
@@ -193,7 +196,7 @@ let write_bench_json ~micro ~macros =
    under ORR, reporting the engine's wall-clock throughput from the new
    self-profiling counters.  The workload is fixed, so des_events_per_sec
    tracks simulator speed across revisions. *)
-let run_macro () =
+let run_macro ~jobs () =
   E.Report.print_section "Macro benchmark: DES engine throughput";
   let speeds = Core.Speeds.table3 in
   let workload = Cluster.Workload.paper_default ~rho:0.7 ~speeds in
@@ -210,11 +213,42 @@ let run_macro () =
     "%d events in %.3f s wall = %.0f events/s (heap high-water %d)\n%!"
     result.Cluster.Simulation.events_executed wall per_sec
     result.Cluster.Simulation.heap_high_water;
+  (* Replication-harness throughput: the same cluster as a replication
+     batch, once sequentially and once fanned out over [jobs] domains.
+     Replication k always draws from RNG substream k, so both batches
+     must agree bit-for-bit — checked here on every benchmark run. *)
+  let spec =
+    E.Runner.make_spec ~speeds ~workload
+      ~scheduler:(Cluster.Scheduler.static Core.Policy.orr) ()
+  in
+  let batch = { E.Config.horizon = 5.0e4; warmup = 1.25e4; reps = 8 } in
+  let p_seq, wall_seq = E.Runner.measure_wall ~seed:42L ~jobs:1 ~scale:batch spec in
+  let p_par, wall_par = E.Runner.measure_wall ~seed:42L ~jobs ~scale:batch spec in
+  let mean p = p.E.Runner.mean_response_ratio.Statsched_stats.Confidence.mean in
+  let identical =
+    Float.equal (mean p_seq) (mean p_par)
+    && Float.equal p_seq.E.Runner.jobs_per_rep p_par.E.Runner.jobs_per_rep
+    && Float.equal p_seq.E.Runner.pooled_p99_ratio p_par.E.Runner.pooled_p99_ratio
+  in
+  let reps = float_of_int batch.E.Config.reps in
+  let reps_per_sec = if wall_par > 0.0 then reps /. wall_par else 0.0 in
+  let reps_per_sec_serial = if wall_seq > 0.0 then reps /. wall_seq else 0.0 in
+  let speedup = if wall_par > 0.0 then wall_seq /. wall_par else 0.0 in
+  Printf.printf
+    "%d replications: %.3f s sequential, %.3f s on %d domain(s) = %.2f \
+     reps/s (speedup %.2fx, results identical: %b)\n%!"
+    batch.E.Config.reps wall_seq wall_par jobs reps_per_sec speedup identical;
+  if not identical then
+    failwith "macro benchmark: parallel replication results diverged from sequential";
   [
     ("des_events_per_sec", per_sec);
     ("des_events_total", events);
     ("des_heap_high_water", float_of_int result.Cluster.Simulation.heap_high_water);
     ("macro_wall_seconds", wall);
+    ("reps_per_sec", reps_per_sec);
+    ("reps_per_sec_serial", reps_per_sec_serial);
+    ("parallel_speedup", speedup);
+    ("parallel_jobs", float_of_int jobs);
   ]
 
 let run_micro () =
@@ -441,7 +475,34 @@ let run_ext_adaptive ~scale =
 (* ------------------------------------------------------------------ *)
 
 let () =
-  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  (* Usage: main.exe [mode] [--jobs N].  Mode defaults to "all"; --jobs
+     sets the replication fan-out for the macro benchmark (default:
+     STATSCHED_JOBS or the recommended domain count). *)
+  let mode = ref "all" in
+  let jobs = ref None in
+  let argc = Array.length Sys.argv in
+  let i = ref 1 in
+  while !i < argc do
+    (match Sys.argv.(!i) with
+    | "--jobs" | "-j" when !i + 1 < argc ->
+      incr i;
+      jobs := Some Sys.argv.(!i)
+    | arg when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" ->
+      jobs := Some (String.sub arg 7 (String.length arg - 7))
+    | arg -> mode := arg);
+    incr i
+  done;
+  let mode = !mode in
+  let jobs =
+    match !jobs with
+    | None -> Statsched_par.Par.default_jobs ()
+    | Some s -> (
+      match int_of_string_opt s with
+      | Some j when j >= 1 -> j
+      | Some _ | None ->
+        Printf.eprintf "bench: --jobs expects a positive integer (got %S)\n" s;
+        exit 2)
+  in
   let scale = E.Config.of_env () in
   Printf.printf "statsched bench harness — scale: %s (horizon %g s, %d replications)\n"
     (E.Config.scale_name scale) scale.E.Config.horizon scale.E.Config.reps;
@@ -450,7 +511,7 @@ let () =
   let do_figures = mode = "all" || mode = "figures" in
   let do_ablations = mode = "all" || mode = "ablations" in
   let micro = if do_micro then run_micro () else [] in
-  let macros = if do_macro then run_macro () else [] in
+  let macros = if do_macro then run_macro ~jobs () else [] in
   if do_micro || do_macro then write_bench_json ~micro ~macros;
   if do_figures then begin
     print_table2 ();

@@ -46,6 +46,27 @@ let seed_t =
     & opt int64 (Int64.of_int 20260705)
     & info [ "seed" ] ~docv:"SEED" ~doc:"Root random seed.")
 
+let jobs_t =
+  let jobs_conv =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> Ok n
+      | Some _ | None ->
+        Error (`Msg (Printf.sprintf "JOBS must be a positive integer (got %S)" s))
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(
+    value
+    & opt (some jobs_conv) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Fan replications out over $(docv) OCaml domains (default: the \
+           $(b,STATSCHED_JOBS) environment variable, else the machine's \
+           recommended domain count; 1 = fully sequential). Replication $(i,k) \
+           always draws from RNG substream $(i,k), so the output is \
+           bit-identical for every $(docv).")
+
 let scale_t =
   let scale_conv =
     let parse = function
@@ -446,12 +467,12 @@ let run_cmd =
     term
 
 let compare_cmd =
-  let run speeds rho seed scale =
+  let run speeds rho seed scale jobs =
     try
       let workload = Cluster.Workload.paper_default ~rho ~speeds in
       let points =
-        E.Sweep.over_schedulers ~seed ~scale ~schedulers:E.Schedulers.with_least_load
-          ~speeds ~workload ()
+        E.Sweep.over_schedulers ~seed ?jobs ~scale
+          ~schedulers:E.Schedulers.with_least_load ~speeds ~workload ()
       in
       print_string
         (E.Report.render
@@ -473,7 +494,7 @@ let compare_cmd =
       `Ok ()
     with Invalid_argument m -> `Error (false, m)
   in
-  let term = Term.(ret (const run $ speeds_t $ rho_t $ seed_t $ scale_t)) in
+  let term = Term.(ret (const run $ speeds_t $ rho_t $ seed_t $ scale_t $ jobs_t)) in
   Cmd.v
     (Cmd.info "compare"
        ~doc:"Simulate all five schedulers (WRAN/ORAN/WRR/ORR/Least-Load) on one cluster.")
@@ -505,7 +526,7 @@ let experiment_cmd =
             "Also write each figure's series (with half-width columns) as \
              CSV files into $(docv).")
   in
-  let run which scale seed csv_dir =
+  let run which scale seed jobs csv_dir =
     let write_sweeps name sweeps =
       match csv_dir with
       | None -> ()
@@ -523,50 +544,50 @@ let experiment_cmd =
     in
     let table1 () =
       E.Report.print_section "Table 1";
-      print_string (E.Table1.to_report (E.Table1.run ~scale ~seed ()))
+      print_string (E.Table1.to_report (E.Table1.run ~scale ~seed ?jobs ()))
     in
     let fig2 () =
       E.Report.print_section "Figure 2";
-      print_string (E.Fig2.to_report (E.Fig2.run ~seed ()))
+      print_string (E.Fig2.to_report (E.Fig2.run ~seed ?jobs ()))
     in
     let fig3 () =
       E.Report.print_section "Figure 3";
-      let rows = E.Fig3.run ~scale ~seed () in
+      let rows = E.Fig3.run ~scale ~seed ?jobs () in
       print_string (E.Fig3.to_report rows);
       write_sweeps "fig3" (E.Fig3.sweeps rows)
     in
     let fig4 () =
       E.Report.print_section "Figure 4";
-      let rows = E.Fig4.run ~scale ~seed () in
+      let rows = E.Fig4.run ~scale ~seed ?jobs () in
       print_string (E.Fig4.to_report rows);
       write_sweeps "fig4" (E.Fig4.sweeps rows)
     in
     let fig5 () =
       E.Report.print_section "Figure 5";
-      let rows = E.Fig5.run ~scale ~seed () in
+      let rows = E.Fig5.run ~scale ~seed ?jobs () in
       print_string (E.Fig5.to_report rows);
       write_sweeps "fig5" (E.Fig5.sweeps rows)
     in
     let fig6 () =
       E.Report.print_section "Figure 6";
-      let under = E.Fig6.run ~scale ~seed ~errors:E.Fig6.default_errors_under () in
-      let over = E.Fig6.run ~scale ~seed ~errors:E.Fig6.default_errors_over () in
+      let under = E.Fig6.run ~scale ~seed ?jobs ~errors:E.Fig6.default_errors_under () in
+      let over = E.Fig6.run ~scale ~seed ?jobs ~errors:E.Fig6.default_errors_over () in
       print_string (E.Fig6.to_report ~under ~over);
       write_sweeps "fig6" (E.Fig6.sweeps ~under ~over)
     in
     let ext_burstiness () =
       E.Report.print_section "Extension: arrival burstiness";
-      let rows = E.Ext_burstiness.run ~scale ~seed () in
+      let rows = E.Ext_burstiness.run ~scale ~seed ?jobs () in
       print_string (E.Ext_burstiness.to_report rows);
       write_sweeps "ext-burstiness" (E.Ext_burstiness.sweeps rows)
     in
     let ext_sizes () =
       E.Report.print_section "Extension: size-distribution sensitivity";
-      print_string (E.Ext_sizes.to_report (E.Ext_sizes.run ~scale ~seed ()))
+      print_string (E.Ext_sizes.to_report (E.Ext_sizes.run ~scale ~seed ?jobs ()))
     in
     let ext_faults () =
       E.Report.print_section "Extension: fault injection";
-      print_string (E.Ext_faults.to_report (E.Ext_faults.run ~scale ~seed ()))
+      print_string (E.Ext_faults.to_report (E.Ext_faults.run ~scale ~seed ?jobs ()))
     in
     (match which with
     | "table1" -> table1 ()
@@ -590,7 +611,7 @@ let experiment_cmd =
       ext_faults ());
     `Ok ()
   in
-  let term = Term.(ret (const run $ which_t $ scale_t $ seed_t $ csv_t)) in
+  let term = Term.(ret (const run $ which_t $ scale_t $ seed_t $ jobs_t $ csv_t)) in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a table or figure from the paper.")
     term
@@ -718,15 +739,15 @@ let report_cmd =
       & opt string "statsched-report.md"
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output Markdown file.")
   in
-  let run scale seed out =
+  let run scale seed jobs out =
     Printf.printf "running all experiments at scale %s (this may take a while)...\n%!"
       (E.Config.scale_name scale);
-    let doc = E.Md_report.generate_fresh ~scale ~seed () in
+    let doc = E.Md_report.generate_fresh ~scale ~seed ?jobs () in
     E.Md_report.write ~path:out doc;
     Printf.printf "wrote %s (%d bytes)\n" out (String.length doc);
     `Ok ()
   in
-  let term = Term.(ret (const run $ scale_t $ seed_t $ out_t)) in
+  let term = Term.(ret (const run $ scale_t $ seed_t $ jobs_t $ out_t)) in
   Cmd.v
     (Cmd.info "report"
        ~doc:
@@ -735,12 +756,12 @@ let report_cmd =
     term
 
 let claims_cmd =
-  let run scale seed =
-    let inputs = E.Paper_claims.gather ~scale ~seed () in
+  let run scale seed jobs =
+    let inputs = E.Paper_claims.gather ~scale ~seed ?jobs () in
     print_string (E.Paper_claims.to_report (E.Paper_claims.evaluate inputs));
     `Ok ()
   in
-  let term = Term.(ret (const run $ scale_t $ seed_t)) in
+  let term = Term.(ret (const run $ scale_t $ seed_t $ jobs_t)) in
   Cmd.v
     (Cmd.info "claims"
        ~doc:"Evaluate the 18 executable paper claims and print the scoreboard.")

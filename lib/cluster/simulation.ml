@@ -39,6 +39,8 @@ type result = {
   metrics : Core.Metrics.t;
   median_response_ratio : float;
   p99_response_ratio : float;
+  response_time_histogram : Statsched_obs.Hdr_histogram.t;
+  response_ratio_histogram : Statsched_obs.Hdr_histogram.t;
   per_computer : per_computer array;
   dispatch_fractions : float array;
   intended_fractions : float array option;
@@ -612,6 +614,8 @@ let run ?sanitize ?on_dispatch ?on_completion ?on_tick ?on_drop ?on_rate_change
     metrics;
     median_response_ratio = Collector.median_ratio collector;
     p99_response_ratio = Collector.p99_ratio collector;
+    response_time_histogram = Collector.response_time_histogram collector;
+    response_ratio_histogram = Collector.response_ratio_histogram collector;
     per_computer;
     dispatch_fractions = Core.Metrics.actual_fractions dispatched;
     intended_fractions = intended_fractions ();

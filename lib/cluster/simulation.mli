@@ -70,6 +70,13 @@ type result = {
   metrics : Statsched_core.Metrics.t;
   median_response_ratio : float;
   p99_response_ratio : float;
+  response_time_histogram : Statsched_obs.Hdr_histogram.t;
+      (** full response-time distribution of the measurement window
+          (~3 % relative resolution); layouts are identical across runs,
+          so per-replication histograms merge exactly with
+          {!Statsched_obs.Hdr_histogram.merge} *)
+  response_ratio_histogram : Statsched_obs.Hdr_histogram.t;
+      (** same, for the response {e ratio} (response time x speed/size) *)
   per_computer : per_computer array;
   dispatch_fractions : float array;
       (** per-computer share of post-warm-up dispatches *)

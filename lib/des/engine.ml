@@ -27,23 +27,29 @@ let cancel e h = Event_queue.cancel e.queue h
 let pending_events e = Event_queue.size e.queue
 
 let step e =
-  match Event_queue.pop e.queue with
-  | None -> false
-  | Some (time, f) ->
-    e.clock <- time;
+  (* Allocation-free event dispatch: [pop_step] parks the event in the
+     queue's scratch slot instead of returning a [(time, payload) option]. *)
+  if Event_queue.pop_step e.queue then begin
+    e.clock <- Event_queue.last_time e.queue;
     e.executed <- e.executed + 1;
-    f e;
+    (Event_queue.last_payload e.queue) e;
     true
+  end
+  else false
 
 let run ?until e =
   match until with
   | None -> while step e do () done
   | Some horizon ->
-    let continue = ref true in
-    while !continue do
-      match Event_queue.peek_time e.queue with
-      | Some t when t <= horizon -> ignore (step e)
-      | Some _ | None -> continue := false
+    let running = ref true in
+    while !running do
+      (* [next_time] is NaN when the queue is empty, and NaN <= horizon
+         is false — one allocation-free comparison covers both exits. *)
+      let t = Event_queue.next_time e.queue in
+      if t <= horizon then begin
+        if not (step e) then running := false
+      end
+      else running := false
     done;
     if e.clock < horizon then e.clock <- horizon
 

@@ -1,158 +1,338 @@
-type 'a entry = {
-  time : float;
-  seq : int;  (* insertion order, for FIFO ties and as cancellation id *)
-  payload : 'a;
-}
+(* Structure-of-arrays binary min-heap keyed by (time, seq).
+
+   Entry [i] lives across three parallel arrays: [times] (an unboxed
+   floatarray), [seqs] and [payloads].  Compared with a heap of records
+   this removes the per-event entry allocation, and replacing the old
+   [pending : Hashtbl] with a [live] counter plus a cancellation bitmap
+   makes [add]/[pop]/[size]/[is_empty] allocation-free — [size] and
+   [is_empty] are a plain field read.
+
+   The bitmap [done_bits] has one bit per sequence number at or above
+   [base]; a set bit means the event already fired or was cancelled.
+   [base] slides forward (whole bytes at a time so the window moves with
+   a blit) whenever the low bits can no longer be referenced: when the
+   queue empties, after compaction, and opportunistically instead of
+   growing — so the window tracks the span of stored events rather than
+   the total event count. *)
 
 type handle = int
 
 type 'a t = {
-  mutable heap : 'a entry array;
-  mutable len : int;
+  mutable times : Float.Array.t;
+  mutable seqs : int array;
+  mutable payloads : 'a array;
+  mutable len : int;  (* stored entries, including lazily-cancelled ones *)
+  mutable live : int;  (* stored entries not yet fired or cancelled *)
   mutable next_seq : int;
   mutable hwm : int;  (* most live events ever pending at once *)
-  mutable filler : 'a entry option;
-      (* Written into vacated heap slots so popped entries (and their
-         payloads) become collectable immediately.  The type has no value
-         to make one from until the first [add], whose entry is kept as
-         the filler — so at most that one entry outlives its scheduling
-         (until [clear]). *)
-  pending : (int, unit) Hashtbl.t;  (* seqs scheduled and not yet fired/cancelled *)
+  mutable filler : 'a option;
+      (* Written into vacated payload slots so popped entries become
+         collectable immediately.  The type has no value to make one from
+         until the first [add], whose payload is kept as the filler — so
+         at most that one payload outlives its scheduling (until
+         [clear]). *)
+  mutable done_bits : Bytes.t;  (* bit [seq - base]: fired or cancelled *)
+  mutable base : int;  (* sequence number of bit 0; bits below are done *)
+  init_cap : int;
+  last_time : Float.Array.t;  (* length 1: time of the last [pop_step] *)
+  mutable last_payload : 'a array;  (* length <= 1: its payload *)
 }
 
 let create ?(initial_capacity = 64) () =
   {
-    heap = [||];
+    times = Float.Array.make 0 0.0;
+    seqs = [||];
+    payloads = [||];
     len = 0;
+    live = 0;
     next_seq = 0;
     hwm = 0;
     filler = None;
-    pending = Hashtbl.create (max 16 initial_capacity);
+    done_bits = Bytes.create 0;
+    base = 0;
+    init_cap = max 16 initial_capacity;
+    last_time = Float.Array.make 1 Float.nan;
+    last_payload = [||];
   }
 
-let is_empty q = Hashtbl.length q.pending = 0
+let is_empty q = q.live = 0
 
-let size q = Hashtbl.length q.pending
+let size q = q.live
 
-let precedes a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let high_water q = q.hwm
 
-let swap q i j =
-  let tmp = q.heap.(i) in
-  q.heap.(i) <- q.heap.(j);
-  q.heap.(j) <- tmp
+(* -- cancellation bitmap ------------------------------------------------ *)
 
-let rec sift_up q i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if precedes q.heap.(i) q.heap.(parent) then begin
-      swap q i parent;
-      sift_up q parent
+(* Sequence numbers below [base] are always done; bits beyond the buffer
+   are always clear (never marked).  [ensure_bit] keeps the invariant
+   that every seq in [base, next_seq) has a byte, so the hot-path
+   [mark_done] never allocates. *)
+
+let bit_done q seq =
+  seq < q.base
+  ||
+  let i = seq - q.base in
+  let byte = i lsr 3 in
+  byte < Bytes.length q.done_bits
+  && Char.code (Bytes.unsafe_get q.done_bits byte) land (1 lsl (i land 7)) <> 0
+
+let mark_done q seq =
+  let i = seq - q.base in
+  let byte = i lsr 3 in
+  Bytes.unsafe_set q.done_bits byte
+    (Char.unsafe_chr
+       (Char.code (Bytes.unsafe_get q.done_bits byte) lor (1 lsl (i land 7))))
+
+let min_stored_seq q =
+  let m = ref q.next_seq in
+  for i = 0 to q.len - 1 do
+    if q.seqs.(i) < !m then m := q.seqs.(i)
+  done;
+  !m
+
+(* Slide the window forward by [shift_bytes] whole bytes.  Only legal when
+   every seq below the new base is done — callers pass a base at or below
+   the minimum stored seq, and bits below the minimum stored seq are all
+   set (their events fired or were cancelled). *)
+let rebase_bytes q shift_bytes =
+  if shift_bytes > 0 then begin
+    let blen = Bytes.length q.done_bits in
+    let keep = blen - min shift_bytes blen in
+    if keep > 0 then Bytes.blit q.done_bits (blen - keep) q.done_bits 0 keep;
+    Bytes.fill q.done_bits keep (blen - keep) '\000';
+    q.base <- q.base + (shift_bytes lsl 3)
+  end
+
+let rebase_empty q =
+  (* Queue drained: nothing stored, so every bit is reclaimable. *)
+  let used = (q.next_seq - q.base + 7) lsr 3 in
+  Bytes.fill q.done_bits 0 (min used (Bytes.length q.done_bits)) '\000';
+  q.base <- q.next_seq
+
+let rec ensure_bit q seq =
+  let byte = (seq - q.base) lsr 3 in
+  let blen = Bytes.length q.done_bits in
+  if byte >= blen then begin
+    (* Prefer sliding the window over growing it, but only when that
+       frees at least half the buffer — otherwise growth keeps the sweep
+       over stored seqs amortized O(1) per add. *)
+    let free_bytes = (min_stored_seq q - q.base) lsr 3 in
+    if blen > 0 && 2 * free_bytes >= blen then rebase_bytes q free_bytes
+    else begin
+      let ncap = max 64 (max (byte + 1) (2 * blen)) in
+      let nb = Bytes.make ncap '\000' in
+      Bytes.blit q.done_bits 0 nb 0 blen;
+      q.done_bits <- nb
+    end;
+    if (seq - q.base) lsr 3 >= Bytes.length q.done_bits then ensure_bit q seq
+  end
+
+(* -- heap helpers ------------------------------------------------------- *)
+
+let precedes q i j =
+  let ti = Float.Array.unsafe_get q.times i
+  and tj = Float.Array.unsafe_get q.times j in
+  ti < tj || (Float.equal ti tj && q.seqs.(i) < q.seqs.(j))
+
+let blank q i =
+  match q.filler with Some d -> q.payloads.(i) <- d | None -> ()
+
+let ensure_capacity q payload =
+  (match q.filler with None -> q.filler <- Some payload | Some _ -> ());
+  if Array.length q.last_payload = 0 then q.last_payload <- Array.make 1 payload;
+  let cap = Float.Array.length q.times in
+  if q.len = cap then begin
+    let ncap = max q.init_cap (2 * cap) in
+    let nt = Float.Array.make ncap 0.0 in
+    Float.Array.blit q.times 0 nt 0 q.len;
+    q.times <- nt;
+    let ns = Array.make ncap 0 in
+    Array.blit q.seqs 0 ns 0 q.len;
+    q.seqs <- ns;
+    let np = Array.make ncap payload in
+    Array.blit q.payloads 0 np 0 q.len;
+    (* Fill the unused tail with the filler so growth retains no payload
+       beyond it. *)
+    (match q.filler with
+    | Some d -> Array.fill np q.len (ncap - q.len) d
+    | None -> ());
+    q.payloads <- np
+  end
+
+let add q ~time payload =
+  if not (Float.is_finite time) then
+    invalid_arg "Event_queue.add: non-finite time";
+  ensure_capacity q payload;
+  let seq = q.next_seq in
+  q.next_seq <- seq + 1;
+  ensure_bit q seq;
+  (* Sift up with a hole: the new entry has the largest seq, so on a time
+     tie it never precedes its parent (FIFO). *)
+  let i = ref q.len in
+  q.len <- q.len + 1;
+  let sifting = ref true in
+  while !sifting && !i > 0 do
+    let p = (!i - 1) / 2 in
+    let tp = Float.Array.unsafe_get q.times p in
+    if time < tp then begin
+      Float.Array.unsafe_set q.times !i tp;
+      q.seqs.(!i) <- q.seqs.(p);
+      q.payloads.(!i) <- q.payloads.(p);
+      i := p
+    end
+    else sifting := false
+  done;
+  Float.Array.unsafe_set q.times !i time;
+  q.seqs.(!i) <- seq;
+  q.payloads.(!i) <- payload;
+  q.live <- q.live + 1;
+  if q.live > q.hwm then q.hwm <- q.live;
+  seq
+
+(* Remove the root, refilling the hole with the last entry sifted down. *)
+let remove_root q =
+  let last = q.len - 1 in
+  q.len <- last;
+  if last = 0 then blank q 0
+  else begin
+    let t = Float.Array.unsafe_get q.times last in
+    let s = q.seqs.(last) in
+    let p = q.payloads.(last) in
+    blank q last;
+    let i = ref 0 in
+    let sifting = ref true in
+    while !sifting do
+      let l = (2 * !i) + 1 in
+      if l >= last then sifting := false
+      else begin
+        let r = l + 1 in
+        let c = if r < last && precedes q r l then r else l in
+        let tc = Float.Array.unsafe_get q.times c in
+        if tc < t || (Float.equal tc t && q.seqs.(c) < s) then begin
+          Float.Array.unsafe_set q.times !i tc;
+          q.seqs.(!i) <- q.seqs.(c);
+          q.payloads.(!i) <- q.payloads.(c);
+          i := c
+        end
+        else sifting := false
+      end
+    done;
+    Float.Array.unsafe_set q.times !i t;
+    q.seqs.(!i) <- s;
+    q.payloads.(!i) <- p
+  end
+
+let rec pop_step q =
+  if q.len = 0 then begin
+    rebase_empty q;
+    false
+  end
+  else begin
+    let time = Float.Array.unsafe_get q.times 0 in
+    let seq = q.seqs.(0) in
+    let payload = q.payloads.(0) in
+    remove_root q;
+    if bit_done q seq then pop_step q (* cancelled: skip *)
+    else begin
+      mark_done q seq;
+      q.live <- q.live - 1;
+      Float.Array.unsafe_set q.last_time 0 time;
+      q.last_payload.(0) <- payload;
+      true
     end
   end
+
+let last_time q = Float.Array.get q.last_time 0
+
+let last_payload q = q.last_payload.(0)
+
+let blank_last q =
+  match q.filler with Some d -> q.last_payload.(0) <- d | None -> ()
+
+let pop q =
+  if pop_step q then begin
+    let p = q.last_payload.(0) in
+    (* Release the scratch slot so the popped payload does not outlive
+       this call. *)
+    blank_last q;
+    Some (Float.Array.get q.last_time 0, p)
+  end
+  else None
+
+let rec next_time q =
+  if q.len = 0 then Float.nan
+  else if bit_done q q.seqs.(0) then begin
+    remove_root q;
+    next_time q
+  end
+  else Float.Array.unsafe_get q.times 0
+
+let peek_time q =
+  let t = next_time q in
+  if Float.is_nan t then None else Some t
+
+(* -- cancellation ------------------------------------------------------- *)
+
+let swap q i j =
+  let t = Float.Array.get q.times i in
+  Float.Array.set q.times i (Float.Array.get q.times j);
+  Float.Array.set q.times j t;
+  let s = q.seqs.(i) in
+  q.seqs.(i) <- q.seqs.(j);
+  q.seqs.(j) <- s;
+  let p = q.payloads.(i) in
+  q.payloads.(i) <- q.payloads.(j);
+  q.payloads.(j) <- p
 
 let rec sift_down q i =
   let l = (2 * i) + 1 in
   if l < q.len then begin
     let r = l + 1 in
-    let smallest = if r < q.len && precedes q.heap.(r) q.heap.(l) then r else l in
-    if precedes q.heap.(smallest) q.heap.(i) then begin
+    let smallest = if r < q.len && precedes q r l then r else l in
+    if precedes q smallest i then begin
       swap q i smallest;
       sift_down q smallest
     end
   end
 
-let grow q entry =
-  let cap = Array.length q.heap in
-  if q.len = cap then begin
-    let ncap = max 64 (2 * cap) in
-    let nheap = Array.make ncap entry in
-    Array.blit q.heap 0 nheap 0 q.len;
-    q.heap <- nheap
-  end
-
-let add q ~time payload =
-  if Float.is_nan time || abs_float time = infinity then
-    invalid_arg "Event_queue.add: non-finite time";
-  let entry = { time; seq = q.next_seq; payload } in
-  q.next_seq <- q.next_seq + 1;
-  grow q entry;
-  q.heap.(q.len) <- entry;
-  q.len <- q.len + 1;
-  Hashtbl.add q.pending entry.seq ();
-  let live = Hashtbl.length q.pending in
-  if live > q.hwm then q.hwm <- live;
-  sift_up q (q.len - 1);
-  (match q.filler with None -> q.filler <- Some entry | Some _ -> ());
-  entry.seq
-
-let blank q i = match q.filler with Some d -> q.heap.(i) <- d | None -> ()
-
-(* Rebuild the heap from the entries still pending (Floyd's bottom-up
+(* Rebuild the heap from the entries still live (Floyd's bottom-up
    heapify).  Pop order only depends on [(time, seq)], never on array
    layout, so compaction cannot change simulation results. *)
 let compact q =
   let j = ref 0 in
   for i = 0 to q.len - 1 do
-    let e = q.heap.(i) in
-    if Hashtbl.mem q.pending e.seq then begin
-      q.heap.(!j) <- e;
+    if not (bit_done q q.seqs.(i)) then begin
+      Float.Array.unsafe_set q.times !j (Float.Array.unsafe_get q.times i);
+      q.seqs.(!j) <- q.seqs.(i);
+      q.payloads.(!j) <- q.payloads.(i);
       incr j
     end
   done;
   let new_len = !j in
   (match q.filler with
-  | Some d -> Array.fill q.heap new_len (q.len - new_len) d
+  | Some d -> Array.fill q.payloads new_len (q.len - new_len) d
   | None -> ());
   q.len <- new_len;
   for i = (new_len / 2) - 1 downto 0 do
     sift_down q i
-  done
+  done;
+  if new_len = 0 then rebase_empty q
+  else begin
+    let free_bytes = (min_stored_seq q - q.base) lsr 3 in
+    rebase_bytes q free_bytes
+  end
 
 let cancel q h =
-  (* Lazy deletion: drop from the pending set now, skip at pop time.
-     When cancellations pile up (live entries under a quarter of the
-     heap) compact eagerly, otherwise a cancel-heavy workload holds on
-     to arbitrarily many dead entries until pops reach them. *)
-  if Hashtbl.mem q.pending h then begin
-    Hashtbl.remove q.pending h;
-    if q.len >= 64 && Hashtbl.length q.pending * 4 < q.len then compact q;
+  (* Lazy deletion: set the done bit now, skip at pop time.  When
+     cancellations pile up (live entries under a quarter of the heap)
+     compact eagerly, otherwise a cancel-heavy workload holds on to
+     arbitrarily many dead entries until pops reach them. *)
+  if h < q.base || h >= q.next_seq || bit_done q h then false
+  else begin
+    mark_done q h;
+    q.live <- q.live - 1;
+    if q.len >= 64 && q.live * 4 < q.len then compact q;
     true
-  end
-  else false
-
-let pop_raw q =
-  if q.len = 0 then None
-  else begin
-    let top = q.heap.(0) in
-    q.len <- q.len - 1;
-    if q.len > 0 then begin
-      q.heap.(0) <- q.heap.(q.len);
-      blank q q.len;
-      sift_down q 0
-    end
-    else blank q 0;
-    Some top
-  end
-
-let rec pop q =
-  match pop_raw q with
-  | None -> None
-  | Some entry ->
-    if Hashtbl.mem q.pending entry.seq then begin
-      Hashtbl.remove q.pending entry.seq;
-      Some (entry.time, entry.payload)
-    end
-    else pop q (* cancelled: skip *)
-
-let rec peek_time q =
-  if q.len = 0 then None
-  else begin
-    let top = q.heap.(0) in
-    if Hashtbl.mem q.pending top.seq then Some top.time
-    else begin
-      ignore (pop_raw q);
-      peek_time q
-    end
   end
 
 (* Audit the heap property over every stored entry (live or lazily
@@ -161,23 +341,25 @@ let rec peek_time q =
 let heap_ordered q =
   let ok = ref true in
   for i = 1 to q.len - 1 do
-    if precedes q.heap.(i) q.heap.((i - 1) / 2) then ok := false
+    if precedes q i ((i - 1) / 2) then ok := false
   done;
   !ok
 
 module Testing = struct
   let corrupt q =
     if q.len >= 2 then
-      q.heap.(0) <- { (q.heap.(0)) with time = q.heap.(q.len - 1).time +. 1.0 }
+      Float.Array.set q.times 0 (Float.Array.get q.times (q.len - 1) +. 1.0)
 end
 
 let clear q =
-  (* Release the backing array outright: truncating [len] alone kept
-     every queued entry — and payload — reachable for the queue's
-     lifetime. *)
-  q.heap <- [||];
+  (* Release the backing arrays outright: truncating [len] alone kept
+     every queued payload reachable for the queue's lifetime. *)
+  q.times <- Float.Array.make 0 0.0;
+  q.seqs <- [||];
+  q.payloads <- [||];
+  q.last_payload <- [||];
   q.len <- 0;
+  q.live <- 0;
   q.filler <- None;
-  Hashtbl.reset q.pending
-
-let high_water q = q.hwm
+  q.done_bits <- Bytes.create 0;
+  q.base <- q.next_seq

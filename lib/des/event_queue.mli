@@ -37,6 +37,32 @@ val peek_time : 'a t -> float option
 val pop : 'a t -> (float * 'a) option
 (** Remove and return the earliest live event as [(time, payload)]. *)
 
+(** {2 Allocation-free hot path}
+
+    The engine's event loop runs millions of events per simulated run, so
+    the queue also exposes an interface that never allocates: [next_time]
+    returns a plain float ([nan] encodes "empty"), and [pop_step] removes
+    the earliest live event and parks it in a scratch slot read back with
+    [last_time]/[last_payload]. *)
+
+val next_time : 'a t -> float
+(** Timestamp of the earliest live event, or [Float.nan] when the queue
+    is empty — an allocation-free {!peek_time}. *)
+
+val pop_step : 'a t -> bool
+(** Remove the earliest live event without allocating; returns [false]
+    when the queue is empty.  On [true], the event is available through
+    {!last_time} and {!last_payload} until the next queue operation. *)
+
+val last_time : 'a t -> float
+(** Time of the event removed by the last successful {!pop_step}
+    ([Float.nan] before the first one). *)
+
+val last_payload : 'a t -> 'a
+(** Payload of the event removed by the last successful {!pop_step}.
+    Only meaningful immediately after [pop_step] returned [true]; raises
+    [Invalid_argument] if the queue never held an event. *)
+
 val clear : 'a t -> unit
 (** Drop all events and release the backing storage, so queued payloads
     become collectable immediately. *)

@@ -42,7 +42,7 @@ let dispatch_smoothness_report rows =
 (* ------------------------------------------------------------------ *)
 (* End-to-end scheduler variants                                       *)
 
-let end_to_end ?seed ~scale () =
+let end_to_end ?seed ?jobs ~scale () =
   let speeds = Core.Speeds.table3 in
   let workload = Cluster.Workload.paper_default ~rho:0.7 ~speeds in
   let schedulers =
@@ -55,7 +55,7 @@ let end_to_end ?seed ~scale () =
         ("LeastLoad(instant)", Cluster.Scheduler.least_load_instant);
       ]
   in
-  Sweep.over_schedulers ?seed ~scale ~schedulers ~speeds ~workload ()
+  Sweep.over_schedulers ?seed ?jobs ~scale ~schedulers ~speeds ~workload ()
 
 let end_to_end_report points =
   Report.render
@@ -79,7 +79,7 @@ type discipline_row = {
   response_ratio : Stats.Confidence.interval;
 }
 
-let disciplines ?seed ~scale () =
+let disciplines ?seed ?jobs ~scale () =
   let speeds = [| 1.0; 2.0 |] in
   let workload = Cluster.Workload.poisson_exponential ~rho:0.6 ~mean_size:1.0 ~speeds in
   let run model discipline =
@@ -87,7 +87,7 @@ let disciplines ?seed ~scale () =
       Runner.make_spec ~discipline ~speeds ~workload
         ~scheduler:(Cluster.Scheduler.static Core.Policy.wrr) ()
     in
-    let p = Runner.measure ?seed ~scale spec in
+    let p = Runner.measure ?seed ?jobs ~scale spec in
     {
       model;
       response_time = p.Runner.mean_response_time;

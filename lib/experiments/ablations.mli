@@ -18,7 +18,7 @@ val dispatch_smoothness : ?seed:int64 -> unit -> dispatch_row list
 val dispatch_smoothness_report : dispatch_row list -> string
 
 val end_to_end :
-  ?seed:int64 -> scale:Config.scale -> unit -> (string * Runner.point) list
+  ?seed:int64 -> ?jobs:int -> scale:Config.scale -> unit -> (string * Runner.point) list
 (** Scheduler variants end-to-end on the Table 3 cluster at ρ = 0.7:
     ORR and its dispatch/allocation ablations, WRR, Least-Load with and
     without update delays. *)
@@ -31,7 +31,8 @@ type discipline_row = {
   response_ratio : Statsched_stats.Confidence.interval;
 }
 
-val disciplines : ?seed:int64 -> scale:Config.scale -> unit -> discipline_row list
+val disciplines :
+  ?seed:int64 -> ?jobs:int -> scale:Config.scale -> unit -> discipline_row list
 (** PS vs quantum-RR (two quanta) vs FCFS vs SRPT on an M/M workload —
     the PS-model validation plus the discipline contrast. *)
 

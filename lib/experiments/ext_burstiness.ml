@@ -5,14 +5,14 @@ let default_cvs = [ 0.5; 1.0; 2.0; 3.0; 4.0; 5.0 ]
 
 type t = (float * (string * Runner.point) list) list
 
-let run ?(scale = Config.default_scale) ?seed ?(speeds = Core.Speeds.table3)
+let run ?(scale = Config.default_scale) ?seed ?jobs ?(speeds = Core.Speeds.table3)
     ?(cvs = default_cvs) ?(schedulers = Schedulers.with_least_load) () =
   List.map
     (fun cv ->
       let workload =
         Cluster.Workload.with_cv ~rho:Config.base_utilization ~arrival_cv:cv ~speeds
       in
-      (cv, Sweep.over_schedulers ?seed ~scale ~schedulers ~speeds ~workload ()))
+      (cv, Sweep.over_schedulers ?seed ?jobs ~scale ~schedulers ~speeds ~workload ()))
     cvs
 
 let sweeps t =

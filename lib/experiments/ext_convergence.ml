@@ -5,7 +5,7 @@ let default_horizons = [ 5.0e4; 1.0e5; 2.0e5; 4.0e5; 8.0e5 ]
 
 type t = (float * (string * Runner.point) list) list
 
-let run ?seed ?(speeds = Core.Speeds.table3) ?(rho = 0.9) ?(reps = 5)
+let run ?seed ?jobs ?(speeds = Core.Speeds.table3) ?(rho = 0.9) ?(reps = 5)
     ?(horizons = default_horizons) () =
   let workload = Cluster.Workload.paper_default ~rho ~speeds in
   let schedulers =
@@ -18,7 +18,7 @@ let run ?seed ?(speeds = Core.Speeds.table3) ?(rho = 0.9) ?(reps = 5)
   List.map
     (fun horizon ->
       let scale = { Config.horizon; warmup = horizon /. 4.0; reps } in
-      (horizon, Sweep.over_schedulers ?seed ~scale ~schedulers ~speeds ~workload ()))
+      (horizon, Sweep.over_schedulers ?seed ?jobs ~scale ~schedulers ~speeds ~workload ()))
     horizons
 
 let to_report t =

@@ -15,6 +15,7 @@ type t = (float * (string * Runner.point) list) list
 
 val run :
   ?seed:int64 ->
+  ?jobs:int ->
   ?speeds:float array ->
   ?rho:float ->
   ?reps:int ->

@@ -5,7 +5,7 @@ let default_amplitudes = [ 0.0; 0.1; 0.2; 0.3 ]
 
 type t = (float * (string * Runner.point) list) list
 
-let run ?(scale = Config.default_scale) ?seed ?(speeds = Core.Speeds.table3)
+let run ?(scale = Config.default_scale) ?seed ?jobs ?(speeds = Core.Speeds.table3)
     ?(rho = Config.base_utilization) ?(day_length = 86_400.0)
     ?(amplitudes = default_amplitudes) () =
   List.map
@@ -23,7 +23,7 @@ let run ?(scale = Config.default_scale) ?seed ?(speeds = Core.Speeds.table3)
           ("LeastLoad", Cluster.Scheduler.least_load_paper);
         ]
       in
-      (amplitude, Sweep.over_schedulers ?seed ~scale ~schedulers ~speeds ~workload ()))
+      (amplitude, Sweep.over_schedulers ?seed ?jobs ~scale ~schedulers ~speeds ~workload ()))
     amplitudes
 
 let to_report t =

@@ -15,6 +15,7 @@ type t = (float * (string * Runner.point) list) list
 val run :
   ?scale:Config.scale ->
   ?seed:int64 ->
+  ?jobs:int ->
   ?speeds:float array ->
   ?rho:float ->
   ?day_length:float ->

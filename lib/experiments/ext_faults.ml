@@ -7,7 +7,7 @@ let default_mttr = 50.0
 
 type t = (float * (string * Runner.point) list) list
 
-let run ?(scale = Config.default_scale) ?seed ?(speeds = Core.Speeds.table3)
+let run ?(scale = Config.default_scale) ?seed ?jobs ?(speeds = Core.Speeds.table3)
     ?(mtbfs = default_mtbfs) ?(mttr = default_mttr)
     ?(on_failure = Cluster.Fault.Requeue) () =
   let workload =
@@ -17,7 +17,7 @@ let run ?(scale = Config.default_scale) ?seed ?(speeds = Core.Speeds.table3)
     (fun mtbf ->
       let faults = Cluster.Fault.exponential ~on_failure ~mtbf ~mttr () in
       ( mtbf,
-        Sweep.over_schedulers ?seed ~faults ~scale
+        Sweep.over_schedulers ?seed ?jobs ~faults ~scale
           ~schedulers:Schedulers.with_least_load ~speeds ~workload () ))
     mtbfs
 

@@ -25,6 +25,7 @@ type t = (float * (string * Runner.point) list) list
 val run :
   ?scale:Config.scale ->
   ?seed:int64 ->
+  ?jobs:int ->
   ?speeds:float array ->
   ?mtbfs:float list ->
   ?mttr:float ->

@@ -15,7 +15,7 @@ let schedulers =
     ("LeastLoad", Cluster.Scheduler.least_load_paper);
   ]
 
-let run ?(scale = Config.default_scale) ?seed ?(speeds = Core.Speeds.table3)
+let run ?(scale = Config.default_scale) ?seed ?jobs ?(speeds = Core.Speeds.table3)
     ?(rho = Config.base_utilization) () =
   let workload = Cluster.Workload.paper_default ~rho ~speeds in
   List.map
@@ -24,7 +24,7 @@ let run ?(scale = Config.default_scale) ?seed ?(speeds = Core.Speeds.table3)
         List.map
           (fun (name, scheduler) ->
             let spec = Runner.make_spec ~discipline ~speeds ~workload ~scheduler () in
-            (name, Runner.measure ?seed ~scale spec))
+            (name, Runner.measure ?seed ?jobs ~scale spec))
           schedulers
       in
       { discipline = label; points })

@@ -20,6 +20,7 @@ type t = {
 val run :
   ?scale:Config.scale ->
   ?seed:int64 ->
+  ?jobs:int ->
   ?speeds:float array ->
   ?rho:float ->
   unit ->

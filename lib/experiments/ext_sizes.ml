@@ -38,7 +38,7 @@ let default_schedulers =
     ("WRR", Cluster.Scheduler.Static Core.Policy.wrr);
   ]
 
-let run ?(scale = Config.default_scale) ?seed ?(speeds = Core.Speeds.table3)
+let run ?(scale = Config.default_scale) ?seed ?jobs ?(speeds = Core.Speeds.table3)
     ?(sizes = default_sizes ()) ?(schedulers = default_schedulers) () =
   List.map
     (fun (label, size) ->
@@ -48,7 +48,7 @@ let run ?(scale = Config.default_scale) ?seed ?(speeds = Core.Speeds.table3)
       {
         label;
         size_cv = Dist.Distribution.cv size;
-        points = Sweep.over_schedulers ?seed ~scale ~schedulers ~speeds ~workload ();
+        points = Sweep.over_schedulers ?seed ?jobs ~scale ~schedulers ~speeds ~workload ();
       })
     sizes
 

@@ -26,6 +26,7 @@ val default_sizes : unit -> (string * Statsched_dist.Distribution.t) list
 val run :
   ?scale:Config.scale ->
   ?seed:int64 ->
+  ?jobs:int ->
   ?speeds:float array ->
   ?sizes:(string * Statsched_dist.Distribution.t) list ->
   ?schedulers:(string * Statsched_cluster.Scheduler.kind) list ->

@@ -5,7 +5,7 @@ let default_poll_periods = [ 1.0; 10.0; 100.0; 1000.0; 10000.0 ]
 
 type t = (float * (string * Runner.point) list) list
 
-let run ?(scale = Config.default_scale) ?seed ?(speeds = Core.Speeds.table3)
+let run ?(scale = Config.default_scale) ?seed ?jobs ?(speeds = Core.Speeds.table3)
     ?(poll_periods = default_poll_periods) () =
   let workload =
     Cluster.Workload.paper_default ~rho:Config.base_utilization ~speeds
@@ -23,7 +23,7 @@ let run ?(scale = Config.default_scale) ?seed ?(speeds = Core.Speeds.table3)
           ("LeastLoad", Cluster.Scheduler.least_load_paper);
         ]
       in
-      (period, Sweep.over_schedulers ?seed ~scale ~schedulers ~speeds ~workload ()))
+      (period, Sweep.over_schedulers ?seed ?jobs ~scale ~schedulers ~speeds ~workload ()))
     poll_periods
 
 let to_report t =

@@ -21,6 +21,7 @@ type t = (float * (string * Runner.point) list) list
 val run :
   ?scale:Config.scale ->
   ?seed:int64 ->
+  ?jobs:int ->
   ?speeds:float array ->
   ?poll_periods:float list ->
   unit ->

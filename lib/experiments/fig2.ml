@@ -3,6 +3,7 @@ module Dist = Statsched_dist
 module Stats = Statsched_stats
 module Core = Statsched_core
 module Cluster = Statsched_cluster
+module Par = Statsched_par.Par
 
 let fractions = [| 0.35; 0.22; 0.15; 0.12; 0.04; 0.04; 0.04; 0.04 |]
 
@@ -37,27 +38,33 @@ let run_dispatcher ?(seed = Config.default_seed) ?(n_intervals = 30)
   done;
   Cluster.Interval_stats.deviations stats
 
-let run ?(seed = Config.default_seed) ?n_intervals ?interval_length
+let run ?(seed = Config.default_seed) ?jobs ?n_intervals ?interval_length
     ?mean_interarrival ?arrival_cv () =
   (* Both dispatchers see the identical arrival stream (same seed):
-     common random numbers, as in the paper's comparison. *)
-  let rr =
-    run_dispatcher ~seed ?n_intervals ?interval_length ?mean_interarrival
-      ?arrival_cv
-      (Core.Dispatch.round_robin fractions)
+     common random numbers, as in the paper's comparison.  Each pass
+     builds its own RNGs from fixed seeds, so the two passes are
+     independent and can run on two domains. *)
+  let pass k =
+    if k = 0 then
+      run_dispatcher ~seed ?n_intervals ?interval_length ?mean_interarrival
+        ?arrival_cv
+        (Core.Dispatch.round_robin fractions)
+    else begin
+      let rand_rng = Rng.create ~seed:(Int64.add seed 1L) () in
+      run_dispatcher ~seed ?n_intervals ?interval_length ?mean_interarrival
+        ?arrival_cv
+        (Core.Dispatch.random ~rng:rand_rng fractions)
+    end
   in
-  let rand_rng = Rng.create ~seed:(Int64.add seed 1L) () in
-  let random =
-    run_dispatcher ~seed ?n_intervals ?interval_length ?mean_interarrival
-      ?arrival_cv
-      (Core.Dispatch.random ~rng:rand_rng fractions)
-  in
-  {
-    round_robin = rr;
-    random;
-    round_robin_summary = Stats.Summary.of_array rr;
-    random_summary = Stats.Summary.of_array random;
-  }
+  match Par.map ?jobs 2 pass with
+  | [ rr; random ] ->
+    {
+      round_robin = rr;
+      random;
+      round_robin_summary = Stats.Summary.of_array rr;
+      random_summary = Stats.Summary.of_array random;
+    }
+  | _ -> assert false
 
 let to_report r =
   let open Report in

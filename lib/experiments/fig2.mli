@@ -20,6 +20,7 @@ type result = {
 
 val run :
   ?seed:int64 ->
+  ?jobs:int ->
   ?n_intervals:int ->
   ?interval_length:float ->
   ?mean_interarrival:float ->

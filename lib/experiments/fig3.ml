@@ -5,7 +5,7 @@ let default_fast_speeds = [ 1.0; 2.0; 4.0; 6.0; 8.0; 10.0; 12.0; 16.0; 20.0 ]
 
 type t = (float * (string * Runner.point) list) list
 
-let run ?(scale = Config.default_scale) ?seed
+let run ?(scale = Config.default_scale) ?seed ?jobs
     ?(fast_speeds = default_fast_speeds)
     ?(schedulers = Schedulers.with_least_load) () =
   List.map
@@ -14,7 +14,7 @@ let run ?(scale = Config.default_scale) ?seed
       let workload =
         Cluster.Workload.paper_default ~rho:Config.base_utilization ~speeds
       in
-      (fast, Sweep.over_schedulers ?seed ~scale ~schedulers ~speeds ~workload ()))
+      (fast, Sweep.over_schedulers ?seed ?jobs ~scale ~schedulers ~speeds ~workload ()))
     fast_speeds
 
 let sweeps t =

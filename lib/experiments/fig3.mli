@@ -19,6 +19,7 @@ type t = (float * (string * Runner.point) list) list
 val run :
   ?scale:Config.scale ->
   ?seed:int64 ->
+  ?jobs:int ->
   ?fast_speeds:float list ->
   ?schedulers:(string * Statsched_cluster.Scheduler.kind) list ->
   unit ->

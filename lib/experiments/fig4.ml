@@ -5,7 +5,7 @@ let default_sizes = [ 2; 4; 6; 8; 10; 12; 14; 16; 18; 20 ]
 
 type t = (float * (string * Runner.point) list) list
 
-let run ?(scale = Config.default_scale) ?seed ?(sizes = default_sizes)
+let run ?(scale = Config.default_scale) ?seed ?jobs ?(sizes = default_sizes)
     ?(schedulers = Schedulers.with_least_load) () =
   List.map
     (fun n ->
@@ -17,7 +17,7 @@ let run ?(scale = Config.default_scale) ?seed ?(sizes = default_sizes)
         Cluster.Workload.paper_default ~rho:Config.base_utilization ~speeds
       in
       ( float_of_int n,
-        Sweep.over_schedulers ?seed ~scale ~schedulers ~speeds ~workload () ))
+        Sweep.over_schedulers ?seed ?jobs ~scale ~schedulers ~speeds ~workload () ))
     sizes
 
 let sweeps t =

@@ -18,6 +18,7 @@ type t = (float * (string * Runner.point) list) list
 val run :
   ?scale:Config.scale ->
   ?seed:int64 ->
+  ?jobs:int ->
   ?sizes:int list ->
   ?schedulers:(string * Statsched_cluster.Scheduler.kind) list ->
   unit ->

@@ -5,13 +5,13 @@ let default_utilizations = [ 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9 ]
 
 type t = (float * (string * Runner.point) list) list
 
-let run ?(scale = Config.default_scale) ?seed ?(speeds = Core.Speeds.table3)
+let run ?(scale = Config.default_scale) ?seed ?jobs ?(speeds = Core.Speeds.table3)
     ?(utilizations = default_utilizations)
     ?(schedulers = Schedulers.with_least_load) () =
   List.map
     (fun rho ->
       let workload = Cluster.Workload.paper_default ~rho ~speeds in
-      (rho, Sweep.over_schedulers ?seed ~scale ~schedulers ~speeds ~workload ()))
+      (rho, Sweep.over_schedulers ?seed ?jobs ~scale ~schedulers ~speeds ~workload ()))
     utilizations
 
 let sweeps t =

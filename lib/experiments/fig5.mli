@@ -17,6 +17,7 @@ type t = (float * (string * Runner.point) list) list
 val run :
   ?scale:Config.scale ->
   ?seed:int64 ->
+  ?jobs:int ->
   ?speeds:float array ->
   ?utilizations:float list ->
   ?schedulers:(string * Statsched_cluster.Scheduler.kind) list ->

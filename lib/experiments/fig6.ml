@@ -18,13 +18,13 @@ let schedulers_for ~rho errors =
   (("ORR", Cluster.Scheduler.Static Core.Policy.orr) :: List.map estimated errors)
   @ [ ("WRR", Cluster.Scheduler.Static Core.Policy.wrr) ]
 
-let run ?(scale = Config.default_scale) ?seed ?(speeds = Core.Speeds.table3)
+let run ?(scale = Config.default_scale) ?seed ?jobs ?(speeds = Core.Speeds.table3)
     ?(utilizations = default_utilizations) ~errors () =
   List.map
     (fun rho ->
       let workload = Cluster.Workload.paper_default ~rho ~speeds in
       let schedulers = schedulers_for ~rho errors in
-      (rho, Sweep.over_schedulers ?seed ~scale ~schedulers ~speeds ~workload ()))
+      (rho, Sweep.over_schedulers ?seed ?jobs ~scale ~schedulers ~speeds ~workload ()))
     utilizations
 
 let sweeps ~under ~over =

@@ -11,7 +11,8 @@ val generate :
 (** Render the Markdown document from precomputed experiment inputs.
     [scale]/[seed] appear in the header for provenance only. *)
 
-val generate_fresh : ?scale:Config.scale -> ?seed:int64 -> unit -> string
+val generate_fresh :
+  ?scale:Config.scale -> ?seed:int64 -> ?jobs:int -> unit -> string
 (** [Paper_claims.gather] then {!generate} — the expensive all-in-one. *)
 
 val write : path:string -> string -> unit

@@ -10,15 +10,15 @@ type inputs = {
   fig6_over : Fig6.t;
 }
 
-let gather ?(scale = Config.default_scale) ?seed () =
+let gather ?(scale = Config.default_scale) ?seed ?jobs () =
   {
-    table1 = Table1.run ~scale ?seed ();
-    fig2 = Fig2.run ?seed ();
-    fig3 = Fig3.run ~scale ?seed ();
-    fig4 = Fig4.run ~scale ?seed ();
-    fig5 = Fig5.run ~scale ?seed ();
-    fig6_under = Fig6.run ~scale ?seed ~errors:Fig6.default_errors_under ();
-    fig6_over = Fig6.run ~scale ?seed ~errors:Fig6.default_errors_over ();
+    table1 = Table1.run ~scale ?seed ?jobs ();
+    fig2 = Fig2.run ?seed ?jobs ();
+    fig3 = Fig3.run ~scale ?seed ?jobs ();
+    fig4 = Fig4.run ~scale ?seed ?jobs ();
+    fig5 = Fig5.run ~scale ?seed ?jobs ();
+    fig6_under = Fig6.run ~scale ?seed ?jobs ~errors:Fig6.default_errors_under ();
+    fig6_over = Fig6.run ~scale ?seed ?jobs ~errors:Fig6.default_errors_over ();
   }
 
 type outcome = {

@@ -18,7 +18,8 @@ type inputs = {
   fig6_over : Fig6.t;
 }
 
-val gather : ?scale:Config.scale -> ?seed:int64 -> unit -> inputs
+val gather : ?scale:Config.scale -> ?seed:int64 ->
+  ?jobs:int -> unit -> inputs
 (** Run every experiment the claims need (the bulk of the bench time). *)
 
 type outcome = {

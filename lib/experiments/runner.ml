@@ -1,6 +1,8 @@
 module Cluster = Statsched_cluster
 module Stats = Statsched_stats
 module Metrics = Statsched_core.Metrics
+module Par = Statsched_par.Par
+module Hdr = Statsched_obs.Hdr_histogram
 
 type spec = {
   speeds : float array;
@@ -21,63 +23,43 @@ type point = {
   fairness : Stats.Confidence.interval;
   median_ratio : float;
   p99_ratio : float;
+  response_time_histogram : Hdr.t;
+  response_ratio_histogram : Hdr.t;
+  pooled_median_ratio : float;
+  pooled_p99_ratio : float;
   dispatch_fractions : float array;
   jobs_per_rep : float;
   availability : float;
   lost_jobs_per_rep : float;
 }
 
-let replicate ?(seed = Config.default_seed) ~scale spec =
-  List.init scale.Config.reps (fun replication ->
-      let cfg =
-        Cluster.Simulation.default_config ~discipline:spec.discipline
-          ~horizon:scale.Config.horizon ~warmup:scale.Config.warmup ~seed
-          ~replication ?faults:spec.faults ~speeds:spec.speeds ~workload:spec.workload
-          ~scheduler:spec.scheduler ()
-      in
-      Cluster.Simulation.run cfg)
+let run_replication ~seed ~horizon ~warmup spec replication =
+  let cfg =
+    Cluster.Simulation.default_config ~discipline:spec.discipline ~horizon ~warmup
+      ~seed ~replication ?faults:spec.faults ~speeds:spec.speeds
+      ~workload:spec.workload ~scheduler:spec.scheduler ()
+  in
+  Cluster.Simulation.run cfg
 
-let replicate_parallel ?(seed = Config.default_seed) ?domains ~scale spec =
-  let reps = scale.Config.reps in
-  let domains =
-    match domains with
-    | Some d ->
-      if d < 1 then invalid_arg "Runner.replicate_parallel: domains < 1";
-      min d reps
-    | None -> max 1 (min reps (Domain.recommended_domain_count () - 1))
-  in
-  let run replication =
-    let cfg =
-      Cluster.Simulation.default_config ~discipline:spec.discipline
-        ~horizon:scale.Config.horizon ~warmup:scale.Config.warmup ~seed
-        ~replication ?faults:spec.faults ~speeds:spec.speeds ~workload:spec.workload
-        ~scheduler:spec.scheduler ()
-    in
-    Cluster.Simulation.run cfg
-  in
-  if domains = 1 then List.init reps run
-  else begin
-    (* Static block partition of replication indices across domains. *)
-    let results = Array.make reps None in
-    let worker d () =
-      let k = ref d in
-      while !k < reps do
-        results.(!k) <- Some (run !k);
-        k := !k + domains
-      done
-    in
-    let spawned = List.init domains (fun d -> Domain.spawn (worker d)) in
-    List.iter Domain.join spawned;
-    List.init reps (fun k ->
-        match results.(k) with
-        | Some r -> r
-        | None -> assert false)
-  end
+let replicate ?(seed = Config.default_seed) ?jobs ~scale spec =
+  (* Replication [k] draws from RNG substream [k] and builds its engine,
+     servers and collectors inside the call, so the result is a pure
+     function of [k] — fanning the indices across domains with [Par.map]
+     returns byte-for-byte the list the sequential loop produced. *)
+  Par.map ?jobs scale.Config.reps
+    (run_replication ~seed ~horizon:scale.Config.horizon ~warmup:scale.Config.warmup
+       spec)
+
+let replicate_parallel ?seed ?domains ~scale spec =
+  (match domains with
+  | Some d when d < 1 -> invalid_arg "Runner.replicate_parallel: domains < 1"
+  | Some _ | None -> ());
+  replicate ?seed ?jobs:domains ~scale spec
 
 let point_of_results results =
   match results with
   | [] -> invalid_arg "Runner.point_of_results: no results"
-  | first :: _ ->
+  | first :: rest ->
     let open Cluster.Simulation in
     let extract f = Array.of_list (List.map f results) in
     let times = extract (fun r -> r.metrics.Metrics.mean_response_time) in
@@ -96,6 +78,16 @@ let point_of_results results =
       /. reps
     in
     let avg f = List.fold_left (fun acc r -> acc +. f r) 0.0 results /. reps in
+    (* Pool the per-replication distributions: identical layouts make the
+       bucket-wise merge exact, so the pooled quantiles are what one big
+       histogram over every measured job would have given. *)
+    let rt_hist = Hdr.copy first.response_time_histogram in
+    let rr_hist = Hdr.copy first.response_ratio_histogram in
+    List.iter
+      (fun r ->
+        Hdr.merge ~into:rt_hist r.response_time_histogram;
+        Hdr.merge ~into:rr_hist r.response_ratio_histogram)
+      rest;
     {
       label = first.scheduler_name;
       mean_response_time = Stats.Confidence.of_samples times;
@@ -103,13 +95,18 @@ let point_of_results results =
       fairness = Stats.Confidence.of_samples fairnesses;
       median_ratio = avg (fun r -> r.median_response_ratio);
       p99_ratio = avg (fun r -> r.p99_response_ratio);
+      response_time_histogram = rt_hist;
+      response_ratio_histogram = rr_hist;
+      pooled_median_ratio = Hdr.quantile rr_hist 0.5;
+      pooled_p99_ratio = Hdr.quantile rr_hist 0.99;
       dispatch_fractions = fractions;
       jobs_per_rep = jobs;
       availability = avg (fun r -> r.metrics.Metrics.availability);
       lost_jobs_per_rep = avg (fun r -> float_of_int r.metrics.Metrics.lost_jobs);
     }
 
-let measure ?seed ~scale spec = point_of_results (replicate ?seed ~scale spec)
+let measure ?seed ?jobs ~scale spec =
+  point_of_results (replicate ?seed ?jobs ~scale spec)
 
 type comparison = {
   label_a : string;
@@ -161,25 +158,22 @@ let pp_comparison fmt c =
     (if c.relative_improvement > 0.0 then "better" else "worse")
 
 let measure_to_precision ?(seed = Config.default_seed) ?(horizon = 4.0e5)
-    ?(warmup = 1.0e5) ?(min_reps = 3) ?(max_reps = 30) ~target spec =
+    ?(warmup = 1.0e5) ?(min_reps = 3) ?(max_reps = 30) ?jobs ~target spec =
   if target <= 0.0 then invalid_arg "Runner.measure_to_precision: target <= 0";
   if min_reps < 2 || min_reps > max_reps then
     invalid_arg "Runner.measure_to_precision: need 2 <= min_reps <= max_reps";
-  let run replication =
-    let cfg =
-      Cluster.Simulation.default_config ~discipline:spec.discipline ~horizon ~warmup
-        ~seed ~replication ?faults:spec.faults ~speeds:spec.speeds
-        ~workload:spec.workload ~scheduler:spec.scheduler ()
-    in
-    Cluster.Simulation.run cfg
-  in
+  let run = run_replication ~seed ~horizon ~warmup spec in
   let rec grow results k =
     let point = point_of_results (List.rev results) in
     let rhw = Stats.Confidence.relative_half_width point.mean_response_ratio in
     if (Float.is_finite rhw && rhw <= target) || k >= max_reps then point
     else grow (run k :: results) (k + 1)
   in
-  let initial = List.init min_reps run in
+  (* The mandatory first [min_reps] replications can fan out; the
+     sequential-stopping tail inspects the interval after every added
+     replication, so it stays one-at-a-time (results are identical either
+     way — replication [k] is a pure function of [k]). *)
+  let initial = Par.map ?jobs min_reps run in
   grow (List.rev initial) min_reps
 
 let measure_single_run ?(seed = Config.default_seed) ?(batch_size = 10_000) ~horizon
@@ -210,6 +204,10 @@ let measure_single_run ?(seed = Config.default_seed) ?(batch_size = 10_000) ~hor
     mean_response_ratio = Stats.Batch_means.interval ratio_batches;
     median_ratio = result.median_response_ratio;
     p99_ratio = result.p99_response_ratio;
+    response_time_histogram = Hdr.copy result.response_time_histogram;
+    response_ratio_histogram = Hdr.copy result.response_ratio_histogram;
+    pooled_median_ratio = Hdr.quantile result.response_ratio_histogram 0.5;
+    pooled_p99_ratio = Hdr.quantile result.response_ratio_histogram 0.99;
     fairness =
       (* One replication: no width estimate.  [Confidence.pp] renders a
          nan half-width without the "±" term. *)
@@ -227,3 +225,11 @@ let measure_single_run ?(seed = Config.default_seed) ?(batch_size = 10_000) ~hor
 
 let measure_parallel ?seed ?domains ~scale spec =
   point_of_results (replicate_parallel ?seed ?domains ~scale spec)
+
+let measure_wall ?seed ?jobs ~scale spec =
+  (* Wall-clock the replication batch (monotonic clock; the single
+     schedlint-allowed wall-clock site) — the macro benchmark's
+     reps-per-second / parallel-speedup probe. *)
+  let started = Statsched_obs.Clock.now () in
+  let point = measure ?seed ?jobs ~scale spec in
+  (point, Statsched_obs.Clock.elapsed ~since:started)

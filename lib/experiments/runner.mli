@@ -32,6 +32,16 @@ type point = {
   fairness : Statsched_stats.Confidence.interval;
   median_ratio : float;  (** replication average of the per-run P² median *)
   p99_ratio : float;  (** replication average of the per-run P² p99 *)
+  response_time_histogram : Statsched_obs.Hdr_histogram.t;
+      (** per-replication response-time histograms pooled with the exact
+          bucket-wise merge (identical layouts across replications) *)
+  response_ratio_histogram : Statsched_obs.Hdr_histogram.t;
+      (** same, for the response ratio *)
+  pooled_median_ratio : float;
+      (** median of the pooled ratio histogram — the quantile of all
+          measured jobs at once, as opposed to [median_ratio]'s average
+          of per-run point estimates *)
+  pooled_p99_ratio : float;  (** p99 of the pooled ratio histogram *)
   dispatch_fractions : float array;  (** averaged over replications *)
   jobs_per_rep : float;
   availability : float;
@@ -43,10 +53,20 @@ type point = {
 
 val replicate :
   ?seed:int64 ->
+  ?jobs:int ->
   scale:Config.scale ->
   spec ->
   Statsched_cluster.Simulation.result list
-(** Run [scale.reps] independent replications sequentially. *)
+(** Run [scale.reps] independent replications, fanned out over [jobs]
+    OCaml 5 domains ({!Statsched_par.Par.map}; default [jobs] is the
+    [STATSCHED_JOBS] environment variable or the recommended domain
+    count; [~jobs:1] runs in the calling domain).  Each replication is
+    fully self-contained — engine, servers and RNG substreams are created
+    inside the call — so the result list is {e bitwise identical} for
+    every [jobs] (a test asserts this across schedulers, disciplines and
+    fault plans), just faster on multicore.
+
+    @raise Invalid_argument if [jobs < 1]. *)
 
 val replicate_parallel :
   ?seed:int64 ->
@@ -54,12 +74,7 @@ val replicate_parallel :
   scale:Config.scale ->
   spec ->
   Statsched_cluster.Simulation.result list
-(** Run the replications on [domains] OCaml 5 domains (default: the
-    recommended domain count, capped at the replication count).  Each
-    replication is fully self-contained — engine, servers and RNG
-    substreams are created inside the domain — so results are {e bitwise
-    identical} to {!replicate} (a test asserts this), just faster on
-    multicore.
+(** [replicate ?jobs:domains] under its historical name.
 
     @raise Invalid_argument if [domains < 1]. *)
 
@@ -69,12 +84,19 @@ val measure_parallel :
 
 val point_of_results : Statsched_cluster.Simulation.result list -> point
 (** Aggregate replication results into a data point with 95 % Student-t
-    confidence intervals.
+    confidence intervals; the per-replication HDR histograms are pooled
+    with the exact bucket-wise merge.
 
     @raise Invalid_argument on an empty list. *)
 
-val measure : ?seed:int64 -> scale:Config.scale -> spec -> point
+val measure : ?seed:int64 -> ?jobs:int -> scale:Config.scale -> spec -> point
 (** [point_of_results (replicate ~scale spec)]. *)
+
+val measure_wall :
+  ?seed:int64 -> ?jobs:int -> scale:Config.scale -> spec -> point * float
+(** {!measure} plus the wall-clock seconds the replication batch took
+    (monotonic instrumentation clock) — the macro benchmark's
+    reps-per-second probe. *)
 
 type comparison = {
   label_a : string;
@@ -112,6 +134,7 @@ val measure_to_precision :
   ?warmup:float ->
   ?min_reps:int ->
   ?max_reps:int ->
+  ?jobs:int ->
   target:float ->
   spec ->
   point

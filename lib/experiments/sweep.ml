@@ -1,8 +1,8 @@
-let over_schedulers ?seed ?faults ~scale ~schedulers ~speeds ~workload () =
+let over_schedulers ?seed ?jobs ?faults ~scale ~schedulers ~speeds ~workload () =
   List.map
     (fun (name, scheduler) ->
       let spec = Runner.make_spec ?faults ~speeds ~workload ~scheduler () in
-      (name, Runner.measure ?seed ~scale spec))
+      (name, Runner.measure ?seed ?jobs ~scale spec))
     schedulers
 
 type metric = [ `Time | `Ratio | `Fairness ]

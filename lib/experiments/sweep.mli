@@ -2,6 +2,7 @@
 
 val over_schedulers :
   ?seed:int64 ->
+  ?jobs:int ->
   ?faults:Statsched_cluster.Fault.plan ->
   scale:Config.scale ->
   schedulers:(string * Statsched_cluster.Scheduler.kind) list ->
@@ -12,7 +13,9 @@ val over_schedulers :
 (** Measure every scheduler on the same cluster and workload.  Each
     scheduler sees identical arrival and size streams per replication
     (common random numbers), and the same fault plan when one is
-    given. *)
+    given.  [jobs] fans each scheduler's replications across domains
+    (see {!Runner.replicate}); the output is identical for every
+    [jobs]. *)
 
 type metric = [ `Time | `Ratio | `Fairness ]
 

@@ -10,7 +10,7 @@ type result = {
 
 let paper_percent = [| 0.29; 1.75; 3.84; 7.17; 14.59; 27.95; 30.90 |]
 
-let run ?(scale = Config.default_scale) ?seed () =
+let run ?(scale = Config.default_scale) ?seed ?jobs () =
   let speeds = Core.Speeds.table1 in
   let workload =
     Cluster.Workload.paper_default ~rho:Config.base_utilization ~speeds
@@ -18,7 +18,7 @@ let run ?(scale = Config.default_scale) ?seed () =
   let spec =
     Runner.make_spec ~speeds ~workload ~scheduler:Cluster.Scheduler.least_load_paper ()
   in
-  let point = Runner.measure ?seed ~scale spec in
+  let point = Runner.measure ?seed ?jobs ~scale spec in
   {
     speeds;
     measured_fractions = point.Runner.dispatch_fractions;

@@ -29,6 +29,8 @@ let create ?(sub_count = 32) ~lo ~hi () =
     max_seen = neg_infinity;
   }
 
+let copy h = { h with counts = Array.copy h.counts }
+
 let bin_count h = Array.length h.counts
 
 (* Index of a value known to lie in [lo, hi).  frexp gives x/lo = m·2^e

@@ -26,6 +26,11 @@ val create : ?sub_count:int -> lo:float -> hi:float -> unit -> t
 val add : t -> float -> unit
 (** Record one observation.  @raise Invalid_argument on NaN. *)
 
+val copy : t -> t
+(** An independent histogram with the same layout and contents —
+    mutating either afterwards leaves the other untouched.  Useful as the
+    accumulator seed for a {!merge} fold. *)
+
 val count : t -> int
 (** Total observations, including under/overflow. *)
 

@@ -1,0 +1,70 @@
+(* Fork/join over stdlib Domain — the single Domain.spawn site in the
+   tree (schedlint R6). Indices are handed out dynamically via an atomic
+   counter, but every index writes its result into its own slot, so the
+   returned list is always [f 0; ...; f (n-1)] no matter how the work was
+   scheduled. *)
+
+let available_parallelism () = Domain.recommended_domain_count ()
+
+let default_jobs () =
+  match Sys.getenv_opt "STATSCHED_JOBS" with
+  | None -> available_parallelism ()
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some j when j >= 1 -> j
+    | Some _ | None ->
+      invalid_arg
+        (Printf.sprintf
+           "STATSCHED_JOBS must be a positive integer (got %S)" s))
+
+let resolve_jobs ?jobs n =
+  let jobs =
+    match jobs with
+    | Some j -> if j < 1 then invalid_arg "Par.map: jobs < 1" else j
+    | None -> default_jobs ()
+  in
+  max 1 (min jobs n)
+
+let map_array ?jobs n f =
+  if n < 0 then invalid_arg "Par.map: negative length";
+  let jobs = resolve_jobs ?jobs n in
+  if jobs = 1 then Array.init n f
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let failed = Atomic.make None in
+    (* Each worker (spawned domains plus the caller) pulls the next
+       unstarted index; on the first exception everyone winds down. *)
+    let worker () =
+      let running = ref true in
+      while !running do
+        let k = Atomic.fetch_and_add next 1 in
+        if k >= n || Atomic.get failed <> None then running := false
+        else
+          match f k with
+          | v -> results.(k) <- Some v
+          | exception e ->
+            let bt = Printexc.get_raw_backtrace () in
+            ignore (Atomic.compare_and_set failed None (Some (e, bt)))
+      done
+    in
+    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains;
+    (match Atomic.get failed with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.map
+      (fun slot ->
+        match slot with
+        | Some v -> v
+        | None ->
+          (* Unreachable: every index below [n] was either computed or we
+             raised above. *)
+          assert false)
+      results
+  end
+
+let map ?jobs n f =
+  if n >= 0 && resolve_jobs ?jobs n = 1 then List.init n f
+  else Array.to_list (map_array ?jobs n f)

@@ -1,0 +1,38 @@
+(** Dependency-free fork/join pool over stdlib [Domain].
+
+    This is the only module allowed to call [Domain.spawn] (schedlint R6):
+    keeping domain management in one place is what lets the rest of the
+    tree stay deterministic — callers express {e what} runs in parallel
+    ([map] over an index range) and determinism falls out of the fact that
+    each index computes an independent result written back to its own slot,
+    so the output never depends on which domain ran which index.
+
+    The intended use is the replication harness: replication [k] draws from
+    [Rng.substream k] regardless of scheduling, so [map ~jobs:n] is
+    byte-for-byte identical to [map ~jobs:1]. *)
+
+val available_parallelism : unit -> int
+(** [Domain.recommended_domain_count ()] — an upper bound on useful jobs. *)
+
+val default_jobs : unit -> int
+(** Number of jobs used when [?jobs] is omitted: the [STATSCHED_JOBS]
+    environment variable when set to a positive integer, otherwise
+    [available_parallelism ()]. Raises [Invalid_argument] if
+    [STATSCHED_JOBS] is set but not a positive integer. *)
+
+val map : ?jobs:int -> int -> (int -> 'a) -> 'a list
+(** [map ?jobs n f] computes [[f 0; f 1; ...; f (n-1)]], evaluating the
+    calls on up to [jobs] domains (default {!default_jobs}; clamped to
+    [n]). Work is handed out dynamically — an idle domain takes the next
+    unstarted index — but results are returned in index order, so the
+    output is independent of [jobs] and of scheduling.
+
+    [~jobs:1] runs everything in the calling domain with no spawns (today's
+    sequential path). If any [f k] raises, the first exception observed is
+    re-raised in the caller after all domains have been joined; remaining
+    unstarted indices are abandoned.
+
+    Raises [Invalid_argument] if [n < 0] or [jobs < 1]. *)
+
+val map_array : ?jobs:int -> int -> (int -> 'a) -> 'a array
+(** Same as {!map} but returns the results as an array. *)

@@ -58,9 +58,12 @@ let rec reschedule t =
   | None -> ());
   Tally.update t.occupancy ~time:(Engine.now t.engine)
     ~value:(float_of_int (in_system t));
-  match Event_queue.peek_time t.active with
-  | None -> Tally.update t.busy ~time:(Engine.now t.engine) ~value:0.0
-  | Some v_min ->
+  (* [next_time] is NaN when no job is active; NaN compares false below,
+     so the empty case falls through without allocating an option. *)
+  let v_min = Event_queue.next_time t.active in
+  if Float.is_nan v_min then
+    Tally.update t.busy ~time:(Engine.now t.engine) ~value:0.0
+  else begin
     let eff = t.speed *. t.rate in
     if eff > 0.0 then begin
       Tally.update t.busy ~time:(Engine.now t.engine) ~value:1.0;
@@ -71,30 +74,28 @@ let rec reschedule t =
     else
       (* Suspended: virtual time is frozen, no completion can occur. *)
       Tally.update t.busy ~time:(Engine.now t.engine) ~value:0.0
+  end
 
 and on_completion t =
   t.completion_ev <- None;
   advance t;
   let tol = eps t in
   let rec drain forced =
-    match Event_queue.peek_time t.active with
-    | Some v_min when v_min <= t.vclock +. tol || forced ->
-      (match Event_queue.pop t.active with
-      | Some (_, job) ->
+    let v_min = Event_queue.next_time t.active in
+    (* NaN (empty queue) fails the comparison; [pop_step] guards the
+       forced case. *)
+    if forced || v_min <= t.vclock +. tol then
+      if Event_queue.pop_step t.active then begin
+        let job = Event_queue.last_payload t.active in
         job.Job.completion <- Engine.now t.engine;
         t.completed <- t.completed + 1;
         t.on_departure job;
         drain false
-      | None -> ())
-    | Some _ | None -> ()
+      end
   in
   (* Float round-off can leave the head a hair beyond the virtual clock;
      force at least one departure so the simulation always progresses. *)
-  let head_ready =
-    match Event_queue.peek_time t.active with
-    | Some v_min -> v_min <= t.vclock +. tol
-    | None -> false
-  in
+  let head_ready = Event_queue.next_time t.active <= t.vclock +. tol in
   drain (not head_ready);
   reschedule t
 

@@ -1,4 +1,4 @@
-schedlint enforces the repo's determinism & correctness rules (R1-R5) with
+schedlint enforces the repo's determinism & correctness rules (R1-R6) with
 file:line:col diagnostics and exit code 1.  One fixture per rule, plus the
 escape-hatch comment and the path scoping.
 
@@ -89,6 +89,28 @@ R5: no top-level mutable state in lib/ (locals and record fields are fine):
   schedlint: 3 violations in 1 file scanned
   [1]
 
+R6: raw Domain.spawn is banned outside lib/par/ — all parallelism goes
+through the Par domain pool, so the bitwise-determinism guarantee of
+parallel replication has a single point of proof (Domain.join and the
+rest of the Domain API stay available for the pool's callers):
+
+  $ cat > lib/r6.ml <<'EOF'
+  > let fan_out f = Domain.spawn f
+  > let join d = Domain.join d
+  > let q f = Stdlib.Domain.spawn f
+  > EOF
+  $ schedlint lib/r6.ml
+  lib/r6.ml:1:17: [R6] Domain.spawn outside lib/par; fan out through Statsched_par.Par.map
+  lib/r6.ml:3:11: [R6] Domain.spawn outside lib/par; fan out through Statsched_par.Par.map
+  schedlint: 2 violations in 1 file scanned
+  [1]
+
+...but allowed inside lib/par/ (the domain pool itself):
+
+  $ mkdir -p lib/par
+  $ cp lib/r6.ml lib/par/r6.ml
+  $ schedlint lib/par/r6.ml
+
 The escape hatch suppresses a named rule on the same line or the line
 below the comment; other rules still fire:
 
@@ -109,7 +131,7 @@ Directories are scanned recursively; a clean tree exits 0:
   > let near_zero x = abs_float x < 1e-9
   > let first = function [] -> None | x :: _ -> Some x
   > EOF
-  $ rm lib/r1.ml lib/r3.ml lib/r4.ml lib/r5.ml lib/allow.ml bin/r2.ml bin/r4.ml
+  $ rm lib/r1.ml lib/r3.ml lib/r4.ml lib/r5.ml lib/r6.ml lib/allow.ml bin/r2.ml bin/r4.ml
   $ schedlint lib bin
 
 Unparseable input is a distinct failure (exit 2):

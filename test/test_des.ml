@@ -311,6 +311,103 @@ let engine_heap_high_water () =
   Alcotest.(check int) "seven simultaneous pending events" 7
     (Engine.heap_high_water e)
 
+let eq_hot_path_no_alloc () =
+  (* The SoA queue must not allocate per event once its buffers are
+     sized: [add] with a statically-allocated time, [pop_step] and the
+     scratch reads all work in place.  Warm up (sizing the heap arrays,
+     the cancellation bitmap and the scratch slots), drain — the empty
+     branch of [pop_step] recycles the bitmap — then measure a full
+     add/drain cycle under [Gc.minor_words]. *)
+  let n = 512 in
+  let q = Event_queue.create ~initial_capacity:(n + 1) () in
+  let cycle () =
+    for _ = 1 to n do
+      ignore (Event_queue.add q ~time:1.0 ())
+    done;
+    let h = Event_queue.add q ~time:2.0 () in
+    ignore (Event_queue.cancel q h);
+    while Event_queue.pop_step q do
+      ignore (Event_queue.is_empty q);
+      ignore (Event_queue.size q)
+    done
+  in
+  cycle ();
+  let before = Gc.minor_words () in
+  cycle ();
+  let delta = Gc.minor_words () -. before in
+  (* A per-event cost would show as >= n words; allow a few words of
+     slack for the [Gc.minor_words] boxes themselves. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "hot path allocated %.0f minor words for %d events" delta n)
+    true
+    (delta <= 64.0)
+
+let prop_eq_model =
+  (* Model-based check of the SoA heap against a sorted-list oracle:
+     coarse times force ties (FIFO order must match insertion order),
+     and cancellations hit live, popped and already-cancelled events. *)
+  qcheck ~count:300 "model: heap matches sorted-list oracle"
+    QCheck2.Gen.(
+      list_size (int_range 0 150)
+        (oneof
+           [
+             map (fun t -> `Add (float_of_int t /. 4.0)) (int_range 0 30);
+             map (fun k -> `Cancel k) (int_range 0 1000);
+             return `Pop;
+           ]))
+    (fun ops ->
+      let q = Event_queue.create () in
+      (* Insertion-ordered record of every add: id -> (handle, time). *)
+      let added = ref [] in
+      let n_added = ref 0 in
+      (* Live oracle entries (time, id), sorted by time then id. *)
+      let live = ref [] in
+      let insert t id =
+        let rec go = function
+          | [] -> [ (t, id) ]
+          | (t', id') :: rest when t' <= t -> (t', id') :: go rest
+          | later -> (t, id) :: later
+        in
+        live := go !live
+      in
+      let ok = ref true in
+      let fail_if b = if b then ok := false in
+      List.iter
+        (fun op ->
+          (if !ok then
+             match op with
+             | `Add t ->
+               let h = Event_queue.add q ~time:t !n_added in
+               added := (h, t) :: !added;
+               insert t !n_added;
+               incr n_added
+             | `Cancel k ->
+               if !n_added > 0 then begin
+                 let id = k mod !n_added in
+                 let h, _ = List.nth !added (!n_added - 1 - id) in
+                 let expected = List.exists (fun (_, id') -> id' = id) !live in
+                 fail_if (Event_queue.cancel q h <> expected);
+                 if expected then
+                   live := List.filter (fun (_, id') -> id' <> id) !live
+               end
+             | `Pop -> (
+               match (Event_queue.pop q, !live) with
+               | None, [] -> ()
+               | Some (t, id), (t', id') :: rest ->
+                 fail_if (not (Float.equal t t') || id <> id');
+                 live := rest
+               | _ -> ok := false));
+          if !ok then begin
+            fail_if (Event_queue.size q <> List.length !live);
+            fail_if (not (Event_queue.heap_ordered q));
+            match (Event_queue.peek_time q, !live) with
+            | None, [] -> ()
+            | Some t, (t', _) :: _ -> fail_if (not (Float.equal t t'))
+            | _ -> ok := false
+          end)
+        ops;
+      !ok)
+
 let suite =
   [
     test "event_queue: basic ordering" eq_ordering;
@@ -324,7 +421,9 @@ let suite =
     test "event_queue: pop releases payloads" eq_pop_releases_payloads;
     test "event_queue: cancellation compacts the heap" eq_cancel_compacts;
     test "event_queue: random stress" eq_random_stress;
+    test "event_queue: hot path does not allocate" eq_hot_path_no_alloc;
     prop_eq_sorted;
+    prop_eq_model;
     test "engine: clock advances with events" engine_clock_advances;
     test "engine: nested scheduling" engine_nested_scheduling;
     test "engine: run until horizon" engine_run_until;

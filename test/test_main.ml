@@ -19,5 +19,6 @@ let () =
       ("faults", Test_faults.suite);
       ("sanitize", Test_sanitize.suite);
       ("obs", Test_obs.suite);
+      ("par", Test_par.suite);
       ("more", Test_more.suite);
     ]

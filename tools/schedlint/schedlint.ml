@@ -13,6 +13,9 @@
          in lib/
      R5  no top-level mutable state ([let x = ref ...] or
          [let x = Hashtbl.create ...] at module top) in lib/
+     R6  no Domain.spawn outside lib/par/ (all parallelism goes through
+         the Par domain pool so the determinism guarantee has a single
+         point of proof)
 
    A diagnostic can be suppressed with a comment on the same line or the
    line directly above:  (* schedlint: allow R3 *)   (or "allow all").
@@ -34,6 +37,14 @@ let in_lib file = List.mem "lib" (components file)
 let in_prng file =
   let rec scan = function
     | "lib" :: "prng" :: _ -> true
+    | _ :: rest -> scan rest
+    | [] -> false
+  in
+  scan (components file)
+
+let in_par file =
+  let rec scan = function
+    | "lib" :: "par" :: _ -> true
     | _ :: rest -> scan rest
     | [] -> false
   in
@@ -71,7 +82,7 @@ let allows source =
           List.filter_map
             (fun w ->
               match String.lowercase_ascii w with
-              | ("r1" | "r2" | "r3" | "r4" | "r5" | "all") as r -> Some r
+              | ("r1" | "r2" | "r3" | "r4" | "r5" | "r6" | "all") as r -> Some r
               | _ -> None)
             words
         in
@@ -133,6 +144,11 @@ let lint_structure ~file ~report structure =
       | "Random" :: _ when not (in_prng file) ->
         report { file; line; col; rule = "R1";
                  msg = "Stdlib.Random is non-deterministic here; draw from Statsched_prng.Rng" }
+      | _ -> ());
+      (match path with
+      | [ "Domain"; "spawn" ] when not (in_par file) ->
+        report { file; line; col; rule = "R6";
+                 msg = "Domain.spawn outside lib/par; fan out through Statsched_par.Par.map" }
       | _ -> ());
       (match List.assoc_opt path r2_banned with
       | Some name ->
