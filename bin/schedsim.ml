@@ -12,6 +12,11 @@ module Core = Statsched_core
 module Cluster = Statsched_cluster
 module E = Statsched_experiments
 module Rng = Statsched_prng.Rng
+module Scenario = Statsched_simcheck.Scenario
+
+(* Surface a malformed STATSCHED_JOBS before any section banner is
+   printed, so the multi-minute commands fail with a single clean line. *)
+let validate_jobs () = ignore (Statsched_par.Par.default_jobs ())
 
 (* ------------------------------------------------------------------ *)
 (* Shared argument definitions                                         *)
@@ -83,25 +88,14 @@ let scale_t =
     & info [ "scale" ] ~docv:"SCALE"
         ~doc:"Experiment scale: quick, default, or paper (4e6 s x 10 reps).")
 
-let scheduler_names =
-  [ "wran"; "oran"; "wrr"; "orr"; "least-load"; "two-choices"; "adaptive-orr";
-    "sita" ]
-
-let scheduler_of_name = function
-  | "wran" -> Cluster.Scheduler.static Core.Policy.wran
-  | "oran" -> Cluster.Scheduler.static Core.Policy.oran
-  | "wrr" -> Cluster.Scheduler.static Core.Policy.wrr
-  | "orr" -> Cluster.Scheduler.static Core.Policy.orr
-  | "least-load" -> Cluster.Scheduler.least_load_paper
-  | "two-choices" -> Cluster.Scheduler.two_choices ()
-  | "adaptive-orr" -> Cluster.Scheduler.adaptive_orr ()
-  | "sita" -> Cluster.Scheduler.sita_paper ()
-  | s -> invalid_arg ("unknown scheduler " ^ s)
+(* The scheduler/discipline/size-distribution name tables live in
+   Statsched_simcheck.Scenario, shared with the verification subsystem so
+   its counterexamples replay through this exact CLI. *)
 
 let scheduler_t =
   Arg.(
     value
-    & opt (enum (List.map (fun n -> (n, n)) scheduler_names)) "orr"
+    & opt (enum (List.map (fun n -> (n, n)) Scenario.scheduler_names)) "orr"
     & info [ "p"; "policy" ] ~docv:"POLICY"
         ~doc:
           "Scheduler: wran, oran, wrr, orr, least-load, two-choices or \
@@ -201,6 +195,84 @@ let dispatch_cmd =
 
 (* ------------------------------------------------------------------ *)
 (* run / compare                                                       *)
+
+let discipline_t =
+  let discipline_conv =
+    let parse s =
+      match Scenario.discipline_of_string s with
+      | Some d -> Ok d
+      | None ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "unknown discipline %S (ps, fcfs, srpt or rr:QUANTUM)" s))
+    in
+    Arg.conv (parse, fun fmt d ->
+        Format.pp_print_string fmt (Scenario.discipline_to_string d))
+  in
+  Arg.(
+    value
+    & opt discipline_conv Cluster.Simulation.Ps
+    & info [ "discipline" ] ~docv:"DISCIPLINE"
+        ~doc:
+          "Per-computer service discipline: ps (processor sharing, the \
+           paper's model), fcfs, srpt, or rr:QUANTUM (quantum round-robin).")
+
+let arrival_cv_t =
+  Arg.(
+    value
+    & opt float 3.0
+    & info [ "arrival-cv" ] ~docv:"CV"
+        ~doc:
+          "Coefficient of variation of the inter-arrival times: 1 = Poisson, \
+           >1 hyperexponential, <1 Erlang.  Default: the paper's bursty 3.")
+
+let size_dist_t =
+  let size_dist_conv =
+    let parse s =
+      match Scenario.size_dist_of_string s with
+      | Some d -> Ok d
+      | None ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "unknown size distribution %S (exp, bp, det, weibull:K, \
+                 lognormal:CV, erlang:K or hyperexp:CV)" s))
+    in
+    Arg.conv (parse, fun fmt d ->
+        Format.pp_print_string fmt (Scenario.size_dist_to_string d))
+  in
+  Arg.(
+    value
+    & opt size_dist_conv Scenario.Bp_paper
+    & info [ "size-dist" ] ~docv:"DIST"
+        ~doc:
+          "Job-size distribution: bp (the paper's Bounded Pareto, mean \
+           76.8 s), exp, det, weibull:K, lognormal:CV, erlang:K or \
+           hyperexp:CV — all scaled to $(b,--mean-size) except bp.")
+
+let mean_size_t =
+  Arg.(
+    value
+    & opt float 76.8
+    & info [ "mean-size" ] ~docv:"SECONDS"
+        ~doc:
+          "Mean job size in speed-1 seconds for $(b,--size-dist) (ignored by \
+           bp, which keeps its own 76.8 s mean).")
+
+let horizon_t =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "horizon" ] ~docv:"SECONDS"
+        ~doc:"Override the $(b,--scale) horizon (simulated seconds).")
+
+let warmup_t =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "warmup" ] ~docv:"SECONDS"
+        ~doc:"Override the $(b,--scale) warm-up period (simulated seconds).")
 
 let mtbf_t =
   Arg.(
@@ -348,16 +420,37 @@ let run_cmd =
             "Print a progress line to stderr every $(docv) simulated seconds \
              (sim-time, arrivals, completions, events, wall-clock events/s).")
   in
-  let run speeds rho policy seed scale trace_file probe_file metrics_out
-      trace_out stats_interval mtbf mttr on_failure oblivious sanitize verbose =
+  let run speeds rho policy seed scale discipline arrival_cv size_dist mean_size
+      horizon warmup trace_file probe_file metrics_out trace_out stats_interval
+      mtbf mttr on_failure oblivious sanitize verbose =
     setup_logging verbose;
     try
-      let workload = Cluster.Workload.paper_default ~rho ~speeds in
+      (match mtbf with
+      | Some m when m <= 0.0 || Float.is_nan m ->
+        invalid_arg (Printf.sprintf "--mtbf must be positive (got %g)" m)
+      | Some _ when mttr <= 0.0 || Float.is_nan mttr ->
+        invalid_arg (Printf.sprintf "--mttr must be positive (got %g)" mttr)
+      | _ -> ());
+      let horizon = Option.value horizon ~default:scale.E.Config.horizon in
+      let warmup = Option.value warmup ~default:scale.E.Config.warmup in
+      if not (horizon > 0.0) then
+        invalid_arg (Printf.sprintf "--horizon must be positive (got %g)" horizon);
+      if not (0.0 <= warmup && warmup < horizon) then
+        invalid_arg
+          (Printf.sprintf "--warmup must lie in [0, horizon) (got %g)" warmup);
+      if not (mean_size > 0.0) then
+        invalid_arg
+          (Printf.sprintf "--mean-size must be positive (got %g)" mean_size);
+      let scenario =
+        Scenario.v ~discipline ~arrival_cv ~size:size_dist ~mean_size ~seed
+          ~speeds ~rho ~policy ()
+      in
+      let workload = Scenario.workload scenario in
       let faults = fault_plan ~mtbf ~mttr ~on_failure ~oblivious in
       let cfg =
-        Cluster.Simulation.default_config ?faults
-          ~horizon:scale.E.Config.horizon ~warmup:scale.E.Config.warmup ~seed
-          ~speeds ~workload ~scheduler:(scheduler_of_name policy) ()
+        Cluster.Simulation.default_config ?faults ~discipline ~horizon ~warmup
+          ~seed ~speeds ~workload
+          ~scheduler:(Scenario.scheduler_of_name policy) ()
       in
       let trace = Option.map (fun _ -> Cluster.Trace.create ()) trace_file in
       let probe = Option.map (fun _ -> Cluster.Probe.create ()) probe_file in
@@ -455,9 +548,11 @@ let run_cmd =
   let term =
     Term.(
       ret
-        (const run $ speeds_t $ rho_t $ scheduler_t $ seed_t $ scale_t $ trace_t
-       $ probe_t $ metrics_out_t $ trace_out_t $ stats_interval_t $ mtbf_t
-       $ mttr_t $ on_failure_t $ fault_oblivious_t $ sanitize_t $ verbose_t))
+        (const run $ speeds_t $ rho_t $ scheduler_t $ seed_t $ scale_t
+       $ discipline_t $ arrival_cv_t $ size_dist_t $ mean_size_t $ horizon_t
+       $ warmup_t $ trace_t $ probe_t $ metrics_out_t $ trace_out_t
+       $ stats_interval_t $ mtbf_t $ mttr_t $ on_failure_t $ fault_oblivious_t
+       $ sanitize_t $ verbose_t))
   in
   Cmd.v
     (Cmd.info "run"
@@ -589,27 +684,30 @@ let experiment_cmd =
       E.Report.print_section "Extension: fault injection";
       print_string (E.Ext_faults.to_report (E.Ext_faults.run ~scale ~seed ?jobs ()))
     in
-    (match which with
-    | "table1" -> table1 ()
-    | "fig2" -> fig2 ()
-    | "fig3" -> fig3 ()
-    | "fig4" -> fig4 ()
-    | "fig5" -> fig5 ()
-    | "fig6" -> fig6 ()
-    | "ext-burstiness" -> ext_burstiness ()
-    | "ext-sizes" -> ext_sizes ()
-    | "ext-faults" -> ext_faults ()
-    | _ ->
-      table1 ();
-      fig2 ();
-      fig3 ();
-      fig4 ();
-      fig5 ();
-      fig6 ();
-      ext_burstiness ();
-      ext_sizes ();
-      ext_faults ());
-    `Ok ()
+    try
+      validate_jobs ();
+      (match which with
+      | "table1" -> table1 ()
+      | "fig2" -> fig2 ()
+      | "fig3" -> fig3 ()
+      | "fig4" -> fig4 ()
+      | "fig5" -> fig5 ()
+      | "fig6" -> fig6 ()
+      | "ext-burstiness" -> ext_burstiness ()
+      | "ext-sizes" -> ext_sizes ()
+      | "ext-faults" -> ext_faults ()
+      | _ ->
+        table1 ();
+        fig2 ();
+        fig3 ();
+        fig4 ();
+        fig5 ();
+        fig6 ();
+        ext_burstiness ();
+        ext_sizes ();
+        ext_faults ());
+      `Ok ()
+    with Invalid_argument m | Sys_error m -> `Error (false, m)
   in
   let term = Term.(ret (const run $ which_t $ scale_t $ seed_t $ jobs_t $ csv_t)) in
   Cmd.v
@@ -712,17 +810,20 @@ let ablation_cmd =
       print_string
         (E.Ablations.interval_lengths_report (E.Ablations.interval_lengths ~seed ()))
     in
-    (match which with
-    | "dispatch" -> dispatch ()
-    | "end-to-end" -> end_to_end ()
-    | "disciplines" -> disciplines ()
-    | "intervals" -> intervals ()
-    | _ ->
-      dispatch ();
-      end_to_end ();
-      disciplines ();
-      intervals ());
-    `Ok ()
+    try
+      validate_jobs ();
+      (match which with
+      | "dispatch" -> dispatch ()
+      | "end-to-end" -> end_to_end ()
+      | "disciplines" -> disciplines ()
+      | "intervals" -> intervals ()
+      | _ ->
+        dispatch ();
+        end_to_end ();
+        disciplines ();
+        intervals ());
+      `Ok ()
+    with Invalid_argument m -> `Error (false, m)
   in
   let term = Term.(ret (const run $ which_t $ scale_t $ seed_t)) in
   Cmd.v
@@ -740,12 +841,15 @@ let report_cmd =
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output Markdown file.")
   in
   let run scale seed jobs out =
-    Printf.printf "running all experiments at scale %s (this may take a while)...\n%!"
-      (E.Config.scale_name scale);
-    let doc = E.Md_report.generate_fresh ~scale ~seed ?jobs () in
-    E.Md_report.write ~path:out doc;
-    Printf.printf "wrote %s (%d bytes)\n" out (String.length doc);
-    `Ok ()
+    try
+      validate_jobs ();
+      Printf.printf "running all experiments at scale %s (this may take a while)...\n%!"
+        (E.Config.scale_name scale);
+      let doc = E.Md_report.generate_fresh ~scale ~seed ?jobs () in
+      E.Md_report.write ~path:out doc;
+      Printf.printf "wrote %s (%d bytes)\n" out (String.length doc);
+      `Ok ()
+    with Invalid_argument m | Sys_error m -> `Error (false, m)
   in
   let term = Term.(ret (const run $ scale_t $ seed_t $ jobs_t $ out_t)) in
   Cmd.v
@@ -757,9 +861,12 @@ let report_cmd =
 
 let claims_cmd =
   let run scale seed jobs =
-    let inputs = E.Paper_claims.gather ~scale ~seed ?jobs () in
-    print_string (E.Paper_claims.to_report (E.Paper_claims.evaluate inputs));
-    `Ok ()
+    try
+      validate_jobs ();
+      let inputs = E.Paper_claims.gather ~scale ~seed ?jobs () in
+      print_string (E.Paper_claims.to_report (E.Paper_claims.evaluate inputs));
+      `Ok ()
+    with Invalid_argument m -> `Error (false, m)
   in
   let term = Term.(ret (const run $ scale_t $ seed_t $ jobs_t)) in
   Cmd.v

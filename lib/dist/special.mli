@@ -1,0 +1,16 @@
+(** Special functions needed for analytic distribution moments.
+
+    A single log-space Lanczos implementation serves every caller
+    ({!Weibull}'s Γ-moments today); computing [ln Γ] first and
+    exponentiating once avoids the premature overflow of the product
+    form, which loses Γ(z) to [infinity] from [z ≈ 141] although Γ is
+    representable up to [z ≈ 171.62]. *)
+
+val log_gamma : float -> float
+(** [log_gamma z] is [ln Γ(z)] for [z > 0], accurate to ~1e-13 relative;
+    [nan] for [z <= 0] or [nan] (the real-axis poles and the
+    negative-axis sign flips are outside this module's domain). *)
+
+val gamma : float -> float
+(** [exp (log_gamma z)]: Γ(z) for [z > 0], [infinity] once Γ(z) exceeds
+    the double range ([z > 171.62…]), [nan] for [z <= 0]. *)

@@ -1,34 +1,19 @@
 module Rng = Statsched_prng.Rng
 
-(* Lanczos approximation for the Gamma function, needed for the analytic
-   moments of the Weibull. *)
-let gamma_fn =
-  let coeffs =
-    [|
-      676.5203681218851; -1259.1392167224028; 771.32342877765313;
-      -176.61502916214059; 12.507343278686905; -0.13857109526572012;
-      9.9843695780195716e-6; 1.5056327351493116e-7;
-    |]
-  in
-  let rec gamma z =
-    if z < 0.5 then Float.pi /. (sin (Float.pi *. z) *. gamma (1.0 -. z))
-    else begin
-      let z = z -. 1.0 in
-      let x = ref 0.99999999999980993 in
-      Array.iteri (fun i c -> x := !x +. (c /. (z +. float_of_int i +. 1.0))) coeffs;
-      let t = z +. float_of_int (Array.length coeffs) -. 0.5 in
-      sqrt (2.0 *. Float.pi) *. (t ** (z +. 0.5)) *. exp (-.t) *. !x
-    end
-  in
-  gamma
-
 let create ~shape ~scale =
   if shape <= 0.0 then invalid_arg "Weibull.create: shape <= 0";
   if scale <= 0.0 then invalid_arg "Weibull.create: scale <= 0";
-  let g1 = gamma_fn (1.0 +. (1.0 /. shape)) in
-  let g2 = gamma_fn (1.0 +. (2.0 /. shape)) in
-  let mean = scale *. g1 in
-  let variance = scale *. scale *. (g2 -. (g1 *. g1)) in
+  (* Γ-moments via log-gamma: small shapes need Γ(1 + 2/shape) at large
+     arguments, where the product-form Lanczos overflowed prematurely
+     (shape < ~0.0143 reported an infinite variance that is actually
+     representable).  [expm1] keeps the variance accurate for large
+     shapes too, where Γ(1+2/k) − Γ(1+1/k)² is a near-cancellation;
+     Cauchy–Schwarz gives Γ(1+2/k) ≥ Γ(1+1/k)², so the exponent is ≤ 0
+     and the result never goes negative. *)
+  let lg1 = Special.log_gamma (1.0 +. (1.0 /. shape)) in
+  let lg2 = Special.log_gamma (1.0 +. (2.0 /. shape)) in
+  let mean = scale *. exp lg1 in
+  let variance = -.(scale *. scale *. exp lg2 *. expm1 ((2.0 *. lg1) -. lg2)) in
   Distribution.make
     ~name:(Printf.sprintf "Weibull(%g,%g)" shape scale)
     ~mean ~variance

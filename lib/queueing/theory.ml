@@ -1,44 +1,71 @@
 let utilization ~lambda ~mean_size ~speed = lambda *. mean_size /. speed
 
-let guard rho value = if rho >= 1.0 then infinity else value
+(* Domain guard shared by every closed form: a queue with a negative
+   arrival rate, a non-positive mean size or a non-positive speed has no
+   meaning, so the formulas answer [nan] rather than a negative "time"
+   (the pre-audit code happily returned e.g. [-1/3] for a negative mean
+   size).  The comparisons are written so that [nan] inputs also land in
+   the [nan] branch. *)
+let in_domain ~lambda ~mean_size ~speed =
+  lambda >= 0.0 && mean_size > 0.0 && speed > 0.0
+
+(* Saturation guard: at [rho >= 1] the steady state does not exist and
+   every mean diverges.  [value] is a thunk so saturated or out-of-domain
+   calls never evaluate the (meaningless, possibly negative) body. *)
+let guarded ~lambda ~mean_size ~speed value =
+  if not (in_domain ~lambda ~mean_size ~speed) then nan
+  else
+    let rho = utilization ~lambda ~mean_size ~speed in
+    if rho >= 1.0 then infinity else value ()
 
 let mm1_fcfs_response ~lambda ~mean_size ~speed =
-  let rho = utilization ~lambda ~mean_size ~speed in
-  guard rho (mean_size /. speed /. (1.0 -. rho))
+  guarded ~lambda ~mean_size ~speed (fun () ->
+      let rho = utilization ~lambda ~mean_size ~speed in
+      mean_size /. speed /. (1.0 -. rho))
 
 let mg1_fcfs_response ~lambda ~mean_size ~scv ~speed =
-  let rho = utilization ~lambda ~mean_size ~speed in
-  let x = mean_size /. speed in
-  (* E[S^2] = x^2 (1 + scv); waiting time = lambda E[S^2] / (2(1-rho)). *)
-  guard rho (x +. (lambda *. x *. x *. (1.0 +. scv) /. (2.0 *. (1.0 -. rho))))
+  if not (scv >= 0.0) then nan
+  else
+    guarded ~lambda ~mean_size ~speed (fun () ->
+        let rho = utilization ~lambda ~mean_size ~speed in
+        let x = mean_size /. speed in
+        (* E[S^2] = x^2 (1 + scv); waiting time = lambda E[S^2] / (2(1-rho)). *)
+        x +. (lambda *. x *. x *. (1.0 +. scv) /. (2.0 *. (1.0 -. rho))))
 
 let mg1_ps_response ~lambda ~mean_size ~speed =
-  let rho = utilization ~lambda ~mean_size ~speed in
-  guard rho (mean_size /. speed /. (1.0 -. rho))
+  guarded ~lambda ~mean_size ~speed (fun () ->
+      let rho = utilization ~lambda ~mean_size ~speed in
+      mean_size /. speed /. (1.0 -. rho))
 
 let mg1_ps_mean_slowdown ~lambda ~mean_size ~speed =
-  let rho = utilization ~lambda ~mean_size ~speed in
-  guard rho (1.0 /. (speed *. (1.0 -. rho)))
+  guarded ~lambda ~mean_size ~speed (fun () ->
+      let rho = utilization ~lambda ~mean_size ~speed in
+      1.0 /. (speed *. (1.0 -. rho)))
 
 let mm1_number_in_system ~lambda ~mean_size ~speed =
-  let rho = utilization ~lambda ~mean_size ~speed in
-  guard rho (rho /. (1.0 -. rho))
+  guarded ~lambda ~mean_size ~speed (fun () ->
+      let rho = utilization ~lambda ~mean_size ~speed in
+      rho /. (1.0 -. rho))
 
 let mm1_breakdown_response ~lambda ~mean_size ~speed ~mtbf ~mttr =
-  if mtbf <= 0.0 || mttr <= 0.0 then
-    invalid_arg "Theory.mm1_breakdown_response: mtbf/mttr must be positive";
-  let mu = speed /. mean_size in
-  let f = 1.0 /. mtbf (* failure rate *) in
-  let r = 1.0 /. mttr (* repair rate *) in
-  let a = r /. (r +. f) (* steady-state availability *) in
-  let rho_eff = lambda /. (mu *. a) in
-  if rho_eff >= 1.0 then infinity
-  else
-    (* Avi-Itzhak & Naor (1963), Model A: breakdowns strike whether or
-       not the server is busy, service is preempt-resume.  The three
-       terms: the M/M/1 clock run at the availability-scaled rate, the
-       queueing penalty of repair periods, and the residual repair time
-       seen by a job arriving mid-breakdown. *)
-    (1.0 /. ((mu *. a) -. lambda))
-    +. (lambda *. f /. (mu *. r *. r *. (1.0 -. rho_eff)))
-    +. (f /. (r *. (r +. f)))
+  (* Degenerate failure processes ([mtbf <= 0], [mttr <= 0], or [nan])
+     get [nan] like every other domain violation; they used to raise,
+     which made the formula the odd one out in this module. *)
+  if not (mtbf > 0.0 && mttr > 0.0 && in_domain ~lambda ~mean_size ~speed) then nan
+  else begin
+      let mu = speed /. mean_size in
+      let f = 1.0 /. mtbf (* failure rate *) in
+      let r = 1.0 /. mttr (* repair rate *) in
+      let a = r /. (r +. f) (* steady-state availability *) in
+      let rho_eff = lambda /. (mu *. a) in
+      if rho_eff >= 1.0 then infinity
+      else
+        (* Avi-Itzhak & Naor (1963), Model A: breakdowns strike whether or
+           not the server is busy, service is preempt-resume.  The three
+           terms: the M/M/1 clock run at the availability-scaled rate, the
+           queueing penalty of repair periods, and the residual repair time
+           seen by a job arriving mid-breakdown. *)
+        (1.0 /. ((mu *. a) -. lambda))
+        +. (lambda *. f /. (mu *. r *. r *. (1.0 -. rho_eff)))
+        +. (f /. (r *. (r +. f)))
+    end

@@ -7,8 +7,14 @@
 
     All formulas are for a single server of rate [speed] fed by a Poisson
     stream of rate [lambda]; job sizes have mean [mean_size] (in speed-1
-    seconds) and squared coefficient of variation [scv].  Saturated
-    systems return [infinity]. *)
+    seconds) and squared coefficient of variation [scv].
+
+    Edge cases are uniform across the module: saturated systems
+    ([ρ ≥ 1], including degraded capacity in
+    {!mm1_breakdown_response}) return [infinity]; inputs outside the
+    model's domain ([lambda < 0], [mean_size <= 0], [speed <= 0],
+    [scv < 0], non-positive [mtbf]/[mttr], or any [nan]) return [nan].
+    No formula ever returns a negative time, and none raises. *)
 
 val utilization : lambda:float -> mean_size:float -> speed:float -> float
 (** Offered load [ρ = λ·E\[S\]/speed]. *)
@@ -48,7 +54,7 @@ val mm1_breakdown_response :
     [E[T] = 1/(μA − λ) + λf/(μ·r²·(1 − λ/(μA))) + f/(r(r+f))]
 
     Recovers [1/(μ−λ)] as [mtbf → ∞].  Returns [infinity] when
-    [λ ≥ μA] (the degraded capacity cannot keep up).  Validates the fault
-    injector's [Resume] policy in the tests.
-
-    @raise Invalid_argument if [mtbf] or [mttr] is non-positive. *)
+    [λ ≥ μA] (the degraded capacity cannot keep up) and [nan] when
+    [mtbf] or [mttr] is non-positive or [nan] (a degenerate failure
+    process has no steady state to speak of).  Validates the fault
+    injector's [Resume] policy in the tests. *)

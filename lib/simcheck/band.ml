@@ -1,0 +1,65 @@
+module Confidence = Statsched_stats.Confidence
+
+type t = {
+  name : string;
+  interval : Confidence.interval;
+  theory : float;
+  allowance : float;
+  ok : bool;
+}
+
+let decide ~name ~theory ~bias interval =
+  let allowance =
+    interval.Confidence.half_width +. (bias *. abs_float theory)
+  in
+  let ok =
+    if Float.is_nan theory || Float.is_nan interval.Confidence.mean then false
+    else if Float.is_finite theory then
+      abs_float (interval.Confidence.mean -. theory) <= allowance
+    else
+      (* An infinite prediction can only be "matched" by an estimate that
+         also diverged; a finite estimate against an infinite theory (or
+         vice versa) is a real disagreement. *)
+      Float.equal interval.Confidence.mean theory
+  in
+  { name; interval; theory; allowance; ok }
+
+let of_interval ?(bias = 0.01) ~name ~theory interval =
+  decide ~name ~theory ~bias interval
+
+let of_samples ?(confidence = 0.999) ?(bias = 0.01) ~name ~theory samples =
+  let interval =
+    (* A replication mean of +inf (saturated estimate) poisons Welford's
+       running mean with inf - inf = nan; recognise the unanimous case
+       directly so a diverged simulator can still match an infinite
+       prediction.  Mixed finite/infinite replications stay nan — two
+       replications of the same config disagreeing about stability is
+       itself a bug worth failing on. *)
+    if
+      Array.length samples > 0
+      && Array.for_all (fun x -> Float.equal x infinity) samples
+    then
+      {
+        Confidence.mean = infinity;
+        half_width = 0.0;
+        confidence;
+        replications = Array.length samples;
+      }
+    else Confidence.of_samples ~confidence samples
+  in
+  (* A single replication has no width estimate ([half_width = nan]); a
+     nan allowance would silently pass everything, so fall back to the
+     bias term alone. *)
+  let interval =
+    if Float.is_nan interval.Confidence.half_width then
+      { interval with Confidence.half_width = 0.0 }
+    else interval
+  in
+  decide ~name ~theory ~bias interval
+
+let pp fmt b =
+  Format.fprintf fmt "%s: simulated %a vs closed form %.6g (tolerance %.3g)"
+    b.name Confidence.pp b.interval b.theory b.allowance
+
+let to_check b =
+  Check.v ~label:b.name ~ok:b.ok ~detail:(Format.asprintf "%a" pp b)

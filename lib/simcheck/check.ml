@@ -1,0 +1,13 @@
+type t = { label : string; ok : bool; detail : string }
+
+let v ~label ~ok ~detail = { label; ok; detail }
+
+let all_ok checks = List.for_all (fun c -> c.ok) checks
+
+let failures checks = List.filter (fun c -> not c.ok) checks
+
+let pp fmt c =
+  Format.fprintf fmt "[%s] %s — %s" (if c.ok then "PASS" else "FAIL") c.label c.detail
+
+let pp_list fmt checks =
+  List.iter (fun c -> Format.fprintf fmt "%a@." pp c) checks

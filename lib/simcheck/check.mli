@@ -1,0 +1,17 @@
+(** A single simcheck verdict: one named invariant or theory comparison,
+    a pass/fail bit, and a human-readable account of the numbers that
+    decided it. *)
+
+type t = { label : string; ok : bool; detail : string }
+
+val v : label:string -> ok:bool -> detail:string -> t
+
+val all_ok : t list -> bool
+
+val failures : t list -> t list
+
+val pp : Format.formatter -> t -> unit
+(** ["[PASS] label — detail"]. *)
+
+val pp_list : Format.formatter -> t list -> unit
+(** One {!pp} line per check. *)

@@ -1,0 +1,337 @@
+module Core = Statsched_core
+module Cluster = Statsched_cluster
+module Dist = Statsched_dist
+module E = Statsched_experiments
+
+let default_scale = { E.Config.horizon = 4.0e4; warmup = 1.0e4; reps = 3 }
+
+(* ------------------------------------------------------------------ *)
+(* Time-scale invariance                                               *)
+
+(* Scaling every input time by a constant c — interarrival gaps, job
+   sizes, horizon, warmup — must scale every output *time* by exactly c
+   and leave every dimensionless output (response ratios, utilisations,
+   mean number-in-system, per-computer job counts) untouched.  With c a
+   power of two the homogeneity is exact in IEEE arithmetic (a pure
+   exponent shift commutes with rounding), so the comparison is
+   bit-for-bit equality, not a tolerance: any absolute time constant
+   accidentally baked into the simulator's path shows up immediately.
+   Restricted to static schedulers without faults — Least-Load's update
+   delays and a fault plan's MTBF/MTTR are absolute times by design. *)
+let time_scale ~scale ~seed =
+  let c = 4.0 in
+  let scale_workload (w : Cluster.Workload.t) =
+    {
+      w with
+      Cluster.Workload.interarrival = Dist.Distribution.scaled w.Cluster.Workload.interarrival c;
+      size = Dist.Distribution.scaled w.Cluster.Workload.size c;
+    }
+  in
+  let speeds = [| 1.0; 2.0; 4.0 |] and rho = 0.7 in
+  List.concat_map
+    (fun (policy, discipline) ->
+      let sc =
+        Scenario.v ~speeds ~rho ~policy ~discipline ~size:Scenario.Bp_paper
+          ~arrival_cv:3.0 ~seed ()
+      in
+      let run workload horizon warmup =
+        Cluster.Simulation.run
+          (Cluster.Simulation.default_config ~discipline ~horizon ~warmup ~seed
+             ~speeds ~workload ~scheduler:(Scenario.scheduler_of_name policy) ())
+      in
+      let base =
+        run (Scenario.workload sc) scale.E.Config.horizon scale.E.Config.warmup
+      in
+      let scaled =
+        run
+          (scale_workload (Scenario.workload sc))
+          (c *. scale.E.Config.horizon)
+          (c *. scale.E.Config.warmup)
+      in
+      let label what =
+        Printf.sprintf "time-scale/%s-%s/%s" policy
+          (Scenario.discipline_to_string discipline)
+          what
+      in
+      let bm = base.Cluster.Simulation.metrics
+      and sm = scaled.Cluster.Simulation.metrics in
+      let exact what got want =
+        Check.v ~label:(label what) ~ok:(Float.equal got want)
+          ~detail:
+            (Printf.sprintf "scaled run: %.17g, expected exactly %.17g%s" got
+               want
+               (if Float.equal got want then ""
+                else " | replay: " ^ Scenario.to_run_command sc))
+      in
+      [
+        Check.v ~label:(label "jobs")
+          ~ok:(bm.Core.Metrics.jobs = sm.Core.Metrics.jobs)
+          ~detail:
+            (Printf.sprintf "measured %d jobs vs %d after x%g scaling"
+               sm.Core.Metrics.jobs bm.Core.Metrics.jobs c);
+        exact "response-time" sm.Core.Metrics.mean_response_time
+          (c *. bm.Core.Metrics.mean_response_time);
+        exact "response-ratio" sm.Core.Metrics.mean_response_ratio
+          bm.Core.Metrics.mean_response_ratio;
+        exact "fairness" sm.Core.Metrics.fairness bm.Core.Metrics.fairness;
+        exact "median-ratio" scaled.Cluster.Simulation.median_response_ratio
+          base.Cluster.Simulation.median_response_ratio;
+        Check.v ~label:(label "per-computer")
+          ~ok:
+            (Array.for_all2
+               (fun (b : Cluster.Simulation.per_computer)
+                    (s : Cluster.Simulation.per_computer) ->
+                 b.Cluster.Simulation.dispatched = s.Cluster.Simulation.dispatched
+                 && b.Cluster.Simulation.completed = s.Cluster.Simulation.completed
+                 && Float.equal b.Cluster.Simulation.utilization
+                      s.Cluster.Simulation.utilization
+                 && Float.equal b.Cluster.Simulation.mean_jobs
+                      s.Cluster.Simulation.mean_jobs)
+               base.Cluster.Simulation.per_computer
+               scaled.Cluster.Simulation.per_computer)
+          ~detail:
+            "per-computer dispatch counts, utilisations and L bit-identical \
+             under time scaling";
+      ])
+    [ ("orr", Cluster.Simulation.Ps); ("wran", Cluster.Simulation.Fcfs) ]
+
+(* ------------------------------------------------------------------ *)
+(* Speed-relabeling permutation invariance of Algorithm 1              *)
+
+(* Permuting the speed vector must permute the optimized allocation the
+   same way: Algorithm 1 may sort internally, but its answer is a
+   property of the multiset of speeds.  Checked exactly (the algorithm
+   computes over the sorted order, so the arithmetic per computer is
+   identical on both sides). *)
+let permutation () =
+  let cases =
+    [
+      ([| 1.0; 1.5; 2.0; 12.0 |], 0.6);
+      ([| 5.0; 1.0; 1.0; 1.0; 3.0 |], 0.3);
+      ([| 2.0; 2.0; 2.0 |], 0.8);
+      ([| 0.5; 4.0 |], 0.45);
+    ]
+  in
+  let permutations = [ Array.of_list; fun l -> Array.of_list (List.rev l) ] in
+  let rotate l = match l with [] -> [||] | x :: rest -> Array.of_list (rest @ [ x ]) in
+  let permutations = permutations @ [ rotate ] in
+  List.concat_map
+    (fun (speeds, rho) ->
+      let reference = Core.Allocation.optimized ~rho speeds in
+      List.mapi
+        (fun pi perm ->
+          let order = perm (List.init (Array.length speeds) Fun.id) in
+          let permuted_speeds = Array.map (fun i -> speeds.(i)) order in
+          let permuted_alloc = Core.Allocation.optimized ~rho permuted_speeds in
+          (* Undo the permutation on the result and compare slot-wise.
+             Equal speeds are interchangeable, so compare the values. *)
+          let unpermuted = Array.make (Array.length speeds) 0.0 in
+          Array.iteri (fun k i -> unpermuted.(i) <- permuted_alloc.(k)) order;
+          let ok = Array.for_all2 Float.equal reference unpermuted in
+          Check.v
+            ~label:
+              (Printf.sprintf "permutation/%s-rho%g/#%d"
+                 (Core.Speeds.to_string speeds) rho pi)
+            ~ok
+            ~detail:
+              (if ok then "optimized allocation commutes with relabeling"
+               else
+                 Printf.sprintf "alloc %s vs unpermuted %s"
+                   (String.concat ","
+                      (List.map (Printf.sprintf "%.17g") (Array.to_list reference)))
+                   (String.concat ","
+                      (List.map (Printf.sprintf "%.17g") (Array.to_list unpermuted)))))
+        permutations)
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* Stochastic monotonicity in rho                                      *)
+
+(* More offered load can only hurt: under common random numbers (same
+   seed, so the same job-size sequence) the replication-averaged mean
+   response time must be non-decreasing along a rho grid.  CRN removes
+   almost all of the noise, but the arrival *gaps* do change with rho,
+   so adjacent grid points get the combined confidence slack. *)
+let rho_monotone ~scale ~seed ~jobs =
+  let grid = [ 0.3; 0.5; 0.7; 0.85 ] in
+  let speeds = [| 1.0; 2.0 |] in
+  let points =
+    List.map
+      (fun rho ->
+        let sc = Scenario.v ~speeds ~rho ~policy:"orr" ~seed () in
+        let rs = E.Runner.replicate ~seed ?jobs ~scale (Scenario.spec sc) in
+        let samples =
+          Array.of_list
+            (List.map
+               (fun (r : Cluster.Simulation.result) ->
+                 r.Cluster.Simulation.metrics.Core.Metrics.mean_response_time)
+               rs)
+        in
+        (rho, Statsched_stats.Confidence.of_samples ~confidence:0.999 samples, sc))
+      grid
+  in
+  let rec pairs = function
+    | (r1, c1, _) :: ((r2, c2, sc2) :: _ as rest) ->
+      let module C = Statsched_stats.Confidence in
+      let slack = c1.C.half_width +. c2.C.half_width in
+      let ok = c2.C.mean >= c1.C.mean -. slack in
+      Check.v
+        ~label:(Printf.sprintf "rho-monotone/%g->%g" r1 r2)
+        ~ok
+        ~detail:
+          (Printf.sprintf "T(%g) = %.4f, T(%g) = %.4f (slack %.4f)%s" r1
+             c1.C.mean r2 c2.C.mean slack
+             (if ok then "" else " | replay: " ^ Scenario.to_run_command sc2))
+      :: pairs rest
+    | _ -> []
+  in
+  pairs points
+
+(* ------------------------------------------------------------------ *)
+(* Local optimality of the optimized allocation                        *)
+
+(* Algorithm 1 claims a minimiser: shifting a small slice of load
+   between any pair of computers must not lower the objective F — and,
+   simulated end to end with a custom random dispatcher, must not lower
+   the measured mean response ratio beyond the paired-CRN noise. *)
+let local_optimality ~scale ~seed ~jobs =
+  let speeds = [| 1.0; 1.5; 2.0; 12.0 |] and rho = 0.6 in
+  let alloc = Core.Allocation.optimized ~rho speeds in
+  let lambda = rho *. Array.fold_left ( +. ) 0.0 speeds in
+  let n = Array.length speeds in
+  let delta = 0.02 in
+  let perturbations =
+    List.concat_map
+      (fun i ->
+        List.filter_map
+          (fun j ->
+            if i = j then None
+            else begin
+              (* Move delta of the workload from i to j, staying feasible
+                 and unsaturated. *)
+              let moved = Array.copy alloc in
+              moved.(i) <- moved.(i) -. delta;
+              moved.(j) <- moved.(j) +. delta;
+              if moved.(i) < 0.0 || moved.(j) *. lambda >= speeds.(j) then None
+              else Some (i, j, moved)
+            end)
+          (List.init n Fun.id))
+      (List.init n Fun.id)
+  in
+  let f = Core.Allocation.objective ~rho ~speeds in
+  let f_star = f ~alloc in
+  let exact_checks =
+    List.map
+      (fun (i, j, moved) ->
+        let fv = f ~alloc:moved in
+        Check.v
+          ~label:(Printf.sprintf "local-optimality/objective/%d->%d" i j)
+          ~ok:(fv >= f_star -. 1e-9)
+          ~detail:(Printf.sprintf "F(moved) = %.9f vs F* = %.9f" fv f_star))
+      perturbations
+  in
+  (* End-to-end: simulate the optimized fractions and one perturbed
+     variant under identical random numbers. *)
+  let simulated_check =
+    match perturbations with
+    | [] -> []
+    | (i, j, moved) :: _ ->
+      let custom label fractions =
+        Cluster.Scheduler.Static_custom
+          {
+            label;
+            make =
+              (fun ~rho:_ ~speeds:_ ~rng -> Core.Dispatch.random ~rng fractions);
+          }
+      in
+      let workload =
+        Cluster.Workload.poisson_exponential ~rho ~mean_size:1.0 ~speeds
+      in
+      let measure scheduler =
+        E.Runner.replicate ~seed ?jobs ~scale
+          (E.Runner.make_spec ~speeds ~workload ~scheduler ())
+      in
+      let ratios rs =
+        Array.of_list
+          (List.map
+             (fun (r : Cluster.Simulation.result) ->
+               r.Cluster.Simulation.metrics.Core.Metrics.mean_response_ratio)
+             rs)
+      in
+      let star = ratios (measure (custom "alpha*" alloc)) in
+      let pert = ratios (measure (custom "alpha-perturbed" moved)) in
+      (* Paired differences: CRN gives both schedulers the same arrival
+         and size streams in replication k. *)
+      let diffs = Array.map2 (fun p s -> p -. s) pert star in
+      let module C = Statsched_stats.Confidence in
+      let ci = C.of_samples ~confidence:0.999 diffs in
+      let ok = ci.C.mean >= -.ci.C.half_width in
+      [
+        Check.v
+          ~label:(Printf.sprintf "local-optimality/simulated/%d->%d" i j)
+          ~ok
+          ~detail:
+            (Printf.sprintf
+               "paired slowdown difference (perturbed - optimized): %.5f ± %.5f"
+               ci.C.mean ci.C.half_width);
+      ]
+  in
+  exact_checks @ simulated_check
+
+(* ------------------------------------------------------------------ *)
+(* Random and round-robin dispatch share long-run fractions            *)
+
+(* Algorithm 2's round-robin sequence and plain random dispatch are two
+   implementations of the same allocation: both must land each
+   computer's long-run dispatch fraction inside a z=4 binomial bound of
+   the intended alpha (round-robin is far tighter; the binomial bound
+   covers both). *)
+let dispatch_fractions ~scale ~seed =
+  let speeds = [| 1.0; 1.5; 2.0; 12.0 |] and rho = 0.6 in
+  List.concat_map
+    (fun policy ->
+      let sc = Scenario.v ~speeds ~rho ~policy ~seed () in
+      let result =
+        Cluster.Simulation.run
+          (Cluster.Simulation.default_config ~horizon:scale.E.Config.horizon
+             ~warmup:scale.E.Config.warmup ~seed ~speeds
+             ~workload:(Scenario.workload sc)
+             ~scheduler:(Scenario.scheduler_of_name policy) ())
+      in
+      match result.Cluster.Simulation.intended_fractions with
+      | None ->
+        [
+          Check.v
+            ~label:(Printf.sprintf "dispatch-fractions/%s" policy)
+            ~ok:false ~detail:"static policy reported no intended fractions";
+        ]
+      | Some intended ->
+        let total =
+          Array.fold_left
+            (fun acc (pc : Cluster.Simulation.per_computer) ->
+              acc + pc.Cluster.Simulation.dispatched)
+            0 result.Cluster.Simulation.per_computer
+        in
+        let nf = float_of_int total in
+        List.init (Array.length speeds) (fun i ->
+            let p = intended.(i) in
+            let actual = result.Cluster.Simulation.dispatch_fractions.(i) in
+            let bound = (4.0 *. sqrt (p *. (1.0 -. p) /. nf)) +. (2.0 /. nf) in
+            let ok = abs_float (actual -. p) <= bound in
+            Check.v
+              ~label:(Printf.sprintf "dispatch-fractions/%s/computer-%d" policy i)
+              ~ok
+              ~detail:
+                (Printf.sprintf
+                   "intended %.5f, dispatched %.5f over %d jobs (bound %.5f)%s"
+                   p actual total bound
+                   (if ok then ""
+                    else " | replay: " ^ Scenario.to_run_command sc))))
+    [ "oran"; "orr" ]
+
+let run ?(scale = default_scale) ?(seed = 20260806L) ?jobs () =
+  time_scale ~scale ~seed
+  @ permutation ()
+  @ rho_monotone ~scale ~seed ~jobs
+  @ local_optimality ~scale ~seed ~jobs
+  @ dispatch_fractions ~scale ~seed

@@ -1,0 +1,33 @@
+(** Metamorphic verification: relations between *pairs or families* of
+    simulator runs that must hold whatever the (unknown) true output is.
+
+    - {e Time-scale invariance}: scaling all input times by a power of
+      two scales output times exactly and leaves dimensionless outputs
+      bit-identical (IEEE exponent shifts commute with rounding), so any
+      absolute time constant accidentally baked into the simulation path
+      is caught bit-for-bit.  Static schedulers, no faults — those carry
+      absolute times by design.
+    - {e Permutation invariance}: Algorithm 1 commutes with relabeling
+      the speed vector (exact, no simulation).
+    - {e Stochastic monotonicity}: mean response time is non-decreasing
+      along a rho grid under common random numbers, up to combined
+      confidence slack.
+    - {e Local optimality}: shifting load between any pair of computers
+      away from the optimized allocation never lowers the objective F
+      (exact) nor the simulated mean slowdown (paired CRN replications).
+    - {e Dispatch-fraction agreement}: random and round-robin dispatch of
+      the same allocation land every computer's long-run dispatch
+      fraction within a binomial bound of the intended alpha. *)
+
+val default_scale : Statsched_experiments.Config.scale
+(** 4·10⁴ s horizon, 3 replications — the relations need far less
+    resolution than the differential oracles. *)
+
+val run :
+  ?scale:Statsched_experiments.Config.scale ->
+  ?seed:int64 ->
+  ?jobs:int ->
+  unit ->
+  Check.t list
+(** Run every metamorphic relation; failing checks carry a replayable
+    [schedsim run] command where one exists. *)

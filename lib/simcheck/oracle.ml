@@ -1,0 +1,193 @@
+module Core = Statsched_core
+module Cluster = Statsched_cluster
+module Dist = Statsched_dist
+module E = Statsched_experiments
+module Theory = Statsched_queueing.Theory
+
+let default_scale = { E.Config.horizon = 6.0e4; warmup = 1.5e4; reps = 5 }
+
+(* ------------------------------------------------------------------ *)
+(* Per-replication metric extraction                                   *)
+
+let resp (r : Cluster.Simulation.result) =
+  r.Cluster.Simulation.metrics.Core.Metrics.mean_response_time
+
+let ratio (r : Cluster.Simulation.result) =
+  r.Cluster.Simulation.metrics.Core.Metrics.mean_response_ratio
+
+let total_l (r : Cluster.Simulation.result) =
+  Array.fold_left
+    (fun acc pc -> acc +. pc.Cluster.Simulation.mean_jobs)
+    0.0 r.Cluster.Simulation.per_computer
+
+let samples f results = Array.of_list (List.map f results)
+
+(* Append the replayable command so a CI failure is reproducible at the
+   shell without any simcheck machinery. *)
+let band_check sc band =
+  let c = Band.to_check band in
+  if c.Check.ok then c
+  else
+    { c with Check.detail = c.Check.detail ^ " | replay: " ^ Scenario.to_run_command sc }
+
+let replicate ~scale ~seed ~jobs sc =
+  E.Runner.replicate ~seed ?jobs ~scale (Scenario.spec sc)
+
+(* ------------------------------------------------------------------ *)
+(* Differential cases                                                  *)
+
+(* Every case uses Poisson arrivals and either a single server or a
+   static *random* dispatcher: splitting a Poisson stream at random
+   yields independent per-computer Poisson streams, so the single-server
+   closed forms apply exactly.  (Round-robin dispatch de-randomises the
+   per-computer arrival process — deliberately — so it has no exact
+   M/G/1 oracle; the metamorphic relations cover it instead.) *)
+
+let single_server ~scale ~seed ~jobs =
+  let speed = 1.0 and rho = 0.7 and mean_size = 1.0 in
+  let lambda = rho *. speed /. mean_size in
+  let ps_resp = Theory.mg1_ps_response ~lambda ~mean_size ~speed in
+  let ps_slow = Theory.mg1_ps_mean_slowdown ~lambda ~mean_size ~speed in
+  let ps_l = Theory.mm1_number_in_system ~lambda ~mean_size ~speed in
+  (* M/M/1-PS: response, slowdown and Little's L at once. *)
+  let mm1_ps =
+    let sc = Scenario.v ~speeds:[| speed |] ~rho ~policy:"orr" ~seed () in
+    let rs = replicate ~scale ~seed ~jobs sc in
+    [
+      band_check sc
+        (Band.of_samples ~name:"mm1-ps/response" ~theory:ps_resp (samples resp rs));
+      band_check sc
+        (Band.of_samples ~name:"mm1-ps/slowdown" ~theory:ps_slow (samples ratio rs));
+      band_check sc
+        (Band.of_samples ~name:"mm1-ps/number-in-system" ~theory:ps_l
+           (samples total_l rs));
+    ]
+  in
+  (* M/G/1-PS insensitivity: same mean, wildly different shapes — the
+     property the paper's whole M/M/1-derived allocation leans on. *)
+  let insensitivity =
+    List.concat_map
+      (fun size ->
+        let tag = Scenario.size_dist_to_string size in
+        let sc =
+          Scenario.v ~speeds:[| speed |] ~rho ~policy:"orr" ~size
+            ~seed:(Int64.add seed 17L) ()
+        in
+        let rs = replicate ~scale ~seed ~jobs sc in
+        [
+          band_check sc
+            (Band.of_samples
+               ~name:(Printf.sprintf "mg1-ps-insensitivity/%s/response" tag)
+               ~theory:ps_resp (samples resp rs));
+          band_check sc
+            (Band.of_samples
+               ~name:(Printf.sprintf "mg1-ps-insensitivity/%s/slowdown" tag)
+               ~theory:ps_slow (samples ratio rs));
+        ])
+      [ Scenario.Det; Scenario.Weibull 0.5; Scenario.Hyperexp 2.0 ]
+  in
+  (* M/M/1-FCFS and the Pollaczek–Khinchine formula: FCFS *is* sensitive
+     to the size variability, in exactly the P-K amount. *)
+  let fcfs =
+    List.concat_map
+      (fun size ->
+        let dist = Scenario.size_distribution ~mean:mean_size size in
+        let scv = Dist.Distribution.scv dist in
+        let theory = Theory.mg1_fcfs_response ~lambda ~mean_size ~scv ~speed in
+        let tag = Scenario.size_dist_to_string size in
+        let sc =
+          Scenario.v ~speeds:[| speed |] ~rho ~policy:"orr"
+            ~discipline:Cluster.Simulation.Fcfs ~size
+            ~seed:(Int64.add seed 29L) ()
+        in
+        let rs = replicate ~scale ~seed ~jobs sc in
+        [
+          band_check sc
+            (Band.of_samples
+               ~name:(Printf.sprintf "mg1-fcfs-pk/%s/response" tag)
+               ~theory (samples resp rs));
+          band_check sc
+            (Band.of_samples
+               ~name:(Printf.sprintf "mg1-fcfs-pk/%s/number-in-system" tag)
+               ~theory:(lambda *. theory) (samples total_l rs));
+        ])
+      [ Scenario.Exp; Scenario.Erlang 4; Scenario.Hyperexp 2.0 ]
+  in
+  mm1_ps @ insensitivity @ fcfs
+
+(* Heterogeneous cluster under static *random* dispatch: Poisson
+   splitting makes each computer an independent M/M/1-PS at its
+   allocated fraction, so equation (3)'s system prediction is exact. *)
+let splitting ~scale ~seed ~jobs =
+  let speeds = [| 1.0; 1.0; 2.0 |] and rho = 0.7 in
+  let mu = 1.0 in
+  let lambda = Core.Mm1.lambda_of_utilization ~mu ~rho ~speeds in
+  List.concat_map
+    (fun (policy, alloc) ->
+      let t_theory = Core.Mm1.mean_response_time ~mu ~lambda ~speeds ~alloc in
+      let r_theory = Core.Mm1.mean_response_ratio ~mu ~lambda ~speeds ~alloc in
+      let sc =
+        Scenario.v ~speeds ~rho ~policy ~seed:(Int64.add seed 43L) ()
+      in
+      let rs = replicate ~scale ~seed ~jobs sc in
+      let base =
+        [
+          band_check sc
+            (Band.of_samples
+               ~name:(Printf.sprintf "splitting/%s/response" policy)
+               ~theory:t_theory (samples resp rs));
+          band_check sc
+            (Band.of_samples
+               ~name:(Printf.sprintf "splitting/%s/slowdown" policy)
+               ~theory:r_theory (samples ratio rs));
+          band_check sc
+            (Band.of_samples
+               ~name:(Printf.sprintf "splitting/%s/number-in-system" policy)
+               ~theory:(lambda *. t_theory) (samples total_l rs));
+        ]
+      in
+      let per_computer =
+        List.init (Array.length speeds) (fun i ->
+            let theory =
+              Core.Mm1.server_utilization ~mu ~lambda ~speed:speeds.(i)
+                ~alpha:alloc.(i)
+            in
+            let util (r : Cluster.Simulation.result) =
+              r.Cluster.Simulation.per_computer.(i).Cluster.Simulation.utilization
+            in
+            band_check sc
+              (Band.of_samples
+                 ~name:(Printf.sprintf "splitting/%s/utilization-%d" policy i)
+                 ~bias:0.02 ~theory (samples util rs)))
+      in
+      base @ per_computer)
+    [
+      ("oran", Core.Allocation.optimized ~rho speeds);
+      ("wran", Core.Allocation.weighted speeds);
+    ]
+
+(* Server breakdowns with preempt-resume repair: Avi-Itzhak & Naor's
+   Model A closed form, exercising the fault injector end to end. *)
+let breakdown ~scale ~seed ~jobs =
+  let mtbf = 200.0 and mttr = 10.0 and rho = 0.5 in
+  let theory =
+    Theory.mm1_breakdown_response ~lambda:rho ~mean_size:1.0 ~speed:1.0 ~mtbf
+      ~mttr
+  in
+  let sc =
+    Scenario.v ~speeds:[| 1.0 |] ~rho ~policy:"orr"
+      ~discipline:Cluster.Simulation.Fcfs
+      ~faults:{ Scenario.mtbf; mttr; on_failure = Cluster.Fault.Resume }
+      ~seed:(Int64.add seed 71L) ()
+  in
+  let rs = replicate ~scale ~seed ~jobs sc in
+  [
+    band_check sc
+      (Band.of_samples ~name:"breakdown/resume/response" ~bias:0.05 ~theory
+         (samples resp rs));
+  ]
+
+let run ?(scale = default_scale) ?(seed = 20260806L) ?jobs () =
+  single_server ~scale ~seed ~jobs
+  @ splitting ~scale ~seed ~jobs
+  @ breakdown ~scale ~seed ~jobs

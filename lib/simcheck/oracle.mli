@@ -1,0 +1,29 @@
+(** Differential verification: seeded DES runs compared against the
+    closed forms of {!Statsched_queueing.Theory} and
+    {!Statsched_core.Mm1} within confidence bands ({!Band}).
+
+    Cases are restricted to configurations where the closed forms are
+    {e exact}: Poisson arrivals into a single server, or a static random
+    dispatcher over a heterogeneous cluster (Poisson splitting makes each
+    computer an independent M/G/1).  Covered: M/M/1-PS response, slowdown
+    and number-in-system; M/G/1-PS insensitivity across deterministic,
+    Weibull(0.5) and hyperexponential sizes; M/M/1- and M/G/1-FCFS by
+    Pollaczek–Khinchine across three size SCVs; the equation-(3) system
+    prediction for ORAN and WRAN with per-computer utilisations; and the
+    Avi-Itzhak–Naor breakdown model through the fault injector. *)
+
+val default_scale : Statsched_experiments.Config.scale
+(** 6·10⁴ s horizon, first quarter discarded, 5 replications — chosen so
+    the whole oracle tier stays well under a minute yet the 99.9 %
+    confidence bands are a few percent wide. *)
+
+val run :
+  ?scale:Statsched_experiments.Config.scale ->
+  ?seed:int64 ->
+  ?jobs:int ->
+  unit ->
+  Check.t list
+(** Run every differential case.  Failing checks carry a replayable
+    [schedsim run] command in their detail.  [jobs] fans replications out
+    over domains exactly as {!Statsched_experiments.Runner.replicate}
+    (results are bit-identical for every value). *)

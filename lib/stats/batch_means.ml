@@ -22,11 +22,26 @@ let add t x =
 
 let completed_batches t = t.n_batches
 
+let pending t = t.in_batch
+
+let count t = (t.n_batches * t.batch_size) + t.in_batch
+
 let batch_means t = Array.of_list (List.rev t.means)
 
 let grand_mean t =
-  if t.n_batches = 0 then nan
-  else List.fold_left ( +. ) 0.0 t.means /. float_of_int t.n_batches
+  (* Weight the trailing partial batch by its observation count: the
+     grand mean is the exact sample mean of everything fed to [add].
+     (It used to be the unweighted mean of the completed batch means,
+     which silently discarded up to [batch_size - 1] trailing
+     observations — a bias toward the start of the run whenever
+     [batch_size] does not divide the observation count.) *)
+  let n = count t in
+  if n = 0 then nan
+  else
+    let completed_sum =
+      List.fold_left ( +. ) 0.0 t.means *. float_of_int t.batch_size
+    in
+    (completed_sum +. t.sum) /. float_of_int n
 
 let interval ?confidence t =
   if t.n_batches = 0 then invalid_arg "Batch_means.interval: no completed batch";

@@ -15,13 +15,34 @@ val add : t -> float -> unit
 
 val completed_batches : t -> int
 
+val pending : t -> int
+(** Observations accumulated in the trailing, not-yet-complete batch
+    ([0 <= pending < batch_size]).  They are excluded from
+    {!batch_means} and {!interval} but included, weighted, in
+    {!grand_mean}. *)
+
+val count : t -> int
+(** Total observations fed to {!add}:
+    [completed_batches * batch_size + pending]. *)
+
 val batch_means : t -> float array
 (** Means of all completed batches, oldest first. *)
 
 val grand_mean : t -> float
-(** Mean over completed batches; [nan] if none. *)
+(** Exact sample mean of {e every} observation, the trailing partial
+    batch included with its natural weight [pending / count]; [nan] if
+    nothing was added.  Note the asymmetry with {!interval}: dropping the
+    partial batch (as this function once did) biases the estimate toward
+    the start of the run whenever [batch_size] does not divide the
+    observation count. *)
 
 val interval : ?confidence:float -> t -> Confidence.interval
-(** Confidence interval treating batch means as i.i.d.
+(** Confidence interval treating the {e completed} batch means as i.i.d.
+    The trailing partial batch is excluded — its mean has a different
+    variance than a full batch's, so mixing it in would break the
+    equal-variance assumption behind the Student-t interval; with
+    [batch_size] observations per batch the resulting mean shift is at
+    most [pending/count] of the batch-to-batch spread (see
+    {!grand_mean} for the exact mean).
 
     @raise Invalid_argument if no batch has completed. *)

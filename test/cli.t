@@ -93,3 +93,69 @@ The trace file is valid Chrome trace-event JSON (load it at ui.perfetto.dev):
   valid
   $ python3 -c "import json; d = json.load(open('trace.json')); print(d['displayTimeUnit'], len(d['traceEvents']))"
   ms 39900
+
+The run command exposes the workload knobs used by the simcheck replay
+commands; the same seed and options always reproduce the same numbers:
+
+  $ schedsim run -s 1,2 -u 0.6 -p orr --discipline fcfs --size-dist erlang:4 --mean-size 10 --arrival-cv 1 --horizon 5000 --warmup 1000 --seed 7
+  scheduler: ORR
+  jobs measured: 721 (total arrivals 887)
+  mean response time:  9.7133 s
+  mean response ratio: 1.0993
+  fairness (std of ratio): 0.7897
+  median / p99 response ratio: 0.9941 / 4.4214
+  computer  speed  dispatched  completed  utilization  mean jobs (L)
+  ------------------------------------------------------------------
+  0         1      202         202        49.54%       0.5955       
+  1         2      521         519        63.33%       1.165        
+
+Bad run configurations fail with a one-line error before any simulation:
+
+  $ schedsim run -u 1.2 -p orr
+  schedsim: Workload: utilisation must satisfy 0 < rho < 1
+  [124]
+
+  $ schedsim run --mtbf=-100
+  schedsim: --mtbf must be positive (got -100)
+  [124]
+
+  $ schedsim run --mtbf 100 --mttr 0
+  schedsim: --mttr must be positive (got 0)
+  [124]
+
+  $ schedsim run --mean-size 0
+  schedsim: --mean-size must be positive (got 0)
+  [124]
+
+  $ schedsim run --horizon 100 --warmup 200
+  schedsim: --warmup must lie in [0, horizon) (got 200)
+  [124]
+
+  $ schedsim run --horizon 0
+  schedsim: --horizon must be positive (got 0)
+  [124]
+
+  $ schedsim run --size-dist nope
+  schedsim: option '--size-dist': unknown size distribution "nope" (exp, bp,
+            det, weibull:K, lognormal:CV, erlang:K or hyperexp:CV)
+  Usage: schedsim run [OPTION]…
+  Try 'schedsim run --help' or 'schedsim --help' for more information.
+  [124]
+
+  $ schedsim run --discipline lifo
+  schedsim: option '--discipline': unknown discipline "lifo" (ps, fcfs, srpt or
+            rr:QUANTUM)
+  Usage: schedsim run [OPTION]…
+  Try 'schedsim run --help' or 'schedsim --help' for more information.
+  [124]
+
+A malformed STATSCHED_JOBS is rejected before the long-running commands
+print anything:
+
+  $ STATSCHED_JOBS=0 schedsim experiment fig2
+  schedsim: STATSCHED_JOBS must be a positive integer (got "0")
+  [124]
+
+  $ STATSCHED_JOBS=many schedsim claims --scale quick
+  schedsim: STATSCHED_JOBS must be a positive integer (got "many")
+  [124]

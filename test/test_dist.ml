@@ -322,6 +322,94 @@ let prop_bp_moment_positive =
       let m2 = Dist.Bounded_pareto.raw_moment prm 2 in
       m1 > k && m1 < p && m2 >= m1 *. m1)
 
+let log_gamma_known_values () =
+  (* Γ(n) = (n−1)! — exact references computed by integer product. *)
+  let fact n =
+    let r = ref 1.0 in
+    for i = 2 to n do r := !r *. float_of_int i done;
+    !r
+  in
+  List.iter
+    (fun n ->
+      check_close ~rel:1e-12
+        (Printf.sprintf "Gamma(%d) = %d!" n (n - 1))
+        (fact (n - 1))
+        (Dist.Special.gamma (float_of_int n)))
+    [ 2; 5; 11; 21; 51; 101; 141; 161; 171 ];
+  check_close ~rel:1e-12 "Gamma(1/2) = sqrt(pi)" (sqrt Float.pi)
+    (Dist.Special.gamma 0.5);
+  check_close ~rel:1e-12 "Gamma(3/2)" (0.5 *. sqrt Float.pi)
+    (Dist.Special.gamma 1.5);
+  (* Past the double range Γ is honestly infinite, not prematurely so. *)
+  Alcotest.(check bool) "Gamma(180) overflows" true
+    (Dist.Special.gamma 180.0 = infinity);
+  Alcotest.(check bool) "log_gamma(180) stays finite" true
+    (Float.is_finite (Dist.Special.log_gamma 180.0));
+  Alcotest.(check bool) "z <= 0 is nan" true
+    (Float.is_nan (Dist.Special.gamma 0.0) && Float.is_nan (Dist.Special.log_gamma (-2.5)))
+
+let prop_log_gamma_recurrence =
+  qcheck ~count:300 "log_gamma satisfies lnGamma(z+1) = ln z + lnGamma(z)"
+    QCheck2.Gen.(map (fun x -> 0.05 +. (169.0 *. x)) (float_bound_inclusive 1.0))
+    (fun z ->
+      let lhs = Dist.Special.log_gamma (z +. 1.0) in
+      let rhs = log z +. Dist.Special.log_gamma z in
+      abs_float (lhs -. rhs) <= 1e-10 *. (1.0 +. abs_float rhs))
+
+let weibull_small_shape_moments () =
+  (* Regression: shape 0.0125 needs Γ(161) for the variance; the
+     product-form Lanczos overflowed near Γ(141) and reported an
+     infinite variance that is in fact representable. *)
+  let d = Dist.Weibull.create ~shape:0.0125 ~scale:1.0 in
+  Alcotest.(check bool) "variance finite at shape 0.0125" true
+    (Float.is_finite (D.variance d));
+  check_close ~rel:1e-10 "variance = Gamma(161) - Gamma(81)^2"
+    (Dist.Special.gamma 161.0 -. (Dist.Special.gamma 81.0 ** 2.0))
+    (D.variance d);
+  (* Genuinely out-of-range moments still honestly report infinity. *)
+  let tiny = Dist.Weibull.create ~shape:0.005 ~scale:1.0 in
+  Alcotest.(check bool) "shape 0.005 variance is infinite" true
+    (D.variance tiny = infinity)
+
+let prop_weibull_gamma_relation =
+  (* Analytic Γ relation at exactly-checkable points: for shape 1/m the
+     mean is scale·Γ(1+m) = scale·m!, computable by integer product. *)
+  qcheck ~count:100 "weibull mean = scale * m! for shape 1/m"
+    QCheck2.Gen.(
+      pair (int_range 1 50)
+        (map (fun x -> 0.1 +. (5.0 *. x)) (float_bound_inclusive 1.0)))
+    (fun (m, scale) ->
+      let d = Dist.Weibull.create ~shape:(1.0 /. float_of_int m) ~scale in
+      let fact =
+        let r = ref 1.0 in
+        for i = 2 to m do r := !r *. float_of_int i done;
+        !r
+      in
+      abs_float (D.mean d -. (scale *. fact)) <= 1e-11 *. scale *. fact)
+
+let prop_weibull_variance_nonnegative =
+  (* Large shapes make Γ(1+2/k) − Γ(1+1/k)² a near-cancellation; the
+     expm1 form must stay non-negative and finite. *)
+  qcheck ~count:200 "weibull variance nonnegative across shapes"
+    QCheck2.Gen.(
+      pair (map (fun x -> 0.02 +. (60.0 *. x)) (float_bound_inclusive 1.0))
+        (map (fun x -> 0.1 +. (10.0 *. x)) (float_bound_inclusive 1.0)))
+    (fun (shape, scale) ->
+      let d = Dist.Weibull.create ~shape ~scale in
+      D.variance d >= 0.0 && not (Float.is_nan (D.variance d))
+      && (shape < 0.012 || Float.is_finite (D.variance d)))
+
+let weibull_small_shape_empirical_mean () =
+  (* The corrected analytic mean agrees with the sample mean at a small
+     shape (k = 0.5: mean = scale·Γ(3) = 2·scale). *)
+  let d = Dist.Weibull.create ~shape:0.5 ~scale:3.0 in
+  check_float ~eps:1e-12 "analytic mean" 6.0 (D.mean d);
+  let g = rng ~seed:7L () in
+  let n = 200_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do sum := !sum +. D.sample d g done;
+  check_close ~rel:0.05 "sample mean near analytic" 6.0 (!sum /. float_of_int n)
+
 let suite =
   [
     test "exponential: analytic moments" exponential_analytic;
@@ -357,6 +445,12 @@ let suite =
     test "weibull: shape=1 is exponential" weibull_exponential_special_case;
     slow_test "weibull: empirical moments"
       (empirical_check (Dist.Weibull.create ~shape:1.5 ~scale:2.0));
+    test "special: gamma known values" log_gamma_known_values;
+    prop_log_gamma_recurrence;
+    test "weibull: small-shape moments finite (regression)" weibull_small_shape_moments;
+    prop_weibull_gamma_relation;
+    prop_weibull_variance_nonnegative;
+    slow_test "weibull: small-shape empirical mean" weibull_small_shape_empirical_mean;
     test "empirical: resampling support" empirical_resample;
     test "empirical: validation" empirical_errors;
     test "empirical: quantile table interpolation" quantile_table_interpolates;

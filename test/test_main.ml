@@ -21,4 +21,5 @@ let () =
       ("obs", Test_obs.suite);
       ("par", Test_par.suite);
       ("more", Test_more.suite);
+      ("simcheck", Test_simcheck.suite);
     ]

@@ -264,6 +264,65 @@ let mm1_ps_theory ?(rho = 0.6) ?(horizon = 150_000.0) ~size_dist () =
   check_close ~rel:0.08 "M/G/1-PS mean response time" expected
     (Statsched_stats.Welford.mean w)
 
+let theory_saturation_and_domain () =
+  let module T = Q.Theory in
+  let is_nan = Float.is_nan in
+  (* rho >= 1: every mean diverges to +infinity, never a negative time. *)
+  List.iter
+    (fun lambda ->
+      check_float "fcfs saturated" infinity
+        (T.mm1_fcfs_response ~lambda ~mean_size:1.0 ~speed:1.0);
+      check_float "pk saturated" infinity
+        (T.mg1_fcfs_response ~lambda ~mean_size:1.0 ~scv:4.0 ~speed:1.0);
+      check_float "ps saturated" infinity
+        (T.mg1_ps_response ~lambda ~mean_size:1.0 ~speed:1.0);
+      check_float "slowdown saturated" infinity
+        (T.mg1_ps_mean_slowdown ~lambda ~mean_size:1.0 ~speed:1.0);
+      check_float "L saturated" infinity
+        (T.mm1_number_in_system ~lambda ~mean_size:1.0 ~speed:1.0))
+    [ 1.0; 1.5; 40.0 ];
+  (* Regression: out-of-domain inputs answered negative "times" before
+     the audit (e.g. mean_size = -1 gave -1/3 here); they are nan now. *)
+  Alcotest.(check bool) "negative mean size is nan" true
+    (is_nan (T.mm1_fcfs_response ~lambda:2.0 ~mean_size:(-1.0) ~speed:1.0));
+  Alcotest.(check bool) "negative lambda is nan" true
+    (is_nan (T.mg1_ps_response ~lambda:(-0.5) ~mean_size:1.0 ~speed:1.0));
+  Alcotest.(check bool) "zero speed is nan" true
+    (is_nan (T.mm1_number_in_system ~lambda:0.5 ~mean_size:1.0 ~speed:0.0));
+  Alcotest.(check bool) "negative scv is nan" true
+    (is_nan (T.mg1_fcfs_response ~lambda:0.5 ~mean_size:1.0 ~scv:(-0.5) ~speed:1.0));
+  Alcotest.(check bool) "nan lambda propagates" true
+    (is_nan (T.mg1_ps_mean_slowdown ~lambda:nan ~mean_size:1.0 ~speed:1.0));
+  (* An idle queue is fine: lambda = 0 gives the bare service time. *)
+  check_float "lambda = 0 fcfs" 2.0
+    (T.mm1_fcfs_response ~lambda:0.0 ~mean_size:2.0 ~speed:1.0);
+  check_float "lambda = 0 L" 0.0
+    (T.mm1_number_in_system ~lambda:0.0 ~mean_size:2.0 ~speed:1.0)
+
+let theory_breakdown_degenerate () =
+  let module T = Q.Theory in
+  let at ~mtbf ~mttr =
+    T.mm1_breakdown_response ~lambda:0.5 ~mean_size:1.0 ~speed:1.0 ~mtbf ~mttr
+  in
+  (* Regression: non-positive mtbf/mttr raised Invalid_argument before
+     the audit; the module contract is now uniformly nan. *)
+  List.iter
+    (fun (mtbf, mttr) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "mtbf=%g mttr=%g is nan" mtbf mttr)
+        true
+        (Float.is_nan (at ~mtbf ~mttr)))
+    [ (0.0, 10.0); (-5.0, 10.0); (100.0, 0.0); (100.0, -1.0); (nan, 10.0); (100.0, nan) ];
+  Alcotest.(check bool) "breakdown negative lambda is nan" true
+    (Float.is_nan
+       (T.mm1_breakdown_response ~lambda:(-1.0) ~mean_size:1.0 ~speed:1.0
+          ~mtbf:100.0 ~mttr:10.0));
+  (* Healthy inputs still give the Avi-Itzhak-Naor value, strictly above
+     the reliable M/M/1. *)
+  let broken = at ~mtbf:200.0 ~mttr:10.0 in
+  Alcotest.(check bool) "breakdowns cost something" true (broken > 2.0);
+  Alcotest.(check bool) "finite when stable" true (Float.is_finite broken)
+
 let suite =
   [
     test "job: response metrics" job_basics;
@@ -283,6 +342,8 @@ let suite =
     slow_test "rr: converges to ps as quantum -> 0" rr_converges_to_ps;
     test "rr: work conservation" rr_work_conservation;
     test "server interface coercion" server_intf_coercion;
+    test "theory: saturation and domain edges" theory_saturation_and_domain;
+    test "theory: degenerate breakdown inputs" theory_breakdown_degenerate;
     slow_test "m/m/1-ps matches theory" (fun () ->
         mm1_ps_theory ~size_dist:(Statsched_dist.Exponential.of_mean 2.0) ());
     slow_test "m/g/1-ps insensitivity (erlang sizes)" (fun () ->
