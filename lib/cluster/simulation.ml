@@ -368,6 +368,17 @@ let run ?sanitize ?on_dispatch ?on_completion ?on_tick ?on_drop ?on_rate_change
       (select, (fun () -> None), on_departure, on_capacity)
   in
 
+  (* Job records are recycled through a free-list, but only when no
+     caller-supplied hook can observe a job: a hook may legitimately
+     retain the record past its departure, and a recycled record mutates
+     under such a reference.  The scheduler-internal observers above
+     (collector, adaptive size accounting, least-load lag) all read
+     fields synchronously and never store the record. *)
+  let job_pool = Q.Job.pool () in
+  let recycle =
+    Option.is_none on_dispatch && Option.is_none on_completion
+    && Option.is_none on_drop
+  in
   let servers =
     Array.init n (fun i ->
         make_server ~discipline:cfg.discipline ~engine ~speed:cfg.speeds.(i)
@@ -378,7 +389,7 @@ let run ?sanitize ?on_dispatch ?on_completion ?on_tick ?on_drop ?on_rate_change
               completed.(i) <- completed.(i) + 1;
             (match on_completion with Some f -> f job | None -> ());
             on_job_departure job;
-            match san with
+            (match san with
             | Some s ->
               Sanitize.on_completion s;
               Sanitize.check_engine s engine;
@@ -387,7 +398,8 @@ let run ?sanitize ?on_dispatch ?on_completion ?on_tick ?on_drop ?on_rate_change
                   (Array.fold_left
                      (fun acc srv -> acc + srv.Q.Server_intf.in_system ())
                      0 !servers_ref)
-            | None -> ()))
+            | None -> ());
+            if recycle then Q.Job.release job_pool job))
   in
   servers_ref := servers;
   (match on_tick with
@@ -453,7 +465,8 @@ let run ?sanitize ?on_dispatch ?on_completion ?on_tick ?on_drop ?on_rate_change
         | Fault.Drop ->
           (match san with Some s -> Sanitize.on_drop s | None -> ());
           (match on_drop with Some f -> f job | None -> ());
-          if job.Q.Job.arrival >= cfg.warmup then incr lost
+          if job.Q.Job.arrival >= cfg.warmup then incr lost;
+          if recycle then Q.Job.release job_pool job
         | Fault.Requeue ->
           (* Re-dispatched like a fresh arrival (after the blacklist
              update, so it avoids the failed computer) but not counted
@@ -539,32 +552,40 @@ let run ?sanitize ?on_dispatch ?on_completion ?on_tick ?on_drop ?on_rate_change
            Array.iter (fun s -> s.Q.Server_intf.reset_stats ()) servers));
 
   (* Arrival process.  A rate modulation scales the sampled gap down when
-     the instantaneous rate is high (time-rescaled renewal process). *)
-  let rec schedule_next_arrival () =
-    let base_gap = Distribution.sample cfg.workload.Workload.interarrival arrivals_rng in
+     the instantaneous rate is high (time-rescaled renewal process).
+     Base gaps come pre-sampled in batches from the dedicated arrivals
+     stream ([Workload.gap_source] — bit-identical draw order), and the
+     handler/scheduler pair is a single mutually-recursive closure pair
+     created once: the per-arrival path allocates no closures. *)
+  let gaps = Workload.gap_source cfg.workload ~rng:arrivals_rng in
+  let rec on_arrival _ =
+    let now = Engine.now engine in
+    incr total_arrivals;
+    incr job_counter;
+    let size = Distribution.sample cfg.workload.Workload.size sizes_rng in
+    let job =
+      if recycle then Q.Job.acquire job_pool ~id:!job_counter ~size ~arrival:now
+      else Q.Job.create ~id:!job_counter ~size ~arrival:now
+    in
+    let target = select_computer job in
+    job.Q.Job.computer <- target;
+    if now >= cfg.warmup then dispatched.(target) <- dispatched.(target) + 1;
+    (match on_dispatch with Some f -> f job | None -> ());
+    servers.(target).Q.Server_intf.submit job;
+    (match san with
+    | Some s ->
+      Sanitize.on_arrival s;
+      Sanitize.check_engine s engine
+    | None -> ());
+    schedule_next_arrival ()
+  and schedule_next_arrival () =
+    let base_gap = Workload.next_gap gaps in
     let gap =
       match cfg.workload.Workload.modulation with
       | None -> base_gap
       | Some f -> base_gap /. max 0.05 (f (Engine.now engine))
     in
-    ignore
-      (Engine.schedule engine ~delay:gap (fun _ ->
-           let now = Engine.now engine in
-           incr total_arrivals;
-           incr job_counter;
-           let size = Distribution.sample cfg.workload.Workload.size sizes_rng in
-           let job = Q.Job.create ~id:!job_counter ~size ~arrival:now in
-           let target = select_computer job in
-           job.Q.Job.computer <- target;
-           if now >= cfg.warmup then dispatched.(target) <- dispatched.(target) + 1;
-           (match on_dispatch with Some f -> f job | None -> ());
-           servers.(target).Q.Server_intf.submit job;
-           (match san with
-           | Some s ->
-             Sanitize.on_arrival s;
-             Sanitize.check_engine s engine
-           | None -> ());
-           schedule_next_arrival ()))
+    ignore (Engine.schedule engine ~delay:gap on_arrival)
   in
   schedule_next_arrival ();
   Engine.run ~until:cfg.horizon engine;

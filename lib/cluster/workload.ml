@@ -68,3 +68,44 @@ let diurnal ~rho ~amplitude ~day_length ~speeds =
 let modulated_rate t time =
   let base = arrival_rate t in
   match t.modulation with None -> base | Some f -> base *. f time
+
+(* -- batched gap generation --------------------------------------------- *)
+
+(* The arrival loop consumes one inter-arrival gap per job.  Sampling
+   them one at a time pays an indirect call into the distribution
+   closure plus a boxed-float return per arrival; the source below
+   refills a flat [floatarray] a batch at a time instead, so the common
+   case is an unboxed array read.  Draw order from the arrivals stream
+   is identical — the same samples in the same order, just taken ahead
+   of time — and the stream is dedicated to gaps, so results are
+   bit-identical to unbatched sampling.  Rate modulation must still be
+   applied at the *scheduling* instant, never at refill time; that is
+   why the source yields base gaps and leaves division by the
+   modulation factor to the caller. *)
+type gap_source = {
+  gap_dist : Distribution.t;
+  gap_rng : Statsched_prng.Rng.t;
+  buf : Float.Array.t;
+  mutable pos : int;  (* next unread slot; [length buf] forces a refill *)
+}
+
+let gap_source ?(batch = 256) t ~rng =
+  if batch < 1 then invalid_arg "Workload.gap_source: batch < 1";
+  {
+    gap_dist = t.interarrival;
+    gap_rng = rng;
+    buf = Float.Array.make batch 0.0;
+    pos = batch;
+  }
+
+let refill src =
+  for i = 0 to Float.Array.length src.buf - 1 do
+    Float.Array.unsafe_set src.buf i (Distribution.sample src.gap_dist src.gap_rng)
+  done;
+  src.pos <- 0
+
+let[@inline] next_gap src =
+  if src.pos >= Float.Array.length src.buf then refill src;
+  let g = Float.Array.unsafe_get src.buf src.pos in
+  src.pos <- src.pos + 1;
+  g

@@ -86,3 +86,25 @@ val diurnal :
 val modulated_rate : t -> float -> float
 (** [modulated_rate w t] is the instantaneous arrival rate at simulated
     time [t] ([arrival_rate w] when unmodulated). *)
+
+(** {2 Batched gap generation}
+
+    The simulator's arrival loop reads inter-arrival gaps through a
+    [gap_source], which pre-samples them from the arrivals stream a
+    batch at a time into a flat float array.  The draws come from the
+    same stream in the same order as one-at-a-time sampling, so
+    simulation results are bit-identical; batching only removes the
+    per-arrival closure call and boxed return.  Gaps are {e base} gaps:
+    rate modulation is applied by the consumer at the scheduling
+    instant. *)
+
+type gap_source
+
+val gap_source : ?batch:int -> t -> rng:Statsched_prng.Rng.t -> gap_source
+(** A fresh source drawing from [t.interarrival] with the given stream.
+    [batch] (default 256) gaps are pre-sampled per refill.
+
+    @raise Invalid_argument if [batch < 1]. *)
+
+val next_gap : gap_source -> float
+(** The next base inter-arrival gap. *)

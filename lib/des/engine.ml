@@ -1,5 +1,8 @@
 type t = {
-  mutable clock : float;
+  clock : Float.Array.t;
+      (* length 1.  A [mutable clock : float] field in this mixed record
+         would box on every write — one allocation per event — whereas a
+         flat float-array slot stores the raw double. *)
   queue : (t -> unit) Event_queue.t;
   mutable executed : int;
 }
@@ -9,18 +12,18 @@ type event_handle = Event_queue.handle
 exception Schedule_in_past of { now : float; requested : float }
 
 let create ?(start_time = 0.0) () =
-  { clock = start_time; queue = Event_queue.create (); executed = 0 }
+  { clock = Float.Array.make 1 start_time; queue = Event_queue.create (); executed = 0 }
 
-let now e = e.clock
+let[@inline] now e = Float.Array.unsafe_get e.clock 0
 
-let schedule_at e ~time f =
-  if time < e.clock then raise (Schedule_in_past { now = e.clock; requested = time });
+let[@inline] schedule_at e ~time f =
+  if time < now e then raise (Schedule_in_past { now = now e; requested = time });
   Event_queue.add e.queue ~time f
 
-let schedule e ~delay f =
+let[@inline] schedule e ~delay f =
   if delay < 0.0 then
-    raise (Schedule_in_past { now = e.clock; requested = e.clock +. delay });
-  schedule_at e ~time:(e.clock +. delay) f
+    raise (Schedule_in_past { now = now e; requested = now e +. delay });
+  schedule_at e ~time:(now e +. delay) f
 
 let cancel e h = Event_queue.cancel e.queue h
 
@@ -30,7 +33,7 @@ let step e =
   (* Allocation-free event dispatch: [pop_step] parks the event in the
      queue's scratch slot instead of returning a [(time, payload) option]. *)
   if Event_queue.pop_step e.queue then begin
-    e.clock <- Event_queue.last_time e.queue;
+    Float.Array.unsafe_set e.clock 0 (Event_queue.last_time e.queue);
     e.executed <- e.executed + 1;
     (Event_queue.last_payload e.queue) e;
     true
@@ -51,7 +54,7 @@ let run ?until e =
       end
       else running := false
     done;
-    if e.clock < horizon then e.clock <- horizon
+    if now e < horizon then Float.Array.unsafe_set e.clock 0 horizon
 
 let events_executed e = e.executed
 
@@ -65,10 +68,10 @@ end
 
 let every e ~period f =
   if period <= 0.0 then invalid_arg "Engine.every: period <= 0";
-  let rec tick () =
-    ignore
-      (schedule e ~delay:period (fun e ->
-           f e;
-           tick ()))
+  (* One closure for the lifetime of the periodic task: re-scheduling the
+     same handler value keeps the per-tick path allocation-free. *)
+  let rec handler e =
+    f e;
+    ignore (schedule e ~delay:period handler)
   in
-  tick ()
+  ignore (schedule e ~delay:period handler)

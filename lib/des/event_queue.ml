@@ -17,6 +17,10 @@
 
 type handle = int
 
+let no_handle = -1
+
+let[@inline] is_handle h = h >= 0
+
 type 'a t = {
   mutable times : Float.Array.t;
   mutable seqs : int array;
@@ -68,7 +72,7 @@ let high_water q = q.hwm
    that every seq in [base, next_seq) has a byte, so the hot-path
    [mark_done] never allocates. *)
 
-let bit_done q seq =
+let[@inline] bit_done q seq =
   seq < q.base
   ||
   let i = seq - q.base in
@@ -129,10 +133,15 @@ let rec ensure_bit q seq =
 
 (* -- heap helpers ------------------------------------------------------- *)
 
-let precedes q i j =
+(* Indices handed to [precedes] and the sift loops below are always
+   < [q.len], so the int/payload arrays use unsafe accessors like the
+   float array already does — the heap sifts are the simulator's hottest
+   loops and the bounds checks are pure overhead there. *)
+let[@inline] precedes q i j =
   let ti = Float.Array.unsafe_get q.times i
   and tj = Float.Array.unsafe_get q.times j in
-  ti < tj || (Float.equal ti tj && q.seqs.(i) < q.seqs.(j))
+  ti < tj
+  || (Float.equal ti tj && Array.unsafe_get q.seqs i < Array.unsafe_get q.seqs j)
 
 let blank q i =
   match q.filler with Some d -> q.payloads.(i) <- d | None -> ()
@@ -159,7 +168,7 @@ let ensure_capacity q payload =
     q.payloads <- np
   end
 
-let add q ~time payload =
+let[@inline] add q ~time payload =
   if not (Float.is_finite time) then
     invalid_arg "Event_queue.add: non-finite time";
   ensure_capacity q payload;
@@ -176,15 +185,15 @@ let add q ~time payload =
     let tp = Float.Array.unsafe_get q.times p in
     if time < tp then begin
       Float.Array.unsafe_set q.times !i tp;
-      q.seqs.(!i) <- q.seqs.(p);
-      q.payloads.(!i) <- q.payloads.(p);
+      Array.unsafe_set q.seqs !i (Array.unsafe_get q.seqs p);
+      Array.unsafe_set q.payloads !i (Array.unsafe_get q.payloads p);
       i := p
     end
     else sifting := false
   done;
   Float.Array.unsafe_set q.times !i time;
-  q.seqs.(!i) <- seq;
-  q.payloads.(!i) <- payload;
+  Array.unsafe_set q.seqs !i seq;
+  Array.unsafe_set q.payloads !i payload;
   q.live <- q.live + 1;
   if q.live > q.hwm then q.hwm <- q.live;
   seq
@@ -196,8 +205,8 @@ let remove_root q =
   if last = 0 then blank q 0
   else begin
     let t = Float.Array.unsafe_get q.times last in
-    let s = q.seqs.(last) in
-    let p = q.payloads.(last) in
+    let s = Array.unsafe_get q.seqs last in
+    let p = Array.unsafe_get q.payloads last in
     blank q last;
     let i = ref 0 in
     let sifting = ref true in
@@ -208,18 +217,18 @@ let remove_root q =
         let r = l + 1 in
         let c = if r < last && precedes q r l then r else l in
         let tc = Float.Array.unsafe_get q.times c in
-        if tc < t || (Float.equal tc t && q.seqs.(c) < s) then begin
+        if tc < t || (Float.equal tc t && Array.unsafe_get q.seqs c < s) then begin
           Float.Array.unsafe_set q.times !i tc;
-          q.seqs.(!i) <- q.seqs.(c);
-          q.payloads.(!i) <- q.payloads.(c);
+          Array.unsafe_set q.seqs !i (Array.unsafe_get q.seqs c);
+          Array.unsafe_set q.payloads !i (Array.unsafe_get q.payloads c);
           i := c
         end
         else sifting := false
       end
     done;
     Float.Array.unsafe_set q.times !i t;
-    q.seqs.(!i) <- s;
-    q.payloads.(!i) <- p
+    Array.unsafe_set q.seqs !i s;
+    Array.unsafe_set q.payloads !i p
   end
 
 let rec pop_step q =
@@ -229,8 +238,8 @@ let rec pop_step q =
   end
   else begin
     let time = Float.Array.unsafe_get q.times 0 in
-    let seq = q.seqs.(0) in
-    let payload = q.payloads.(0) in
+    let seq = Array.unsafe_get q.seqs 0 in
+    let payload = Array.unsafe_get q.payloads 0 in
     remove_root q;
     if bit_done q seq then pop_step q (* cancelled: skip *)
     else begin
@@ -242,9 +251,9 @@ let rec pop_step q =
     end
   end
 
-let last_time q = Float.Array.get q.last_time 0
+let[@inline] last_time q = Float.Array.unsafe_get q.last_time 0
 
-let last_payload q = q.last_payload.(0)
+let[@inline] last_payload q = q.last_payload.(0)
 
 let blank_last q =
   match q.filler with Some d -> q.last_payload.(0) <- d | None -> ()
@@ -259,12 +268,22 @@ let pop q =
   end
   else None
 
-let rec next_time q =
+(* Cold path of [next_time]: drop lazily-cancelled roots until a live
+   entry (or emptiness) surfaces. *)
+let rec drop_done_roots q =
   if q.len = 0 then Float.nan
-  else if bit_done q q.seqs.(0) then begin
+  else if bit_done q (Array.unsafe_get q.seqs 0) then begin
     remove_root q;
-    next_time q
+    drop_done_roots q
   end
+  else Float.Array.unsafe_get q.times 0
+
+(* Non-recursive so the common live-root case inlines into callers (the
+   engine main loop and the PS reschedule path read this once per event)
+   and the returned float stays unboxed there. *)
+let[@inline] next_time q =
+  if q.len = 0 then Float.nan
+  else if bit_done q (Array.unsafe_get q.seqs 0) then drop_done_roots q
   else Float.Array.unsafe_get q.times 0
 
 let peek_time q =

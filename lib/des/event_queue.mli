@@ -12,6 +12,15 @@ type 'a t
 type handle
 (** Identifies a scheduled event for cancellation. *)
 
+val no_handle : handle
+(** A sentinel never returned by {!add}: [cancel q no_handle] is [false]
+    and allocates nothing.  Lets callers store "no pending event" in a
+    plain mutable field instead of a [handle option] (an allocation per
+    reschedule on hot paths). *)
+
+val is_handle : handle -> bool
+(** [is_handle h] is [false] exactly for {!no_handle}. *)
+
 val create : ?initial_capacity:int -> unit -> 'a t
 (** An empty queue. *)
 

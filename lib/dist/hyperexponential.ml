@@ -23,6 +23,11 @@ let moments probs rates =
   done;
   (!mean, !second -. (!mean *. !mean))
 
+(* Branch selection is a closed module-level function: a [let rec] inside
+   [sample] would capture the per-call draw [u] and allocate a fresh
+   closure on every sample. *)
+let rec branch cum n u i = if i = n - 1 || u < cum.(i) then i else branch cum n u (i + 1)
+
 let create ~probs ~rates =
   check_params probs rates;
   let probs = Array.copy probs and rates = Array.copy rates in
@@ -36,11 +41,21 @@ let create ~probs ~rates =
     cum.(i) <- !acc
   done;
   cum.(n - 1) <- 1.0;
-  let sample g =
-    let u = Rng.float g in
-    let rec branch i = if i = n - 1 || u < cum.(i) then i else branch (i + 1) in
-    let i = branch 0 in
-    Exponential.sample ~rate:rates.(i) g
+  (* The workhorse case is the two-branch H2 (every [fit_cv] call):
+     specialise it so the branch draw stays an unboxed local — the
+     generic path boxes [u] to pass it to [branch]. *)
+  let sample =
+    if n = 2 then begin
+      let c0 = cum.(0) and r0 = rates.(0) and r1 = rates.(1) in
+      fun g ->
+        let u = Rng.float g in
+        Exponential.sample ~rate:(if u < c0 then r0 else r1) g
+    end
+    else
+      fun g ->
+        let u = Rng.float g in
+        let i = branch cum n u 0 in
+        Exponential.sample ~rate:rates.(i) g
   in
   Distribution.make
     ~name:(Printf.sprintf "H%d(mean=%g)" n mean)

@@ -1,3 +1,13 @@
+(* The float accumulators live in their own all-float record: OCaml
+   stores such records flat, so the per-observation updates in [add]
+   write raw doubles instead of boxing (a float field in the mixed outer
+   record would allocate on every [<-]). *)
+type acc = {
+  mutable sum : float;
+  mutable min_seen : float;
+  mutable max_seen : float;
+}
+
 type t = {
   lo : float;
   hi : float;
@@ -6,9 +16,7 @@ type t = {
   mutable under : int;
   mutable over : int;
   mutable total : int;
-  mutable sum : float;
-  mutable min_seen : float;
-  mutable max_seen : float;
+  acc : acc;
 }
 
 let create ?(sub_count = 32) ~lo ~hi () =
@@ -24,33 +32,41 @@ let create ?(sub_count = 32) ~lo ~hi () =
     under = 0;
     over = 0;
     total = 0;
-    sum = 0.0;
-    min_seen = infinity;
-    max_seen = neg_infinity;
+    acc = { sum = 0.0; min_seen = infinity; max_seen = neg_infinity };
   }
 
-let copy h = { h with counts = Array.copy h.counts }
+let copy h =
+  {
+    h with
+    counts = Array.copy h.counts;
+    acc = { sum = h.acc.sum; min_seen = h.acc.min_seen; max_seen = h.acc.max_seen };
+  }
 
 let bin_count h = Array.length h.counts
 
-(* Index of a value known to lie in [lo, hi).  frexp gives x/lo = m·2^e
-   with m in [0.5, 1), so the octave is e-1 and 2m-1 in [0, 1) locates
-   the linear sub-bucket — no log calls on the hot path. *)
+(* Index of a value known to lie in [lo, hi).  With r = x/lo >= 1 the
+   IEEE exponent field gives r = f·2^E, f in [1, 2): the octave is E and
+   f-1 in [0, 1) locates the linear sub-bucket.  Reading the exponent
+   straight from the bit pattern (instead of [Float.frexp], which
+   allocates a tuple and a boxed mantissa per call) keeps [add]
+   allocation-free; multiplying by the exact power 2^-E is lossless, so
+   the bin is bit-identical to what frexp produced. *)
 let index_of h x =
-  let m, e = Float.frexp (x /. h.lo) in
-  let octave = e - 1 in
-  let frac = (2.0 *. m) -. 1.0 in
+  let r = x /. h.lo in
+  let e = Int64.to_int (Int64.shift_right_logical (Int64.bits_of_float r) 52) - 1023 in
+  let pow2_neg_e = Int64.float_of_bits (Int64.shift_left (Int64.of_int (1023 - e)) 52) in
+  let frac = (r *. pow2_neg_e) -. 1.0 in
   let sub = min (h.sub_count - 1) (int_of_float (frac *. float_of_int h.sub_count)) in
-  min (bin_count h - 1) ((octave * h.sub_count) + sub)
+  min (bin_count h - 1) ((e * h.sub_count) + sub)
 
 let bin_index h x = if x < h.lo || x >= h.hi then None else Some (index_of h x)
 
 let add h x =
   if Float.is_nan x then invalid_arg "Hdr_histogram.add: NaN observation";
   h.total <- h.total + 1;
-  h.sum <- h.sum +. x;
-  if x < h.min_seen then h.min_seen <- x;
-  if x > h.max_seen then h.max_seen <- x;
+  h.acc.sum <- h.acc.sum +. x;
+  if x < h.acc.min_seen then h.acc.min_seen <- x;
+  if x > h.acc.max_seen then h.acc.max_seen <- x;
   if x < h.lo then h.under <- h.under + 1
   else if x >= h.hi then h.over <- h.over + 1
   else begin
@@ -61,10 +77,10 @@ let add h x =
 let count h = h.total
 let underflow h = h.under
 let overflow h = h.over
-let sum h = h.sum
-let mean h = if h.total = 0 then nan else h.sum /. float_of_int h.total
-let min_value h = if h.total = 0 then nan else h.min_seen
-let max_value h = if h.total = 0 then nan else h.max_seen
+let sum h = h.acc.sum
+let mean h = if h.total = 0 then nan else h.acc.sum /. float_of_int h.total
+let min_value h = if h.total = 0 then nan else h.acc.min_seen
+let max_value h = if h.total = 0 then nan else h.acc.max_seen
 
 let bin_range h i =
   if i < 0 || i >= bin_count h then invalid_arg "Hdr_histogram.bin_range: index";
@@ -85,7 +101,7 @@ let quantile h q =
     if target <= float_of_int h.under then h.lo
     else begin
       let acc = ref (float_of_int h.under) in
-      let result = ref h.max_seen in
+      let result = ref h.acc.max_seen in
       (try
          for i = 0 to bin_count h - 1 do
            let c = float_of_int h.counts.(i) in
@@ -111,9 +127,9 @@ let merge ~into src =
   into.under <- into.under + src.under;
   into.over <- into.over + src.over;
   into.total <- into.total + src.total;
-  into.sum <- into.sum +. src.sum;
-  if src.min_seen < into.min_seen then into.min_seen <- src.min_seen;
-  if src.max_seen > into.max_seen then into.max_seen <- src.max_seen
+  into.acc.sum <- into.acc.sum +. src.acc.sum;
+  if src.acc.min_seen < into.acc.min_seen then into.acc.min_seen <- src.acc.min_seen;
+  if src.acc.max_seen > into.acc.max_seen then into.acc.max_seen <- src.acc.max_seen
 
 let iter_nonempty h f =
   if h.under > 0 then f ~upper:h.lo ~count:h.under;

@@ -17,6 +17,15 @@ let default_jobs () =
         (Printf.sprintf
            "STATSCHED_JOBS must be a positive integer (got %S)" s))
 
+(* Lifetime count of domains spawned by this module.  Monotonic telemetry
+   only — never read back into control flow — so the global cannot make
+   results depend on past calls; it exists so tests can pin the
+   "jobs = 1 spawns nothing" contract. *)
+(* schedlint: allow R5 *)
+let spawned = Atomic.make 0
+
+let spawn_count () = Atomic.get spawned
+
 let resolve_jobs ?jobs n =
   let jobs =
     match jobs with
@@ -25,46 +34,54 @@ let resolve_jobs ?jobs n =
   in
   max 1 (min jobs n)
 
+(* Parallel fan-out, reached only with [jobs >= 2] (hence [n >= 2],
+   since [resolve_jobs] clamps to [n]).  [f 0] runs eagerly in the
+   caller: its result seeds the slot array, so slots hold plain values —
+   no ['a option] boxing, and when ['a] is [float] the array is flat.
+   The atomic hand-out therefore starts at index 1, and only
+   [min (jobs - 1) (n - 1)] helper domains are spawned. *)
+let map_parallel jobs n f =
+  let r0 = f 0 in
+  let results = Array.make n r0 in
+  let next = Atomic.make 1 in
+  let failed = Atomic.make None in
+  (* Each worker (spawned domains plus the caller) pulls the next
+     unstarted index; on the first exception everyone winds down. *)
+  let worker () =
+    let running = ref true in
+    while !running do
+      let k = Atomic.fetch_and_add next 1 in
+      if k >= n || Atomic.get failed <> None then running := false
+      else
+        match f k with
+        | v -> results.(k) <- v
+        | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          ignore (Atomic.compare_and_set failed None (Some (e, bt)))
+    done
+  in
+  let domains =
+    List.init
+      (min (jobs - 1) (n - 1))
+      (fun _ ->
+        Atomic.incr spawned;
+        Domain.spawn worker)
+  in
+  worker ();
+  List.iter Domain.join domains;
+  (match Atomic.get failed with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ());
+  results
+
 let map_array ?jobs n f =
   if n < 0 then invalid_arg "Par.map: negative length";
   let jobs = resolve_jobs ?jobs n in
-  if jobs = 1 then Array.init n f
-  else begin
-    let results = Array.make n None in
-    let next = Atomic.make 0 in
-    let failed = Atomic.make None in
-    (* Each worker (spawned domains plus the caller) pulls the next
-       unstarted index; on the first exception everyone winds down. *)
-    let worker () =
-      let running = ref true in
-      while !running do
-        let k = Atomic.fetch_and_add next 1 in
-        if k >= n || Atomic.get failed <> None then running := false
-        else
-          match f k with
-          | v -> results.(k) <- Some v
-          | exception e ->
-            let bt = Printexc.get_raw_backtrace () in
-            ignore (Atomic.compare_and_set failed None (Some (e, bt)))
-      done
-    in
-    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    List.iter Domain.join domains;
-    (match Atomic.get failed with
-    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-    | None -> ());
-    Array.map
-      (fun slot ->
-        match slot with
-        | Some v -> v
-        | None ->
-          (* Unreachable: every index below [n] was either computed or we
-             raised above. *)
-          assert false)
-      results
-  end
+  if jobs = 1 then Array.init n f else map_parallel jobs n f
 
 let map ?jobs n f =
-  if n >= 0 && resolve_jobs ?jobs n = 1 then List.init n f
-  else Array.to_list (map_array ?jobs n f)
+  if n < 0 then invalid_arg "Par.map: negative length";
+  let jobs = resolve_jobs ?jobs n in
+  (* [jobs = 1] is the provably pool-free path: no slot array, no
+     atomics, no domains — just the plain sequential list build. *)
+  if jobs = 1 then List.init n f else Array.to_list (map_parallel jobs n f)

@@ -20,6 +20,11 @@ val default_jobs : unit -> int
     [available_parallelism ()]. Raises [Invalid_argument] if
     [STATSCHED_JOBS] is set but not a positive integer. *)
 
+val spawn_count : unit -> int
+(** Total number of domains ever spawned by this module in this process.
+    Monotonic; [map ~jobs:1] never increments it — the regression tests
+    pin that the sequential path is pool-free. *)
+
 val map : ?jobs:int -> int -> (int -> 'a) -> 'a list
 (** [map ?jobs n f] computes [[f 0; f 1; ...; f (n-1)]], evaluating the
     calls on up to [jobs] domains (default {!default_jobs}; clamped to
@@ -27,10 +32,14 @@ val map : ?jobs:int -> int -> (int -> 'a) -> 'a list
     unstarted index — but results are returned in index order, so the
     output is independent of [jobs] and of scheduling.
 
-    [~jobs:1] runs everything in the calling domain with no spawns (today's
-    sequential path). If any [f k] raises, the first exception observed is
-    re-raised in the caller after all domains have been joined; remaining
-    unstarted indices are abandoned.
+    [~jobs:1] runs everything in the calling domain with no spawns, no
+    atomics and no result array — a plain sequential build.  With
+    [jobs >= 2], [f 0] runs eagerly in the caller (seeding the slot
+    array, so slots are plain values, flat when ['a] is [float]) and at
+    most [min (jobs - 1) (n - 1)] helper domains are spawned.  If any
+    [f k] raises, the first exception observed is re-raised in the
+    caller after all domains have been joined; remaining unstarted
+    indices are abandoned.
 
     Raises [Invalid_argument] if [n < 0] or [jobs < 1]. *)
 

@@ -1,9 +1,26 @@
-type t = {
-  mutable s0 : int64;
-  mutable s1 : int64;
-  mutable s2 : int64;
-  mutable s3 : int64;
-}
+(* xoshiro256** (Blackman & Vigna).
+
+   The four 64-bit state words are stored as raw bit patterns inside a
+   flat [floatarray] rather than as [int64] record fields: a mutable
+   [int64] field holds a pointer to a 3-word box, so every state write in
+   [next] would allocate, and the generator is the hottest leaf of the
+   simulator (several draws per simulated job).  With the flat layout the
+   compiler keeps all intermediates unboxed — [Int64.bits_of_float] /
+   [float_of_bits] on a [Float.Array] slot compile to raw moves — so a
+   draw allocates nothing beyond its boxed result. *)
+
+type t = Float.Array.t (* 4 slots: state words s0..s3 as raw bits *)
+
+let get g i = Int64.bits_of_float (Float.Array.unsafe_get g i)
+let set g i x = Float.Array.unsafe_set g i (Int64.float_of_bits x)
+
+let of_words s0 s1 s2 s3 =
+  let g = Float.Array.create 4 in
+  set g 0 s0;
+  set g 1 s1;
+  set g 2 s2;
+  set g 3 s3;
+  g
 
 let create seed =
   let sm = Splitmix64.create seed in
@@ -13,30 +30,50 @@ let create seed =
   let s3 = Splitmix64.next sm in
   (* An all-zero state is a fixed point; this cannot happen from SplitMix64
      output in practice, but guard anyway. *)
-  if s0 = 0L && s1 = 0L && s2 = 0L && s3 = 0L then { s0 = 1L; s1; s2; s3 }
-  else { s0; s1; s2; s3 }
+  if s0 = 0L && s1 = 0L && s2 = 0L && s3 = 0L then of_words 1L s1 s2 s3
+  else of_words s0 s1 s2 s3
 
-let copy g = { s0 = g.s0; s1 = g.s1; s2 = g.s2; s3 = g.s3 }
+let copy g = Float.Array.copy g
 
-let rotl x k =
+let[@inline] rotl x k =
   Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
 
 let next g =
-  let result = Int64.mul (rotl (Int64.mul g.s1 5L) 7) 9L in
-  let t = Int64.shift_left g.s1 17 in
-  g.s2 <- Int64.logxor g.s2 g.s0;
-  g.s3 <- Int64.logxor g.s3 g.s1;
-  g.s1 <- Int64.logxor g.s1 g.s2;
-  g.s0 <- Int64.logxor g.s0 g.s3;
-  g.s2 <- Int64.logxor g.s2 t;
-  g.s3 <- rotl g.s3 45;
+  let s0 = get g 0 and s1 = get g 1 and s2 = get g 2 and s3 = get g 3 in
+  let result = Int64.mul (rotl (Int64.mul s1 5L) 7) 9L in
+  let t = Int64.shift_left s1 17 in
+  let s2 = Int64.logxor s2 s0 in
+  let s3 = Int64.logxor s3 s1 in
+  let s1 = Int64.logxor s1 s2 in
+  let s0 = Int64.logxor s0 s3 in
+  let s2 = Int64.logxor s2 t in
+  let s3 = rotl s3 45 in
+  set g 0 s0;
+  set g 1 s1;
+  set g 2 s2;
+  set g 3 s3;
   result
 
 let two_pow_53 = 9007199254740992.0
 
-let next_float g =
-  let bits53 = Int64.shift_right_logical (next g) 11 in
-  Int64.to_float bits53 /. two_pow_53
+(* Same update as [next], fused so the scrambler output never crosses a
+   function boundary as a boxed [int64]; a float draw costs only its own
+   boxed return. *)
+let[@inline] next_float g =
+  let s0 = get g 0 and s1 = get g 1 and s2 = get g 2 and s3 = get g 3 in
+  let result = Int64.mul (rotl (Int64.mul s1 5L) 7) 9L in
+  let t = Int64.shift_left s1 17 in
+  let s2 = Int64.logxor s2 s0 in
+  let s3 = Int64.logxor s3 s1 in
+  let s1 = Int64.logxor s1 s2 in
+  let s0 = Int64.logxor s0 s3 in
+  let s2 = Int64.logxor s2 t in
+  let s3 = rotl s3 45 in
+  set g 0 s0;
+  set g 1 s1;
+  set g 2 s2;
+  set g 3 s3;
+  Int64.to_float (Int64.shift_right_logical result 11) /. two_pow_53
 
 (* Jump polynomial for 2^128 steps, from the reference implementation. *)
 let jump_poly = [| 0x180EC6D33CFD0ABAL; 0xD5A61266F0C9392CL; 0xA9582618E03FC9AAL; 0x39ABDC4529B1661CL |]
@@ -47,18 +84,18 @@ let jump g =
     (fun word ->
       for b = 0 to 63 do
         if Int64.logand word (Int64.shift_left 1L b) <> 0L then begin
-          t0 := Int64.logxor !t0 g.s0;
-          t1 := Int64.logxor !t1 g.s1;
-          t2 := Int64.logxor !t2 g.s2;
-          t3 := Int64.logxor !t3 g.s3
+          t0 := Int64.logxor !t0 (get g 0);
+          t1 := Int64.logxor !t1 (get g 1);
+          t2 := Int64.logxor !t2 (get g 2);
+          t3 := Int64.logxor !t3 (get g 3)
         end;
         ignore (next g)
       done)
     jump_poly;
-  g.s0 <- !t0;
-  g.s1 <- !t1;
-  g.s2 <- !t2;
-  g.s3 <- !t3
+  set g 0 !t0;
+  set g 1 !t1;
+  set g 2 !t2;
+  set g 3 !t3
 
 let substream g k =
   if k < 0 then invalid_arg "Xoshiro256.substream: negative index";

@@ -6,16 +6,45 @@
     seconds of dedicated service. *)
 
 type t = {
-  id : int;
-  size : float;  (** service demand in speed-1 seconds; [> 0] *)
-  arrival : float;  (** arrival time at the central scheduler *)
+  mutable id : int;
+  mutable size : float;  (** service demand in speed-1 seconds; [> 0] *)
+  mutable arrival : float;  (** arrival time at the central scheduler *)
   mutable computer : int;  (** index of the computer it was dispatched to; −1 before dispatch *)
   mutable start : float;  (** first instant it received service; −1 until then *)
   mutable completion : float;  (** departure time; −1 until completed *)
 }
+(** [id], [size] and [arrival] are mutable only so retired records can be
+    recycled through a {!pool}; simulation code treats them as
+    set-at-birth. *)
 
 val create : id:int -> size:float -> arrival:float -> t
 (** @raise Invalid_argument if [size <= 0] or [arrival < 0]. *)
+
+(** {2 Record recycling}
+
+    Hot simulation loops churn through millions of short-lived jobs; a
+    pool recycles retired records so the dispatch→completion cycle
+    allocates nothing once warmed up.  Only safe when no observer
+    retains jobs past their departure — callers with job-observing
+    hooks must bypass the pool. *)
+
+type pool
+
+val pool : unit -> pool
+(** An empty free-list. *)
+
+val acquire : pool -> id:int -> size:float -> arrival:float -> t
+(** A record initialised exactly as by {!create}, reusing a released
+    one when available.
+
+    @raise Invalid_argument if [size <= 0] or [arrival < 0]. *)
+
+val release : pool -> t -> unit
+(** Return a retired record for reuse.  The caller must not touch [t]
+    afterwards. *)
+
+val pooled : pool -> int
+(** Number of records currently parked in the free-list. *)
 
 val is_completed : t -> bool
 

@@ -2,60 +2,59 @@ module Engine = Statsched_des.Engine
 module Event_queue = Statsched_des.Event_queue
 module Tally = Statsched_stats.Tally
 
+(* Mutable float state lives in its own all-float record: OCaml stores
+   such records flat, so the per-event updates in [advance]/[reschedule]
+   write raw doubles instead of allocating a box per assignment (a mixed
+   record would box every [<-] of a float field). *)
+type hot = {
+  mutable rate : float;  (* fault multiplier on speed; 0 = suspended *)
+  mutable vclock : float;
+  mutable last_update : float;
+  mutable work : float;
+}
+
 type t = {
   engine : Engine.t;
   speed : float;
   on_departure : Job.t -> unit;
   active : Job.t Event_queue.t;  (* keyed by virtual finish time *)
-  mutable rate : float;  (* fault multiplier on speed; 0 = suspended *)
-  mutable vclock : float;
-  mutable last_update : float;
-  mutable completion_ev : Engine.event_handle option;
+  hot : hot;
+  mutable completion_ev : Engine.event_handle;  (* [no_event] when unset *)
+  mutable completion_fn : Engine.t -> unit;
+      (* allocated once in [create]; rescheduling reuses it so the
+         submit/complete cycle creates no closures *)
   busy : Tally.t;
   occupancy : Tally.t;
   mutable completed : int;
-  mutable work : float;
 }
 
-let create ~engine ~speed ~on_departure () =
-  if speed <= 0.0 then invalid_arg "Ps_server.create: speed <= 0";
-  {
-    engine;
-    speed;
-    on_departure;
-    active = Event_queue.create ();
-    rate = 1.0;
-    vclock = 0.0;
-    last_update = Engine.now engine;
-    completion_ev = None;
-    busy = Tally.create ~start_time:(Engine.now engine) ();
-    occupancy = Tally.create ~start_time:(Engine.now engine) ();
-    completed = 0;
-    work = 0.0;
-  }
+let no_event = Event_queue.no_handle
 
-let in_system t = Event_queue.size t.active
+(* The helpers below are plain (non-recursive) definitions in dependency
+   order so the compiler can inline the small ones into the submit /
+   complete cycle; [create] comes last because it closes over
+   [on_completion]. *)
+let[@inline] in_system t = Event_queue.size t.active
 
 (* Bring virtual time and work counters up to the current instant. *)
-let advance t =
+let[@inline] advance t =
   let now = Engine.now t.engine in
   let n = in_system t in
   if n > 0 then begin
-    let eff = t.speed *. t.rate in
-    let elapsed = now -. t.last_update in
-    t.vclock <- t.vclock +. (elapsed *. eff /. float_of_int n);
-    t.work <- t.work +. (elapsed *. eff)
+    let eff = t.speed *. t.hot.rate in
+    let elapsed = now -. t.hot.last_update in
+    t.hot.vclock <- t.hot.vclock +. (elapsed *. eff /. float_of_int n);
+    t.hot.work <- t.hot.work +. (elapsed *. eff)
   end;
-  t.last_update <- now
+  t.hot.last_update <- now
 
-let eps t = 1e-9 *. (1.0 +. abs_float t.vclock)
+let[@inline] eps t = 1e-9 *. (1.0 +. abs_float t.hot.vclock)
 
-let rec reschedule t =
-  (match t.completion_ev with
-  | Some h ->
-    ignore (Engine.cancel t.engine h);
-    t.completion_ev <- None
-  | None -> ());
+let reschedule t =
+  if Event_queue.is_handle t.completion_ev then begin
+    ignore (Engine.cancel t.engine t.completion_ev);
+    t.completion_ev <- no_event
+  end;
   Tally.update t.occupancy ~time:(Engine.now t.engine)
     ~value:(float_of_int (in_system t));
   (* [next_time] is NaN when no job is active; NaN compares false below,
@@ -64,46 +63,67 @@ let rec reschedule t =
   if Float.is_nan v_min then
     Tally.update t.busy ~time:(Engine.now t.engine) ~value:0.0
   else begin
-    let eff = t.speed *. t.rate in
+    let eff = t.speed *. t.hot.rate in
     if eff > 0.0 then begin
       Tally.update t.busy ~time:(Engine.now t.engine) ~value:1.0;
       let n = float_of_int (in_system t) in
-      let delay = max 0.0 ((v_min -. t.vclock) *. n /. eff) in
-      t.completion_ev <- Some (Engine.schedule t.engine ~delay (fun _ -> on_completion t))
+      let delay = max 0.0 ((v_min -. t.hot.vclock) *. n /. eff) in
+      t.completion_ev <- Engine.schedule t.engine ~delay t.completion_fn
     end
     else
       (* Suspended: virtual time is frozen, no completion can occur. *)
       Tally.update t.busy ~time:(Engine.now t.engine) ~value:0.0
   end
 
-and on_completion t =
-  t.completion_ev <- None;
+(* Top-level rather than nested in [on_completion]: a [let rec] there
+   would capture [t]/[tol] and allocate a closure per completion event. *)
+let rec drain_due t tol forced =
+  let v_min = Event_queue.next_time t.active in
+  (* NaN (empty queue) fails the comparison; [pop_step] guards the
+     forced case. *)
+  if forced || v_min <= t.hot.vclock +. tol then
+    if Event_queue.pop_step t.active then begin
+      let job = Event_queue.last_payload t.active in
+      job.Job.completion <- Engine.now t.engine;
+      t.completed <- t.completed + 1;
+      t.on_departure job;
+      drain_due t tol false
+    end
+
+let on_completion t =
+  t.completion_ev <- no_event;
   advance t;
   let tol = eps t in
-  let rec drain forced =
-    let v_min = Event_queue.next_time t.active in
-    (* NaN (empty queue) fails the comparison; [pop_step] guards the
-       forced case. *)
-    if forced || v_min <= t.vclock +. tol then
-      if Event_queue.pop_step t.active then begin
-        let job = Event_queue.last_payload t.active in
-        job.Job.completion <- Engine.now t.engine;
-        t.completed <- t.completed + 1;
-        t.on_departure job;
-        drain false
-      end
-  in
   (* Float round-off can leave the head a hair beyond the virtual clock;
      force at least one departure so the simulation always progresses. *)
-  let head_ready = Event_queue.next_time t.active <= t.vclock +. tol in
-  drain (not head_ready);
+  let head_ready = Event_queue.next_time t.active <= t.hot.vclock +. tol in
+  drain_due t tol (not head_ready);
   reschedule t
+
+let create ~engine ~speed ~on_departure () =
+  if speed <= 0.0 then invalid_arg "Ps_server.create: speed <= 0";
+  let t =
+    {
+      engine;
+      speed;
+      on_departure;
+      active = Event_queue.create ();
+      hot = { rate = 1.0; vclock = 0.0; last_update = Engine.now engine; work = 0.0 };
+      completion_ev = no_event;
+      completion_fn = ignore;
+      busy = Tally.create ~start_time:(Engine.now engine) ();
+      occupancy = Tally.create ~start_time:(Engine.now engine) ();
+      completed = 0;
+    }
+  in
+  t.completion_fn <- (fun _ -> on_completion t);
+  t
 
 let submit t job =
   advance t;
   let now = Engine.now t.engine in
   if job.Job.start < 0.0 then job.Job.start <- now;
-  ignore (Event_queue.add t.active ~time:(t.vclock +. job.Job.size) job);
+  ignore (Event_queue.add t.active ~time:(t.hot.vclock +. job.Job.size) job);
   Tally.update t.busy ~time:now ~value:1.0;
   reschedule t
 
@@ -121,12 +141,12 @@ let completed t = t.completed
 
 let work_done t =
   advance t;
-  t.work
+  t.hot.work
 
 let set_rate t r =
   if r < 0.0 then invalid_arg "Ps_server.set_rate: rate < 0";
   advance t;
-  t.rate <- r;
+  t.hot.rate <- r;
   reschedule t
 
 let drain t =
@@ -147,7 +167,7 @@ let reset_stats t =
     ~value:(float_of_int (in_system t));
   Tally.reset_at t.occupancy ~time:(Engine.now t.engine);
   t.completed <- 0;
-  t.work <- 0.0
+  t.hot.work <- 0.0
 
 let to_server t =
   {

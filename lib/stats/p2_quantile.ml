@@ -20,7 +20,7 @@ let create q =
     initial = Array.make 5 0.0;
   }
 
-let parabolic t i d =
+let[@inline] parabolic t i d =
   let q = t.heights and pos = t.positions in
   q.(i)
   +. d
@@ -28,7 +28,7 @@ let parabolic t i d =
      *. (((pos.(i) -. pos.(i - 1) +. d) *. (q.(i + 1) -. q.(i)) /. (pos.(i + 1) -. pos.(i)))
         +. ((pos.(i + 1) -. pos.(i) -. d) *. (q.(i) -. q.(i - 1)) /. (pos.(i) -. pos.(i - 1))))
 
-let linear t i d =
+let[@inline] linear t i d =
   let q = t.heights and pos = t.positions in
   q.(i) +. (d *. (q.(i + int_of_float d) -. q.(i)) /. (pos.(i + int_of_float d) -. pos.(i)))
 

@@ -8,12 +8,12 @@ type t = {
 let create ?(initial_value = 0.0) ?(start_time = 0.0) () =
   { value = initial_value; last_time = start_time; start_time; area = 0.0 }
 
-let advance t ~time =
+let[@inline] advance t ~time =
   if time < t.last_time then invalid_arg "Tally.advance: time moved backwards";
   t.area <- t.area +. (t.value *. (time -. t.last_time));
   t.last_time <- time
 
-let update t ~time ~value =
+let[@inline] update t ~time ~value =
   advance t ~time;
   t.value <- value
 

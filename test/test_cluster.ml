@@ -558,3 +558,57 @@ let littles_suite =
   ]
 
 let suite = suite @ littles_suite
+
+(* ------------------------------------------------------------------ *)
+(* Hot-path contracts: batched gap sampling and per-job allocation     *)
+
+let gap_source_matches_direct () =
+  (* [Workload.gap_source] pre-samples interarrival gaps in batches from
+     the arrivals stream.  Batching must be bit-invisible: the k-th gap
+     equals the k-th direct draw from an identically seeded RNG, across
+     refill boundaries (batch = 16, 100 draws spans 7 refills). *)
+  let speeds = [| 1.0; 2.0; 4.0 |] in
+  let w = Workload.paper_default ~rho:0.7 ~speeds in
+  let direct_rng = Statsched_prng.Rng.create ~seed:99L () in
+  let batched_rng = Statsched_prng.Rng.create ~seed:99L () in
+  let src = Workload.gap_source ~batch:16 w ~rng:batched_rng in
+  for k = 0 to 99 do
+    let direct = Statsched_dist.Distribution.sample w.Workload.interarrival direct_rng in
+    let batched = Workload.next_gap src in
+    check_float ~eps:0.0 (Printf.sprintf "gap %d" k) direct batched
+  done
+
+let per_job_allocation_bounded () =
+  (* The dispatch -> service -> departure cycle recycles job records and
+     pre-samples gaps, so steady-state allocation per job is a small
+     constant (measured ~78 words on the Table 3 / ORR workload).  The
+     bound below has headroom for compiler differences but fails loudly
+     if a per-job box, closure, or option creeps back into the hot path. *)
+  let speeds = Core.Speeds.table3 in
+  let workload = Workload.paper_default ~rho:0.7 ~speeds in
+  let cfg =
+    Simulation.default_config ~horizon:2.0e4 ~warmup:5.0e3 ~seed:7L ~speeds
+      ~workload ~scheduler:(Scheduler.static Core.Policy.orr) ()
+  in
+  (* Warm run: first-touch allocations (servers, histograms, freelist
+     growth) are one-time costs, not per-job ones. *)
+  ignore (Simulation.run ~sanitize:false cfg);
+  Gc.full_major ();
+  let before = Gc.minor_words () in
+  let result = Simulation.run ~sanitize:false cfg in
+  let delta = Gc.minor_words () -. before in
+  let jobs = float_of_int result.Simulation.total_arrivals in
+  Alcotest.(check bool) "enough jobs to average over" true (jobs > 1_000.0);
+  let per_job = delta /. jobs in
+  if per_job > 120.0 then
+    Alcotest.failf "hot path allocates %.1f words/job (bound: 120)" per_job
+
+let hot_path_suite =
+  [
+    test "workload: batched gap source bit-identical to direct draws"
+      gap_source_matches_direct;
+    slow_test "simulation: steady-state allocation bounded per job"
+      per_job_allocation_bounded;
+  ]
+
+let suite = suite @ hot_path_suite

@@ -42,6 +42,19 @@ let map_propagates_exception () =
     (Failure "boom 3") (fun () ->
       ignore (Par.map ~jobs:4 16 (fun i -> if i = 3 then failwith "boom 3" else i)))
 
+(* The bugfix contract: the sequential path must never touch the domain
+   pool.  [Par.spawn_count] is a monotonic lifetime counter, so "no new
+   spawns" is checked as a before/after delta regardless of what other
+   tests in this binary have already run. *)
+let jobs1_spawns_no_domains () =
+  let before = Par.spawn_count () in
+  ignore (Par.map ~jobs:1 64 (fun i -> i * i));
+  ignore (Par.map_array ~jobs:1 64 float_of_int);
+  ignore (Par.map ~jobs:1 0 Fun.id);
+  Alcotest.(check int) "map ~jobs:1 spawned no domains" before (Par.spawn_count ());
+  ignore (Par.map ~jobs:2 4 Fun.id);
+  Alcotest.(check bool) "map ~jobs:2 does spawn" true (Par.spawn_count () > before)
+
 let default_jobs_positive () =
   Alcotest.(check bool) "default_jobs >= 1" true (Par.default_jobs () >= 1);
   Alcotest.(check bool)
@@ -142,28 +155,37 @@ let jobs4_equals_jobs1 () =
 let merged_point_identical () =
   (* The pooled histograms and derived quantiles of the aggregated point
      must be identical too — the merge order is the replication order,
-     independent of which domain ran which replication. *)
-  let name, scheduler, discipline, faults = List.nth combos 1 in
-  let spec = det_spec (scheduler, discipline, faults) in
-  let p1 = E.Runner.measure ~jobs:1 ~scale:det_scale spec in
-  let p4 = E.Runner.measure ~jobs:4 ~scale:det_scale spec in
-  let f = check_float ~eps:0.0 in
-  f (name ^ ": point mean ratio") p1.E.Runner.mean_response_ratio.Confidence.mean
-    p4.E.Runner.mean_response_ratio.Confidence.mean;
-  f (name ^ ": point half-width")
-    p1.E.Runner.mean_response_ratio.Confidence.half_width
-    p4.E.Runner.mean_response_ratio.Confidence.half_width;
-  f (name ^ ": pooled median") p1.E.Runner.pooled_median_ratio
-    p4.E.Runner.pooled_median_ratio;
-  f (name ^ ": pooled p99") p1.E.Runner.pooled_p99_ratio p4.E.Runner.pooled_p99_ratio;
-  f (name ^ ": pooled histogram sum")
-    (Hdr.sum p1.E.Runner.response_ratio_histogram)
-    (Hdr.sum p4.E.Runner.response_ratio_histogram);
-  Alcotest.(check int) (name ^ ": pooled histogram count")
-    (Hdr.count p1.E.Runner.response_time_histogram)
-    (Hdr.count p4.E.Runner.response_time_histogram);
-  f (name ^ ": availability") p1.E.Runner.availability p4.E.Runner.availability;
-  f (name ^ ": jobs/rep") p1.E.Runner.jobs_per_rep p4.E.Runner.jobs_per_rep
+     independent of which domain ran which replication.  Checked for
+     jobs in {2, 4} against the jobs:1 baseline across three
+     scheduler/discipline/fault combos (reliable, crashes, slowdowns). *)
+  List.iter
+    (fun idx ->
+      let name, scheduler, discipline, faults = List.nth combos idx in
+      let spec = det_spec (scheduler, discipline, faults) in
+      let p1 = E.Runner.measure ~jobs:1 ~scale:det_scale spec in
+      List.iter
+        (fun jobs ->
+          let pn = E.Runner.measure ~jobs ~scale:det_scale spec in
+          let msg what = Printf.sprintf "%s jobs=%d: %s" name jobs what in
+          let f = check_float ~eps:0.0 in
+          f (msg "point mean ratio") p1.E.Runner.mean_response_ratio.Confidence.mean
+            pn.E.Runner.mean_response_ratio.Confidence.mean;
+          f (msg "point half-width")
+            p1.E.Runner.mean_response_ratio.Confidence.half_width
+            pn.E.Runner.mean_response_ratio.Confidence.half_width;
+          f (msg "pooled median") p1.E.Runner.pooled_median_ratio
+            pn.E.Runner.pooled_median_ratio;
+          f (msg "pooled p99") p1.E.Runner.pooled_p99_ratio pn.E.Runner.pooled_p99_ratio;
+          f (msg "pooled histogram sum")
+            (Hdr.sum p1.E.Runner.response_ratio_histogram)
+            (Hdr.sum pn.E.Runner.response_ratio_histogram);
+          Alcotest.(check int) (msg "pooled histogram count")
+            (Hdr.count p1.E.Runner.response_time_histogram)
+            (Hdr.count pn.E.Runner.response_time_histogram);
+          f (msg "availability") p1.E.Runner.availability pn.E.Runner.availability;
+          f (msg "jobs/rep") p1.E.Runner.jobs_per_rep pn.E.Runner.jobs_per_rep)
+        [ 2; 4 ])
+    [ 0; 1; 3 ]
 
 (* Random-spec property across scheduler kinds x fault plans x
    disciplines: parallel replication is structurally equal to
@@ -235,8 +257,10 @@ let suite =
     test "par: map_array matches Array.init" map_array_matches;
     test "par: argument validation" map_validation;
     test "par: worker exception propagates" map_propagates_exception;
+    test "par: jobs=1 spawns no domains" jobs1_spawns_no_domains;
     test "par: default jobs sane" default_jobs_positive;
     slow_test "runner: jobs:4 bitwise-equal to jobs:1 (5 combos)" jobs4_equals_jobs1;
-    slow_test "runner: merged point identical across jobs" merged_point_identical;
+    slow_test "runner: merged point identical across jobs {2,4} (3 combos)"
+      merged_point_identical;
     prop_random_spec_deterministic;
   ]
