@@ -339,7 +339,7 @@ let print_table3 () =
     Core.Speeds.table3;
   let rows =
     Hashtbl.fold (fun s c acc -> (s, c) :: acc) tbl []
-    |> List.sort compare
+    |> List.sort (fun (a, _) (b, _) -> Float.compare a b)
     |> List.map (fun (s, c) -> [ E.Report.Float s; E.Report.Int c ])
   in
   print_string (E.Report.render ~header:[ "speed"; "number" ] ~rows);
@@ -365,7 +365,10 @@ let run_fig3 rows =
        (E.Sweep.sweep_of_rows ~title:"Figure 3(b) as a chart" ~xlabel:"fast speed"
           ~metric:`Ratio rows));
   (* paper claims at 20:1 *)
-  match List.assoc_opt 20.0 rows with
+  match
+    List.find_opt (fun (x, _) -> Float.equal x 20.0) rows
+    |> Option.map snd
+  with
   | None -> ()
   | Some points ->
     Printf.printf
@@ -395,7 +398,10 @@ let run_fig5 rows =
     (E.Report.chart_of_sweep
        (E.Sweep.sweep_of_rows ~title:"Figure 5(a) as a chart" ~xlabel:"utilization"
           ~metric:`Ratio rows));
-  match List.assoc_opt 0.9 rows with
+  match
+    List.find_opt (fun (x, _) -> Float.equal x 0.9) rows
+    |> Option.map snd
+  with
   | None -> ()
   | Some points ->
     Printf.printf
@@ -416,7 +422,7 @@ let ablation_scale () =
   (* Ablations always run at a reduced scale; they compare variants of our
      own implementation, not paper claims. *)
   let s = E.Config.of_env () in
-  if s = E.Config.paper then E.Config.default_scale else E.Config.quick
+  if E.Config.equal_scale s E.Config.paper then E.Config.default_scale else E.Config.quick
 
 let run_ablation_dispatch () =
   E.Report.print_section "Ablation: Algorithm 2 design choices (dispatch smoothness)";

@@ -71,7 +71,7 @@ let none = { processes = []; on_failure = Resume; reaction = Oblivious }
 let exponential ?computers ?on_failure ?reaction ~mtbf ~mttr () =
   plan ?on_failure ?reaction [ crashes ?computers ~mtbf ~mttr () ]
 
-let is_none p = p.processes = []
+let is_none p = match p.processes with [] -> true | _ :: _ -> false
 
 let validate ~n p =
   List.iter

@@ -115,7 +115,7 @@ let round_robin_impl ~variant_name ~guard ~tie_by_norassign alpha =
           minnext := next.(i);
           norassign := candidate_nor
         end
-        else if next.(i) = !minnext && tie_by_norassign && candidate_nor < !norassign
+        else if Float.equal next.(i) !minnext && tie_by_norassign && candidate_nor < !norassign
         then begin
           sel := i;
           norassign := candidate_nor

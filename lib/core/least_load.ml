@@ -32,7 +32,7 @@ let select ?rng t =
         chosen := i;
         ties := 1
       end
-      else if l = !best then begin
+      else if Float.equal l !best then begin
         (* Reservoir sampling keeps each tied computer equally likely. *)
         incr ties;
         match rng with

@@ -52,7 +52,7 @@ let build_empirical ~samples ~speeds ~small_to =
     (fun x -> if x <= 0.0 then invalid_arg "Sita.build_empirical: non-positive size")
     samples;
   let sorted = Array.copy samples in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let m = Array.length sorted in
   (* prefix sums of work *)
   let prefix = Array.make (m + 1) 0.0 in

@@ -63,7 +63,7 @@ let to_string s =
   in
   let rec walk i speed count =
     if i = Array.length s then flush_group speed count
-    else if s.(i) = speed then walk (i + 1) speed (count + 1)
+    else if Float.equal s.(i) speed then walk (i + 1) speed (count + 1)
     else begin
       flush_group speed count;
       walk (i + 1) s.(i) 1

@@ -20,7 +20,7 @@ let[@inline] schedule_at e ~time f =
   if time < now e then raise (Schedule_in_past { now = now e; requested = time });
   Event_queue.add e.queue ~time f
 
-let[@inline] schedule e ~delay f =
+let[@inline] [@schedsim.hot] schedule e ~delay f =
   if delay < 0.0 then
     raise (Schedule_in_past { now = now e; requested = now e +. delay });
   schedule_at e ~time:(now e +. delay) f
@@ -29,7 +29,7 @@ let cancel e h = Event_queue.cancel e.queue h
 
 let pending_events e = Event_queue.size e.queue
 
-let step e =
+let[@schedsim.hot] step e =
   (* Allocation-free event dispatch: [pop_step] parks the event in the
      queue's scratch slot instead of returning a [(time, payload) option]. *)
   if Event_queue.pop_step e.queue then begin

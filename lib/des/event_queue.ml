@@ -113,7 +113,9 @@ let rebase_empty q =
   Bytes.fill q.done_bits 0 (min used (Bytes.length q.done_bits)) '\000';
   q.base <- q.next_seq
 
-let rec ensure_bit q seq =
+(* Amortised growth path: allocates on resize, so it is excluded from
+   the R8 zero-alloc proof obligation. *)
+let[@schedsim.cold] rec ensure_bit q seq =
   let byte = (seq - q.base) lsr 3 in
   let blen = Bytes.length q.done_bits in
   if byte >= blen then begin
@@ -146,7 +148,7 @@ let[@inline] precedes q i j =
 let blank q i =
   match q.filler with Some d -> q.payloads.(i) <- d | None -> ()
 
-let ensure_capacity q payload =
+let[@schedsim.cold] ensure_capacity q payload =
   (match q.filler with None -> q.filler <- Some payload | Some _ -> ());
   if Array.length q.last_payload = 0 then q.last_payload <- Array.make 1 payload;
   let cap = Float.Array.length q.times in
@@ -168,7 +170,7 @@ let ensure_capacity q payload =
     q.payloads <- np
   end
 
-let[@inline] add q ~time payload =
+let[@inline] [@schedsim.hot] add q ~time payload =
   if not (Float.is_finite time) then
     invalid_arg "Event_queue.add: non-finite time";
   ensure_capacity q payload;
@@ -231,7 +233,7 @@ let remove_root q =
     Array.unsafe_set q.payloads !i p
   end
 
-let rec pop_step q =
+let[@schedsim.hot] rec pop_step q =
   if q.len = 0 then begin
     rebase_empty q;
     false

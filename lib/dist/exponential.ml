@@ -1,6 +1,6 @@
 module Rng = Statsched_prng.Rng
 
-let[@inline] sample ~rate g =
+let[@inline] [@schedsim.hot] sample ~rate g =
   (* Inverse transform; 1 - U avoids log 0 since U < 1. *)
   -.log (1.0 -. Rng.float g) /. rate
 

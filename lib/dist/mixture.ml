@@ -1,7 +1,9 @@
 module Rng = Statsched_prng.Rng
 
 let create components =
-  if components = [] then invalid_arg "Mixture.create: empty mixture";
+  (match components with
+  | [] -> invalid_arg "Mixture.create: empty mixture"
+  | _ :: _ -> ());
   let total_weight = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 components in
   List.iter
     (fun (w, _) -> if w < 0.0 then invalid_arg "Mixture.create: negative weight")

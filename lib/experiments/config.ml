@@ -10,10 +10,15 @@ let of_env () =
   let set v = match Sys.getenv_opt v with Some "" | None -> false | Some _ -> true in
   if set "FULL" then paper else if set "QUICK" then quick else default_scale
 
+let equal_scale a b =
+  Float.equal a.horizon b.horizon
+  && Float.equal a.warmup b.warmup
+  && Int.equal a.reps b.reps
+
 let scale_name s =
-  if s = paper then "paper"
-  else if s = quick then "quick"
-  else if s = default_scale then "default"
+  if equal_scale s paper then "paper"
+  else if equal_scale s quick then "quick"
+  else if equal_scale s default_scale then "default"
   else Printf.sprintf "custom(horizon=%g,reps=%d)" s.horizon s.reps
 
 let default_seed = 20260705L

@@ -27,6 +27,10 @@ val of_env : unit -> scale
 (** [paper] when the environment variable [FULL] is set to a non-empty
     value, [quick] when [QUICK] is set, otherwise {!default_scale}. *)
 
+val equal_scale : scale -> scale -> bool
+(** Structural equality on scales (float fields compared with
+    [Float.equal]). *)
+
 val scale_name : scale -> string
 
 val default_seed : int64

@@ -74,8 +74,9 @@ let ascii_chart ?(width = 72) ?(height = 20) ~title ~xlabel series =
         List.filter (fun (x, y) -> Float.is_finite x && Float.is_finite y) pts)
       series
   in
-  if points = [] then Printf.sprintf "%s\n(no finite data to plot)\n" title
-  else begin
+  match points with
+  | [] -> Printf.sprintf "%s\n(no finite data to plot)\n" title
+  | _ :: _ ->
     let xs = List.map fst points and ys = List.map snd points in
     let xmin = List.fold_left min infinity xs in
     let xmax = List.fold_left max neg_infinity xs in
@@ -139,7 +140,6 @@ let ascii_chart ?(width = 72) ?(height = 20) ~title ~xlabel series =
              name))
       series;
     Buffer.contents buf
-  end
 
 let csv_escape s =
   if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then begin

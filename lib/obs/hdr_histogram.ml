@@ -61,7 +61,7 @@ let index_of h x =
 
 let bin_index h x = if x < h.lo || x >= h.hi then None else Some (index_of h x)
 
-let add h x =
+let[@schedsim.hot] add h x =
   if Float.is_nan x then invalid_arg "Hdr_histogram.add: NaN observation";
   h.total <- h.total + 1;
   h.acc.sum <- h.acc.sum +. x;

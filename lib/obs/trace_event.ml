@@ -126,7 +126,9 @@ let add_event buf e =
   (match e.ph with
   | "i" -> Buffer.add_string buf ",\"s\":\"t\""
   | _ -> ());
-  if e.args <> [] then begin
+  (match e.args with
+  | [] -> ()
+  | _ :: _ ->
     Buffer.add_string buf ",\"args\":{";
     List.iteri
       (fun i (k, v) ->
@@ -135,8 +137,7 @@ let add_event buf e =
         Buffer.add_char buf ':';
         add_arg buf v)
       e.args;
-    Buffer.add_char buf '}'
-  end;
+    Buffer.add_char buf '}');
   Buffer.add_char buf '}'
 
 let to_string t =

@@ -15,7 +15,7 @@ let split g =
 
 let substream = Xoshiro256.substream
 
-let[@inline] float g = Xoshiro256.next_float g
+let[@inline] [@schedsim.hot] float g = Xoshiro256.next_float g
 
 let uniform g a b =
   if a > b then invalid_arg "Rng.uniform: a > b";

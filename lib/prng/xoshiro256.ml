@@ -38,7 +38,7 @@ let copy g = Float.Array.copy g
 let[@inline] rotl x k =
   Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
 
-let next g =
+let[@schedsim.hot] next g =
   let s0 = get g 0 and s1 = get g 1 and s2 = get g 2 and s3 = get g 3 in
   let result = Int64.mul (rotl (Int64.mul s1 5L) 7) 9L in
   let t = Int64.shift_left s1 17 in
@@ -59,7 +59,7 @@ let two_pow_53 = 9007199254740992.0
 (* Same update as [next], fused so the scrambler output never crosses a
    function boundary as a boxed [int64]; a float draw costs only its own
    boxed return. *)
-let[@inline] next_float g =
+let[@inline] [@schedsim.hot] next_float g =
   let s0 = get g 0 and s1 = get g 1 and s2 = get g 2 and s3 = get g 3 in
   let result = Int64.mul (rotl (Int64.mul s1 5L) 7) 9L in
   let t = Int64.shift_left s1 17 in

@@ -87,7 +87,7 @@ let submit t job =
   Queue.push job t.queue;
   t.n <- t.n + 1;
   note_occupancy t;
-  if t.current = None then start_next t
+  if Option.is_none t.current then start_next t
 
 (* Bank the in-service job's progress at the current rate and cancel its
    completion event. *)

@@ -77,7 +77,7 @@ let reschedule t =
 
 (* Top-level rather than nested in [on_completion]: a [let rec] there
    would capture [t]/[tol] and allocate a closure per completion event. *)
-let rec drain_due t tol forced =
+let[@schedsim.hot] rec drain_due t tol forced =
   let v_min = Event_queue.next_time t.active in
   (* NaN (empty queue) fails the comparison; [pop_step] guards the
      forced case. *)

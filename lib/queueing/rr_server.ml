@@ -96,7 +96,7 @@ let submit t job =
   Queue.push { job; remaining = job.Job.size } t.queue;
   t.n <- t.n + 1;
   note_occupancy t;
-  if t.current = None then start_next t
+  if Option.is_none t.current then start_next t
 
 (* Bank the running slot's progress at the current rate and cancel the
    end-of-slice event. *)

@@ -187,7 +187,7 @@ let run ?count ?(seed = 0) ?horizon ?warmup () =
   (* The fuzzer's only source of randomness; seeded for reproducible CI.
      Counterexamples are replayed via the printed command, not this
      state. *)
-  let rand = Random.State.make [| seed |] (* schedlint: allow R1 *) in
+  let rand = Random.State.make [| seed |] (* schedlint: allow R1 R7 *) in
   match QCheck2.Test.check_exn ~rand t with
   | () ->
     [

@@ -37,7 +37,7 @@ let add t x =
     t.initial.(t.n) <- x;
     t.n <- t.n + 1;
     if t.n = 5 then begin
-      Array.sort compare t.initial;
+      Array.sort Float.compare t.initial;
       Array.blit t.initial 0 t.heights 0 5
     end
   end
@@ -90,7 +90,7 @@ let estimate t =
   if t.n = 0 then nan
   else if t.n < 5 then begin
     let sorted = Array.sub t.initial 0 t.n in
-    Array.sort compare sorted;
+    Array.sort Float.compare sorted;
     (* Nearest-rank quantile: the ⌈q·n⌉-th order statistic.  Truncating
        q·(n−1) instead rounded every small-sample estimate toward the
        minimum (e.g. the 0.99-quantile of two observations came out as

@@ -29,7 +29,7 @@ let of_array xs =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Summary.of_array: empty";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let w = Welford.create () in
   Array.iter (Welford.add w) xs;
   {

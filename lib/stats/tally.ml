@@ -13,7 +13,7 @@ let[@inline] advance t ~time =
   t.area <- t.area +. (t.value *. (time -. t.last_time));
   t.last_time <- time
 
-let[@inline] update t ~time ~value =
+let[@inline] [@schedsim.hot] update t ~time ~value =
   advance t ~time;
   t.value <- value
 

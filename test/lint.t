@@ -1,26 +1,41 @@
-schedlint enforces the repo's determinism & correctness rules (R1-R6) with
-file:line:col diagnostics and exit code 1.  One fixture per rule, plus the
-escape-hatch comment and the path scoping.
+schedlint is a typed whole-program lint: it typechecks each fixture (or
+loads dune's .cmt typedtrees when available), builds a call graph, and
+runs rules R1-R10 with file:line:col diagnostics and exit code 1.
 
-R1: Stdlib.Random is banned outside lib/prng/ (determinism):
+R1: Stdlib.Random is banned outside lib/prng/ (determinism).  In lib/,
+the interprocedural R7 additionally reports every function whose call
+chain reaches the sink:
 
   $ mkdir -p lib/prng bin
   $ cat > lib/r1.ml <<'EOF'
   > let roll () = Random.int 6
-  > let seed () = Random.self_init ()
   > let qualified () = Stdlib.Random.float 1.0
   > EOF
   $ schedlint lib/r1.ml
-  lib/r1.ml:1:15: [R1] Stdlib.Random is non-deterministic here; draw from Statsched_prng.Rng
-  lib/r1.ml:2:15: [R1] Stdlib.Random is non-deterministic here; draw from Statsched_prng.Rng
-  lib/r1.ml:3:20: [R1] Stdlib.Random is non-deterministic here; draw from Statsched_prng.Rng
-  schedlint: 3 violations in 1 file scanned
+  lib/r1.ml:1:0: [R7] R1.roll reaches Stdlib.Random via R1.roll -> Random.int; deterministic replay breaks (route through lib/prng, lib/par or Obs.Clock)
+  lib/r1.ml:1:14: [R1] Stdlib.Random is non-deterministic here; draw from Statsched_prng.Rng
+  lib/r1.ml:2:0: [R7] R1.qualified reaches Stdlib.Random via R1.qualified -> Random.float; deterministic replay breaks (route through lib/prng, lib/par or Obs.Clock)
+  lib/r1.ml:2:19: [R1] Stdlib.Random is non-deterministic here; draw from Statsched_prng.Rng
+  schedlint: 4 violations in 1 file scanned
   [1]
 
-...but allowed inside lib/prng/ (the seeded RNG layer itself):
+Module aliasing does not launder the reference (the old syntactic lint
+missed this):
+
+  $ cat > bin/alias.ml <<'EOF'
+  > module R = Random
+  > let roll () = R.int 6
+  > EOF
+  $ schedlint bin/alias.ml
+  bin/alias.ml:2:14: [R1] Stdlib.Random is non-deterministic here; draw from Statsched_prng.Rng
+  schedlint: 1 violation in 1 file scanned
+  [1]
+
+...but Random is allowed inside lib/prng/ (the seeded RNG layer itself):
 
   $ cp lib/r1.ml lib/prng/r1.ml
   $ schedlint lib/prng/r1.ml
+  schedlint: 0 violations in 1 file scanned
 
 R2: wall-clock reads are banned (simulated time comes from the engine):
 
@@ -30,117 +45,252 @@ R2: wall-clock reads are banned (simulated time comes from the engine):
   > let cpu () = Sys.time ()
   > EOF
   $ schedlint bin/r2.ml
-  bin/r2.ml:1:14: [R2] Unix.gettimeofday reads the wall clock; simulated time comes from Engine.now
-  bin/r2.ml:2:10: [R2] Unix.time reads the wall clock; simulated time comes from Engine.now
-  bin/r2.ml:3:14: [R2] Sys.time reads the wall clock; simulated time comes from Engine.now
+  bin/r2.ml:1:13: [R2] Unix.gettimeofday reads the wall clock; simulated time comes from Engine.now
+  bin/r2.ml:2:9: [R2] Unix.time reads the wall clock; simulated time comes from Engine.now
+  bin/r2.ml:3:13: [R2] Sys.time reads the wall clock; simulated time comes from Engine.now
   schedlint: 3 violations in 1 file scanned
   [1]
 
-R3: no polymorphic equality on floats, no physical equality at all:
+R3: no polymorphic equality on floats (now through type inference, so an
+unannotated parameter that unifies with float is caught), and no
+physical equality at all:
 
   $ cat > lib/r3.ml <<'EOF'
   > let is_zero x = x = 0.0
-  > let not_one x = x <> 1.0
-  > let annotated (x : float) y = (x : float) = y
+  > let inferred a b = a = b +. 1.0
   > let physical a b = a == b || a != b
   > let fine x = x < 0.5 && Float.equal x x
   > EOF
   $ schedlint lib/r3.ml
-  lib/r3.ml:1:17: [R3] polymorphic = on a float; compare with a tolerance or Float.equal
-  lib/r3.ml:2:17: [R3] polymorphic <> on a float; compare with a tolerance or Float.equal
-  lib/r3.ml:3:31: [R3] polymorphic = on a float; compare with a tolerance or Float.equal
-  lib/r3.ml:4:22: [R3] physical equality (==) outside physical-identity idioms
-  lib/r3.ml:4:32: [R3] physical equality (!=) outside physical-identity idioms
-  schedlint: 5 violations in 1 file scanned
+  lib/r3.ml:1:18: [R3] polymorphic = on a float; compare with a tolerance or Float.equal
+  lib/r3.ml:2:21: [R3] polymorphic = on a float; compare with a tolerance or Float.equal
+  lib/r3.ml:3:21: [R3] physical equality (==) outside physical-identity idioms
+  lib/r3.ml:3:31: [R3] physical equality (!=) outside physical-identity idioms
+  schedlint: 4 violations in 1 file scanned
   [1]
 
 R4: partial functions are banned in lib/ (but tolerated in bin/):
 
   $ cat > lib/r4.ml <<'EOF'
   > let first xs = List.hd xs
-  > let rest xs = List.tl xs
   > let force o = Option.get o
-  > let cast x = Obj.magic x
   > EOF
   $ schedlint lib/r4.ml
-  lib/r4.ml:1:16: [R4] List.hd is partial; match explicitly or keep the invariant in the type
-  lib/r4.ml:2:15: [R4] List.tl is partial; match explicitly or keep the invariant in the type
-  lib/r4.ml:3:15: [R4] Option.get is partial; match explicitly or keep the invariant in the type
-  lib/r4.ml:4:14: [R4] Obj.magic is partial; match explicitly or keep the invariant in the type
-  schedlint: 4 violations in 1 file scanned
+  lib/r4.ml:1:15: [R4] List.hd is partial; match explicitly or keep the invariant in the type
+  lib/r4.ml:2:14: [R4] Option.get is partial; match explicitly or keep the invariant in the type
+  schedlint: 2 violations in 1 file scanned
   [1]
   $ cp lib/r4.ml bin/r4.ml
   $ schedlint bin/r4.ml
+  schedlint: 0 violations in 1 file scanned
 
-R5: no top-level mutable state in lib/ (locals and record fields are fine):
+R5: top-level mutable state is banned in lib/, including the container
+constructors (Array.make, Bytes.create, Buffer.create, Atomic.make)
+that the first version of this rule missed; nested modules count,
+function-local state is fine:
 
   $ cat > lib/r5.ml <<'EOF'
   > let counter = ref 0
   > let cache = Hashtbl.create 16
+  > let scratch = Array.make 8 0.0
+  > let buf = Buffer.create 256
+  > let bytes = Bytes.create 32
+  > let flag = Atomic.make false
   > module Nested = struct
   >   let hidden = ref []
   > end
   > let local () = let r = ref 0 in incr r; !r
   > EOF
   $ schedlint lib/r5.ml
-  lib/r5.ml:1:1: [R5] top-level mutable state (ref) in lib/; thread state through a record
-  lib/r5.ml:2:1: [R5] top-level mutable state (Hashtbl) in lib/; thread state through a record
-  lib/r5.ml:4:3: [R5] top-level mutable state (ref) in lib/; thread state through a record
-  schedlint: 3 violations in 1 file scanned
+  lib/r5.ml:1:0: [R5] top-level mutable state (ref) in lib/; thread state through a record
+  lib/r5.ml:2:0: [R5] top-level mutable state (Hashtbl) in lib/; thread state through a record
+  lib/r5.ml:3:0: [R5] top-level mutable state (Array.make) in lib/; thread state through a record
+  lib/r5.ml:4:0: [R5] top-level mutable state (Buffer) in lib/; thread state through a record
+  lib/r5.ml:5:0: [R5] top-level mutable state (Bytes) in lib/; thread state through a record
+  lib/r5.ml:6:0: [R5] top-level mutable state (Atomic) in lib/; thread state through a record
+  lib/r5.ml:8:2: [R5] top-level mutable state (ref) in lib/; thread state through a record
+  schedlint: 7 violations in 1 file scanned
   [1]
 
-R6: raw Domain.spawn is banned outside lib/par/ — all parallelism goes
-through the Par domain pool, so the bitwise-determinism guarantee of
-parallel replication has a single point of proof (Domain.join and the
-rest of the Domain API stay available for the pool's callers):
+R6: Domain.spawn is confined to lib/par/ (Domain.join and the rest of
+the Domain API stay available to the pool's callers):
 
   $ cat > lib/r6.ml <<'EOF'
-  > let fan_out f = Domain.spawn f
+  > let go f = Domain.spawn f
   > let join d = Domain.join d
-  > let q f = Stdlib.Domain.spawn f
   > EOF
   $ schedlint lib/r6.ml
-  lib/r6.ml:1:17: [R6] Domain.spawn outside lib/par; fan out through Statsched_par.Par.map
-  lib/r6.ml:3:11: [R6] Domain.spawn outside lib/par; fan out through Statsched_par.Par.map
+  lib/r6.ml:1:0: [R7] R6.go reaches Domain.spawn via R6.go -> Domain.spawn; deterministic replay breaks (route through lib/prng, lib/par or Obs.Clock)
+  lib/r6.ml:1:11: [R6] Domain.spawn outside lib/par; fan out through Statsched_par.Par.map
   schedlint: 2 violations in 1 file scanned
   [1]
-
-...but allowed inside lib/par/ (the domain pool itself):
-
   $ mkdir -p lib/par
   $ cp lib/r6.ml lib/par/r6.ml
   $ schedlint lib/par/r6.ml
+  schedlint: 0 violations in 1 file scanned
 
-The escape hatch suppresses a named rule on the same line or the line
-below the comment; other rules still fire:
+R7: determinism taint is interprocedural — a lib/ function that only
+reaches the sink through two intermediate helpers is still reported,
+with the full call path:
 
-  $ cat > lib/allow.ml <<'EOF'
-  > let memo = Hashtbl.create 16 (* schedlint: allow R5 *)
-  > (* schedlint: allow R3 *)
-  > let is_zero x = x = 0.0
-  > let still_bad x = x = 1.0
+  $ cat > lib/r7chain.ml <<'EOF'
+  > let draw () = Random.int 100 (* schedlint: allow R1 *)
+  > let jitter () = 1 + draw ()
+  > let delay () = 2 * jitter ()
+  > let plan () = delay () + 1
   > EOF
-  $ schedlint lib/allow.ml
-  lib/allow.ml:4:19: [R3] polymorphic = on a float; compare with a tolerance or Float.equal
+  $ schedlint lib/r7chain.ml
+  lib/r7chain.ml:1:0: [R7] R7chain.draw reaches Stdlib.Random via R7chain.draw -> Random.int; deterministic replay breaks (route through lib/prng, lib/par or Obs.Clock)
+  lib/r7chain.ml:2:0: [R7] R7chain.jitter reaches Stdlib.Random via R7chain.jitter -> R7chain.draw -> Random.int; deterministic replay breaks (route through lib/prng, lib/par or Obs.Clock)
+  lib/r7chain.ml:3:0: [R7] R7chain.delay reaches Stdlib.Random via R7chain.delay -> R7chain.jitter -> R7chain.draw -> Random.int; deterministic replay breaks (route through lib/prng, lib/par or Obs.Clock)
+  lib/r7chain.ml:4:0: [R7] R7chain.plan reaches Stdlib.Random via R7chain.plan -> R7chain.delay -> R7chain.jitter -> R7chain.draw -> Random.int; deterministic replay breaks (route through lib/prng, lib/par or Obs.Clock)
+  schedlint: 4 violations in 1 file scanned
+  [1]
+
+An explicit `allow R7` on the sink line sanctions the whole chain
+(unlike `allow R1`, which only silences the use-site diagnostic):
+
+  $ cat > lib/r7ok.ml <<'EOF'
+  > let draw () = Random.int 100 (* schedlint: allow R1 R7 *)
+  > let jitter () = 1 + draw ()
+  > EOF
+  $ schedlint lib/r7ok.ml
+  schedlint: 0 violations in 1 file scanned
+
+R8: [@schedsim.hot] functions must not allocate — in their own body or
+in any analysed callee, even when the allocation hides behind a helper.
+A non-escaping local ref is fine (the compiler unboxes it):
+
+  $ cat > lib/r8.ml <<'EOF'
+  > let pair x = (x, x)
+  > let[@schedsim.hot] hot x = fst (pair x)
+  > let[@schedsim.hot] direct x = Some x
+  > let[@schedsim.hot] fine q x =
+  >   let acc = ref x in
+  >   for i = 0 to 9 do acc := !acc + (i * q) done;
+  >   !acc
+  > EOF
+  $ schedlint lib/r8.ml
+  lib/r8.ml:1:13: [R8] tuple allocation on hot path R8.hot -> R8.pair; [@schedsim.hot] code must not allocate
+  lib/r8.ml:3:30: [R8] constructor Some allocation on hot path R8.direct; [@schedsim.hot] code must not allocate
+  schedlint: 2 violations in 1 file scanned
+  [1]
+
+[@schedsim.cold] stops the traversal at amortized growth paths:
+
+  $ cat > lib/r8cold.ml <<'EOF'
+  > let[@schedsim.cold] grow n = Array.make (2 * n) 0
+  > let[@schedsim.hot] hot n = if n > 0 then ignore (grow n)
+  > EOF
+  $ schedlint lib/r8cold.ml
+  schedlint: 0 violations in 1 file scanned
+
+R9: polymorphic comparison at any type *containing* floats, resolved
+through the typedtree — records, tuples, options; the old source-level
+heuristic could not see any of these:
+
+  $ cat > lib/r9.ml <<'EOF'
+  > type point = { x : float; y : float }
+  > let same (a : point) b = a = b
+  > let position xs (p : point) = List.mem p xs
+  > let tied (a : float option) b = compare a b
+  > let ints (a : int list) b = a = b
+  > EOF
+  $ schedlint lib/r9.ml
+  lib/r9.ml:2:27: [R9] polymorphic = at a type containing floats (point); compare the float components with Float.compare/Float.equal
+  lib/r9.ml:3:30: [R9] polymorphic List.mem at a type containing floats (point); compare the float components with Float.compare/Float.equal
+  lib/r9.ml:4:32: [R9] polymorphic compare at a type containing floats (float option); compare the float components with Float.compare/Float.equal
+  schedlint: 3 violations in 1 file scanned
+  [1]
+
+R10: an allow marker that suppresses nothing is itself a violation, so
+escape hatches cannot rot in place:
+
+  $ cat > bin/r10.ml <<'EOF'
+  > (* schedlint: allow R2 *)
+  > let fine = 42
+  > EOF
+  $ schedlint bin/r10.ml
+  bin/r10.ml:1:0: [R10] stale marker: `schedlint: allow R2` suppresses nothing; delete it
   schedlint: 1 violation in 1 file scanned
   [1]
 
-Directories are scanned recursively; a clean tree exits 0:
+Marker syntax quoted inside a string literal is not a marker (and hence
+not a stale marker either):
 
-  $ cat > lib/clean.ml <<'EOF'
-  > let near_zero x = abs_float x < 1e-9
-  > let first = function [] -> None | x :: _ -> Some x
+  $ cat > bin/quoted.ml <<'EOF'
+  > let doc = "suppress with (* schedlint: allow R2 *) on the line"
   > EOF
-  $ rm lib/r1.ml lib/r3.ml lib/r4.ml lib/r5.ml lib/r6.ml lib/allow.ml bin/r2.ml bin/r4.ml
-  $ schedlint lib bin
+  $ schedlint bin/quoted.ml
+  schedlint: 0 violations in 1 file scanned
+
+Escape hatch: a marker covers its own line and the next; two markers on
+one line merge their rule lists (an earlier version dropped the first):
+
+  $ cat > bin/allow.ml <<'EOF'
+  > let a () = Unix.time () (* schedlint: allow R2 *)
+  > (* schedlint: allow R2 *)
+  > let b () = Unix.time ()
+  > let c = (1.0 = 2.0) (* schedlint: allow R3 *) && Sys.time () > 0.0 (* schedlint: allow R2 *)
+  > let d () = Unix.time () (* schedlint: allow all *)
+  > EOF
+  $ schedlint bin/allow.ml
+  schedlint: 0 violations in 1 file scanned
+
+The baseline workflow: --write-baseline records the current diagnostics,
+--baseline suppresses exactly those (count-based), and entries that no
+longer match anything are reported so the file shrinks over time:
+
+  $ schedlint --write-baseline base.txt lib/r5.ml
+  schedlint: wrote 7 entries to base.txt
+  $ schedlint --baseline base.txt lib/r5.ml
+  schedlint: 7 baselined violations suppressed
+  schedlint: 0 violations in 1 file scanned
+  $ cat > lib/r5.ml <<'EOF'
+  > let counter = ref 0
+  > EOF
+  $ schedlint --baseline base.txt lib/r5.ml
+  schedlint: warning: unused baseline entry: R5 lib/r5.ml: top-level mutable state (ref) in lib/; thread state through a record
+  schedlint: warning: unused baseline entry: R5 lib/r5.ml: top-level mutable state (Hashtbl) in lib/; thread state through a record
+  schedlint: warning: unused baseline entry: R5 lib/r5.ml: top-level mutable state (Array.make) in lib/; thread state through a record
+  schedlint: warning: unused baseline entry: R5 lib/r5.ml: top-level mutable state (Buffer) in lib/; thread state through a record
+  schedlint: warning: unused baseline entry: R5 lib/r5.ml: top-level mutable state (Bytes) in lib/; thread state through a record
+  schedlint: warning: unused baseline entry: R5 lib/r5.ml: top-level mutable state (Atomic) in lib/; thread state through a record
+  schedlint: 1 baselined violation suppressed
+  schedlint: 0 violations in 1 file scanned
+
+Machine-readable output: --format json and --format sarif for tooling,
+--format github for inline PR annotations:
+
+  $ schedlint --format json lib/r6.ml
+  [
+    { "file": "lib/r6.ml", "line": 1, "col": 0, "rule": "R7", "message": "R6.go reaches Domain.spawn via R6.go -> Domain.spawn; deterministic replay breaks (route through lib/prng, lib/par or Obs.Clock)" },
+    { "file": "lib/r6.ml", "line": 1, "col": 11, "rule": "R6", "message": "Domain.spawn outside lib/par; fan out through Statsched_par.Par.map" }
+  ]
+  schedlint: 2 violations in 1 file scanned
+  [1]
+  $ schedlint --format sarif lib/r6.ml 2>/dev/null | grep -c '"ruleId"'
+  2
+  $ schedlint --format github lib/r6.ml
+  ::error file=lib/r6.ml,line=1,col=1,title=schedlint R7::R6.go reaches Domain.spawn via R6.go -> Domain.spawn; deterministic replay breaks (route through lib/prng, lib/par or Obs.Clock)
+  ::error file=lib/r6.ml,line=1,col=12,title=schedlint R6::Domain.spawn outside lib/par; fan out through Statsched_par.Par.map
+  schedlint: 2 violations in 1 file scanned
+  [1]
 
 Unparseable input is a distinct failure (exit 2):
 
-  $ echo 'let let let' > lib/broken.ml
-  $ schedlint lib/broken.ml 2>/dev/null
+  $ cat > bin/broken.ml <<'EOF'
+  > let oops =
+  > EOF
+  $ schedlint bin/broken.ml 2>/dev/null
   [2]
 
-Missing roots are reported:
+Unknown options are rejected:
+
+  $ schedlint --no-such-option 2>&1 | head -n 1
+  schedlint: unknown option: --no-such-option
+
+Missing roots are a usage error:
 
   $ schedlint no/such/dir
   schedlint: no such file or directory: no/such/dir

@@ -1,0 +1,288 @@
+(* Golden-diagnostic unit tests for the schedlint analysis engine.
+
+   Each case writes a small fixture tree under a temp directory, runs
+   the Driver end to end (on-the-fly typechecking: the fixtures have no
+   .cmt files) and compares the full rendered diagnostic list against a
+   golden expectation.  Cram (test/lint.t) covers the CLI surface; these
+   tests pin the analysis semantics at the API level, including the
+   regressions named in the rule-engine rewrite. *)
+
+module L = Schedlint_core
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+(* Build a one-file fixture tree rooted at a fresh temp dir; [rel] is
+   the path under the root ("lib/foo.ml") that decides rule scoping. *)
+let with_fixture rel contents f =
+  let root = Filename.temp_file "schedlint_test" "" in
+  Sys.remove root;
+  Sys.mkdir root 0o755;
+  let dir = Filename.concat root (Filename.dirname rel) in
+  let rec mkdir_p d =
+    if not (Sys.file_exists d) then begin
+      mkdir_p (Filename.dirname d);
+      Sys.mkdir d 0o755
+    end
+  in
+  mkdir_p dir;
+  write_file (Filename.concat root rel) contents;
+  let cwd = Sys.getcwd () in
+  Sys.chdir root;
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.chdir cwd;
+      Sys.remove (Filename.concat root rel);
+      (* remove the directories we created, deepest first *)
+      let rec rmdirs d =
+        if String.length d > String.length root then begin
+          (try Sys.rmdir d with Sys_error _ -> ());
+          rmdirs (Filename.dirname d)
+        end
+      in
+      rmdirs dir;
+      try Sys.rmdir root with Sys_error _ -> ())
+    (fun () -> f rel)
+
+let render (d : L.Diag.t) =
+  Printf.sprintf "%d:%d %s %s" d.line d.col d.rule d.msg
+
+let run_fixture rel contents =
+  with_fixture rel contents (fun rel ->
+      let run = L.Driver.analyze ~build_dir:"." [ rel ] in
+      Alcotest.(check int) "no load errors" 0 run.L.Driver.load_errors;
+      List.map render (L.Diag.sort run.L.Driver.diags))
+
+let check_diags name expected actual =
+  Alcotest.(check (list string)) name expected actual
+
+(* ------------------------------------------------------------------ *)
+
+let test_marker_merge () =
+  (* Regression: two markers on one line used to collide in the
+     line-indexed table, dropping all but the last marker's rules. *)
+  let diags =
+    run_fixture "lib/mm.ml"
+      "let r = ref (1.0 = 2.0) (* schedlint: allow R5 *) (* schedlint: \
+       allow R3 *)\n"
+  in
+  check_diags "merged markers suppress both rules" [] diags;
+  (* and the merged list is order-preserving: R3 wins for the first
+     marker even though R5 was scanned later *)
+  let diags =
+    run_fixture "lib/mm2.ml"
+      "let both = (1.0 = 2.0) (* schedlint: allow R5 *) (* schedlint: allow \
+       R2 *) && true\n"
+  in
+  check_diags "unrelated merged markers stay stale"
+    [
+      "1:0 R10 stale marker: `schedlint: allow R5` suppresses nothing; \
+       delete it";
+      "1:0 R10 stale marker: `schedlint: allow R2` suppresses nothing; \
+       delete it";
+      "1:16 R3 polymorphic = on a float; compare with a tolerance or \
+       Float.equal";
+    ]
+    diags
+
+let test_r5_extended () =
+  let diags =
+    run_fixture "lib/state.ml"
+      "let a = Array.make 4 0\n\
+       let b = Bytes.create 8\n\
+       let c = Buffer.create 16\n\
+       let d = Atomic.make 0\n\
+       let ok () = Array.make 4 0\n"
+  in
+  check_diags "extended R5 constructors"
+    [
+      "1:0 R5 top-level mutable state (Array.make) in lib/; thread state \
+       through a record";
+      "2:0 R5 top-level mutable state (Bytes) in lib/; thread state through \
+       a record";
+      "3:0 R5 top-level mutable state (Buffer) in lib/; thread state \
+       through a record";
+      "4:0 R5 top-level mutable state (Atomic) in lib/; thread state \
+       through a record";
+    ]
+    diags
+
+let test_r7_taint_chain () =
+  (* Chain three calls deep from the sink; every function on the chain
+     is reported, shortest path first. *)
+  let diags =
+    run_fixture "lib/chain.ml"
+      "let draw () = Random.int 9 (* schedlint: allow R1 *)\n\
+       let mid () = draw () + 1\n\
+       let top () = mid () * 2\n"
+  in
+  check_diags "taint chain three deep"
+    [
+      "1:0 R7 Chain.draw reaches Stdlib.Random via Chain.draw -> Random.int; \
+       deterministic replay breaks (route through lib/prng, lib/par or \
+       Obs.Clock)";
+      "2:0 R7 Chain.mid reaches Stdlib.Random via Chain.mid -> Chain.draw -> \
+       Random.int; deterministic replay breaks (route through lib/prng, \
+       lib/par or Obs.Clock)";
+      "3:0 R7 Chain.top reaches Stdlib.Random via Chain.top -> Chain.mid -> \
+       Chain.draw -> Random.int; deterministic replay breaks (route through \
+       lib/prng, lib/par or Obs.Clock)";
+    ]
+    diags
+
+let test_r7_sanctioned () =
+  (* `allow R7` at the sink clears the whole chain; lib/prng never
+     carries taint at all. *)
+  check_diags "allow R7 clears the chain" []
+    (run_fixture "lib/ok.ml"
+       "let draw () = Random.int 9 (* schedlint: allow R1 R7 *)\n\
+        let top () = draw () + 1\n");
+  check_diags "lib/prng is exempt" []
+    (run_fixture "lib/prng/gen.ml" "let draw () = Random.int 9\n")
+
+let test_r8_hidden_helper () =
+  (* The allocation sits in an [@inline] helper: the hot function's own
+     body is clean, only the interprocedural walk can see it. *)
+  let diags =
+    run_fixture "lib/hot.ml"
+      "let[@inline] build x = Some x\n\
+       let[@schedsim.hot] fetch x = match build x with Some v -> v | None \
+       -> x\n"
+  in
+  check_diags "allocation behind inlined helper"
+    [
+      "1:23 R8 constructor Some allocation on hot path Hot.fetch -> \
+       Hot.build; [@schedsim.hot] code must not allocate";
+    ]
+    diags
+
+let test_r8_cold_stops () =
+  check_diags "cold attribute stops traversal" []
+    (run_fixture "lib/cold.ml"
+       "let[@schedsim.cold] grow n = Array.make n 0\n\
+        let[@schedsim.hot] hot n = if n > 3 then ignore (grow n)\n");
+  (* ...but a direct allocation next to the cold call still counts *)
+  let diags =
+    run_fixture "lib/cold2.ml"
+      "let[@schedsim.cold] grow n = Array.make n 0\n\
+       let[@schedsim.hot] hot n = ignore (grow n); (n, n)\n"
+  in
+  check_diags "direct tuple next to cold call"
+    [
+      "2:44 R8 tuple allocation on hot path Cold2.hot; [@schedsim.hot] code \
+       must not allocate";
+    ]
+    diags
+
+let test_r8_nonescaping_ref () =
+  check_diags "non-escaping ref is unboxed, not an allocation" []
+    (run_fixture "lib/refok.ml"
+       "let[@schedsim.hot] sum n =\n\
+        \  let acc = ref 0 in\n\
+        \  for i = 0 to n do acc := !acc + i done;\n\
+        \  !acc\n");
+  let diags =
+    run_fixture "lib/refbad.ml"
+      "let use r = !r\n\
+       let[@schedsim.hot] leak n =\n\
+       \  let acc = ref n in\n\
+       \  use acc\n"
+  in
+  check_diags "escaping ref allocates"
+    [
+      "3:12 R8 call to allocating ref on hot path Refbad.leak; \
+       [@schedsim.hot] code must not allocate";
+    ]
+    diags
+
+let test_r9_record () =
+  let diags =
+    run_fixture "lib/pt.ml"
+      "type point = { x : float; y : float }\n\
+       type wrap = W of point | Z\n\
+       let eq (a : wrap) b = a = b\n\
+       let ok (a : int * string) b = a = b\n"
+  in
+  check_diags "float inside variant-of-record"
+    [
+      "3:24 R9 polymorphic = at a type containing floats (wrap); compare \
+       the float components with Float.compare/Float.equal";
+    ]
+    diags
+
+let test_r10_stale () =
+  let diags =
+    run_fixture "lib/stale.ml"
+      "(* schedlint: allow R4 *)\nlet fine = 42\n"
+  in
+  check_diags "stale marker reported"
+    [
+      "1:0 R10 stale marker: `schedlint: allow R4` suppresses nothing; \
+       delete it";
+    ]
+    diags;
+  (* marker text inside a string literal is not a marker *)
+  check_diags "quoted marker ignored" []
+    (run_fixture "lib/quoted.ml"
+       "let doc = \"use (* schedlint: allow R4 *) to suppress\"\n")
+
+let test_alias_laundering () =
+  let diags =
+    run_fixture "bin/alias.ml"
+      "module R = Random\nlet roll () = R.int 6\n"
+  in
+  check_diags "module alias does not launder Random"
+    [
+      "2:14 R1 Stdlib.Random is non-deterministic here; draw from \
+       Statsched_prng.Rng";
+    ]
+    diags
+
+let test_baseline_roundtrip () =
+  let diags =
+    [
+      { L.Diag.file = "lib/a.ml"; line = 3; col = 1; rule = "R3"; msg = "m1" };
+      { L.Diag.file = "lib/a.ml"; line = 9; col = 0; rule = "R3"; msg = "m1" };
+      { L.Diag.file = "lib/b.ml"; line = 1; col = 0; rule = "R5"; msg = "m2" };
+    ]
+  in
+  let path = Filename.temp_file "schedlint" ".baseline" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      L.Baseline.write path diags;
+      let entries = L.Baseline.load path in
+      Alcotest.(check int) "entries" 3 (List.length entries);
+      (* same diags: all absorbed *)
+      let r = L.Baseline.apply entries diags in
+      Alcotest.(check int) "all absorbed" 3 r.L.Baseline.absorbed;
+      Alcotest.(check int) "none fresh" 0 (List.length r.L.Baseline.fresh);
+      Alcotest.(check int) "none unused" 0 (List.length r.L.Baseline.unused);
+      (* count-based: a third copy of the duplicated diagnostic is fresh *)
+      let extra =
+        { L.Diag.file = "lib/a.ml"; line = 12; col = 0; rule = "R3"; msg = "m1" }
+      in
+      let r = L.Baseline.apply entries (extra :: diags) in
+      Alcotest.(check int) "extra copy is fresh" 1
+        (List.length r.L.Baseline.fresh);
+      (* removing a diagnostic leaves its entry unused *)
+      let r = L.Baseline.apply entries (List.tl diags) in
+      Alcotest.(check int) "dropped diag leaves unused entry" 1
+        (List.length r.L.Baseline.unused))
+
+let suite =
+  [
+    Alcotest.test_case "marker merge regression" `Quick test_marker_merge;
+    Alcotest.test_case "R5 extended constructors" `Quick test_r5_extended;
+    Alcotest.test_case "R7 taint chain 3-deep" `Quick test_r7_taint_chain;
+    Alcotest.test_case "R7 sanctioned sinks" `Quick test_r7_sanctioned;
+    Alcotest.test_case "R8 alloc behind helper" `Quick test_r8_hidden_helper;
+    Alcotest.test_case "R8 cold stops traversal" `Quick test_r8_cold_stops;
+    Alcotest.test_case "R8 ref escape analysis" `Quick test_r8_nonescaping_ref;
+    Alcotest.test_case "R9 float-bearing types" `Quick test_r9_record;
+    Alcotest.test_case "R10 stale markers" `Quick test_r10_stale;
+    Alcotest.test_case "alias laundering" `Quick test_alias_laundering;
+    Alcotest.test_case "baseline roundtrip" `Quick test_baseline_roundtrip;
+  ]

@@ -22,4 +22,5 @@ let () =
       ("par", Test_par.suite);
       ("more", Test_more.suite);
       ("simcheck", Test_simcheck.suite);
+      ("lint", Test_lint.suite);
     ]

@@ -1,0 +1,93 @@
+(* Baseline files for incremental adoption.
+
+   A baseline is a text file of tab-separated [rule \t file \t message]
+   lines (no line numbers, so pure code motion does not churn it).
+   Matching is count-based: a baseline line absorbs at most one
+   diagnostic with the same key, extra occurrences still fail, and
+   baseline entries that absorb nothing are reported so the file
+   shrinks as the tree gets cleaned up. *)
+
+type entry = { rule : string; file : string; msg : string }
+
+let key e = e.rule ^ "\t" ^ e.file ^ "\t" ^ e.msg
+let key_of_diag (d : Diag.t) = d.rule ^ "\t" ^ d.file ^ "\t" ^ d.msg
+
+let parse_line line =
+  match String.split_on_char '\t' line with
+  | rule :: file :: rest when rest <> [] ->
+    Some { rule; file; msg = String.concat "\t" rest }
+  | _ -> None
+
+let load path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let entries = ref [] in
+    (try
+       while true do
+         let line = input_line ic in
+         let line = String.trim line in
+         if line <> "" && not (Canon.starts_with ~prefix:"#" line) then
+           match parse_line line with
+           | Some e -> entries := e :: !entries
+           | None ->
+             Printf.eprintf "schedlint: %s: malformed baseline line: %s\n"
+               path line
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !entries
+  end
+
+type filtered = {
+  fresh : Diag.t list;  (* not absorbed by the baseline *)
+  absorbed : int;
+  unused : entry list;  (* baseline entries that matched nothing *)
+}
+
+let apply entries diags =
+  let budget = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      let k = key e in
+      Hashtbl.replace budget k
+        (1 + Option.value ~default:0 (Hashtbl.find_opt budget k)))
+    entries;
+  let absorbed = ref 0 in
+  let fresh =
+    List.filter
+      (fun d ->
+        let k = key_of_diag d in
+        match Hashtbl.find_opt budget k with
+        | Some n when n > 0 ->
+          Hashtbl.replace budget k (n - 1);
+          incr absorbed;
+          false
+        | _ -> true)
+      diags
+  in
+  let unused =
+    (* whatever budget remains absorbed nothing; consume as we report
+       so a duplicated baseline line is only reported once per copy *)
+    List.filter
+      (fun e ->
+        let k = key e in
+        match Hashtbl.find_opt budget k with
+        | Some n when n > 0 ->
+          Hashtbl.replace budget k (n - 1);
+          true
+        | _ -> false)
+      entries
+  in
+  { fresh; absorbed = !absorbed; unused }
+
+let write path diags =
+  let oc = open_out path in
+  output_string oc
+    "# schedlint baseline: rule<TAB>file<TAB>message, one per line.\n\
+     # Regenerate with: schedlint --write-baseline <this file> <roots>\n";
+  List.iter
+    (fun (d : Diag.t) ->
+      output_string oc (d.rule ^ "\t" ^ d.file ^ "\t" ^ d.msg ^ "\n"))
+    (Diag.sort diags);
+  close_out oc

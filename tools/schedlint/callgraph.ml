@@ -1,0 +1,197 @@
+(* Whole-program model: definitions, module aliases, type declarations
+   and the call graph.
+
+   A "definition" is a value binding at module level (including nested
+   [module ... = struct ... end] blocks).  Each definition records its
+   attributes (the [@schedsim.hot] / [@schedsim.cold] contract lives
+   there), its syntactic arity and every identifier it references, so
+   the interprocedural rules (R7 determinism taint, R8 static
+   zero-alloc) can walk caller -> callee chains across compilation
+   units. *)
+
+open Typedtree
+
+type def = {
+  canon : string;  (* "Statsched_des.Engine.step" *)
+  src : string;
+  loc : Location.t;
+  attrs : string list;
+  arity : int;  (* leading fun-parameters of the bound expression *)
+  body : Typedtree.expression;
+  mutable refs : (string * Location.t) list;  (* referenced idents, first loc *)
+}
+
+type unit_ctx = {
+  info : Loader.unit_info;
+  aliases : Canon.aliases;
+  allow : Source.t;
+  stamps : (string, def) Hashtbl.t;  (* Ident.unique_name -> local def *)
+}
+
+type t = {
+  units : unit_ctx list;
+  defs : (string, def) Hashtbl.t;  (* canonical name -> def *)
+  decls : (string, Types.type_declaration * (Path.t -> string)) Hashtbl.t;
+  mutable callers : (string, (def * Location.t) list) Hashtbl.t;
+      (* callee canonical name -> callers (reverse edges) *)
+}
+
+let attr_names attrs =
+  List.map (fun (a : Parsetree.attribute) -> a.attr_name.txt) attrs
+
+let has_attr name def = List.mem name def.attrs
+
+let rec arity_of (e : expression) =
+  match e.exp_desc with
+  | Texp_function { cases = [ { c_rhs; _ } ]; _ } -> 1 + arity_of c_rhs
+  | Texp_function _ -> 1
+  | _ -> 0
+
+(* ------------------------------------------------------------------ *)
+(* Pass 1: definitions, aliases, type declarations *)
+
+let collect_unit decls (u : Loader.unit_info) =
+  let aliases : Canon.aliases = Hashtbl.create 16 in
+  let stamps = Hashtbl.create 64 in
+  let unit_name = u.Loader.unit_name in
+  let canonizer p = Canon.path ~aliases ~unit_name p in
+  let out = ref [] in
+  let rec unwrap (me : module_expr) =
+    match me.mod_desc with
+    | Tmod_constraint (inner, _, _, _) -> unwrap inner
+    | _ -> me
+  in
+  let rec items prefix str = List.iter (item prefix) str.str_items
+  and item prefix (si : structure_item) =
+    match si.str_desc with
+    | Tstr_value (_, vbs) ->
+      List.iter
+        (fun (vb : value_binding) ->
+          match vb.vb_pat.pat_desc with
+          | Tpat_var (id, _) ->
+            let def =
+              {
+                canon = prefix ^ "." ^ Ident.name id;
+                src = u.Loader.src;
+                loc = vb.vb_loc;
+                attrs = attr_names vb.vb_attributes;
+                arity = arity_of vb.vb_expr;
+                body = vb.vb_expr;
+                refs = [];
+              }
+            in
+            Hashtbl.replace stamps (Ident.unique_name id) def;
+            out := def :: !out
+          | _ -> ())
+        vbs
+    | Tstr_type (_, tds) ->
+      List.iter
+        (fun (td : type_declaration) ->
+          Hashtbl.replace decls
+            (prefix ^ "." ^ Ident.name td.typ_id)
+            (td.typ_type, canonizer))
+        tds
+    | Tstr_module mb -> module_binding prefix mb
+    | Tstr_recmodule mbs -> List.iter (module_binding prefix) mbs
+    | Tstr_include incl -> (
+      (* [include struct ... end] keeps its definitions visible at the
+         enclosing level. *)
+      match (unwrap incl.incl_mod).mod_desc with
+      | Tmod_structure str -> items prefix str
+      | _ -> ())
+    | _ -> ()
+  and module_binding prefix (mb : module_binding) =
+    match mb.mb_id with
+    | None -> ()
+    | Some id -> (
+      match (unwrap mb.mb_expr).mod_desc with
+      | Tmod_ident (p, _) ->
+        Hashtbl.replace aliases (Ident.unique_name id) (canonizer p)
+      | Tmod_structure str -> items (prefix ^ "." ^ Ident.name id) str
+      | _ -> ())
+  in
+  items unit_name u.Loader.structure;
+  let ctx =
+    {
+      info = u;
+      aliases;
+      allow = Source.load u.Loader.src;
+      stamps;
+    }
+  in
+  (ctx, List.rev !out)
+
+(* ------------------------------------------------------------------ *)
+(* Pass 2: references *)
+
+(* Resolve an identifier occurrence to a canonical name.  Local idents
+   (function parameters, let-locals) resolve to [None]. *)
+let resolve_ident ctx p =
+  match p with
+  | Path.Pident id when not (Ident.global id) && not (Ident.is_predef id) -> (
+    match Hashtbl.find_opt ctx.stamps (Ident.unique_name id) with
+    | Some def -> Some def.canon
+    | None -> None)
+  | _ ->
+    Some
+      (Canon.path ~aliases:ctx.aliases ~unit_name:ctx.info.Loader.unit_name p)
+
+let collect_refs ctx def =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  let expr sub (e : expression) =
+    (match e.exp_desc with
+    | Texp_ident (p, _, _) -> (
+      match resolve_ident ctx p with
+      | Some canon when not (Hashtbl.mem seen canon) ->
+        Hashtbl.add seen canon ();
+        acc := (canon, e.exp_loc) :: !acc
+      | _ -> ())
+    | _ -> ());
+    Tast_iterator.default_iterator.expr sub e
+  in
+  let iterator = { Tast_iterator.default_iterator with expr } in
+  iterator.expr iterator def.body;
+  def.refs <- List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+
+let build (units : Loader.unit_info list) =
+  let decls = Hashtbl.create 256 in
+  let collected = List.map (collect_unit decls) units in
+  let defs = Hashtbl.create 1024 in
+  List.iter
+    (fun (_, ds) -> List.iter (fun d -> Hashtbl.replace defs d.canon d) ds)
+    collected;
+  List.iter
+    (fun (ctx, ds) -> List.iter (fun d -> collect_refs ctx d) ds)
+    collected;
+  let callers = Hashtbl.create 1024 in
+  List.iter
+    (fun (_, ds) ->
+      List.iter
+        (fun d ->
+          List.iter
+            (fun (callee, loc) ->
+              if Hashtbl.mem defs callee then
+                let prev =
+                  Option.value ~default:[] (Hashtbl.find_opt callers callee)
+                in
+                Hashtbl.replace callers callee ((d, loc) :: prev))
+            d.refs)
+        ds)
+    collected;
+  { units = List.map fst collected; defs; decls; callers }
+
+let find_decl t name = Hashtbl.find_opt t.decls name
+
+let find_def t name = Hashtbl.find_opt t.defs name
+
+let iter_defs t f =
+  (* Deterministic order: sort by canonical name. *)
+  Hashtbl.fold (fun _ d acc -> d :: acc) t.defs []
+  |> List.sort (fun a b -> String.compare a.canon b.canon)
+  |> List.iter f
+
+let callers_of t canon =
+  Option.value ~default:[] (Hashtbl.find_opt t.callers canon)

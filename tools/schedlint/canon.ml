@@ -1,0 +1,72 @@
+(* Canonical dotted names for typedtree paths.
+
+   Definitions are keyed "Unit.Sub.value" where [Unit] is the
+   compilation-unit name with dune's "__" separator normalised to a dot
+   ("Statsched_des__Engine" -> "Statsched_des.Engine"), so a reference
+   through the wrapper alias ("Statsched_des.Engine.step") and the
+   definition in the implementation unit agree on one key.
+
+   Local module aliases ([module EQ = Statsched_des.Event_queue]) are
+   resolved through a per-unit alias table keyed by Ident.unique_name,
+   which also catches alias-laundering ([module R = Random; R.int] still
+   canonicalises to "Stdlib.Random.int"). *)
+
+type aliases = (string, string) Hashtbl.t
+
+(* "Statsched_des__Engine" -> "Statsched_des.Engine" *)
+let normalize_unit name =
+  let b = Buffer.create (String.length name) in
+  let n = String.length name in
+  let i = ref 0 in
+  while !i < n do
+    if
+      !i + 1 < n
+      && Char.equal name.[!i] '_'
+      && Char.equal name.[!i + 1] '_'
+      && !i > 0
+      && !i + 2 < n
+    then begin
+      Buffer.add_char b '.';
+      i := !i + 2;
+      (* Dune separates with exactly "__"; capitalise what follows so
+         "dune__exe__Schedsim" and "Dune__exe__Schedsim" agree. *)
+      if !i < n then begin
+        Buffer.add_char b (Char.uppercase_ascii name.[!i]);
+        incr i
+      end
+    end
+    else begin
+      Buffer.add_char b name.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents b
+
+let rec path ~(aliases : aliases) ~unit_name (p : Path.t) =
+  match p with
+  | Path.Pident id -> (
+    match Hashtbl.find_opt aliases (Ident.unique_name id) with
+    | Some canon -> canon
+    | None ->
+      if Ident.is_predef id then Ident.name id
+      else if Ident.global id then normalize_unit (Ident.name id)
+      else unit_name ^ "." ^ Ident.name id)
+  | Path.Pdot (m, s) -> path ~aliases ~unit_name m ^ "." ^ s
+  | Path.Papply (a, b) ->
+    path ~aliases ~unit_name a ^ "(" ^ path ~aliases ~unit_name b ^ ")"
+  | Path.Pextra_ty (m, _) -> path ~aliases ~unit_name m
+
+(* Strip the implicit stdlib prefix so matching lists can say
+   "Random.int" and cover Random.int / Stdlib.Random.int alike. *)
+let strip_stdlib name =
+  let pfx = "Stdlib." in
+  let n = String.length pfx in
+  if String.length name > n && String.equal (String.sub name 0 n) pfx then
+    String.sub name n (String.length name - n)
+  else name
+
+let value ~aliases ~unit_name p = strip_stdlib (path ~aliases ~unit_name p)
+
+let starts_with ~prefix s =
+  let n = String.length prefix in
+  String.length s >= n && String.equal (String.sub s 0 n) prefix

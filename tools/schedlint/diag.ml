@@ -1,0 +1,115 @@
+(* Diagnostic records and the rule registry's metadata.
+
+   Every rule has an entry here so machine-readable output (SARIF rule
+   descriptors, JSON) and `--help` stay in sync with the actual
+   implementations in Rules / Rules_flow. *)
+
+type t = { file : string; line : int; col : int; rule : string; msg : string }
+
+type rule_info = {
+  id : string;
+  name : string;  (* short kebab-case handle used in SARIF *)
+  short : string;  (* one-line description *)
+  help : string;  (* what to do about it *)
+}
+
+let registry =
+  [
+    {
+      id = "R1";
+      name = "no-stdlib-random";
+      short = "Stdlib.Random outside lib/prng/";
+      help =
+        "All randomness must flow through the seeded, splittable \
+         Statsched_prng.Rng so runs stay bit-identical.";
+    };
+    {
+      id = "R2";
+      name = "no-wall-clock";
+      short = "wall-clock read (Unix.time, Unix.gettimeofday, Sys.time)";
+      help =
+        "Simulated time comes from Engine.now; the single sanctioned \
+         wall-clock site is Obs.Clock.";
+    };
+    {
+      id = "R3";
+      name = "no-float-polymorphic-eq";
+      short = "polymorphic =/<> on floats, or ==/!= anywhere";
+      help = "Compare floats with a tolerance or Float.equal.";
+    };
+    {
+      id = "R4";
+      name = "no-partial-functions";
+      short = "partial function (List.hd, List.tl, Option.get, Obj.magic) in lib/";
+      help = "Match explicitly or keep the invariant in the type.";
+    };
+    {
+      id = "R5";
+      name = "no-toplevel-mutable";
+      short =
+        "top-level mutable state (ref, Hashtbl/Buffer.create, Array.make, \
+         Bytes.create, Atomic.make) in lib/";
+      help = "Thread state through a record so replications stay independent.";
+    };
+    {
+      id = "R6";
+      name = "no-raw-domain-spawn";
+      short = "Domain.spawn outside lib/par/";
+      help =
+        "Fan out through Statsched_par.Par.map so the parallel determinism \
+         guarantee has a single point of proof.";
+    };
+    {
+      id = "R7";
+      name = "determinism-taint";
+      short =
+        "lib/ function transitively reaches Random/wall-clock/Domain.spawn \
+         outside the sanctioned modules";
+      help =
+        "Route the call through lib/prng (randomness), Obs.Clock (wall \
+         clock) or lib/par (domains), or sanction the sink with \
+         (* schedlint: allow R7 *) on the sink line.";
+    };
+    {
+      id = "R8";
+      name = "hot-path-allocation";
+      short =
+        "allocating construct reachable from a [@schedsim.hot] function";
+      help =
+        "Hot DES paths must not allocate per event. Hoist the allocation, \
+         restructure with flat mutable state, or mark an amortized helper \
+         [@schedsim.cold].";
+    };
+    {
+      id = "R9";
+      name = "typed-float-compare";
+      short =
+        "polymorphic =/<>/compare/Hashtbl.hash at a type containing floats";
+      help =
+        "NaN breaks polymorphic structural comparison; use Float.equal / \
+         Float.compare or a custom comparator over the float components.";
+    };
+    {
+      id = "R10";
+      name = "stale-allow-marker";
+      short = "schedlint allow marker that suppresses nothing";
+      help = "Delete the marker so escape hatches cannot rot silently.";
+    };
+  ]
+
+let rule_ids = List.map (fun r -> r.id) registry
+
+let find_rule id = List.find_opt (fun r -> String.equal r.id id) registry
+
+let compare_diag a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+    match Int.compare a.line b.line with
+    | 0 -> (
+      match Int.compare a.col b.col with
+      | 0 -> String.compare a.rule b.rule
+      | c -> c)
+    | c -> c)
+  | c -> c
+
+let sort diags = List.sort compare_diag diags

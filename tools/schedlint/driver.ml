@@ -1,0 +1,67 @@
+(* Analysis orchestration: load units, build the whole-program call
+   graph, run the per-unit rules and the interprocedural rules, filter
+   through allow markers, then report markers that suppressed nothing
+   (R10).  Baseline handling and exit codes live in the CLI. *)
+
+type run = {
+  diags : Diag.t list;  (* allow-filtered, sorted *)
+  files_scanned : int;
+  load_errors : int;  (* parse / typecheck failures: exit code 2 *)
+}
+
+let analyze ?build_dir roots =
+  let loaded = Loader.load_roots ?build_dir roots in
+  let program = Callgraph.build loaded.Loader.units in
+  let allow_of =
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun (u : Callgraph.unit_ctx) ->
+        Hashtbl.replace tbl u.info.Loader.src u.allow)
+      program.Callgraph.units;
+    fun src -> Hashtbl.find_opt tbl src
+  in
+  let acc = ref [] in
+  let report (d : Diag.t) =
+    let suppressed =
+      match allow_of d.file with
+      | Some t -> Source.allowed t ~line:d.line d.rule
+      | None -> false
+    in
+    if not suppressed then acc := d :: !acc
+  in
+  (* Per-unit rules (R1-R6, R9). *)
+  List.iter
+    (fun (u : Callgraph.unit_ctx) ->
+      Rules.run { Rules.program; unit = u; report })
+    program.Callgraph.units;
+  (* Interprocedural rules. *)
+  Rules_flow.run_r7 program report;
+  Rules_flow.run_r8 program report;
+  (* R10: markers that suppressed nothing, now that every other rule has
+     recorded its marker usage.  R10 diagnostics are deliberately not
+     themselves allow-suppressible — escape hatches don't get escape
+     hatches — but they can be baselined. *)
+  List.iter
+    (fun (u : Callgraph.unit_ctx) ->
+      List.iter
+        (fun (line, rule_word) ->
+          acc :=
+            {
+              Diag.file = u.info.Loader.src;
+              line;
+              col = 0;
+              rule = "R10";
+              msg =
+                Printf.sprintf
+                  "stale marker: `schedlint: allow %s` suppresses nothing; \
+                   delete it"
+                  (String.uppercase_ascii rule_word);
+            }
+            :: !acc)
+        (Source.stale u.allow))
+    program.Callgraph.units;
+  {
+    diags = Diag.sort !acc;
+    files_scanned = List.length loaded.Loader.units + loaded.Loader.errors;
+    load_errors = loaded.Loader.errors;
+  }

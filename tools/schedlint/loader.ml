@@ -1,0 +1,161 @@
+(* Analysis-unit loading.
+
+   The primary source of typedtrees is the `.cmt` files dune emits under
+   `_build/default` (dune passes -bin-annot by default).  Every .ml file
+   under the requested roots is matched to its .cmt through the
+   `cmt_sourcefile` field; files with no .cmt — standalone fixtures in
+   cram sandboxes, ad-hoc checks — are parsed and typechecked on the fly
+   against the stdlib (plus the unix directory, for wall-clock
+   fixtures), so the typed rules work on self-contained files too. *)
+
+type unit_info = {
+  src : string;  (* path used in diagnostics and scoping *)
+  unit_name : string;  (* canonical module name, "__" -> "." *)
+  structure : Typedtree.structure;
+}
+
+exception Error of string  (* IO / parse / type error: exit code 2 *)
+
+(* ------------------------------------------------------------------ *)
+(* File collection *)
+
+let normalize path =
+  if Canon.starts_with ~prefix:"./" path then
+    String.sub path 2 (String.length path - 2)
+  else path
+
+let rec collect_ml_files acc path =
+  if Sys.is_directory path then begin
+    let entries = Sys.readdir path in
+    Array.sort String.compare entries;
+    Array.fold_left
+      (fun acc entry ->
+        if entry = "" || Char.equal entry.[0] '.' || String.equal entry "_build"
+        then acc
+        else collect_ml_files acc (Filename.concat path entry))
+      acc entries
+  end
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+(* ------------------------------------------------------------------ *)
+(* cmt index: source path -> typedtree *)
+
+let rec collect_cmt_files acc path =
+  match Sys.is_directory path with
+  | true ->
+    let entries = Sys.readdir path in
+    Array.sort String.compare entries;
+    Array.fold_left
+      (fun acc entry ->
+        if entry = "" then acc
+        else collect_cmt_files acc (Filename.concat path entry))
+      acc entries
+  | false -> if Filename.check_suffix path ".cmt" then path :: acc else acc
+  | exception _ -> acc
+
+let build_cmt_index build_dir =
+  let index = Hashtbl.create 64 in
+  if Sys.file_exists build_dir && Sys.is_directory build_dir then
+    List.iter
+      (fun cmt_path ->
+        match Cmt_format.read_cmt cmt_path with
+        | cmt -> (
+          match (cmt.Cmt_format.cmt_sourcefile, cmt.Cmt_format.cmt_annots) with
+          | Some src, Cmt_format.Implementation structure ->
+            let src = normalize src in
+            if Filename.check_suffix src ".ml" && not (Hashtbl.mem index src)
+            then
+              Hashtbl.add index src
+                (Canon.normalize_unit cmt.Cmt_format.cmt_modname, structure)
+          | _ -> ())
+        | exception _ -> ())
+      (List.rev (collect_cmt_files [] build_dir));
+  index
+
+let default_build_dir () =
+  let d = Filename.concat "_build" "default" in
+  if Sys.file_exists d && Sys.is_directory d then d else "."
+
+(* ------------------------------------------------------------------ *)
+(* On-the-fly typechecking for files without a .cmt *)
+
+let typecheck_env =
+  lazy
+    (let stdlib = Config.standard_library in
+     (* unix/threads live in subdirectories of the stdlib since OCaml 5;
+        having them on the load path lets standalone fixtures exercise
+        the wall-clock rules. *)
+     let extra =
+       List.filter
+         (fun d -> Sys.file_exists d && Sys.is_directory d)
+         [ Filename.concat stdlib "unix"; Filename.concat stdlib "threads" ]
+     in
+     Clflags.include_dirs := extra @ !Clflags.include_dirs;
+     Compmisc.init_path ();
+     Compmisc.initial_env ())
+
+let module_name_of_file file =
+  String.capitalize_ascii
+    (Filename.remove_extension (Filename.basename file))
+
+let typecheck_file file =
+  let env = Lazy.force typecheck_env in
+  let source = Source.read_file file in
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf file;
+  let parsetree = Parse.implementation lexbuf in
+  let structure, _sig, _names, _shape, _env =
+    Typemod.type_structure env parsetree
+  in
+  structure
+
+(* ------------------------------------------------------------------ *)
+(* Entry point *)
+
+type result = {
+  units : unit_info list;
+  errors : int;  (* files that failed to parse / typecheck *)
+}
+
+let report_exn file exn =
+  try Location.report_exception Format.err_formatter exn
+  with _ ->
+    Printf.eprintf "schedlint: %s: %s\n" file (Printexc.to_string exn)
+
+let load_roots ?build_dir roots =
+  let missing = List.filter (fun r -> not (Sys.file_exists r)) roots in
+  if missing <> [] then
+    raise
+      (Error
+         (String.concat "\n"
+            (List.map
+               (fun r -> "schedlint: no such file or directory: " ^ r)
+               missing)));
+  let build_dir =
+    match build_dir with Some d -> d | None -> default_build_dir ()
+  in
+  let index = build_cmt_index build_dir in
+  let files =
+    List.concat_map
+      (fun root -> List.rev (collect_ml_files [] root))
+      roots
+  in
+  let errors = ref 0 in
+  let units =
+    List.filter_map
+      (fun file ->
+        let src = normalize file in
+        match Hashtbl.find_opt index src with
+        | Some (unit_name, structure) -> Some { src; unit_name; structure }
+        | None -> (
+          match typecheck_file file with
+          | structure ->
+            Some { src; unit_name = module_name_of_file file; structure }
+          | exception exn ->
+            incr errors;
+            report_exn file exn;
+            None))
+      files
+  in
+  { units; errors = !errors }

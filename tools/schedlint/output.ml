@@ -1,0 +1,121 @@
+(* Diagnostic rendering: text (the historical format), json, SARIF
+   2.1.0 for code-scanning upload, and GitHub workflow commands for
+   inline PR annotations. *)
+
+type format = Text | Json | Sarif | Github
+
+let format_of_string = function
+  | "text" -> Some Text
+  | "json" -> Some Json
+  | "sarif" -> Some Sarif
+  | "github" -> Some Github
+  | _ -> None
+
+(* --- json helpers (no external deps) ------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let str s = "\"" ^ json_escape s ^ "\""
+
+(* --- text --------------------------------------------------------- *)
+
+let emit_text oc diags =
+  List.iter
+    (fun (d : Diag.t) ->
+      Printf.fprintf oc "%s:%d:%d: [%s] %s\n" d.file d.line d.col d.rule d.msg)
+    diags
+
+(* --- json --------------------------------------------------------- *)
+
+let emit_json oc diags =
+  let item (d : Diag.t) =
+    Printf.sprintf
+      "  { \"file\": %s, \"line\": %d, \"col\": %d, \"rule\": %s, \
+       \"message\": %s }"
+      (str d.file) d.line d.col (str d.rule) (str d.msg)
+  in
+  Printf.fprintf oc "[\n%s\n]\n" (String.concat ",\n" (List.map item diags))
+
+(* --- sarif -------------------------------------------------------- *)
+
+let sarif_rule (r : Diag.rule_info) =
+  Printf.sprintf
+    "          { \"id\": %s, \"name\": %s,\n\
+    \            \"shortDescription\": { \"text\": %s },\n\
+    \            \"help\": { \"text\": %s } }"
+    (str r.id) (str r.name) (str r.short) (str r.help)
+
+let sarif_result (d : Diag.t) =
+  Printf.sprintf
+    "        { \"ruleId\": %s, \"level\": \"error\",\n\
+    \          \"message\": { \"text\": %s },\n\
+    \          \"locations\": [ { \"physicalLocation\": {\n\
+    \            \"artifactLocation\": { \"uri\": %s },\n\
+    \            \"region\": { \"startLine\": %d, \"startColumn\": %d } } } ] }"
+    (str d.rule) (str d.msg) (str d.file) d.line (max 1 (d.col + 1))
+
+let emit_sarif oc diags =
+  Printf.fprintf oc
+    "{\n\
+    \  \"$schema\": \
+     \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n\
+    \  \"version\": \"2.1.0\",\n\
+    \  \"runs\": [ {\n\
+    \    \"tool\": { \"driver\": {\n\
+    \      \"name\": \"schedlint\",\n\
+    \      \"informationUri\": \"https://example.invalid/schedlint\",\n\
+    \      \"rules\": [\n%s\n\
+    \      ] } },\n\
+    \    \"results\": [\n%s\n\
+    \    ]\n\
+    \  } ]\n\
+     }\n"
+    (String.concat ",\n" (List.map sarif_rule Diag.registry))
+    (String.concat ",\n" (List.map sarif_result diags))
+
+(* --- github workflow commands ------------------------------------- *)
+
+let gh_escape s =
+  (* the workflow-command data encoding *)
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '%' -> Buffer.add_string b "%25"
+      | '\n' -> Buffer.add_string b "%0A"
+      | '\r' -> Buffer.add_string b "%0D"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let emit_github oc diags =
+  List.iter
+    (fun (d : Diag.t) ->
+      Printf.fprintf oc "::error file=%s,line=%d,col=%d,title=schedlint %s::%s\n"
+        d.file d.line (d.col + 1) d.rule
+        (gh_escape (d.msg)))
+    diags
+
+(* ------------------------------------------------------------------ *)
+
+let emit fmt oc diags =
+  let diags = Diag.sort diags in
+  match fmt with
+  | Text -> emit_text oc diags
+  | Json -> emit_json oc diags
+  | Sarif -> emit_sarif oc diags
+  | Github -> emit_github oc diags

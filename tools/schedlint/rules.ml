@@ -1,0 +1,139 @@
+(* Per-unit rules over the typedtree: R1-R6 (ported from the original
+   syntactic pass, now with resolved paths so module-alias laundering
+   like [module R = Random] is caught) and R9 (typed float-compare).
+
+   Interprocedural rules R7/R8 live in Rules_flow; stale-marker
+   detection R10 in Driver (it needs every other rule's marker usage
+   first). *)
+
+open Typedtree
+
+type ctx = {
+  program : Callgraph.t;
+  unit : Callgraph.unit_ctx;
+  report : Diag.t -> unit;  (* marker filtering happens in the driver *)
+}
+
+let src ctx = ctx.unit.Callgraph.info.Loader.src
+
+let pos_of (loc : Location.t) =
+  (loc.loc_start.Lexing.pos_lnum, loc.loc_start.pos_cnum - loc.loc_start.pos_bol)
+
+let diag ctx loc rule msg =
+  let line, col = pos_of loc in
+  ctx.report { Diag.file = src ctx; line; col; rule; msg }
+
+let canon_of ctx p =
+  Canon.strip_stdlib
+    (Canon.path ~aliases:ctx.unit.Callgraph.aliases
+       ~unit_name:ctx.unit.Callgraph.info.Loader.unit_name p)
+
+(* ------------------------------------------------------------------ *)
+(* Matching tables *)
+
+let r2_banned = [ "Unix.time"; "Unix.gettimeofday"; "Sys.time" ]
+let r4_banned = [ "List.hd"; "List.tl"; "Option.get"; "Obj.magic" ]
+
+(* R5: constructors of top-level mutable state in lib/. *)
+let r5_banned =
+  [
+    ("ref", "ref");
+    ("Hashtbl.create", "Hashtbl");
+    ("Array.make", "Array.make");
+    ("Bytes.create", "Bytes");
+    ("Buffer.create", "Buffer");
+    ("Atomic.make", "Atomic");
+  ]
+
+(* R9: polymorphic operations whose first argument's type decides
+   whether floats are reached. *)
+let r9_ops =
+  [
+    "="; "<>"; "compare"; "Hashtbl.hash"; "List.mem"; "List.assoc";
+    "List.assoc_opt"; "List.mem_assoc"; "List.remove_assoc"; "Array.mem";
+    "List.sort_uniq";
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let check_ident ctx (e : expression) p =
+  let c = canon_of ctx p in
+  let file = src ctx in
+  if Canon.starts_with ~prefix:"Random." c && not (Source.in_prng file) then
+    diag ctx e.exp_loc "R1"
+      "Stdlib.Random is non-deterministic here; draw from Statsched_prng.Rng";
+  if List.mem c r2_banned then
+    diag ctx e.exp_loc "R2"
+      (c ^ " reads the wall clock; simulated time comes from Engine.now");
+  if String.equal c "Domain.spawn" && not (Source.in_par file) then
+    diag ctx e.exp_loc "R6"
+      "Domain.spawn outside lib/par; fan out through Statsched_par.Par.map";
+  if List.mem c r4_banned && Source.in_lib file then
+    diag ctx e.exp_loc "R4"
+      (c ^ " is partial; match explicitly or keep the invariant in the type");
+  (match c with
+  | "==" | "!=" ->
+    diag ctx e.exp_loc "R3"
+      ("physical equality (" ^ c ^ ") outside physical-identity idioms")
+  | _ -> ());
+  if List.mem c r9_ops then begin
+    match Typeexam.first_arg e.exp_type with
+    | None -> ()
+    | Some arg ->
+      let canon p = canon_of ctx p in
+      if Typeexam.is_unresolved arg then ()
+      else if Typeexam.is_float ~canon arg then begin
+        match c with
+        | "=" | "<>" ->
+          diag ctx e.exp_loc "R3"
+            ("polymorphic " ^ c
+           ^ " on a float; compare with a tolerance or Float.equal")
+        | _ ->
+          diag ctx e.exp_loc "R9"
+            ("polymorphic " ^ c ^ " at type float; use Float.compare / \
+              Float.equal or a float-aware structure")
+      end
+      else if
+        Typeexam.contains_float
+          ~find_decl:(Callgraph.find_decl ctx.program)
+          ~canon arg
+      then
+        diag ctx e.exp_loc "R9"
+          ("polymorphic " ^ c ^ " at a type containing floats ("
+          ^ Typeexam.to_string arg
+          ^ "); compare the float components with Float.compare/Float.equal")
+  end
+
+(* R5: top-level mutable state in lib/. *)
+let check_structure_item ctx (si : structure_item) =
+  match si.str_desc with
+  | Tstr_value (_, vbs) when Source.in_lib (src ctx) ->
+    List.iter
+      (fun (vb : value_binding) ->
+        match vb.vb_expr.exp_desc with
+        | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, _) -> (
+          match List.assoc_opt (canon_of ctx p) r5_banned with
+          | Some what ->
+            diag ctx vb.vb_loc "R5"
+              ("top-level mutable state (" ^ what
+             ^ ") in lib/; thread state through a record")
+          | None -> ())
+        | _ -> ())
+      vbs
+  | _ -> ()
+
+let run ctx =
+  let expr sub (e : expression) =
+    (match e.exp_desc with
+    | Texp_ident (p, _, _) -> check_ident ctx e p
+    | _ -> ());
+    Tast_iterator.default_iterator.expr sub e
+  in
+  let structure_item sub si =
+    check_structure_item ctx si;
+    Tast_iterator.default_iterator.structure_item sub si
+  in
+  let iterator =
+    { Tast_iterator.default_iterator with expr; structure_item }
+  in
+  iterator.structure iterator ctx.unit.Callgraph.info.Loader.structure

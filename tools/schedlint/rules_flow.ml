@@ -1,0 +1,416 @@
+(* Interprocedural rules over the call graph.
+
+   R7 — determinism taint.  A lib/ function that transitively reaches a
+   non-deterministic sink (Stdlib.Random, the wall clock, Domain.spawn)
+   outside the sanctioned zones (lib/prng, lib/par, Obs.Clock) breaks
+   replayability even when the sink itself sits in an allow-marked
+   helper elsewhere.  We propagate taint backwards from sinks along
+   reverse call edges and report each tainted lib/ definition with the
+   shortest call path to a sink.
+
+   R8 — static zero-alloc.  Definitions carrying [@schedsim.hot] (and
+   everything they transitively call inside the analysed program) must
+   not contain allocating constructs.  [@schedsim.cold] stops the
+   traversal (amortised growth paths).  The construct scan is
+   conservative-but-practical: it mirrors what flambda-less OCaml
+   actually boxes, including the Simplif unboxing of non-escaping local
+   refs. *)
+
+open Typedtree
+
+type sink = { name : string; why : string }
+
+let sinks =
+  [
+    { name = "Random."; why = "Stdlib.Random" };
+    { name = "Unix.time"; why = "wall clock (Unix.time)" };
+    { name = "Unix.gettimeofday"; why = "wall clock (Unix.gettimeofday)" };
+    { name = "Sys.time"; why = "wall clock (Sys.time)" };
+    { name = "Domain.spawn"; why = "Domain.spawn" };
+  ]
+
+let sink_of canon =
+  let canon = Canon.strip_stdlib canon in
+  List.find_opt
+    (fun s ->
+      if String.length s.name > 0 && s.name.[String.length s.name - 1] = '.'
+      then Canon.starts_with ~prefix:s.name canon
+      else String.equal s.name canon)
+    sinks
+
+let pos_of (loc : Location.t) =
+  (loc.loc_start.Lexing.pos_lnum, loc.loc_start.pos_cnum - loc.loc_start.pos_bol)
+
+let short canon =
+  (* "Statsched_des.Engine.step" -> "Engine.step" for readable paths *)
+  match String.rindex_opt canon '.' with
+  | None -> canon
+  | Some i -> (
+    match String.rindex_from_opt canon (i - 1) '.' with
+    | None -> canon
+    | Some j -> String.sub canon (j + 1) (String.length canon - j - 1))
+
+(* Defined functions render as "Module.fn"; the final sink keeps its
+   full (stdlib-stripped) name so "Random.State.make" stays legible. *)
+let path_to_string ?(program : Callgraph.t option) chain =
+  let render c =
+    match program with
+    | Some p when not (Hashtbl.mem p.Callgraph.defs c) -> Canon.strip_stdlib c
+    | _ -> short c
+  in
+  String.concat " -> " (List.map render chain)
+
+(* ------------------------------------------------------------------ *)
+(* R7: determinism taint *)
+
+let allow_lookup program =
+  let by_src = Hashtbl.create 16 in
+  List.iter
+    (fun (u : Callgraph.unit_ctx) ->
+      Hashtbl.replace by_src u.info.Loader.src u.allow)
+    program.Callgraph.units;
+  fun src ~line rule ->
+    match Hashtbl.find_opt by_src src with
+    | Some t -> Source.allowed t ~line rule
+    | None -> false
+
+let run_r7 (program : Callgraph.t) report =
+  let allowed = allow_lookup program in
+  (* Seed: definitions that reference a sink directly.  A sink reference
+     under an explicit `allow R7` marker is sanctioned; sanctioned zones
+     (lib/prng, lib/par, Obs.Clock) never seed and never propagate. *)
+  let taint : (string, string * string list) Hashtbl.t = Hashtbl.create 64 in
+  (* canon -> (why, chain from this def down to the sink) *)
+  Callgraph.iter_defs program (fun def ->
+      if not (Source.taint_sanctioned def.Callgraph.src) then
+        List.iter
+          (fun (callee, loc) ->
+            match sink_of callee with
+            | Some s
+              when (not (Hashtbl.mem taint def.Callgraph.canon))
+                   && not
+                        (allowed def.Callgraph.src
+                           ~line:(fst (pos_of loc))
+                           "R7") ->
+              Hashtbl.add taint def.Callgraph.canon
+                (s.why, [ def.Callgraph.canon; callee ])
+            | _ -> ())
+          def.Callgraph.refs);
+  (* BFS along reverse edges: callers of tainted defs become tainted.
+     iter_defs seeds in sorted order, so shortest chains are stable. *)
+  let pending = Queue.create () in
+  Callgraph.iter_defs program (fun def ->
+      if Hashtbl.mem taint def.Callgraph.canon then Queue.add def pending);
+  while not (Queue.is_empty pending) do
+    let def = Queue.pop pending in
+    let why, chain = Hashtbl.find taint def.Callgraph.canon in
+    List.iter
+      (fun ((caller : Callgraph.def), _loc) ->
+        if
+          (not (Hashtbl.mem taint caller.Callgraph.canon))
+          && not (Source.taint_sanctioned caller.Callgraph.src)
+        then begin
+          Hashtbl.add taint caller.Callgraph.canon
+            (why, caller.Callgraph.canon :: chain);
+          Queue.add caller pending
+        end)
+      (Callgraph.callers_of program def.Callgraph.canon)
+  done;
+  Callgraph.iter_defs program (fun def ->
+      if Source.in_lib def.Callgraph.src then
+        match Hashtbl.find_opt taint def.Callgraph.canon with
+        | Some (why, chain) ->
+          let line, col = pos_of def.Callgraph.loc in
+          report
+            {
+              Diag.file = def.Callgraph.src;
+              line;
+              col;
+              rule = "R7";
+              msg =
+                Printf.sprintf
+                  "%s reaches %s via %s; deterministic replay breaks \
+                   (route through lib/prng, lib/par or Obs.Clock)"
+                  (short def.Callgraph.canon)
+                  why (path_to_string ~program chain);
+            }
+        | None -> ())
+
+(* ------------------------------------------------------------------ *)
+(* R8: static zero-alloc on [@schedsim.hot] paths *)
+
+let hot_attr = "schedsim.hot"
+let cold_attr = "schedsim.cold"
+
+(* Calls that allocate no matter what the arguments are. *)
+let allocating_calls =
+  [
+    "Array.make"; "Array.init"; "Array.copy"; "Array.append"; "Array.sub";
+    "Array.to_list"; "Array.of_list"; "Array.map"; "Array.mapi";
+    "List.map"; "List.mapi"; "List.rev"; "List.append"; "List.concat";
+    "List.filter"; "List.init"; "List.sort"; "List.rev_map"; "List.rev_append";
+    "Bytes.create"; "Bytes.make"; "Bytes.copy"; "Bytes.sub"; "Bytes.to_string";
+    "Bytes.of_string"; "String.make"; "String.init"; "String.sub";
+    "String.concat"; "String.cat"; "String.uppercase_ascii";
+    "String.lowercase_ascii"; "String.map"; "String.split_on_char";
+    "String.trim"; "string_of_int"; "string_of_float"; "string_of_bool";
+    "float_of_string"; "int_of_string"; "Buffer.create"; "Buffer.contents";
+    "Hashtbl.create"; "Hashtbl.copy"; "Hashtbl.fold"; "Queue.create";
+    "Stack.create"; "ref"; "Atomic.make"; "Option.some"; "Option.map";
+    "Result.ok"; "Result.error"; "Lazy.from_fun"; "Seq.map"; "Seq.filter";
+    "Int64.to_string"; "Int64.of_string"; "Float.to_string";
+    "Printexc.to_string"; "Format.asprintf"; "Filename.concat";
+  ]
+
+let allocating_prefixes = [ "Printf."; "Format."; "Scanf." ]
+
+let is_allocating_call canon =
+  List.mem canon allocating_calls
+  || List.exists (fun p -> Canon.starts_with ~prefix:p canon) allocating_prefixes
+
+(* Exception-raising helpers whose argument construction we ignore: the
+   raise path is off the hot path by definition. *)
+let raise_like =
+  [
+    "raise"; "raise_notrace"; "failwith"; "invalid_arg"; "assert_failure";
+    "exit";
+  ]
+
+(* --- escape analysis for local refs ------------------------------- *)
+(* A `let r = ref e in ...` where every occurrence of r is !r, r := _,
+   incr/decr r or r.contents compiles to a mutable stack slot (Simplif
+   unboxing); it does not allocate.  Any other use (passed to a
+   function, returned, stored) makes the ref escape. *)
+
+let nonescaping_refs (body : expression) =
+  let candidates = Hashtbl.create 8 in (* stamp -> unit, refs bound by let *)
+  let escaped = Hashtbl.create 8 in
+  let deref_ops = [ "!"; ":="; "incr"; "decr" ] in
+  let rec is_ref_alloc (e : expression) =
+    match e.exp_desc with
+    | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, [ (_, Some _) ]) ->
+      String.equal (Path.last p) "ref"
+    | _ -> false
+  and expr_escapes parent_safe (e : expression) =
+    (* Walk marking ident occurrences; parent_safe is true when this
+       occurrence position is a sanctioned deref/assign argument. *)
+    match e.exp_desc with
+    | Texp_ident (Path.Pident id, _, _) ->
+      if Hashtbl.mem candidates (Ident.unique_name id) && not parent_safe then
+        Hashtbl.replace escaped (Ident.unique_name id) ()
+    | Texp_let (_, vbs, cont) ->
+      List.iter
+        (fun (vb : value_binding) ->
+          match (vb.vb_pat.pat_desc, is_ref_alloc vb.vb_expr) with
+          | Tpat_var (id, _), true ->
+            Hashtbl.replace candidates (Ident.unique_name id) ();
+            (* still walk the ref payload *)
+            (match vb.vb_expr.exp_desc with
+            | Texp_apply (_, args) ->
+              List.iter
+                (function _, Some a -> expr_escapes false a | _ -> ())
+                args
+            | _ -> ())
+          | _ -> expr_escapes false vb.vb_expr)
+        vbs;
+      expr_escapes false cont
+    | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args) ->
+      let op = Path.last p in
+      let safe_first = List.mem op deref_ops in
+      List.iteri
+        (fun i arg ->
+          match arg with
+          | _, Some a -> expr_escapes (safe_first && i = 0) a
+          | _ -> ())
+        args
+    | Texp_field (inner, _, _) ->
+      (* r.contents *)
+      expr_escapes true inner
+    | Texp_setfield (inner, _, _, v) ->
+      expr_escapes true inner;
+      expr_escapes false v
+    | _ -> iter_children e
+  and iter_children e =
+    let expr _sub e' = expr_escapes false e' in
+    let it = { Tast_iterator.default_iterator with expr } in
+    Tast_iterator.default_iterator.expr it e
+  in
+  expr_escapes false body;
+  fun (stamp : string) ->
+    Hashtbl.mem candidates stamp && not (Hashtbl.mem escaped stamp)
+
+(* --- the construct scan ------------------------------------------- *)
+
+type alloc = { loc : Location.t; what : string }
+
+let rec skip_function_spine (e : expression) =
+  match e.exp_desc with
+  | Texp_function { cases = [ { c_rhs; c_guard = None; _ } ]; _ } ->
+    skip_function_spine c_rhs
+  | _ -> e
+
+let find_allocs (program : Callgraph.t) (ctx : Callgraph.unit_ctx)
+    (def : Callgraph.def) =
+  let acc = ref [] in
+  let body = skip_function_spine def.Callgraph.body in
+  let ref_ok = nonescaping_refs body in
+  let add loc what = acc := { loc; what } :: !acc in
+  let canon_of p =
+    Canon.value ~aliases:ctx.Callgraph.aliases
+      ~unit_name:ctx.Callgraph.info.Loader.unit_name p
+  in
+  let rec walk (e : expression) =
+    match e.exp_desc with
+    | Texp_function _ -> add e.exp_loc "closure allocation"
+    | Texp_tuple _ ->
+      add e.exp_loc "tuple allocation";
+      children e
+    | Texp_construct (_, cd, args) ->
+      if args <> [] && not (format_constructor cd) then
+        add e.exp_loc ("constructor " ^ cd.Types.cstr_name ^ " allocation");
+      children e
+    | Texp_variant (_, Some _) ->
+      add e.exp_loc "polymorphic-variant allocation";
+      children e
+    | Texp_record _ ->
+      add e.exp_loc "record allocation";
+      children e
+    | Texp_array _ ->
+      add e.exp_loc "array literal allocation";
+      children e
+    | Texp_lazy _ -> add e.exp_loc "lazy allocation"
+    | Texp_assert _ -> () (* assertion failure path is cold *)
+    | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args) -> apply e p args
+    | Texp_let (_, vbs, cont) ->
+      List.iter
+        (fun (vb : value_binding) ->
+          match (vb.vb_pat.pat_desc, vb.vb_expr.exp_desc) with
+          | ( Tpat_var (id, _),
+              Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, ref_args) )
+            when String.equal (Path.last p) "ref"
+                 && ref_ok (Ident.unique_name id) ->
+            (* unboxed local ref: scan only the payload *)
+            List.iter (function _, Some a -> walk a | _ -> ()) ref_args
+          | _ -> walk vb.vb_expr)
+        vbs;
+      walk cont
+    | _ -> children e
+  and apply e p args =
+    let raw = Path.last p in
+    if List.mem raw raise_like then () (* exception path: skip subtree *)
+    else begin
+      let canon = canon_of p in
+      if is_allocating_call canon then
+        add e.exp_loc ("call to allocating " ^ canon)
+      else if String.equal raw "ref" then
+        (* bare `ref e` not bound via the let pattern above: allocates *)
+        add e.exp_loc "ref allocation"
+      else begin
+        (* Partial application of a known definition boxes a closure. *)
+        (match Callgraph.find_def program canon with
+        | Some callee when callee.Callgraph.arity > 0 ->
+          let n_args =
+            List.length (List.filter (fun (_, a) -> a <> None) args)
+          in
+          if n_args < callee.Callgraph.arity
+             || List.exists (fun (_, a) -> a = None) args
+          then
+            add e.exp_loc
+              ("partial application of " ^ short canon
+             ^ " (closure allocation)")
+        | _ -> ())
+      end;
+      List.iter (function _, Some a -> walk a | _ -> ()) args
+    end
+  and format_constructor (cd : Types.constructor_description) =
+    (* Format-string literals elaborate to CamlinternalFormat
+       constructors; flagging them is pure noise (the Printf call itself
+       is already flagged). *)
+    match Types.get_desc cd.Types.cstr_res with
+    | Types.Tconstr (p, _, _) ->
+      let s = Path.name p in
+      Canon.starts_with ~prefix:"CamlinternalFormat" s
+      || Canon.starts_with ~prefix:"Stdlib.format" s
+      || Canon.starts_with ~prefix:"format" s
+    | _ -> false
+  and children e =
+    match e.exp_desc with
+    | Texp_tuple es | Texp_array es | Texp_construct (_, _, es) ->
+      List.iter walk es
+    | Texp_variant (_, Some e') -> walk e'
+    | Texp_record { fields; extended_expression } ->
+      (match extended_expression with Some e' -> walk e' | None -> ());
+      Array.iter
+        (function _, Overridden (_, e') -> walk e' | _ -> ())
+        fields
+    | _ ->
+      let expr _sub e' = walk e' in
+      let it = { Tast_iterator.default_iterator with expr } in
+      Tast_iterator.default_iterator.expr it e
+  in
+  walk body;
+  List.rev !acc
+
+(* --- traversal from hot roots ------------------------------------- *)
+
+let unit_of (program : Callgraph.t) src =
+  List.find_opt
+    (fun (u : Callgraph.unit_ctx) -> String.equal u.info.Loader.src src)
+    program.Callgraph.units
+
+let run_r8 (program : Callgraph.t) report =
+  let roots = ref [] in
+  Callgraph.iter_defs program (fun def ->
+      if Callgraph.has_attr hot_attr def then roots := def :: !roots);
+  let roots = List.rev !roots in
+  let visited = Hashtbl.create 64 in
+  let reported = Hashtbl.create 64 in
+  let rec visit chain (def : Callgraph.def) =
+    if Hashtbl.mem visited def.Callgraph.canon then ()
+    else begin
+      Hashtbl.add visited def.Callgraph.canon ();
+      let chain = def.Callgraph.canon :: chain in
+      (match unit_of program def.Callgraph.src with
+      | Some ctx ->
+        List.iter
+          (fun (a : alloc) ->
+            let line, col =
+              ( a.loc.loc_start.Lexing.pos_lnum,
+                a.loc.loc_start.pos_cnum - a.loc.loc_start.pos_bol )
+            in
+            let key = (def.Callgraph.src, line, col, a.what) in
+            if not (Hashtbl.mem reported key) then begin
+              Hashtbl.add reported key ();
+              report
+                {
+                  Diag.file = def.Callgraph.src;
+                  line;
+                  col;
+                  rule = "R8";
+                  msg =
+                    Printf.sprintf
+                      "%s on hot path %s; [@schedsim.hot] code must not \
+                       allocate"
+                      a.what
+                      (path_to_string ~program (List.rev chain));
+                }
+            end)
+          (find_allocs program ctx def)
+      | None -> ());
+      (* Recurse into known callees unless marked cold. *)
+      List.iter
+        (fun (callee, _) ->
+          match Callgraph.find_def program callee with
+          | Some cd when not (Callgraph.has_attr cold_attr cd) ->
+            visit chain cd
+          | _ -> ())
+        def.Callgraph.refs
+    end
+  in
+  List.iter
+    (fun root ->
+      (* each root gets a fresh visited set so paths stay attributable;
+         the reported table still dedups identical diagnostics *)
+      Hashtbl.reset visited;
+      visit [] root)
+    roots

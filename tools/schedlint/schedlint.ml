@@ -1,280 +1,122 @@
-(* schedlint — repo-specific static analysis for determinism & correctness.
+(* schedlint CLI.
 
-   Parses every .ml file under the given roots (default: lib bin bench)
-   with compiler-libs and enforces:
+   Typed, whole-program lint for the statsched tree.  Loads dune's .cmt
+   typedtrees from _build when available (falling back to on-the-fly
+   typechecking for standalone files), builds a call graph and runs the
+   rule registry R1-R10.
 
-     R1  no Stdlib.Random outside lib/prng/ (determinism: all randomness
-         must flow through the seeded, splittable Statsched_prng.Rng)
-     R2  no wall-clock reads (Unix.time, Unix.gettimeofday, Sys.time) —
-         simulated time comes from the DES engine only
-     R3  no polymorphic equality on floats (a float literal or a
-         [(e : float)] operand under [=]/[<>]), and no [==]/[!=] at all
-     R4  no partial functions (List.hd, List.tl, Option.get, Obj.magic)
-         in lib/
-     R5  no top-level mutable state ([let x = ref ...] or
-         [let x = Hashtbl.create ...] at module top) in lib/
-     R6  no Domain.spawn outside lib/par/ (all parallelism goes through
-         the Par domain pool so the determinism guarantee has a single
-         point of proof)
+   Exit codes: 0 clean, 1 violations, 2 usage / load errors. *)
 
-   A diagnostic can be suppressed with a comment on the same line or the
-   line directly above:  (* schedlint: allow R3 *)   (or "allow all").
+open Schedlint_core
 
-   Exit codes: 0 clean, 1 violations found, 2 parse/IO error. *)
-
-let usage = "schedlint [FILE-OR-DIR ...]   (default roots: lib bin bench)"
-
-type diag = { file : string; line : int; col : int; rule : string; msg : string }
-
-(* ------------------------------------------------------------------ *)
-(* Path scoping                                                        *)
-
-let components path =
-  List.filter (fun c -> c <> "" && c <> ".") (String.split_on_char '/' path)
-
-let in_lib file = List.mem "lib" (components file)
-
-let in_prng file =
-  let rec scan = function
-    | "lib" :: "prng" :: _ -> true
-    | _ :: rest -> scan rest
-    | [] -> false
-  in
-  scan (components file)
-
-let in_par file =
-  let rec scan = function
-    | "lib" :: "par" :: _ -> true
-    | _ :: rest -> scan rest
-    | [] -> false
-  in
-  scan (components file)
-
-(* ------------------------------------------------------------------ *)
-(* Escape hatch: "(* schedlint: allow R3 *)" on the offending line or
-   the line directly above it.                                         *)
-
-let contains_at haystack needle i =
-  let n = String.length needle in
-  i + n <= String.length haystack && String.sub haystack i n = needle
-
-let find_substring haystack needle =
-  let n = String.length haystack in
-  let rec go i = if i >= n then None else if contains_at haystack needle i then Some i else go (i + 1) in
-  go 0
-
-let marker = "schedlint: allow"
-
-(* [allows source] maps a 1-based line number to the rules allowed there. *)
-let allows source =
-  let tbl = Hashtbl.create 8 in
-  let lines = String.split_on_char '\n' source in
-  List.iteri
-    (fun i line ->
-      match find_substring line marker with
-      | None -> ()
-      | Some j ->
-        let rest = String.sub line (j + String.length marker) (String.length line - j - String.length marker) in
-        let words =
-          String.split_on_char ' ' (String.map (function ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9') as c -> c | _ -> ' ') rest)
-        in
-        let rules =
-          List.filter_map
-            (fun w ->
-              match String.lowercase_ascii w with
-              | ("r1" | "r2" | "r3" | "r4" | "r5" | "r6" | "all") as r -> Some r
-              | _ -> None)
-            words
-        in
-        if rules <> [] then Hashtbl.replace tbl (i + 1) rules)
-    lines;
-  tbl
-
-let allowed tbl ~line rule =
-  let covers l =
-    match Hashtbl.find_opt tbl l with
-    | None -> false
-    | Some rules -> List.mem "all" rules || List.mem (String.lowercase_ascii rule) rules
-  in
-  covers line || covers (line - 1)
-
-(* ------------------------------------------------------------------ *)
-(* AST checks                                                          *)
-
-let flatten lid = try Longident.flatten lid with Misc.Fatal_error -> []
-
-let drop_stdlib = function "Stdlib" :: rest -> rest | path -> path
-
-let r2_banned =
-  [
-    ([ "Unix"; "time" ], "Unix.time");
-    ([ "Unix"; "gettimeofday" ], "Unix.gettimeofday");
-    ([ "Sys"; "time" ], "Sys.time");
-  ]
-
-let r4_banned =
-  [
-    ([ "List"; "hd" ], "List.hd");
-    ([ "List"; "tl" ], "List.tl");
-    ([ "Option"; "get" ], "Option.get");
-    ([ "Obj"; "magic" ], "Obj.magic");
-  ]
-
-let rec is_floatish (e : Parsetree.expression) =
-  match e.pexp_desc with
-  | Pexp_constant (Pconst_float _) -> true
-  | Pexp_constraint (_, { ptyp_desc = Ptyp_constr ({ txt; _ }, []); _ }) -> (
-    match drop_stdlib (flatten txt) with [ "float" ] -> true | _ -> false)
-  | Pexp_apply
-      ( { pexp_desc = Pexp_ident { txt = Lident ("~-." | "~+."); _ }; _ },
-        [ (Asttypes.Nolabel, operand) ] ) ->
-    is_floatish operand
-  | _ -> false
-
-let lint_structure ~file ~report structure =
-  let pos_of (loc : Location.t) =
-    (loc.loc_start.Lexing.pos_lnum, loc.loc_start.pos_cnum - loc.loc_start.pos_bol)
-  in
-  let check_expr iter (e : Parsetree.expression) =
-    let line, col = pos_of e.pexp_loc in
-    (match e.pexp_desc with
-    | Pexp_ident { txt; _ } -> (
-      let path = drop_stdlib (flatten txt) in
-      (match path with
-      | "Random" :: _ when not (in_prng file) ->
-        report { file; line; col; rule = "R1";
-                 msg = "Stdlib.Random is non-deterministic here; draw from Statsched_prng.Rng" }
-      | _ -> ());
-      (match path with
-      | [ "Domain"; "spawn" ] when not (in_par file) ->
-        report { file; line; col; rule = "R6";
-                 msg = "Domain.spawn outside lib/par; fan out through Statsched_par.Par.map" }
-      | _ -> ());
-      (match List.assoc_opt path r2_banned with
-      | Some name ->
-        report { file; line; col; rule = "R2";
-                 msg = name ^ " reads the wall clock; simulated time comes from Engine.now" }
-      | None -> ());
-      (match List.assoc_opt path r4_banned with
-      | Some name when in_lib file ->
-        report { file; line; col; rule = "R4";
-                 msg = name ^ " is partial; match explicitly or keep the invariant in the type" }
-      | Some _ | None -> ());
-      match path with
-      | [ (("==" | "!=") as op) ] ->
-        report { file; line; col; rule = "R3";
-                 msg = "physical equality (" ^ op ^ ") outside physical-identity idioms" }
-      | _ -> ())
-    | Pexp_apply
-        ( { pexp_desc = Pexp_ident { txt = Lident (("=" | "<>") as op); _ }; _ },
-          [ (Asttypes.Nolabel, a); (Asttypes.Nolabel, b) ] )
-      when is_floatish a || is_floatish b ->
-      report { file; line; col; rule = "R3";
-               msg = "polymorphic " ^ op ^ " on a float; compare with a tolerance or Float.equal" }
-    | _ -> ());
-    Ast_iterator.default_iterator.expr iter e
-  in
-  let check_structure_item iter (si : Parsetree.structure_item) =
-    (match si.pstr_desc with
-    | Pstr_value (_, bindings) when in_lib file ->
-      List.iter
-        (fun (vb : Parsetree.value_binding) ->
-          match vb.pvb_expr.pexp_desc with
-          | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
-            let line, col = pos_of vb.pvb_loc in
-            match drop_stdlib (flatten txt) with
-            | [ "ref" ] ->
-              report { file; line; col; rule = "R5";
-                       msg = "top-level mutable state (ref) in lib/; thread state through a record" }
-            | [ "Hashtbl"; "create" ] ->
-              report { file; line; col; rule = "R5";
-                       msg = "top-level mutable state (Hashtbl) in lib/; thread state through a record" }
-            | _ -> ())
-          | _ -> ())
-        bindings
-    | _ -> ());
-    Ast_iterator.default_iterator.structure_item iter si
-  in
-  let iterator =
-    { Ast_iterator.default_iterator with expr = check_expr; structure_item = check_structure_item }
-  in
-  iterator.structure iterator structure
-
-(* ------------------------------------------------------------------ *)
-(* Driver                                                              *)
-
-let read_file file =
-  let ic = open_in_bin file in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
-let lint_file file =
-  let source = read_file file in
-  let lexbuf = Lexing.from_string source in
-  Location.init lexbuf file;
-  let structure = Parse.implementation lexbuf in
-  let allow_tbl = allows source in
-  let diags = ref [] in
-  let report d = if not (allowed allow_tbl ~line:d.line d.rule) then diags := d :: !diags in
-  lint_structure ~file ~report structure;
-  List.rev !diags
-
-let rec collect_ml_files acc path =
-  if Sys.is_directory path then
-    let entries = Sys.readdir path in
-    Array.sort compare entries;
-    Array.fold_left
-      (fun acc entry ->
-        if entry = "" || entry.[0] = '.' || entry = "_build" then acc
-        else collect_ml_files acc (Filename.concat path entry))
-      acc entries
-  else if Filename.check_suffix path ".ml" then path :: acc
-  else acc
+let usage () =
+  prerr_string
+    "usage: schedlint [options] [path ...]\n\
+     \n\
+     Typed whole-program lint for simulation determinism and hot-path\n\
+     discipline.  Paths default to: lib bin bench tools test\n\
+     \n\
+     options:\n\
+    \  --format FMT        output format: text (default), json, sarif, github\n\
+    \  --baseline FILE     suppress diagnostics recorded in FILE\n\
+    \  --write-baseline FILE\n\
+    \                      write current diagnostics to FILE and exit 0\n\
+    \  --build-dir DIR     where to look for .cmt files (default: \
+     _build/default)\n\
+    \  -h, --help          show this message\n\
+     \n\
+     rules:\n";
+  List.iter
+    (fun (r : Diag.rule_info) ->
+      Printf.eprintf "  %-4s %-24s %s\n" r.id r.name r.short)
+    Diag.registry;
+  prerr_string
+    "\n\
+     Suppress a diagnostic with (* schedlint: allow R3 *) on the same\n\
+     line or the line above; markers that suppress nothing are flagged\n\
+     by R10.\n"
 
 let () =
-  let args = match Array.to_list Sys.argv with _ :: rest -> rest | [] -> [] in
-  (match args with
-  | [ ("-h" | "-help" | "--help") ] ->
-    print_endline usage;
-    exit 0
-  | _ -> ());
-  let roots = if args = [] then [ "lib"; "bin"; "bench" ] else args in
-  let missing = List.filter (fun r -> not (Sys.file_exists r)) roots in
-  if missing <> [] then begin
-    List.iter (fun r -> Printf.eprintf "schedlint: no such file or directory: %s\n" r) missing;
+  let roots = ref [] in
+  let format = ref Output.Text in
+  let baseline_file = ref None in
+  let write_baseline = ref None in
+  let build_dir = ref None in
+  let bad_usage msg =
+    prerr_endline ("schedlint: " ^ msg);
+    usage ();
     exit 2
-  end;
-  let files = List.rev (List.fold_left collect_ml_files [] roots) in
-  let parse_errors = ref 0 in
-  let diags =
-    List.concat_map
-      (fun file ->
-        match lint_file file with
-        | diags -> diags
-        | exception exn ->
-          incr parse_errors;
-          (try Location.report_exception Format.err_formatter exn
-           with _ -> Printf.eprintf "schedlint: %s: %s\n" file (Printexc.to_string exn));
-          [])
-      files
   in
-  let diags =
-    List.sort
-      (fun a b ->
-        match compare a.file b.file with
-        | 0 -> (match compare a.line b.line with 0 -> compare a.col b.col | c -> c)
-        | c -> c)
-      diags
+  let rec parse = function
+    | [] -> ()
+    | "-h" :: _ | "--help" :: _ ->
+      usage ();
+      exit 0
+    | "--format" :: f :: rest -> (
+      match Output.format_of_string f with
+      | Some fmt ->
+        format := fmt;
+        parse rest
+      | None -> bad_usage ("unknown format: " ^ f))
+    | "--baseline" :: f :: rest ->
+      baseline_file := Some f;
+      parse rest
+    | "--write-baseline" :: f :: rest ->
+      write_baseline := Some f;
+      parse rest
+    | "--build-dir" :: d :: rest ->
+      build_dir := Some d;
+      parse rest
+    | ("--format" | "--baseline" | "--write-baseline" | "--build-dir") :: [] ->
+      bad_usage "missing option argument"
+    | arg :: _ when String.length arg > 1 && Char.equal arg.[0] '-' ->
+      bad_usage ("unknown option: " ^ arg)
+    | path :: rest ->
+      roots := path :: !roots;
+      parse rest
   in
-  List.iter
-    (fun d -> Printf.printf "%s:%d:%d: [%s] %s\n" d.file d.line (d.col + 1) d.rule d.msg)
-    diags;
-  if !parse_errors > 0 then exit 2;
-  if diags <> [] then begin
-    Printf.eprintf "schedlint: %d violation%s in %d file%s scanned\n" (List.length diags)
-      (if List.length diags = 1 then "" else "s")
-      (List.length files)
-      (if List.length files = 1 then "" else "s");
-    exit 1
-  end
+  parse (List.tl (Array.to_list Sys.argv));
+  let roots =
+    match List.rev !roots with
+    | [] ->
+      List.filter Sys.file_exists [ "lib"; "bin"; "bench"; "tools"; "test" ]
+    | rs -> rs
+  in
+  match Driver.analyze ?build_dir:!build_dir roots with
+  | exception Loader.Error msg ->
+    prerr_endline msg;
+    exit 2
+  | run -> (
+    match !write_baseline with
+    | Some f ->
+      Baseline.write f run.Driver.diags;
+      Printf.eprintf "schedlint: wrote %d entr%s to %s\n"
+        (List.length run.Driver.diags)
+        (if List.length run.Driver.diags = 1 then "y" else "ies")
+        f;
+      exit (if run.Driver.load_errors > 0 then 2 else 0)
+    | None ->
+      let fresh, absorbed, unused =
+        match !baseline_file with
+        | None -> (run.Driver.diags, 0, [])
+        | Some f ->
+          let filtered = Baseline.apply (Baseline.load f) run.Driver.diags in
+          (filtered.Baseline.fresh, filtered.absorbed, filtered.unused)
+      in
+      Output.emit !format stdout fresh;
+      List.iter
+        (fun (e : Baseline.entry) ->
+          Printf.eprintf
+            "schedlint: warning: unused baseline entry: %s %s: %s\n" e.rule
+            e.file e.msg)
+        unused;
+      let plural n word = if n = 1 then word else word ^ "s" in
+      if absorbed > 0 then
+        Printf.eprintf "schedlint: %d baselined %s suppressed\n" absorbed
+          (plural absorbed "violation");
+      let n = List.length fresh and f = run.Driver.files_scanned in
+      Printf.eprintf "schedlint: %d %s in %d %s scanned\n" n
+        (plural n "violation") f (plural f "file");
+      if run.Driver.load_errors > 0 then exit 2
+      else if fresh <> [] then exit 1
+      else exit 0)

@@ -1,0 +1,178 @@
+(* Source-level concerns: path scoping of rules and the
+   "(* schedlint: allow Rn *)" escape-hatch markers.
+
+   A marker on line L suppresses matching diagnostics on L and L+1.
+   Several markers on the same line merge their rule lists (a
+   Hashtbl.replace in the original implementation dropped all but the
+   last marker).  Marker use is tracked so R10 can report markers that
+   suppress nothing. *)
+
+(* ------------------------------------------------------------------ *)
+(* Path scoping *)
+
+let components path =
+  List.filter (fun c -> c <> "" && c <> ".") (String.split_on_char '/' path)
+
+let in_lib file = List.mem "lib" (components file)
+
+let under2 a b file =
+  let rec scan = function
+    | x :: y :: _ when String.equal x a && String.equal y b -> true
+    | _ :: rest -> scan rest
+    | [] -> false
+  in
+  scan (components file)
+
+let in_prng file = under2 "lib" "prng" file
+let in_par file = under2 "lib" "par" file
+
+(* Obs.Clock is the single sanctioned wall-clock module. *)
+let is_clock file =
+  match List.rev (components file) with
+  | "clock.ml" :: "obs" :: _ -> true
+  | _ -> false
+
+(* Modules whose functions never carry determinism taint (R7): the
+   seeded RNG layer, the domain pool, and the sanctioned clock. *)
+let taint_sanctioned file = in_prng file || in_par file || is_clock file
+
+(* ------------------------------------------------------------------ *)
+(* Allow markers *)
+
+let marker = "schedlint: allow"
+
+let contains_at haystack needle i =
+  let n = String.length needle in
+  i + n <= String.length haystack && String.equal (String.sub haystack i n) needle
+
+let find_substring_from haystack needle start =
+  let n = String.length haystack in
+  let rec go i =
+    if i >= n then None
+    else if contains_at haystack needle i then Some i
+    else go (i + 1)
+  in
+  go start
+
+type t = {
+  file : string;
+  by_line : (int, string list) Hashtbl.t;  (* 1-based line -> allowed rules *)
+  used : (int * string, unit) Hashtbl.t;  (* (marker line, rule word) *)
+}
+
+let rule_words =
+  "all" :: List.map String.lowercase_ascii Diag.rule_ids
+
+let words_of rest =
+  String.split_on_char ' '
+    (String.map
+       (function ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9') as c -> c | _ -> ' ')
+       rest)
+
+(* Rules named by one marker comment starting at [j] in [line]. *)
+let marker_rules line j =
+  let after = j + String.length marker in
+  let rest = String.sub line after (String.length line - after) in
+  (* Stop at the end of the enclosing comment so a second marker on the
+     same line is parsed separately. *)
+  let rest =
+    match find_substring_from rest "*)" 0 with
+    | Some k -> String.sub rest 0 k
+    | None -> rest
+  in
+  List.filter_map
+    (fun w ->
+      let w = String.lowercase_ascii w in
+      if List.mem w rule_words then Some w else None)
+    (words_of rest)
+
+let scan_line tbl lineno line =
+  let rec go start =
+    match find_substring_from line marker start with
+    | None -> ()
+    | Some j ->
+      let rules = marker_rules line j in
+      if rules <> [] then begin
+        (* Merge with any marker already seen on this line. *)
+        let prev = Option.value ~default:[] (Hashtbl.find_opt tbl lineno) in
+        let merged =
+          prev @ List.filter (fun r -> not (List.mem r prev)) rules
+        in
+        Hashtbl.replace tbl lineno merged
+      end;
+      go (j + String.length marker)
+  in
+  go 0
+
+(* Extract the comments (text, start line) with the real lexer, so the
+   marker syntax quoted inside a string literal — schedlint's own help
+   text, test fixtures — is not mistaken for a live marker.  Falls back
+   to whole-source scanning when the file does not lex. *)
+let comments_of ~file source =
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf file;
+  Lexer.init ();
+  (try
+     while
+       match Lexer.token lexbuf with Parser.EOF -> false | _ -> true
+     do
+       ()
+     done
+   with _ -> ());
+  List.map
+    (fun (text, (loc : Location.t)) ->
+      (text, loc.loc_start.Lexing.pos_lnum))
+    (Lexer.comments ())
+
+let of_string ~file source =
+  let by_line = Hashtbl.create 8 in
+  (* A file that fails to lex also fails to typecheck, so losing its
+     markers is moot — no rule ever runs on it. *)
+  List.iter
+    (fun (text, start_line) ->
+      List.iteri
+        (fun i line -> scan_line by_line (start_line + i) line)
+        (String.split_on_char '\n' text))
+    (comments_of ~file source);
+  { file; by_line; used = Hashtbl.create 8 }
+
+let read_file file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load file =
+  match read_file file with
+  | source -> of_string ~file source
+  | exception _ -> of_string ~file ""
+
+(* Does a marker at [mline] cover [rule]?  Marks the entry used. *)
+let covers t mline rule =
+  match Hashtbl.find_opt t.by_line mline with
+  | None -> false
+  | Some rules ->
+    let r = String.lowercase_ascii rule in
+    if List.mem r rules then begin
+      Hashtbl.replace t.used (mline, r) ();
+      true
+    end
+    else if List.mem "all" rules then begin
+      Hashtbl.replace t.used (mline, "all") ();
+      true
+    end
+    else false
+
+let allowed t ~line rule = covers t line rule || covers t (line - 1) rule
+
+(* Marker entries that never suppressed anything: (line, rule word). *)
+let stale t =
+  Hashtbl.fold
+    (fun line rules acc ->
+      List.fold_left
+        (fun acc r ->
+          if Hashtbl.mem t.used (line, r) then acc else (line, r) :: acc)
+        acc rules)
+    t.by_line []
+  |> List.sort (fun (a, x) (b, y) ->
+         match Int.compare a b with 0 -> String.compare x y | c -> c)

@@ -1,0 +1,95 @@
+(* Structural type examination: does a type contain a float anywhere a
+   polymorphic comparison would reach one?
+
+   Works over [Types.type_expr] values straight out of the typedtree,
+   expanding abbreviations through the whole-program declaration table
+   (so [type point = { x : float; y : float }] is caught behind its
+   name, which the old source-level heuristic could not resolve).
+   Abstract types whose definition is outside the analysed program are
+   assumed float-free, but their *type arguments* are still checked, so
+   [float Queue.t] and [(float * int) list] are caught. *)
+
+let predef_float name =
+  String.equal name "float" || String.equal name "floatarray"
+
+(* Containers that merely carry their argument types: no need for a
+   declaration to know their comparison reaches the arguments. *)
+let max_depth = 32
+
+let contains_float ~find_decl ~canon ty =
+  let visited = Hashtbl.create 16 in
+  let rec go depth canon ty =
+    if depth > max_depth then false
+    else
+      let ty = Types.get_desc ty in
+      match ty with
+      | Types.Tconstr (p, args, _) ->
+        let name = Canon.strip_stdlib (canon p) in
+        if predef_float name then true
+        else if String.equal name "Float.Array.t" then true
+        else if List.exists (go (depth + 1) canon) args then true
+        else if Hashtbl.mem visited name then false
+        else begin
+          Hashtbl.add visited name ();
+          match find_decl name with
+          | None -> false
+          | Some ((decl : Types.type_declaration), decl_canon) ->
+            decl_contains depth decl_canon decl
+        end
+      | Types.Ttuple tys -> List.exists (go (depth + 1) canon) tys
+      | Types.Tpoly (t, _) -> go (depth + 1) canon t
+      | Types.Tvariant row ->
+        List.exists
+          (fun (_, field) ->
+            match Types.row_field_repr field with
+            | Types.Rpresent (Some t) -> go (depth + 1) canon t
+            | Types.Reither (_, ts, _) -> List.exists (go (depth + 1) canon) ts
+            | _ -> false)
+          (Types.row_fields row)
+      | Types.Tarrow _ | Types.Tvar _ | Types.Tunivar _ | Types.Tobject _
+      | Types.Tnil | Types.Tfield _ | Types.Tpackage _ ->
+        false
+      | Types.Tlink t | Types.Tsubst (t, _) -> go (depth + 1) canon t
+  and decl_contains depth canon (decl : Types.type_declaration) =
+    (match decl.type_manifest with
+    | Some t -> go (depth + 1) canon t
+    | None -> false)
+    ||
+    match decl.type_kind with
+    | Types.Type_record (labels, _) ->
+      List.exists (fun l -> go (depth + 1) canon l.Types.ld_type) labels
+    | Types.Type_variant (cstrs, _) ->
+      List.exists
+        (fun c ->
+          match c.Types.cd_args with
+          | Types.Cstr_tuple ts -> List.exists (go (depth + 1) canon) ts
+          | Types.Cstr_record labels ->
+            List.exists (fun l -> go (depth + 1) canon l.Types.ld_type) labels)
+        cstrs
+    | Types.Type_abstract | Types.Type_open -> false
+  in
+  go 0 canon ty
+
+(* Is the type exactly [float] (not merely containing one)?  Used to
+   keep plain float =/<> under the longstanding R3 rule id. *)
+let is_float ~canon ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, [], _) ->
+    predef_float (Canon.strip_stdlib (canon p))
+  | _ -> false
+
+(* First parameter type of an (instantiated) function type, skipping
+   nothing: [f : a -> b -> c] gives [a]. *)
+let first_arg ty =
+  match Types.get_desc ty with
+  | Types.Tarrow (_, a, _, _) -> Some a
+  | _ -> None
+
+let is_unresolved ty =
+  match Types.get_desc ty with
+  | Types.Tvar _ | Types.Tunivar _ -> true
+  | _ -> false
+
+let to_string ty =
+  (* Best-effort printing for diagnostics; never raises. *)
+  try Format.asprintf "%a" Printtyp.type_expr ty with _ -> "<type>"
