@@ -218,13 +218,13 @@ let run_macro ~jobs () =
       ~speeds ~workload ~scheduler:(Cluster.Scheduler.static Core.Policy.orr) ()
   in
   let last_result = ref None in
-  let walls =
-    Array.init alternations (fun _ ->
-        let start = Statsched_obs.Clock.now () in
-        let result = Cluster.Simulation.run cfg in
-        last_result := Some result;
-        Statsched_obs.Clock.elapsed ~since:start)
-  in
+  let walls = Array.make alternations 0.0 in
+  for k = 0 to alternations - 1 do
+    let start = Statsched_obs.Clock.now () in
+    let result = Cluster.Simulation.run cfg in
+    walls.(k) <- Statsched_obs.Clock.elapsed ~since:start;
+    last_result := Some result
+  done;
   let result = Option.get !last_result in
   let wall = median walls in
   let events = float_of_int result.Cluster.Simulation.events_executed in
@@ -233,6 +233,98 @@ let run_macro ~jobs () =
     "%d events in %.3f s wall (median of %d) = %.0f events/s (heap high-water %d)\n%!"
     result.Cluster.Simulation.events_executed wall alternations per_sec
     result.Cluster.Simulation.heap_high_water;
+  (* Observability overhead: bare vs fully-instrumented (metrics +
+     bounded journal, both at their defaults) runs, interleaved A/B per
+     alternation for the same reason the seq/par batches below are:
+     timing the halves back-to-back hands whichever ran second the
+     warmed GC and caches.  A longer horizon than the throughput run
+     above, so the journal's sampling stride reaches steady state
+     instead of charging the whole fill phase to a short window. *)
+  let obs_alternations = 15 in
+  let obs_cfg =
+    Cluster.Simulation.default_config ~horizon:1.0e6 ~warmup:2.5e5 ~seed:42L
+      ~speeds ~workload ~scheduler:(Cluster.Scheduler.static Core.Policy.orr) ()
+  in
+  let obs_bare_walls = Array.make obs_alternations 0.0 in
+  let obs_walls = Array.make obs_alternations 0.0 in
+  let obs_identical = ref true in
+  (* The bare arm gets the same telemetry + journal allocations as the
+     instrumented arm (unused), so the two timed regions see the same
+     heap shape and GC pacing and differ only in the recording work. *)
+  (* Process CPU time, not wall clock: the overhead gate measures extra
+     work done per run, and CPU time is immune to the co-tenant steal
+     that dominates wall-clock variance on shared machines.  [Clock.cpu]
+     granularity (~10 ms) is ~2% of one run; the median over the pairs
+     absorbs the quantization. *)
+  let run_bare () =
+    let ballast =
+      Cluster.Telemetry.create ~journal:(Statsched_obs.Journal.create ()) obs_cfg
+    in
+    let start = Statsched_obs.Clock.cpu () in
+    let result = Cluster.Simulation.run obs_cfg in
+    let dt = Statsched_obs.Clock.cpu () -. start in
+    ignore (Sys.opaque_identity (Cluster.Telemetry.metric_count ballast));
+    (dt, result)
+  in
+  let run_instrumented () =
+    let t =
+      Cluster.Telemetry.create ~journal:(Statsched_obs.Journal.create ()) obs_cfg
+    in
+    let start = Statsched_obs.Clock.cpu () in
+    let instrumented =
+      Cluster.Simulation.run ~hooks_retain_jobs:false
+        ~metric_histograms:(Cluster.Telemetry.histograms t)
+        ~on_dispatch:(Cluster.Telemetry.on_dispatch t)
+        ~on_completion:(Cluster.Telemetry.on_completion t)
+        ~on_drop:(Cluster.Telemetry.on_drop t)
+        ~on_rate_change:(Cluster.Telemetry.on_rate_change t)
+        obs_cfg
+    in
+    let dt = Statsched_obs.Clock.cpu () -. start in
+    Cluster.Telemetry.finalize t instrumented;
+    (dt, instrumented)
+  in
+  for k = 0 to obs_alternations - 1 do
+    (* Alternate which arm runs first within the pair, so whatever bias
+       the second run inherits (warmed caches, GC phase) cancels across
+       pairs instead of loading one arm. *)
+    let (bare_dt, result), (instr_dt, instrumented) =
+      if k land 1 = 0 then begin
+        let b = run_bare () in
+        (b, run_instrumented ())
+      end
+      else begin
+        let i = run_instrumented () in
+        (run_bare (), i)
+      end
+    in
+    obs_bare_walls.(k) <- bare_dt;
+    obs_walls.(k) <- instr_dt;
+    obs_identical :=
+      !obs_identical
+      && Float.equal
+           result.Cluster.Simulation.metrics.Core.Metrics.mean_response_time
+           instrumented.Cluster.Simulation.metrics.Core.Metrics
+             .mean_response_time
+      && result.Cluster.Simulation.events_executed
+         = instrumented.Cluster.Simulation.events_executed
+  done;
+  (* Paired per-alternation ratios: each instrumented run is divided by
+     the bare run next to it in time, so slow drift of the machine
+     (thermal, co-tenancy) cancels before the median is taken. *)
+  let obs_ratio =
+    median
+      (Array.init obs_alternations (fun k ->
+           if obs_bare_walls.(k) > 0.0 then obs_walls.(k) /. obs_bare_walls.(k)
+           else 0.0))
+  in
+  Printf.printf
+    "instrumented (metrics + journal): %.3f s vs %.3f s bare (medians of %d \
+     pairs) = overhead ratio %.3f (results identical: %b)\n%!"
+    (median obs_walls) (median obs_bare_walls) obs_alternations obs_ratio
+    !obs_identical;
+  if not !obs_identical then
+    failwith "macro benchmark: instrumented run diverged from bare run";
   (* Replication-harness throughput: the same cluster as a replication
      batch, sequentially and fanned out over [jobs] domains, interleaved
      seq/par per alternation.  Replication k always draws from RNG
@@ -278,6 +370,7 @@ let run_macro ~jobs () =
     ("des_events_total", events);
     ("des_heap_high_water", float_of_int result.Cluster.Simulation.heap_high_water);
     ("macro_wall_seconds", wall);
+    ("obs_overhead_ratio", obs_ratio);
     ("reps_per_sec", reps_per_sec);
     ("reps_per_sec_serial", reps_per_sec_serial);
     ("parallel_speedup", speedup);

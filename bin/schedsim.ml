@@ -420,9 +420,49 @@ let run_cmd =
             "Print a progress line to stderr every $(docv) simulated seconds \
              (sim-time, arrivals, completions, events, wall-clock events/s).")
   in
+  let serve_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "serve" ] ~docv:"PORT"
+          ~doc:
+            "Serve live telemetry over HTTP on 127.0.0.1:$(docv) while the \
+             simulation runs: GET /metrics (Prometheus text exposition), \
+             /healthz, and /state (JSON per-computer gauges).  Port 0 picks \
+             an ephemeral port (printed to stderr).  Serving is passive — \
+             the run is bit-identical to the same seed without it.")
+  in
+  let journal_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Record a bounded structured run journal (sampled dispatch/\
+             queue-depth/completion/drop/rate records plus collector \
+             summary) and write it to $(docv); cross-validate with \
+             tracestat.")
+  in
+  let journal_capacity_t =
+    Arg.(
+      value
+      & opt int 4096
+      & info [ "journal-capacity" ] ~docv:"N"
+          ~doc:
+            "Maximum records the journal retains (memory stays O($(docv)); \
+             on overflow the sampling stride doubles).")
+  in
+  let journal_sample_t =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "journal-sample" ] ~docv:"K"
+          ~doc:"Initial systematic sampling stride: record every K-th event.")
+  in
   let run speeds rho policy seed scale discipline arrival_cv size_dist mean_size
       horizon warmup trace_file probe_file metrics_out trace_out stats_interval
-      mtbf mttr on_failure oblivious sanitize verbose =
+      serve_port journal_file journal_capacity journal_sample mtbf mttr
+      on_failure oblivious sanitize verbose =
     setup_logging verbose;
     try
       (match mtbf with
@@ -454,10 +494,29 @@ let run_cmd =
       in
       let trace = Option.map (fun _ -> Cluster.Trace.create ()) trace_file in
       let probe = Option.map (fun _ -> Cluster.Probe.create ()) probe_file in
+      let journal =
+        Option.map
+          (fun _ ->
+            Statsched_obs.Journal.create ~capacity:journal_capacity
+              ~sample_every:journal_sample ())
+          journal_file
+      in
       let telemetry =
-        match (metrics_out, trace_out) with
-        | None, None -> None
-        | _ -> Some (Cluster.Telemetry.create ~trace:(trace_out <> None) cfg)
+        match (metrics_out, trace_out, journal, serve_port) with
+        | None, None, None, None -> None
+        | _ -> Some (Cluster.Telemetry.create ~trace:(trace_out <> None) ?journal cfg)
+      in
+      let server =
+        match (serve_port, telemetry) with
+        | Some port, Some t ->
+          let srv = Cluster.Telemetry.serve t ~port in
+          Printf.eprintf
+            "serving telemetry on http://127.0.0.1:%d (/metrics /healthz \
+             /state)\n\
+             %!"
+            (Statsched_obs.Http.port srv);
+          Some srv
+        | _ -> None
       in
       (* Run both observers when a CSV trace and telemetry are requested
          together; neither perturbs the simulation. *)
@@ -489,6 +548,13 @@ let run_cmd =
       let result =
         Cluster.Simulation.run
           ?sanitize:(if sanitize then Some true else None)
+          (* Every CLI observer (Trace, Probe, Telemetry, the journal)
+             copies job fields out synchronously, so job-record recycling
+             can stay on. *)
+          ~hooks_retain_jobs:false
+          ?metric_histograms:(Option.map Cluster.Telemetry.histograms telemetry)
+          ?on_engine:
+            (Option.map (fun t e -> Cluster.Telemetry.set_engine t e) telemetry)
           ?on_dispatch:
             (chain
                (Option.map Cluster.Trace.on_dispatch trace)
@@ -532,12 +598,24 @@ let run_cmd =
           Printf.printf "metrics: %d series -> %s\n"
             (Cluster.Telemetry.metric_count t) path
         | None -> ());
+        (match journal_file with
+        | Some path ->
+          Cluster.Telemetry.write_journal t result path;
+          (match Cluster.Telemetry.journal t with
+          | Some j ->
+            Printf.printf "journal: %d records (stride %d) -> %s\n"
+              (Statsched_obs.Journal.length j)
+              (Statsched_obs.Journal.stride j)
+              path
+          | None -> ())
+        | None -> ());
         match trace_out with
         | Some path ->
           Cluster.Telemetry.write_trace t path;
           Printf.printf "trace-events: %d -> %s\n"
             (Cluster.Telemetry.trace_event_count t) path
         | None -> ());
+      Option.iter Statsched_obs.Http.stop server;
       print_result result;
       `Ok ()
     with
@@ -551,7 +629,8 @@ let run_cmd =
         (const run $ speeds_t $ rho_t $ scheduler_t $ seed_t $ scale_t
        $ discipline_t $ arrival_cv_t $ size_dist_t $ mean_size_t $ horizon_t
        $ warmup_t $ trace_t $ probe_t $ metrics_out_t $ trace_out_t
-       $ stats_interval_t $ mtbf_t $ mttr_t $ on_failure_t $ fault_oblivious_t
+       $ stats_interval_t $ serve_t $ journal_t $ journal_capacity_t
+       $ journal_sample_t $ mtbf_t $ mttr_t $ on_failure_t $ fault_oblivious_t
        $ sanitize_t $ verbose_t))
   in
   Cmd.v

@@ -13,18 +13,29 @@ type t = {
   rr_hist : Hdr.t;
 }
 
-let create ~warmup () =
+(* Canonical layouts: response times span unit-size jobs on fast
+   machines up to long waits under heavy load; ratios are
+   service-normalised so they sit near 1.  ~3% relative resolution at
+   the default sub_count. *)
+let make_rt_hist () = Hdr.create ~lo:1e-3 ~hi:1e7 ()
+let make_rr_hist () = Hdr.create ~lo:1e-3 ~hi:1e5 ()
+
+let create ?rt_hist ?rr_hist ~warmup () =
+  let pick make = function
+    | None -> make ()
+    | Some h ->
+      if not (Hdr.same_layout h (make ())) then
+        invalid_arg "Collector.create: histogram layout differs from canonical";
+      h
+  in
   {
     warmup;
     response_time = Welford.create ();
     response_ratio = Welford.create ();
     median = P2.create 0.5;
     p99 = P2.create 0.99;
-    (* Response times span unit-size jobs on fast machines up to long
-       waits under heavy load; ratios are service-normalised so they sit
-       near 1.  ~3% relative resolution at the default sub_count. *)
-    rt_hist = Hdr.create ~lo:1e-3 ~hi:1e7 ();
-    rr_hist = Hdr.create ~lo:1e-3 ~hi:1e5 ();
+    rt_hist = pick make_rt_hist rt_hist;
+    rr_hist = pick make_rr_hist rr_hist;
   }
 
 let on_departure t job =

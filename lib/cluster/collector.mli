@@ -9,8 +9,22 @@
 
 type t
 
-val create : warmup:float -> unit -> t
-(** Count only jobs with [arrival >= warmup]. *)
+val create :
+  ?rt_hist:Statsched_obs.Hdr_histogram.t ->
+  ?rr_hist:Statsched_obs.Hdr_histogram.t ->
+  warmup:float ->
+  unit ->
+  t
+(** Count only jobs with [arrival >= warmup].
+
+    [rt_hist]/[rr_hist] supply existing histograms for the collector to
+    accumulate into instead of creating its own — {!Telemetry} passes
+    its registered exporter histograms here so live scrapes read the
+    very objects the run metrics derive from, without a second
+    per-completion update.  They must use the canonical layouts
+    (response time [1e-3, 1e7), ratio [1e-3, 1e5), default sub_count).
+
+    @raise Invalid_argument if a supplied histogram's layout differs. *)
 
 val on_departure : t -> Statsched_queueing.Job.t -> unit
 (** Feed a completed job. *)

@@ -79,8 +79,9 @@ let up_indices eff =
   done;
   Array.of_list !up
 
-let run ?sanitize ?on_dispatch ?on_completion ?on_tick ?on_drop ?on_rate_change
-    ?on_progress cfg =
+let run ?sanitize ?(hooks_retain_jobs = true) ?metric_histograms ?on_engine
+    ?on_dispatch ?on_completion ?on_tick ?on_drop ?on_rate_change ?on_progress
+    cfg =
   Core.Speeds.validate cfg.speeds;
   if cfg.horizon <= 0.0 then invalid_arg "Simulation.run: horizon <= 0";
   if cfg.warmup < 0.0 || cfg.warmup >= cfg.horizon then
@@ -115,7 +116,13 @@ let run ?sanitize ?on_dispatch ?on_completion ?on_tick ?on_drop ?on_rate_change
   let fault_rng = Rng.split base in
 
   let engine = Engine.create () in
-  let collector = Collector.create ~warmup:cfg.warmup () in
+  (match on_engine with Some f -> f engine | None -> ());
+  let collector =
+    match metric_histograms with
+    | None -> Collector.create ~warmup:cfg.warmup ()
+    | Some (rt_hist, rr_hist) ->
+      Collector.create ~rt_hist ~rr_hist ~warmup:cfg.warmup ()
+  in
   let dispatched = Array.make n 0 in
   let completed = Array.make n 0 in
   let total_arrivals = ref 0 in
@@ -373,11 +380,15 @@ let run ?sanitize ?on_dispatch ?on_completion ?on_tick ?on_drop ?on_rate_change
      retain the record past its departure, and a recycled record mutates
      under such a reference.  The scheduler-internal observers above
      (collector, adaptive size accounting, least-load lag) all read
-     fields synchronously and never store the record. *)
+     fields synchronously and never store the record.  Callers whose
+     hooks also copy fields out synchronously (Trace, Telemetry, the
+     journal) pass [~hooks_retain_jobs:false] to keep recycling on. *)
   let job_pool = Q.Job.pool () in
   let recycle =
-    Option.is_none on_dispatch && Option.is_none on_completion
-    && Option.is_none on_drop
+    (not hooks_retain_jobs)
+    || Option.is_none on_dispatch
+       && Option.is_none on_completion
+       && Option.is_none on_drop
   in
   let servers =
     Array.init n (fun i ->

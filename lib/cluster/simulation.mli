@@ -104,6 +104,10 @@ type progress = {
 
 val run :
   ?sanitize:bool ->
+  ?hooks_retain_jobs:bool ->
+  ?metric_histograms:
+    Statsched_obs.Hdr_histogram.t * Statsched_obs.Hdr_histogram.t ->
+  ?on_engine:(Statsched_des.Engine.t -> unit) ->
   ?on_dispatch:(Statsched_queueing.Job.t -> unit) ->
   ?on_completion:(Statsched_queueing.Job.t -> unit) ->
   ?on_tick:float * (time:float -> queues:int array -> unit) ->
@@ -126,10 +130,29 @@ val run :
     (period, f)] calls [f] every [period] simulated seconds with run
     counters — the CLI's [--stats-interval] heartbeat plugs in here.
 
+    [metric_histograms ((rt, rr))] hands the run's {!Collector} existing
+    response-time/response-ratio histograms (canonical layouts) to
+    accumulate into instead of fresh ones — {!Telemetry.histograms}
+    plugs in here so a live [/metrics] scrape reads the collector's own
+    tail distributions with no duplicate per-completion update.
+
     All observers are passive: none draws random numbers, so metrics and
     completion order are bit-identical with or without them ([on_tick] /
     [on_progress] do add their own periodic events to the count
     {!result.events_executed} reports).
+
+    [hooks_retain_jobs] (default [true]) declares whether the job hooks
+    may retain a {!Statsched_queueing.Job.t} record past the callback.
+    With the safe default, installing any job hook disables the job
+    free-list (each job record stays valid forever); hooks that only
+    copy fields out synchronously — every observer in this library —
+    may pass [false] to keep zero-allocation record recycling on.
+    Either way the simulated trajectory is bit-identical.
+
+    [on_engine] is called once with the freshly created DES engine
+    before any event is scheduled — the live telemetry server captures
+    it to poll {!Statsched_des.Engine.snapshot} from its serving thread.
+    It must not schedule events or otherwise perturb the engine.
 
     [sanitize] turns on the runtime invariant checkers of {!Sanitize}
     (clock monotonicity, event-heap order, job conservation, allocation

@@ -3,6 +3,9 @@ module Registry = Statsched_obs.Registry
 module Trace_event = Statsched_obs.Trace_event
 module Hdr = Statsched_obs.Hdr_histogram
 module Clock = Statsched_obs.Clock
+module Journal = Statsched_obs.Journal
+module Http = Statsched_obs.Http
+module Engine = Statsched_des.Engine
 
 (* Trace lane layout: pid 0 holds one thread per computer carrying job
    spans (ts = arrival, dur = response time); pid 1 mirrors the
@@ -14,25 +17,45 @@ type t = {
   config : Simulation.config;
   registry : Registry.t;
   tracer : Trace_event.t option;
+  journal : Journal.t option;
   wall_start : float;
   dispatches : Registry.counter array;
   completions : Registry.counter array;
   drops : Registry.counter array;
+  (* Integer shadows of the three per-computer counter families: the
+     hot hooks read these for queue depth (and /state) instead of going
+     through boxed [counter_value] reads. *)
+  disp_n : int array;
+  comp_n : int array;
+  drop_n : int array;
+  (* Copies of [config] fields the hooks touch per event, hoisted out of
+     the nested record chain. *)
+  n_computers : int;
+  warmup : float;
   rate_changes : Registry.counter;
   rt_hist : Registry.histogram;
   rr_hist : Registry.histogram;
+  (* Set once [histograms] hands rt/rr to a run's collector: the
+     collector then feeds them and [on_completion] must not add a
+     second copy of each observation. *)
+  mutable hists_shared : bool;
   (* Current effective rate of each computer and when it last changed;
      integrates into capacity-weighted down-seconds. *)
   rate : float array;
   rate_since : float array;
   down_seconds : float array;
+  (* Live-state support for the /state endpoint: completed work per
+     computer (Σ job size, whole run) and the engine handle when the
+     caller passed [Simulation.run ~on_engine:(Telemetry.set_engine t)]. *)
+  work : floatarray;
+  mutable engine : Engine.t option;
 }
 
 let per_computer_family registry ~help name n =
   Array.init n (fun i ->
       Registry.counter registry ~help ~labels:[ ("computer", string_of_int i) ] name)
 
-let create ?(trace = false) (config : Simulation.config) =
+let create ?(trace = false) ?journal (config : Simulation.config) =
   let n = Array.length config.Simulation.speeds in
   let registry = Registry.create () in
   let tracer =
@@ -54,6 +77,7 @@ let create ?(trace = false) (config : Simulation.config) =
     config;
     registry;
     tracer;
+    journal;
     wall_start = Clock.now ();
     dispatches =
       per_computer_family registry "statsched_jobs_dispatched_total" n
@@ -64,6 +88,11 @@ let create ?(trace = false) (config : Simulation.config) =
     drops =
       per_computer_family registry "statsched_jobs_dropped_total" n
         ~help:"In-flight jobs lost to a crash of this computer";
+    disp_n = Array.make n 0;
+    comp_n = Array.make n 0;
+    drop_n = Array.make n 0;
+    n_computers = n;
+    warmup = config.Simulation.warmup;
     rate_changes =
       Registry.counter registry "statsched_fault_rate_changes_total"
         ~help:"Effective-speed changes applied by the fault plan";
@@ -75,28 +104,74 @@ let create ?(trace = false) (config : Simulation.config) =
     rr_hist =
       Registry.histogram registry "statsched_response_ratio" ~lo:1e-3 ~hi:1e5
         ~help:"Response ratio (response time / service demand) of measured jobs";
+    hists_shared = false;
     rate = Array.make n 1.0;
     rate_since = Array.make n 0.0;
     down_seconds = Array.make n 0.0;
+    work = Float.Array.make n 0.0;
+    engine = None;
   }
 
 let registry t = t.registry
 let metric_count t = Registry.metric_count t.registry
+
+let histograms t =
+  t.hists_shared <- true;
+  (t.rt_hist, t.rr_hist)
 let trace_event_count t =
   match t.tracer with None -> 0 | Some tr -> Trace_event.event_count tr
 
+(* The hot hooks count dispatches/completions/drops only in the flat
+   integer shadows; [sync_counters] brings the exported counter cells up
+   to date on every read path (scrape, export, finalize), so the
+   per-event hooks carry no registry writes at all. *)
+let sync_counters t =
+  for i = 0 to t.n_computers - 1 do
+    let sync cells shadow =
+      let c = Array.unsafe_get cells i in
+      let v = float_of_int (Array.unsafe_get shadow i) in
+      Registry.inc_by c (v -. Registry.counter_value c)
+    in
+    sync t.dispatches t.disp_n;
+    sync t.completions t.comp_n;
+    sync t.drops t.drop_n
+  done
+
 let on_dispatch t job =
   let i = job.Job.computer in
-  if i >= 0 && i < Array.length t.dispatches then Registry.inc t.dispatches.(i)
+  if i >= 0 && i < t.n_computers then begin
+    let d = Array.unsafe_get t.disp_n i + 1 in
+    Array.unsafe_set t.disp_n i d;
+    match t.journal with
+    | None -> ()
+    | Some j ->
+      Journal.record_dispatch j ~id:job.Job.id ~computer:i ~time:job.Job.arrival;
+      (* Instantaneous run-queue depth of the target, right after this
+         dispatch: in-flight = dispatched − completed − dropped. *)
+      let depth = d - Array.unsafe_get t.comp_n i - Array.unsafe_get t.drop_n i in
+      Journal.record_queue j ~depth ~computer:i ~time:job.Job.arrival
+  end
 
 let on_completion t job =
   let i = job.Job.computer in
-  if i >= 0 && i < Array.length t.completions then Registry.inc t.completions.(i);
-  let measured = job.Job.arrival >= t.config.Simulation.warmup in
-  if measured then begin
-    Hdr.add t.rt_hist (Job.response_time job);
-    Hdr.add t.rr_hist (Job.response_ratio job)
+  if i >= 0 && i < t.n_computers then begin
+    Array.unsafe_set t.comp_n i (Array.unsafe_get t.comp_n i + 1);
+    Float.Array.unsafe_set t.work i (Float.Array.unsafe_get t.work i +. job.Job.size)
   end;
+  let measured = job.Job.arrival >= t.warmup in
+  (* When the run's collector owns the histograms it has already added
+     this completion; the fallback below only covers hook-only use. *)
+  if measured && not t.hists_shared then begin
+    let rt = Job.response_time job in
+    Hdr.add t.rt_hist rt;
+    Hdr.add t.rr_hist (rt /. job.Job.size)
+  end;
+  (match t.journal with
+  | Some j when i >= 0 && i < t.n_computers ->
+    Journal.record_completion j ~id:job.Job.id ~computer:i
+      ~arrival:job.Job.arrival ~start:job.Job.start
+      ~completion:job.Job.completion ~size:job.Job.size
+  | Some _ | None -> ());
   match t.tracer with
   | None -> ()
   | Some tr ->
@@ -115,8 +190,14 @@ let on_completion t job =
 
 let on_drop t job =
   let i = job.Job.computer in
-  if i >= 0 && i < Array.length t.drops then begin
-    Registry.inc t.drops.(i);
+  if i >= 0 && i < t.n_computers then begin
+    Array.unsafe_set t.drop_n i (Array.unsafe_get t.drop_n i + 1);
+    (match t.journal with
+    | Some j ->
+      (* Drops only happen while the triggering rate change is being
+         applied, so the computer's last-change instant is "now". *)
+      Journal.record_drop j ~id:job.Job.id ~computer:i ~time:t.rate_since.(i)
+    | None -> ());
     match t.tracer with
     | None -> ()
     | Some tr ->
@@ -145,12 +226,16 @@ let close_capacity_span t ~computer ~since ~until ~prev =
 
 let on_rate_change t ~time ~computer ~rate =
   Registry.inc t.rate_changes;
+  (match t.journal with
+  | Some j -> Journal.record_rate j ~computer ~time ~rate
+  | None -> ());
   close_capacity_span t ~computer ~since:t.rate_since.(computer) ~until:time
     ~prev:t.rate.(computer);
   t.rate.(computer) <- rate;
   t.rate_since.(computer) <- time
 
 let finalize t (result : Simulation.result) =
+  sync_counters t;
   let cfg = t.config in
   let n = Array.length cfg.Simulation.speeds in
   let horizon = cfg.Simulation.horizon in
@@ -215,9 +300,128 @@ let finalize t (result : Simulation.result) =
     (if wall > 0.0 then float_of_int result.Simulation.events_executed /. wall
      else 0.0)
 
-let write_metrics t path = Registry.write_prometheus t.registry path
+let write_metrics t path =
+  sync_counters t;
+  Registry.write_prometheus t.registry path
 
 let write_trace t path =
   match t.tracer with
   | None -> ()
   | Some tr -> Trace_event.write_json tr path
+
+(* ------------------------------------------------------------------ *)
+(* Live state and the in-process HTTP server                           *)
+
+let set_engine t engine = t.engine <- Some engine
+let journal t = t.journal
+
+let json_num buf x =
+  if Float.is_finite x then Buffer.add_string buf (Printf.sprintf "%.17g" x)
+  else Buffer.add_string buf "null"
+
+let state_json t =
+  let cfg = t.config in
+  let n = Array.length cfg.Simulation.speeds in
+  let sim_time, events, pending =
+    match t.engine with
+    | Some e ->
+      let s = Engine.snapshot e in
+      (s.Engine.snap_now, s.Engine.snap_events_executed, s.Engine.snap_pending)
+    | None -> (0.0, 0, 0)
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"sim_time\":%s,\"events_executed\":%d,\"pending_events\":%d,\"computers\":["
+       (if Float.is_finite sim_time then Printf.sprintf "%.17g" sim_time
+        else "null")
+       events pending);
+  for i = 0 to n - 1 do
+    if i > 0 then Buffer.add_char buf ',';
+    let d = t.disp_n.(i) and c = t.comp_n.(i) and x = t.drop_n.(i) in
+    let speed = cfg.Simulation.speeds.(i) in
+    let busy = Float.Array.get t.work i /. speed in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "{\"computer\":%d,\"speed\":%g,\"rate\":%g,\"queue_depth\":%d,\"dispatched\":%d,\"completed\":%d,\"dropped\":%d,\"busy_seconds\":"
+         i speed t.rate.(i) (d - c - x) d c x);
+    json_num buf busy;
+    Buffer.add_string buf ",\"utilization\":";
+    json_num buf (if sim_time > 0.0 then busy /. sim_time else 0.0);
+    Buffer.add_string buf ",\"down_seconds\":";
+    json_num buf t.down_seconds.(i);
+    Buffer.add_char buf '}'
+  done;
+  Buffer.add_string buf "],\"journal\":";
+  (match t.journal with
+  | None -> Buffer.add_string buf "null"
+  | Some j ->
+    Buffer.add_string buf
+      (Printf.sprintf "{\"records\":%d,\"capacity\":%d,\"stride\":%d}"
+         (Journal.length j) (Journal.capacity j) (Journal.stride j)));
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let prometheus_content_type = "text/plain; version=0.0.4; charset=utf-8"
+
+let serve ?addr t ~port =
+  Http.serve ?addr ~port (fun path ->
+      match path with
+      | "/metrics" ->
+        sync_counters t;
+        Some
+          {
+            Http.status = 200;
+            content_type = prometheus_content_type;
+            body = Registry.to_prometheus t.registry;
+          }
+      | "/healthz" -> Some (Http.text "ok\n")
+      | "/state" -> Some (Http.json (state_json t))
+      | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Journal persistence                                                 *)
+
+let f17 = Printf.sprintf "%.17g"
+
+let write_journal t (result : Simulation.result) path =
+  match t.journal with
+  | None -> ()
+  | Some j ->
+    let cfg = t.config in
+    let speeds = cfg.Simulation.speeds in
+    let meta =
+      [
+        ("scheduler", result.Simulation.scheduler_name);
+        ( "speeds",
+          String.concat ","
+            (Array.to_list (Array.map (Printf.sprintf "%g") speeds)) );
+        ("horizon", f17 cfg.Simulation.horizon);
+        ("warmup", f17 cfg.Simulation.warmup);
+        ("seed", Int64.to_string cfg.Simulation.seed);
+        ("replication", string_of_int cfg.Simulation.replication);
+      ]
+    in
+    let m = result.Simulation.metrics in
+    let per_computer =
+      List.concat
+        (List.init (Array.length speeds) (fun i ->
+             let pc = result.Simulation.per_computer.(i) in
+             [
+               (Printf.sprintf "utilization_%d" i, f17 pc.Simulation.utilization);
+               ( Printf.sprintf "dispatch_fraction_%d" i,
+                 f17 result.Simulation.dispatch_fractions.(i) );
+             ]))
+    in
+    let summary =
+      [
+        ("mean_response_time", f17 m.Statsched_core.Metrics.mean_response_time);
+        ("mean_response_ratio", f17 m.Statsched_core.Metrics.mean_response_ratio);
+        ("jobs_measured", string_of_int m.Statsched_core.Metrics.jobs);
+        ("availability", f17 m.Statsched_core.Metrics.availability);
+        ("lost_jobs", string_of_int m.Statsched_core.Metrics.lost_jobs);
+        ("total_arrivals", string_of_int result.Simulation.total_arrivals);
+        ("events_executed", string_of_int result.Simulation.events_executed);
+      ]
+      @ per_computer
+    in
+    Journal.write ~meta ~summary j path

@@ -15,9 +15,12 @@
 
 type t
 
-val create : ?trace:bool -> Simulation.config -> t
+val create : ?trace:bool -> ?journal:Statsched_obs.Journal.t -> Simulation.config -> t
 (** [trace] (default false) additionally records per-job spans and
-    computer up/down intervals for Perfetto; metrics are always on. *)
+    computer up/down intervals for Perfetto; metrics are always on.
+    [journal] tees every hook into a bounded structured run journal
+    (dispatch/queue-depth/completion/drop/rate records, systematically
+    sampled) — see {!Statsched_obs.Journal}. *)
 
 val on_dispatch : t -> Statsched_queueing.Job.t -> unit
 val on_completion : t -> Statsched_queueing.Job.t -> unit
@@ -31,6 +34,20 @@ val finalize : t -> Simulation.result -> unit
     {!Simulation.run} returns. *)
 
 val registry : t -> Statsched_obs.Registry.t
+(** The hot hooks count dispatches/completions/drops in flat integer
+    shadows only; the exported counter cells are brought up to date on
+    every read path ({!serve}'s [/metrics], {!write_metrics},
+    {!finalize}).  Render this registry directly mid-run and the
+    per-computer job counters may lag the shadows. *)
+
+val histograms :
+  t -> Statsched_obs.Hdr_histogram.t * Statsched_obs.Hdr_histogram.t
+(** The registered response-time and response-ratio exporter histograms,
+    for [Simulation.run ~metric_histograms:(Telemetry.histograms t)]:
+    the run's collector then accumulates straight into the exported
+    series (live scrapes read the collector's own tail distributions)
+    and {!on_completion} skips its fallback per-completion update.
+    Without this wiring the hooks fill the histograms themselves. *)
 
 val metric_count : t -> int
 
@@ -42,3 +59,40 @@ val write_metrics : t -> string -> unit
 
 val write_trace : t -> string -> unit
 (** Chrome trace-event JSON to a file; no-op when tracing is off. *)
+
+(** {2 Live observation}
+
+    The live surface reads only what the passive hooks already maintain
+    (plus {!Statsched_des.Engine.snapshot} when an engine was attached):
+    serving never mutates simulation state, draws randomness, or
+    schedules events, so a served run is bit-identical to an unserved
+    one under the same seed. *)
+
+val set_engine : t -> Statsched_des.Engine.t -> unit
+(** Attach the run's DES engine so {!state_json} can report live
+    simulation time and event counts.  Pass as
+    [Simulation.run ~on_engine:(Telemetry.set_engine t)]. *)
+
+val journal : t -> Statsched_obs.Journal.t option
+
+val state_json : t -> string
+(** One JSON object with run progress ([sim_time], [events_executed],
+    [pending_events] — zero until {!set_engine}) and per-computer live
+    gauges: current effective [rate], instantaneous [queue_depth]
+    (dispatched − completed − dropped), cumulative dispatch/completion/
+    drop counts, [busy_seconds] (completed work over nominal speed) and
+    the derived whole-run [utilization], plus journal occupancy. *)
+
+val serve : ?addr:string -> t -> port:int -> Statsched_obs.Http.t
+(** Start the in-process telemetry server (background systhread; see
+    {!Statsched_obs.Http}) answering [GET /metrics] (Prometheus text
+    exposition of {!registry}), [GET /healthz] ([ok]) and [GET /state]
+    ({!state_json}).  [port = 0] picks an ephemeral port; stop with
+    {!Statsched_obs.Http.stop}. *)
+
+val write_journal : t -> Simulation.result -> string -> unit
+(** Write the journal (atomically) with run-configuration [meta] lines
+    and collector-side [summary] lines — mean response time/ratio,
+    per-computer utilizations and dispatch fractions — so
+    [tools/tracestat] can cross-validate the two against each other.
+    No-op when the telemetry was created without a journal. *)

@@ -58,6 +58,21 @@ let run ?until e =
 
 let events_executed e = e.executed
 
+type snapshot = {
+  snap_now : float;
+  snap_events_executed : int;
+  snap_pending : int;
+  snap_heap_high_water : int;
+}
+
+let snapshot e =
+  {
+    snap_now = now e;
+    snap_events_executed = e.executed;
+    snap_pending = Event_queue.size e.queue;
+    snap_heap_high_water = Event_queue.high_water e.queue;
+  }
+
 let heap_ordered e = Event_queue.heap_ordered e.queue
 
 let heap_high_water e = Event_queue.high_water e.queue

@@ -47,6 +47,22 @@ val run : ?until:float -> t -> unit
 val events_executed : t -> int
 (** Total callbacks fired since creation (instrumentation). *)
 
+type snapshot = {
+  snap_now : float;
+  snap_events_executed : int;
+  snap_pending : int;
+  snap_heap_high_water : int;
+}
+(** A point-in-time view of the engine's progress counters. *)
+
+val snapshot : t -> snapshot
+(** Read the clock and instrumentation counters in one call — the live
+    telemetry server polls this from its serving systhread while the
+    simulation runs on the main one (systhreads interleave under the
+    runtime lock, so the reads are well-defined; the snapshot may lag
+    the very latest event by a few callbacks, which is fine for
+    monitoring). *)
+
 val heap_high_water : t -> int
 (** High-water mark of the future-event list: the largest number of
     pending events observed at any point (instrumentation — a proxy for

@@ -17,3 +17,9 @@ val now : unit -> float
 val elapsed : since:float -> float
 (** [elapsed ~since] is [now () -. since], clamped to be non-negative
     (NTP steps can move the wall clock backwards). *)
+
+val cpu : unit -> float
+(** Processor time consumed by this process, in seconds.  Unlike
+    {!now}, immune to co-tenant CPU steal — the benchmark harness uses
+    it to measure instrumentation overhead as extra work done rather
+    than extra wall time elapsed. *)

@@ -12,6 +12,10 @@ type t = {
   lo : float;
   hi : float;
   sub_count : int;
+  (* When [sub_count] is a power of two, the shift that brings the top
+     log2(sub_count) mantissa bits of r = x/lo into place (see
+     [index_of]); -1 otherwise. *)
+  sub_shift : int;
   counts : int array;
   mutable under : int;
   mutable over : int;
@@ -24,10 +28,19 @@ let create ?(sub_count = 32) ~lo ~hi () =
   if not (hi > lo) then invalid_arg "Hdr_histogram.create: hi <= lo";
   if sub_count <= 0 then invalid_arg "Hdr_histogram.create: sub_count <= 0";
   let octaves = max 1 (int_of_float (ceil (log (hi /. lo) /. log 2.0))) in
+  let sub_shift =
+    if sub_count land (sub_count - 1) <> 0 then -1
+    else begin
+      let log2 = ref 0 in
+      while 1 lsl !log2 < sub_count do incr log2 done;
+      52 - !log2
+    end
+  in
   {
     lo;
     hi;
     sub_count;
+    sub_shift;
     counts = Array.make (octaves * sub_count) 0;
     under = 0;
     over = 0;
@@ -51,17 +64,31 @@ let bin_count h = Array.length h.counts
    allocates a tuple and a boxed mantissa per call) keeps [add]
    allocation-free; multiplying by the exact power 2^-E is lossless, so
    the bin is bit-identical to what frexp produced. *)
-let index_of h x =
+let[@inline] index_of h x =
   let r = x /. h.lo in
-  let e = Int64.to_int (Int64.shift_right_logical (Int64.bits_of_float r) 52) - 1023 in
-  let pow2_neg_e = Int64.float_of_bits (Int64.shift_left (Int64.of_int (1023 - e)) 52) in
-  let frac = (r *. pow2_neg_e) -. 1.0 in
-  let sub = min (h.sub_count - 1) (int_of_float (frac *. float_of_int h.sub_count)) in
+  let bits = Int64.bits_of_float r in
+  let e = Int64.to_int (Int64.shift_right_logical bits 52) - 1023 in
+  let sub =
+    if h.sub_shift >= 0 then
+      (* Power-of-two sub_count: with f = 1 + m/2^52 the sub-bucket
+         floor((f-1)·sub_count) is exactly the top log2(sub_count)
+         mantissa bits — same result as the float path below (the
+         scaling there is exact), minus its long float↔int round-trip. *)
+      Int64.to_int (Int64.shift_right_logical bits h.sub_shift)
+      land (h.sub_count - 1)
+    else begin
+      let pow2_neg_e = Int64.float_of_bits (Int64.shift_left (Int64.of_int (1023 - e)) 52) in
+      let frac = (r *. pow2_neg_e) -. 1.0 in
+      min (h.sub_count - 1) (int_of_float (frac *. float_of_int h.sub_count))
+    end
+  in
   min (bin_count h - 1) ((e * h.sub_count) + sub)
 
 let bin_index h x = if x < h.lo || x >= h.hi then None else Some (index_of h x)
 
-let[@schedsim.hot] add h x =
+(* [@inline] keeps the observation unboxed at the call site — [add] runs
+   once or twice per completed job in telemetry hooks. *)
+let[@inline] [@schedsim.hot] add h x =
   if Float.is_nan x then invalid_arg "Hdr_histogram.add: NaN observation";
   h.total <- h.total + 1;
   h.acc.sum <- h.acc.sum +. x;
@@ -70,8 +97,10 @@ let[@schedsim.hot] add h x =
   if x < h.lo then h.under <- h.under + 1
   else if x >= h.hi then h.over <- h.over + 1
   else begin
+    (* x in [lo, hi) makes e >= 0 and sub >= 0, and [index_of] clamps to
+       bin_count - 1, so i is a valid index. *)
     let i = index_of h x in
-    h.counts.(i) <- h.counts.(i) + 1
+    Array.unsafe_set h.counts i (Array.unsafe_get h.counts i + 1)
   end
 
 let count h = h.total

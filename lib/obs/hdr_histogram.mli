@@ -66,6 +66,10 @@ val bin_value : t -> int -> int
 val bin_index : t -> float -> int option
 (** Containing bin of a value, [None] if outside [\[lo, hi)]. *)
 
+val same_layout : t -> t -> bool
+(** Whether two histograms share [lo], [hi] and [sub_count] (and so can
+    be merged exactly). *)
+
 val merge : into:t -> t -> unit
 (** [merge ~into src] adds every recorded observation of [src] to [into]
     exactly (bucket-wise).

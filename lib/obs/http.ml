@@ -1,0 +1,161 @@
+type response = { status : int; content_type : string; body : string }
+
+let text ?(status = 200) body =
+  { status; content_type = "text/plain; charset=utf-8"; body }
+
+let json ?(status = 200) body =
+  { status; content_type = "application/json"; body }
+
+type t = {
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  thread : Thread.t;
+  stopping : bool Atomic.t;
+}
+
+let reason = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 500 -> "Internal Server Error"
+  | _ -> "Status"
+
+let write_all fd s =
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    match Unix.write_substring fd s !off (n - !off) with
+    | written -> off := !off + written
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let send fd { status; content_type; body } =
+  let head =
+    Printf.sprintf
+      "HTTP/1.1 %d %s\r\n\
+       Content-Type: %s\r\n\
+       Content-Length: %d\r\n\
+       Connection: close\r\n\
+       \r\n"
+      status (reason status) content_type (String.length body)
+  in
+  write_all fd (head ^ body)
+
+(* Read until the end of the header block (blank line), EOF, or a size
+   cap; we only ever need the request line but draining the headers
+   avoids resetting clients that are still mid-send when we respond. *)
+let read_request fd =
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 1024 in
+  let rec loop () =
+    if Buffer.length buf > 16384 then Buffer.contents buf
+    else
+      let seen_end =
+        let s = Buffer.contents buf in
+        let module S = String in
+        (* index_opt-based substring search is overkill; headers end is
+           always "\r\n\r\n" *)
+        let rec find i =
+          if i + 3 >= S.length s then false
+          else if
+            Char.equal s.[i] '\r'
+            && Char.equal s.[i + 1] '\n'
+            && Char.equal s.[i + 2] '\r'
+            && Char.equal s.[i + 3] '\n'
+          then true
+          else find (i + 1)
+        in
+        find 0
+      in
+      if seen_end then Buffer.contents buf
+      else
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> Buffer.contents buf
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          loop ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+  in
+  loop ()
+
+let parse_request_line raw =
+  match String.index_opt raw '\n' with
+  | None -> None
+  | Some eol ->
+    let line = String.trim (String.sub raw 0 eol) in
+    (match String.split_on_char ' ' line with
+    | [ meth; target; _version ] ->
+      (* Strip any query string: routes key on the path alone. *)
+      let path =
+        match String.index_opt target '?' with
+        | None -> target
+        | Some q -> String.sub target 0 q
+      in
+      Some (meth, path)
+    | _ -> None)
+
+let handle routes fd =
+  let resp =
+    match parse_request_line (read_request fd) with
+    | None -> text ~status:400 "bad request\n"
+    | Some ("GET", path) -> (
+      match routes path with
+      | Some r -> r
+      | None -> text ~status:404 "not found\n"
+      | exception _ -> text ~status:500 "internal error\n")
+    | Some (_, _) -> text ~status:405 "method not allowed\n"
+  in
+  try send fd resp with Unix.Unix_error (_, _, _) -> ()
+
+(* The loop polls a stop flag between short [select] waits rather than
+   blocking in [accept]: closing a file descriptor does not wake a
+   thread already blocked in accept(2), so a pure accept loop could
+   never be joined. *)
+let accept_loop (listen_fd, stopping, routes) =
+  let continue = ref true in
+  while !continue && not (Atomic.get stopping) do
+    match Unix.select [ listen_fd ] [] [] 0.2 with
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+      match Unix.accept ~cloexec:true listen_fd with
+      | client, _ ->
+        Fun.protect
+          ~finally:(fun () ->
+            try Unix.close client with Unix.Unix_error _ -> ())
+          (fun () -> handle routes client)
+      | exception
+          Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+        ->
+        ()
+      | exception Unix.Unix_error (_, _, _) -> continue := false)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (_, _, _) -> continue := false
+  done
+
+let serve ?(addr = "127.0.0.1") ~port routes =
+  let listen_fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+     Unix.bind listen_fd
+       (Unix.ADDR_INET (Unix.inet_addr_of_string addr, port));
+     Unix.listen listen_fd 16
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     raise e);
+  let bound_port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> port
+  in
+  let stopping = Atomic.make false in
+  let thread = Thread.create accept_loop (listen_fd, stopping, routes) in
+  { listen_fd; bound_port; thread; stopping }
+
+let port t = t.bound_port
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    Thread.join t.thread;
+    try Unix.close t.listen_fd with Unix.Unix_error _ -> ()
+  end

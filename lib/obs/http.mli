@@ -1,0 +1,46 @@
+(** Minimal dependency-free HTTP/1.1 server for live telemetry.
+
+    A {!t} owns a loopback TCP listening socket and a background
+    systhread that accepts one connection at a time, parses the request
+    line, and answers from a user routing callback.  It is deliberately
+    tiny: [GET] only, [Connection: close] on every response, no keep-
+    alive, no TLS — just enough to let Prometheus or [curl] scrape a
+    running simulation.
+
+    Because OCaml systhreads share one domain and the accept/read/write
+    syscalls release the runtime lock, serving never runs concurrently
+    with simulation code at the machine level: the routing callback
+    observes a consistent heap and cannot perturb the run (it must not
+    mutate simulation state or draw random numbers). *)
+
+type t
+
+type response = {
+  status : int;  (** e.g. [200], [404] *)
+  content_type : string;  (** e.g. ["text/plain; version=0.0.4"] *)
+  body : string;
+}
+
+val text : ?status:int -> string -> response
+(** [text body] is a [text/plain; charset=utf-8] response (default 200). *)
+
+val json : ?status:int -> string -> response
+(** [json body] is an [application/json] response (default 200). *)
+
+val serve : ?addr:string -> port:int -> (string -> response option) -> t
+(** [serve ~port routes] binds [addr] (default ["127.0.0.1"]) : [port]
+    ([port = 0] picks an ephemeral port — see {!port}), starts the
+    accept thread, and answers each [GET path] request with
+    [routes path]; [None] becomes a 404.  Non-GET methods get a 405 and
+    malformed requests a 400.  A routing callback that raises yields a
+    500 to the client and keeps the server alive.
+
+    @raise Unix.Unix_error if the address can't be bound (e.g. port in
+    use). *)
+
+val port : t -> int
+(** The bound port — the actual one when [serve] was given port 0. *)
+
+val stop : t -> unit
+(** Close the listening socket and join the accept thread.  In-flight
+    responses finish; subsequent connections are refused.  Idempotent. *)

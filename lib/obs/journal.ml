@@ -1,0 +1,301 @@
+type kind = Dispatch | Queue | Completion | Drop | Rate
+
+let kinds = 5
+
+let kind_index = function
+  | Dispatch -> 0
+  | Queue -> 1
+  | Completion -> 2
+  | Drop -> 3
+  | Rate -> 4
+
+let kind_tag = [| 'D'; 'Q'; 'C'; 'X'; 'R' |]
+let kind_name = [| "dispatch"; "queue"; "completion"; "drop"; "rate" |]
+
+(* Record storage: one 8-double-wide slot per record in a single
+   floatarray (64 bytes, about one cache line — recording a sample
+   touches one line where per-field columns would touch five or six).
+   Integer fields ride in doubles; every value stored is far below
+   2^53, so the round-trip through [float_of_int]/[int_of_float] is
+   exact.  Field use per kind (unused fields are never read back):
+
+     kind        +0 (i0)  +1 (i1)   +2 (f0)  +3 (f1)  +4 (f2)     +5 (f3)
+     Dispatch    id       computer  time
+     Queue       depth    computer  time
+     Completion  id       computer  arrival  start    completion  size
+     Drop        id       computer  time
+     Rate        0        computer  time     rate                          *)
+let slot_width = 8
+
+type t = {
+  capacity : int;
+  kind : Bytes.t;
+  slots : floatarray;
+  mutable len : int;
+  mutable stride : int;
+  seen : int array;  (* per kind: events offered, sampled or not *)
+  (* Next ordinal of each stream that will be sampled — the smallest
+     multiple of [stride] not yet seen.  Lets [claim] decide with one
+     compare instead of [seen mod stride] (an integer division) on
+     every event. *)
+  next_due : int array;
+}
+
+let create ?(capacity = 4096) ?(sample_every = 1) () =
+  if capacity < 16 then invalid_arg "Journal.create: capacity < 16";
+  if sample_every < 1 then invalid_arg "Journal.create: sample_every < 1";
+  {
+    capacity;
+    kind = Bytes.make capacity '\000';
+    slots = Float.Array.make (capacity * slot_width) 0.0;
+    len = 0;
+    stride = sample_every;
+    seen = Array.make kinds 0;
+    next_due = Array.make kinds 0;
+  }
+
+(* Overflow: keep every other retained record of each stream (so kept
+   ordinals 0, k, 2k, … become 0, 2k, 4k, …) and double the stride; the
+   predicate [seen mod stride = 0] then continues the same systematic
+   grid.  In place, amortised over capacity/2 subsequent records. *)
+let[@schedsim.cold] compact t =
+  let parity = Array.make kinds 0 in
+  let w = ref 0 in
+  for r = 0 to t.len - 1 do
+    let k = Char.code (Bytes.unsafe_get t.kind r) in
+    let p = Array.unsafe_get parity k in
+    Array.unsafe_set parity k (p + 1);
+    if p land 1 = 0 then begin
+      let d = !w in
+      if d <> r then begin
+        Bytes.unsafe_set t.kind d (Bytes.unsafe_get t.kind r);
+        let src = r * slot_width and dst = d * slot_width in
+        Float.Array.unsafe_set t.slots dst (Float.Array.unsafe_get t.slots src);
+        Float.Array.unsafe_set t.slots (dst + 1)
+          (Float.Array.unsafe_get t.slots (src + 1));
+        Float.Array.unsafe_set t.slots (dst + 2)
+          (Float.Array.unsafe_get t.slots (src + 2));
+        (* Only completion (2) and rate (4) records use the last three. *)
+        if k = 2 || k = 4 then begin
+          Float.Array.unsafe_set t.slots (dst + 3)
+            (Float.Array.unsafe_get t.slots (src + 3));
+          Float.Array.unsafe_set t.slots (dst + 4)
+            (Float.Array.unsafe_get t.slots (src + 4));
+          Float.Array.unsafe_set t.slots (dst + 5)
+            (Float.Array.unsafe_get t.slots (src + 5))
+        end
+      end;
+      incr w
+    end
+  done;
+  t.len <- !w;
+  t.stride <- t.stride * 2;
+  (* Re-aim every stream at the smallest multiple of the doubled stride
+     it has not yet reached. *)
+  let s = t.stride in
+  for k = 0 to kinds - 1 do
+    t.next_due.(k) <- (t.seen.(k) + s - 1) / s * s
+  done
+
+(* Slow path of [claim], taken once per [stride] events: the current
+   ordinal [c] is due, so allocate its slot and schedule the next one. *)
+let claim_due t k c =
+  if t.len = t.capacity then compact t;
+  (* After a compact the stride has doubled and [next_due] was re-aimed
+     from [seen] (= c + 1); without one, the next due ordinal is simply
+     one stride ahead.  Both equal this expression. *)
+  let s = t.stride in
+  Array.unsafe_set t.next_due k (((c / s) + 1) * s);
+  let slot = t.len in
+  t.len <- slot + 1;
+  Bytes.unsafe_set t.kind slot (Char.unsafe_chr k);
+  slot
+
+(* Returns the slot index to fill, or -1 when this event is not sampled.
+   Bumps the stream's seen counter either way. *)
+let[@inline] [@schedsim.hot] claim t k =
+  let c = Array.unsafe_get t.seen k in
+  Array.unsafe_set t.seen k (c + 1);
+  if c <> Array.unsafe_get t.next_due k then -1 else claim_due t k c
+
+let[@inline] [@schedsim.hot] record_dispatch t ~id ~computer ~time =
+  let slot = claim t 0 in
+  if slot >= 0 then begin
+    let b = slot * slot_width in
+    Float.Array.unsafe_set t.slots b (float_of_int id);
+    Float.Array.unsafe_set t.slots (b + 1) (float_of_int computer);
+    Float.Array.unsafe_set t.slots (b + 2) time
+    (* Fields +3..+5 are never read for this kind: [record_at] and the
+       writer only consult them for completion and rate records. *)
+  end
+
+let[@inline] [@schedsim.hot] record_queue t ~depth ~computer ~time =
+  let slot = claim t 1 in
+  if slot >= 0 then begin
+    let b = slot * slot_width in
+    Float.Array.unsafe_set t.slots b (float_of_int depth);
+    Float.Array.unsafe_set t.slots (b + 1) (float_of_int computer);
+    Float.Array.unsafe_set t.slots (b + 2) time
+  end
+
+let[@inline] [@schedsim.hot] record_completion t ~id ~computer ~arrival ~start ~completion
+    ~size =
+  let slot = claim t 2 in
+  if slot >= 0 then begin
+    let b = slot * slot_width in
+    Float.Array.unsafe_set t.slots b (float_of_int id);
+    Float.Array.unsafe_set t.slots (b + 1) (float_of_int computer);
+    Float.Array.unsafe_set t.slots (b + 2) arrival;
+    Float.Array.unsafe_set t.slots (b + 3) start;
+    Float.Array.unsafe_set t.slots (b + 4) completion;
+    Float.Array.unsafe_set t.slots (b + 5) size
+  end
+
+let[@inline] [@schedsim.hot] record_drop t ~id ~computer ~time =
+  let slot = claim t 3 in
+  if slot >= 0 then begin
+    let b = slot * slot_width in
+    Float.Array.unsafe_set t.slots b (float_of_int id);
+    Float.Array.unsafe_set t.slots (b + 1) (float_of_int computer);
+    Float.Array.unsafe_set t.slots (b + 2) time
+  end
+
+let[@inline] [@schedsim.hot] record_rate t ~computer ~time ~rate =
+  let slot = claim t 4 in
+  if slot >= 0 then begin
+    let b = slot * slot_width in
+    Float.Array.unsafe_set t.slots b 0.0;
+    Float.Array.unsafe_set t.slots (b + 1) (float_of_int computer);
+    Float.Array.unsafe_set t.slots (b + 2) time;
+    Float.Array.unsafe_set t.slots (b + 3) rate
+  end
+
+let length t = t.len
+let capacity t = t.capacity
+let stride t = t.stride
+let seen t k = t.seen.(kind_index k)
+
+let kept t k =
+  let ki = kind_index k in
+  let n = ref 0 in
+  for r = 0 to t.len - 1 do
+    if Char.code (Bytes.get t.kind r) = ki then incr n
+  done;
+  !n
+
+type record =
+  | Dispatch_r of { id : int; computer : int; time : float }
+  | Queue_r of { depth : int; computer : int; time : float }
+  | Completion_r of {
+      id : int;
+      computer : int;
+      arrival : float;
+      start : float;
+      completion : float;
+      size : float;
+    }
+  | Drop_r of { id : int; computer : int; time : float }
+  | Rate_r of { computer : int; time : float; rate : float }
+
+let record_at t r =
+  if r < 0 || r >= t.len then invalid_arg "Journal.record_at: index";
+  let b = r * slot_width in
+  let i0 = int_of_float (Float.Array.get t.slots b)
+  and i1 = int_of_float (Float.Array.get t.slots (b + 1)) in
+  let f0 = Float.Array.get t.slots (b + 2)
+  and f1 = Float.Array.get t.slots (b + 3)
+  and f2 = Float.Array.get t.slots (b + 4)
+  and f3 = Float.Array.get t.slots (b + 5) in
+  match Char.code (Bytes.get t.kind r) with
+  | 0 -> Dispatch_r { id = i0; computer = i1; time = f0 }
+  | 1 -> Queue_r { depth = i0; computer = i1; time = f0 }
+  | 2 ->
+    Completion_r
+      { id = i0; computer = i1; arrival = f0; start = f1; completion = f2;
+        size = f3 }
+  | 3 -> Drop_r { id = i0; computer = i1; time = f0 }
+  | _ -> Rate_r { computer = i1; time = f0; rate = f1 }
+
+let iter t f =
+  for r = 0 to t.len - 1 do
+    f (record_at t r)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Serialisation                                                       *)
+
+let fnv1a64 s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h prime)
+    s;
+  !h
+
+(* Round-trippable float text: shortest form that parses back exactly. *)
+let fmt_float x =
+  let s = Printf.sprintf "%.12g" x in
+  if Float.equal (float_of_string s) x then s else Printf.sprintf "%.17g" x
+
+let check_key k =
+  if
+    k = ""
+    || String.exists (function ' ' | '\n' | '\t' | '\r' -> true | _ -> false) k
+  then invalid_arg (Printf.sprintf "Journal: malformed key %S" k)
+
+let to_string ?(meta = []) ?(summary = []) t =
+  let buf = Buffer.create (4096 + (t.len * 48)) in
+  Buffer.add_string buf "statsched-journal v1\n";
+  List.iter
+    (fun (k, v) ->
+      check_key k;
+      Buffer.add_string buf (Printf.sprintf "meta %s %s\n" k v))
+    meta;
+  Buffer.add_string buf (Printf.sprintf "stride %d\n" t.stride);
+  Array.iteri
+    (fun k c -> Buffer.add_string buf (Printf.sprintf "seen %s %d\n" kind_name.(k) c))
+    t.seen;
+  List.iter
+    (fun (k, v) ->
+      check_key k;
+      Buffer.add_string buf (Printf.sprintf "summary %s %s\n" k v))
+    summary;
+  Buffer.add_string buf (Printf.sprintf "records %d\n" t.len);
+  for r = 0 to t.len - 1 do
+    let k = Char.code (Bytes.get t.kind r) in
+    let b = r * slot_width in
+    Buffer.add_char buf kind_tag.(k);
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf (string_of_int (int_of_float (Float.Array.get t.slots b)));
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf
+      (string_of_int (int_of_float (Float.Array.get t.slots (b + 1))));
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf (fmt_float (Float.Array.get t.slots (b + 2)));
+    (match k with
+    | 2 ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (fmt_float (Float.Array.get t.slots (b + 3)));
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (fmt_float (Float.Array.get t.slots (b + 4)));
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (fmt_float (Float.Array.get t.slots (b + 5)))
+    | 4 ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (fmt_float (Float.Array.get t.slots (b + 3)))
+    | _ -> ());
+    Buffer.add_char buf '\n'
+  done;
+  let body = Buffer.contents buf in
+  Printf.sprintf "%schecksum fnv1a64 %016Lx\n" body (fnv1a64 body)
+
+let write ?meta ?summary t path =
+  let text = to_string ?meta ?summary t in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc text);
+  Sys.rename tmp path

@@ -1,5 +1,11 @@
-type counter = float ref
-type gauge = float ref
+(* A counter/gauge is a single-field all-float record: OCaml stores it
+   flat, so [inc]/[set] write a raw double in place.  A [float ref]
+   (the polymorphic [ref] record) would box a fresh float and pay the
+   write barrier on every increment — measurable on per-event hooks. *)
+type cell = { mutable v : float }
+
+type counter = cell
+type gauge = cell
 type histogram = Hdr_histogram.t
 
 type data =
@@ -40,11 +46,54 @@ let kind_name = function
   | Gauge_v _ -> "gauge"
   | Histogram_v _ -> "histogram"
 
+(* Exposition-format suffixes a histogram family [X] claims for its own
+   series; no other metric may occupy them, and a histogram may not be
+   registered under a name another metric already shadows. *)
+let histogram_suffixes = [ "_bucket"; "_sum"; "_count" ]
+
+let strip_suffix name suffix =
+  let ln = String.length name and ls = String.length suffix in
+  if ln > ls && String.equal (String.sub name (ln - ls) ls) suffix then
+    Some (String.sub name 0 (ln - ls))
+  else None
+
+let check_reserved t ~name ~kind =
+  if kind = "histogram" then begin
+    (* [le] is the bucket label the exposition writer appends. *)
+    List.iter
+      (fun suffix ->
+        let series = name ^ suffix in
+        if List.exists (fun m -> m.name = series) t.metrics then
+          invalid_arg
+            (Printf.sprintf
+               "Registry: histogram %s would shadow existing metric %s" name
+               series))
+      histogram_suffixes
+  end;
+  List.iter
+    (fun suffix ->
+      match strip_suffix name suffix with
+      | None -> ()
+      | Some base ->
+        if
+          List.exists
+            (fun m ->
+              m.name = base && match m.data with Histogram_v _ -> true | _ -> false)
+            t.metrics
+        then
+          invalid_arg
+            (Printf.sprintf
+               "Registry: %s collides with the %s series of histogram %s" name
+               suffix base))
+    histogram_suffixes
+
 let register t ~help ~labels ~name ~make ~extract ~kind =
   if not (valid_name name) then invalid_arg ("Registry: invalid metric name " ^ name);
   List.iter
     (fun (k, _) ->
-      if not (valid_label_name k) then invalid_arg ("Registry: invalid label name " ^ k))
+      if not (valid_label_name k) then invalid_arg ("Registry: invalid label name " ^ k);
+      if kind = "histogram" && k = "le" then
+        invalid_arg "Registry: label name le is reserved on histograms")
     labels;
   match List.find_opt (fun m -> m.name = name && m.labels = labels) t.metrics with
   | Some m -> (
@@ -60,7 +109,8 @@ let register t ~help ~labels ~name ~make ~extract ~kind =
       invalid_arg
         (Printf.sprintf "Registry: family %s mixes kinds (%s vs %s)" name
            (kind_name m.data) kind)
-    | Some _ | None -> ());
+    | Some _ -> ()
+    | None -> check_reserved t ~name ~kind);
     let v, data = make () in
     t.metrics <- { name; help; labels; data } :: t.metrics;
     v
@@ -68,14 +118,14 @@ let register t ~help ~labels ~name ~make ~extract ~kind =
 let counter t ?(help = "") ?(labels = []) name =
   register t ~help ~labels ~name ~kind:"counter"
     ~make:(fun () ->
-      let r = ref 0.0 in
+      let r = { v = 0.0 } in
       (r, Counter_v r))
     ~extract:(function Counter_v r -> Some r | _ -> None)
 
 let gauge t ?(help = "") ?(labels = []) name =
   register t ~help ~labels ~name ~kind:"gauge"
     ~make:(fun () ->
-      let r = ref 0.0 in
+      let r = { v = 0.0 } in
       (r, Gauge_v r))
     ~extract:(function Gauge_v r -> Some r | _ -> None)
 
@@ -86,15 +136,15 @@ let histogram t ?(help = "") ?(labels = []) ?sub_count ~lo ~hi name =
       (h, Histogram_v h))
     ~extract:(function Histogram_v h -> Some h | _ -> None)
 
-let inc_by c x =
+let[@inline] inc_by c x =
   if Float.is_nan x || x < 0.0 then invalid_arg "Registry.inc_by: negative increment";
-  c := !c +. x
+  c.v <- c.v +. x
 
-let inc c = inc_by c 1.0
-let counter_value c = !c
+let[@inline] inc c = c.v <- c.v +. 1.0
+let[@inline] counter_value c = c.v
 
-let set (g : gauge) x = g := x
-let gauge_value (g : gauge) = !g
+let[@inline] set (g : gauge) x = g.v <- x
+let[@inline] gauge_value (g : gauge) = g.v
 
 let metric_count t = List.length t.metrics
 
@@ -153,8 +203,8 @@ let sample buf name labels value =
 
 let render_metric buf m =
   match m.data with
-  | Counter_v r -> sample buf m.name m.labels !r
-  | Gauge_v r -> sample buf m.name m.labels !r
+  | Counter_v r -> sample buf m.name m.labels r.v
+  | Gauge_v r -> sample buf m.name m.labels r.v
   | Histogram_v h ->
     let cumulative = ref 0 in
     Hdr_histogram.iter_nonempty h (fun ~upper ~count ->
@@ -189,7 +239,11 @@ let to_prometheus t =
   Buffer.contents buf
 
 let write_prometheus t path =
-  let oc = open_out path in
+  (* Write-then-rename so a scraper reading [path] never sees a torn
+     half-written exposition. *)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_prometheus t))
+    (fun () -> output_string oc (to_prometheus t));
+  Sys.rename tmp path

@@ -22,8 +22,10 @@ val counter : t -> ?help:string -> ?labels:(string * string) list -> string -> c
 (** Monotonically increasing value (use the [_total] suffix by Prometheus
     convention).
 
-    @raise Invalid_argument on an invalid metric/label name, or if [name]
-    with the same labels is already registered as a different kind. *)
+    @raise Invalid_argument on an invalid metric/label name, if [name]
+    with the same labels is already registered as a different kind, or if
+    [name] collides with the [_bucket]/[_sum]/[_count] series of a
+    registered histogram family. *)
 
 val inc : counter -> unit
 val inc_by : counter -> float -> unit
@@ -46,7 +48,12 @@ val histogram :
   histogram
 (** A {!Hdr_histogram} registered for export; observe with
     {!Hdr_histogram.add}.  Layout arguments are ignored when the metric
-    already exists. *)
+    already exists.
+
+    @raise Invalid_argument if [name ^ "_bucket"/"_sum"/"_count"] would
+    shadow an existing metric (those series names belong to the
+    histogram on export), or if a label is named [le] (reserved for the
+    bucket boundary label). *)
 
 val metric_count : t -> int
 (** Number of registered metrics (each label combination counts once). *)
@@ -58,4 +65,7 @@ val to_prometheus : t -> string
     for histograms. *)
 
 val write_prometheus : t -> string -> unit
-(** [write_prometheus t path] writes {!to_prometheus} to [path]. *)
+(** [write_prometheus t path] writes {!to_prometheus} to [path]
+    atomically: the text is written to [path ^ ".tmp"] and renamed into
+    place, so a concurrent reader sees either the old or the new
+    exposition, never a torn one. *)

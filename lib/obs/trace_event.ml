@@ -151,7 +151,11 @@ let to_string t =
   Buffer.contents buf
 
 let write_json t path =
-  let oc = open_out path in
+  (* Temp-then-rename, same discipline as {!Registry.write_prometheus}:
+     readers never observe a truncated trace. *)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string t))
+    (fun () -> output_string oc (to_string t));
+  Sys.rename tmp path

@@ -64,4 +64,5 @@ val to_string : t -> string
     JSON, events in recording order. *)
 
 val write_json : t -> string -> unit
-(** [write_json t path] writes {!to_string} to [path]. *)
+(** [write_json t path] writes {!to_string} to [path] atomically
+    (temp file + rename). *)

@@ -52,11 +52,13 @@ let release p j =
 
 let is_completed j = j.completion >= 0.0
 
-let response_time j =
+(* [@inline] lets callers keep the float result unboxed: these run on
+   per-completion hot paths (telemetry hooks, collectors). *)
+let[@inline] response_time j =
   if not (is_completed j) then invalid_arg "Job.response_time: not completed";
   j.completion -. j.arrival
 
-let response_ratio j = response_time j /. j.size
+let[@inline] response_ratio j = response_time j /. j.size
 
 let pp fmt j =
   Format.fprintf fmt "job#%d size=%.4g arr=%.4g comp=%.4g on=%d" j.id j.size

@@ -1,0 +1,547 @@
+open Test_util
+module Obs = Statsched_obs
+module Journal = Obs.Journal
+module Http = Obs.Http
+module Core = Statsched_core
+module Cluster = Statsched_cluster
+module Workload = Cluster.Workload
+module Simulation = Cluster.Simulation
+module Scheduler = Cluster.Scheduler
+module Fault = Cluster.Fault
+module Telemetry = Cluster.Telemetry
+module Job = Statsched_queueing.Job
+module Journal_file = Tracestat_core.Journal_file
+module Crossval = Tracestat_core.Crossval
+module Band = Statsched_simcheck.Band
+
+(* ------------------------------------------------------------------ *)
+(* Bounded journal: sampling and compaction invariants                  *)
+
+let journal_bounded_sampling () =
+  let j = Journal.create ~capacity:16 () in
+  Alcotest.(check int) "initial stride" 1 (Journal.stride j);
+  for i = 0 to 999 do
+    Journal.record_dispatch j ~id:i ~computer:(i mod 3) ~time:(float_of_int i)
+  done;
+  Alcotest.(check bool) "length bounded by capacity" true
+    (Journal.length j <= Journal.capacity j);
+  Alcotest.(check int) "every offer counted" 1000 (Journal.seen j Journal.Dispatch);
+  let stride = Journal.stride j in
+  Alcotest.(check bool) "stride grew under pressure" true (stride > 1);
+  Alcotest.(check bool) "stride stays a power of two" true
+    (stride land (stride - 1) = 0);
+  (* Systematic sampling: after any number of compactions the retained
+     dispatches are exactly the ordinals 0, stride, 2*stride, ... in
+     recording order — a uniform sample, not an arbitrary subset. *)
+  let ids = ref [] in
+  Journal.iter j (function
+    | Journal.Dispatch_r { id; _ } -> ids := id :: !ids
+    | _ -> Alcotest.fail "journal holds only dispatch records");
+  let ids = List.rev !ids in
+  Alcotest.(check bool) "some records survive" true (ids <> []);
+  List.iteri
+    (fun k id ->
+      Alcotest.(check int) (Printf.sprintf "record %d is ordinal %d" k (k * stride))
+        (k * stride) id)
+    ids;
+  Alcotest.(check int) "kept agrees with length"
+    (Journal.length j)
+    (Journal.kept j Journal.Dispatch)
+
+let journal_per_stream_sampling () =
+  (* Mixed streams compact together but sample per stream: each kind
+     keeps its own 0, stride, 2*stride... ordinals. *)
+  let j = Journal.create ~capacity:32 () in
+  for i = 0 to 499 do
+    Journal.record_dispatch j ~id:i ~computer:0 ~time:(float_of_int i);
+    Journal.record_completion j ~id:i ~computer:0 ~arrival:(float_of_int i)
+      ~start:(float_of_int i)
+      ~completion:(float_of_int (i + 1))
+      ~size:1.0
+  done;
+  let stride = Journal.stride j in
+  let check_ordinals name extract =
+    let got = ref [] in
+    Journal.iter j (fun r ->
+        match extract r with Some id -> got := id :: !got | None -> ());
+    List.iteri
+      (fun k id ->
+        Alcotest.(check int)
+          (Printf.sprintf "%s record %d is ordinal %d" name k (k * stride))
+          (k * stride) id)
+      (List.rev !got)
+  in
+  check_ordinals "dispatch" (function
+    | Journal.Dispatch_r { id; _ } -> Some id
+    | _ -> None);
+  check_ordinals "completion" (function
+    | Journal.Completion_r { id; _ } -> Some id
+    | _ -> None);
+  Alcotest.(check int) "dispatch stream population" 500
+    (Journal.seen j Journal.Dispatch);
+  Alcotest.(check int) "completion stream population" 500
+    (Journal.seen j Journal.Completion)
+
+let journal_validation () =
+  Alcotest.(check bool) "capacity < 16 rejected" true
+    (match Journal.create ~capacity:8 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "sample_every < 1 rejected" true
+    (match Journal.create ~sample_every:0 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  let j = Journal.create ~capacity:16 () in
+  Alcotest.(check bool) "malformed meta key rejected" true
+    (match Journal.to_string ~meta:[ ("bad key", "v") ] j with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Checksum and on-disk format                                          *)
+
+let journal_checksum_vectors () =
+  (* Standard 64-bit FNV-1a test vectors. *)
+  List.iter
+    (fun (input, expected) ->
+      Alcotest.(check string)
+        (Printf.sprintf "fnv1a64 %S" input)
+        expected
+        (Printf.sprintf "%016Lx" (Journal.fnv1a64 input)))
+    [
+      ("", "cbf29ce484222325");
+      ("a", "af63dc4c8601ec8c");
+      ("foobar", "85944171f73967e8");
+    ]
+
+let sample_journal () =
+  let j = Journal.create ~capacity:16 () in
+  Journal.record_dispatch j ~id:0 ~computer:2 ~time:0.1;
+  Journal.record_queue j ~depth:3 ~computer:2 ~time:0.1;
+  Journal.record_completion j ~id:0 ~computer:2 ~arrival:0.1
+    ~start:(1.0 /. 3.0) ~completion:1.0e-17 ~size:2.5;
+  Journal.record_drop j ~id:1 ~computer:0 ~time:7.25;
+  Journal.record_rate j ~computer:1 ~time:4096.0 ~rate:0.0;
+  j
+
+let journal_roundtrip () =
+  let j = sample_journal () in
+  let meta = [ ("scheduler", "orr"); ("seed", "7") ] in
+  let summary = [ ("mean_response_time", "1.5") ] in
+  let text = Journal.to_string ~meta ~summary j in
+  match Journal_file.parse text with
+  | Error _ -> Alcotest.fail "roundtrip parse failed"
+  | Ok jf ->
+    Alcotest.(check (list (pair string string))) "meta" meta jf.Journal_file.meta;
+    Alcotest.(check (list (pair string string)))
+      "summary" summary jf.Journal_file.summary;
+    Alcotest.(check int) "stride" 1 jf.Journal_file.stride;
+    Alcotest.(check int) "seen dispatch" 1 (Journal_file.seen_of jf "dispatch");
+    Alcotest.(check int) "seen rate" 1 (Journal_file.seen_of jf "rate");
+    Alcotest.(check int) "record count" 5 (Array.length jf.Journal_file.records);
+    (* Floats survive serialisation bit-exactly (%.12g / %.17g fallback). *)
+    let original = ref [] in
+    Journal.iter j (fun r -> original := r :: !original);
+    List.iteri
+      (fun i r ->
+        let same =
+          match (r, jf.Journal_file.records.(i)) with
+          | ( Journal.Completion_r
+                { id; computer; arrival; start; completion; size },
+              Journal.Completion_r p ) ->
+            id = p.id && computer = p.computer
+            && Float.equal arrival p.arrival
+            && Float.equal start p.start
+            && Float.equal completion p.completion
+            && Float.equal size p.size
+          | Journal.Dispatch_r { id; computer; time }, Journal.Dispatch_r p ->
+            id = p.id && computer = p.computer && Float.equal time p.time
+          | Journal.Queue_r { depth; computer; time }, Journal.Queue_r p ->
+            depth = p.depth && computer = p.computer && Float.equal time p.time
+          | Journal.Drop_r { id; computer; time }, Journal.Drop_r p ->
+            id = p.id && computer = p.computer && Float.equal time p.time
+          | Journal.Rate_r { computer; time; rate }, Journal.Rate_r p ->
+            computer = p.computer && Float.equal time p.time
+            && Float.equal rate p.rate
+          | _ -> false
+        in
+        Alcotest.(check bool) (Printf.sprintf "record %d identical" i) true same)
+      (List.rev !original)
+
+let journal_corruption_detected () =
+  let j = sample_journal () in
+  let text = Journal.to_string j in
+  let corrupt s =
+    match Journal_file.parse s with
+    | Error (Journal_file.Corrupt _) -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "pristine journal parses" true
+    (Result.is_ok (Journal_file.parse text));
+  (* Flip one byte in the middle. *)
+  let flipped = Bytes.of_string text in
+  let mid = String.length text / 2 in
+  Bytes.set flipped mid (if Bytes.get flipped mid = 'x' then 'y' else 'x');
+  Alcotest.(check bool) "flipped byte caught by checksum" true
+    (corrupt (Bytes.to_string flipped));
+  (* Truncate: lose the checksum line. *)
+  let no_checksum =
+    String.sub text 0 (String.rindex_from text (String.length text - 2) '\n' + 1)
+  in
+  Alcotest.(check bool) "missing checksum caught" true (corrupt no_checksum);
+  (* Record-count header disagreeing with the body. *)
+  let miscounted =
+    let body_lines = String.split_on_char '\n' text in
+    let swapped =
+      List.map
+        (fun l -> if String.equal l "records 5" then "records 4" else l)
+        body_lines
+    in
+    (* Re-checksum so only the count mismatch trips. *)
+    let body =
+      String.concat "\n"
+        (List.filteri (fun i _ -> i < List.length swapped - 2) swapped)
+      ^ "\n"
+    in
+    body ^ Printf.sprintf "checksum fnv1a64 %016Lx\n" (Journal.fnv1a64 body)
+  in
+  Alcotest.(check bool) "record count mismatch caught" true (corrupt miscounted);
+  (* An honest file of a future version is Unsupported, not Corrupt. *)
+  let v2 = "statsched-journal v2\n" in
+  let v2 = v2 ^ Printf.sprintf "checksum fnv1a64 %016Lx\n" (Journal.fnv1a64 v2) in
+  Alcotest.(check bool) "future version is Unsupported" true
+    (match Journal_file.parse v2 with
+    | Error (Journal_file.Unsupported _) -> true
+    | _ -> false)
+
+let journal_write_atomic () =
+  let dir = Filename.temp_file "statsched-journal" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let path = Filename.concat dir "run.journal" in
+  let j = sample_journal () in
+  Journal.write j path;
+  Alcotest.(check bool) "journal written" true (Sys.file_exists path);
+  Alcotest.(check bool) "no temp file left behind" true
+    (not (Sys.file_exists (path ^ ".tmp")));
+  (match Journal_file.load path with
+  | Ok jf ->
+    Alcotest.(check int) "written journal loads" 5
+      (Array.length jf.Journal_file.records)
+  | Error _ -> Alcotest.fail "written journal must load");
+  Sys.remove path;
+  Unix.rmdir dir
+
+(* ------------------------------------------------------------------ *)
+(* Hot path stays allocation-light                                      *)
+
+let journal_recording_allocation () =
+  (* Recording must not build per-record heap structure: the only
+     allocation a call site may pay is the boxing of its float
+     arguments (a few words), never an O(record) or O(capacity) cost.
+     The loop below crosses several compactions. *)
+  let j = Journal.create ~capacity:1024 () in
+  let record i =
+    let t = float_of_int i in
+    Journal.record_completion j ~id:i ~computer:0 ~arrival:t ~start:t
+      ~completion:t ~size:1.0
+  in
+  for i = 0 to 1023 do
+    record i
+  done;
+  Gc.full_major ();
+  let n = 8192 in
+  let before = Gc.minor_words () in
+  for i = 0 to n - 1 do
+    record i
+  done;
+  let per_record = (Gc.minor_words () -. before) /. float_of_int n in
+  if per_record > 16.0 then
+    Alcotest.failf "journal recording allocates %.1f words/record (bound: 16)"
+      per_record
+
+let journal_sim_allocation () =
+  (* End-to-end acceptance: the per-job allocation bound of the bare
+     simulation (test_cluster) still holds with metric + journal
+     telemetry attached and job-pool recycling on
+     ([hooks_retain_jobs:false]). *)
+  let speeds = Core.Speeds.table3 in
+  let workload = Workload.paper_default ~rho:0.7 ~speeds in
+  let cfg =
+    Simulation.default_config ~horizon:2.0e4 ~warmup:5.0e3 ~seed:7L ~speeds
+      ~workload ~scheduler:(Scheduler.static Core.Policy.orr) ()
+  in
+  let run () =
+    let t =
+      Telemetry.create ~journal:(Journal.create ~capacity:16384 ()) cfg
+    in
+    let r =
+      Simulation.run ~sanitize:false ~hooks_retain_jobs:false
+        ~metric_histograms:(Telemetry.histograms t)
+        ~on_dispatch:(Telemetry.on_dispatch t)
+        ~on_completion:(Telemetry.on_completion t)
+        ~on_drop:(Telemetry.on_drop t) cfg
+    in
+    Telemetry.finalize t r;
+    r
+  in
+  ignore (run ());
+  Gc.full_major ();
+  let before = Gc.minor_words () in
+  let result = run () in
+  let delta = Gc.minor_words () -. before in
+  let jobs = float_of_int result.Simulation.total_arrivals in
+  Alcotest.(check bool) "enough jobs to average over" true (jobs > 1_000.0);
+  let per_job = delta /. jobs in
+  if per_job > 120.0 then
+    Alcotest.failf "journaled hot path allocates %.1f words/job (bound: 120)"
+      per_job
+
+(* ------------------------------------------------------------------ *)
+(* HTTP server                                                          *)
+
+let http_request ~port request =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let n = Unix.write_substring fd request 0 (String.length request) in
+      Alcotest.(check int) "request fully written" (String.length request) n;
+      let buf = Buffer.create 1024 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+        if n > 0 then begin
+          Buffer.add_subbytes buf chunk 0 n;
+          drain ()
+        end
+      in
+      drain ();
+      Buffer.contents buf)
+
+let http_get ~port path =
+  http_request ~port
+    (Printf.sprintf "GET %s HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+       path)
+
+let contains s needle =
+  let ls = String.length s and ln = String.length needle in
+  let rec go i =
+    if i + ln > ls then false
+    else if String.equal (String.sub s i ln) needle then true
+    else go (i + 1)
+  in
+  go 0
+
+let http_server_basics () =
+  let server =
+    Http.serve ~port:0 (fun path ->
+        match path with
+        | "/ping" -> Some (Http.text "pong")
+        | "/data" -> Some (Http.json "{\"ok\":true}")
+        | "/boom" -> failwith "handler bug"
+        | _ -> None)
+  in
+  let port = Http.port server in
+  Alcotest.(check bool) "ephemeral port assigned" true (port > 0);
+  let ok = http_get ~port "/ping" in
+  Alcotest.(check bool) "200 on a routed path" true (contains ok "200");
+  Alcotest.(check bool) "body served" true (contains ok "pong");
+  Alcotest.(check bool) "connection: close advertised" true
+    (contains ok "Connection: close");
+  let js = http_get ~port "/data" in
+  Alcotest.(check bool) "json content type" true
+    (contains js "application/json");
+  (* Query strings are stripped before routing. *)
+  Alcotest.(check bool) "query string ignored" true
+    (contains (http_get ~port "/ping?x=1") "pong");
+  Alcotest.(check bool) "404 on unknown path" true
+    (contains (http_get ~port "/nope") "404");
+  Alcotest.(check bool) "405 on non-GET" true
+    (contains
+       (http_request ~port "POST /ping HTTP/1.1\r\nHost: x\r\n\r\n")
+       "405");
+  Alcotest.(check bool) "400 on garbage" true
+    (contains (http_request ~port "not http\r\n\r\n") "400");
+  Alcotest.(check bool) "500 on a raising handler, server survives" true
+    (contains (http_get ~port "/boom") "500");
+  Alcotest.(check bool) "still serving after the 500" true
+    (contains (http_get ~port "/ping") "pong");
+  Http.stop server;
+  Http.stop server;
+  (* idempotent *)
+  Alcotest.(check bool) "connections refused after stop" true
+    (match http_get ~port "/ping" with
+    | exception Unix.Unix_error _ -> true
+    | response -> String.equal response "")
+
+(* ------------------------------------------------------------------ *)
+(* Live serving: mid-run answers, and no perturbation                   *)
+
+let make_cfg ?faults ?(scheduler = Scheduler.static Core.Policy.orr) () =
+  let speeds = Core.Speeds.table3 in
+  let workload = Workload.paper_default ~rho:0.7 ~speeds in
+  Simulation.default_config ?faults ~horizon:40_000.0 ~warmup:10_000.0 ~speeds
+    ~workload ~scheduler ()
+
+let serve_answers_mid_run () =
+  let cfg = make_cfg () in
+  let t = Telemetry.create ~journal:(Journal.create ()) cfg in
+  let server = Telemetry.serve t ~port:0 in
+  let port = Http.port server in
+  let probes = ref 0 in
+  let result =
+    Simulation.run ~hooks_retain_jobs:false
+      ~on_engine:(Telemetry.set_engine t)
+      ~metric_histograms:(Telemetry.histograms t)
+      ~on_dispatch:(Telemetry.on_dispatch t)
+      ~on_completion:(Telemetry.on_completion t)
+      ~on_drop:(Telemetry.on_drop t)
+      ~on_progress:
+        ( 10_000.0,
+          fun (_ : Simulation.progress) ->
+            (* The probe runs inside the simulation loop: the server
+               thread answers while the run is provably mid-flight. *)
+            incr probes;
+            Alcotest.(check bool) "/healthz mid-run" true
+              (contains (http_get ~port "/healthz") "ok");
+            let state = http_get ~port "/state" in
+            Alcotest.(check bool) "/state reports sim_time" true
+              (contains state "\"sim_time\"");
+            Alcotest.(check bool) "/state reports live engine counters" true
+              (contains state "\"events_executed\"");
+            Alcotest.(check bool) "/state reports journal occupancy" true
+              (contains state "\"journal\"");
+            let metrics = http_get ~port "/metrics" in
+            Alcotest.(check bool) "/metrics is prometheus text" true
+              (contains metrics "# TYPE statsched_jobs_dispatched_total counter") )
+      cfg
+  in
+  Telemetry.finalize t result;
+  Http.stop server;
+  Alcotest.(check int) "probed mid-run" 4 !probes;
+  Alcotest.(check bool) "run completed jobs" true
+    (result.Simulation.total_arrivals > 1000)
+
+(* Acceptance criterion: journaling + live serving leave the run
+   bit-identical to a bare one under the same seed. *)
+let serve_journal_bit_identity () =
+  List.iter
+    (fun (name, faults, scheduler) ->
+      let order = ref [] in
+      let record job = order := job.Job.id :: !order in
+      let cfg = make_cfg ?faults ~scheduler () in
+      let plain = Simulation.run ~on_completion:record cfg in
+      let plain_order = List.rev !order in
+      order := [];
+      let t = Telemetry.create ~journal:(Journal.create ()) cfg in
+      let server = Telemetry.serve t ~port:0 in
+      let served =
+        Simulation.run ~hooks_retain_jobs:false
+          ~on_engine:(Telemetry.set_engine t)
+          ~metric_histograms:(Telemetry.histograms t)
+          ~on_dispatch:(Telemetry.on_dispatch t)
+          ~on_completion:(fun job ->
+            Telemetry.on_completion t job;
+            record job)
+          ~on_drop:(Telemetry.on_drop t)
+          ~on_rate_change:(Telemetry.on_rate_change t)
+          cfg
+      in
+      Telemetry.finalize t served;
+      Http.stop server;
+      check_float ~eps:0.0
+        (name ^ ": mean response time bit-identical")
+        plain.Simulation.metrics.Core.Metrics.mean_response_time
+        served.Simulation.metrics.Core.Metrics.mean_response_time;
+      check_float ~eps:0.0
+        (name ^ ": mean response ratio bit-identical")
+        plain.Simulation.metrics.Core.Metrics.mean_response_ratio
+        served.Simulation.metrics.Core.Metrics.mean_response_ratio;
+      Alcotest.(check int)
+        (name ^ ": same events executed")
+        plain.Simulation.events_executed served.Simulation.events_executed;
+      Alcotest.(check int)
+        (name ^ ": same arrivals")
+        plain.Simulation.total_arrivals served.Simulation.total_arrivals;
+      check_array ~eps:0.0
+        (name ^ ": dispatch fractions bit-identical")
+        plain.Simulation.dispatch_fractions served.Simulation.dispatch_fractions;
+      Alcotest.(check (list int))
+        (name ^ ": completion order identical")
+        plain_order (List.rev !order))
+    [
+      ("ORR", None, Scheduler.static Core.Policy.orr);
+      ( "LeastLoad+faults",
+        Some (Fault.exponential ~on_failure:Fault.Drop ~mtbf:2000.0 ~mttr:50.0 ()),
+        Scheduler.least_load_paper );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Cross-validation: journal vs collector, in process                   *)
+
+let crossval_roundtrip () =
+  let cfg = make_cfg ~scheduler:(Scheduler.static Core.Policy.orr) () in
+  let t = Telemetry.create ~journal:(Journal.create ~capacity:262144 ()) cfg in
+  let result =
+    Simulation.run ~hooks_retain_jobs:false
+      ~metric_histograms:(Telemetry.histograms t)
+      ~on_dispatch:(Telemetry.on_dispatch t)
+      ~on_completion:(Telemetry.on_completion t)
+      ~on_drop:(Telemetry.on_drop t)
+      ~on_rate_change:(Telemetry.on_rate_change t)
+      cfg
+  in
+  Telemetry.finalize t result;
+  let dir = Filename.temp_file "statsched-crossval" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let path = Filename.concat dir "run.journal" in
+  Telemetry.write_journal t result path;
+  (match Journal_file.load path with
+  | Error _ -> Alcotest.fail "journal must load"
+  | Ok jf -> (
+    match Crossval.validate jf with
+    | Error reason -> Alcotest.failf "cross-validation unavailable: %s" reason
+    | Ok report ->
+      Alcotest.(check bool) "all bands pass" true report.Crossval.ok;
+      Alcotest.(check bool) "covers response time, fractions, utilization" true
+        (List.length report.Crossval.bands >= 4);
+      List.iter
+        (fun (b : Band.t) ->
+          Alcotest.(check bool) (b.Band.name ^ " band passes") true b.Band.ok)
+        report.Crossval.bands));
+  (* Sanity: a corrupted copy of the same journal is flagged. *)
+  let content = In_channel.with_open_bin path In_channel.input_all in
+  let bad = Bytes.of_string content in
+  let mid = Bytes.length bad / 2 in
+  Bytes.set bad mid (if Bytes.get bad mid = '1' then '2' else '1');
+  Alcotest.(check bool) "corrupted journal flagged" true
+    (match Journal_file.parse (Bytes.to_string bad) with
+    | Error (Journal_file.Corrupt _) -> true
+    | _ -> false);
+  Sys.remove path;
+  Unix.rmdir dir
+
+let suite =
+  [
+    test "journal: bounded capacity, systematic sampling" journal_bounded_sampling;
+    test "journal: per-stream sampling survives compaction"
+      journal_per_stream_sampling;
+    test "journal: constructor and key validation" journal_validation;
+    test "journal: fnv1a64 reference vectors" journal_checksum_vectors;
+    test "journal: serialisation roundtrips bit-exactly" journal_roundtrip;
+    test "journal: corruption and version skew detected"
+      journal_corruption_detected;
+    test "journal: atomic write leaves no temp file" journal_write_atomic;
+    test "journal: recording stays allocation-light" journal_recording_allocation;
+    slow_test "journal: per-job allocation bound holds with telemetry on"
+      journal_sim_allocation;
+    test "http: routing, errors and idempotent stop" http_server_basics;
+    slow_test "serve: endpoints answer mid-run" serve_answers_mid_run;
+    slow_test "serve: journaled + served runs bit-identical"
+      serve_journal_bit_identity;
+    slow_test "crossval: journal agrees with collector in process"
+      crossval_roundtrip;
+  ]

@@ -19,6 +19,7 @@ let () =
       ("faults", Test_faults.suite);
       ("sanitize", Test_sanitize.suite);
       ("obs", Test_obs.suite);
+      ("journal", Test_journal.suite);
       ("par", Test_par.suite);
       ("more", Test_more.suite);
       ("simcheck", Test_simcheck.suite);

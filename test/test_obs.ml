@@ -228,6 +228,334 @@ let registry_label_escaping () =
   Alcotest.(check string) "escaped label value"
     "# TYPE esc gauge\nesc{path=\"a\\\"b\\\\c\\nd\"} 1\n" (Registry.to_prometheus r)
 
+let registry_reserved_suffixes () =
+  let rejected f =
+    match f () with exception Invalid_argument _ -> true | _ -> false
+  in
+  (* A histogram family owns its _bucket/_sum/_count series names. *)
+  let r = Registry.create () in
+  ignore (Registry.histogram r ~lo:1.0 ~hi:8.0 "lat");
+  Alcotest.(check bool) "counter on histogram _bucket rejected" true
+    (rejected (fun () -> Registry.counter r "lat_bucket"));
+  Alcotest.(check bool) "gauge on histogram _sum rejected" true
+    (rejected (fun () -> Registry.gauge r "lat_sum"));
+  Alcotest.(check bool) "counter on histogram _count rejected" true
+    (rejected (fun () -> Registry.counter r "lat_count"));
+  (* ... and cannot be registered under names another metric shadows. *)
+  let r = Registry.create () in
+  ignore (Registry.counter r "x_sum");
+  Alcotest.(check bool) "histogram shadowed by existing _sum rejected" true
+    (rejected (fun () -> Registry.histogram r ~lo:1.0 ~hi:8.0 "x"));
+  (* The bucket-boundary label is reserved on histograms only. *)
+  let r = Registry.create () in
+  Alcotest.(check bool) "le label on a histogram rejected" true
+    (rejected (fun () ->
+         Registry.histogram r ~labels:[ ("le", "0.5") ] ~lo:1.0 ~hi:8.0 "h"));
+  ignore (Registry.counter r ~labels:[ ("le", "0.5") ] "c_total");
+  (* A non-histogram _sum does not poison unrelated names, and a second
+     label set of the same histogram family is still accepted. *)
+  let r = Registry.create () in
+  ignore (Registry.histogram r ~labels:[ ("computer", "0") ] ~lo:1.0 ~hi:8.0 "rt");
+  ignore (Registry.histogram r ~labels:[ ("computer", "1") ] ~lo:1.0 ~hi:8.0 "rt");
+  Alcotest.(check int) "family label sets coexist" 2 (Registry.metric_count r)
+
+let registry_write_atomic () =
+  let dir = Filename.temp_file "statsched-prom" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let path = Filename.concat dir "metrics.prom" in
+  let r = Registry.create () in
+  let g = Registry.gauge r "up" in
+  Registry.set g 1.0;
+  Registry.write_prometheus r path;
+  Alcotest.(check bool) "no temp file left behind" true
+    (not (Sys.file_exists (path ^ ".tmp")));
+  Alcotest.(check string) "file holds the exposition"
+    (Registry.to_prometheus r)
+    (In_channel.with_open_bin path In_channel.input_all);
+  Sys.remove path;
+  Unix.rmdir dir
+
+(* ------------------------------------------------------------------ *)
+(* Exposition grammar                                                   *)
+
+(* Grammar-level lexer for the Prometheus text format (version 0.0.4):
+   every line must be a HELP/TYPE comment or a sample
+   [name{label="value",...} value], names must match the metric-name
+   grammar, every sample's family must have exactly one TYPE line and it
+   must precede the samples.  Returns the samples as
+   [(name, labels, value)]. *)
+let lex_exposition text =
+  let is_name_start = function
+    | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+    | _ -> false
+  and is_name_char = function
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+    | _ -> false
+  in
+  let valid_name n =
+    String.length n > 0 && is_name_start n.[0] && String.for_all is_name_char n
+  in
+  let typed = Hashtbl.create 16 in
+  let samples = ref [] in
+  let fail lineno what line =
+    Alcotest.failf "exposition line %d: %s: %S" lineno what line
+  in
+  let lex_sample lineno line =
+    let len = String.length line in
+    let i = ref 0 in
+    while !i < len && is_name_char line.[!i] do
+      incr i
+    done;
+    let name = String.sub line 0 !i in
+    if not (valid_name name) then fail lineno "invalid metric name" line;
+    let labels = ref [] in
+    if !i < len && Char.equal line.[!i] '{' then begin
+      incr i;
+      let fin = ref false in
+      while not !fin do
+        let start = !i in
+        while !i < len && Char.equal line.[!i] '=' = false do
+          incr i
+        done;
+        if !i >= len then fail lineno "unterminated label" line;
+        let lname = String.sub line start (!i - start) in
+        if not (valid_name lname) || String.contains lname ':' then
+          fail lineno "invalid label name" line;
+        incr i;
+        if !i >= len || not (Char.equal line.[!i] '"') then
+          fail lineno "label value not quoted" line;
+        incr i;
+        let buf = Buffer.create 16 in
+        let closed = ref false in
+        while not !closed do
+          if !i >= len then fail lineno "unterminated label value" line;
+          (match line.[!i] with
+          | '\\' ->
+            if !i + 1 >= len then fail lineno "dangling escape" line;
+            (match line.[!i + 1] with
+            | '\\' | '"' | 'n' -> Buffer.add_char buf line.[!i + 1]
+            | _ -> fail lineno "invalid escape" line);
+            i := !i + 1
+          | '"' -> closed := true
+          | c -> Buffer.add_char buf c);
+          incr i
+        done;
+        labels := (lname, Buffer.contents buf) :: !labels;
+        if !i < len && Char.equal line.[!i] ',' then incr i
+        else if !i < len && Char.equal line.[!i] '}' then begin
+          incr i;
+          fin := true
+        end
+        else fail lineno "expected , or } after label" line
+      done
+    end;
+    if !i >= len || not (Char.equal line.[!i] ' ') then
+      fail lineno "expected space before value" line;
+    let value_str = String.sub line (!i + 1) (len - !i - 1) in
+    let value =
+      match value_str with
+      | "+Inf" -> infinity
+      | "-Inf" -> neg_infinity
+      | s -> (
+        match float_of_string_opt s with
+        | Some v -> v
+        | None -> fail lineno "unparseable sample value" line)
+    in
+    if not (Hashtbl.mem typed name)
+       && not
+            (List.exists
+               (fun suffix ->
+                 match
+                   if String.length name > String.length suffix
+                      && String.equal
+                           (String.sub name
+                              (String.length name - String.length suffix)
+                              (String.length suffix))
+                           suffix
+                   then
+                     Some
+                       (String.sub name 0
+                          (String.length name - String.length suffix))
+                   else None
+                 with
+                 | Some base -> Hashtbl.mem typed base
+                 | None -> false)
+               [ "_bucket"; "_sum"; "_count" ])
+    then fail lineno "sample precedes its TYPE line" line;
+    samples := (name, List.rev !labels, value) :: !samples
+  in
+  List.iteri
+    (fun k line ->
+      let lineno = k + 1 in
+      if String.equal line "" then ()
+      else if String.length line >= 7 && String.equal (String.sub line 0 7) "# HELP "
+      then ()
+      else if String.length line >= 7 && String.equal (String.sub line 0 7) "# TYPE "
+      then begin
+        match String.split_on_char ' ' line with
+        | [ "#"; "TYPE"; name; kind ] ->
+          if not (valid_name name) then fail lineno "invalid TYPE name" line;
+          if not (List.mem kind [ "counter"; "gauge"; "histogram" ]) then
+            fail lineno "unknown TYPE kind" line;
+          if Hashtbl.mem typed name then fail lineno "duplicate TYPE" line;
+          Hashtbl.add typed name kind
+        | _ -> fail lineno "malformed TYPE line" line
+      end
+      else if String.length line >= 1 && Char.equal line.[0] '#' then
+        fail lineno "unknown comment" line
+      else lex_sample lineno line)
+    (String.split_on_char '\n' text);
+  List.rev !samples
+
+(* Run the lexer over the full exposition of an instrumented run — every
+   metric the telemetry layer exports must satisfy the grammar. *)
+let exposition_grammar_full_run () =
+  let speeds = Core.Speeds.table3 in
+  let workload = Workload.paper_default ~rho:0.7 ~speeds in
+  let cfg =
+    Simulation.default_config
+      ~faults:(Fault.exponential ~on_failure:Fault.Drop ~mtbf:2000.0 ~mttr:50.0 ())
+      ~horizon:30_000.0 ~warmup:5_000.0 ~speeds ~workload
+      ~scheduler:(Scheduler.static Core.Policy.orr) ()
+  in
+  let t = Telemetry.create cfg in
+  let result =
+    Simulation.run
+      ~metric_histograms:(Telemetry.histograms t)
+      ~on_dispatch:(Telemetry.on_dispatch t)
+      ~on_completion:(Telemetry.on_completion t)
+      ~on_drop:(Telemetry.on_drop t)
+      ~on_rate_change:(Telemetry.on_rate_change t)
+      cfg
+  in
+  Telemetry.finalize t result;
+  let samples = lex_exposition (Registry.to_prometheus (Telemetry.registry t)) in
+  Alcotest.(check bool) "a full run exports a rich exposition" true
+    (List.length samples > 100);
+  (* Histogram series obey the exposition contract: cumulative _bucket
+     counts, strictly increasing finite [le] boundaries, a final +Inf
+     bucket equal to _count. *)
+  let bucket_groups = Hashtbl.create 8 in
+  List.iter
+    (fun (name, labels, value) ->
+      let ln = String.length name in
+      if ln > 7 && String.equal (String.sub name (ln - 7) 7) "_bucket" then begin
+        let base = String.sub name 0 (ln - 7) in
+        let le =
+          match List.assoc_opt "le" labels with
+          | Some "+Inf" -> infinity
+          | Some s -> float_of_string s
+          | None -> Alcotest.failf "bucket without le: %s" name
+        in
+        let others = List.remove_assoc "le" labels in
+        let key = (base, others) in
+        let prev =
+          match Hashtbl.find_opt bucket_groups key with
+          | Some l -> l
+          | None -> []
+        in
+        Hashtbl.replace bucket_groups key ((le, value) :: prev)
+      end)
+    samples;
+  Alcotest.(check bool) "histograms exported" true
+    (Hashtbl.length bucket_groups > 0);
+  Hashtbl.iter
+    (fun (base, others) buckets ->
+      let buckets = List.rev buckets in
+      let rec check_monotone = function
+        | (le1, c1) :: ((le2, c2) :: _ as tl) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: le strictly increasing (%g < %g)" base le1 le2)
+            true (le1 < le2);
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: cumulative counts (%g <= %g)" base c1 c2)
+            true (c1 <= c2);
+          check_monotone tl
+        | _ -> ()
+      in
+      check_monotone buckets;
+      (match List.rev buckets with
+      | (le_last, c_last) :: _ ->
+        Alcotest.(check bool) (base ^ ": last bucket is +Inf") true
+          (Float.equal le_last infinity);
+        let count =
+          List.find_map
+            (fun (name, labels, v) ->
+              if String.equal name (base ^ "_count") && labels = others then
+                Some v
+              else None)
+            samples
+        in
+        (match count with
+        | Some c ->
+          check_float ~eps:0.0 (base ^ ": +Inf bucket equals _count") c c_last
+        | None -> Alcotest.failf "%s: histogram lacks _count" base)
+      | [] -> Alcotest.failf "%s: empty bucket group" base))
+    bucket_groups
+
+(* Merged histograms must still expose a legal cumulative series. *)
+let exposition_histogram_merge () =
+  let r = Registry.create () in
+  let h = Registry.histogram r ~lo:0.01 ~hi:100.0 ~sub_count:8 "merged" in
+  let other = Hdr.create ~lo:0.01 ~hi:100.0 ~sub_count:8 () in
+  let g = rng ~seed:3L () in
+  for _ = 1 to 500 do
+    Hdr.add h (Statsched_dist.Exponential.sample ~rate:0.5 g);
+    Hdr.add other (Statsched_dist.Exponential.sample ~rate:2.0 g)
+  done;
+  Hdr.merge ~into:h other;
+  let samples = lex_exposition (Registry.to_prometheus r) in
+  let buckets =
+    List.filter_map
+      (fun (name, labels, v) ->
+        if String.equal name "merged_bucket" then
+          Some
+            ( (match List.assoc_opt "le" labels with
+              | Some "+Inf" -> infinity
+              | Some s -> float_of_string s
+              | None -> Alcotest.fail "bucket without le"),
+              v )
+        else None)
+      samples
+  in
+  Alcotest.(check bool) "merge produced several buckets" true
+    (List.length buckets > 2);
+  let rec check = function
+    | (le1, c1) :: ((le2, c2) :: _ as tl) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "le %g < %g after merge" le1 le2)
+        true (le1 < le2);
+      Alcotest.(check bool)
+        (Printf.sprintf "cumulative %g <= %g after merge" c1 c2)
+        true (c1 <= c2);
+      check tl
+    | _ -> ()
+  in
+  check buckets;
+  match List.rev buckets with
+  | (le, c) :: _ ->
+    Alcotest.(check bool) "last le is +Inf" true (Float.equal le infinity);
+    check_float ~eps:0.0 "merged +Inf bucket counts all observations"
+      (float_of_int (Hdr.count h))
+      c
+  | [] -> Alcotest.fail "no buckets"
+
+let exposition_empty_histogram () =
+  let r = Registry.create () in
+  ignore (Registry.histogram r ~lo:1.0 ~hi:16.0 "idle");
+  let expected =
+    "# TYPE idle histogram\n\
+     idle_bucket{le=\"+Inf\"} 0\n\
+     idle_sum 0\n\
+     idle_count 0\n"
+  in
+  Alcotest.(check string) "empty histogram exposes only the +Inf bucket"
+    expected (Registry.to_prometheus r);
+  (* And the lexer agrees it is well-formed. *)
+  Alcotest.(check int) "three samples" 3
+    (List.length (lex_exposition (Registry.to_prometheus r)))
+
 (* ------------------------------------------------------------------ *)
 (* Chrome trace events                                                 *)
 
@@ -301,6 +629,7 @@ let run_combo ?faults ~scheduler ~telemetry () =
       let t = Telemetry.create ~trace:true cfg in
       let r =
         Simulation.run
+          ~metric_histograms:(Telemetry.histograms t)
           ~on_dispatch:(Telemetry.on_dispatch t)
           ~on_completion:(fun job ->
             Telemetry.on_completion t job;
@@ -419,6 +748,7 @@ let telemetry_fault_accounting () =
   let t = Telemetry.create ~trace:true cfg in
   let result =
     Simulation.run
+      ~metric_histograms:(Telemetry.histograms t)
       ~on_dispatch:(Telemetry.on_dispatch t)
       ~on_completion:(Telemetry.on_completion t)
       ~on_drop:(Telemetry.on_drop t)
@@ -466,6 +796,13 @@ let suite =
     test "registry: prometheus golden output" registry_prometheus_golden;
     test "registry: families share one TYPE header" registry_family_grouping;
     test "registry: label values escaped" registry_label_escaping;
+    test "registry: histogram suffix collisions rejected" registry_reserved_suffixes;
+    test "registry: prometheus file write is atomic" registry_write_atomic;
+    slow_test "exposition: full-run output satisfies the grammar"
+      exposition_grammar_full_run;
+    test "exposition: merged histogram series stay cumulative"
+      exposition_histogram_merge;
+    test "exposition: empty histogram exposes only +Inf" exposition_empty_histogram;
     test "trace: chrome trace-event golden JSON" trace_event_golden;
     test "trace: string escaping" trace_event_escaping;
     test "clock: monotone and non-negative" clock_monotone;

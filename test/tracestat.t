@@ -1,0 +1,114 @@
+tracestat cross-validates a run journal against the collector summary
+recorded in the same file: mean response time/ratio and dispatch
+fractions recomputed from the sampled records must land inside the
+confidence bands around the collector's own numbers, and (when the
+completion stream kept stride 1) the per-computer utilizations must
+match to the band as well.
+
+Combo 1: the paper's Table 3 cluster, ORR + processor sharing.
+
+  $ schedsim run --horizon 20000 --warmup 5000 --seed 7 --journal j1.out > /dev/null
+  $ tracestat check j1.out
+  [PASS] mean_response_time: journal 37.7603 ± 22 vs collector 37.7574 (tolerance 23.2)
+  [PASS] mean_response_ratio: journal 0.608558 ± 0.053 vs collector 0.626305 (tolerance 0.0653)
+  [PASS] dispatch_fraction_0: journal 0.0148048 ± 0.015 vs collector 0.013966 (tolerance 0.0149)
+  [PASS] dispatch_fraction_1: journal 0.0161507 ± 0.015 vs collector 0.0137977 (tolerance 0.0155)
+  [PASS] dispatch_fraction_2: journal 0.0161507 ± 0.015 vs collector 0.0137977 (tolerance 0.0155)
+  [PASS] dispatch_fraction_3: journal 0.0188425 ± 0.016 vs collector 0.0137977 (tolerance 0.0167)
+  [PASS] dispatch_fraction_4: journal 0.013459 ± 0.014 vs collector 0.0137977 (tolerance 0.0142)
+  [PASS] dispatch_fraction_5: journal 0.0296097 ± 0.02 vs collector 0.0259128 (tolerance 0.021)
+  [PASS] dispatch_fraction_6: journal 0.0201884 ± 0.017 vs collector 0.0259128 (tolerance 0.0175)
+  [PASS] dispatch_fraction_7: journal 0.0296097 ± 0.02 vs collector 0.0259128 (tolerance 0.021)
+  [PASS] dispatch_fraction_8: journal 0.0296097 ± 0.02 vs collector 0.0259128 (tolerance 0.021)
+  [PASS] dispatch_fraction_9: journal 0.039031 ± 0.023 vs collector 0.0385327 (tolerance 0.0241)
+  [PASS] dispatch_fraction_10: journal 0.0336474 ± 0.022 vs collector 0.0385327 (tolerance 0.0225)
+  [PASS] dispatch_fraction_11: journal 0.0296097 ± 0.02 vs collector 0.038701 (tolerance 0.0212)
+  [PASS] dispatch_fraction_12: journal 0.119785 ± 0.039 vs collector 0.120646 (tolerance 0.0416)
+  [PASS] dispatch_fraction_13: journal 0.258412 ± 0.053 vs collector 0.265691 (tolerance 0.0582)
+  [PASS] dispatch_fraction_14: journal 0.33109 ± 0.057 vs collector 0.325088 (tolerance 0.0633)
+  note: completion records are sampled (stride > 1); utilization cross-check skipped
+  17 checks, 0 failed
+
+Combo 2: least-load + FCFS on a two-class cluster.
+
+  $ schedsim run --horizon 20000 --warmup 5000 --seed 7 -p least-load --discipline fcfs -s 4x1,2x4 --journal j2.out > /dev/null
+  $ tracestat check j2.out
+  [PASS] mean_response_time: journal 133.115 ± 23 vs collector 133.509 (tolerance 25.2)
+  [PASS] mean_response_ratio: journal 5.94284 ± 1.3 vs collector 5.70504 (tolerance 1.42)
+  [PASS] dispatch_fraction_0: journal 0.084596 ± 0.033 vs collector 0.0839646 (tolerance 0.0342)
+  [PASS] dispatch_fraction_1: journal 0.0883838 ± 0.033 vs collector 0.0801768 (tolerance 0.0348)
+  [PASS] dispatch_fraction_2: journal 0.0454545 ± 0.024 vs collector 0.0517677 (tolerance 0.0254)
+  [PASS] dispatch_fraction_3: journal 0.0429293 ± 0.024 vs collector 0.0435606 (tolerance 0.0246)
+  [PASS] dispatch_fraction_4: journal 0.354798 ± 0.056 vs collector 0.349747 (tolerance 0.0629)
+  [PASS] dispatch_fraction_5: journal 0.383838 ± 0.057 vs collector 0.390783 (tolerance 0.0647)
+  note: completion records are sampled (stride > 1); utilization cross-check skipped
+  8 checks, 0 failed
+
+Combo 3: WRR under crash/repair faults with dropped jobs.
+
+  $ schedsim run --horizon 20000 --warmup 5000 --seed 7 -p wrr --mtbf 4000 --on-failure drop -s 1,2,4,8 --journal j3.out > /dev/null
+  $ tracestat check j3.out
+  [PASS] mean_response_time: journal 37.3202 ± 11 vs collector 36.0924 (tolerance 11.8)
+  [PASS] mean_response_ratio: journal 0.609854 ± 0.041 vs collector 0.633896 (tolerance 0.0538)
+  [PASS] dispatch_fraction_0: journal 0.0660836 ± 0.025 vs collector 0.0651118 (tolerance 0.0268)
+  [PASS] dispatch_fraction_1: journal 0.132167 ± 0.035 vs collector 0.132653 (tolerance 0.0374)
+  [PASS] dispatch_fraction_2: journal 0.263362 ± 0.045 vs collector 0.263848 (tolerance 0.0505)
+  [PASS] dispatch_fraction_3: journal 0.538387 ± 0.051 vs collector 0.538387 (tolerance 0.0619)
+  note: run had fault activity; utilization cross-check skipped
+  note: rate records are sampled (stride > 1); availability cross-check skipped
+  6 checks, 0 failed
+
+A run short enough that every stream kept stride 1: the journal holds
+every completion, so the recomputed statistics match the collector
+exactly and the utilization cross-check runs too.
+
+  $ schedsim run --horizon 3000 --warmup 500 --seed 11 -s 2x1,1x3 --journal j4.out > /dev/null
+  $ tracestat check j4.out
+  [PASS] mean_response_time: journal 76.6173 ± 34 vs collector 76.6173 (tolerance 35.4)
+  [PASS] mean_response_ratio: journal 1.70458 ± 0.22 vs collector 1.70458 (tolerance 0.258)
+  [PASS] dispatch_fraction_0: journal 0.173077 ± 0.1 vs collector 0.173077 (tolerance 0.103)
+  [PASS] dispatch_fraction_1: journal 0.173077 ± 0.1 vs collector 0.173077 (tolerance 0.103)
+  [PASS] dispatch_fraction_2: journal 0.653846 ± 0.13 vs collector 0.653846 (tolerance 0.138)
+  [PASS] utilization_0: journal 0.641817 ± 0 vs collector 0.641817 (tolerance 0.0321)
+  [PASS] utilization_1: journal 0.343599 ± 0 vs collector 0.343599 (tolerance 0.0172)
+  [PASS] utilization_2: journal 0.823625 ± 0 vs collector 0.823625 (tolerance 0.0412)
+  8 checks, 0 failed
+
+show prints the journal's meta lines, sampling state and summary.
+
+  $ tracestat show j4.out
+  meta scheduler = ORR
+  meta speeds = 1,1,3
+  meta horizon = 3000
+  meta warmup = 500
+  meta seed = 11
+  meta replication = 0
+  stride 1
+  seen dispatch = 181
+  seen queue = 181
+  seen completion = 181
+  seen drop = 0
+  seen rate = 0
+  records retained = 543
+  summary mean_response_time = 76.617348604083332
+  summary mean_response_ratio = 1.704575860652813
+  summary jobs_measured = 156
+  summary availability = 1
+  summary lost_jobs = 0
+  summary total_arrivals = 181
+  summary events_executed = 363
+  summary utilization_0 = 0.64181693398773065
+  summary dispatch_fraction_0 = 0.17307692307692307
+  summary utilization_1 = 0.34359900723022474
+  summary dispatch_fraction_1 = 0.17307692307692307
+  summary utilization_2 = 0.82362536876168746
+  summary dispatch_fraction_2 = 0.65384615384615385
+
+A corrupted journal is flagged (exit code 2), never silently
+cross-validated: the FNV-1a checksum in the trailer no longer matches
+the altered content.
+
+  $ sed 's/completion/compXetion/' j1.out > jbad.out
+  $ tracestat check jbad.out
+  tracestat: jbad.out: CORRUPT journal (checksum mismatch: file says 91ccd6287c1392aa, content is 150a9391495fa17e)
+  [2]

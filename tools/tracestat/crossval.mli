@@ -1,0 +1,28 @@
+(** Differential observability: recompute run metrics from journal
+    records and compare them against the collector-side summary the
+    journal carries, within simcheck-style confidence bands.
+
+    The journal is a systematic 1-in-[stride] sample of each event
+    stream, so every estimate is a survey estimate: sample statistics
+    are scaled by [seen/kept] and the band combines a sampling term
+    (Student-t or normal-approximation) with the usual bias allowance.
+    An unsampled journal ([stride = 1] and never compacted) must agree
+    essentially exactly. *)
+
+type report = {
+  bands : Statsched_simcheck.Band.t list;
+      (** one per cross-validated metric, recomputed vs summary *)
+  notes : string list;
+      (** checks skipped and why (e.g. utilization under faults) *)
+  ok : bool;  (** all bands passed *)
+}
+
+val validate :
+  ?bias:float -> ?util_bias:float -> Journal_file.t -> (report, string) result
+(** [bias] (default 0.02) is the relative allowance for response-time /
+    response-ratio / dispatch-fraction / availability checks;
+    [util_bias] (default 0.05) for per-computer utilization, whose
+    completed-work estimator additionally carries warm-up/horizon
+    boundary error.  [Error] means the journal lacks the meta or
+    summary needed to cross-validate (not corruption — the parser
+    checks that). *)

@@ -1,0 +1,93 @@
+type stats = {
+  spans : int;
+  measured : int;
+  mean_response_time : float;
+  mean_response_ratio : float;
+  dispatch_counts : int array;
+}
+
+(* Substring search; [String.index]-based, no regex dependency. *)
+let find_sub s sub =
+  let ls = String.length s and lsub = String.length sub in
+  let rec go i =
+    if i + lsub > ls then None
+    else if String.equal (String.sub s i lsub) sub then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let contains s sub = Option.is_some (find_sub s sub)
+
+(* Numeric value following ["key":] in [line], read up to the next
+   [,]/[}] delimiter. *)
+let field_num line key =
+  match find_sub line (Printf.sprintf "\"%s\":" key) with
+  | None -> None
+  | Some i ->
+    let start = i + String.length key + 3 in
+    let stop = ref start in
+    let len = String.length line in
+    while
+      !stop < len
+      && (match line.[!stop] with ',' | '}' -> false | _ -> true)
+    do
+      incr stop
+    done;
+    float_of_string_opt (String.sub line start (!stop - start))
+
+let of_string content =
+  let lines = String.split_on_char '\n' content in
+  let spans = ref 0 in
+  let measured = ref 0 in
+  let rt_sum = ref 0.0 in
+  let rr_sum = ref 0.0 in
+  let counts = ref (Array.make 0 0) in
+  let bump tid =
+    let cur = !counts in
+    if tid >= Array.length cur then begin
+      let grown = Array.make (tid + 1) 0 in
+      Array.blit cur 0 grown 0 (Array.length cur);
+      counts := grown
+    end;
+    !counts.(tid) <- !counts.(tid) + 1
+  in
+  let malformed = ref None in
+  List.iter
+    (fun line ->
+      if
+        Option.is_none !malformed
+        && contains line "\"ph\":\"X\""
+        && contains line "\"cat\":\"job\""
+      then
+        match (field_num line "dur", field_num line "tid", field_num line "size")
+        with
+        | Some dur_us, Some tid, Some size ->
+          incr spans;
+          if contains line "\"measured\":\"yes\"" then begin
+            incr measured;
+            let rt = dur_us /. 1e6 in
+            rt_sum := !rt_sum +. rt;
+            rr_sum := !rr_sum +. (rt /. size);
+            bump (int_of_float tid)
+          end
+        | _ -> malformed := Some line)
+    lines;
+  match !malformed with
+  | Some line -> Error (Printf.sprintf "malformed job span: %s" (String.trim line))
+  | None ->
+    if !spans = 0 then Error "no job spans found (was the trace written with --trace-out?)"
+    else
+      let m = float_of_int (max 1 !measured) in
+      Ok
+        {
+          spans = !spans;
+          measured = !measured;
+          mean_response_time = !rt_sum /. m;
+          mean_response_ratio = !rr_sum /. m;
+          dispatch_counts = !counts;
+        }
+
+let of_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | content -> of_string content
+  | exception Sys_error m -> Error m

@@ -1,0 +1,16 @@
+(** Recompute run statistics from a Chrome trace-event JSON file written
+    by {!Statsched_obs.Trace_event} ([schedsim run --trace-out]).
+
+    This is a purpose-built reader for that writer's output (one event
+    object per line), not a general JSON parser. *)
+
+type stats = {
+  spans : int;  (** job spans found *)
+  measured : int;  (** spans of measured (post-warm-up) jobs *)
+  mean_response_time : float;  (** over measured spans, seconds *)
+  mean_response_ratio : float;  (** over measured spans *)
+  dispatch_counts : int array;  (** measured spans per computer lane *)
+}
+
+val of_string : string -> (stats, string) result
+val of_file : string -> (stats, string) result

@@ -1,0 +1,136 @@
+(* tracestat — recompute run metrics from a structured run journal (or
+   Chrome trace) and cross-validate them against the collector summary
+   recorded in the same file.
+
+   Exit codes: 0 all checks pass; 1 a cross-validation band failed;
+   2 the file is corrupt, truncated, or unreadable. *)
+
+open Cmdliner
+module Journal_file = Tracestat_core.Journal_file
+module Crossval = Tracestat_core.Crossval
+module Trace_stat = Tracestat_core.Trace_stat
+module Band = Statsched_simcheck.Band
+module Confidence = Statsched_stats.Confidence
+
+let exit_band_fail = 1
+let exit_corrupt = 2
+
+let print_band (b : Band.t) =
+  Printf.printf "[%s] %s: journal %s vs collector %s (tolerance %s)\n"
+    (if b.Band.ok then "PASS" else "FAIL")
+    b.Band.name
+    (Format.asprintf "%a" Confidence.pp b.Band.interval)
+    (Printf.sprintf "%.6g" b.Band.theory)
+    (Printf.sprintf "%.3g" b.Band.allowance)
+
+let load_or_die path =
+  match Journal_file.load path with
+  | Ok jf -> jf
+  | Error (Journal_file.Corrupt reason) ->
+    Printf.eprintf "tracestat: %s: CORRUPT journal (%s)\n" path reason;
+    exit exit_corrupt
+  | Error (Journal_file.Unsupported header) ->
+    Printf.eprintf "tracestat: %s: unsupported journal version (%s)\n" path
+      header;
+    exit exit_corrupt
+
+let check_run path bias util_bias =
+  let jf = load_or_die path in
+  match Crossval.validate ~bias ~util_bias jf with
+  | Error reason ->
+    Printf.eprintf "tracestat: %s: cannot cross-validate (%s)\n" path reason;
+    exit exit_corrupt
+  | Ok report ->
+    List.iter print_band report.Crossval.bands;
+    List.iter (fun n -> Printf.printf "note: %s\n" n) report.Crossval.notes;
+    let failed =
+      List.length (List.filter (fun (b : Band.t) -> not b.Band.ok) report.Crossval.bands)
+    in
+    Printf.printf "%d checks, %d failed\n" (List.length report.Crossval.bands) failed;
+    if report.Crossval.ok then () else exit exit_band_fail
+
+let show_run path =
+  let jf = load_or_die path in
+  List.iter
+    (fun (k, v) -> Printf.printf "meta %s = %s\n" k v)
+    jf.Journal_file.meta;
+  Printf.printf "stride %d\n" jf.Journal_file.stride;
+  List.iter
+    (fun (k, n) -> Printf.printf "seen %s = %d\n" k n)
+    jf.Journal_file.seen;
+  Printf.printf "records retained = %d\n" (Array.length jf.Journal_file.records);
+  List.iter
+    (fun (k, v) -> Printf.printf "summary %s = %s\n" k v)
+    jf.Journal_file.summary
+
+let trace_run path =
+  match Trace_stat.of_file path with
+  | Error reason ->
+    Printf.eprintf "tracestat: %s: %s\n" path reason;
+    exit exit_corrupt
+  | Ok s ->
+    Printf.printf "job spans: %d (%d measured)\n" s.Trace_stat.spans
+      s.Trace_stat.measured;
+    Printf.printf "mean response time:  %.4f s\n" s.Trace_stat.mean_response_time;
+    Printf.printf "mean response ratio: %.4f\n" s.Trace_stat.mean_response_ratio;
+    let total =
+      float_of_int (Array.fold_left ( + ) 0 s.Trace_stat.dispatch_counts)
+    in
+    Array.iteri
+      (fun i c ->
+        Printf.printf "computer %d: %d measured jobs (%.4f)\n" i c
+          (if total > 0.0 then float_of_int c /. total else 0.0))
+      s.Trace_stat.dispatch_counts
+
+let file_t =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Input file.")
+
+let bias_t =
+  Arg.(
+    value
+    & opt float 0.02
+    & info [ "bias" ] ~docv:"FRACTION"
+        ~doc:
+          "Relative bias allowance for the response-time/-ratio, dispatch-\
+           fraction and availability bands.")
+
+let util_bias_t =
+  Arg.(
+    value
+    & opt float 0.05
+    & info [ "util-bias" ] ~docv:"FRACTION"
+        ~doc:
+          "Relative bias allowance for per-computer utilization (its \
+           completed-work estimator carries window-boundary error).")
+
+let check_cmd =
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Recompute mean response time/ratio, dispatch fractions, per-\
+          computer utilization (and availability under faults) from the \
+          journal records, and cross-validate each against the collector \
+          summary within confidence bands.")
+    Term.(const check_run $ file_t $ bias_t $ util_bias_t)
+
+let show_cmd =
+  Cmd.v
+    (Cmd.info "show" ~doc:"Print a journal's meta, sampling state and summary.")
+    Term.(const show_run $ file_t)
+
+let trace_cmd =
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Recompute response-time statistics from a Chrome trace-event file \
+          (schedsim run --trace-out).")
+    Term.(const trace_run $ file_t)
+
+let () =
+  let info =
+    Cmd.info "tracestat" ~version:"1.0"
+      ~doc:
+        "Cross-validate a statsched run journal against its collector \
+         summary (differential observability)."
+  in
+  exit (Cmd.eval (Cmd.group info [ check_cmd; show_cmd; trace_cmd ]))
