@@ -365,8 +365,83 @@ let run_macro ~jobs () =
     cores identical;
   if not identical then
     failwith "macro benchmark: parallel replication results diverged from sequential";
+  (* Many-server regime: one n = 10^4 cell of the scale sweep's
+     two-class cluster under the full-information tree dispatcher
+     (JSQ with d = n).  This is the configuration the scale sweep's
+     acceptance bound watches — enough pending events that the event
+     queue's far band is active — so its throughput is tracked as its
+     own pair of macros rather than inferred from the six-computer
+     figures above. *)
+  let n10k = 10_000 in
+  let n10k_speeds = E.Ext_scale.speeds_for n10k in
+  let n10k_workload = Cluster.Workload.paper_default ~rho:0.7 ~speeds:n10k_speeds in
+  let n10k_jobs = 3.0e5 in
+  let n10k_horizon = n10k_jobs /. Cluster.Workload.arrival_rate n10k_workload in
+  let n10k_cfg =
+    Cluster.Simulation.default_config ~horizon:n10k_horizon
+      ~warmup:(0.1 *. n10k_horizon) ~seed:42L ~speeds:n10k_speeds
+      ~workload:n10k_workload
+      ~scheduler:(Cluster.Scheduler.jsq ~d:n10k ())
+      ()
+  in
+  let n10k_last = ref None in
+  let n10k_walls = Array.make alternations 0.0 in
+  for k = 0 to alternations - 1 do
+    let start = Statsched_obs.Clock.now () in
+    let result = Cluster.Simulation.run n10k_cfg in
+    n10k_walls.(k) <- Statsched_obs.Clock.elapsed ~since:start;
+    n10k_last := Some result
+  done;
+  let n10k_result = Option.get !n10k_last in
+  let n10k_wall = median n10k_walls in
+  let n10k_events = float_of_int n10k_result.Cluster.Simulation.events_executed in
+  let n10k_jobs_done =
+    float_of_int n10k_result.Cluster.Simulation.metrics.Core.Metrics.jobs
+  in
+  let n10k_events_per_sec = if n10k_wall > 0.0 then n10k_events /. n10k_wall else 0.0 in
+  let n10k_jobs_per_sec = if n10k_wall > 0.0 then n10k_jobs_done /. n10k_wall else 0.0 in
+  Printf.printf
+    "n=10^4 least-load: %d events in %.3f s wall (median of %d) = %.0f events/s, \
+     %.0f jobs/s (heap high-water %d)\n%!"
+    n10k_result.Cluster.Simulation.events_executed n10k_wall alternations
+    n10k_events_per_sec n10k_jobs_per_sec
+    n10k_result.Cluster.Simulation.heap_high_water;
+  (* Per-decision dispatch cost at n = 10^4, isolated from the engine:
+     a full-information select plus the two index updates a dispatch
+     implies (send + detected departure on the chosen computer, so the
+     load state is stationary across the loop).  Mostly-idle queue
+     levels keep thousands of computers tied at the minimum — the
+     regime where tie-breaking cost is the whole story. *)
+  let decisions = 300_000 in
+  let dispatch_walls = Array.make alternations 0.0 in
+  for k = 0 to alternations - 1 do
+    let ll = Core.Least_load.create n10k_speeds in
+    let g = Rng.create ~seed:(Int64.of_int (100 + k)) () in
+    for i = 0 to n10k - 1 do
+      Core.Least_load.set_load_index ll i (Rng.int g 3)
+    done;
+    let start = Statsched_obs.Clock.now () in
+    let sink = ref 0 in
+    for _ = 1 to decisions do
+      let s = Core.Least_load.select ~rng:g ll in
+      Core.Least_load.job_sent ll s;
+      Core.Least_load.departure_recorded ll s;
+      sink := !sink + s
+    done;
+    dispatch_walls.(k) <- Statsched_obs.Clock.elapsed ~since:start;
+    ignore (Sys.opaque_identity !sink)
+  done;
+  let dispatch_ns =
+    median dispatch_walls *. 1.0e9 /. float_of_int decisions
+  in
+  Printf.printf
+    "least-load dispatch at n=10^4: %.0f ns/decision (median of %d runs of %d)\n%!"
+    dispatch_ns alternations decisions;
   [
     ("des_events_per_sec", per_sec);
+    ("des_events_per_sec_n10k", n10k_events_per_sec);
+    ("jobs_per_sec_n10k", n10k_jobs_per_sec);
+    ("dispatch_ns_per_decision", dispatch_ns);
     ("des_events_total", events);
     ("des_heap_high_water", float_of_int result.Cluster.Simulation.heap_high_water);
     ("macro_wall_seconds", wall);

@@ -98,8 +98,32 @@ let scheduler_t =
     & opt (enum (List.map (fun n -> (n, n)) Scenario.scheduler_names)) "orr"
     & info [ "p"; "policy" ] ~docv:"POLICY"
         ~doc:
-          "Scheduler: wran, oran, wrr, orr, least-load, two-choices or \
-           adaptive-orr.")
+          "Scheduler: wran, oran, wrr, orr, least-load, two-choices, \
+           adaptive-orr, sita, jsq-d or jiq.")
+
+let computers_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "computers" ] ~docv:"N"
+        ~doc:
+          "Simulate a synthetic two-class cluster of $(docv) computers (10% \
+           at speed 10, 90% at speed 1) — the many-server scaling \
+           configuration.  Overrides $(b,--speeds).")
+
+let d_t =
+  (* Declared as the short option [-d]; [main] rewrites a literal [--d]
+     to [-d] before parsing (cmdliner reserves double-dash names for
+     multi-character options, and [--d] would otherwise prefix-match
+     [--discipline]). *)
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "d" ] ~docv:"D"
+        ~doc:
+          "Sample size for the jsq-d and two-choices policies (default 2); \
+           must satisfy 1 <= $(docv) <= cluster size.  [--d $(docv)] is \
+           accepted as a synonym.")
 
 let verbose_t =
   Arg.(
@@ -462,7 +486,7 @@ let run_cmd =
   let run speeds rho policy seed scale discipline arrival_cv size_dist mean_size
       horizon warmup trace_file probe_file metrics_out trace_out stats_interval
       serve_port journal_file journal_capacity journal_sample mtbf mttr
-      on_failure oblivious sanitize verbose =
+      on_failure oblivious computers d sanitize verbose =
     setup_logging verbose;
     try
       (match mtbf with
@@ -470,6 +494,23 @@ let run_cmd =
         invalid_arg (Printf.sprintf "--mtbf must be positive (got %g)" m)
       | Some _ when mttr <= 0.0 || Float.is_nan mttr ->
         invalid_arg (Printf.sprintf "--mttr must be positive (got %g)" mttr)
+      | _ -> ());
+      (match computers with
+      | Some n when n < 1 ->
+        invalid_arg (Printf.sprintf "--computers must be at least 1 (got %d)" n)
+      | _ -> ());
+      let speeds =
+        match computers with
+        | Some n -> E.Ext_scale.speeds_for n
+        | None -> speeds
+      in
+      (match d with
+      | Some d when d < 1 ->
+        invalid_arg (Printf.sprintf "--d must be at least 1 (got %d)" d)
+      | Some d when d > Array.length speeds ->
+        invalid_arg
+          (Printf.sprintf "--d must not exceed the cluster size %d (got %d)"
+             (Array.length speeds) d)
       | _ -> ());
       let horizon = Option.value horizon ~default:scale.E.Config.horizon in
       let warmup = Option.value warmup ~default:scale.E.Config.warmup in
@@ -482,7 +523,7 @@ let run_cmd =
         invalid_arg
           (Printf.sprintf "--mean-size must be positive (got %g)" mean_size);
       let scenario =
-        Scenario.v ~discipline ~arrival_cv ~size:size_dist ~mean_size ~seed
+        Scenario.v ~discipline ~arrival_cv ~size:size_dist ~mean_size ~seed ?d
           ~speeds ~rho ~policy ()
       in
       let workload = Scenario.workload scenario in
@@ -490,7 +531,7 @@ let run_cmd =
       let cfg =
         Cluster.Simulation.default_config ?faults ~discipline ~horizon ~warmup
           ~seed ~speeds ~workload
-          ~scheduler:(Scenario.scheduler_of_name policy) ()
+          ~scheduler:(Scenario.scheduler_of_name ~d:scenario.Scenario.d policy) ()
       in
       let trace = Option.map (fun _ -> Cluster.Trace.create ()) trace_file in
       let probe = Option.map (fun _ -> Cluster.Probe.create ()) probe_file in
@@ -631,7 +672,7 @@ let run_cmd =
        $ warmup_t $ trace_t $ probe_t $ metrics_out_t $ trace_out_t
        $ stats_interval_t $ serve_t $ journal_t $ journal_capacity_t
        $ journal_sample_t $ mtbf_t $ mttr_t $ on_failure_t $ fault_oblivious_t
-       $ sanitize_t $ verbose_t))
+       $ computers_t $ d_t $ sanitize_t $ verbose_t))
   in
   Cmd.v
     (Cmd.info "run"
@@ -681,7 +722,7 @@ let experiment_cmd =
   let which_t =
     let names =
       [ "table1"; "fig2"; "fig3"; "fig4"; "fig5"; "fig6"; "ext-burstiness";
-        "ext-sizes"; "ext-faults"; "all" ]
+        "ext-sizes"; "ext-faults"; "scale-sweep"; "all" ]
     in
     Arg.(
       required
@@ -689,7 +730,7 @@ let experiment_cmd =
       & info [] ~docv:"EXPERIMENT"
           ~doc:
             "One of table1, fig2..fig6, ext-burstiness, ext-sizes, \
-             ext-faults, all.")
+             ext-faults, scale-sweep, all.")
   in
   let csv_t =
     Arg.(
@@ -763,6 +804,31 @@ let experiment_cmd =
       E.Report.print_section "Extension: fault injection";
       print_string (E.Ext_faults.to_report (E.Ext_faults.run ~scale ~seed ?jobs ()))
     in
+    let scale_sweep () =
+      E.Report.print_section "Extension: many-server scale sweep";
+      (* The time knob here is jobs per cell, not simulated seconds:
+         quick = n <= 10^3 smoke (CI), default = the full grid at 10^6
+         jobs, paper = the 10^7-job headline runs. *)
+      let ns, jobs_target =
+        if E.Config.equal_scale scale E.Config.paper then
+          (E.Ext_scale.default_ns, E.Ext_scale.default_jobs_target)
+        else if E.Config.equal_scale scale E.Config.quick then
+          ([ 100; 1_000 ], 5.0e4)
+        else (E.Ext_scale.default_ns, 1.0e6)
+      in
+      let t = E.Ext_scale.run ~seed ?jobs ~ns ~jobs_target () in
+      print_string (E.Ext_scale.to_report t);
+      match csv_dir with
+      | None -> ()
+      | Some dir ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        let path = Filename.concat dir "scale-sweep.csv" in
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc (E.Ext_scale.to_csv t));
+        Printf.printf "wrote %s\n" path
+    in
     try
       validate_jobs ();
       (match which with
@@ -775,6 +841,7 @@ let experiment_cmd =
       | "ext-burstiness" -> ext_burstiness ()
       | "ext-sizes" -> ext_sizes ()
       | "ext-faults" -> ext_faults ()
+      | "scale-sweep" -> scale_sweep ()
       | _ ->
         table1 ();
         fig2 ();
@@ -999,7 +1066,19 @@ let () =
      Chanson, ICPP 2000)"
   in
   let info = Cmd.info "schedsim" ~version:"0.1.0" ~doc in
+  (* Accept [--d K] as a synonym of [-d K]: cmdliner reserves [--name]
+     for multi-character names and would otherwise prefix-match [--d]
+     onto [--discipline]. *)
+  let argv =
+    Sys.argv |> Array.to_list
+    |> List.concat_map (fun a ->
+           if String.equal a "--d" then [ "-d" ]
+           else if String.length a > 4 && String.equal (String.sub a 0 4) "--d="
+           then [ "-d"; String.sub a 4 (String.length a - 4) ]
+           else [ a ])
+    |> Array.of_list
+  in
   exit
-    (Cmd.eval
+    (Cmd.eval ~argv
        (Cmd.group info [ alloc_cmd; dispatch_cmd; run_cmd; compare_cmd; experiment_cmd;
            theory_cmd; report_cmd; claims_cmd; table_cmd; ablation_cmd ]))

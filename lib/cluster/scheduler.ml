@@ -18,6 +18,8 @@ type kind =
       small_to : [ `Fast | `Slow ];
     }
   | Stale_least_load of { poll_period : float; count_in_flight : bool }
+  | Jsq of { d : int }
+  | Jiq
   | Adaptive of {
       period : float;
       initial_rho : float;
@@ -67,6 +69,12 @@ let least_load_instant =
       probe = None;
     }
 
+let jsq ?(d = 2) () =
+  if d < 1 then invalid_arg "Scheduler.jsq: d < 1";
+  Jsq { d }
+
+let jiq = Jiq
+
 let two_choices ?(d = 2) () =
   if d < 1 then invalid_arg "Scheduler.two_choices: d < 1";
   let detection, message_delay = paper_delays in
@@ -93,6 +101,8 @@ let name = function
   | Stale_least_load { poll_period; count_in_flight } ->
     Printf.sprintf "StaleLeastLoad(T=%g%s)" poll_period
       (if count_in_flight then "" else ",blind")
+  | Jsq { d } -> Printf.sprintf "JSQ(d=%d)" d
+  | Jiq -> "JIQ"
   | Adaptive { period; dispatching; windowed; _ } ->
     let d =
       match dispatching with

@@ -51,6 +51,21 @@ type kind =
           arrival in a window herds onto the computer that looked
           emptiest at the last poll — the ablation bench shows where
           static ORR overtakes it. *)
+  | Jsq of { d : int }
+      (** Join-the-Shortest-Queue over [d] sampled computers
+          (power-of-d-choices) with {e synchronous exact} queue
+          information: departures update the scheduler's view
+          immediately, no detection/message-delay events are scheduled.
+          The many-server scaling baseline — O(d) work and zero
+          allocation per decision, O(log n) with [d >= n] (the
+          tournament-tree full-information case).  Contrast with
+          {!Least_load}[{probe = Some d}], which models the paper's
+          update lag. *)
+  | Jiq
+      (** Join-Idle-Queue (see {!Statsched_core.Jiq}): idle computers
+          report themselves, a decision pops the fastest idle stack in
+          O(1) and falls back to speed-weighted random (alias table)
+          when nothing is idle.  Synchronous updates, like {!Jsq}. *)
   | Adaptive of {
       period : float;
           (** seconds between re-estimations of ρ and recomputations of
@@ -98,6 +113,14 @@ val least_load_paper : kind
 val least_load_instant : kind
 (** Idealised Least-Load with zero-delay departure updates — an upper
     bound used in ablation benches to price the update latency. *)
+
+val jsq : ?d:int -> unit -> kind
+(** JSQ(d) with synchronous queue information (default [d = 2]).
+
+    @raise Invalid_argument if [d < 1]. *)
+
+val jiq : kind
+(** Join-Idle-Queue with synchronous idle reporting. *)
 
 val two_choices : ?d:int -> unit -> kind
 (** Power-of-d-choices (default [d = 2]) with the paper's update delays —

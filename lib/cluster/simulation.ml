@@ -111,6 +111,10 @@ let run ?sanitize ?(hooks_retain_jobs = true) ?metric_histograms ?on_engine
   let sizes_rng = Rng.split base in
   let dispatch_rng = Rng.split base in
   let ties_rng = Rng.split base in
+  (* Pre-allocated option for the per-decision [?rng] argument of
+     [Least_load.select]: passing [~rng:ties_rng] at the call site
+     would build a fresh [Some] on every dispatch. *)
+  let some_ties_rng = Some ties_rng in
   let detect_rng = Rng.split base in
   let delay_rng = Rng.split base in
   let fault_rng = Rng.split base in
@@ -141,6 +145,7 @@ let run ?sanitize ?(hooks_retain_jobs = true) ?metric_histograms ?on_engine
      server creation; only poll events executed during the run dereference
      it. *)
   let least_load_state = ref None in
+  let jiq_state = ref None in
   let servers_ref = ref [||] in
   let select_computer, intended_fractions, on_job_departure, on_capacity_change =
     match cfg.scheduler with
@@ -251,7 +256,7 @@ let run ?sanitize ?(hooks_retain_jobs = true) ?metric_histograms ?on_engine
                 (server.Q.Server_intf.in_system ()))
             !servers_ref);
       let select _job =
-        let i = Core.Least_load.select ~rng:ties_rng state in
+        let i = Core.Least_load.select ?rng:some_ties_rng state in
         if count_in_flight then Core.Least_load.job_sent state i;
         i
       in
@@ -343,16 +348,54 @@ let run ?sanitize ?(hooks_retain_jobs = true) ?metric_histograms ?on_engine
           incr seen_completions;
           size_sum := !size_sum +. job.Q.Job.size),
         on_capacity )
-    | Scheduler.Least_load { detection; message_delay; random_ties; probe } ->
+    | Scheduler.Jsq { d } ->
+      (* Power-of-d-choices with synchronous exact queue information:
+         the departure updates the scheduler's view immediately, so no
+         lag events are scheduled — the per-job event count stays
+         independent of n.  [d >= n] is the tournament-tree
+         full-information case (and bit-identical to Least-Load on the
+         same trace, which simcheck pins). *)
       let state = Core.Least_load.create cfg.speeds in
       least_load_state := Some state;
       let select _job =
         let i =
+          if d >= n then Core.Least_load.select ?rng:some_ties_rng state
+          else Core.Least_load.select_sampled ~rng:ties_rng state ~d
+        in
+        Core.Least_load.job_sent state i;
+        i
+      in
+      let on_departure job =
+        Core.Least_load.departure_recorded state job.Q.Job.computer
+      in
+      let on_capacity eff =
+        Array.iteri (fun i e -> Core.Least_load.set_available state i (e > 0.0)) eff
+      in
+      (select, (fun () -> None), on_departure, on_capacity)
+    | Scheduler.Jiq ->
+      let state = Core.Jiq.create cfg.speeds in
+      jiq_state := Some state;
+      let select _job =
+        let i = Core.Jiq.select ~rng:dispatch_rng state in
+        Core.Jiq.job_sent state i;
+        i
+      in
+      let on_departure job =
+        Core.Jiq.departure_recorded state job.Q.Job.computer
+      in
+      let on_capacity eff =
+        Array.iteri (fun i e -> Core.Jiq.set_available state i (e > 0.0)) eff
+      in
+      (select, (fun () -> None), on_departure, on_capacity)
+    | Scheduler.Least_load { detection; message_delay; random_ties; probe } ->
+      let state = Core.Least_load.create cfg.speeds in
+      least_load_state := Some state;
+      let rng = if random_ties then some_ties_rng else None in
+      let select _job =
+        let i =
           match probe with
           | Some d -> Core.Least_load.select_sampled ~rng:ties_rng state ~d
-          | None ->
-            let rng = if random_ties then Some ties_rng else None in
-            Core.Least_load.select ?rng state
+          | None -> Core.Least_load.select ?rng state
         in
         Core.Least_load.job_sent state i;
         i
@@ -471,6 +514,9 @@ let run ?sanitize ?(hooks_retain_jobs = true) ?metric_histograms ?on_engine
       let handle_drained job =
         (match !least_load_state with
         | Some st -> Core.Least_load.departure_recorded st job.Q.Job.computer
+        | None -> ());
+        (match !jiq_state with
+        | Some st -> Core.Jiq.departure_recorded st job.Q.Job.computer
         | None -> ());
         match plan.Fault.on_failure with
         | Fault.Drop ->

@@ -48,6 +48,21 @@ val round_robin : float array -> t
 
     @raise Invalid_argument as for {!random}. *)
 
+val round_robin_lazy : float array -> t
+(** {!round_robin} in offset form for many-server runs: O(log n) per
+    decision instead of O(n).  Stores [next_i + A] (where [A] counts
+    selects so far) in a tournament tree, so the global "everyone
+    started gets −1" update is a single counter increment; unstarted
+    computers wait in a static priority queue ordered by
+    [(1/α, index)].  Decision-for-decision identical to {!round_robin}
+    whenever every fraction is a power of two (all arithmetic is then
+    exact); with arbitrary fractions the reassociated arithmetic can
+    round guard-row ties differently, so treat it as a distinct
+    dispatcher, not a drop-in replica — the scale sweeps use it as the
+    ORR dispatcher at n >= 10^3.
+
+    @raise Invalid_argument as for {!random}. *)
+
 val round_robin_no_guard : float array -> t
 (** Ablation: Algorithm 2 with the first-assignment guard removed
     ([next] initialised to 0, no reset on first selection).  Small-fraction

@@ -1,70 +1,160 @@
 module Rng = Statsched_prng.Rng
 
-type t = { speeds : float array; queue : int array; available : bool array }
+(* Structure-of-arrays state plus a tournament-tree index over the
+   normalised loads: leaf [i] holds [(q_i + 1)/s_i] while computer [i]
+   is available and [+inf] while it is not, so a full-information
+   decision is a root read plus a walk over the tied leaves instead of
+   an O(n) scan — the difference between usable and hopeless at
+   n = 10^4.  [pool]/[avail_pool] are persistent index pools for the
+   power-of-d sampler: the hot path must not allocate per decision. *)
+type t = {
+  speeds : float array;
+  queue : int array;
+  available : bool array;
+  tree : Min_tree.t;
+  mutable up_count : int;
+  pool : int array;  (* identity permutation, restored after each probe *)
+  swaps : int array;  (* Fisher-Yates swap log for the un-swap restore *)
+  mutable avail_pool : int array;  (* ascending available indices *)
+  mutable avail_len : int;
+  mutable avail_dirty : bool;  (* availability changed since last rebuild *)
+}
+
+let[@inline] normalized_load t i =
+  float_of_int (t.queue.(i) + 1) /. t.speeds.(i)
 
 let create speeds =
   Speeds.validate speeds;
-  {
-    speeds = Array.copy speeds;
-    queue = Array.make (Array.length speeds) 0;
-    available = Array.make (Array.length speeds) true;
-  }
+  let n = Array.length speeds in
+  let t =
+    {
+      speeds = Array.copy speeds;
+      queue = Array.make n 0;
+      available = Array.make n true;
+      tree = Min_tree.create n;
+      up_count = n;
+      pool = Array.init n (fun i -> i);
+      swaps = Array.make n 0;
+      avail_pool = Array.init n (fun i -> i);
+      avail_len = n;
+      avail_dirty = false;
+    }
+  in
+  for i = 0 to n - 1 do
+    Min_tree.set t.tree i (normalized_load t i)
+  done;
+  t
 
-let normalized_load t i = float_of_int (t.queue.(i) + 1) /. t.speeds.(i)
+(* Keep the tree leaf in sync: the live load while the computer can be
+   selected, +inf while it cannot (so it never wins the tournament).
+   Direct leaf store + spine refresh instead of [Min_tree.set] — the
+   raw-access contract that keeps the update free of boxed floats in
+   dev builds (see the .mli of {!Min_tree}). *)
+let[@inline] refresh_leaf t i =
+  Float.Array.unsafe_set (Min_tree.leaves t.tree)
+    (Min_tree.leaf_pos t.tree i)
+    (if t.available.(i) then normalized_load t i else infinity);
+  Min_tree.refresh t.tree i
 
-let set_available t i up = t.available.(i) <- up
+let set_available t i up =
+  if t.available.(i) <> up then begin
+    t.available.(i) <- up;
+    t.up_count <- (t.up_count + if up then 1 else -1);
+    t.avail_dirty <- true;
+    refresh_leaf t i
+  end
 
 let is_available t i = t.available.(i)
 
+(* Uniform choice over the computers tied at the minimum: the tree
+   root's tie count gives the tied-set size in O(1), so the break is a
+   single [Rng.int ties] draw plus one counted descent to that member —
+   O(log n) no matter how many computers tie (at large n a mostly-idle
+   cluster ties thousands deep, so enumerating the ties would dominate
+   the decision).  No draw when the minimum is unique or [rng] is
+   absent; see the .mli note on draw order. *)
 let select ?rng t =
-  let n = Array.length t.speeds in
-  (* When every computer is down there is no good choice — fall back to
-     considering all of them so the caller still gets a destination. *)
-  let any_up = Array.exists Fun.id t.available in
-  let best = ref infinity in
-  let ties = ref 0 in
-  let chosen = ref (-1) in
-  for i = 0 to n - 1 do
-    if (not any_up) || t.available.(i) then begin
+  if t.up_count > 0 then begin
+    let ties = Min_tree.min_count t.tree in
+    (* [nth_tied ~k:0] rather than [first_tied]: same leaf, but the
+       counted descent keeps the whole decision free of boxed floats
+       (see [Min_tree.update_spine] on why that matters here). *)
+    if ties = 1 then Min_tree.nth_tied t.tree ~k:0
+    else
+      match rng with
+      | None -> Min_tree.nth_tied t.tree ~k:0
+      | Some g -> Min_tree.nth_tied t.tree ~k:(Rng.int g ties)
+  end
+  else begin
+    (* Every computer is down: there is no good choice, so consider all
+       of them.  Two passes — find the minimum and count its ties, then
+       draw once and walk to the chosen tie — matching the tree path's
+       single-draw contract. *)
+    let n = Array.length t.speeds in
+    let best = ref infinity in
+    let ties = ref 0 in
+    for i = 0 to n - 1 do
       let l = normalized_load t i in
-      if !ties = 0 || l < !best then begin
+      if l < !best then begin
         best := l;
-        chosen := i;
         ties := 1
       end
-      else if Float.equal l !best then begin
-        (* Reservoir sampling keeps each tied computer equally likely. *)
-        incr ties;
-        match rng with
-        | Some g -> if Rng.int g !ties = 0 then chosen := i
-        | None -> ()
-      end
+      else if Float.equal l !best then incr ties
+    done;
+    let k =
+      match rng with
+      | Some g when !ties > 1 -> Rng.int g !ties
+      | _ -> 0
+    in
+    let chosen = ref (-1) in
+    let seen = ref 0 in
+    (try
+       for i = 0 to n - 1 do
+         if Float.equal (normalized_load t i) !best then begin
+           if !seen = k then begin
+             chosen := i;
+             raise Exit
+           end;
+           incr seen
+         end
+       done
+     with Exit -> ());
+    !chosen
+  end
+
+let rebuild_avail_pool t =
+  let n = Array.length t.speeds in
+  if Array.length t.avail_pool < n then t.avail_pool <- Array.make n 0;
+  let m = ref 0 in
+  for i = 0 to n - 1 do
+    if t.available.(i) then begin
+      t.avail_pool.(!m) <- i;
+      incr m
     end
   done;
-  !chosen
+  t.avail_len <- !m;
+  t.avail_dirty <- false
 
 let select_sampled ~rng t ~d =
   if d < 1 then invalid_arg "Least_load.select_sampled: d < 1";
   let n = Array.length t.speeds in
-  let pool =
-    if Array.for_all Fun.id t.available || not (Array.exists Fun.id t.available) then
-      Array.init n (fun i -> i)
-    else begin
-      let l = ref [] in
-      for i = n - 1 downto 0 do
-        if t.available.(i) then l := i :: !l
-      done;
-      Array.of_list !l
-    end
-  in
-  let m = Array.length pool in
+  (* With everything up (or everything down) the candidate pool is the
+     identity permutation; otherwise the ascending available indices,
+     rebuilt only when availability changed. *)
+  let all = t.up_count = n || t.up_count = 0 in
+  let pool = if all then t.pool else (if t.avail_dirty then rebuild_avail_pool t; t.avail_pool) in
+  let m = if all then n else t.avail_len in
   if d >= m then select ~rng t
   else begin
-    (* Partial Fisher-Yates over an index pool: d distinct probes. *)
+    (* Partial Fisher-Yates over the persistent pool: d distinct probes,
+       the same draws as a shuffle of a fresh index array.  The swap log
+       lets the prefix be un-swapped afterwards, restoring the pool to
+       its canonical order without reallocating it. *)
     let best = ref (-1) in
     let best_load = ref infinity in
     for k = 0 to d - 1 do
       let j = k + Rng.int rng (m - k) in
+      t.swaps.(k) <- j;
       let tmp = pool.(k) in
       pool.(k) <- pool.(j);
       pool.(j) <- tmp;
@@ -75,17 +165,32 @@ let select_sampled ~rng t ~d =
         best := candidate
       end
     done;
+    for k = d - 1 downto 0 do
+      let j = t.swaps.(k) in
+      let tmp = pool.(k) in
+      pool.(k) <- pool.(j);
+      pool.(j) <- tmp
+    done;
     !best
   end
 
-let job_sent t i = t.queue.(i) <- t.queue.(i) + 1
+let job_sent t i =
+  t.queue.(i) <- t.queue.(i) + 1;
+  refresh_leaf t i
 
-let departure_recorded t i = if t.queue.(i) > 0 then t.queue.(i) <- t.queue.(i) - 1
+let departure_recorded t i =
+  if t.queue.(i) > 0 then begin
+    t.queue.(i) <- t.queue.(i) - 1;
+    refresh_leaf t i
+  end
 
 let load_index t i = t.queue.(i)
 
 let set_load_index t i q =
   if q < 0 then invalid_arg "Least_load.set_load_index: negative queue length";
-  t.queue.(i) <- q
+  t.queue.(i) <- q;
+  refresh_leaf t i
 
-let reset t = Array.fill t.queue 0 (Array.length t.queue) 0
+let reset t =
+  Array.fill t.queue 0 (Array.length t.queue) 0;
+  Array.iteri (fun i _ -> refresh_leaf t i) t.queue

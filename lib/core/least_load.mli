@@ -22,7 +22,14 @@ val select : ?rng:Statsched_prng.Rng.t -> t -> int
     currently {!is_available}.  Ties break uniformly at random when [rng]
     is given, otherwise toward the smallest index.  If {e every} computer
     is marked unavailable all of them are considered (the scheduler must
-    send the job somewhere).  Does {e not} modify the state. *)
+    send the job somewhere).  Does {e not} modify the state.
+
+    O(log n) regardless of how many computers tie, via a tournament-tree
+    index that carries per-subtree tie counts.  Draw order is part of
+    the contract: exactly one [Rng.int ties] draw when two or more
+    computers tie at the minimum, none when the minimum is unique — a
+    pure function of the tied-minimum set, which is what makes a sampled
+    probe with [d >= n] bit-identical to this function. *)
 
 val set_available : t -> int -> bool -> unit
 (** Mark computer [i] up ([true]) or down ([false]) for selection.
@@ -40,6 +47,11 @@ val select_sampled : rng:Statsched_prng.Rng.t -> t -> d:int -> int
     baseline than full Least-Load — the scheduler only needs [d] load
     values per decision — included to price how much of Least-Load's
     advantage survives partial information.
+
+    O(d) and allocation-free: the probe runs a partial Fisher-Yates over
+    a persistent index pool and un-swaps the prefix afterwards, so the
+    draw sequence matches a shuffle of a fresh pool without creating
+    one.
 
     @raise Invalid_argument if [d < 1]. *)
 

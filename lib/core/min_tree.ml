@@ -1,0 +1,155 @@
+(* Flat tournament (segment) tree over a fixed number of float leaves.
+
+   Internal nodes hold exact copies of the minimum leaf value of their
+   subtree — no arithmetic is performed on the values, so equality
+   against the root is an exact test for "this subtree contains a
+   minimal leaf".  That property is what lets [next_tied] enumerate the
+   tied-minimum leaves in ascending order without any per-query
+   allocation: the descent only enters subtrees whose stored minimum is
+   [Float.equal] to the target.
+
+   Each node additionally stores how many leaves of its subtree are
+   [Float.equal] to its minimum, so the number of tied minima is O(1)
+   to read ([min_count]) and the k-th tied leaf is a single O(log n)
+   counted descent ([nth_tied]) — the uniform tie-break of a
+   least-load dispatcher costs one RNG draw plus one descent instead of
+   one draw per tied computer.
+
+   Layout: one unboxed floatarray (values) and one int array (tie
+   counts) of [2*cap] slots where [cap] is the smallest power of two
+   >= n.  Node 1 is the root, node [i] has children [2i] and [2i+1],
+   leaf [j] lives at [cap + j].  Padding leaves (indices >= n) stay at
+   [+infinity] forever, so they never join a finite minimum's count. *)
+
+type t = { tree : Float.Array.t; counts : int array; cap : int; n : int }
+
+let create n =
+  if n < 1 then invalid_arg "Min_tree.create: n < 1";
+  let cap = ref 1 in
+  while !cap < n do
+    cap := !cap * 2
+  done;
+  let cap = !cap in
+  let counts = Array.make (2 * cap) 1 in
+  (* All leaves start equal (+inf), so an internal node's tie count is
+     its subtree size. *)
+  for i = cap - 1 downto 1 do
+    counts.(i) <- counts.(2 * i) + counts.((2 * i) + 1)
+  done;
+  { tree = Float.Array.make (2 * cap) infinity; counts; cap; n }
+
+let length t = t.n
+
+let[@inline] get t i = Float.Array.unsafe_get t.tree (t.cap + i)
+
+let[@inline] min_value t = Float.Array.unsafe_get t.tree 1
+
+let[@inline] min_count t = Array.unsafe_get t.counts 1
+
+(* Recompute node [p] from its children: exact copy of the smaller
+   child's value; tie counts add when both sides share the minimum.
+   Values are loads or +infinity, never NaN, so the three-way
+   comparison is exhaustive. *)
+let[@inline] pull_up t p =
+  let l = Float.Array.unsafe_get t.tree (2 * p) in
+  let r = Float.Array.unsafe_get t.tree ((2 * p) + 1) in
+  let cl = Array.unsafe_get t.counts (2 * p) in
+  let cr = Array.unsafe_get t.counts ((2 * p) + 1) in
+  if l < r then begin
+    Float.Array.unsafe_set t.tree p l;
+    Array.unsafe_set t.counts p cl
+  end
+  else if r < l then begin
+    Float.Array.unsafe_set t.tree p r;
+    Array.unsafe_set t.counts p cr
+  end
+  else begin
+    Float.Array.unsafe_set t.tree p l;
+    Array.unsafe_set t.counts p (cl + cr)
+  end
+
+(* The spine walk takes no float arguments: in dev builds (-opaque, no
+   cross-module inlining) a float parameter crossing a module boundary
+   is boxed at every call — an allocation on every dispatch decision.
+   Hot callers write the leaf into {!leaves} themselves (a primitive
+   floatarray store) and call this; [set] packages the two for
+   everyone else. *)
+let[@schedsim.hot] refresh t i =
+  let j = ref ((t.cap + i) lsr 1) in
+  while !j >= 1 do
+    pull_up t !j;
+    j := !j lsr 1
+  done
+
+let leaves t = t.tree
+let[@inline] leaf_pos t i = t.cap + i
+
+(* O(log n): overwrite the leaf, then recompute the spine. *)
+let[@inline] [@schedsim.hot] set t i v =
+  Float.Array.unsafe_set t.tree (t.cap + i) v;
+  refresh t i
+
+let fill t v =
+  for i = 0 to t.n - 1 do
+    Float.Array.unsafe_set t.tree (t.cap + i) v
+  done;
+  for i = t.cap - 1 downto 1 do
+    pull_up t i
+  done
+
+(* Smallest leaf index >= [from] whose value is [Float.equal] to [v]
+   (callers pass the root minimum), or -1.  Classic segment-tree
+   first-match descent: prune subtrees entirely below [from] and
+   subtrees whose minimum differs from [v]; left child first keeps the
+   enumeration ascending.  Recursion depth is log n and nothing
+   allocates. *)
+let rec find_from t v node lo hi from =
+  if hi <= from then -1
+  else if not (Float.equal (Float.Array.unsafe_get t.tree node) v) then -1
+  else if hi - lo = 1 then lo
+  else begin
+    let mid = (lo + hi) lsr 1 in
+    let left = find_from t v (2 * node) lo mid from in
+    if left >= 0 then left else find_from t v ((2 * node) + 1) mid hi from
+  end
+
+let next_tied t ~from =
+  if from >= t.n then -1
+  else begin
+    let m = min_value t in
+    let i = find_from t m 1 0 t.cap from in
+    if i >= t.n then -1 else i
+  end
+
+let first_tied t = next_tied t ~from:0
+
+(* Counted descent to the k-th (0-indexed, ascending) tied-minimum
+   leaf: at each node, the left subtree contributes its tie count iff
+   its minimum equals the global one.  O(log n), allocation-free. *)
+let[@schedsim.hot] nth_tied t ~k =
+  if k < 0 || k >= min_count t then
+    invalid_arg "Min_tree.nth_tied: k out of range";
+  let v = min_value t in
+  let node = ref 1 in
+  let k = ref k in
+  let lo = ref 0 in
+  let hi = ref t.cap in
+  while !hi - !lo > 1 do
+    let l = 2 * !node in
+    let lc =
+      if Float.equal (Float.Array.unsafe_get t.tree l) v then
+        Array.unsafe_get t.counts l
+      else 0
+    in
+    let mid = (!lo + !hi) lsr 1 in
+    if !k < lc then begin
+      node := l;
+      hi := mid
+    end
+    else begin
+      k := !k - lc;
+      node := l + 1;
+      lo := mid
+    end
+  done;
+  !lo

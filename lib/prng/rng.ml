@@ -21,17 +21,12 @@ let uniform g a b =
   if a > b then invalid_arg "Rng.uniform: a > b";
   a +. ((b -. a) *. float g)
 
-let int g n =
+(* Rejection sampling to avoid modulo bias; the loop lives in
+   {!Xoshiro256.next_int} fused with the state update so no boxed
+   [int64] is allocated per draw. *)
+let[@inline] [@schedsim.hot] int g n =
   if n <= 0 then invalid_arg "Rng.int: n <= 0";
-  (* Rejection sampling to avoid modulo bias. *)
-  let n64 = Int64.of_int n in
-  let rec loop () =
-    let bits = Int64.shift_right_logical (Xoshiro256.next g) 1 in
-    let v = Int64.rem bits n64 in
-    if Int64.sub bits v > Int64.sub Int64.max_int (Int64.sub n64 1L) then loop ()
-    else Int64.to_int v
-  in
-  loop ()
+  Xoshiro256.next_int g n
 
 let bits64 = Xoshiro256.next
 

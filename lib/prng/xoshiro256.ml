@@ -75,6 +75,42 @@ let[@inline] [@schedsim.hot] next_float g =
   set g 3 s3;
   Int64.to_float (Int64.shift_right_logical result 11) /. two_pow_53
 
+(* Bounded draw with the state update fused in, like [next_float]: the
+   rejection loop keeps every intermediate unboxed inside one frame.
+   Split as "take [next]'s boxed result, then reduce" each attempt
+   would allocate a 3-word [int64] box — one per dispatch decision of
+   the sampled schedulers.  Bit-compatible with reducing [next g]
+   exactly as [Rng.int] historically did: bits = result >>> 1,
+   candidate = bits mod n, rejected while bits - candidate overflows
+   the last full multiple of n. *)
+let[@schedsim.hot] next_int g n =
+  let n64 = Int64.of_int n in
+  let limit = Int64.sub Int64.max_int (Int64.sub n64 1L) in
+  let out = ref 0 in
+  let again = ref true in
+  while !again do
+    let s0 = get g 0 and s1 = get g 1 and s2 = get g 2 and s3 = get g 3 in
+    let result = Int64.mul (rotl (Int64.mul s1 5L) 7) 9L in
+    let t = Int64.shift_left s1 17 in
+    let s2 = Int64.logxor s2 s0 in
+    let s3 = Int64.logxor s3 s1 in
+    let s1 = Int64.logxor s1 s2 in
+    let s0 = Int64.logxor s0 s3 in
+    let s2 = Int64.logxor s2 t in
+    let s3 = rotl s3 45 in
+    set g 0 s0;
+    set g 1 s1;
+    set g 2 s2;
+    set g 3 s3;
+    let bits = Int64.shift_right_logical result 1 in
+    let v = Int64.rem bits n64 in
+    if Int64.sub bits v <= limit then begin
+      out := Int64.to_int v;
+      again := false
+    end
+  done;
+  !out
+
 (* Jump polynomial for 2^128 steps, from the reference implementation. *)
 let jump_poly = [| 0x180EC6D33CFD0ABAL; 0xD5A61266F0C9392CL; 0xA9582618E03FC9AAL; 0x39ABDC4529B1661CL |]
 

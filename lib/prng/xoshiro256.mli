@@ -22,6 +22,12 @@ val next : t -> int64
 val next_float : t -> float
 (** [next_float g] is a uniform float in [\[0, 1)] (top 53 bits). *)
 
+val next_int : t -> int -> int
+(** [next_int g n] is uniform in [\[0, n)] by rejection sampling on
+    draws of {!next} (bit-identical to reducing [next g] by hand, but
+    fused so no boxed [int64] crosses a call boundary).  Requires
+    [n > 0]; the caller validates. *)
+
 val jump : t -> unit
 (** [jump g] advances [g] by 2{^128} calls to {!next} in O(256) work.
     Calling [jump] on copies yields non-overlapping substreams each of

@@ -329,9 +329,89 @@ let dispatch_fractions ~scale ~seed =
                     else " | replay: " ^ Scenario.to_run_command sc))))
     [ "oran"; "orr" ]
 
+(* ------------------------------------------------------------------ *)
+(* Dispatcher equivalences                                             *)
+
+(* Pairs of schedulers that are different implementations of the same
+   decision procedure, so their runs must agree bit-for-bit — whole
+   trajectories, not averages:
+
+   - JSQ(d) with d >= n probes every computer, which is exactly
+     idealised Least-Load (zero-delay updates, random tie-breaks).
+     Both paths draw exactly one tie-break from the ties stream when
+     two or more computers share the minimum and none otherwise — a
+     pure function of the tied set — so identical queue states force
+     identical draws and the decision sequences coincide.
+   - On a single-computer cluster every dispatcher sends every job to
+     computer 0.  JIQ and static ORR consume different (independent)
+     random streams to make that forced choice, so their arrival and
+     size streams — and hence every output — must be bit-identical. *)
+let dispatcher_equivalence ~scale ~seed =
+  let horizon = scale.E.Config.horizon and warmup = scale.E.Config.warmup in
+  let pair ~name ~sc scheduler_b =
+    let run scheduler =
+      Cluster.Simulation.run
+        (Cluster.Simulation.default_config ~horizon ~warmup ~seed
+           ~speeds:sc.Scenario.speeds ~workload:(Scenario.workload sc)
+           ~scheduler ())
+    in
+    let ra = run (Scenario.scheduler_of_name ~d:sc.Scenario.d sc.Scenario.policy) in
+    let rb = run scheduler_b in
+    let am = ra.Cluster.Simulation.metrics
+    and bm = rb.Cluster.Simulation.metrics in
+    let label what = Printf.sprintf "dispatcher-equivalence/%s/%s" name what in
+    let exact what got want =
+      Check.v ~label:(label what) ~ok:(Float.equal got want)
+        ~detail:
+          (Printf.sprintf "%.17g vs %.17g%s" got want
+             (if Float.equal got want then ""
+              else " | replay: " ^ Scenario.to_run_command sc))
+    in
+    [
+      Check.v ~label:(label "jobs")
+        ~ok:(am.Core.Metrics.jobs = bm.Core.Metrics.jobs)
+        ~detail:
+          (Printf.sprintf "%d jobs vs %d" am.Core.Metrics.jobs
+             bm.Core.Metrics.jobs);
+      exact "response-time" am.Core.Metrics.mean_response_time
+        bm.Core.Metrics.mean_response_time;
+      exact "response-ratio" am.Core.Metrics.mean_response_ratio
+        bm.Core.Metrics.mean_response_ratio;
+      exact "fairness" am.Core.Metrics.fairness bm.Core.Metrics.fairness;
+      exact "median-ratio" ra.Cluster.Simulation.median_response_ratio
+        rb.Cluster.Simulation.median_response_ratio;
+      Check.v ~label:(label "per-computer")
+        ~ok:
+          (Array.for_all2
+             (fun (a : Cluster.Simulation.per_computer)
+                  (b : Cluster.Simulation.per_computer) ->
+               a.Cluster.Simulation.dispatched = b.Cluster.Simulation.dispatched
+               && a.Cluster.Simulation.completed = b.Cluster.Simulation.completed
+               && Float.equal a.Cluster.Simulation.utilization
+                    b.Cluster.Simulation.utilization
+               && Float.equal a.Cluster.Simulation.mean_jobs
+                    b.Cluster.Simulation.mean_jobs)
+             ra.Cluster.Simulation.per_computer
+             rb.Cluster.Simulation.per_computer)
+        ~detail:
+          "per-computer dispatch counts, utilisations and L bit-identical \
+           across equivalent dispatchers";
+    ]
+  in
+  let speeds = [| 1.0; 1.0; 2.0; 3.0 |] in
+  pair ~name:"jsq-full-vs-least-load"
+    ~sc:
+      (Scenario.v ~speeds ~rho:0.7 ~policy:"jsq-d" ~d:(Array.length speeds)
+         ~seed ())
+    Cluster.Scheduler.least_load_instant
+  @ pair ~name:"jiq-single-vs-orr"
+      ~sc:(Scenario.v ~speeds:[| 2.0 |] ~rho:0.7 ~policy:"jiq" ~seed ())
+      (Scenario.scheduler_of_name "orr")
+
 let run ?(scale = default_scale) ?(seed = 20260806L) ?jobs () =
   time_scale ~scale ~seed
   @ permutation ()
   @ rho_monotone ~scale ~seed ~jobs
   @ local_optimality ~scale ~seed ~jobs
   @ dispatch_fractions ~scale ~seed
+  @ dispatcher_equivalence ~scale ~seed

@@ -17,7 +17,12 @@
       (exact) nor the simulated mean slowdown (paired CRN replications).
     - {e Dispatch-fraction agreement}: random and round-robin dispatch of
       the same allocation land every computer's long-run dispatch
-      fraction within a binomial bound of the intended alpha. *)
+      fraction within a binomial bound of the intended alpha.
+    - {e Dispatcher equivalence}: JSQ(d = n) is bit-identical to
+      idealised Least-Load on the same trace (both probe everything and
+      share the single-draw tie-break contract), and on a one-computer
+      cluster JIQ matches static ORR bit-for-bit (every dispatcher is
+      forced to computer 0; the streams they consume are independent). *)
 
 val default_scale : Statsched_experiments.Config.scale
 (** 4·10⁴ s horizon, 3 replications — the relations need far less

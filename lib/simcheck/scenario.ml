@@ -8,17 +8,20 @@ module E = Statsched_experiments
 
 let scheduler_names =
   [ "wran"; "oran"; "wrr"; "orr"; "least-load"; "two-choices"; "adaptive-orr";
-    "sita" ]
+    "sita"; "jsq-d"; "jiq" ]
 
-let scheduler_of_name = function
+let scheduler_of_name ?(d = 2) name =
+  match name with
   | "wran" -> Cluster.Scheduler.static Core.Policy.wran
   | "oran" -> Cluster.Scheduler.static Core.Policy.oran
   | "wrr" -> Cluster.Scheduler.static Core.Policy.wrr
   | "orr" -> Cluster.Scheduler.static Core.Policy.orr
   | "least-load" -> Cluster.Scheduler.least_load_paper
-  | "two-choices" -> Cluster.Scheduler.two_choices ()
+  | "two-choices" -> Cluster.Scheduler.two_choices ~d ()
   | "adaptive-orr" -> Cluster.Scheduler.adaptive_orr ()
   | "sita" -> Cluster.Scheduler.sita_paper ()
+  | "jsq-d" -> Cluster.Scheduler.jsq ~d ()
+  | "jiq" -> Cluster.Scheduler.jiq
   | s -> invalid_arg ("unknown scheduler " ^ s)
 
 (* ------------------------------------------------------------------ *)
@@ -115,6 +118,7 @@ type t = {
   speeds : float array;
   rho : float;
   policy : string;
+  d : int;  (** sample size for jsq-d / two-choices; ignored otherwise *)
   discipline : Cluster.Simulation.discipline;
   arrival_cv : float;
   size : size_dist;
@@ -124,8 +128,8 @@ type t = {
 }
 
 let v ?(discipline = Cluster.Simulation.Ps) ?(arrival_cv = 1.0) ?(size = Exp)
-    ?(mean_size = 1.0) ?faults ?(seed = 1L) ~speeds ~rho ~policy () =
-  { speeds; rho; policy; discipline; arrival_cv; size; mean_size; faults; seed }
+    ?(mean_size = 1.0) ?faults ?(seed = 1L) ?(d = 2) ~speeds ~rho ~policy () =
+  { speeds; rho; policy; d; discipline; arrival_cv; size; mean_size; faults; seed }
 
 let workload t =
   Cluster.Workload.with_size ~rho:t.rho ~arrival_cv:t.arrival_cv
@@ -142,7 +146,7 @@ let fault_plan t =
 let spec t =
   E.Runner.make_spec ~discipline:t.discipline ?faults:(fault_plan t)
     ~speeds:t.speeds ~workload:(workload t)
-    ~scheduler:(scheduler_of_name t.policy) ()
+    ~scheduler:(scheduler_of_name ~d:t.d t.policy) ()
 
 let to_run_command ?scale ?horizon ?warmup t =
   let b = Buffer.create 128 in
@@ -150,6 +154,7 @@ let to_run_command ?scale ?horizon ?warmup t =
   Printf.bprintf b " -s %s" (Core.Speeds.to_string t.speeds);
   Printf.bprintf b " -u %g" t.rho;
   Printf.bprintf b " -p %s" t.policy;
+  if t.d <> 2 then Printf.bprintf b " --d %d" t.d;
   Printf.bprintf b " --discipline %s" (discipline_to_string t.discipline);
   Printf.bprintf b " --arrival-cv %g" t.arrival_cv;
   Printf.bprintf b " --size-dist %s" (size_dist_to_string t.size);

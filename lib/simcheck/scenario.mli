@@ -15,10 +15,14 @@
 
 val scheduler_names : string list
 (** CLI names, in menu order: wran, oran, wrr, orr, least-load,
-    two-choices, adaptive-orr, sita. *)
+    two-choices, adaptive-orr, sita, jsq-d, jiq. *)
 
-val scheduler_of_name : string -> Statsched_cluster.Scheduler.kind
-(** @raise Invalid_argument on a name outside {!scheduler_names}. *)
+val scheduler_of_name : ?d:int -> string -> Statsched_cluster.Scheduler.kind
+(** [d] (default 2) is the sample size of [jsq-d] and [two-choices];
+    ignored by every other scheduler.
+
+    @raise Invalid_argument on a name outside {!scheduler_names} or
+    [d < 1]. *)
 
 (** {1 Disciplines} *)
 
@@ -62,6 +66,7 @@ type t = {
   speeds : float array;
   rho : float;  (** target offered utilisation, in (0,1) *)
   policy : string;  (** a {!scheduler_names} entry *)
+  d : int;  (** sample size for jsq-d / two-choices; ignored otherwise *)
   discipline : Statsched_cluster.Simulation.discipline;
   arrival_cv : float;  (** arrival-process CV; 1 = Poisson *)
   size : size_dist;
@@ -77,13 +82,14 @@ val v :
   ?mean_size:float ->
   ?faults:faults ->
   ?seed:int64 ->
+  ?d:int ->
   speeds:float array ->
   rho:float ->
   policy:string ->
   unit ->
   t
 (** Defaults: [Ps], Poisson arrivals, Exp sizes of mean 1, no faults,
-    seed 1 — the analytically tractable M/M baseline. *)
+    seed 1, [d = 2] — the analytically tractable M/M baseline. *)
 
 val workload : t -> Statsched_cluster.Workload.t
 

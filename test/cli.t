@@ -109,10 +109,41 @@ commands; the same seed and options always reproduce the same numbers:
   0         1      202         202        49.54%       0.5955       
   1         2      521         519        63.33%       1.165        
 
+The many-server flags: --computers N generates the two-class scale-sweep
+cluster (10% fast computers at speed 10) instead of spelling out -s, and
+--d sets the probe count of the sampled dispatchers:
+
+  $ schedsim run --computers 5 -p jsq-d --d 3 --horizon 2000 --warmup 500 --seed 7
+  scheduler: JSQ(d=3)
+  jobs measured: 163 (total arrivals 206)
+  mean response time:  24.4398 s
+  mean response ratio: 0.6279
+  fairness (std of ratio): 0.5593
+  median / p99 response ratio: 0.3746 / 2.0490
+  computer  speed  dispatched  completed  utilization  mean jobs (L)
+  ------------------------------------------------------------------
+  0         10     105         101        43.37%       0.913        
+  1         1      17          17         38.17%       0.4679       
+  2         1      19          19         43.85%       0.5029       
+  3         1      15          15         44.77%       0.5155       
+  4         1      12          11         79.25%       0.9727       
+
 Bad run configurations fail with a one-line error before any simulation:
 
   $ schedsim run -u 1.2 -p orr
   schedsim: Workload: utilisation must satisfy 0 < rho < 1
+  [124]
+
+  $ schedsim run --computers 100 -p jsq-d --d 200
+  schedsim: --d must not exceed the cluster size 100 (got 200)
+  [124]
+
+  $ schedsim run -p jiq --d 0
+  schedsim: --d must be at least 1 (got 0)
+  [124]
+
+  $ schedsim run --computers 0
+  schedsim: --computers must be at least 1 (got 0)
   [124]
 
   $ schedsim run --mtbf=-100

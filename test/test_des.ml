@@ -342,11 +342,11 @@ let eq_hot_path_no_alloc () =
     true
     (delta <= 64.0)
 
-let prop_eq_model =
+let model_prop ~name ~make_queue =
   (* Model-based check of the SoA heap against a sorted-list oracle:
      coarse times force ties (FIFO order must match insertion order),
      and cancellations hit live, popped and already-cancelled events. *)
-  qcheck ~count:300 "model: heap matches sorted-list oracle"
+  qcheck ~count:300 name
     QCheck2.Gen.(
       list_size (int_range 0 150)
         (oneof
@@ -356,7 +356,7 @@ let prop_eq_model =
              return `Pop;
            ]))
     (fun ops ->
-      let q = Event_queue.create () in
+      let q = make_queue () in
       (* Insertion-ordered record of every add: id -> (handle, time). *)
       let added = ref [] in
       let n_added = ref 0 in
@@ -408,6 +408,101 @@ let prop_eq_model =
         ops;
       !ok)
 
+let prop_eq_model =
+  model_prop ~name:"model: heap matches sorted-list oracle"
+    ~make_queue:(fun () -> Event_queue.create ())
+
+let prop_eq_model_ladder =
+  (* Same oracle with the far band forced on almost immediately: every
+     interleaving of adds, cancels and pops must pop bit-identically to
+     the sorted list even while events migrate between the bands. *)
+  model_prop ~name:"model: ladder bands match sorted-list oracle"
+    ~make_queue:(fun () -> Event_queue.create ~ladder_threshold:4 ())
+
+let eq_ladder_pop_identical () =
+  (* The banding must be invisible: a plain heap and a queue with a tiny
+     ladder threshold fed the same event stream (coarse times to force
+     FIFO ties, interleaved cancellations) pop bit-identical
+     (time, payload) streams. *)
+  let g = rng () in
+  let n = 20_000 in
+  let plain = Event_queue.create () in
+  let ladder = Event_queue.create ~ladder_threshold:64 () in
+  let hp = Array.make n Event_queue.no_handle in
+  let hl = Array.make n Event_queue.no_handle in
+  for i = 0 to n - 1 do
+    let t = float_of_int (Statsched_prng.Rng.int g 5000) /. 8.0 in
+    hp.(i) <- Event_queue.add plain ~time:t i;
+    hl.(i) <- Event_queue.add ladder ~time:t i;
+    (* Interleave pops and cancellations so migration happens mid-run. *)
+    if i land 7 = 3 then begin
+      let k = Statsched_prng.Rng.int g (i + 1) in
+      let cp = Event_queue.cancel plain hp.(k) in
+      let cl = Event_queue.cancel ladder hl.(k) in
+      Alcotest.(check bool) "cancel outcomes agree" cp cl
+    end;
+    if i land 15 = 9 then begin
+      match (Event_queue.pop plain, Event_queue.pop ladder) with
+      | Some (tp, ip), Some (tl, il) ->
+        if not (Float.equal tp tl) || ip <> il then
+          Alcotest.fail "mid-run pops diverge"
+      | None, None -> ()
+      | _ -> Alcotest.fail "mid-run pop presence diverges"
+    end
+  done;
+  Alcotest.(check bool) "far band actually exercised" true
+    (Event_queue.Testing.band_active ladder
+    || Event_queue.Testing.far_size ladder = 0);
+  let rec drain () =
+    match (Event_queue.pop plain, Event_queue.pop ladder) with
+    | Some (tp, ip), Some (tl, il) ->
+      if not (Float.equal tp tl) || ip <> il then
+        Alcotest.fail "drain pops diverge";
+      drain ()
+    | None, None -> ()
+    | _ -> Alcotest.fail "queues disagree on emptiness"
+  in
+  drain ()
+
+let eq_slot_table_bounded () =
+  (* Regression for the O(total-events) cancellation bitmap: with 10^4
+     events pending at all times and 2 * 10^5 scheduled over the run —
+     half of them cancelled, so lazy deletion and compaction both run —
+     the cancellation bookkeeping must stay proportional to the
+     concurrent high-water mark, and the stored entries (live + not yet
+     compacted) proportional to the live count. *)
+  let pending = 10_000 in
+  let churn = 200_000 in
+  let q = Event_queue.create ~ladder_threshold:1024 () in
+  let handles = Array.make pending Event_queue.no_handle in
+  for i = 0 to pending - 1 do
+    handles.(i) <- Event_queue.add q ~time:(float_of_int i) i
+  done;
+  let g = rng () in
+  for j = 0 to churn - 1 do
+    let slot = j mod pending in
+    (* Alternate between firing the replaced event and cancelling it. *)
+    if j land 1 = 0 then ignore (Event_queue.cancel q handles.(slot))
+    else ignore (Event_queue.pop q);
+    let t = float_of_int (pending + j) +. Statsched_prng.Rng.float g in
+    handles.(slot) <- Event_queue.add q ~time:t slot
+  done;
+  let hwm = Event_queue.high_water q in
+  let cap = Event_queue.Testing.slot_capacity q in
+  Alcotest.(check bool)
+    (Printf.sprintf "slot table O(high-water): capacity %d vs high-water %d"
+       cap hwm)
+    true
+    (cap <= (4 * hwm) + 64);
+  let live = Event_queue.size q in
+  let stored = Event_queue.Testing.stored q in
+  Alcotest.(check bool)
+    (Printf.sprintf "dead retention O(live): stored %d vs live %d" stored live)
+    true
+    (stored <= (4 * live) + 64);
+  Alcotest.(check bool) "invariants hold after churn" true
+    (Event_queue.heap_ordered q)
+
 let suite =
   [
     test "event_queue: basic ordering" eq_ordering;
@@ -424,6 +519,10 @@ let suite =
     test "event_queue: hot path does not allocate" eq_hot_path_no_alloc;
     prop_eq_sorted;
     prop_eq_model;
+    prop_eq_model_ladder;
+    test "event_queue: ladder pops bit-identical to plain heap"
+      eq_ladder_pop_identical;
+    test "event_queue: slot table bounded by high-water" eq_slot_table_bounded;
     test "engine: clock advances with events" engine_clock_advances;
     test "engine: nested scheduling" engine_nested_scheduling;
     test "engine: run until horizon" engine_run_until;

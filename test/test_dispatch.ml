@@ -159,6 +159,93 @@ let rr_variants_same_longrun () =
     [ Dispatch.round_robin; Dispatch.round_robin_no_guard;
       Dispatch.round_robin_index_ties; Dispatch.smooth_weighted ]
 
+(* Dyadic fraction vectors (every entry a power of two) by repeatedly
+   halving a random entry: the regime where the lazy dispatcher's
+   reassociated arithmetic is exact. *)
+let dyadic_fractions_gen =
+  QCheck2.Gen.(
+    let* n = int_range 2 12 in
+    let* picks = list_repeat (n - 1) (int_bound 1000) in
+    let parts = ref [ 1.0 ] in
+    List.iter
+      (fun k ->
+        let arr = Array.of_list !parts in
+        let i = k mod Array.length arr in
+        let half = arr.(i) /. 2.0 in
+        arr.(i) <- half;
+        parts := half :: Array.to_list arr)
+      picks;
+    return (Array.of_list !parts))
+
+let rr_lazy_matches_eager_dyadic () =
+  (* With power-of-two fractions every quantity in Algorithm 2 is a
+     dyadic rational, so the lazy offset form computes the exact same
+     reals and must be decision-for-decision identical to the eager
+     O(n) version — including the guard-row tie cases. *)
+  let cases =
+    [ paper_example_fractions;
+      [| 0.5; 0.5 |];
+      [| 0.25; 0.25; 0.25; 0.25 |];
+      [| 0.5; 0.25; 0.125; 0.0625; 0.0625 |];
+      Array.make 8 0.125 ]
+  in
+  List.iter
+    (fun alpha ->
+      let eager = Dispatch.round_robin alpha in
+      let lazy_d = Dispatch.round_robin_lazy alpha in
+      for t = 1 to 10_000 do
+        let e = Dispatch.select eager and l = Dispatch.select lazy_d in
+        if e <> l then
+          Alcotest.fail
+            (Printf.sprintf "decision %d diverges: eager %d, lazy %d" t e l)
+      done)
+    cases
+
+let prop_rr_lazy_dyadic_exact =
+  qcheck ~count:100 "lazy ORR bit-identical to eager on dyadic fractions"
+    dyadic_fractions_gen
+    (fun alpha ->
+      let eager = Dispatch.round_robin alpha in
+      let lazy_d = Dispatch.round_robin_lazy alpha in
+      let same = ref true in
+      for _ = 1 to 2000 do
+        if Dispatch.select eager <> Dispatch.select lazy_d then same := false
+      done;
+      !same)
+
+let rr_lazy_longrun_and_discrepancy () =
+  (* On arbitrary fractions the lazy form is its own dispatcher (rounding
+     can reorder guard-row ties) but must keep Algorithm 2's guarantees:
+     long-run shares and O(1) prefix discrepancy. *)
+  let alpha = [| 0.35; 0.22; 0.15; 0.12; 0.04; 0.04; 0.04; 0.04 |] in
+  let d = Dispatch.round_robin_lazy alpha in
+  let n = 100_000 in
+  let c = counts d 8 n in
+  Array.iteri
+    (fun i count ->
+      check_close ~rel:0.01
+        (Printf.sprintf "lazy computer %d long-run share" i)
+        alpha.(i)
+        (float_of_int count /. float_of_int n))
+    c;
+  let worst =
+    max_prefix_discrepancy (Dispatch.round_robin_lazy alpha) alpha 20_000
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "lazy max prefix discrepancy %.2f small" worst)
+    true (worst <= 2.0)
+
+let rr_lazy_reset_and_zero_fractions () =
+  let d = Dispatch.round_robin_lazy [| 0.0; 0.5; 0.0; 0.25; 0.25 |] in
+  let first_run = List.init 16 (fun _ -> Dispatch.select d) in
+  List.iter
+    (fun i ->
+      Alcotest.(check bool) "only live computers" true (i = 1 || i = 3 || i = 4))
+    first_run;
+  Dispatch.reset d;
+  let second_run = List.init 16 (fun _ -> Dispatch.select d) in
+  Alcotest.(check (list int)) "reset replays" first_run second_run
+
 let random_longrun_fractions () =
   let alpha = [| 0.5; 0.3; 0.2 |] in
   let d = Dispatch.random ~rng:(rng ()) alpha in
@@ -292,6 +379,13 @@ let suite =
     test "algorithm 2: single computer" rr_single_computer;
     test "algorithm 2: guard staggers small fractions" rr_guard_staggers_small_fractions;
     test "variants: identical long-run fractions" rr_variants_same_longrun;
+    test "lazy ORR: bit-identical to eager on dyadic fractions"
+      rr_lazy_matches_eager_dyadic;
+    test "lazy ORR: long-run shares and bounded discrepancy"
+      rr_lazy_longrun_and_discrepancy;
+    test "lazy ORR: reset replays, zero fractions skipped"
+      rr_lazy_reset_and_zero_fractions;
+    prop_rr_lazy_dyadic_exact;
     test "random: long-run fractions" random_longrun_fractions;
     test "random: zero fractions never selected" random_zero_fraction_never_selected;
     test "round-robin far smoother than random" rr_smoother_than_random;

@@ -137,6 +137,51 @@ let sampled_validation () =
   Alcotest.check_raises "d < 1" (Invalid_argument "Least_load.select_sampled: d < 1")
     (fun () -> ignore (Core.Least_load.select_sampled ~rng:(rng ()) t ~d:0))
 
+let decision_path_zero_alloc () =
+  (* The JSQ(d)/JIQ/least-load decision paths must not allocate: at
+     n = 10^4 over 10^7 jobs even one word per decision is 80 MB of
+     minor-heap churn.  One warm pass first (index pools and idle
+     stacks size themselves), then a measured pass under
+     [Gc.minor_words]. *)
+  let n = 10_000 in
+  let speeds = E.Ext_scale.speeds_for n in
+  let decisions = 10_000 in
+  let measure name cycle =
+    cycle ();
+    let before = Gc.minor_words () in
+    cycle ();
+    let delta = Gc.minor_words () -. before in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s allocated %.0f minor words over %d decisions" name
+         delta decisions)
+      true (delta <= 64.0)
+  in
+  let g = rng () in
+  (* Pre-allocated option: building [Some g] at the call would charge
+     the measurement two words per decision that the simulation's own
+     call sites don't pay (they hoist it the same way). *)
+  let rng_opt = Some g in
+  let ll = Core.Least_load.create speeds in
+  measure "least-load tree select" (fun () ->
+      for _ = 1 to decisions do
+        let s = Core.Least_load.select ?rng:rng_opt ll in
+        Core.Least_load.job_sent ll s;
+        Core.Least_load.departure_recorded ll s
+      done);
+  measure "jsq(d=2) sampled probe" (fun () ->
+      for _ = 1 to decisions do
+        let s = Core.Least_load.select_sampled ~rng:g ll ~d:2 in
+        Core.Least_load.job_sent ll s;
+        Core.Least_load.departure_recorded ll s
+      done);
+  let jq = Core.Jiq.create speeds in
+  measure "jiq idle-stack select" (fun () ->
+      for _ = 1 to decisions do
+        let s = Core.Jiq.select ~rng:g jq in
+        Core.Jiq.job_sent jq s;
+        Core.Jiq.departure_recorded jq s
+      done)
+
 let two_choices_between_static_and_full () =
   (* On a homogeneous cluster JSQ(2) should clearly beat random static
      dispatch and be beaten by (or match) full least-load. *)
@@ -250,6 +295,8 @@ let suite =
     test "jsq(d): picks best of probes" sampled_picks_best_of_probes;
     test "jsq(d): d=1 is uniform random" sampled_d1_is_uniform_random;
     test "jsq(d): validation" sampled_validation;
+    test "dispatchers: decision paths allocation-free at n=10^4"
+      decision_path_zero_alloc;
     slow_test "jsq(2): between static random and full least-load"
       two_choices_between_static_and_full;
     test "jsq(d): scheduler naming and validation" two_choices_scheduler_name;

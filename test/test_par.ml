@@ -187,6 +187,38 @@ let merged_point_identical () =
         [ 2; 4 ])
     [ 0; 1; 3 ]
 
+(* The many-server dispatchers at n = 10^3: the tournament-tree
+   least-load (JSQ with d = n), sampled JSQ(d) and JIQ keep persistent
+   per-decision state (tree, index pools, idle stacks), so fanning
+   replications across domains must still be bitwise invisible. *)
+let n1e3_dispatchers_across_jobs () =
+  let n = 1_000 in
+  let speeds = E.Ext_scale.speeds_for n in
+  let workload = Cluster.Workload.paper_default ~rho:0.7 ~speeds in
+  let scale = { E.Config.horizon = 1_200.0; warmup = 300.0; reps = 2 } in
+  List.iter
+    (fun (name, scheduler) ->
+      let spec = E.Runner.make_spec ~speeds ~workload ~scheduler () in
+      let seq = E.Runner.replicate ~jobs:1 ~scale spec in
+      List.iter
+        (fun jobs ->
+          let par = E.Runner.replicate ~jobs ~scale spec in
+          Alcotest.(check int)
+            (Printf.sprintf "%s n=1000 jobs=%d: replication count" name jobs)
+            (List.length seq) (List.length par);
+          List.iteri
+            (fun k a ->
+              check_result
+                (Printf.sprintf "%s n=1000 jobs=%d rep %d" name jobs k)
+                a (List.nth par k))
+            seq)
+        [ 2; 4 ])
+    [
+      ("least-load-tree", Cluster.Scheduler.jsq ~d:n ());
+      ("jsq-d", Cluster.Scheduler.jsq ~d:2 ());
+      ("jiq", Cluster.Scheduler.jiq);
+    ]
+
 (* Random-spec property across scheduler kinds x fault plans x
    disciplines: parallel replication is structurally equal to
    sequential for every spec. *)
@@ -262,5 +294,7 @@ let suite =
     slow_test "runner: jobs:4 bitwise-equal to jobs:1 (5 combos)" jobs4_equals_jobs1;
     slow_test "runner: merged point identical across jobs {2,4} (3 combos)"
       merged_point_identical;
+    slow_test "runner: n=10^3 dispatchers bitwise-equal across jobs {1,2,4}"
+      n1e3_dispatchers_across_jobs;
     prop_random_spec_deterministic;
   ]

@@ -33,14 +33,14 @@ Combo 2: least-load + FCFS on a two-class cluster.
 
   $ schedsim run --horizon 20000 --warmup 5000 --seed 7 -p least-load --discipline fcfs -s 4x1,2x4 --journal j2.out > /dev/null
   $ tracestat check j2.out
-  [PASS] mean_response_time: journal 133.115 ± 23 vs collector 133.509 (tolerance 25.2)
-  [PASS] mean_response_ratio: journal 5.94284 ± 1.3 vs collector 5.70504 (tolerance 1.42)
-  [PASS] dispatch_fraction_0: journal 0.084596 ± 0.033 vs collector 0.0839646 (tolerance 0.0342)
-  [PASS] dispatch_fraction_1: journal 0.0883838 ± 0.033 vs collector 0.0801768 (tolerance 0.0348)
-  [PASS] dispatch_fraction_2: journal 0.0454545 ± 0.024 vs collector 0.0517677 (tolerance 0.0254)
-  [PASS] dispatch_fraction_3: journal 0.0429293 ± 0.024 vs collector 0.0435606 (tolerance 0.0246)
-  [PASS] dispatch_fraction_4: journal 0.354798 ± 0.056 vs collector 0.349747 (tolerance 0.0629)
-  [PASS] dispatch_fraction_5: journal 0.383838 ± 0.057 vs collector 0.390783 (tolerance 0.0647)
+  [PASS] mean_response_time: journal 128.485 ± 22 vs collector 127.22 (tolerance 24.4)
+  [PASS] mean_response_ratio: journal 5.4986 ± 1.1 vs collector 5.29108 (tolerance 1.23)
+  [PASS] dispatch_fraction_0: journal 0.0366162 ± 0.022 vs collector 0.0366162 (tolerance 0.0227)
+  [PASS] dispatch_fraction_1: journal 0.0505051 ± 0.026 vs collector 0.0505051 (tolerance 0.0266)
+  [PASS] dispatch_fraction_2: journal 0.0820707 ± 0.032 vs collector 0.0833333 (tolerance 0.0338)
+  [PASS] dispatch_fraction_3: journal 0.0782828 ± 0.031 vs collector 0.0719697 (tolerance 0.0328)
+  [PASS] dispatch_fraction_4: journal 0.392677 ± 0.057 vs collector 0.381944 (tolerance 0.0647)
+  [PASS] dispatch_fraction_5: journal 0.359848 ± 0.056 vs collector 0.375631 (tolerance 0.0636)
   note: completion records are sampled (stride > 1); utilization cross-check skipped
   8 checks, 0 failed
 
