@@ -99,7 +99,9 @@ let scheduler_t =
     & info [ "p"; "policy" ] ~docv:"POLICY"
         ~doc:
           "Scheduler: wran, oran, wrr, orr, least-load, two-choices, \
-           adaptive-orr, sita, jsq-d or jiq.")
+           adaptive-orr, sita, jsq-d, jsq-d-uniform or jiq.  jsq-d probes \
+           speed-weighted; jsq-d-uniform is the pre-weighting sampler kept \
+           for replaying old runs.")
 
 let computers_t =
   Arg.(

@@ -18,7 +18,7 @@ type kind =
       small_to : [ `Fast | `Slow ];
     }
   | Stale_least_load of { poll_period : float; count_in_flight : bool }
-  | Jsq of { d : int }
+  | Jsq of { d : int; weighted : bool }
   | Jiq
   | Adaptive of {
       period : float;
@@ -69,9 +69,9 @@ let least_load_instant =
       probe = None;
     }
 
-let jsq ?(d = 2) () =
+let jsq ?(d = 2) ?(weighted = true) () =
   if d < 1 then invalid_arg "Scheduler.jsq: d < 1";
-  Jsq { d }
+  Jsq { d; weighted }
 
 let jiq = Jiq
 
@@ -101,7 +101,8 @@ let name = function
   | Stale_least_load { poll_period; count_in_flight } ->
     Printf.sprintf "StaleLeastLoad(T=%g%s)" poll_period
       (if count_in_flight then "" else ",blind")
-  | Jsq { d } -> Printf.sprintf "JSQ(d=%d)" d
+  | Jsq { d; weighted } ->
+    Printf.sprintf "JSQ(d=%d%s)" d (if weighted then "" else ",uniform")
   | Jiq -> "JIQ"
   | Adaptive { period; dispatching; windowed; _ } ->
     let d =

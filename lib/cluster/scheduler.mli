@@ -51,7 +51,7 @@ type kind =
           arrival in a window herds onto the computer that looked
           emptiest at the last poll — the ablation bench shows where
           static ORR overtakes it. *)
-  | Jsq of { d : int }
+  | Jsq of { d : int; weighted : bool }
       (** Join-the-Shortest-Queue over [d] sampled computers
           (power-of-d-choices) with {e synchronous exact} queue
           information: departures update the scheduler's view
@@ -60,7 +60,16 @@ type kind =
           allocation per decision, O(log n) with [d >= n] (the
           tournament-tree full-information case).  Contrast with
           {!Least_load}[{probe = Some d}], which models the paper's
-          update lag. *)
+          update lag.
+
+          [weighted] (the default) draws the [d] probes speed-weighted
+          via Walker's alias table and breaks exact load ties toward
+          the faster computer — on heterogeneous clusters uniform
+          probes mostly see the slow majority, which is what produced
+          the ≈53 response ratio at n = 10² flagged in ROADMAP.md.
+          [weighted = false] keeps the original uniform sampler
+          (scenario name ["jsq-d-uniform"]) so old recorded runs stay
+          replayable. *)
   | Jiq
       (** Join-Idle-Queue (see {!Statsched_core.Jiq}): idle computers
           report themselves, a decision pops the fastest idle stack in
@@ -114,8 +123,10 @@ val least_load_instant : kind
 (** Idealised Least-Load with zero-delay departure updates — an upper
     bound used in ablation benches to price the update latency. *)
 
-val jsq : ?d:int -> unit -> kind
-(** JSQ(d) with synchronous queue information (default [d = 2]).
+val jsq : ?d:int -> ?weighted:bool -> unit -> kind
+(** JSQ(d) with synchronous queue information (default [d = 2],
+    speed-weighted probing; [~weighted:false] restores the uniform
+    sampler for replay).
 
     @raise Invalid_argument if [d < 1]. *)
 

@@ -79,9 +79,40 @@ let up_indices eff =
   done;
   Array.of_list !up
 
-let run ?sanitize ?(hooks_retain_jobs = true) ?metric_histograms ?on_engine
+(* The scheduler-side callbacks of one policy instance, bundled so a
+   live driver can hot-swap the whole set atomically: the decision
+   function, the intended-fraction reporter, the departure hook and the
+   capacity-change hook (the latter fires only under a [Blacklist]
+   fault plan, with the current effective speed vector). *)
+type sched_fns = {
+  sf_select : Q.Job.t -> int;
+  sf_intended : unit -> float array option;
+  sf_on_departure : Q.Job.t -> unit;
+  sf_on_capacity : float array -> unit;
+}
+
+(* A paused, resumable simulation: {!run} unrolled into
+   create / advance / finalize so a daemon can drive the virtual clock
+   and inject externally arriving jobs.  All behaviour lives in the
+   closures built by {!create}; the record just carries them plus the
+   counters the accessors read. *)
+type driver = {
+  d_engine : Engine.t;
+  d_cfg : config;
+  d_kind : Scheduler.kind ref;
+  d_inject : size:float -> int;
+  d_set_scheduler : Scheduler.kind -> unit;
+  d_finalize : unit -> result;
+  d_arrivals : int ref;
+  d_completions : int ref;
+  d_measured : unit -> int;
+  d_in_system : unit -> int;
+  mutable d_done : bool;
+}
+
+let create ?sanitize ?(hooks_retain_jobs = true) ?metric_histograms ?on_engine
     ?on_dispatch ?on_completion ?on_tick ?on_drop ?on_rate_change ?on_progress
-    cfg =
+    ?(arrivals = `Workload) cfg =
   Core.Speeds.validate cfg.speeds;
   if cfg.horizon <= 0.0 then invalid_arg "Simulation.run: horizon <= 0";
   if cfg.warmup < 0.0 || cfg.warmup >= cfg.horizon then
@@ -139,16 +170,23 @@ let run ?sanitize ?(hooks_retain_jobs = true) ?metric_histograms ?on_engine
      cannot actually carry the load. *)
   let scaled_rho sub = min 0.999 (rho *. total_speed /. Core.Speeds.total sub) in
 
-  (* Scheduler-side decision function, departure hook and capacity-change
-     hook (the latter fires only under a [Blacklist] fault plan, with the
-     current effective speed vector).  [servers_ref] is filled right after
-     server creation; only poll events executed during the run dereference
-     it. *)
+  (* [servers_ref] is filled right after server creation; only events
+     executed during the run (and policy swaps, which seed the fresh
+     scheduler state from the live queues) dereference it. *)
   let least_load_state = ref None in
   let jiq_state = ref None in
   let servers_ref = ref [||] in
-  let select_computer, intended_fractions, on_job_departure, on_capacity_change =
-    match cfg.scheduler with
+  (* Build one policy's callback bundle.  Called once at creation and
+     again on every {!Driver.set_scheduler}: the RNG streams are shared
+     across builds (the streams simply continue), and a swap seeds the
+     new scheduler state from the servers' live queue lengths so the
+     estimates stay exact for the jobs already in flight.  At creation
+     [!servers_ref] is empty, so the seeding loops are no-ops and the
+     one-shot path is untouched. *)
+  let make_sched kind =
+    least_load_state := None;
+    jiq_state := None;
+    match kind with
     | Scheduler.Static policy ->
       let alloc = Core.Policy.allocation_of policy ~rho cfg.speeds in
       (* [Optimized_at] deliberately mis-estimates the load (Figure 6);
@@ -188,7 +226,12 @@ let run ?sanitize ?(hooks_retain_jobs = true) ?metric_histograms ?on_engine
           end
         end
       in
-      (select, (fun () -> Some alloc), (fun _job -> ()), on_capacity)
+      {
+        sf_select = select;
+        sf_intended = (fun () -> Some alloc);
+        sf_on_departure = (fun _job -> ());
+        sf_on_capacity = on_capacity;
+      }
     | Scheduler.Static_custom { label = _; make } ->
       let base_dispatcher = make ~rho ~speeds:cfg.speeds ~rng:dispatch_rng in
       let dispatcher = ref base_dispatcher in
@@ -215,10 +258,12 @@ let run ?sanitize ?(hooks_retain_jobs = true) ?metric_histograms ?on_engine
           end
         end
       in
-      ( select,
-        (fun () -> Some (Core.Dispatch.fractions base_dispatcher)),
-        (fun _job -> ()),
-        on_capacity )
+      {
+        sf_select = select;
+        sf_intended = (fun () -> Some (Core.Dispatch.fractions base_dispatcher));
+        sf_on_departure = (fun _job -> ());
+        sf_on_capacity = on_capacity;
+      }
     | Scheduler.Sita { params; small_to } ->
       let base_sita = Core.Sita.build_bounded_pareto params ~speeds:cfg.speeds ~small_to in
       let sita = ref base_sita in
@@ -245,10 +290,20 @@ let run ?sanitize ?(hooks_retain_jobs = true) ?metric_histograms ?on_engine
           end
         end
       in
-      (select, (fun () -> None), (fun _job -> ()), on_capacity)
+      {
+        sf_select = select;
+        sf_intended = (fun () -> None);
+        sf_on_departure = (fun _job -> ());
+        sf_on_capacity = on_capacity;
+      }
     | Scheduler.Stale_least_load { poll_period; count_in_flight } ->
       let state = Core.Least_load.create cfg.speeds in
       least_load_state := Some state;
+      Array.iteri
+        (fun i server ->
+          Core.Least_load.set_load_index state i
+            (server.Q.Server_intf.in_system ()))
+        !servers_ref;
       Engine.every engine ~period:poll_period (fun _ ->
           Array.iteri
             (fun i server ->
@@ -263,7 +318,12 @@ let run ?sanitize ?(hooks_retain_jobs = true) ?metric_histograms ?on_engine
       let on_capacity eff =
         Array.iteri (fun i e -> Core.Least_load.set_available state i (e > 0.0)) eff
       in
-      (select, (fun () -> None), (fun _job -> ()), on_capacity)
+      {
+        sf_select = select;
+        sf_intended = (fun () -> None);
+        sf_on_departure = (fun _job -> ());
+        sf_on_capacity = on_capacity;
+      }
     | Scheduler.Adaptive { period; initial_rho; safety; windowed; dispatching } ->
       (* Self-tuning ORR/ORAN: λ̂ from the arrival count, the mean job
          size from completed jobs (what a real scheduler can observe),
@@ -342,24 +402,34 @@ let run ?sanitize ?(hooks_retain_jobs = true) ?metric_histograms ?on_engine
          end);
         dispatcher := make_dispatcher !last_rho_hat
       in
-      ( select,
-        intended,
-        (fun job ->
-          incr seen_completions;
-          size_sum := !size_sum +. job.Q.Job.size),
-        on_capacity )
-    | Scheduler.Jsq { d } ->
+      {
+        sf_select = select;
+        sf_intended = intended;
+        sf_on_departure =
+          (fun job ->
+            incr seen_completions;
+            size_sum := !size_sum +. job.Q.Job.size);
+        sf_on_capacity = on_capacity;
+      }
+    | Scheduler.Jsq { d; weighted } ->
       (* Power-of-d-choices with synchronous exact queue information:
          the departure updates the scheduler's view immediately, so no
          lag events are scheduled — the per-job event count stays
          independent of n.  [d >= n] is the tournament-tree
          full-information case (and bit-identical to Least-Load on the
-         same trace, which simcheck pins). *)
+         same trace whatever the probe mode, which simcheck pins). *)
       let state = Core.Least_load.create cfg.speeds in
       least_load_state := Some state;
+      Array.iteri
+        (fun i server ->
+          Core.Least_load.set_load_index state i
+            (server.Q.Server_intf.in_system ()))
+        !servers_ref;
       let select _job =
         let i =
           if d >= n then Core.Least_load.select ?rng:some_ties_rng state
+          else if weighted then
+            Core.Least_load.select_weighted ~rng:ties_rng state ~d
           else Core.Least_load.select_sampled ~rng:ties_rng state ~d
         in
         Core.Least_load.job_sent state i;
@@ -371,10 +441,21 @@ let run ?sanitize ?(hooks_retain_jobs = true) ?metric_histograms ?on_engine
       let on_capacity eff =
         Array.iteri (fun i e -> Core.Least_load.set_available state i (e > 0.0)) eff
       in
-      (select, (fun () -> None), on_departure, on_capacity)
+      {
+        sf_select = select;
+        sf_intended = (fun () -> None);
+        sf_on_departure = on_departure;
+        sf_on_capacity = on_capacity;
+      }
     | Scheduler.Jiq ->
       let state = Core.Jiq.create cfg.speeds in
       jiq_state := Some state;
+      Array.iteri
+        (fun i server ->
+          for _ = 1 to server.Q.Server_intf.in_system () do
+            Core.Jiq.job_sent state i
+          done)
+        !servers_ref;
       let select _job =
         let i = Core.Jiq.select ~rng:dispatch_rng state in
         Core.Jiq.job_sent state i;
@@ -386,10 +467,20 @@ let run ?sanitize ?(hooks_retain_jobs = true) ?metric_histograms ?on_engine
       let on_capacity eff =
         Array.iteri (fun i e -> Core.Jiq.set_available state i (e > 0.0)) eff
       in
-      (select, (fun () -> None), on_departure, on_capacity)
+      {
+        sf_select = select;
+        sf_intended = (fun () -> None);
+        sf_on_departure = on_departure;
+        sf_on_capacity = on_capacity;
+      }
     | Scheduler.Least_load { detection; message_delay; random_ties; probe } ->
       let state = Core.Least_load.create cfg.speeds in
       least_load_state := Some state;
+      Array.iteri
+        (fun i server ->
+          Core.Least_load.set_load_index state i
+            (server.Q.Server_intf.in_system ()))
+        !servers_ref;
       let rng = if random_ties then some_ties_rng else None in
       let select _job =
         let i =
@@ -415,7 +506,22 @@ let run ?sanitize ?(hooks_retain_jobs = true) ?metric_histograms ?on_engine
       let on_capacity eff =
         Array.iteri (fun i e -> Core.Least_load.set_available state i (e > 0.0)) eff
       in
-      (select, (fun () -> None), on_departure, on_capacity)
+      {
+        sf_select = select;
+        sf_intended = (fun () -> None);
+        sf_on_departure = on_departure;
+        sf_on_capacity = on_capacity;
+      }
+  in
+  let sched = ref (make_sched cfg.scheduler) in
+  let current_kind = ref cfg.scheduler in
+  (* Last effective speed vector a Blacklist plan announced; a policy
+     swap replays it into the fresh scheduler state so the new policy
+     inherits the blacklist. *)
+  let current_eff = ref None in
+  let notify_capacity eff =
+    current_eff := Some eff;
+    (!sched).sf_on_capacity eff
   in
 
   (* Job records are recycled through a free-list, but only when no
@@ -442,7 +548,7 @@ let run ?sanitize ?(hooks_retain_jobs = true) ?metric_histograms ?on_engine
             if job.Q.Job.arrival >= cfg.warmup then
               completed.(i) <- completed.(i) + 1;
             (match on_completion with Some f -> f job | None -> ());
-            on_job_departure job;
+            (!sched).sf_on_departure job;
             (match san with
             | Some s ->
               Sanitize.on_completion s;
@@ -530,7 +636,7 @@ let run ?sanitize ?(hooks_retain_jobs = true) ?metric_histograms ?on_engine
              as one: dispatch fractions keep original-dispatch
              semantics.  The job restarts from scratch — no
              checkpointing. *)
-          let target = select_computer job in
+          let target = (!sched).sf_select job in
           job.Q.Job.computer <- target;
           servers.(target).Q.Server_intf.submit job
         | Fault.Resume -> ()
@@ -546,7 +652,7 @@ let run ?sanitize ?(hooks_retain_jobs = true) ?metric_histograms ?on_engine
           | None -> ());
           let crashed = was_up && new_rate <= 0.0 in
           if crashed then incr failures;
-          if plan.Fault.reaction = Fault.Blacklist then on_capacity_change (effective ());
+          if plan.Fault.reaction = Fault.Blacklist then notify_capacity (effective ());
           if crashed && plan.Fault.on_failure <> Fault.Resume then
             List.iter handle_drained (servers.(i).Q.Server_intf.drain ())
         end
@@ -586,7 +692,9 @@ let run ?sanitize ?(hooks_retain_jobs = true) ?metric_histograms ?on_engine
       Some
         (fun () ->
           Array.iteri (fun i _ -> flush i) rate;
-          let window = cfg.horizon -. cfg.warmup in
+          (* Window end = the clock, which one-shot runs have advanced
+             exactly to the horizon by finalize time. *)
+          let window = Engine.now engine -. cfg.warmup in
           let weighted = ref 0.0 in
           Array.iteri
             (fun i l -> weighted := !weighted +. (cfg.speeds.(i) *. l))
@@ -608,23 +716,19 @@ let run ?sanitize ?(hooks_retain_jobs = true) ?metric_histograms ?on_engine
                  cfg.warmup);
            Array.iter (fun s -> s.Q.Server_intf.reset_stats ()) servers));
 
-  (* Arrival process.  A rate modulation scales the sampled gap down when
-     the instantaneous rate is high (time-rescaled renewal process).
-     Base gaps come pre-sampled in batches from the dedicated arrivals
-     stream ([Workload.gap_source] — bit-identical draw order), and the
-     handler/scheduler pair is a single mutually-recursive closure pair
-     created once: the per-arrival path allocates no closures. *)
-  let gaps = Workload.gap_source cfg.workload ~rng:arrivals_rng in
-  let rec on_arrival _ =
+  (* One arriving job, at the engine's current time: count it, draw the
+     dispatch decision, hand it to the chosen computer.  Shared verbatim
+     between the internal arrival process and {!Driver.submit}, so
+     daemon-injected jobs take exactly the batch-mode dispatch path. *)
+  let inject ~size =
     let now = Engine.now engine in
     incr total_arrivals;
     incr job_counter;
-    let size = Distribution.sample cfg.workload.Workload.size sizes_rng in
     let job =
       if recycle then Q.Job.acquire job_pool ~id:!job_counter ~size ~arrival:now
       else Q.Job.create ~id:!job_counter ~size ~arrival:now
     in
-    let target = select_computer job in
+    let target = (!sched).sf_select job in
     job.Q.Job.computer <- target;
     if now >= cfg.warmup then dispatched.(target) <- dispatched.(target) + 1;
     (match on_dispatch with Some f -> f job | None -> ());
@@ -634,72 +738,177 @@ let run ?sanitize ?(hooks_retain_jobs = true) ?metric_histograms ?on_engine
       Sanitize.on_arrival s;
       Sanitize.check_engine s engine
     | None -> ());
-    schedule_next_arrival ()
-  and schedule_next_arrival () =
-    let base_gap = Workload.next_gap gaps in
-    let gap =
-      match cfg.workload.Workload.modulation with
-      | None -> base_gap
-      | Some f -> base_gap /. max 0.05 (f (Engine.now engine))
-    in
-    ignore (Engine.schedule engine ~delay:gap on_arrival)
+    target
   in
-  schedule_next_arrival ();
-  Engine.run ~until:cfg.horizon engine;
-  (match san with
-  | Some s ->
-    Sanitize.check_time s ~now:(Engine.now engine);
-    Sanitize.check_conservation s
-      ~in_system:
-        (Array.fold_left (fun acc srv -> acc + srv.Q.Server_intf.in_system ()) 0 servers)
-  | None -> ());
 
-  Log.Log.info (fun m ->
-      m "%s: %d arrivals, %d measured jobs, %d events in %.0f simulated s"
-        (Scheduler.name cfg.scheduler)
-        !total_arrivals
-        (Collector.jobs_measured collector)
-        (Engine.events_executed engine)
-        cfg.horizon);
-  let per_computer =
-    Array.init n (fun i ->
-        {
-          speed = cfg.speeds.(i);
-          dispatched = dispatched.(i);
-          completed = completed.(i);
-          utilization = servers.(i).Q.Server_intf.utilization ();
-          mean_jobs = servers.(i).Q.Server_intf.mean_in_system ();
-        })
+  (* Arrival process (internal [`Workload] mode only).  A rate modulation
+     scales the sampled gap down when the instantaneous rate is high
+     (time-rescaled renewal process).  Base gaps come pre-sampled in
+     batches from the dedicated arrivals stream ([Workload.gap_source] —
+     bit-identical draw order), and the handler/scheduler pair is a
+     single mutually-recursive closure pair created once: the
+     per-arrival path allocates no closures. *)
+  (match arrivals with
+  | `External -> ()
+  | `Workload ->
+    let gaps = Workload.gap_source cfg.workload ~rng:arrivals_rng in
+    let rec on_arrival _ =
+      let size = Distribution.sample cfg.workload.Workload.size sizes_rng in
+      ignore (inject ~size);
+      schedule_next_arrival ()
+    and schedule_next_arrival () =
+      let base_gap = Workload.next_gap gaps in
+      let gap =
+        match cfg.workload.Workload.modulation with
+        | None -> base_gap
+        | Some f -> base_gap /. max 0.05 (f (Engine.now engine))
+      in
+      ignore (Engine.schedule engine ~delay:gap on_arrival)
+    in
+    schedule_next_arrival ());
+
+  let finalize () =
+    (match san with
+    | Some s ->
+      Sanitize.check_time s ~now:(Engine.now engine);
+      Sanitize.check_conservation s
+        ~in_system:
+          (Array.fold_left (fun acc srv -> acc + srv.Q.Server_intf.in_system ()) 0 servers)
+    | None -> ());
+    Log.Log.info (fun m ->
+        m "%s: %d arrivals, %d measured jobs, %d events in %.0f simulated s"
+          (Scheduler.name !current_kind)
+          !total_arrivals
+          (Collector.jobs_measured collector)
+          (Engine.events_executed engine)
+          (Engine.now engine));
+    let per_computer =
+      Array.init n (fun i ->
+          {
+            speed = cfg.speeds.(i);
+            dispatched = dispatched.(i);
+            completed = completed.(i);
+            utilization = servers.(i).Q.Server_intf.utilization ();
+            mean_jobs = servers.(i).Q.Server_intf.mean_in_system ();
+          })
+    in
+    let fault_summary = Option.map (fun f -> f ()) fault_finalize in
+    (* Measurement window ends at the clock: one-shot runs are at the
+       horizon here, a drained driver at its final virtual time. *)
+    let window = Engine.now engine -. cfg.warmup in
+    let goodput =
+      if window > 0.0 then
+        float_of_int (Collector.jobs_measured collector) /. window
+      else 0.0
+    in
+    let availability, lost_jobs =
+      match fault_summary with
+      | None -> (1.0, 0)
+      | Some s -> (s.Fault.availability, s.Fault.lost_jobs)
+    in
+    let metrics =
+      match Collector.metrics ~availability ~goodput ~lost_jobs collector with
+      | Ok m -> m
+      | Error `No_jobs_measured ->
+        invalid_arg
+          "Simulation.run: no job completed within the measurement window; \
+           lengthen the horizon or shorten the warm-up"
+    in
+    {
+      scheduler_name = Scheduler.name !current_kind;
+      metrics;
+      median_response_ratio = Collector.median_ratio collector;
+      p99_response_ratio = Collector.p99_ratio collector;
+      response_time_histogram = Collector.response_time_histogram collector;
+      response_ratio_histogram = Collector.response_ratio_histogram collector;
+      per_computer;
+      dispatch_fractions = Core.Metrics.actual_fractions dispatched;
+      intended_fractions = (!sched).sf_intended ();
+      offered_utilization = rho;
+      total_arrivals = !total_arrivals;
+      events_executed = Engine.events_executed engine;
+      heap_high_water = Engine.heap_high_water engine;
+      fault_summary;
+    }
   in
-  let fault_summary = Option.map (fun f -> f ()) fault_finalize in
-  let window = cfg.horizon -. cfg.warmup in
-  let goodput = float_of_int (Collector.jobs_measured collector) /. window in
-  let availability, lost_jobs =
-    match fault_summary with
-    | None -> (1.0, 0)
-    | Some s -> (s.Fault.availability, s.Fault.lost_jobs)
-  in
-  let metrics =
-    match Collector.metrics ~availability ~goodput ~lost_jobs collector with
-    | Ok m -> m
-    | Error `No_jobs_measured ->
-      invalid_arg
-        "Simulation.run: no job completed within the measurement window; \
-         lengthen the horizon or shorten the warm-up"
+  let set_scheduler kind =
+    sched := make_sched kind;
+    current_kind := kind;
+    match !current_eff with
+    | Some eff -> (!sched).sf_on_capacity eff
+    | None -> ()
   in
   {
-    scheduler_name = Scheduler.name cfg.scheduler;
-    metrics;
-    median_response_ratio = Collector.median_ratio collector;
-    p99_response_ratio = Collector.p99_ratio collector;
-    response_time_histogram = Collector.response_time_histogram collector;
-    response_ratio_histogram = Collector.response_ratio_histogram collector;
-    per_computer;
-    dispatch_fractions = Core.Metrics.actual_fractions dispatched;
-    intended_fractions = intended_fractions ();
-    offered_utilization = rho;
-    total_arrivals = !total_arrivals;
-    events_executed = Engine.events_executed engine;
-    heap_high_water = Engine.heap_high_water engine;
-    fault_summary;
+    d_engine = engine;
+    d_cfg = cfg;
+    d_kind = current_kind;
+    d_inject = inject;
+    d_set_scheduler = set_scheduler;
+    d_finalize = finalize;
+    d_arrivals = total_arrivals;
+    d_completions = total_completions;
+    d_measured = (fun () -> Collector.jobs_measured collector);
+    d_in_system =
+      (fun () ->
+        Array.fold_left
+          (fun acc srv -> acc + srv.Q.Server_intf.in_system ())
+          0 servers);
+    d_done = false;
   }
+
+module Driver = struct
+  type t = driver
+
+  let create = create
+
+  let check_live t what =
+    if t.d_done then
+      invalid_arg (Printf.sprintf "Simulation.Driver.%s: already finalized" what)
+
+  let now t = Engine.now t.d_engine
+  let config t = t.d_cfg
+  let scheduler t = !(t.d_kind)
+  let arrivals t = !(t.d_arrivals)
+  let completions t = !(t.d_completions)
+  let measured t = t.d_measured ()
+  let in_system t = t.d_in_system ()
+
+  let advance t ~to_ =
+    check_live t "advance";
+    if Float.is_nan to_ then invalid_arg "Simulation.Driver.advance: NaN time";
+    if to_ > Engine.now t.d_engine then Engine.run ~until:to_ t.d_engine
+
+  let submit t ~size =
+    check_live t "submit";
+    if not (size > 0.0) then invalid_arg "Simulation.Driver.submit: size <= 0";
+    t.d_inject ~size
+
+  let set_scheduler t kind =
+    check_live t "set_scheduler";
+    t.d_set_scheduler kind
+
+  let drain t =
+    check_live t "drain";
+    (* Step (rather than run-to-empty): periodic activities such as a
+       stale-least-load poller reschedule themselves forever, so the
+       event queue never empties — but every in-flight job has a pending
+       departure, so stepping until the system is empty terminates. *)
+    while t.d_in_system () > 0 && Engine.step t.d_engine do
+      ()
+    done
+
+  let finalize t =
+    check_live t "finalize";
+    t.d_done <- true;
+    t.d_finalize ()
+end
+
+let run ?sanitize ?hooks_retain_jobs ?metric_histograms ?on_engine ?on_dispatch
+    ?on_completion ?on_tick ?on_drop ?on_rate_change ?on_progress cfg =
+  let d =
+    create ?sanitize ?hooks_retain_jobs ?metric_histograms ?on_engine
+      ?on_dispatch ?on_completion ?on_tick ?on_drop ?on_rate_change ?on_progress
+      ~arrivals:`Workload cfg
+  in
+  Driver.advance d ~to_:cfg.horizon;
+  Driver.finalize d

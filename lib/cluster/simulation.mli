@@ -164,3 +164,99 @@ val run :
     utilisation ≥ 1 with an optimized allocation, or no job completing
     within the measurement window).
     @raise Sanitize.Violation when sanitizing and an invariant breaks. *)
+
+(** A resumable virtual-clock driver: {!run} unrolled into
+    [create] / [advance] / [finalize] so a caller — the [schedsimd]
+    daemon — can drive simulated time incrementally, inject externally
+    arriving jobs, and hot-swap the scheduling policy mid-run.
+
+    [run cfg] is literally
+    [finalize (advance ~to_:cfg.horizon (create cfg))]: a one-shot run
+    and a driver advanced in any number of monotone steps execute the
+    identical event sequence and draw the identical random streams, so
+    their results are bit-for-bit equal under the same seed (pinned by
+    simcheck and the test suite). *)
+module Driver : sig
+  type t
+
+  val create :
+    ?sanitize:bool ->
+    ?hooks_retain_jobs:bool ->
+    ?metric_histograms:
+      Statsched_obs.Hdr_histogram.t * Statsched_obs.Hdr_histogram.t ->
+    ?on_engine:(Statsched_des.Engine.t -> unit) ->
+    ?on_dispatch:(Statsched_queueing.Job.t -> unit) ->
+    ?on_completion:(Statsched_queueing.Job.t -> unit) ->
+    ?on_tick:float * (time:float -> queues:int array -> unit) ->
+    ?on_drop:(Statsched_queueing.Job.t -> unit) ->
+    ?on_rate_change:(time:float -> computer:int -> rate:float -> unit) ->
+    ?on_progress:float * (progress -> unit) ->
+    ?arrivals:[ `Workload | `External ] ->
+    config ->
+    t
+  (** Build a paused simulation at time 0.  The optional observers have
+      exactly {!run}'s semantics.  [arrivals] selects where jobs come
+      from: [`Workload] (default) schedules the configured arrival
+      process just as {!run} does; [`External] schedules none — every
+      job enters through {!submit}, which is the daemon's mode.
+      Validation and failure modes are {!run}'s. *)
+
+  val advance : t -> to_:float -> unit
+  (** Execute all events with timestamp ≤ [to_] and move the clock to
+      [to_].  Monotone: a [to_] at or before the current clock is a
+      no-op, never an error, so wall-clock-driven callers can call it
+      unconditionally.  @raise Invalid_argument on NaN or after
+      {!finalize}. *)
+
+  val submit : t -> size:float -> int
+  (** Inject one arriving job of the given service demand at the current
+      clock and return the computer the live policy dispatched it to.
+      Counts, hooks and RNG draws are exactly those of an internal
+      arrival: a recorded arrival trace replayed through [`External]
+      reproduces the batch run's dispatch decisions bit for bit.
+      @raise Invalid_argument if [size <= 0] (NaN included) or after
+      {!finalize}. *)
+
+  val set_scheduler : t -> Scheduler.kind -> unit
+  (** Hot-swap the scheduling policy without disturbing in-flight jobs:
+      re-runs the policy's construction (for [Static Optimized] that is
+      Algorithm 1) at the configured offered load, seeds the new
+      scheduler state from the servers' live queue lengths, and replays
+      the current blacklist if a fault plan announced one.  Jobs already
+      dispatched stay where they are.  The RNG streams continue — swaps
+      are not replayable-neutral.  A policy whose construction fails
+      (e.g. an infeasible static allocation under sanitizers) raises and
+      leaves the previous policy in place.  Swapping away from a
+      [Stale_least_load] or [Adaptive] policy leaves its periodic
+      refresh event running against the abandoned state — harmless, but
+      each swap to such a policy adds another. *)
+
+  val scheduler : t -> Scheduler.kind
+  (** The currently installed policy. *)
+
+  val config : t -> config
+  val now : t -> float
+  (** Current virtual time. *)
+
+  val arrivals : t -> int
+  val completions : t -> int
+  val measured : t -> int
+  (** Completions inside the measurement window so far. *)
+
+  val in_system : t -> int
+  (** Jobs dispatched but not yet completed (nor dropped) — the daemon's
+      backlog gauge. *)
+
+  val drain : t -> unit
+  (** Step the engine until no job remains in the system, however far
+      that moves the clock.  Terminates even with self-rescheduling
+      periodic activities pending (it steps, rather than running the
+      queue dry). *)
+
+  val finalize : t -> result
+  (** Assemble the result exactly as {!run} does, with the measurement
+      window ending at the current clock.  The driver is dead
+      afterwards: every further operation raises.
+      @raise Invalid_argument if no job completed within the
+      measurement window. *)
+end

@@ -234,11 +234,15 @@ let on_rate_change t ~time ~computer ~rate =
   t.rate.(computer) <- rate;
   t.rate_since.(computer) <- time
 
-let finalize t (result : Simulation.result) =
+let finalize ?horizon t (result : Simulation.result) =
   sync_counters t;
   let cfg = t.config in
   let n = Array.length cfg.Simulation.speeds in
-  let horizon = cfg.Simulation.horizon in
+  (* A daemon run ends wherever its virtual clock stopped, not at the
+     configured horizon cap; it passes the real end time here. *)
+  let horizon =
+    match horizon with Some h -> h | None -> cfg.Simulation.horizon
+  in
   Array.iteri
     (fun i prev ->
       close_capacity_span t ~computer:i ~since:t.rate_since.(i) ~until:horizon
@@ -363,16 +367,19 @@ let state_json t =
 
 let prometheus_content_type = "text/plain; version=0.0.4; charset=utf-8"
 
+let metrics_exposition t =
+  sync_counters t;
+  Registry.to_prometheus t.registry
+
 let serve ?addr t ~port =
   Http.serve ?addr ~port (fun path ->
       match path with
       | "/metrics" ->
-        sync_counters t;
         Some
           {
             Http.status = 200;
             content_type = prometheus_content_type;
-            body = Registry.to_prometheus t.registry;
+            body = metrics_exposition t;
           }
       | "/healthz" -> Some (Http.text "ok\n")
       | "/state" -> Some (Http.json (state_json t))
@@ -383,19 +390,25 @@ let serve ?addr t ~port =
 
 let f17 = Printf.sprintf "%.17g"
 
-let write_journal t (result : Simulation.result) path =
+let write_journal ?horizon t (result : Simulation.result) path =
   match t.journal with
   | None -> ()
   | Some j ->
     let cfg = t.config in
     let speeds = cfg.Simulation.speeds in
+    (* As in [finalize]: a drained daemon run ends at its final virtual
+       time, not at the configured cap, and the cross-validator derives
+       utilizations from the window this meta line declares. *)
+    let horizon =
+      match horizon with Some h -> h | None -> cfg.Simulation.horizon
+    in
     let meta =
       [
         ("scheduler", result.Simulation.scheduler_name);
         ( "speeds",
           String.concat ","
             (Array.to_list (Array.map (Printf.sprintf "%g") speeds)) );
-        ("horizon", f17 cfg.Simulation.horizon);
+        ("horizon", f17 horizon);
         ("warmup", f17 cfg.Simulation.warmup);
         ("seed", Int64.to_string cfg.Simulation.seed);
         ("replication", string_of_int cfg.Simulation.replication);

@@ -27,11 +27,14 @@ val on_completion : t -> Statsched_queueing.Job.t -> unit
 val on_drop : t -> Statsched_queueing.Job.t -> unit
 val on_rate_change : t -> time:float -> computer:int -> rate:float -> unit
 
-val finalize : t -> Simulation.result -> unit
+val finalize : ?horizon:float -> t -> Simulation.result -> unit
 (** Close any open capacity span at the horizon and set the end-of-run
     gauges (utilization, dispatch drift, availability, DES self-profiling,
     events per wall-clock second).  Call exactly once, after
-    {!Simulation.run} returns. *)
+    {!Simulation.run} returns.  [horizon] overrides the configured
+    horizon as the run's end time — a {!Simulation.Driver} caller whose
+    virtual clock stopped short of the cap passes the real end time so
+    window-derived gauges stay truthful. *)
 
 val registry : t -> Statsched_obs.Registry.t
 (** The hot hooks count dispatches/completions/drops in flat integer
@@ -75,6 +78,12 @@ val set_engine : t -> Statsched_des.Engine.t -> unit
 
 val journal : t -> Statsched_obs.Journal.t option
 
+val metrics_exposition : t -> string
+(** Prometheus text exposition of {!registry}, with the counter shadows
+    synced first — what {!serve}'s [/metrics] returns, exposed for
+    servers (the [schedsimd] daemon) that mount it under their own
+    routing. *)
+
 val state_json : t -> string
 (** One JSON object with run progress ([sim_time], [events_executed],
     [pending_events] — zero until {!set_engine}) and per-computer live
@@ -90,9 +99,12 @@ val serve : ?addr:string -> t -> port:int -> Statsched_obs.Http.t
     ({!state_json}).  [port = 0] picks an ephemeral port; stop with
     {!Statsched_obs.Http.stop}. *)
 
-val write_journal : t -> Simulation.result -> string -> unit
+val write_journal : ?horizon:float -> t -> Simulation.result -> string -> unit
 (** Write the journal (atomically) with run-configuration [meta] lines
     and collector-side [summary] lines — mean response time/ratio,
     per-computer utilizations and dispatch fractions — so
     [tools/tracestat] can cross-validate the two against each other.
-    No-op when the telemetry was created without a journal. *)
+    No-op when the telemetry was created without a journal.  [horizon]
+    overrides the configured horizon in the meta lines, as in
+    {!finalize} — a drained daemon passes its final virtual time so the
+    cross-validator's measurement window matches reality. *)

@@ -1,5 +1,3 @@
-module Rng = Statsched_prng.Rng
-
 (* Join-Idle-Queue state, laid out as flat arrays indexed by computer.
 
    The idle stacks are intrusive: one segment of [stacks] per speed
@@ -23,45 +21,9 @@ type t = {
   stacks : int array;  (* segmented idle stacks (computer indices) *)
   pos : int array;  (* computer -> offset within its segment, -1 = not idle *)
   mutable idle_total : int;
-  alias_prob : float array;  (* Walker alias table over speeds *)
-  alias : int array;
+  alias : Walker_alias.t;  (* speed-weighted fallback sampler *)
   n_classes : int;
 }
-
-let build_alias speeds =
-  let n = Array.length speeds in
-  let total = Array.fold_left ( +. ) 0.0 speeds in
-  let prob = Array.make n 1.0 in
-  let alias = Array.make n 0 in
-  let scaled = Array.map (fun s -> s *. float_of_int n /. total) speeds in
-  let small = ref [] and large = ref [] in
-  Array.iteri
-    (fun i p -> if p < 1.0 then small := i :: !small else large := i :: !large)
-    scaled;
-  let rec pair () =
-    match (!small, !large) with
-    | s :: srest, l :: lrest ->
-      prob.(s) <- scaled.(s);
-      alias.(s) <- l;
-      scaled.(l) <- scaled.(l) +. scaled.(s) -. 1.0;
-      small := srest;
-      if scaled.(l) < 1.0 then begin
-        large := lrest;
-        small := l :: !small
-      end;
-      pair ()
-    | s :: rest, [] ->
-      prob.(s) <- 1.0;
-      small := rest;
-      pair ()
-    | [], l :: rest ->
-      prob.(l) <- 1.0;
-      large := rest;
-      pair ()
-    | [], [] -> ()
-  in
-  pair ();
-  (prob, alias)
 
 let[@inline] push_idle t i =
   if t.pos.(i) < 0 then begin
@@ -111,7 +73,7 @@ let create speeds =
   for c = 0 to n_classes - 1 do
     class_start.(c + 1) <- class_start.(c) + sizes.(c)
   done;
-  let alias_prob, alias = build_alias speeds in
+  let alias = Walker_alias.create speeds in
   let t =
     {
       speeds;
@@ -123,7 +85,6 @@ let create speeds =
       stacks = Array.make n 0;
       pos = Array.make n (-1);
       idle_total = 0;
-      alias_prob;
       alias;
       n_classes;
     }
@@ -154,8 +115,7 @@ let[@schedsim.hot] select ~rng t =
     let tries = ref 0 in
     let drawing = ref true in
     while !drawing do
-      let i = Rng.int rng n in
-      let c = if Rng.float rng < t.alias_prob.(i) then i else t.alias.(i) in
+      let c = Walker_alias.draw t.alias rng in
       chosen := c;
       incr tries;
       if t.available.(c) || !tries >= 16 then drawing := false

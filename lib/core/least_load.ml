@@ -18,6 +18,9 @@ type t = {
   mutable avail_pool : int array;  (* ascending available indices *)
   mutable avail_len : int;
   mutable avail_dirty : bool;  (* availability changed since last rebuild *)
+  alias : Walker_alias.t;  (* speed-weighted probe sampler *)
+  probe_gen : int array;  (* generation stamps: probed this decision? *)
+  mutable gen : int;
 }
 
 let[@inline] normalized_load t i =
@@ -38,6 +41,9 @@ let create speeds =
       avail_pool = Array.init n (fun i -> i);
       avail_len = n;
       avail_dirty = false;
+      alias = Walker_alias.create speeds;
+      probe_gen = Array.make n 0;
+      gen = 0;
     }
   in
   for i = 0 to n - 1 do
@@ -171,6 +177,92 @@ let select_sampled ~rng t ~d =
       pool.(k) <- pool.(j);
       pool.(j) <- tmp
     done;
+    !best
+  end
+
+(* Speed-aware power-of-d: probes are drawn from the Walker alias table
+   over the speed vector instead of uniformly, so a computer twice as
+   fast is probed twice as often — without this, the d sampled load
+   values at large n are dominated by the slow majority and the fast
+   capacity goes unseen (the ROADMAP-flagged ≈53 response ratio at
+   n = 10^2).  Distinctness comes from generation stamps rather than
+   without-replacement bookkeeping: a draw that repeats a computer
+   already probed this decision is rejected and redrawn.  Equal
+   normalised loads break toward the faster computer (smaller expected
+   finish time for the marginal job); the uniform sampler keeps its
+   first-seen break so recorded replays stay bit-identical.
+
+   The rejection loop is bounded: if the available fraction is so small
+   (or the speed skew so extreme) that [16 * d] draws cannot find [d]
+   distinct available computers, the remaining probes fall back to the
+   uniform partial Fisher-Yates over the available pool — correctness
+   never depends on rejection luck, and the whole decision stays
+   O(d). *)
+let select_weighted ~rng t ~d =
+  if d < 1 then invalid_arg "Least_load.select_weighted: d < 1";
+  let n = Array.length t.speeds in
+  let all = t.up_count = n || t.up_count = 0 in
+  if (not all) && t.avail_dirty then rebuild_avail_pool t;
+  let m = if all then n else t.avail_len in
+  if d >= m then select ~rng t
+  else begin
+    t.gen <- t.gen + 1;
+    let gen = t.gen in
+    let probes = ref 0 in
+    let tries = ref 0 in
+    let max_tries = 16 * d in
+    (* Only the best {e index} is tracked (an immediate, so the hot
+       path stays allocation-free; a [float ref] here would box on
+       every update).  The load comparison recomputes both sides — two
+       array reads and a divide, cheaper than a minor-heap word. *)
+    let best = ref (-1) in
+    while !probes < d && !tries < max_tries do
+      incr tries;
+      let c = Walker_alias.draw t.alias rng in
+      if t.available.(c) && t.probe_gen.(c) <> gen then begin
+        t.probe_gen.(c) <- gen;
+        incr probes;
+        if
+          !best < 0
+          || normalized_load t c < normalized_load t !best
+          || Float.equal (normalized_load t c) (normalized_load t !best)
+             && t.speeds.(c) > t.speeds.(!best)
+        then best := c
+      end
+    done;
+    if !probes < d then begin
+      (* Uniform fill for the probes rejection could not place.  Each
+         Fisher-Yates draw yields a distinct pool member, of which at
+         most [d - 1] can already carry this generation's stamp, so the
+         loop runs at most [2d - 1] times. *)
+      let pool = if all then t.pool else t.avail_pool in
+      let k = ref 0 in
+      while !probes < d && !k < m do
+        let j = !k + Rng.int rng (m - !k) in
+        t.swaps.(!k) <- j;
+        let tmp = pool.(!k) in
+        pool.(!k) <- pool.(j);
+        pool.(j) <- tmp;
+        let c = pool.(!k) in
+        if t.probe_gen.(c) <> gen then begin
+          t.probe_gen.(c) <- gen;
+          incr probes;
+          if
+            !best < 0
+            || normalized_load t c < normalized_load t !best
+            || Float.equal (normalized_load t c) (normalized_load t !best)
+               && t.speeds.(c) > t.speeds.(!best)
+          then best := c
+        end;
+        incr k
+      done;
+      for i = !k - 1 downto 0 do
+        let j = t.swaps.(i) in
+        let tmp = pool.(i) in
+        pool.(i) <- pool.(j);
+        pool.(j) <- tmp
+      done
+    end;
     !best
   end
 

@@ -55,6 +55,31 @@ val select_sampled : rng:Statsched_prng.Rng.t -> t -> d:int -> int
 
     @raise Invalid_argument if [d < 1]. *)
 
+val select_weighted : rng:Statsched_prng.Rng.t -> t -> d:int -> int
+(** Speed-aware power-of-d-choices: probe [d] distinct available
+    computers drawn from Walker's alias table over the speed vector
+    (probability proportional to speed) and pick the one with minimal
+    normalised load, breaking exact load ties toward the faster
+    computer.  On a heterogeneous cluster this is the fix for uniform
+    probing's blind spot: with a few fast and many slow computers a
+    uniform [d]-sample rarely contains a fast one, so JSQ(d) piles work
+    on the slow majority however idle the fast minority is.
+
+    With [d >= n] this degenerates to {!select}, exactly like
+    {!select_sampled} — the [JSQ(d=n) ≡ Least-Load] equivalence is
+    probe-mode-independent.  Distinctness is enforced by generation
+    stamps with a bounded rejection loop ([16 d] draws); if rejection
+    cannot place all [d] probes (tiny available fraction, extreme
+    skew), the remainder fall back to the uniform Fisher-Yates sampler,
+    so the decision is O(d) and allocation-free in every case.
+
+    Consumes a variable number of RNG draws (two per alias try, one per
+    fallback fill), unlike {!select_sampled}'s fixed [d] — replayable,
+    but not draw-count-compatible with the uniform sampler, which is
+    why the uniform path stays reachable for old replays.
+
+    @raise Invalid_argument if [d < 1]. *)
+
 val job_sent : t -> int -> unit
 (** Record the dispatch of a job to computer [i]: [q_i <- q_i + 1]. *)
 

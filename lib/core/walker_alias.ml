@@ -1,0 +1,70 @@
+module Rng = Statsched_prng.Rng
+
+(* [thresh.(i)] is [prob.(i)] lifted to the integer lattice of
+   {!Rng.bits53}: column [i] wins its coin flip iff
+   [bits53 < thresh.(i)].  Since [float g = bits53 g / 2^53] exactly
+   and scaling a float by 2^53 only shifts its exponent,
+   [bits53 < ceil (prob *. 2^53)] decides {e exactly} the same way as
+   [Rng.float g < prob] on the same draw — but compares immediates, so
+   a draw stays allocation-free (a boxed float return is 2 minor words,
+   which the zero-alloc dispatch paths cannot afford). *)
+type t = { thresh : int array; alias : int array }
+
+let two_pow_53 = 9007199254740992.0
+
+let create weights =
+  let n = Array.length weights in
+  if n = 0 then invalid_arg "Walker_alias.create: empty weight vector";
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  if not (total > 0.0) then
+    invalid_arg "Walker_alias.create: weights must sum to a positive value";
+  Array.iter
+    (fun w ->
+      if not (w >= 0.0) then
+        invalid_arg "Walker_alias.create: negative or NaN weight")
+    weights;
+  let prob = Array.make n 1.0 in
+  let alias = Array.make n 0 in
+  let scaled = Array.map (fun w -> w *. float_of_int n /. total) weights in
+  let small = ref [] and large = ref [] in
+  Array.iteri
+    (fun i p -> if p < 1.0 then small := i :: !small else large := i :: !large)
+    scaled;
+  let rec pair () =
+    match (!small, !large) with
+    | s :: srest, l :: lrest ->
+      prob.(s) <- scaled.(s);
+      alias.(s) <- l;
+      scaled.(l) <- scaled.(l) +. scaled.(s) -. 1.0;
+      small := srest;
+      if scaled.(l) < 1.0 then begin
+        large := lrest;
+        small := l :: !small
+      end;
+      pair ()
+    | s :: rest, [] ->
+      prob.(s) <- 1.0;
+      small := rest;
+      pair ()
+    | [], l :: rest ->
+      prob.(l) <- 1.0;
+      large := rest;
+      pair ()
+    | [], [] -> ()
+  in
+  pair ();
+  let thresh =
+    Array.map (fun p -> int_of_float (Float.ceil (p *. two_pow_53))) prob
+  in
+  { thresh; alias }
+
+let length t = Array.length t.thresh
+
+(* Draw order is part of the contract (see .mli): one [Rng.int], then
+   one 53-bit draw (the stream position [Rng.float] would use),
+   whatever the outcome. *)
+let[@inline] [@schedsim.hot] draw t rng =
+  let n = Array.length t.thresh in
+  let i = Rng.int rng n in
+  if Rng.bits53 rng < Array.unsafe_get t.thresh i then i
+  else Array.unsafe_get t.alias i

@@ -1,0 +1,31 @@
+(** Walker's alias method: O(1) sampling from a fixed discrete
+    distribution.
+
+    Construction is O(n) over a non-negative weight vector; each draw
+    costs one uniform integer, one uniform float, and two array reads —
+    no allocation, no rejection loop.  Used wherever a dispatcher needs
+    a speed-weighted random computer (the JIQ no-idle fallback, the
+    speed-aware JSQ(d) probe) without an O(n) prefix-sum scan.
+
+    Draw order is part of the contract: {!draw} consumes exactly one
+    [Rng.int] then one more draw (the stream position [Rng.float]
+    would use — the comparison is done on [Rng.bits53] against an
+    integer threshold, which decides identically and keeps the draw
+    allocation-free), regardless of whether the column or its alias
+    wins.  Replays depend on it. *)
+
+type t
+
+val create : float array -> t
+(** [create weights] builds the alias table.  Weights need not be
+    normalised.
+
+    @raise Invalid_argument on an empty vector, a negative or NaN
+    weight, or a non-positive total. *)
+
+val length : t -> int
+(** Number of categories. *)
+
+val draw : t -> Statsched_prng.Rng.t -> int
+(** Sample a category index with probability proportional to its
+    weight. *)

@@ -37,7 +37,9 @@ let speeds_for n =
 (* The four many-server regimes: deterministic static (lazy ORR,
    O(log n)), full information (JSQ with d = n, the tournament-tree
    least-load), sampled information (JSQ(d), O(d)) and idle-driven
-   (JIQ, O(1)). *)
+   (JIQ, O(1)).  The sampled regime runs twice — speed-weighted probes
+   (the default) and the speed-blind uniform sampler — so the sweep
+   prices exactly what probe weighting buys on the two-class cluster. *)
 let policies ~n ~d =
   [
     ( "ORR",
@@ -50,6 +52,8 @@ let policies ~n ~d =
         } );
     ("LeastLoad", Cluster.Scheduler.jsq ~d:n ());
     (Printf.sprintf "JSQ(d=%d)" d, Cluster.Scheduler.jsq ~d ());
+    ( Printf.sprintf "JSQ(d=%d,uniform)" d,
+      Cluster.Scheduler.jsq ~d ~weighted:false () );
     ("JIQ", Cluster.Scheduler.jiq);
   ]
 

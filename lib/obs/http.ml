@@ -6,6 +6,8 @@ let text ?(status = 200) body =
 let json ?(status = 200) body =
   { status; content_type = "application/json"; body }
 
+type request = { meth : string; path : string; body : string }
+
 type t = {
   listen_fd : Unix.file_descr;
   bound_port : int;
@@ -15,10 +17,15 @@ type t = {
 
 let reason = function
   | 200 -> "OK"
+  | 202 -> "Accepted"
   | 400 -> "Bad Request"
   | 404 -> "Not Found"
   | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 413 -> "Payload Too Large"
+  | 429 -> "Too Many Requests"
   | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
   | _ -> "Status"
 
 let write_all fd s =
@@ -42,42 +49,80 @@ let send fd { status; content_type; body } =
   in
   write_all fd (head ^ body)
 
-(* Read until the end of the header block (blank line), EOF, or a size
-   cap; we only ever need the request line but draining the headers
-   avoids resetting clients that are still mid-send when we respond. *)
-let read_request fd =
-  let buf = Buffer.create 512 in
-  let chunk = Bytes.create 1024 in
-  let rec loop () =
-    if Buffer.length buf > 16384 then Buffer.contents buf
+let max_head_bytes = 16384
+let max_body_bytes = 1 lsl 20
+
+(* Index of the '\r' opening the "\r\n\r\n" header terminator in
+   [data.[0..len)], or -1.  [from] is where the scan resumes: a caller
+   that already scanned a prefix restarts at [prev_len - 3] (the
+   terminator may straddle the chunk boundary), so feeding a request
+   byte by byte costs O(n) total instead of O(n^2) whole-buffer
+   rescans. *)
+let find_headers_end data ~len ~from =
+  let i = ref (max 0 from) in
+  let found = ref (-1) in
+  while !found < 0 && !i + 3 < len do
+    let j = !i in
+    if
+      Char.equal (Bytes.unsafe_get data j) '\r'
+      && Char.equal (Bytes.unsafe_get data (j + 1)) '\n'
+      && Char.equal (Bytes.unsafe_get data (j + 2)) '\r'
+      && Char.equal (Bytes.unsafe_get data (j + 3)) '\n'
+    then found := j
+    else incr i
+  done;
+  !found
+
+(* Wait until [fd] is readable or the deadline passes; [false] on
+   timeout.  One slow (or silent) client must not be able to park the
+   sequential accept loop forever — that would head-of-line-block
+   /metrics, /healthz and every daemon endpoint for all other callers —
+   so every read on a client connection goes through this bounded
+   wait. *)
+let wait_readable fd ~deadline =
+  let rec wait () =
+    let remaining = deadline -. Clock.now () in
+    if remaining <= 0.0 then false
     else
-      let seen_end =
-        let s = Buffer.contents buf in
-        let module S = String in
-        (* index_opt-based substring search is overkill; headers end is
-           always "\r\n\r\n" *)
-        let rec find i =
-          if i + 3 >= S.length s then false
-          else if
-            Char.equal s.[i] '\r'
-            && Char.equal s.[i + 1] '\n'
-            && Char.equal s.[i + 2] '\r'
-            && Char.equal s.[i + 3] '\n'
-          then true
-          else find (i + 1)
-        in
-        find 0
-      in
-      if seen_end then Buffer.contents buf
-      else
-        match Unix.read fd chunk 0 (Bytes.length chunk) with
-        | 0 -> Buffer.contents buf
-        | n ->
-          Buffer.add_subbytes buf chunk 0 n;
-          loop ()
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      match Unix.select [ fd ] [] [] remaining with
+      | [], _, _ -> false
+      | _ :: _, _, _ -> true
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
   in
-  loop ()
+  wait ()
+
+(* Case-insensitive "content-length" lookup over the raw header block
+   (request line included; it contains no ':' before its spaces end, so
+   it can never match). *)
+let content_length head =
+  let lower = String.lowercase_ascii head in
+  let target = "content-length:" in
+  let rec scan from =
+    match String.index_from_opt lower from '\n' with
+    | None -> Ok 0
+    | Some eol ->
+      let line_start = eol + 1 in
+      if
+        line_start + String.length target <= String.length lower
+        && String.equal
+             (String.sub lower line_start (String.length target))
+             target
+      then
+        let value_start = line_start + String.length target in
+        let value_end =
+          match String.index_from_opt lower value_start '\r' with
+          | Some e -> e
+          | None -> String.length lower
+        in
+        let v =
+          String.trim (String.sub head value_start (value_end - value_start))
+        in
+        match int_of_string_opt v with
+        | Some n when n >= 0 -> Ok n
+        | Some _ | None -> Error (text ~status:400 "bad content-length\n")
+      else scan line_start
+  in
+  scan 0
 
 let parse_request_line raw =
   match String.index_opt raw '\n' with
@@ -95,16 +140,83 @@ let parse_request_line raw =
       Some (meth, path)
     | _ -> None)
 
-let handle routes fd =
+(* Read one request — header block plus any Content-Length body — off
+   [fd], with every blocking read bounded by [read_timeout] seconds
+   from the first byte of the connection.  [Error resp] carries the
+   error response to send (400/408/413). *)
+let read_request ~read_timeout fd =
+  let deadline = Clock.now () +. read_timeout in
+  let data = ref (Bytes.create 1024) in
+  let len = ref 0 in
+  let eof = ref false in
+  let fill () =
+    if Bytes.length !data - !len < 512 then begin
+      let grown = Bytes.create (2 * Bytes.length !data) in
+      Bytes.blit !data 0 grown 0 !len;
+      data := grown
+    end;
+    if not (wait_readable fd ~deadline) then `Timeout
+    else
+      match Unix.read fd !data !len (Bytes.length !data - !len) with
+      | 0 ->
+        eof := true;
+        `Eof
+      | n ->
+        len := !len + n;
+        `Read
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> `Read
+  in
+  (* Headers: scan incrementally, resuming where the last scan left
+     off (minus 3 bytes for a terminator split across chunks). *)
+  let head_end = ref (find_headers_end !data ~len:!len ~from:0) in
+  let error = ref None in
+  while !head_end < 0 && !error = None do
+    if !len > max_head_bytes then
+      error := Some (text ~status:413 "headers too large\n")
+    else begin
+      let prev_len = !len in
+      match fill () with
+      | `Timeout -> error := Some (text ~status:408 "request timeout\n")
+      | `Eof -> error := Some (text ~status:400 "bad request\n")
+      | `Read ->
+        head_end := find_headers_end !data ~len:!len ~from:(prev_len - 3)
+    end
+  done;
+  match !error with
+  | Some resp -> Error resp
+  | None ->
+    let head = Bytes.sub_string !data 0 !head_end in
+    (match parse_request_line head with
+    | None -> Error (text ~status:400 "bad request\n")
+    | Some (meth, path) -> (
+      match content_length head with
+      | Error resp -> Error resp
+      | Ok body_len ->
+        if body_len > max_body_bytes then
+          Error (text ~status:413 "body too large\n")
+        else begin
+          let body_start = !head_end + 4 in
+          let body_error = ref None in
+          while !len < body_start + body_len && !body_error = None do
+            match fill () with
+            | `Timeout -> body_error := Some (text ~status:408 "request timeout\n")
+            | `Eof -> body_error := Some (text ~status:400 "truncated body\n")
+            | `Read -> ()
+          done;
+          match !body_error with
+          | Some resp -> Error resp
+          | None ->
+            Ok { meth; path; body = Bytes.sub_string !data body_start body_len }
+        end))
+
+let handle ~read_timeout handler fd =
   let resp =
-    match parse_request_line (read_request fd) with
-    | None -> text ~status:400 "bad request\n"
-    | Some ("GET", path) -> (
-      match routes path with
-      | Some r -> r
-      | None -> text ~status:404 "not found\n"
+    match read_request ~read_timeout fd with
+    | Error resp -> resp
+    | Ok req -> (
+      match handler req with
+      | resp -> resp
       | exception _ -> text ~status:500 "internal error\n")
-    | Some (_, _) -> text ~status:405 "method not allowed\n"
   in
   try send fd resp with Unix.Unix_error (_, _, _) -> ()
 
@@ -112,7 +224,7 @@ let handle routes fd =
    blocking in [accept]: closing a file descriptor does not wake a
    thread already blocked in accept(2), so a pure accept loop could
    never be joined. *)
-let accept_loop (listen_fd, stopping, routes) =
+let accept_loop (listen_fd, stopping, handler, read_timeout) =
   let continue = ref true in
   while !continue && not (Atomic.get stopping) do
     match Unix.select [ listen_fd ] [] [] 0.2 with
@@ -123,7 +235,7 @@ let accept_loop (listen_fd, stopping, routes) =
         Fun.protect
           ~finally:(fun () ->
             try Unix.close client with Unix.Unix_error _ -> ())
-          (fun () -> handle routes client)
+          (fun () -> handle ~read_timeout handler client)
       | exception
           Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
         ->
@@ -133,7 +245,11 @@ let accept_loop (listen_fd, stopping, routes) =
     | exception Unix.Unix_error (_, _, _) -> continue := false
   done
 
-let serve ?(addr = "127.0.0.1") ~port routes =
+let default_read_timeout = 5.0
+
+let serve_requests ?(addr = "127.0.0.1") ?(read_timeout = default_read_timeout)
+    ~port handler =
+  if read_timeout <= 0.0 then invalid_arg "Http.serve_requests: read_timeout <= 0";
   let listen_fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
      Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
@@ -149,8 +265,18 @@ let serve ?(addr = "127.0.0.1") ~port routes =
     | Unix.ADDR_UNIX _ -> port
   in
   let stopping = Atomic.make false in
-  let thread = Thread.create accept_loop (listen_fd, stopping, routes) in
+  let thread =
+    Thread.create accept_loop (listen_fd, stopping, handler, read_timeout)
+  in
   { listen_fd; bound_port; thread; stopping }
+
+let serve ?addr ?read_timeout ~port routes =
+  serve_requests ?addr ?read_timeout ~port (fun req ->
+      if String.equal req.meth "GET" then
+        match routes req.path with
+        | Some r -> r
+        | None -> text ~status:404 "not found\n"
+      else text ~status:405 "method not allowed\n")
 
 let port t = t.bound_port
 
@@ -159,3 +285,9 @@ let stop t =
     Thread.join t.thread;
     try Unix.close t.listen_fd with Unix.Unix_error _ -> ()
   end
+
+module Testing = struct
+  let find_headers_end = find_headers_end
+  let read_request = read_request
+  let content_length = content_length
+end

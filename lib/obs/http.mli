@@ -1,17 +1,26 @@
-(** Minimal dependency-free HTTP/1.1 server for live telemetry.
+(** Minimal dependency-free HTTP/1.1 server for live telemetry and the
+    [schedsimd] daemon.
 
     A {!t} owns a loopback TCP listening socket and a background
     systhread that accepts one connection at a time, parses the request
-    line, and answers from a user routing callback.  It is deliberately
-    tiny: [GET] only, [Connection: close] on every response, no keep-
-    alive, no TLS — just enough to let Prometheus or [curl] scrape a
-    running simulation.
+    line and headers (plus a [Content-Length] body, if any), and answers
+    from a user handler.  It is deliberately tiny: [Connection: close]
+    on every response, no keep-alive, no TLS, no chunked encoding — just
+    enough to let Prometheus or [curl] scrape a running simulation and
+    to drive the daemon's control endpoints.
+
+    Every read on an accepted connection is bounded by a per-connection
+    deadline ([?read_timeout], default 5 s): a client that connects and
+    then stalls gets a 408 and is disconnected, so it cannot head-of-
+    line-block other callers behind the sequential accept loop.
+    Header blocks are capped at 16 KiB and bodies at 1 MiB (413 beyond).
 
     Because OCaml systhreads share one domain and the accept/read/write
     syscalls release the runtime lock, serving never runs concurrently
-    with simulation code at the machine level: the routing callback
-    observes a consistent heap and cannot perturb the run (it must not
-    mutate simulation state or draw random numbers). *)
+    with simulation code at the machine level: the handler observes a
+    consistent heap and cannot perturb the run (it must not mutate
+    simulation state or draw random numbers — daemon handlers that do
+    mutate must synchronise with their driver explicitly). *)
 
 type t
 
@@ -21,22 +30,42 @@ type response = {
   body : string;
 }
 
+type request = {
+  meth : string;  (** ["GET"], ["POST"], ["PUT"], ... verbatim *)
+  path : string;  (** request target with any query string stripped *)
+  body : string;  (** ["" ] when the request carried no body *)
+}
+
 val text : ?status:int -> string -> response
 (** [text body] is a [text/plain; charset=utf-8] response (default 200). *)
 
 val json : ?status:int -> string -> response
 (** [json body] is an [application/json] response (default 200). *)
 
-val serve : ?addr:string -> port:int -> (string -> response option) -> t
-(** [serve ~port routes] binds [addr] (default ["127.0.0.1"]) : [port]
-    ([port = 0] picks an ephemeral port — see {!port}), starts the
-    accept thread, and answers each [GET path] request with
-    [routes path]; [None] becomes a 404.  Non-GET methods get a 405 and
-    malformed requests a 400.  A routing callback that raises yields a
+val serve_requests :
+  ?addr:string -> ?read_timeout:float -> port:int -> (request -> response) -> t
+(** [serve_requests ~port handler] binds [addr] (default ["127.0.0.1"])
+    : [port] ([port = 0] picks an ephemeral port — see {!port}), starts
+    the accept thread, and answers each request with [handler req].
+    Method dispatch (including 404/405 semantics) is the handler's job.
+    Malformed requests get a 400, requests whose headers or body exceed
+    the caps a 413, and connections idle past [read_timeout] seconds a
+    408, all without invoking [handler].  A handler that raises yields a
     500 to the client and keeps the server alive.
 
     @raise Unix.Unix_error if the address can't be bound (e.g. port in
-    use). *)
+    use).
+    @raise Invalid_argument if [read_timeout <= 0]. *)
+
+val serve :
+  ?addr:string ->
+  ?read_timeout:float ->
+  port:int ->
+  (string -> response option) ->
+  t
+(** [serve ~port routes] is {!serve_requests} specialised to read-only
+    scraping: each [GET path] request is answered with [routes path]
+    ([None] becomes a 404) and non-GET methods get a 405. *)
 
 val port : t -> int
 (** The bound port — the actual one when [serve] was given port 0. *)
@@ -44,3 +73,21 @@ val port : t -> int
 val stop : t -> unit
 (** Close the listening socket and join the accept thread.  In-flight
     responses finish; subsequent connections are refused.  Idempotent. *)
+
+(** Internals exposed for white-box tests only — not a stable API. *)
+module Testing : sig
+  val find_headers_end : bytes -> len:int -> from:int -> int
+  (** Index of the ['\r'] opening the ["\r\n\r\n"] header terminator in
+      the first [len] bytes, scanning from [max 0 from]; [-1] if absent.
+      Incremental callers resume at [prev_len - 3] so the terminator is
+      found even when it straddles a chunk boundary. *)
+
+  val read_request :
+    read_timeout:float -> Unix.file_descr -> (request, response) result
+  (** Read one request off a connected socket; [Error resp] is the
+      error response (400/408/413) that would be sent to the client. *)
+
+  val content_length : string -> (int, response) result
+  (** Parse the [Content-Length] header out of a raw header block
+      (case-insensitive); [Ok 0] when absent. *)
+end

@@ -30,6 +30,8 @@ let[@inline] [@schedsim.hot] int g n =
 
 let bits64 = Xoshiro256.next
 
+let[@inline] [@schedsim.hot] bits53 g = Xoshiro256.next_bits53 g
+
 let bool g = Int64.logand (Xoshiro256.next g) 1L = 1L
 
 let shuffle g a =

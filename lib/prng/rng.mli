@@ -40,6 +40,14 @@ val int : t -> int -> int
 val bits64 : t -> int64
 (** 64 raw uniform bits. *)
 
+val bits53 : t -> int
+(** The top 53 bits of one draw as an immediate [int]: consumes the
+    same stream position as {!float} and satisfies
+    [float g = float_of_int (bits53 g) /. 2.{^53}].  For allocation-
+    free threshold tests ([float g < p] reformulated as
+    [bits53 g < ceil (p *. 2.{^53})], exact because scaling by a power
+    of two is). *)
+
 val bool : t -> bool
 (** Fair coin flip. *)
 

@@ -75,6 +75,30 @@ let[@inline] [@schedsim.hot] next_float g =
   set g 3 s3;
   Int64.to_float (Int64.shift_right_logical result 11) /. two_pow_53
 
+(* The same draw as [next_float] but stopping before the division: the
+   top 53 scrambler bits as an immediate [int].  [next_float g]'s value
+   is exactly [float_of_int (next_bits53 g) /. 2^53], so a caller that
+   needs [next_float g < p] can compare [next_bits53 g] against a
+   precomputed integer threshold instead — same stream position, same
+   outcome, and no boxed float return crossing the module boundary
+   (that box is 2 minor words per draw, which the zero-alloc dispatch
+   paths cannot afford). *)
+let[@inline] [@schedsim.hot] next_bits53 g =
+  let s0 = get g 0 and s1 = get g 1 and s2 = get g 2 and s3 = get g 3 in
+  let result = Int64.mul (rotl (Int64.mul s1 5L) 7) 9L in
+  let t = Int64.shift_left s1 17 in
+  let s2 = Int64.logxor s2 s0 in
+  let s3 = Int64.logxor s3 s1 in
+  let s1 = Int64.logxor s1 s2 in
+  let s0 = Int64.logxor s0 s3 in
+  let s2 = Int64.logxor s2 t in
+  let s3 = rotl s3 45 in
+  set g 0 s0;
+  set g 1 s1;
+  set g 2 s2;
+  set g 3 s3;
+  Int64.to_int (Int64.shift_right_logical result 11)
+
 (* Bounded draw with the state update fused in, like [next_float]: the
    rejection loop keeps every intermediate unboxed inside one frame.
    Split as "take [next]'s boxed result, then reduce" each attempt

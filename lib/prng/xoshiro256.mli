@@ -22,6 +22,14 @@ val next : t -> int64
 val next_float : t -> float
 (** [next_float g] is a uniform float in [\[0, 1)] (top 53 bits). *)
 
+val next_bits53 : t -> int
+(** [next_bits53 g] is the top 53 scrambler bits as an immediate [int]
+    — the same draw as {!next_float} before its division, so
+    [next_float g = float_of_int (next_bits53 g) /. 2.{^53}] holds
+    draw-for-draw.  Lets hot paths compare against a precomputed
+    integer threshold instead of taking a boxed float across the call
+    boundary. *)
+
 val next_int : t -> int -> int
 (** [next_int g n] is uniform in [\[0, n)] by rejection sampling on
     draws of {!next} (bit-identical to reducing [next g] by hand, but

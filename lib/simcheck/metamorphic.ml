@@ -399,14 +399,162 @@ let dispatcher_equivalence ~scale ~seed =
     ]
   in
   let speeds = [| 1.0; 1.0; 2.0; 3.0 |] in
+  (* The JSQ(d=n) ≡ Least-Load relation is probe-mode-independent: with
+     d >= n both the weighted and the uniform sampler degenerate to the
+     tournament-tree full-information select, so each is pinned against
+     idealised Least-Load separately. *)
   pair ~name:"jsq-full-vs-least-load"
     ~sc:
       (Scenario.v ~speeds ~rho:0.7 ~policy:"jsq-d" ~d:(Array.length speeds)
          ~seed ())
     Cluster.Scheduler.least_load_instant
+  @ pair ~name:"jsq-full-uniform-vs-least-load"
+      ~sc:
+        (Scenario.v ~speeds ~rho:0.7 ~policy:"jsq-d-uniform"
+           ~d:(Array.length speeds) ~seed ())
+      Cluster.Scheduler.least_load_instant
   @ pair ~name:"jiq-single-vs-orr"
       ~sc:(Scenario.v ~speeds:[| 2.0 |] ~rho:0.7 ~policy:"jiq" ~seed ())
       (Scenario.scheduler_of_name "orr")
+
+(* ------------------------------------------------------------------ *)
+(* Driver ≡ run, daemon ≡ batch                                        *)
+
+(* Exact whole-result comparison shared by the two driver differentials
+   below: measured job count, every summary metric, and the per-computer
+   dispatch/completion/utilisation/L vectors, all bit-for-bit. *)
+let result_checks ~label ~context (ra : Cluster.Simulation.result)
+    (rb : Cluster.Simulation.result) =
+  let am = ra.Cluster.Simulation.metrics
+  and bm = rb.Cluster.Simulation.metrics in
+  let exact what got want =
+    Check.v
+      ~label:(Printf.sprintf "%s/%s" label what)
+      ~ok:(Float.equal got want)
+      ~detail:
+        (Printf.sprintf "%.17g vs %.17g%s" got want
+           (if Float.equal got want then "" else " | " ^ context))
+  in
+  [
+    Check.v
+      ~label:(Printf.sprintf "%s/jobs" label)
+      ~ok:(am.Core.Metrics.jobs = bm.Core.Metrics.jobs)
+      ~detail:
+        (Printf.sprintf "%d jobs vs %d" am.Core.Metrics.jobs
+           bm.Core.Metrics.jobs);
+    exact "response-time" am.Core.Metrics.mean_response_time
+      bm.Core.Metrics.mean_response_time;
+    exact "response-ratio" am.Core.Metrics.mean_response_ratio
+      bm.Core.Metrics.mean_response_ratio;
+    exact "fairness" am.Core.Metrics.fairness bm.Core.Metrics.fairness;
+    exact "median-ratio" ra.Cluster.Simulation.median_response_ratio
+      rb.Cluster.Simulation.median_response_ratio;
+    Check.v
+      ~label:(Printf.sprintf "%s/per-computer" label)
+      ~ok:
+        (Array.for_all2
+           (fun (a : Cluster.Simulation.per_computer)
+                (b : Cluster.Simulation.per_computer) ->
+             a.Cluster.Simulation.dispatched = b.Cluster.Simulation.dispatched
+             && a.Cluster.Simulation.completed = b.Cluster.Simulation.completed
+             && Float.equal a.Cluster.Simulation.utilization
+                  b.Cluster.Simulation.utilization
+             && Float.equal a.Cluster.Simulation.mean_jobs
+                  b.Cluster.Simulation.mean_jobs)
+           ra.Cluster.Simulation.per_computer rb.Cluster.Simulation.per_computer)
+      ~detail:"per-computer dispatch counts, utilisations and L bit-identical";
+  ]
+
+(* The resumable driver claims [run cfg] is literally
+   create → advance to the horizon → finalize.  Advancing in any number
+   of monotone steps must partition the identical event sequence —
+   [Engine.run ~until] executes nothing extra and draws nothing at a
+   step boundary — so a chunked drive is bit-for-bit the one-shot run,
+   whatever the chunking.  Least-Load covers the self-rescheduling
+   periodic probe machinery crossing step boundaries. *)
+let driver_chunked ~scale ~seed =
+  let speeds = [| 1.0; 1.5; 2.0; 12.0 |] and rho = 0.6 in
+  let horizon = scale.E.Config.horizon in
+  List.concat_map
+    (fun (policy, chunks) ->
+      let sc = Scenario.v ~speeds ~rho ~policy ~seed () in
+      let cfg =
+        Cluster.Simulation.default_config ~horizon
+          ~warmup:scale.E.Config.warmup ~seed ~speeds
+          ~workload:(Scenario.workload sc)
+          ~scheduler:(Scenario.scheduler_of_name policy) ()
+      in
+      let batch = Cluster.Simulation.run cfg in
+      let d = Cluster.Simulation.Driver.create cfg in
+      for k = 1 to chunks do
+        Cluster.Simulation.Driver.advance d
+          ~to_:(horizon *. float_of_int k /. float_of_int chunks)
+      done;
+      (* Land exactly on the horizon whatever rounding the stepping did
+         (advance is monotone, so this is at worst a no-op). *)
+      Cluster.Simulation.Driver.advance d ~to_:horizon;
+      let stepped = Cluster.Simulation.Driver.finalize d in
+      result_checks
+        ~label:(Printf.sprintf "driver-chunked/%s-x%d" policy chunks)
+        ~context:("replay: " ^ Scenario.to_run_command sc)
+        batch stepped)
+    [ ("orr", 7); ("least-load", 3); ("jsq-d", 64) ]
+
+(* Recording a batch run's arrival trace and replaying it through an
+   [`External] driver — the daemon's mode: advance the virtual clock to
+   the arrival time, submit the size — must reproduce every dispatch
+   decision, and hence the whole run, bit-for-bit.  The arrival and
+   size streams go undrawn in the replay, but every stream is an
+   independent substream whose draw sequence depends only on its own
+   draw count, so the dispatch and tie-break streams see identical
+   sequences against identical queue states. *)
+let daemon_replay ~scale ~seed =
+  let speeds = [| 1.0; 1.5; 2.0; 12.0 |] and rho = 0.6 in
+  let horizon = scale.E.Config.horizon in
+  List.concat_map
+    (fun policy ->
+      let sc = Scenario.v ~speeds ~rho ~policy ~seed () in
+      let cfg =
+        Cluster.Simulation.default_config ~horizon
+          ~warmup:scale.E.Config.warmup ~seed ~speeds
+          ~workload:(Scenario.workload sc)
+          ~scheduler:(Scenario.scheduler_of_name policy) ()
+      in
+      let trace = ref [] in
+      let batch =
+        Cluster.Simulation.run ~hooks_retain_jobs:false
+          ~on_dispatch:(fun j ->
+            trace :=
+              ( j.Statsched_queueing.Job.arrival,
+                j.Statsched_queueing.Job.size,
+                j.Statsched_queueing.Job.computer )
+              :: !trace)
+          cfg
+      in
+      let d = Cluster.Simulation.Driver.create ~arrivals:`External cfg in
+      let mismatches = ref 0 and total = ref 0 in
+      List.iter
+        (fun (t, size, computer) ->
+          Cluster.Simulation.Driver.advance d ~to_:t;
+          incr total;
+          if Cluster.Simulation.Driver.submit d ~size <> computer then
+            incr mismatches)
+        (List.rev !trace);
+      Cluster.Simulation.Driver.advance d ~to_:horizon;
+      let replayed = Cluster.Simulation.Driver.finalize d in
+      Check.v
+        ~label:(Printf.sprintf "daemon-replay/%s/decisions" policy)
+        ~ok:(!mismatches = 0)
+        ~detail:
+          (Printf.sprintf "%d of %d replayed dispatch decisions diverge%s"
+             !mismatches !total
+             (if !mismatches = 0 then ""
+              else " | replay: " ^ Scenario.to_run_command sc))
+      :: result_checks
+           ~label:(Printf.sprintf "daemon-replay/%s" policy)
+           ~context:("replay: " ^ Scenario.to_run_command sc)
+           batch replayed)
+    [ "orr"; "jsq-d"; "jiq" ]
 
 let run ?(scale = default_scale) ?(seed = 20260806L) ?jobs () =
   time_scale ~scale ~seed
@@ -415,3 +563,5 @@ let run ?(scale = default_scale) ?(seed = 20260806L) ?jobs () =
   @ local_optimality ~scale ~seed ~jobs
   @ dispatch_fractions ~scale ~seed
   @ dispatcher_equivalence ~scale ~seed
+  @ driver_chunked ~scale ~seed
+  @ daemon_replay ~scale ~seed

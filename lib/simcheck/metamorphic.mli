@@ -22,7 +22,15 @@
       idealised Least-Load on the same trace (both probe everything and
       share the single-draw tie-break contract), and on a one-computer
       cluster JIQ matches static ORR bit-for-bit (every dispatcher is
-      forced to computer 0; the streams they consume are independent). *)
+      forced to computer 0; the streams they consume are independent).
+    - {e Driver chunking}: {!Statsched_cluster.Simulation.Driver}
+      advanced to the horizon in any number of monotone steps is
+      bit-identical to the one-shot {!Statsched_cluster.Simulation.run}
+      — the step boundaries partition the same event sequence.
+    - {e Daemon replay}: replaying a batch run's recorded arrival trace
+      through an [`External] driver (the [schedsimd] mode: advance to
+      the arrival time, submit the size) reproduces every dispatch
+      decision and the whole result bit-for-bit. *)
 
 val default_scale : Statsched_experiments.Config.scale
 (** 4·10⁴ s horizon, 3 replications — the relations need far less

@@ -8,7 +8,7 @@ module E = Statsched_experiments
 
 let scheduler_names =
   [ "wran"; "oran"; "wrr"; "orr"; "least-load"; "two-choices"; "adaptive-orr";
-    "sita"; "jsq-d"; "jiq" ]
+    "sita"; "jsq-d"; "jsq-d-uniform"; "jiq" ]
 
 let scheduler_of_name ?(d = 2) name =
   match name with
@@ -21,6 +21,9 @@ let scheduler_of_name ?(d = 2) name =
   | "adaptive-orr" -> Cluster.Scheduler.adaptive_orr ()
   | "sita" -> Cluster.Scheduler.sita_paper ()
   | "jsq-d" -> Cluster.Scheduler.jsq ~d ()
+  (* The pre-PR-10 uniform probe sampler, kept addressable so recorded
+     counterexamples from older runs still replay bit-identically. *)
+  | "jsq-d-uniform" -> Cluster.Scheduler.jsq ~d ~weighted:false ()
   | "jiq" -> Cluster.Scheduler.jiq
   | s -> invalid_arg ("unknown scheduler " ^ s)
 

@@ -116,17 +116,17 @@ cluster (10% fast computers at speed 10) instead of spelling out -s, and
   $ schedsim run --computers 5 -p jsq-d --d 3 --horizon 2000 --warmup 500 --seed 7
   scheduler: JSQ(d=3)
   jobs measured: 163 (total arrivals 206)
-  mean response time:  24.4398 s
-  mean response ratio: 0.6279
-  fairness (std of ratio): 0.5593
-  median / p99 response ratio: 0.3746 / 2.0490
+  mean response time:  23.1998 s
+  mean response ratio: 0.5135
+  fairness (std of ratio): 0.2287
+  median / p99 response ratio: 0.5089 / 0.9877
   computer  speed  dispatched  completed  utilization  mean jobs (L)
   ------------------------------------------------------------------
-  0         10     105         101        43.37%       0.913        
-  1         1      17          17         38.17%       0.4679       
-  2         1      19          19         43.85%       0.5029       
-  3         1      15          15         44.77%       0.5155       
-  4         1      12          11         79.25%       0.9727       
+  0         10     164         159        85.36%       3.142        
+  1         1      0           0          0.00%        0            
+  2         1      3           3          8.86%        0.08861      
+  3         1      1           1          0.67%        0.006717     
+  4         1      0           0          0.00%        0            
 
 Bad run configurations fail with a one-line error before any simulation:
 

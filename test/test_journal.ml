@@ -376,6 +376,154 @@ let http_server_basics () =
     | exception Unix.Unix_error _ -> true
     | response -> String.equal response "")
 
+(* Regression (PR 10): the header scan must resume where the previous
+   chunk's scan stopped (minus 3 bytes for a terminator straddling the
+   boundary) instead of rescanning the whole buffer from offset 0 per
+   chunk — the old behaviour was O(n^2) on fragmented headers. *)
+let http_incremental_header_scan () =
+  let find s ~from =
+    Http.Testing.find_headers_end (Bytes.of_string s) ~len:(String.length s)
+      ~from
+  in
+  Alcotest.(check int) "terminator at start" 0 (find "\r\n\r\nbody" ~from:0);
+  Alcotest.(check int) "terminator mid-buffer" 5
+    (find "GET /\r\n\r\nrest" ~from:0);
+  Alcotest.(check int) "absent" (-1) (find "GET / HTTP/1.1\r\n" ~from:0);
+  Alcotest.(check int) "negative from clamps to 0" 0
+    (find "\r\n\r\n" ~from:(-7));
+  (* The straddle case: the terminator's first 3 bytes arrive in chunk 1
+     and its final byte in chunk 2.  Resuming at [prev_len - 3] finds
+     it; resuming at [prev_len] (the naive "only scan new bytes") would
+     not. *)
+  let s = "GET / HTTP/1.1\r\n\r\n" in
+  let prev_len = String.length s - 1 in
+  Alcotest.(check int) "straddled terminator found from prev_len-3" 14
+    (find s ~from:(prev_len - 3));
+  Alcotest.(check int) "naive prev_len resume would miss it" (-1)
+    (find s ~from:prev_len);
+  (* End-to-end: a request with a multi-KiB header fed one byte at a
+     time still parses (each byte is a separate chunk, so the resume
+     path runs thousands of times). *)
+  let seen = ref None in
+  let server =
+    Http.serve_requests ~port:0 (fun req ->
+        seen := Some (req.Http.meth, req.Http.path, req.Http.body);
+        Http.text "ok")
+  in
+  let port = Http.port server in
+  Fun.protect
+    ~finally:(fun () -> Http.stop server)
+    (fun () ->
+      let request =
+        "POST /jobs HTTP/1.1\r\nHost: x\r\nX-Pad: "
+        ^ String.make 4096 'p'
+        ^ "\r\nContent-Length: 4\r\n\r\n2.25"
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+          String.iter
+            (fun c ->
+              ignore (Unix.write_substring fd (String.make 1 c) 0 1))
+            request;
+          let buf = Bytes.create 4096 in
+          let n = Unix.read fd buf 0 (Bytes.length buf) in
+          let response = Bytes.sub_string buf 0 n in
+          Alcotest.(check bool) "byte-at-a-time request answered 200" true
+            (contains response "200"));
+      match !seen with
+      | Some (meth, path, body) ->
+        Alcotest.(check string) "method" "POST" meth;
+        Alcotest.(check string) "path" "/jobs" path;
+        Alcotest.(check string) "body" "2.25" body
+      | None -> Alcotest.fail "handler never invoked")
+
+(* Regression (PR 10): a client that connects and then goes silent used
+   to park the sequential accept loop forever (slow-loris head-of-line
+   blocking).  Now every connection read is bounded by a deadline: the
+   staller gets a 408 and the next caller is served. *)
+let http_read_timeout () =
+  let server =
+    Http.serve ~port:0 ~read_timeout:0.3 (fun path ->
+        if String.equal path "/ping" then Some (Http.text "pong") else None)
+  in
+  let port = Http.port server in
+  Fun.protect
+    ~finally:(fun () -> Http.stop server)
+    (fun () ->
+      let stalled = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () ->
+          try Unix.close stalled with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect stalled
+            (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+          (* A partial request line, then silence. *)
+          ignore (Unix.write_substring stalled "GET /pi" 0 7);
+          let buf = Bytes.create 1024 in
+          let n = Unix.read stalled buf 0 (Bytes.length buf) in
+          let response = Bytes.sub_string buf 0 n in
+          Alcotest.(check bool) "stalled connection answered 408" true
+            (contains response "408"));
+      (* The staller did not wedge the loop: a well-formed request right
+         behind it is served normally. *)
+      Alcotest.(check bool) "server alive after the staller" true
+        (contains (http_get ~port "/ping") "pong"))
+
+(* Method+body dispatch and the request-reader error paths. *)
+let http_method_body_dispatch () =
+  let server =
+    Http.serve_requests ~port:0 ~read_timeout:0.5 (fun req ->
+        Http.text
+          (Printf.sprintf "%s %s [%s]" req.Http.meth req.Http.path
+             req.Http.body))
+  in
+  let port = Http.port server in
+  Fun.protect
+    ~finally:(fun () -> Http.stop server)
+    (fun () ->
+      let put =
+        http_request ~port
+          "PUT /policy HTTP/1.1\r\nHost: x\r\ncontent-length: 9\r\n\r\nleast-load"
+      in
+      (* Note: Content-Length 9 truncates the 10-byte payload on purpose;
+         the reader must honour the declared length, not the bytes sent. *)
+      Alcotest.(check bool) "PUT with lowercase content-length" true
+        (contains put "PUT /policy [least-loa]");
+      let no_body = http_request ~port "DELETE /x HTTP/1.1\r\nHost: x\r\n\r\n" in
+      Alcotest.(check bool) "no Content-Length means empty body" true
+        (contains no_body "DELETE /x []");
+      let bad_len =
+        http_request ~port
+          "POST /jobs HTTP/1.1\r\nContent-Length: nope\r\n\r\n"
+      in
+      Alcotest.(check bool) "unparseable content-length is a 400" true
+        (contains bad_len "400");
+      let huge =
+        http_request ~port
+          "POST /jobs HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n"
+      in
+      Alcotest.(check bool) "oversized declared body is a 413" true
+        (contains huge "413");
+      (* Client half-closes after "short": EOF before the declared
+         length is a hard 400 (no point waiting out the deadline). *)
+      let request =
+        "POST /jobs HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort"
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+          ignore (Unix.write_substring fd request 0 (String.length request));
+          Unix.shutdown fd Unix.SHUTDOWN_SEND;
+          let buf = Bytes.create 1024 in
+          let n = Unix.read fd buf 0 (Bytes.length buf) in
+          Alcotest.(check bool) "truncated body is a 400" true
+            (contains (Bytes.sub_string buf 0 n) "400")))
+
 (* ------------------------------------------------------------------ *)
 (* Live serving: mid-run answers, and no perturbation                   *)
 
@@ -539,6 +687,12 @@ let suite =
     slow_test "journal: per-job allocation bound holds with telemetry on"
       journal_sim_allocation;
     test "http: routing, errors and idempotent stop" http_server_basics;
+    test "http: incremental header scan, byte-at-a-time"
+      http_incremental_header_scan;
+    test "http: stalled connection gets 408, loop survives"
+      http_read_timeout;
+    test "http: method+body dispatch and reader error paths"
+      http_method_body_dispatch;
     slow_test "serve: endpoints answer mid-run" serve_answers_mid_run;
     slow_test "serve: journaled + served runs bit-identical"
       serve_journal_bit_identity;

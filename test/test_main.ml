@@ -20,6 +20,7 @@ let () =
       ("sanitize", Test_sanitize.suite);
       ("obs", Test_obs.suite);
       ("journal", Test_journal.suite);
+      ("daemon", Test_daemon.suite);
       ("par", Test_par.suite);
       ("more", Test_more.suite);
       ("simcheck", Test_simcheck.suite);

@@ -135,7 +135,113 @@ let sampled_d1_is_uniform_random () =
 let sampled_validation () =
   let t = Core.Least_load.create [| 1.0 |] in
   Alcotest.check_raises "d < 1" (Invalid_argument "Least_load.select_sampled: d < 1")
-    (fun () -> ignore (Core.Least_load.select_sampled ~rng:(rng ()) t ~d:0))
+    (fun () -> ignore (Core.Least_load.select_sampled ~rng:(rng ()) t ~d:0));
+  Alcotest.check_raises "weighted d < 1"
+    (Invalid_argument "Least_load.select_weighted: d < 1") (fun () ->
+      ignore (Core.Least_load.select_weighted ~rng:(rng ()) t ~d:0))
+
+(* Regression (PR 10): uniform probing on a fast-minority cluster almost
+   never sees the fast computers, so JSQ(d) piled work on the slow
+   majority (the ROADMAP-flagged ≈53 response ratio at n=10²).  The
+   speed-weighted sampler must probe — and hence select — the fast
+   computers far more often.  Formulated against the uniform sampler
+   this assertion fails, which is exactly the pre-fix behaviour. *)
+let weighted_probes_see_fast_minority () =
+  let n = 100 in
+  (* 10% at speed 10, 90% at speed 1 — the scale-sweep configuration. *)
+  let speeds = Array.init n (fun i -> if i < n / 10 then 10.0 else 1.0) in
+  let count select =
+    let t = Core.Least_load.create speeds in
+    let g = rng () in
+    let fast = ref 0 in
+    let decisions = 2_000 in
+    for _ = 1 to decisions do
+      let i = select g t in
+      if speeds.(i) > 1.0 then incr fast
+    done;
+    float_of_int !fast /. float_of_int decisions
+  in
+  let uniform = count (fun g t -> Core.Least_load.select_sampled ~rng:g t ~d:2) in
+  let weighted = count (fun g t -> Core.Least_load.select_weighted ~rng:g t ~d:2) in
+  (* All queues stay empty, so a probe set containing a fast computer
+     always selects it (normalised load 0.1 vs 1.0).  Uniform d=2 finds
+     one with P ≈ 0.19; weighted with P ≈ 0.78. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "weighted fast-hit rate %.2f > 2x uniform %.2f" weighted
+       uniform)
+    true
+    (weighted > 2.0 *. uniform);
+  Alcotest.(check bool)
+    (Printf.sprintf "weighted fast-hit rate %.2f > 0.6" weighted)
+    true (weighted > 0.6)
+
+let weighted_distinct_probes_and_ties () =
+  (* All three computers tied at normalised load 1.0: speeds (1, 2, 4)
+     with queues (0, 1, 3).  Whatever pair of distinct probes the
+     sampler draws, the faster member must win the tie — computer 0
+     (the slowest) can never be selected, because any pair containing
+     it also contains a faster computer at equal load.  The uniform
+     sampler keeps first-seen tie-breaking, so this pins the weighted
+     path's faster-on-tie contract (it fails if run against
+     select_sampled). *)
+  let t = Core.Least_load.create [| 1.0; 2.0; 4.0 |] in
+  Core.Least_load.job_sent t 1;
+  for _ = 1 to 3 do
+    Core.Least_load.job_sent t 2
+  done;
+  let g = rng () in
+  let seen = Array.make 3 0 in
+  for _ = 1 to 300 do
+    let i = Core.Least_load.select_weighted ~rng:g t ~d:2 in
+    seen.(i) <- seen.(i) + 1
+  done;
+  Alcotest.(check int) "slowest tied computer never wins" 0 seen.(0);
+  Alcotest.(check bool) "both faster computers selected" true
+    (seen.(1) > 0 && seen.(2) > 0)
+
+let weighted_degenerates_to_full () =
+  let t = Core.Least_load.create Speeds.table1 in
+  let g = rng () in
+  Alcotest.(check int) "full weighted probe = select" (Core.Least_load.select t)
+    (Core.Least_load.select_weighted ~rng:g t ~d:100)
+
+let weighted_respects_mask () =
+  let t = Core.Least_load.create [| 1.0; 1.0; 1.0; 10.0 |] in
+  (* The fast computer is down: weighted probing must never pick it,
+     even though it carries ~77% of the alias table's mass (the
+     rejection loop and the Fisher-Yates fallback both filter on
+     availability). *)
+  Core.Least_load.set_available t 3 false;
+  let g = rng () in
+  for _ = 1 to 200 do
+    let i = Core.Least_load.select_weighted ~rng:g t ~d:2 in
+    Alcotest.(check bool) "down computer never probed" true (i < 3)
+  done
+
+let walker_alias_frequencies () =
+  let weights = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let a = Core.Walker_alias.create weights in
+  Alcotest.(check int) "length" 4 (Core.Walker_alias.length a);
+  let g = rng () in
+  let n = 100_000 in
+  let c = Array.make 4 0 in
+  for _ = 1 to n do
+    let i = Core.Walker_alias.draw a g in
+    c.(i) <- c.(i) + 1
+  done;
+  Array.iteri
+    (fun i count ->
+      let expect = weights.(i) /. 10.0 *. float_of_int n in
+      Alcotest.(check bool)
+        (Printf.sprintf "category %d: %d draws vs %.0f expected" i count expect)
+        true
+        (Float.abs (float_of_int count -. expect) < 0.05 *. float_of_int n))
+    c;
+  Alcotest.check_raises "empty" (Invalid_argument "Walker_alias.create: empty weight vector")
+    (fun () -> ignore (Core.Walker_alias.create [||]));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Walker_alias.create: negative or NaN weight") (fun () ->
+      ignore (Core.Walker_alias.create [| 1.0; -1.0; 3.0 |]))
 
 let decision_path_zero_alloc () =
   (* The JSQ(d)/JIQ/least-load decision paths must not allocate: at
@@ -171,6 +277,12 @@ let decision_path_zero_alloc () =
   measure "jsq(d=2) sampled probe" (fun () ->
       for _ = 1 to decisions do
         let s = Core.Least_load.select_sampled ~rng:g ll ~d:2 in
+        Core.Least_load.job_sent ll s;
+        Core.Least_load.departure_recorded ll s
+      done);
+  measure "jsq(d=2) weighted probe" (fun () ->
+      for _ = 1 to decisions do
+        let s = Core.Least_load.select_weighted ~rng:g ll ~d:2 in
         Core.Least_load.job_sent ll s;
         Core.Least_load.departure_recorded ll s
       done);
@@ -295,6 +407,15 @@ let suite =
     test "jsq(d): picks best of probes" sampled_picks_best_of_probes;
     test "jsq(d): d=1 is uniform random" sampled_d1_is_uniform_random;
     test "jsq(d): validation" sampled_validation;
+    test "jsq(d): weighted probes see the fast minority"
+      weighted_probes_see_fast_minority;
+    test "jsq(d): weighted tie-break prefers faster"
+      weighted_distinct_probes_and_ties;
+    test "jsq(d): weighted d >= n degenerates to full least-load"
+      weighted_degenerates_to_full;
+    test "jsq(d): weighted probing respects the availability mask"
+      weighted_respects_mask;
+    test "walker alias: frequencies and validation" walker_alias_frequencies;
     test "dispatchers: decision paths allocation-free at n=10^4"
       decision_path_zero_alloc;
     slow_test "jsq(2): between static random and full least-load"
